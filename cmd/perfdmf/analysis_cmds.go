@@ -1,0 +1,229 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"perfdmf/internal/analysis"
+	"perfdmf/internal/core"
+	"perfdmf/internal/model"
+)
+
+// Analysis-toolkit subcommands:
+//
+//	perfdmf compare -db DSN -a ID -b ID [-metric TIME] [-n 15]
+//	perfdmf derive  -db DSN -trial ID -name NAME -num METRIC -den METRIC [-scale F]
+//	perfdmf regress -db DSN -trials 1,2,3 [-metric TIME] [-threshold 0.1] [-minshare 0.01]
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	dsn := fs.String("db", "", "database DSN")
+	a := fs.Int64("a", 0, "first trial id")
+	bID := fs.Int64("b", 0, "second trial id")
+	metric := fs.String("metric", "TIME", "metric")
+	n := fs.Int("n", 15, "events to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *a == 0 || *bID == 0 {
+		return fmt.Errorf("compare needs -a and -b trial ids")
+	}
+	s, err := openSession(*dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	cmp, err := analysis.CompareTrials(s, &core.Trial{ID: *a}, &core.Trial{ID: *bID}, *metric)
+	if err != nil {
+		return err
+	}
+	events := cmp.Events
+	if *n < len(events) {
+		events = events[:*n]
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "EVENT\tMEAN A\tMEAN B\tDELTA\tRATIO\tPCT CHANGE\n")
+	for _, d := range events {
+		ratio := "-"
+		if d.Ratio != 0 {
+			ratio = fmt.Sprintf("%.3f", d.Ratio)
+		}
+		fmt.Fprintf(w, "%s\t%.4g\t%.4g\t%+.4g\t%s\t%+.2f\n",
+			d.Name, d.MeanA, d.MeanB, d.Delta, ratio, d.PctChange)
+	}
+	return w.Flush()
+}
+
+func cmdDerive(args []string) error {
+	fs := flag.NewFlagSet("derive", flag.ContinueOnError)
+	dsn := fs.String("db", "", "database DSN")
+	trialID := fs.Int64("trial", 0, "trial id")
+	name := fs.String("name", "", "new metric name")
+	num := fs.String("num", "", "numerator metric")
+	den := fs.String("den", "", "denominator metric")
+	scale := fs.Float64("scale", 1, "scale factor applied to the ratio")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *num == "" || *den == "" {
+		return fmt.Errorf("derive needs -name, -num and -den")
+	}
+	s, err := openSession(*dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	p, err := s.LoadTrial(*trialID)
+	if err != nil {
+		return err
+	}
+	if p.MetricID(*num) < 0 || p.MetricID(*den) < 0 {
+		return fmt.Errorf("trial %d lacks metric %q or %q", *trialID, *num, *den)
+	}
+	mid, err := p.DeriveMetric(*name, model.Ratio(*num, *den, *scale))
+	if err != nil {
+		return err
+	}
+	metric, err := s.SaveDerivedMetric(*trialID, p, mid)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("derived metric %d (%s = %g * %s / %s) saved to trial %d\n",
+		metric.ID, metric.Name, *scale, *num, *den, *trialID)
+	return nil
+}
+
+func cmdRegress(args []string) error {
+	fs := flag.NewFlagSet("regress", flag.ContinueOnError)
+	dsn := fs.String("db", "", "database DSN")
+	trialList := fs.String("trials", "", "comma-separated trial ids in version order")
+	metric := fs.String("metric", "TIME", "metric")
+	threshold := fs.Float64("threshold", 0.1, "growth threshold (0.1 = 10%)")
+	minShare := fs.Float64("minshare", 0.01, "ignore events below this share of total time")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *trialList == "" {
+		return fmt.Errorf("regress needs -trials (e.g. -trials 1,2,3)")
+	}
+	var trials []*core.Trial
+	for _, part := range strings.Split(*trialList, ",") {
+		id, err := strconv.ParseInt(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad trial id %q", part)
+		}
+		trials = append(trials, &core.Trial{ID: id})
+	}
+	if len(trials) < 2 {
+		return fmt.Errorf("regress needs at least two trials")
+	}
+	s, err := openSession(*dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	regs, err := analysis.DetectRegressions(s, trials, *metric, *threshold, *minShare)
+	if err != nil {
+		return err
+	}
+	if len(regs) == 0 {
+		fmt.Println("no regressions found")
+		return nil
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "FROM\tTO\tEVENT\tBEFORE\tAFTER\tGROWTH\n")
+	for _, r := range regs {
+		fmt.Fprintf(w, "%d\t%d\t%s\t%.4g\t%.4g\t%+.1f%%\n",
+			r.FromTrial, r.ToTrial, r.Event, r.Before, r.After, 100*r.Growth)
+	}
+	return w.Flush()
+}
+
+func cmdDump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ContinueOnError)
+	dsn := fs.String("db", "", "database DSN")
+	out := fs.String("o", "", "output directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("dump needs -o DIR")
+	}
+	s, err := openSession(*dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	m, err := core.ExportArchive(s, *out)
+	if err != nil {
+		return err
+	}
+	trials := 0
+	for _, a := range m.Applications {
+		for _, e := range a.Experiments {
+			trials += len(e.Trials)
+		}
+	}
+	fmt.Printf("dumped %d application(s), %d trial(s) to %s\n",
+		len(m.Applications), trials, *out)
+	return nil
+}
+
+func cmdRestore(args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ContinueOnError)
+	dsn := fs.String("db", "", "database DSN")
+	from := fs.String("from", "", "archive directory (from perfdmf dump)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *from == "" {
+		return fmt.Errorf("restore needs -from DIR")
+	}
+	s, err := openSession(*dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	n, err := core.ImportArchive(s, *from)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restored %d trial(s) from %s\n", n, *from)
+	return nil
+}
+
+// cmdStats reports row counts per PerfDMF table — the quick health check
+// an archive operator runs ("how big is this repository?").
+func cmdStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
+	dsn := fs.String("db", "", "database DSN")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := openSession(*dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "TABLE\tROWS\t\n")
+	var total int64
+	for _, table := range core.CoreTables() {
+		rows, err := s.Conn().Query("SELECT COUNT(*) FROM " + table)
+		if err != nil {
+			return err
+		}
+		rows.Next()
+		var n int64
+		rows.Scan(&n) //nolint:errcheck
+		rows.Close()
+		fmt.Fprintf(w, "%s\t%d\t\n", table, n)
+		total += n
+	}
+	fmt.Fprintf(w, "TOTAL\t%d\t\n", total)
+	return w.Flush()
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/synth"
+)
+
+// buildAnalysisArchive uploads two sPPM-like trials (the second with a
+// planted slowdown in one routine) and returns the DSN.
+func buildAnalysisArchive(t *testing.T) string {
+	t.Helper()
+	dsn := "file:" + t.TempDir()
+	s, err := core.Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	app := &core.Application{Name: "app"}
+	s.SaveApplication(app)
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "versions"}
+	s.SaveExperiment(exp)
+	s.SetExperiment(exp)
+
+	p1, _ := synth.CounterTrial(synth.CounterConfig{Threads: 8, Seed: 1})
+	if _, err := s.UploadTrial(p1, core.UploadOptions{TrialName: "v1"}); err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := synth.CounterTrial(synth.CounterConfig{Threads: 8, Seed: 1})
+	// Plant a 2x regression in "sweep" on every thread.
+	ev := p2.FindIntervalEvent("sweep")
+	tm := p2.MetricID("TIME")
+	for _, th := range p2.Threads() {
+		d := th.FindIntervalData(ev.ID)
+		d.PerMetric[tm].Inclusive *= 2
+		d.PerMetric[tm].Exclusive *= 2
+	}
+	if _, err := s.UploadTrial(p2, core.UploadOptions{TrialName: "v2"}); err != nil {
+		t.Fatal(err)
+	}
+	return dsn
+}
+
+func TestCompareCommand(t *testing.T) {
+	dsn := buildAnalysisArchive(t)
+	out, err := capture(t, func() error {
+		return run([]string{"compare", "-db", dsn, "-a", "1", "-b", "2"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sweep") || !strings.Contains(out, "RATIO") {
+		t.Errorf("compare output:\n%s", out)
+	}
+	// The planted regression tops the list (sorted by |delta|).
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(strings.TrimSpace(lines[1]), "sweep") {
+		t.Errorf("sweep not first:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"compare", "-db", dsn, "-a", "1"})
+	}); err == nil {
+		t.Error("missing -b accepted")
+	}
+}
+
+func TestDeriveCommand(t *testing.T) {
+	dsn := buildAnalysisArchive(t)
+	out, err := capture(t, func() error {
+		return run([]string{"derive", "-db", dsn, "-trial", "1",
+			"-name", "MFLOPS", "-num", "PAPI_FP_OPS", "-den", "TIME", "-scale", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "derived metric") {
+		t.Errorf("derive output: %s", out)
+	}
+	// The metric is queryable afterwards.
+	out, err = capture(t, func() error {
+		return run([]string{"summary", "-db", dsn, "-trial", "1", "-metric", "MFLOPS", "-n", "2"})
+	})
+	if err != nil || !strings.Contains(out, "EXCL%") {
+		t.Fatalf("summary on derived metric: %v\n%s", err, out)
+	}
+	// Unknown source metric fails.
+	if _, err := capture(t, func() error {
+		return run([]string{"derive", "-db", dsn, "-trial", "1",
+			"-name", "X", "-num", "NOPE", "-den", "TIME"})
+	}); err == nil {
+		t.Error("unknown numerator accepted")
+	}
+}
+
+func TestRegressCommand(t *testing.T) {
+	dsn := buildAnalysisArchive(t)
+	out, err := capture(t, func() error {
+		return run([]string{"regress", "-db", dsn, "-trials", "1,2", "-threshold", "0.5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sweep") || !strings.Contains(out, "GROWTH") {
+		t.Errorf("regress output:\n%s", out)
+	}
+	// Only the planted regression crosses a 50% threshold.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Errorf("expected exactly one regression:\n%s", out)
+	}
+	// High threshold → nothing.
+	out, err = capture(t, func() error {
+		return run([]string{"regress", "-db", dsn, "-trials", "1,2", "-threshold", "5"})
+	})
+	if err != nil || !strings.Contains(out, "no regressions") {
+		t.Fatalf("high threshold: %v\n%s", err, out)
+	}
+	// Bad args.
+	for _, args := range [][]string{
+		{"regress", "-db", dsn},
+		{"regress", "-db", dsn, "-trials", "1"},
+		{"regress", "-db", dsn, "-trials", "1,abc"},
+	} {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestDumpRestoreCommands(t *testing.T) {
+	dsn := buildAnalysisArchive(t)
+	dumpDir := t.TempDir()
+	out, err := capture(t, func() error {
+		return run([]string{"dump", "-db", dsn, "-o", dumpDir})
+	})
+	if err != nil || !strings.Contains(out, "dumped 1 application(s), 2 trial(s)") {
+		t.Fatalf("dump: %v\n%s", err, out)
+	}
+	dst := "file:" + t.TempDir()
+	out, err = capture(t, func() error {
+		return run([]string{"restore", "-db", dst, "-from", dumpDir})
+	})
+	if err != nil || !strings.Contains(out, "restored 2 trial(s)") {
+		t.Fatalf("restore: %v\n%s", err, out)
+	}
+	out, _ = capture(t, func() error { return run([]string{"list", "-db", dst}) })
+	if !strings.Contains(out, "v1") || !strings.Contains(out, "v2") {
+		t.Fatalf("restored archive tree:\n%s", out)
+	}
+	// Missing flags.
+	if _, err := capture(t, func() error { return run([]string{"dump", "-db", dsn}) }); err == nil {
+		t.Error("dump without -o accepted")
+	}
+	if _, err := capture(t, func() error { return run([]string{"restore", "-db", dst}) }); err == nil {
+		t.Error("restore without -from accepted")
+	}
+}
+
+func TestStatsCommand(t *testing.T) {
+	dsn := buildAnalysisArchive(t)
+	out, err := capture(t, func() error { return run([]string{"stats", "-db", dsn}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"interval_location_profile", "TOTAL", "trial"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats missing %q:\n%s", want, out)
+		}
+	}
+	// Two trials of 8 threads × 5 events × 8 metrics = 640 ILP rows.
+	if !strings.Contains(out, "640") {
+		t.Errorf("stats row count:\n%s", out)
+	}
+}

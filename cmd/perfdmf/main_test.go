@@ -1,0 +1,221 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/formats/tau"
+	"perfdmf/internal/synth"
+)
+
+// writeTauSample writes a small TAU profile directory and returns it.
+func writeTauSample(t *testing.T) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "tau-run")
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: 4, Events: 8, Metrics: 1, Seed: 1})
+	if err := tau.Write(dir, p); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		io.Copy(&b, r) //nolint:errcheck // pipe read ends at close
+		done <- b.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	dbDir := t.TempDir()
+	dsn := "file:" + dbDir
+	tauDir := writeTauSample(t)
+
+	// load (auto-detect).
+	out, err := capture(t, func() error {
+		return run([]string{"load", "-db", dsn, "-app", "demo", "-exp", "e1", tauDir})
+	})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !strings.Contains(out, "loaded trial 1") {
+		t.Fatalf("load output: %q", out)
+	}
+
+	// load with explicit format and trial name.
+	if _, err := capture(t, func() error {
+		return run([]string{"load", "-db", dsn, "-app", "demo", "-exp", "e1",
+			"-format", "tau", "-name", "second", tauDir})
+	}); err != nil {
+		t.Fatalf("load 2: %v", err)
+	}
+
+	// list shows the tree.
+	out, err = capture(t, func() error { return run([]string{"list", "-db", dsn}) })
+	if err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	for _, want := range []string{"demo (application 1)", "e1 (experiment 1)", "second (trial 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list output missing %q:\n%s", want, out)
+		}
+	}
+
+	// summary prints events.
+	out, err = capture(t, func() error {
+		return run([]string{"summary", "-db", dsn, "-trial", "1", "-n", "3"})
+	})
+	if err != nil {
+		t.Fatalf("summary: %v", err)
+	}
+	if !strings.Contains(out, "EXCL%") || len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Errorf("summary output:\n%s", out)
+	}
+
+	// export produces loadable XML.
+	xmlPath := filepath.Join(t.TempDir(), "out.xml")
+	if _, err := capture(t, func() error {
+		return run([]string{"export", "-db", dsn, "-trial", "1", "-o", xmlPath})
+	}); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if fi, err := os.Stat(xmlPath); err != nil || fi.Size() == 0 {
+		t.Fatalf("export file: %v", err)
+	}
+
+	// sql: SELECT and DML.
+	out, err = capture(t, func() error {
+		return run([]string{"sql", "-db", dsn, "SELECT COUNT(*) FROM trial"})
+	})
+	if err != nil || !strings.Contains(out, "(1 rows)") {
+		t.Fatalf("sql select: %v\n%s", err, out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"sql", "-db", dsn, "UPDATE trial SET name = 'renamed' WHERE id = 1"})
+	})
+	if err != nil || !strings.Contains(out, "ok (1 rows affected)") {
+		t.Fatalf("sql update: %v\n%s", err, out)
+	}
+
+	// delete removes the trial.
+	if _, err := capture(t, func() error {
+		return run([]string{"delete", "-db", dsn, "-trial", "2"})
+	}); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	out, _ = capture(t, func() error { return run([]string{"list", "-db", dsn}) })
+	if strings.Contains(out, "second") {
+		t.Errorf("deleted trial still listed:\n%s", out)
+	}
+
+	// formats subcommand.
+	out, err = capture(t, func() error { return run([]string{"formats"}) })
+	if err != nil || !strings.Contains(out, "tau") || !strings.Contains(out, "psrun") {
+		t.Fatalf("formats: %v\n%s", err, out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"load", "-db", "mem:x"},
+		{"load", "-db", "mem:x", "-app", "a", "-exp", "e"},
+		{"list"},
+		{"summary", "-db", "mem:clifresh", "-trial", "99"},
+		{"export", "-db", "mem:clifresh2", "-trial", "1"},
+		{"sql", "-db", "mem:clifresh3", "one", "two"},
+		{"load", "-db", "nodriver:x", "-app", "a", "-exp", "e", "/nope"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestCLILoadRanks(t *testing.T) {
+	dir := t.TempDir()
+	doc := `<hwpcreport version="1.0" generator="psrun">
+  <hwpcevents><hwpcevent name="PAPI_TOT_CYC" type="preset">100</hwpcevent></hwpcevents>
+  <wallclock units="seconds">1.0</wallclock>
+</hwpcreport>`
+	for r := 0; r < 4; r++ {
+		os.WriteFile(filepath.Join(dir, "run."+string(rune('0'+r))+".xml"), []byte(doc), 0o644)
+	}
+	dsn := "mem:cli_ranks"
+	out, err := capture(t, func() error {
+		return run([]string{"load", "-db", dsn, "-app", "a", "-exp", "e",
+			"-format", "psrun", "-ranks", "-prefix", "run.", "-suffix", ".xml", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "4 threads") {
+		t.Fatalf("load -ranks output: %s", out)
+	}
+	// -ranks requires -format.
+	if _, err := capture(t, func() error {
+		return run([]string{"load", "-db", dsn, "-app", "a", "-exp", "e", "-ranks", dir})
+	}); err == nil {
+		t.Error("-ranks without -format accepted")
+	}
+}
+
+func TestSQLShell(t *testing.T) {
+	dsn := "file:" + t.TempDir()
+	tauDir := writeTauSample(t)
+	if _, err := capture(t, func() error {
+		return run([]string{"load", "-db", dsn, "-app", "a", "-exp", "e", tauDir})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	script := `SELECT COUNT(*) FROM trial;
+SELECT name
+  FROM application;
+EXPLAIN SELECT * FROM trial WHERE id = 1;
+UPDATE trial SET name = 'shellified' WHERE id = 1;
+THIS IS NOT SQL;
+SELECT name FROM trial`
+	s, err := core.Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	out, err := capture(t, func() error {
+		return sqlShell(s, strings.NewReader(script))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"(1 rows)",             // count
+		"a\n",                  // application name
+		"index access",         // explain
+		"ok (1 rows affected)", // update
+		"error:",               // bad statement reported, shell continues
+		"shellified",           // final un-terminated statement ran
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("shell output missing %q:\n%s", want, out)
+		}
+	}
+}

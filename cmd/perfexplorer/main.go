@@ -1,0 +1,171 @@
+// Command perfexplorer is the data-mining application of paper §5.3 in its
+// client/server shape (Figure 3): `-serve` runs the analysis server over a
+// PerfDMF archive; without it the command acts as a client that lists
+// trials, requests cluster analyses, and browses stored results.
+//
+// Usage:
+//
+//	perfexplorer -serve -db DSN [-addr HOST:PORT]
+//	perfexplorer -addr HOST:PORT list
+//	perfexplorer -addr HOST:PORT cluster -trial ID [-k K] [-metrics A,B] [-seed N]
+//	perfexplorer -addr HOST:PORT correlate -trial ID [-threshold 0.8]
+//	perfexplorer -addr HOST:PORT results -trial ID
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/mining"
+)
+
+func main() {
+	serve := flag.Bool("serve", false, "run the analysis server")
+	dsn := flag.String("db", "", "database DSN (server mode)")
+	addr := flag.String("addr", "127.0.0.1:7777", "server address")
+	flag.Parse()
+
+	var err error
+	if *serve {
+		err = runServer(*dsn, *addr)
+	} else {
+		err = runClient(*addr, flag.Args())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfexplorer:", err)
+		os.Exit(1)
+	}
+}
+
+func runServer(dsn, addr string) error {
+	if dsn == "" {
+		return fmt.Errorf("-serve needs -db")
+	}
+	sess, err := core.Open(dsn)
+	if err != nil {
+		return err
+	}
+	defer sess.Close()
+	srv := mining.NewServer(sess)
+	bound, err := srv.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("perfexplorer server on %s (db %s)\n", bound, dsn)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	return srv.Close()
+}
+
+func runClient(addr string, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing client subcommand (list, cluster, results)")
+	}
+	c, err := mining.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+
+	switch args[0] {
+	case "list":
+		resp, err := c.Do(mining.Request{Op: "list"})
+		if err != nil {
+			return err
+		}
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "TRIAL\tNAME\tEXPERIMENT\tAPPLICATION\tNODES\n")
+		for _, t := range resp.Trials {
+			fmt.Fprintf(w, "%d\t%s\t%s\t%s\t%d\n",
+				t.TrialID, t.Trial, t.Experiment, t.Application, t.NodeCount)
+		}
+		return w.Flush()
+
+	case "cluster":
+		fs := flag.NewFlagSet("cluster", flag.ContinueOnError)
+		trial := fs.Int64("trial", 0, "trial id")
+		k := fs.Int("k", 0, "cluster count (0 = automatic)")
+		maxK := fs.Int("maxk", 8, "max k for automatic selection")
+		seed := fs.Int64("seed", 1, "RNG seed")
+		metrics := fs.String("metrics", "", "comma-separated metric subset")
+		normalize := fs.String("normalize", "zscore", "normalization: zscore, minmax, none")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		req := mining.Request{
+			Op: "cluster", TrialID: *trial, K: *k, MaxK: *maxK,
+			Seed: *seed, Normalize: *normalize,
+		}
+		if *metrics != "" {
+			req.Metrics = strings.Split(*metrics, ",")
+		}
+		resp, err := c.Do(req)
+		if err != nil {
+			return err
+		}
+		printCluster(resp.Cluster)
+		return nil
+
+	case "correlate":
+		fs := flag.NewFlagSet("correlate", flag.ContinueOnError)
+		trial := fs.Int64("trial", 0, "trial id")
+		threshold := fs.Float64("threshold", 0.8, "|r| threshold for the pair list")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		resp, err := c.Do(mining.Request{Op: "correlate", TrialID: *trial})
+		if err != nil {
+			return err
+		}
+		corr := resp.Correlation
+		fmt.Printf("metric correlation for trial %d (%d metrics):\n\n", corr.TrialID, len(corr.Metrics))
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintf(w, "A\tB\tr\n")
+		for _, pair := range corr.StrongPairs(*threshold) {
+			fmt.Fprintf(w, "%s\t%s\t%+.3f\n", pair.A, pair.B, pair.R)
+		}
+		return w.Flush()
+
+	case "results":
+		fs := flag.NewFlagSet("results", flag.ContinueOnError)
+		trial := fs.Int64("trial", 0, "trial id")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		resp, err := c.Do(mining.Request{Op: "results", TrialID: *trial})
+		if err != nil {
+			return err
+		}
+		for _, r := range resp.Results {
+			fmt.Printf("result %d (%s, %s): %d bytes\n", r.ID, r.Name, r.Method, len(r.Result))
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown client subcommand %q", args[0])
+}
+
+func printCluster(cr *mining.ClusterResult) {
+	fmt.Printf("trial %d: k=%d over %d threads × %d dimensions (rss %.4g, %d iterations)\n",
+		cr.TrialID, cr.K, cr.Threads, cr.Dimensions, cr.RSS, cr.Iterations)
+	if len(cr.PCAExplained) > 0 {
+		fmt.Printf("top principal components explain:")
+		for _, e := range cr.PCAExplained {
+			fmt.Printf(" %.1f%%", 100*e)
+		}
+		fmt.Println()
+	}
+	for _, s := range cr.Summaries {
+		fmt.Printf("\ncluster %d: %d threads (nodes %s)\n", s.Cluster, s.Size, s.ThreadRange)
+		for _, d := range s.TopDimensions {
+			fmt.Printf("  %-50s %.5g\n", d.Label, d.Value)
+		}
+	}
+	fmt.Printf("\nstored as analysis result %d\n", cr.ResultID)
+}

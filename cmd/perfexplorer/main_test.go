@@ -1,0 +1,147 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/mining"
+	"perfdmf/internal/synth"
+)
+
+// startServer builds an archive and runs a mining server over it.
+func startServer(t *testing.T) string {
+	t.Helper()
+	s, err := core.Open("mem:perfexplorer_cli_" + t.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	app := &core.Application{Name: "sPPM"}
+	s.SaveApplication(app)
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "counters"}
+	s.SaveExperiment(exp)
+	s.SetExperiment(exp)
+	p, _ := synth.CounterTrial(synth.CounterConfig{Threads: 16, Seed: 3})
+	if _, err := s.UploadTrial(p, core.UploadOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	srv := mining.NewServer(s)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		io.Copy(&b, r) //nolint:errcheck
+		done <- b.String()
+	}()
+	err := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, err
+}
+
+func TestClientList(t *testing.T) {
+	addr := startServer(t)
+	out, err := captureStdout(t, func() error { return runClient(addr, []string{"list"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sPPM") || !strings.Contains(out, "TRIAL") {
+		t.Errorf("list output:\n%s", out)
+	}
+}
+
+func TestClientCluster(t *testing.T) {
+	addr := startServer(t)
+	out, err := captureStdout(t, func() error {
+		return runClient(addr, []string{"cluster", "-trial", "1", "-k", "3", "-seed", "5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"k=3", "cluster 0:", "stored as analysis result"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("cluster output missing %q:\n%s", want, out)
+		}
+	}
+	// Results listing sees the stored artifact.
+	out, err = captureStdout(t, func() error {
+		return runClient(addr, []string{"results", "-trial", "1"})
+	})
+	if err != nil || !strings.Contains(out, "kmeans") {
+		t.Fatalf("results: %v\n%s", err, out)
+	}
+}
+
+func TestClientClusterWithMetricSubset(t *testing.T) {
+	addr := startServer(t)
+	out, err := captureStdout(t, func() error {
+		return runClient(addr, []string{"cluster", "-trial", "1", "-k", "2",
+			"-metrics", "PAPI_FP_OPS,TIME", "-normalize", "minmax"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 events × 2 metrics = 10 dimensions.
+	if !strings.Contains(out, "10 dimensions") {
+		t.Errorf("subset output:\n%s", out)
+	}
+}
+
+func TestClientErrors(t *testing.T) {
+	addr := startServer(t)
+	if err := runClient(addr, nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+	if err := runClient(addr, []string{"frob"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+	if err := runClient(addr, []string{"cluster", "-trial", "999"}); err == nil {
+		t.Error("unknown trial accepted")
+	}
+	if err := runClient("127.0.0.1:1", []string{"list"}); err == nil {
+		t.Error("dead server accepted")
+	}
+	if err := runServer("", "127.0.0.1:0"); err == nil {
+		t.Error("serve without -db accepted")
+	}
+}
+
+func TestClientCorrelate(t *testing.T) {
+	addr := startServer(t)
+	out, err := captureStdout(t, func() error {
+		return runClient(addr, []string{"correlate", "-trial", "1", "-threshold", "0.5"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "metric correlation for trial 1 (8 metrics)") {
+		t.Errorf("correlate output:\n%s", out)
+	}
+	// Persisted as an analysis result.
+	out, err = captureStdout(t, func() error {
+		return runClient(addr, []string{"results", "-trial", "1"})
+	})
+	if err != nil || !strings.Contains(out, "pearson") {
+		t.Fatalf("results after correlate: %v\n%s", err, out)
+	}
+	// Bad trial errors.
+	if err := runClient(addr, []string{"correlate", "-trial", "999"}); err == nil {
+		t.Error("missing trial accepted")
+	}
+}

@@ -1,0 +1,116 @@
+// Command speedup is the speedup analyzer of paper §5.2: given an
+// experiment whose trials ran the same application at different processor
+// counts, it prints per-routine minimum/mean/maximum speedup plus
+// whole-application speedup and parallel efficiency.
+//
+// Usage:
+//
+//	speedup -db DSN -exp NAME [-app NAME] [-metric TIME] [-routines N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"perfdmf/internal/analysis"
+	"perfdmf/internal/core"
+)
+
+func main() {
+	dsn := flag.String("db", "", "database DSN")
+	appName := flag.String("app", "", "application name (default: search all)")
+	expName := flag.String("exp", "", "experiment name")
+	metric := flag.String("metric", "TIME", "metric")
+	maxRoutines := flag.Int("routines", 12, "routines to print")
+	flag.Parse()
+	if err := run(*dsn, *appName, *expName, *metric, *maxRoutines); err != nil {
+		fmt.Fprintln(os.Stderr, "speedup:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dsn, appName, expName, metric string, maxRoutines int) error {
+	if dsn == "" || expName == "" {
+		return fmt.Errorf("-db and -exp are required")
+	}
+	s, err := core.Open(dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	exp, err := findExperiment(s, appName, expName)
+	if err != nil {
+		return err
+	}
+	s.SetExperiment(exp)
+	trials, err := s.TrialList()
+	if err != nil {
+		return err
+	}
+	study, err := analysis.Speedup(s, trials, metric)
+	if err != nil {
+		return err
+	}
+	Print(os.Stdout, study, maxRoutines)
+	return nil
+}
+
+func findExperiment(s *core.DataSession, appName, expName string) (*core.Experiment, error) {
+	apps, err := s.ApplicationList()
+	if err != nil {
+		return nil, err
+	}
+	for _, app := range apps {
+		if appName != "" && app.Name != appName {
+			continue
+		}
+		s.SetApplication(app)
+		exps, err := s.ExperimentList()
+		if err != nil {
+			return nil, err
+		}
+		for _, exp := range exps {
+			if exp.Name == expName {
+				return exp, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("no experiment %q", expName)
+}
+
+// Print renders a speedup study as text tables.
+func Print(out *os.File, study *analysis.SpeedupStudy, maxRoutines int) {
+	fmt.Fprintf(out, "speedup study over %d trials (%s), baseline %d procs\n\n",
+		len(study.Procs), study.Metric, study.BaseProcs)
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "PROCS\tAPP TIME\tSPEEDUP\tEFFICIENCY\n")
+	for i, procs := range study.Procs {
+		fmt.Fprintf(w, "%d\t%.4g\t%.2f\t%.1f%%\n",
+			procs, study.AppTime[i], study.AppSpeed[i], 100*study.AppEff[i])
+	}
+	w.Flush()
+
+	routines := study.Routines
+	if maxRoutines < len(routines) {
+		routines = routines[:maxRoutines]
+	}
+	fmt.Fprintf(out, "\nper-routine speedup (min / mean / max across threads):\n\n")
+	w = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "ROUTINE")
+	for _, procs := range study.Procs {
+		fmt.Fprintf(w, "\t%dp", procs)
+	}
+	fmt.Fprintln(w)
+	for _, r := range routines {
+		fmt.Fprintf(w, "%s", r.Name)
+		for _, pt := range r.Points {
+			fmt.Fprintf(w, "\t%.2f/%.2f/%.2f", pt.Min, pt.Mean, pt.Max)
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/synth"
+)
+
+func buildArchive(t *testing.T) string {
+	t.Helper()
+	dsn := "file:" + t.TempDir()
+	s, err := core.Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	app := &core.Application{Name: "EVH1"}
+	s.SaveApplication(app)
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "scaling"}
+	s.SaveExperiment(exp)
+	s.SetExperiment(exp)
+	for _, p := range synth.ScalingSeries(synth.ScalingConfig{Procs: []int{1, 4, 16}, Seed: 2}) {
+		if _, err := s.UploadTrial(p, core.UploadOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dsn
+}
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		io.Copy(&b, r) //nolint:errcheck
+		done <- b.String()
+	}()
+	err := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, err
+}
+
+func TestSpeedupCLI(t *testing.T) {
+	dsn := buildArchive(t)
+	out, err := captureStdout(t, func() error {
+		return run(dsn, "", "scaling", "TIME", 5)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"baseline 1 procs", "PROCS", "EFFICIENCY", "SWEEPX"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// App filter works.
+	if _, err := captureStdout(t, func() error {
+		return run(dsn, "EVH1", "scaling", "TIME", 5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedupCLIErrors(t *testing.T) {
+	dsn := buildArchive(t)
+	if err := run("", "", "scaling", "TIME", 5); err == nil {
+		t.Error("missing -db accepted")
+	}
+	if err := run(dsn, "", "", "TIME", 5); err == nil {
+		t.Error("missing -exp accepted")
+	}
+	if err := run(dsn, "", "nosuch", "TIME", 5); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run(dsn, "WRONG", "scaling", "TIME", 5); err == nil {
+		t.Error("wrong app filter accepted")
+	}
+	if err := run(dsn, "", "scaling", "NOPE", 5); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}

@@ -1,0 +1,215 @@
+// Command trialbrowser is the trial browser of paper §5.2: it walks a
+// PerfDMF archive's application → experiment → trial tree and drills into
+// a trial's metrics, events and per-thread data, exercising a broad subset
+// of the DataSession API.
+//
+// Usage:
+//
+//	trialbrowser -db DSN                      # browse the whole tree
+//	trialbrowser -db DSN -trial ID            # trial detail
+//	trialbrowser -db DSN -trial ID -event N   # one event across all threads
+//	trialbrowser -db DSN -trial ID -calltree [-node N]  # callpath tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/model"
+)
+
+func main() {
+	dsn := flag.String("db", "", "database DSN (file:DIR or mem:NAME)")
+	trialID := flag.Int64("trial", 0, "show detail for one trial")
+	eventID := flag.Int64("event", 0, "show one event across all threads")
+	metric := flag.String("metric", "TIME", "metric for event views")
+	calltree := flag.Bool("calltree", false, "reconstruct the callpath tree (TAU_CALLPATH events)")
+	node := flag.Int("node", 0, "thread node for -calltree")
+	flag.Parse()
+	if err := run(*dsn, *trialID, *eventID, *metric, *calltree, *node); err != nil {
+		fmt.Fprintln(os.Stderr, "trialbrowser:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dsn string, trialID, eventID int64, metric string, calltree bool, node int) error {
+	if dsn == "" {
+		return fmt.Errorf("-db is required")
+	}
+	s, err := core.Open(dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	switch {
+	case trialID == 0:
+		return browseTree(s)
+	case calltree:
+		return callTreeView(s, trialID, metric, node)
+	case eventID == 0:
+		return trialDetail(s, trialID, metric)
+	default:
+		return eventDetail(s, trialID, eventID, metric)
+	}
+}
+
+// callTreeView reconstructs and prints the callpath tree of one thread.
+func callTreeView(s *core.DataSession, trialID int64, metric string, node int) error {
+	p, err := s.LoadTrial(trialID)
+	if err != nil {
+		return err
+	}
+	mid := p.MetricID(metric)
+	if mid < 0 {
+		return fmt.Errorf("trial %d has no metric %q", trialID, metric)
+	}
+	th := p.FindThread(node, 0, 0)
+	if th == nil {
+		return fmt.Errorf("trial %d has no thread %d,0,0", trialID, node)
+	}
+	root, ok := p.CallTree(th, mid)
+	if !ok {
+		return fmt.Errorf("trial %d has no callpath (TAU_CALLPATH) events", trialID)
+	}
+	fmt.Printf("call tree for trial %d, thread %d,0,0 (%s):\n\n", trialID, node, metric)
+	model.WalkCalls(root, func(n *model.CallNode, depth int) {
+		pct := 0.0
+		if root.Inclusive > 0 {
+			pct = 100 * n.Inclusive / root.Inclusive
+		}
+		fmt.Printf("%s%-*s %10.4g incl  %10.4g excl  %8.0f calls  %5.1f%%\n",
+			strings.Repeat("  ", depth), 44-2*depth, n.Name,
+			n.Inclusive, n.Exclusive, n.Calls, pct)
+	})
+	hot := model.HotPath(root)
+	fmt.Printf("\nhot path:")
+	for _, n := range hot {
+		fmt.Printf(" → %s", n.Name)
+	}
+	fmt.Println()
+	return nil
+}
+
+func browseTree(s *core.DataSession) error {
+	apps, err := s.ApplicationList()
+	if err != nil {
+		return err
+	}
+	if len(apps) == 0 {
+		fmt.Println("(empty archive)")
+		return nil
+	}
+	for _, app := range apps {
+		fmt.Printf("▸ %s", app.Name)
+		if v, ok := app.Fields["version"]; ok {
+			fmt.Printf(" %v", v)
+		}
+		fmt.Printf("  [application %d]\n", app.ID)
+		s.SetApplication(app)
+		exps, err := s.ExperimentList()
+		if err != nil {
+			return err
+		}
+		for _, exp := range exps {
+			fmt.Printf("  ▸ %s  [experiment %d]\n", exp.Name, exp.ID)
+			s.SetExperiment(exp)
+			trials, err := s.TrialList()
+			if err != nil {
+				return err
+			}
+			for _, trial := range trials {
+				fmt.Printf("    • trial %d: %s — %d nodes × %d ctx × %d threads\n",
+					trial.ID, trial.Name, trial.NodeCount(),
+					trial.ContextsPerNode(), trial.MaxThreadsPerContext())
+			}
+		}
+	}
+	return nil
+}
+
+func trialDetail(s *core.DataSession, trialID int64, metric string) error {
+	s.SetTrial(&core.Trial{ID: trialID})
+	metrics, err := s.MetricList()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trial %d metrics:\n", trialID)
+	for _, m := range metrics {
+		tag := ""
+		if m.Derived {
+			tag = " (derived)"
+		}
+		fmt.Printf("  %d: %s%s\n", m.ID, m.Name, tag)
+	}
+	events, err := s.IntervalEventList()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d interval events; mean profile for %s:\n\n", len(events), metric)
+	rows, err := s.MeanSummary(metric)
+	if err != nil {
+		return err
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "EVENT\tEXCL%%\t\tEXCLUSIVE\tINCLUSIVE\tCALLS\tID\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.1f\t%s\t%.4g\t%.4g\t%.0f\t%d\n",
+			r.EventName, r.ExclPct, bar(r.ExclPct, 24), r.Exclusive, r.Inclusive, r.Calls, r.EventID)
+	}
+	w.Flush()
+
+	atomics, err := s.AtomicEventList()
+	if err != nil {
+		return err
+	}
+	if len(atomics) > 0 {
+		fmt.Printf("\n%d atomic events:\n", len(atomics))
+		for _, a := range atomics {
+			fmt.Printf("  %d: %s (%s)\n", a.ID, a.Name, a.Group)
+		}
+	}
+	return nil
+}
+
+// bar renders pct (0..100) as a ParaProf-style horizontal bar.
+func bar(pct float64, width int) string {
+	if pct < 0 {
+		pct = 0
+	}
+	if pct > 100 {
+		pct = 100
+	}
+	n := int(pct/100*float64(width) + 0.5)
+	out := make([]rune, width)
+	for i := range out {
+		if i < n {
+			out[i] = '█'
+		} else {
+			out[i] = '·'
+		}
+	}
+	return string(out)
+}
+
+func eventDetail(s *core.DataSession, trialID, eventID int64, metric string) error {
+	s.SetTrial(&core.Trial{ID: trialID})
+	rows, err := s.EventProfile(eventID, metric)
+	if err != nil {
+		return err
+	}
+	if len(rows) == 0 {
+		return fmt.Errorf("event %d has no %s data in trial %d", eventID, metric, trialID)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "N,C,T\tEXCLUSIVE\tINCLUSIVE\tCALLS\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%d,%d\t%.6g\t%.6g\t%.0f\n",
+			r.Node, r.Context, r.Thread, r.Exclusive, r.Inclusive, r.Calls)
+	}
+	return w.Flush()
+}

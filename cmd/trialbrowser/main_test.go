@@ -1,0 +1,174 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/model"
+	"perfdmf/internal/synth"
+)
+
+func buildArchive(t *testing.T) string {
+	t.Helper()
+	dsn := "file:" + t.TempDir()
+	s, err := core.Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	app := &core.Application{Name: "browseapp", Fields: map[string]any{"version": "3.1"}}
+	s.SaveApplication(app)
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "browseexp"}
+	s.SaveExperiment(exp)
+	s.SetExperiment(exp)
+	p, _ := synth.CounterTrial(synth.CounterConfig{Threads: 4, Seed: 1})
+	if _, err := s.UploadTrial(p, core.UploadOptions{TrialName: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	return dsn
+}
+
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, _ := os.Pipe()
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var b strings.Builder
+		io.Copy(&b, r) //nolint:errcheck
+		done <- b.String()
+	}()
+	err := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, err
+}
+
+func TestBrowseTree(t *testing.T) {
+	dsn := buildArchive(t)
+	out, err := captureStdout(t, func() error { return run(dsn, 0, 0, "TIME", false, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"browseapp 3.1", "browseexp", "trial 1: t1", "4 nodes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrialDetail(t *testing.T) {
+	dsn := buildArchive(t)
+	out, err := captureStdout(t, func() error { return run(dsn, 1, 0, "TIME", false, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"trial 1 metrics", "PAPI_FP_OPS", "interval events", "hydro"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("detail missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEventDetail(t *testing.T) {
+	dsn := buildArchive(t)
+	// Find an event id first.
+	s, err := core.Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetTrial(&core.Trial{ID: 1})
+	events, err := s.IntervalEventList()
+	if err != nil || len(events) == 0 {
+		t.Fatal(err)
+	}
+	eid := events[0].ID
+	s.Close()
+
+	out, err := captureStdout(t, func() error { return run(dsn, 1, eid, "TIME", false, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "N,C,T") || len(strings.Split(strings.TrimSpace(out), "\n")) != 5 {
+		t.Errorf("event view:\n%s", out)
+	}
+}
+
+func TestBrowserErrors(t *testing.T) {
+	dsn := buildArchive(t)
+	if err := run("", 0, 0, "TIME", false, 0); err == nil {
+		t.Error("missing -db accepted")
+	}
+	if err := run(dsn, 1, 9999, "TIME", false, 0); err == nil {
+		t.Error("unknown event accepted")
+	}
+	if err := run(dsn, 1, 0, "NOPE", false, 0); err != nil {
+		// Unknown metric yields an empty (not error) summary; the command
+		// prints headers only — both behaviours acceptable, but it must
+		// not panic.
+		t.Logf("unknown metric: %v", err)
+	}
+}
+
+func TestCallTreeView(t *testing.T) {
+	dsn := "file:" + t.TempDir()
+	s, err := core.Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := &core.Application{Name: "cp"}
+	s.SaveApplication(app)
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "cp"}
+	s.SaveExperiment(exp)
+	s.SetExperiment(exp)
+	p := callpathProfile()
+	if _, err := s.UploadTrial(p, core.UploadOptions{TrialName: "cp"}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	out, err := captureStdout(t, func() error { return run(dsn, 1, 0, "TIME", true, 0) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"call tree for trial 1", "main()", "solve()", "hot path:", "MPI_Send()"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("calltree missing %q:\n%s", want, out)
+		}
+	}
+	// Errors: no callpath events, missing thread, missing metric.
+	dsn2 := buildArchive(t)
+	if err := run(dsn2, 1, 0, "TIME", true, 0); err == nil {
+		t.Error("flat trial produced a call tree")
+	}
+	if err := run(dsn, 1, 0, "TIME", true, 99); err == nil {
+		t.Error("missing thread accepted")
+	}
+	if err := run(dsn, 1, 0, "NOPE", true, 0); err == nil {
+		t.Error("missing metric accepted")
+	}
+}
+
+// callpathProfile builds a tiny TAU-style callpath profile.
+func callpathProfile() *model.Profile {
+	p := model.New("cp")
+	m := p.AddMetric("TIME")
+	th := p.Thread(0, 0, 0)
+	set := func(name, group string, incl, excl, calls float64) {
+		e := p.AddIntervalEvent(name, group)
+		d := th.IntervalData(e.ID, 1)
+		d.NumCalls = calls
+		d.PerMetric[m] = model.MetricData{Inclusive: incl, Exclusive: excl}
+	}
+	set("main()", "TAU_DEFAULT", 100, 10, 1)
+	set("solve()", "TAU_USER", 90, 40, 5)
+	set("main() => solve()", "TAU_CALLPATH", 90, 40, 5)
+	set("main() => solve() => MPI_Send()", "TAU_CALLPATH", 50, 50, 100)
+	return p
+}

@@ -1,0 +1,26 @@
+// Package perfdmf is a Go implementation of PerfDMF, the Parallel
+// Performance Data Management Framework (Huck, Malony, Bell, Morris —
+// ICPP 2005).
+//
+// PerfDMF provides a common foundation for parsing, storing, querying and
+// analyzing parallel performance profiles from multiple experiments,
+// application versions, profiling tools and platforms. This module contains:
+//
+//   - internal/reldb, internal/sqlparse, internal/sqlexec, internal/godbc:
+//     an embedded relational database engine with a SQL subset and a
+//     JDBC-like connectivity layer (the paper's DBMS substrate);
+//   - internal/model: the common parallel profile representation
+//     (node/context/thread, interval and atomic events, metrics);
+//   - internal/formats/...: readers and writers for the six profile formats
+//     the paper supports (TAU, gprof, mpiP, dynaprof, HPMToolkit, PerfSuite)
+//     plus the sPPM custom format and the common XML representation;
+//   - internal/core: the PerfDMF schema and DataSession query/management API;
+//   - internal/analysis: the profile analysis toolkit (speedup, comparison,
+//     derived metrics);
+//   - internal/mining: the PerfExplorer data-mining engine and server;
+//   - internal/synth: synthetic workload generators standing in for the
+//     paper's LLNL datasets.
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// reproduction of every evaluation claim.
+package perfdmf

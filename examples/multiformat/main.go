@@ -1,0 +1,110 @@
+// Multiformat reproduces the paper's Figure 2 scenario: profiles from many
+// different tools (TAU, gprof, mpiP, dynaprof, HPMToolkit, PerfSuite, the
+// sPPM custom format) are parsed into the common representation and stored
+// in one database archive, then browsed as a single tree.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/formats"
+	"perfdmf/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	workDir, err := os.MkdirTemp("", "perfdmf-multiformat")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(workDir)
+
+	// One dataset per tool, each in its own on-disk format.
+	paths, err := synth.WriteSampleFiles(workDir, 2005)
+	if err != nil {
+		return err
+	}
+
+	s, err := core.Open("mem:multiformat")
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	app := &core.Application{Name: "mixed-tools-app"}
+	if err := s.SaveApplication(app); err != nil {
+		return err
+	}
+	s.SetApplication(app)
+
+	order := make([]string, 0, len(paths))
+	for f := range paths {
+		order = append(order, f)
+	}
+	sort.Strings(order)
+	for _, format := range order {
+		path := paths[format]
+		detected, err := formats.Detect(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", format, err)
+		}
+		profile, err := formats.Load(detected, path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", format, err)
+		}
+		exp := &core.Experiment{Name: format + "-data"}
+		if err := s.SaveExperiment(exp); err != nil {
+			return err
+		}
+		s.SetExperiment(exp)
+		trial, err := s.UploadTrial(profile, core.UploadOptions{TrialName: format + "-trial"})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("imported %-9s → trial %d (%s)\n", format, trial.ID, synth.Describe(profile))
+	}
+
+	// Browse the archive tree, Figure-2 style.
+	fmt.Println("\narchive tree:")
+	apps, err := s.ApplicationList()
+	if err != nil {
+		return err
+	}
+	for _, a := range apps {
+		fmt.Printf("▸ %s\n", a.Name)
+		s.SetApplication(a)
+		exps, err := s.ExperimentList()
+		if err != nil {
+			return err
+		}
+		for _, e := range exps {
+			fmt.Printf("  ▸ %s\n", e.Name)
+			s.SetExperiment(e)
+			trials, err := s.TrialList()
+			if err != nil {
+				return err
+			}
+			for _, t := range trials {
+				s.SetTrial(t)
+				metrics, err := s.MetricList()
+				if err != nil {
+					return err
+				}
+				names := make([]string, len(metrics))
+				for i, m := range metrics {
+					names[i] = m.Name
+				}
+				fmt.Printf("    • trial %d: %s — metrics %v\n", t.ID, t.Name, names)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Quickstart: generate a TAU profile on disk, parse it, store it in a
+// PerfDMF archive, and query it back — the minimal end-to-end tour of the
+// framework (parse → store → query → analyze).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/formats"
+	"perfdmf/internal/formats/tau"
+	"perfdmf/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. A TAU profile directory, as a real run would leave behind.
+	workDir, err := os.MkdirTemp("", "perfdmf-quickstart")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(workDir)
+	profile := synth.LargeTrial(synth.LargeTrialConfig{Threads: 8, Events: 16, Metrics: 2, Seed: 1})
+	tauDir := filepath.Join(workDir, "tau-run")
+	if err := tau.Write(tauDir, profile); err != nil {
+		return err
+	}
+	fmt.Println("wrote TAU profile:", tauDir)
+
+	// 2. Parse it back through format auto-detection.
+	parsed, err := formats.LoadAuto(tauDir)
+	if err != nil {
+		return err
+	}
+	fmt.Println("parsed:", synth.Describe(parsed))
+
+	// 3. Store it in an archive (file:DIR would persist; mem: is enough here).
+	s, err := core.Open("mem:quickstart")
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	app := &core.Application{Name: "demo-app", Fields: map[string]any{"version": "1.0"}}
+	if err := s.SaveApplication(app); err != nil {
+		return err
+	}
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "first-experiment"}
+	if err := s.SaveExperiment(exp); err != nil {
+		return err
+	}
+	s.SetExperiment(exp)
+	trial, err := s.UploadTrial(parsed, core.UploadOptions{TrialName: "quickstart-trial"})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stored as trial %d (%d nodes)\n", trial.ID, trial.NodeCount())
+
+	// 4a. Query through the object API: the trial's mean profile.
+	s.SetTrial(trial)
+	rows, err := s.MeanSummary("TIME")
+	if err != nil {
+		return err
+	}
+	fmt.Println("\ntop 5 events by mean exclusive TIME:")
+	for i, r := range rows {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %5.1f%%  %-44s %12.4g\n", r.ExclPct, r.EventName, r.Exclusive)
+	}
+
+	// 4b. Or through plain SQL on the same connection.
+	rs, err := s.Conn().Query(`
+		SELECT COUNT(*) FROM interval_location_profile`)
+	if err != nil {
+		return err
+	}
+	rs.Next()
+	var n int64
+	rs.Scan(&n)
+	fmt.Printf("\nINTERVAL_LOCATION_PROFILE holds %d rows for this archive\n", n)
+
+	// 5. Round-trip check: load the trial back and compare sizes.
+	loaded, err := s.LoadTrial(trial.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("reloaded: %s\n", synth.Describe(loaded))
+	if loaded.DataPoints() != parsed.DataPoints() {
+		return fmt.Errorf("round trip lost data: %d vs %d", loaded.DataPoints(), parsed.DataPoints())
+	}
+	fmt.Println("round trip OK")
+	return nil
+}

@@ -1,0 +1,108 @@
+// Sharedrepo demonstrates the paper's §5.1 shared-repository story: one
+// group builds an archive and publishes it as a portable dump; another
+// group restores it into their own database (a different back end) and
+// analyzes it through a read-only connection — the access-authorization
+// policy the paper sketches for "performance data security and sharing".
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	work, err := os.MkdirTemp("", "perfdmf-sharedrepo")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(work)
+
+	// --- Group A: build and publish an archive. ---
+	producer, err := core.Open("file:" + filepath.Join(work, "group-a"))
+	if err != nil {
+		return err
+	}
+	app := &core.Application{Name: "sweep3d", Fields: map[string]any{"version": "2.2b"}}
+	if err := producer.SaveApplication(app); err != nil {
+		return err
+	}
+	producer.SetApplication(app)
+	exp := &core.Experiment{Name: "procurement-runs"}
+	if err := producer.SaveExperiment(exp); err != nil {
+		return err
+	}
+	producer.SetExperiment(exp)
+	for _, p := range synth.ScalingSeries(synth.ScalingConfig{Procs: []int{4, 16}, Seed: 21}) {
+		if _, err := producer.UploadTrial(p, core.UploadOptions{}); err != nil {
+			return err
+		}
+	}
+	dumpDir := filepath.Join(work, "published")
+	manifest, err := core.ExportArchive(producer, dumpDir)
+	if err != nil {
+		return err
+	}
+	producer.Close()
+	fmt.Printf("group A published %d application(s) to %s\n", len(manifest.Applications), dumpDir)
+
+	// --- Group B: restore into their own (different) database. ---
+	consumerDSN := "file:" + filepath.Join(work, "group-b")
+	consumer, err := core.Open(consumerDSN)
+	if err != nil {
+		return err
+	}
+	n, err := core.ImportArchive(consumer, dumpDir)
+	if err != nil {
+		return err
+	}
+	consumer.Close()
+	fmt.Printf("group B restored %d trial(s)\n", n)
+
+	// --- An analyst at group B connects read-only. ---
+	analyst, err := core.Open(consumerDSN + "?readonly=1")
+	if err != nil {
+		return err
+	}
+	defer analyst.Close()
+	apps, err := analyst.ApplicationList()
+	if err != nil {
+		return err
+	}
+	analyst.SetApplication(apps[0])
+	exps, err := analyst.ExperimentList()
+	if err != nil {
+		return err
+	}
+	analyst.SetExperiment(exps[0])
+	trials, err := analyst.TrialList()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("analyst sees %s / %s with %d trials\n", apps[0].Name, exps[0].Name, len(trials))
+	analyst.SetTrial(trials[0])
+	rows, err := analyst.MeanSummary("TIME")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("top event in trial %d: %s (%.4g exclusive)\n",
+		trials[0].ID, rows[0].EventName, rows[0].Exclusive)
+
+	// Writes are rejected by policy.
+	if _, err := analyst.Conn().Exec("DELETE FROM trial WHERE id = 1"); err != nil {
+		fmt.Println("write correctly denied:", err)
+	} else {
+		return fmt.Errorf("read-only connection accepted a write")
+	}
+	return nil
+}

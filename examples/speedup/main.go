@@ -1,0 +1,81 @@
+// Speedup reproduces the paper's §5.2 scenario: an EVH1-like strong-
+// scaling study is uploaded as one experiment with trials at 1..64
+// processors, then the speedup analyzer computes per-routine min/mean/max
+// speedup and whole-application efficiency from the database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"perfdmf/internal/analysis"
+	"perfdmf/internal/core"
+	"perfdmf/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	s, err := core.Open("mem:speedup-example")
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	app := &core.Application{Name: "EVH1", Fields: map[string]any{"version": "1.0"}}
+	if err := s.SaveApplication(app); err != nil {
+		return err
+	}
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "strong-scaling", Fields: map[string]any{
+		"system_info": "synthetic cluster",
+	}}
+	if err := s.SaveExperiment(exp); err != nil {
+		return err
+	}
+	s.SetExperiment(exp)
+
+	procs := []int{1, 2, 4, 8, 16, 32, 64}
+	for _, p := range synth.ScalingSeries(synth.ScalingConfig{Procs: procs, Seed: 11}) {
+		trial, err := s.UploadTrial(p, core.UploadOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("uploaded %s as trial %d\n", p.Name, trial.ID)
+	}
+
+	trials, err := s.TrialList()
+	if err != nil {
+		return err
+	}
+	study, err := analysis.Speedup(s, trials, "TIME")
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\napplication scaling (%s):\n", study.Metric)
+	fmt.Printf("%8s %14s %10s %12s\n", "PROCS", "APP TIME", "SPEEDUP", "EFFICIENCY")
+	for i, procs := range study.Procs {
+		fmt.Printf("%8d %14.4g %10.2f %11.1f%%\n",
+			procs, study.AppTime[i], study.AppSpeed[i], 100*study.AppEff[i])
+	}
+
+	fmt.Printf("\nper-routine speedup at %dp (min / mean / max):\n", study.Procs[len(study.Procs)-1])
+	for _, r := range study.Routines {
+		last := r.Points[len(r.Points)-1]
+		verdict := "scales"
+		switch {
+		case last.Mean < 1:
+			verdict = "GROWS with procs (communication)"
+		case last.Mean < float64(last.Procs)/4:
+			verdict = "scales poorly"
+		}
+		fmt.Printf("  %-18s %6.2f / %6.2f / %6.2f   %s\n",
+			r.Name, last.Min, last.Mean, last.Max, verdict)
+	}
+	return nil
+}

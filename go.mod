@@ -1,0 +1,3 @@
+module perfdmf
+
+go 1.22

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/model"
+)
+
+// This file implements the profile algebra the paper names as planned
+// CUBE integration (§7: "integrate the CUBE algebra with PerfDMF to
+// implement high-level comparative queries and analysis operations",
+// after Song et al., ICPP'04). The algebra operates on whole parallel
+// profiles: add, subtract and mean over congruent experiments, producing
+// a new profile that can itself be stored, exported or analyzed.
+
+// binaryOp combines two measurements.
+type binaryOp func(a, b float64) float64
+
+// combine applies op cell-wise over two profiles. Events, metrics and
+// threads are matched by name/ID; a cell missing on either side
+// contributes zero (CUBE's semantics for structurally merged
+// experiments). Call and subroutine counts combine with op as well, so
+// Add sums them and Subtract yields the count difference.
+func combine(name string, a, b *model.Profile, op binaryOp) (*model.Profile, error) {
+	out := model.New(name)
+	for _, m := range a.Metrics() {
+		out.AddMetric(m.Name)
+	}
+	for _, m := range b.Metrics() {
+		out.AddMetric(m.Name)
+	}
+	for _, e := range a.IntervalEvents() {
+		out.AddIntervalEvent(e.Name, e.Group)
+	}
+	for _, e := range b.IntervalEvents() {
+		out.AddIntervalEvent(e.Name, e.Group)
+	}
+	nm := len(out.Metrics())
+
+	// Seed with a's raw values (op not yet applied).
+	aEvents := a.IntervalEvents()
+	for _, th := range a.Threads() {
+		oth := out.Thread(th.ID.Node, th.ID.Context, th.ID.Thread)
+		th.EachInterval(func(eid int, d *model.IntervalData) {
+			oe := out.FindIntervalEvent(aEvents[eid].Name)
+			od := oth.IntervalData(oe.ID, nm)
+			od.NumCalls = d.NumCalls
+			od.NumSubrs = d.NumSubrs
+			for _, m := range a.Metrics() {
+				od.PerMetric[out.MetricID(m.Name)] = d.PerMetric[m.ID]
+			}
+		})
+	}
+
+	// Fold b in with op. Cells b touches are finalized here; a-only cells
+	// are finalized with op(x, 0) afterwards.
+	finalized := make(map[*model.IntervalData]bool)
+	bEvents := b.IntervalEvents()
+	for _, th := range b.Threads() {
+		oth := out.Thread(th.ID.Node, th.ID.Context, th.ID.Thread)
+		th.EachInterval(func(eid int, d *model.IntervalData) {
+			oe := out.FindIntervalEvent(bEvents[eid].Name)
+			od := oth.IntervalData(oe.ID, nm)
+			finalized[od] = true
+			od.NumCalls = op(od.NumCalls, d.NumCalls)
+			od.NumSubrs = op(od.NumSubrs, d.NumSubrs)
+			for _, m := range b.Metrics() {
+				om := out.MetricID(m.Name)
+				cur := od.PerMetric[om]
+				od.PerMetric[om] = model.MetricData{
+					Inclusive: op(cur.Inclusive, d.PerMetric[m.ID].Inclusive),
+					Exclusive: op(cur.Exclusive, d.PerMetric[m.ID].Exclusive),
+				}
+			}
+		})
+	}
+	for _, th := range out.Threads() {
+		th.EachInterval(func(_ int, od *model.IntervalData) {
+			if finalized[od] {
+				return
+			}
+			od.NumCalls = op(od.NumCalls, 0)
+			od.NumSubrs = op(od.NumSubrs, 0)
+			for m := range od.PerMetric {
+				od.PerMetric[m] = model.MetricData{
+					Inclusive: op(od.PerMetric[m].Inclusive, 0),
+					Exclusive: op(od.PerMetric[m].Exclusive, 0),
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// Add merges two profiles cell-wise (CUBE's "merge"): the union of
+// events, metrics and threads, with overlapping measurements summed.
+func Add(a, b *model.Profile) (*model.Profile, error) {
+	return combine(a.Name+"+"+b.Name, a, b, func(x, y float64) float64 { return x + y })
+}
+
+// Subtract computes a - b cell-wise (CUBE's "diff"): positive values mean
+// a was slower. Negative results are legitimate and preserved.
+func Subtract(a, b *model.Profile) (*model.Profile, error) {
+	return combine(a.Name+"-"+b.Name, a, b, func(x, y float64) float64 { return x - y })
+}
+
+// Mean averages any number of congruent profiles cell-wise (CUBE's
+// "mean"), e.g. over repeated trials of the same configuration.
+func Mean(profiles ...*model.Profile) (*model.Profile, error) {
+	if len(profiles) == 0 {
+		return nil, fmt.Errorf("analysis: Mean needs at least one profile")
+	}
+	acc := profiles[0]
+	var err error
+	for _, p := range profiles[1:] {
+		acc, err = Add(acc, p)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := float64(len(profiles))
+	out := model.New(fmt.Sprintf("mean(%d trials)", len(profiles)))
+	for _, m := range acc.Metrics() {
+		out.AddMetric(m.Name)
+	}
+	for _, e := range acc.IntervalEvents() {
+		out.AddIntervalEvent(e.Name, e.Group)
+	}
+	nm := len(out.Metrics())
+	events := acc.IntervalEvents()
+	for _, th := range acc.Threads() {
+		oth := out.Thread(th.ID.Node, th.ID.Context, th.ID.Thread)
+		th.EachInterval(func(eid int, d *model.IntervalData) {
+			oe := out.FindIntervalEvent(events[eid].Name)
+			od := oth.IntervalData(oe.ID, nm)
+			od.NumCalls = d.NumCalls / n
+			od.NumSubrs = d.NumSubrs / n
+			for m := range d.PerMetric {
+				od.PerMetric[m] = model.MetricData{
+					Inclusive: d.PerMetric[m].Inclusive / n,
+					Exclusive: d.PerMetric[m].Exclusive / n,
+				}
+			}
+		})
+	}
+	return out, nil
+}
+
+// Regression is one event whose cost grew from one trial to the next —
+// the automated performance regression analysis the paper's §6 motivates
+// (Karavanic & Miller's multi-execution comparison).
+type Regression struct {
+	FromTrial int64
+	ToTrial   int64
+	Event     string
+	Before    float64 // mean exclusive in the earlier trial
+	After     float64 // mean exclusive in the later trial
+	Growth    float64 // After/Before - 1
+}
+
+// DetectRegressions walks trials in the given order (e.g. by date or
+// version) and reports events whose mean exclusive value grew by more
+// than threshold (0.1 = 10%) between consecutive trials, ignoring events
+// below minShare of the earlier trial's total (noise floor).
+func DetectRegressions(s *core.DataSession, trials []*core.Trial, metric string, threshold, minShare float64) ([]Regression, error) {
+	if threshold <= 0 {
+		threshold = 0.1
+	}
+	var out []Regression
+	for i := 1; i < len(trials); i++ {
+		prev, cur := trials[i-1], trials[i]
+		cmp, err := CompareTrials(s, prev, cur, metric)
+		if err != nil {
+			return nil, err
+		}
+		total := 0.0
+		for _, d := range cmp.Events {
+			total += d.MeanA
+		}
+		for _, d := range cmp.Events {
+			if d.MeanA <= 0 || (minShare > 0 && d.MeanA < minShare*total) {
+				continue
+			}
+			growth := d.MeanB/d.MeanA - 1
+			if growth > threshold {
+				out = append(out, Regression{
+					FromTrial: cmp.TrialA, ToTrial: cmp.TrialB,
+					Event: d.Name, Before: d.MeanA, After: d.MeanB, Growth: growth,
+				})
+			}
+		}
+	}
+	return out, nil
+}

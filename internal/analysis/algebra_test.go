@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/model"
+	"perfdmf/internal/synth"
+)
+
+// smallProfile builds a 2-thread, 1-metric profile with the given values
+// for events "f" and "g".
+func smallProfile(name string, f, g float64) *model.Profile {
+	p := model.New(name)
+	m := p.AddMetric("TIME")
+	ef := p.AddIntervalEvent("f", "APP")
+	eg := p.AddIntervalEvent("g", "APP")
+	for n := 0; n < 2; n++ {
+		th := p.Thread(n, 0, 0)
+		d := th.IntervalData(ef.ID, 1)
+		d.NumCalls = 10
+		d.PerMetric[m] = model.MetricData{Inclusive: f, Exclusive: f}
+		d2 := th.IntervalData(eg.ID, 1)
+		d2.NumCalls = 5
+		d2.PerMetric[m] = model.MetricData{Inclusive: g, Exclusive: g}
+	}
+	return p
+}
+
+func cell(t *testing.T, p *model.Profile, node int, event string) model.MetricData {
+	t.Helper()
+	e := p.FindIntervalEvent(event)
+	if e == nil {
+		t.Fatalf("no event %q", event)
+	}
+	d := p.FindThread(node, 0, 0).FindIntervalData(e.ID)
+	if d == nil {
+		t.Fatalf("no data for %q on node %d", event, node)
+	}
+	return d.PerMetric[p.MetricID("TIME")]
+}
+
+func TestAlgebraAdd(t *testing.T) {
+	a := smallProfile("a", 10, 20)
+	b := smallProfile("b", 1, 2)
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, sum, 0, "f").Exclusive; got != 11 {
+		t.Fatalf("f sum = %g", got)
+	}
+	if got := cell(t, sum, 1, "g").Exclusive; got != 22 {
+		t.Fatalf("g sum = %g", got)
+	}
+	if sum.Name != "a+b" {
+		t.Fatalf("name: %q", sum.Name)
+	}
+}
+
+func TestAlgebraSubtract(t *testing.T) {
+	a := smallProfile("a", 10, 20)
+	b := smallProfile("b", 4, 25)
+	diff, err := Subtract(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, diff, 0, "f").Exclusive; got != 6 {
+		t.Fatalf("f diff = %g", got)
+	}
+	// Negative result preserved (b slower).
+	if got := cell(t, diff, 0, "g").Exclusive; got != -5 {
+		t.Fatalf("g diff = %g", got)
+	}
+}
+
+func TestAlgebraUnionSemantics(t *testing.T) {
+	a := smallProfile("a", 10, 20)
+	// b has an extra event and an extra thread.
+	b := smallProfile("b", 1, 2)
+	extra := b.AddIntervalEvent("h", "APP")
+	d := b.Thread(2, 0, 0).IntervalData(extra.ID, 1)
+	d.NumCalls = 1
+	d.PerMetric[0] = model.MetricData{Inclusive: 7, Exclusive: 7}
+
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a-only cell on thread 2? thread 2 only exists in b: h = 7 + nothing.
+	if got := cell(t, sum, 2, "h").Exclusive; got != 7 {
+		t.Fatalf("h on extra thread = %g", got)
+	}
+	// Subtract: a - b where the cell exists only in b → 0 - 7.
+	diff, err := Subtract(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, diff, 2, "h").Exclusive; got != -7 {
+		t.Fatalf("h in diff = %g", got)
+	}
+	// a-only cells get op(x, 0): unchanged under subtract.
+	if got := cell(t, diff, 0, "f").Exclusive; got != 9 {
+		t.Fatalf("f in diff = %g", got)
+	}
+}
+
+func TestAlgebraMean(t *testing.T) {
+	a := smallProfile("a", 10, 20)
+	b := smallProfile("b", 20, 40)
+	c := smallProfile("c", 30, 60)
+	mean, err := Mean(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cell(t, mean, 0, "f").Exclusive; math.Abs(got-20) > 1e-9 {
+		t.Fatalf("f mean = %g", got)
+	}
+	if got := cell(t, mean, 1, "g").Exclusive; math.Abs(got-40) > 1e-9 {
+		t.Fatalf("g mean = %g", got)
+	}
+	// Calls averaged too.
+	e := mean.FindIntervalEvent("f")
+	if calls := mean.FindThread(0, 0, 0).FindIntervalData(e.ID).NumCalls; math.Abs(calls-10) > 1e-9 {
+		t.Fatalf("calls mean = %g", calls)
+	}
+	if _, err := Mean(); err == nil {
+		t.Fatal("Mean() with no profiles accepted")
+	}
+	single, err := Mean(a)
+	if err != nil || cell(t, single, 0, "f").Exclusive != 10 {
+		t.Fatalf("Mean(a): %v", err)
+	}
+}
+
+// Property-style check: Subtract(Add(a,b), b) == a on congruent profiles.
+func TestAlgebraAddSubtractInverse(t *testing.T) {
+	a := smallProfile("a", 12.5, 7.25)
+	b := smallProfile("b", 3.25, 1.5)
+	sum, err := Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Subtract(sum, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, node := range []int{0, 1} {
+		for _, ev := range []string{"f", "g"} {
+			w := cell(t, a, node, ev)
+			g := cell(t, back, node, ev)
+			if math.Abs(w.Exclusive-g.Exclusive) > 1e-9 {
+				t.Fatalf("%s node %d: %g vs %g", ev, node, g.Exclusive, w.Exclusive)
+			}
+		}
+	}
+}
+
+func TestDetectRegressions(t *testing.T) {
+	sessCounter++
+	s, err := core.Open("mem:regress_test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	app := &core.Application{Name: "app"}
+	s.SaveApplication(app)
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "versions"}
+	s.SaveExperiment(exp)
+	s.SetExperiment(exp)
+
+	// Three "versions": v2 regresses SWEEPX by 50%; v3 is flat.
+	routines := synth.DefaultEVH1Routines()
+	upload := func(name string, scale map[string]float64) *core.Trial {
+		rs := make([]synth.ScalingRoutine, len(routines))
+		copy(rs, routines)
+		for i := range rs {
+			if f, ok := scale[rs[i].Name]; ok {
+				rs[i].Parallel *= f
+				rs[i].Serial *= f
+			}
+		}
+		p := synth.ScalingSeries(synth.ScalingConfig{Procs: []int{8}, Seed: 3, Routines: rs})[0]
+		p.Name = name
+		trial, err := s.UploadTrial(p, core.UploadOptions{TrialName: name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trial
+	}
+	t1 := upload("v1", nil)
+	t2 := upload("v2", map[string]float64{"SWEEPX": 1.5})
+	t3 := upload("v3", map[string]float64{"SWEEPX": 1.5})
+
+	regs, err := DetectRegressions(s, []*core.Trial{t1, t2, t3}, "TIME", 0.2, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions: %+v", regs)
+	}
+	r := regs[0]
+	if r.Event != "SWEEPX" || r.FromTrial != t1.ID || r.ToTrial != t2.ID {
+		t.Fatalf("regression: %+v", r)
+	}
+	if r.Growth < 0.4 || r.Growth > 0.6 {
+		t.Fatalf("growth = %g, want ≈ 0.5", r.Growth)
+	}
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"perfdmf/internal/core"
+)
+
+// EventDelta is one event's change between two trials, computed from the
+// mean summary tables.
+type EventDelta struct {
+	Name      string
+	Group     string
+	MeanA     float64 // mean exclusive in trial A
+	MeanB     float64 // mean exclusive in trial B
+	Delta     float64 // MeanB - MeanA
+	Ratio     float64 // MeanB / MeanA (0 when MeanA is 0)
+	OnlyInA   bool
+	OnlyInB   bool
+	PctOfA    float64 // exclusive percentage in A
+	PctOfB    float64 // exclusive percentage in B
+	PctChange float64 // PctOfB - PctOfA
+}
+
+// Comparison is the result of CompareTrials.
+type Comparison struct {
+	Metric string
+	TrialA int64
+	TrialB int64
+	Events []EventDelta // sorted by |Delta| descending
+}
+
+// CompareTrials diffs two trials' mean profiles for one metric — the basic
+// cross-trial operation the paper's toolkit provides ("rudimentary
+// multi-trial analysis, including performance comparisons").
+func CompareTrials(s *core.DataSession, trialA, trialB *core.Trial, metric string) (*Comparison, error) {
+	prev := s.Trial()
+	defer s.SetTrial(prev)
+
+	s.SetTrial(trialA)
+	rowsA, err := s.MeanSummary(metric)
+	if err != nil {
+		return nil, err
+	}
+	s.SetTrial(trialB)
+	rowsB, err := s.MeanSummary(metric)
+	if err != nil {
+		return nil, err
+	}
+	if len(rowsA) == 0 || len(rowsB) == 0 {
+		return nil, fmt.Errorf("analysis: one of the trials has no %s summary", metric)
+	}
+
+	byName := make(map[string]*EventDelta)
+	for _, r := range rowsA {
+		byName[r.EventName] = &EventDelta{
+			Name: r.EventName, Group: r.Group,
+			MeanA: r.Exclusive, PctOfA: r.ExclPct, OnlyInA: true,
+		}
+	}
+	for _, r := range rowsB {
+		d := byName[r.EventName]
+		if d == nil {
+			d = &EventDelta{Name: r.EventName, Group: r.Group, OnlyInB: true}
+			byName[r.EventName] = d
+		} else {
+			d.OnlyInA = false
+		}
+		d.MeanB = r.Exclusive
+		d.PctOfB = r.ExclPct
+	}
+	cmp := &Comparison{Metric: metric, TrialA: trialA.ID, TrialB: trialB.ID}
+	for _, d := range byName {
+		d.Delta = d.MeanB - d.MeanA
+		if d.MeanA != 0 {
+			d.Ratio = d.MeanB / d.MeanA
+		}
+		d.PctChange = d.PctOfB - d.PctOfA
+		cmp.Events = append(cmp.Events, *d)
+	}
+	sort.Slice(cmp.Events, func(i, j int) bool {
+		ai, aj := abs(cmp.Events[i].Delta), abs(cmp.Events[j].Delta)
+		if ai != aj {
+			return ai > aj
+		}
+		return cmp.Events[i].Name < cmp.Events[j].Name
+	})
+	return cmp, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// TopEvents returns a trial's n most expensive events by mean exclusive
+// value (the ParaProf-style "hot spots" list), straight from the summary
+// table.
+func TopEvents(s *core.DataSession, trial *core.Trial, metric string, n int) ([]core.SummaryRow, error) {
+	prev := s.Trial()
+	defer s.SetTrial(prev)
+	s.SetTrial(trial)
+	rows, err := s.MeanSummary(metric)
+	if err != nil {
+		return nil, err
+	}
+	if n < len(rows) {
+		rows = rows[:n]
+	}
+	return rows, nil
+}
+
+// GroupBreakdown aggregates a trial's mean exclusive time by event group
+// (computation vs MPI etc.), using SQL grouping.
+func GroupBreakdown(s *core.DataSession, trial *core.Trial, metric string) (map[string]float64, error) {
+	rows, err := s.Conn().Query(`
+		SELECT e.group_name, SUM(t.exclusive)
+		FROM interval_event e
+		JOIN interval_mean_summary t ON t.interval_event = e.id
+		JOIN metric m ON t.metric = m.id
+		WHERE e.trial = ? AND m.name = ?
+		GROUP BY e.group_name`, trial.ID, metric)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	out := make(map[string]float64)
+	for rows.Next() {
+		var group any
+		var sum float64
+		if err := rows.Scan(&group, &sum); err != nil {
+			return nil, err
+		}
+		g, _ := group.(string)
+		out[g] = sum
+	}
+	return out, rows.Err()
+}

@@ -1,0 +1,35 @@
+package analysis_test
+
+import (
+	"fmt"
+	"log"
+
+	"perfdmf/internal/analysis"
+	"perfdmf/internal/model"
+)
+
+// ExampleSubtract shows the CUBE-style profile algebra: the difference of
+// two congruent profiles isolates what changed between runs.
+func ExampleSubtract() {
+	mk := func(name string, value float64) *model.Profile {
+		p := model.New(name)
+		m := p.AddMetric("TIME")
+		e := p.AddIntervalEvent("solver()", "APP")
+		d := p.Thread(0, 0, 0).IntervalData(e.ID, 1)
+		d.NumCalls = 10
+		d.PerMetric[m] = model.MetricData{Inclusive: value, Exclusive: value}
+		return p
+	}
+	before := mk("v1", 120)
+	after := mk("v2", 150)
+
+	diff, err := analysis.Subtract(after, before)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := diff.FindIntervalEvent("solver()")
+	d := diff.FindThread(0, 0, 0).FindIntervalData(e.ID)
+	fmt.Printf("%s: solver() grew by %.0f\n", diff.Name, d.PerMetric[0].Exclusive)
+	// Output:
+	// v2-v1: solver() grew by 30
+}

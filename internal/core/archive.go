@@ -1,0 +1,193 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"perfdmf/internal/formats/xmlprof"
+)
+
+// Archive export/import: the paper's shared-repository story (§5.1: an
+// archive "could be made available in one physical location for all
+// analysts within an organization"). ExportArchive writes a portable
+// directory — a JSON manifest of the application/experiment/trial tree
+// plus one common-XML file per trial — and ImportArchive loads such a
+// directory into any other PerfDMF database, regardless of back end.
+
+// manifestFile is the archive's index file name.
+const manifestFile = "manifest.json"
+
+// Manifest is the portable archive index.
+type Manifest struct {
+	Version      int           `json:"version"`
+	Applications []ManifestApp `json:"applications"`
+}
+
+// ManifestApp is one application with its experiments.
+type ManifestApp struct {
+	Name        string         `json:"name"`
+	Fields      map[string]any `json:"fields,omitempty"`
+	Experiments []ManifestExp  `json:"experiments"`
+}
+
+// ManifestExp is one experiment with its trials.
+type ManifestExp struct {
+	Name   string          `json:"name"`
+	Fields map[string]any  `json:"fields,omitempty"`
+	Trials []ManifestTrial `json:"trials"`
+}
+
+// ManifestTrial points at one trial's XML file.
+type ManifestTrial struct {
+	Name string `json:"name"`
+	File string `json:"file"` // relative path of the XML export
+}
+
+// ExportArchive writes the whole database (or, when the session has an
+// application/experiment selected, that subtree) to dir.
+func ExportArchive(s *DataSession, dir string) (*Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	prevApp, prevExp, prevTrial := s.app, s.exp, s.trial
+	defer func() {
+		s.app, s.exp, s.trial = prevApp, prevExp, prevTrial
+	}()
+
+	var apps []*Application
+	if prevApp != nil {
+		apps = []*Application{prevApp}
+	} else {
+		var err error
+		s.SetApplication(nil)
+		apps, err = s.ApplicationList()
+		if err != nil {
+			return nil, err
+		}
+	}
+	m := &Manifest{Version: 1}
+	seq := 0
+	for _, app := range apps {
+		ma := ManifestApp{Name: app.Name, Fields: app.Fields}
+		s.SetApplication(app)
+		var exps []*Experiment
+		if prevExp != nil && prevExp.ApplicationID == app.ID {
+			exps = []*Experiment{prevExp}
+		} else if prevExp != nil {
+			continue
+		} else {
+			var err error
+			exps, err = s.ExperimentList()
+			if err != nil {
+				return nil, err
+			}
+		}
+		for _, exp := range exps {
+			me := ManifestExp{Name: exp.Name, Fields: exp.Fields}
+			s.SetExperiment(exp)
+			trials, err := s.TrialList()
+			if err != nil {
+				return nil, err
+			}
+			for _, trial := range trials {
+				p, err := s.LoadTrial(trial.ID)
+				if err != nil {
+					return nil, err
+				}
+				seq++
+				file := fmt.Sprintf("trial-%04d.xml", seq)
+				if err := xmlprof.Write(filepath.Join(dir, file), p); err != nil {
+					return nil, err
+				}
+				me.Trials = append(me.Trials, ManifestTrial{Name: trial.Name, File: file})
+			}
+			ma.Experiments = append(ma.Experiments, me)
+		}
+		m.Applications = append(m.Applications, ma)
+	}
+
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestFile), data, 0o644); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return m, nil
+}
+
+// ImportArchive loads an exported archive directory into the session's
+// database. Applications and experiments are matched by name (created if
+// absent); trials are always created anew. It returns the number of
+// trials imported.
+func ImportArchive(s *DataSession, dir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return 0, fmt.Errorf("core: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("core: bad manifest: %w", err)
+	}
+	if m.Version != 1 {
+		return 0, fmt.Errorf("core: unsupported archive version %d", m.Version)
+	}
+	prevApp, prevExp, prevTrial := s.app, s.exp, s.trial
+	defer func() {
+		s.app, s.exp, s.trial = prevApp, prevExp, prevTrial
+	}()
+
+	imported := 0
+	for _, ma := range m.Applications {
+		app, err := s.FindApplication(ma.Name)
+		if err != nil {
+			return imported, err
+		}
+		if app == nil {
+			app = &Application{Name: ma.Name, Fields: ma.Fields}
+			if app.Fields == nil {
+				app.Fields = map[string]any{}
+			}
+			if err := s.SaveApplication(app); err != nil {
+				return imported, err
+			}
+		}
+		s.SetApplication(app)
+		exps, err := s.ExperimentList()
+		if err != nil {
+			return imported, err
+		}
+		for _, me := range ma.Experiments {
+			var exp *Experiment
+			for _, e := range exps {
+				if e.Name == me.Name {
+					exp = e
+					break
+				}
+			}
+			if exp == nil {
+				exp = &Experiment{Name: me.Name, Fields: me.Fields}
+				if exp.Fields == nil {
+					exp.Fields = map[string]any{}
+				}
+				if err := s.SaveExperiment(exp); err != nil {
+					return imported, err
+				}
+			}
+			s.SetExperiment(exp)
+			for _, mt := range me.Trials {
+				p, err := xmlprof.Read(filepath.Join(dir, mt.File))
+				if err != nil {
+					return imported, fmt.Errorf("core: trial %q: %w", mt.Name, err)
+				}
+				if _, err := s.UploadTrial(p, UploadOptions{TrialName: mt.Name}); err != nil {
+					return imported, fmt.Errorf("core: trial %q: %w", mt.Name, err)
+				}
+				imported++
+			}
+		}
+	}
+	return imported, nil
+}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestArchiveExportImport(t *testing.T) {
+	src := openSession(t)
+	// Two applications, one with two experiments.
+	app1 := &Application{Name: "alpha", Fields: map[string]any{"version": "1.0"}}
+	if err := src.SaveApplication(app1); err != nil {
+		t.Fatal(err)
+	}
+	src.SetApplication(app1)
+	expA := &Experiment{Name: "expA"}
+	src.SaveExperiment(expA)
+	src.SetExperiment(expA)
+	src.UploadTrial(sampleProfile("t1"), UploadOptions{})
+	src.UploadTrial(sampleProfile("t2"), UploadOptions{})
+	expB := &Experiment{Name: "expB", ApplicationID: app1.ID}
+	src.SaveExperiment(expB)
+	src.SetExperiment(expB)
+	src.UploadTrial(sampleProfile("t3"), UploadOptions{})
+
+	app2 := &Application{Name: "beta"}
+	src.SaveApplication(app2)
+	src.SetApplication(app2)
+	expC := &Experiment{Name: "expC"}
+	src.SaveExperiment(expC)
+	src.SetExperiment(expC)
+	src.UploadTrial(sampleProfile("t4"), UploadOptions{})
+
+	// Export everything (clear the selection first).
+	src.SetApplication(nil)
+	dir := t.TempDir()
+	m, err := ExportArchive(src, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Applications) != 2 {
+		t.Fatalf("manifest apps: %+v", m)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "trial-*.xml"))
+	if len(files) != 4 {
+		t.Fatalf("trial files: %v", files)
+	}
+
+	// Import into a fresh database.
+	dst := openSession(t)
+	n, err := ImportArchive(dst, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("imported %d trials", n)
+	}
+	apps, err := dst.ApplicationList()
+	if err != nil || len(apps) != 2 {
+		t.Fatalf("apps: %v %v", apps, err)
+	}
+	if apps[0].Fields["version"] != "1.0" {
+		t.Fatalf("app fields lost: %v", apps[0].Fields)
+	}
+	dst.SetApplication(apps[0])
+	exps, _ := dst.ExperimentList()
+	if len(exps) != 2 {
+		t.Fatalf("experiments: %v", exps)
+	}
+	dst.SetExperiment(exps[0])
+	trials, _ := dst.TrialList()
+	if len(trials) != 2 || trials[0].Name != "t1" {
+		t.Fatalf("trials: %v", trials)
+	}
+	// Data intact: reload one trial and compare to the original.
+	orig := sampleProfile("t1")
+	got, err := dst.LoadTrial(trials[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DataPoints() != orig.DataPoints() || got.NumThreads() != orig.NumThreads() {
+		t.Fatalf("trial data: %d/%d points, %d/%d threads",
+			got.DataPoints(), orig.DataPoints(), got.NumThreads(), orig.NumThreads())
+	}
+
+	// Idempotent-ish re-import: same apps/experiments reused, trials added.
+	n, err = ImportArchive(dst, dir)
+	if err != nil || n != 4 {
+		t.Fatalf("second import: %d %v", n, err)
+	}
+	apps, _ = dst.ApplicationList()
+	if len(apps) != 2 {
+		t.Fatalf("apps duplicated: %v", apps)
+	}
+	dst.SetApplication(apps[0])
+	dst.SetExperiment(nil)
+	exps, _ = dst.ExperimentList()
+	if len(exps) != 2 {
+		t.Fatalf("experiments duplicated: %v", exps)
+	}
+}
+
+func TestArchiveScopedExport(t *testing.T) {
+	s := openSession(t)
+	setupTrial(t, s, sampleProfile("scoped"))
+	other := &Application{Name: "other"}
+	s.SaveApplication(other)
+	s.SetApplication(other)
+	oexp := &Experiment{Name: "oe"}
+	s.SaveExperiment(oexp)
+	s.SetExperiment(oexp)
+	s.UploadTrial(sampleProfile("unwanted"), UploadOptions{})
+
+	// Select only the first application and export.
+	app, _ := s.FindApplication("testapp")
+	s.SetApplication(app)
+	dir := t.TempDir()
+	m, err := ExportArchive(s, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Applications) != 1 || m.Applications[0].Name != "testapp" {
+		t.Fatalf("scoped manifest: %+v", m)
+	}
+}
+
+func TestImportArchiveErrors(t *testing.T) {
+	s := openSession(t)
+	if _, err := ImportArchive(s, t.TempDir()); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("{not json"), 0o644)
+	if _, err := ImportArchive(s, dir); err == nil {
+		t.Error("bad manifest accepted")
+	}
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{"version": 9}`), 0o644)
+	if _, err := ImportArchive(s, dir); err == nil {
+		t.Error("future version accepted")
+	}
+	// Manifest referencing a missing trial file.
+	os.WriteFile(filepath.Join(dir, "manifest.json"), []byte(`{
+		"version": 1,
+		"applications": [{"name": "a", "experiments": [
+			{"name": "e", "trials": [{"name": "t", "file": "nope.xml"}]}
+		]}]
+	}`), 0o644)
+	if _, err := ImportArchive(s, dir); err == nil {
+		t.Error("missing trial file accepted")
+	}
+}

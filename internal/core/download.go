@@ -1,0 +1,359 @@
+package core
+
+import (
+	"fmt"
+
+	"perfdmf/internal/model"
+)
+
+// LoadTrial reconstructs a trial's full parallel profile from the
+// database. Event and metric IDs in the returned profile are the model's
+// own; names match the stored catalogs exactly.
+func (s *DataSession) LoadTrial(trialID int64) (*model.Profile, error) {
+	rows, err := s.conn.Query("SELECT name, metadata FROM trial WHERE id = ?", trialID)
+	if err != nil {
+		return nil, err
+	}
+	if !rows.Next() {
+		rows.Close()
+		return nil, fmt.Errorf("core: no trial %d", trialID)
+	}
+	var name string
+	var meta any
+	if err := rows.Scan(&name, &meta); err != nil {
+		rows.Close()
+		return nil, err
+	}
+	rows.Close()
+	p := model.New(name)
+	if ms, ok := meta.(string); ok && ms != "" {
+		for k, v := range decodeMeta(ms) {
+			p.Meta[k] = v
+		}
+	}
+
+	// Catalogs, with database-ID → model-ID maps.
+	metricOf := make(map[int64]int)
+	rows, err = s.conn.Query("SELECT id, name, derived FROM metric WHERE trial = ? ORDER BY id", trialID)
+	if err != nil {
+		return nil, err
+	}
+	for rows.Next() {
+		var id int64
+		var mname string
+		var derived bool
+		if err := rows.Scan(&id, &mname, &derived); err != nil {
+			rows.Close()
+			return nil, err
+		}
+		mid := p.AddMetric(mname)
+		if derived {
+			p.SetDerived(mid)
+		}
+		metricOf[id] = mid
+	}
+	rows.Close()
+
+	eventOf := make(map[int64]int)
+	rows, err = s.conn.Query("SELECT id, name, group_name FROM interval_event WHERE trial = ? ORDER BY id", trialID)
+	if err != nil {
+		return nil, err
+	}
+	var eventDBIDs []int64
+	for rows.Next() {
+		var id int64
+		var ename string
+		var group any
+		if err := rows.Scan(&id, &ename, &group); err != nil {
+			rows.Close()
+			return nil, err
+		}
+		g, _ := group.(string)
+		eventOf[id] = p.AddIntervalEvent(ename, g).ID
+		eventDBIDs = append(eventDBIDs, id)
+	}
+	rows.Close()
+
+	// Location profiles, one indexed query per event (the ix_ilp_event
+	// index makes each a point lookup).
+	nm := len(p.Metrics())
+	stmt, err := s.conn.Prepare(`SELECT node, context, thread, metric,
+		inclusive, exclusive, call, subroutines
+		FROM interval_location_profile WHERE interval_event = ?`)
+	if err != nil {
+		return nil, err
+	}
+	for _, dbEvent := range eventDBIDs {
+		rs, err := stmt.Query(dbEvent)
+		if err != nil {
+			return nil, err
+		}
+		mid := eventOf[dbEvent]
+		for rs.Next() {
+			var node, context, thread, metric int64
+			var incl, excl, calls, subrs float64
+			if err := rs.Scan(&node, &context, &thread, &metric, &incl, &excl, &calls, &subrs); err != nil {
+				rs.Close()
+				return nil, err
+			}
+			mm, ok := metricOf[metric]
+			if !ok {
+				rs.Close()
+				return nil, fmt.Errorf("core: profile row references unknown metric %d", metric)
+			}
+			th := p.Thread(int(node), int(context), int(thread))
+			d := th.IntervalData(mid, nm)
+			d.NumCalls = calls
+			d.NumSubrs = subrs
+			d.PerMetric[mm] = model.MetricData{Inclusive: incl, Exclusive: excl}
+		}
+		if err := rs.Err(); err != nil {
+			return nil, err
+		}
+		rs.Close()
+	}
+	stmt.Close()
+
+	// Atomic events.
+	rows, err = s.conn.Query("SELECT id, name, group_name FROM atomic_event WHERE trial = ? ORDER BY id", trialID)
+	if err != nil {
+		return nil, err
+	}
+	atomicOf := make(map[int64]int)
+	var atomicDBIDs []int64
+	for rows.Next() {
+		var id int64
+		var ename string
+		var group any
+		if err := rows.Scan(&id, &ename, &group); err != nil {
+			rows.Close()
+			return nil, err
+		}
+		g, _ := group.(string)
+		atomicOf[id] = p.AddAtomicEvent(ename, g).ID
+		atomicDBIDs = append(atomicDBIDs, id)
+	}
+	rows.Close()
+	if len(atomicDBIDs) > 0 {
+		astmt, err := s.conn.Prepare(`SELECT node, context, thread,
+			sample_count, maximum_value, minimum_value, mean_value, standard_deviation
+			FROM atomic_location_profile WHERE atomic_event = ?`)
+		if err != nil {
+			return nil, err
+		}
+		for _, dbEvent := range atomicDBIDs {
+			rs, err := astmt.Query(dbEvent)
+			if err != nil {
+				return nil, err
+			}
+			aid := atomicOf[dbEvent]
+			for rs.Next() {
+				var node, context, thread, count int64
+				var max, min, mean, stddev float64
+				if err := rs.Scan(&node, &context, &thread, &count, &max, &min, &mean, &stddev); err != nil {
+					rs.Close()
+					return nil, err
+				}
+				d := p.Thread(int(node), int(context), int(thread)).AtomicData(aid)
+				d.SampleCount = count
+				d.Maximum = max
+				d.Minimum = min
+				d.Mean = mean
+				// Reconstruct the sum of squares from the stored deviation.
+				n := float64(count)
+				d.SumSqr = (stddev*stddev + mean*mean) * n
+			}
+			if err := rs.Err(); err != nil {
+				return nil, err
+			}
+			rs.Close()
+		}
+		astmt.Close()
+	}
+	return p, nil
+}
+
+// SummaryRow is one event's aggregate data from a summary table.
+type SummaryRow struct {
+	EventID   int64
+	EventName string
+	Group     string
+	Inclusive float64
+	Exclusive float64
+	Calls     float64
+	Subrs     float64
+	ExclPct   float64
+	InclPct   float64
+}
+
+// MeanSummary returns the selected trial's INTERVAL_MEAN_SUMMARY rows for
+// one metric (by name), sorted by descending exclusive value — the data
+// behind a ParaProf-style mean profile view, fetched without loading the
+// full trial (paper §4: "selectively query the data without having to load
+// entire (possibly large) trials").
+func (s *DataSession) MeanSummary(metricName string) ([]SummaryRow, error) {
+	return s.summary("interval_mean_summary", metricName)
+}
+
+// TotalSummary returns the selected trial's INTERVAL_TOTAL_SUMMARY rows
+// for one metric.
+func (s *DataSession) TotalSummary(metricName string) ([]SummaryRow, error) {
+	return s.summary("interval_total_summary", metricName)
+}
+
+func (s *DataSession) summary(table, metricName string) ([]SummaryRow, error) {
+	trialID, err := s.currentTrialID()
+	if err != nil {
+		return nil, err
+	}
+	// interval_event is the base table so its trial index drives the plan;
+	// the summary and metric tables hash-join onto it.
+	rows, err := s.conn.Query(`
+		SELECT e.id, e.name, e.group_name, t.inclusive, t.exclusive,
+		       t.call, t.subroutines, t.exclusive_percentage, t.inclusive_percentage
+		FROM interval_event e
+		JOIN `+table+` t ON t.interval_event = e.id
+		JOIN metric m ON t.metric = m.id
+		WHERE e.trial = ? AND m.name = ?
+		ORDER BY t.exclusive DESC`, trialID, metricName)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []SummaryRow
+	for rows.Next() {
+		var r SummaryRow
+		var group any
+		if err := rows.Scan(&r.EventID, &r.EventName, &group, &r.Inclusive,
+			&r.Exclusive, &r.Calls, &r.Subrs, &r.ExclPct, &r.InclPct); err != nil {
+			return nil, err
+		}
+		if g, ok := group.(string); ok {
+			r.Group = g
+		}
+		out = append(out, r)
+	}
+	return out, rows.Err()
+}
+
+// EventProfile returns the per-thread rows of one event and metric from
+// INTERVAL_LOCATION_PROFILE — ParaProf's "compare one instrumented event
+// across all threads of execution" view.
+type EventProfileRow struct {
+	Node, Context, Thread int64
+	Inclusive, Exclusive  float64
+	Calls                 float64
+}
+
+// EventProfile fetches the per-thread data of one event (by database id)
+// and metric name for the selected trial.
+func (s *DataSession) EventProfile(eventID int64, metricName string) ([]EventProfileRow, error) {
+	trialID, err := s.currentTrialID()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := s.conn.Query(`
+		SELECT p.node, p.context, p.thread, p.inclusive, p.exclusive, p.call
+		FROM interval_location_profile p
+		JOIN metric m ON p.metric = m.id
+		WHERE p.interval_event = ? AND m.name = ? AND m.trial = ?
+		ORDER BY p.node, p.context, p.thread`, eventID, metricName, trialID)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []EventProfileRow
+	for rows.Next() {
+		var r EventProfileRow
+		if err := rows.Scan(&r.Node, &r.Context, &r.Thread, &r.Inclusive, &r.Exclusive, &r.Calls); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, rows.Err()
+}
+
+// SaveAnalysisResult stores an analysis artifact (e.g. PerfExplorer
+// cluster output) attached to a trial; the paper's PerfExplorer extends
+// PerfDMF exactly this way.
+func (s *DataSession) SaveAnalysisResult(trialID int64, name, method, result string) (int64, error) {
+	res, err := s.conn.Exec(
+		"INSERT INTO analysis_result (trial, name, method, result) VALUES (?, ?, ?, ?)",
+		trialID, name, method, result)
+	if err != nil {
+		return 0, err
+	}
+	return res.LastInsertID, nil
+}
+
+// AnalysisResult is one stored analysis artifact.
+type AnalysisResult struct {
+	ID      int64
+	TrialID int64
+	Name    string
+	Method  string
+	Result  string
+}
+
+// AnalysisResults lists the artifacts stored for a trial.
+func (s *DataSession) AnalysisResults(trialID int64) ([]AnalysisResult, error) {
+	rows, err := s.conn.Query(
+		"SELECT id, name, method, result FROM analysis_result WHERE trial = ? ORDER BY id", trialID)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []AnalysisResult
+	for rows.Next() {
+		r := AnalysisResult{TrialID: trialID}
+		var method, result any
+		if err := rows.Scan(&r.ID, &r.Name, &method, &result); err != nil {
+			return nil, err
+		}
+		if m, ok := method.(string); ok {
+			r.Method = m
+		}
+		if v, ok := result.(string); ok {
+			r.Result = v
+		}
+		out = append(out, r)
+	}
+	return out, rows.Err()
+}
+
+// AtomicProfileRow is one (atomic event, thread) record from
+// ATOMIC_LOCATION_PROFILE.
+type AtomicProfileRow struct {
+	Node, Context, Thread int64
+	SampleCount           int64
+	Maximum, Minimum      float64
+	Mean, StdDev          float64
+}
+
+// AtomicProfile fetches the per-thread statistics of one atomic event (by
+// database id) for the selected trial.
+func (s *DataSession) AtomicProfile(eventID int64) ([]AtomicProfileRow, error) {
+	if _, err := s.currentTrialID(); err != nil {
+		return nil, err
+	}
+	rows, err := s.conn.Query(`
+		SELECT node, context, thread, sample_count,
+		       maximum_value, minimum_value, mean_value, standard_deviation
+		FROM atomic_location_profile
+		WHERE atomic_event = ?
+		ORDER BY node, context, thread`, eventID)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []AtomicProfileRow
+	for rows.Next() {
+		var r AtomicProfileRow
+		if err := rows.Scan(&r.Node, &r.Context, &r.Thread, &r.SampleCount,
+			&r.Maximum, &r.Minimum, &r.Mean, &r.StdDev); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, rows.Err()
+}

@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/model"
+)
+
+// Example walks the canonical PerfDMF flow: open an archive, create the
+// application/experiment context, upload a parsed profile, and query the
+// mean summary back without reloading the whole trial.
+func Example() {
+	s, err := core.Open("mem:example_basic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+
+	app := &core.Application{Name: "sweep3d"}
+	if err := s.SaveApplication(app); err != nil {
+		log.Fatal(err)
+	}
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "tuning"}
+	if err := s.SaveExperiment(exp); err != nil {
+		log.Fatal(err)
+	}
+	s.SetExperiment(exp)
+
+	// A profile as a format parser would produce it.
+	p := model.New("run-1")
+	tm := p.AddMetric("TIME")
+	ev := p.AddIntervalEvent("sweep()", "TAU_USER")
+	for rank := 0; rank < 4; rank++ {
+		d := p.Thread(rank, 0, 0).IntervalData(ev.ID, 1)
+		d.NumCalls = 100
+		d.PerMetric[tm] = model.MetricData{Inclusive: 1e6, Exclusive: 1e6}
+	}
+
+	trial, err := s.UploadTrial(p, core.UploadOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s.SetTrial(trial)
+	rows, err := s.MeanSummary("TIME")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trial %d: %s mean exclusive %.0f over %d nodes\n",
+		trial.ID, rows[0].EventName, rows[0].Exclusive, trial.NodeCount())
+	// Output:
+	// trial 1: sweep() mean exclusive 1000000 over 4 nodes
+}

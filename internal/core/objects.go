@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"perfdmf/internal/godbc"
+)
+
+// Application, Experiment and Trial mirror the top three schema tables.
+// Beyond the fixed columns (ID, Name, and the foreign key), every other
+// column — including ones added later with ALTER TABLE — lives in Fields,
+// keyed by lower-cased column name. This is the paper's flexible-schema
+// mechanism: the column set is discovered from connection metadata at save
+// and load time, so "the analysis team is free to organize the performance
+// attribute data in any way they like" without code changes.
+
+// Application is one row of the APPLICATION table.
+type Application struct {
+	ID     int64
+	Name   string
+	Fields map[string]any
+}
+
+// Experiment is one row of the EXPERIMENT table.
+type Experiment struct {
+	ID            int64
+	ApplicationID int64
+	Name          string
+	Fields        map[string]any
+}
+
+// Trial is one row of the TRIAL table. The profile statistics columns
+// (node_count etc.) are stored in Fields like any other flexible column;
+// convenience accessors cover the common ones.
+type Trial struct {
+	ID           int64
+	ExperimentID int64
+	Name         string
+	Fields       map[string]any
+}
+
+// NodeCount returns the trial's node_count column (0 when absent).
+func (t *Trial) NodeCount() int64 { return fieldInt(t.Fields, "node_count") }
+
+// ContextsPerNode returns the trial's contexts_per_node column.
+func (t *Trial) ContextsPerNode() int64 { return fieldInt(t.Fields, "contexts_per_node") }
+
+// MaxThreadsPerContext returns the trial's max_threads_per_context column.
+func (t *Trial) MaxThreadsPerContext() int64 { return fieldInt(t.Fields, "max_threads_per_context") }
+
+func fieldInt(fields map[string]any, key string) int64 {
+	switch v := fields[key].(type) {
+	case int64:
+		return v
+	case int:
+		return int64(v)
+	case float64:
+		return int64(v)
+	}
+	return 0
+}
+
+// Metric is one row of the METRIC table.
+type Metric struct {
+	ID      int64
+	TrialID int64
+	Name    string
+	Derived bool
+}
+
+// IntervalEvent is one row of the INTERVAL_EVENT table.
+type IntervalEvent struct {
+	ID      int64
+	TrialID int64
+	Name    string
+	Group   string
+}
+
+// AtomicEvent is one row of the ATOMIC_EVENT table.
+type AtomicEvent struct {
+	ID      int64
+	TrialID int64
+	Name    string
+	Group   string
+}
+
+// flexColumns returns the table's column names (lower-cased) other than
+// the fixed id column, split into those the caller provided values for.
+func flexColumns(conn godbc.Conn, table string, fixed map[string]bool, fields map[string]any) (cols []string, vals []any, err error) {
+	infos, err := conn.MetaData().Columns(table)
+	if err != nil {
+		return nil, nil, err
+	}
+	known := make(map[string]bool, len(infos))
+	for _, ci := range infos {
+		known[strings.ToLower(ci.Name)] = true
+	}
+	for key := range fields {
+		if !known[strings.ToLower(key)] {
+			return nil, nil, fmt.Errorf("core: table %s has no column %q (add it with ALTER TABLE first)", table, key)
+		}
+	}
+	keys := make([]string, 0, len(fields))
+	for key := range fields {
+		lower := strings.ToLower(key)
+		if fixed[lower] {
+			continue
+		}
+		keys = append(keys, lower)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		cols = append(cols, key)
+		vals = append(vals, fields[key])
+	}
+	return cols, vals, nil
+}
+
+// loadFields populates a Fields map from a result row, skipping the fixed
+// columns.
+func loadFields(rows godbc.Rows, fixed map[string]bool) map[string]any {
+	fields := make(map[string]any)
+	for i, col := range rows.Columns() {
+		lower := strings.ToLower(col)
+		if fixed[lower] {
+			continue
+		}
+		if v := rows.Value(i); v != nil {
+			fields[lower] = v
+		}
+	}
+	return fields
+}

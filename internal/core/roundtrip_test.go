@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"perfdmf/internal/model"
+)
+
+// randomProfile builds a randomized but valid profile: random thread
+// topology, sparse event coverage, random metrics and atomic events.
+func randomProfile(rng *rand.Rand, id int) *model.Profile {
+	p := model.New(fmt.Sprintf("fuzz-%d", id))
+	nMetrics := 1 + rng.Intn(3)
+	for m := 0; m < nMetrics; m++ {
+		p.AddMetric(fmt.Sprintf("M%d", m))
+	}
+	nEvents := 1 + rng.Intn(6)
+	events := make([]*model.IntervalEvent, nEvents)
+	for e := 0; e < nEvents; e++ {
+		events[e] = p.AddIntervalEvent(fmt.Sprintf("event %d [{f.c} {%d}]", e, e*7), "G")
+	}
+	var atomics []*model.AtomicEvent
+	for a := 0; a < rng.Intn(3); a++ {
+		atomics = append(atomics, p.AddAtomicEvent(fmt.Sprintf("counter %d", a), "UE"))
+	}
+	nodes := 1 + rng.Intn(4)
+	for n := 0; n < nodes; n++ {
+		contexts := 1 + rng.Intn(2)
+		for c := 0; c < contexts; c++ {
+			threads := 1 + rng.Intn(2)
+			for t := 0; t < threads; t++ {
+				th := p.Thread(n, c, t)
+				for _, e := range events {
+					if rng.Float64() < 0.3 {
+						continue // sparse coverage
+					}
+					d := th.IntervalData(e.ID, nMetrics)
+					d.NumCalls = float64(rng.Intn(1000))
+					d.NumSubrs = float64(rng.Intn(100))
+					for m := 0; m < nMetrics; m++ {
+						incl := rng.Float64() * 1e6
+						d.PerMetric[m] = model.MetricData{
+							Inclusive: incl,
+							Exclusive: incl * rng.Float64(),
+						}
+					}
+				}
+				for _, a := range atomics {
+					if rng.Float64() < 0.5 {
+						continue
+					}
+					ad := th.AtomicData(a.ID)
+					ad.SampleCount = int64(1 + rng.Intn(1000))
+					ad.Minimum = rng.Float64() * 10
+					ad.Maximum = ad.Minimum + rng.Float64()*1000
+					ad.Mean = (ad.Minimum + ad.Maximum) / 2
+					ad.SumSqr = ad.Mean * ad.Mean * float64(ad.SampleCount) * (1 + rng.Float64())
+				}
+			}
+		}
+	}
+	return p
+}
+
+// TestUploadDownloadFuzz round-trips randomized profiles through the
+// database and verifies every measurement survives exactly (atomic sumsqr
+// is reconstructed from the stored stddev, so it gets a tolerance).
+func TestUploadDownloadFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(2005))
+	s := openSession(t)
+	app := &Application{Name: "fuzz"}
+	if err := s.SaveApplication(app); err != nil {
+		t.Fatal(err)
+	}
+	s.SetApplication(app)
+	exp := &Experiment{Name: "fuzz"}
+	if err := s.SaveExperiment(exp); err != nil {
+		t.Fatal(err)
+	}
+	s.SetExperiment(exp)
+
+	for i := 0; i < 25; i++ {
+		p := randomProfile(rng, i)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("case %d: generator produced invalid profile: %v", i, err)
+		}
+		trial, err := s.UploadTrial(p, UploadOptions{BatchSize: 1 + rng.Intn(100)})
+		if err != nil {
+			t.Fatalf("case %d: upload: %v", i, err)
+		}
+		got, err := s.LoadTrial(trial.ID)
+		if err != nil {
+			t.Fatalf("case %d: load: %v", i, err)
+		}
+		compareFuzz(t, i, p, got)
+	}
+}
+
+func compareFuzz(t *testing.T, caseID int, want, got *model.Profile) {
+	t.Helper()
+	// Threads are materialized by their profile rows, so threads with no
+	// data at all do not survive a round trip (there is no THREAD table in
+	// the schema — faithful to PerfDMF). Compare against the non-empty
+	// thread count.
+	nonEmpty := 0
+	for _, th := range want.Threads() {
+		empty := true
+		th.EachInterval(func(int, *model.IntervalData) { empty = false })
+		th.EachAtomic(func(int, *model.AtomicData) { empty = false })
+		if !empty {
+			nonEmpty++
+		}
+	}
+	if got.NumThreads() != nonEmpty {
+		t.Fatalf("case %d: threads %d vs %d non-empty", caseID, got.NumThreads(), nonEmpty)
+	}
+	if len(got.Metrics()) != len(want.Metrics()) {
+		t.Fatalf("case %d: metrics %d vs %d", caseID, len(got.Metrics()), len(want.Metrics()))
+	}
+	for _, wth := range want.Threads() {
+		gth := got.FindThread(wth.ID.Node, wth.ID.Context, wth.ID.Thread)
+		// Threads with no data at all are not materialized on reload; that
+		// is acceptable only if the source thread was empty.
+		if gth == nil {
+			empty := true
+			wth.EachInterval(func(int, *model.IntervalData) { empty = false })
+			wth.EachAtomic(func(int, *model.AtomicData) { empty = false })
+			if !empty {
+				t.Fatalf("case %d: lost non-empty thread %v", caseID, wth.ID)
+			}
+			continue
+		}
+		wEvents := want.IntervalEvents()
+		wth.EachInterval(func(eid int, wd *model.IntervalData) {
+			ge := got.FindIntervalEvent(wEvents[eid].Name)
+			if ge == nil {
+				t.Fatalf("case %d: lost event %q", caseID, wEvents[eid].Name)
+			}
+			gd := gth.FindIntervalData(ge.ID)
+			if gd == nil {
+				t.Fatalf("case %d: lost data for %q on %v", caseID, wEvents[eid].Name, wth.ID)
+			}
+			if gd.NumCalls != wd.NumCalls || gd.NumSubrs != wd.NumSubrs {
+				t.Fatalf("case %d: calls/subrs differ for %q", caseID, wEvents[eid].Name)
+			}
+			for _, wm := range want.Metrics() {
+				gm := got.MetricID(wm.Name)
+				if gd.PerMetric[gm] != wd.PerMetric[wm.ID] {
+					t.Fatalf("case %d: %q/%s: %+v vs %+v", caseID, wEvents[eid].Name,
+						wm.Name, gd.PerMetric[gm], wd.PerMetric[wm.ID])
+				}
+			}
+		})
+		wAtomics := want.AtomicEvents()
+		wth.EachAtomic(func(eid int, wd *model.AtomicData) {
+			ge := got.FindAtomicEvent(wAtomics[eid].Name)
+			if ge == nil {
+				t.Fatalf("case %d: lost atomic %q", caseID, wAtomics[eid].Name)
+			}
+			gd := gth.FindAtomicData(ge.ID)
+			if gd.SampleCount != wd.SampleCount || gd.Maximum != wd.Maximum ||
+				gd.Minimum != wd.Minimum || gd.Mean != wd.Mean {
+				t.Fatalf("case %d: atomic %q stats differ", caseID, wAtomics[eid].Name)
+			}
+			if w, g := wd.StdDev(), gd.StdDev(); math.Abs(w-g) > 1e-6*(w+1) {
+				t.Fatalf("case %d: atomic %q stddev %g vs %g", caseID, wAtomics[eid].Name, g, w)
+			}
+		})
+	}
+}

@@ -1,0 +1,193 @@
+// Package core implements PerfDMF itself: the relational profile schema of
+// paper §3.2 and the DataSession query/management API of §4, layered on the
+// godbc connectivity layer. It uploads parsed profiles (internal/model)
+// into the database, downloads them back, maintains the total/mean summary
+// tables, and supports the flexible APPLICATION/EXPERIMENT/TRIAL schema:
+// extra columns added with ALTER TABLE are discovered at runtime through
+// connection metadata and round-trip through the object API without any
+// code changes.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"perfdmf/internal/godbc"
+)
+
+// The PerfDMF relational schema (paper §3.2). Each statement is executed
+// by CreateSchema if the table does not already exist.
+var schemaDDL = []string{
+	`CREATE TABLE IF NOT EXISTS application (
+		id BIGINT PRIMARY KEY AUTO_INCREMENT,
+		name VARCHAR NOT NULL,
+		version VARCHAR,
+		description VARCHAR)`,
+
+	`CREATE TABLE IF NOT EXISTS experiment (
+		id BIGINT PRIMARY KEY AUTO_INCREMENT,
+		application BIGINT NOT NULL REFERENCES application(id),
+		name VARCHAR NOT NULL,
+		system_info VARCHAR,
+		compiler_info VARCHAR,
+		configuration_info VARCHAR)`,
+
+	`CREATE TABLE IF NOT EXISTS trial (
+		id BIGINT PRIMARY KEY AUTO_INCREMENT,
+		experiment BIGINT NOT NULL REFERENCES experiment(id),
+		name VARCHAR NOT NULL,
+		date TIMESTAMP,
+		problem_definition VARCHAR,
+		node_count BIGINT,
+		contexts_per_node BIGINT,
+		max_threads_per_context BIGINT,
+		metadata VARCHAR)`,
+
+	`CREATE TABLE IF NOT EXISTS metric (
+		id BIGINT PRIMARY KEY AUTO_INCREMENT,
+		trial BIGINT NOT NULL REFERENCES trial(id),
+		name VARCHAR NOT NULL,
+		derived BOOLEAN DEFAULT FALSE)`,
+
+	`CREATE TABLE IF NOT EXISTS interval_event (
+		id BIGINT PRIMARY KEY AUTO_INCREMENT,
+		trial BIGINT NOT NULL REFERENCES trial(id),
+		name VARCHAR NOT NULL,
+		group_name VARCHAR)`,
+
+	`CREATE TABLE IF NOT EXISTS interval_location_profile (
+		interval_event BIGINT NOT NULL REFERENCES interval_event(id),
+		node BIGINT NOT NULL,
+		context BIGINT NOT NULL,
+		thread BIGINT NOT NULL,
+		metric BIGINT NOT NULL REFERENCES metric(id),
+		inclusive_percentage DOUBLE,
+		inclusive DOUBLE,
+		exclusive_percentage DOUBLE,
+		exclusive DOUBLE,
+		inclusive_per_call DOUBLE,
+		call DOUBLE,
+		subroutines DOUBLE)`,
+
+	`CREATE TABLE IF NOT EXISTS interval_total_summary (
+		interval_event BIGINT NOT NULL REFERENCES interval_event(id),
+		metric BIGINT NOT NULL REFERENCES metric(id),
+		inclusive_percentage DOUBLE,
+		inclusive DOUBLE,
+		exclusive_percentage DOUBLE,
+		exclusive DOUBLE,
+		inclusive_per_call DOUBLE,
+		call DOUBLE,
+		subroutines DOUBLE)`,
+
+	`CREATE TABLE IF NOT EXISTS interval_mean_summary (
+		interval_event BIGINT NOT NULL REFERENCES interval_event(id),
+		metric BIGINT NOT NULL REFERENCES metric(id),
+		inclusive_percentage DOUBLE,
+		inclusive DOUBLE,
+		exclusive_percentage DOUBLE,
+		exclusive DOUBLE,
+		inclusive_per_call DOUBLE,
+		call DOUBLE,
+		subroutines DOUBLE)`,
+
+	`CREATE TABLE IF NOT EXISTS atomic_event (
+		id BIGINT PRIMARY KEY AUTO_INCREMENT,
+		trial BIGINT NOT NULL REFERENCES trial(id),
+		name VARCHAR NOT NULL,
+		group_name VARCHAR)`,
+
+	`CREATE TABLE IF NOT EXISTS atomic_location_profile (
+		atomic_event BIGINT NOT NULL REFERENCES atomic_event(id),
+		node BIGINT NOT NULL,
+		context BIGINT NOT NULL,
+		thread BIGINT NOT NULL,
+		sample_count BIGINT,
+		maximum_value DOUBLE,
+		minimum_value DOUBLE,
+		mean_value DOUBLE,
+		standard_deviation DOUBLE)`,
+
+	`CREATE TABLE IF NOT EXISTS analysis_result (
+		id BIGINT PRIMARY KEY AUTO_INCREMENT,
+		trial BIGINT NOT NULL REFERENCES trial(id),
+		name VARCHAR NOT NULL,
+		method VARCHAR,
+		result VARCHAR)`,
+}
+
+// Indexes that make the download and analysis paths fast: lookups by owner
+// (trial, event, metric) dominate.
+var schemaIndexes = []struct{ name, table, column string }{
+	{"ix_experiment_app", "experiment", "application"},
+	{"ix_trial_experiment", "trial", "experiment"},
+	{"ix_metric_trial", "metric", "trial"},
+	{"ix_interval_event_trial", "interval_event", "trial"},
+	{"ix_ilp_event", "interval_location_profile", "interval_event"},
+	{"ix_total_event", "interval_total_summary", "interval_event"},
+	{"ix_mean_event", "interval_mean_summary", "interval_event"},
+	{"ix_atomic_event_trial", "atomic_event", "trial"},
+	{"ix_alp_event", "atomic_location_profile", "atomic_event"},
+	{"ix_result_trial", "analysis_result", "trial"},
+}
+
+// CoreTables lists the schema's table names.
+func CoreTables() []string {
+	return []string{
+		"application", "experiment", "trial", "metric", "interval_event",
+		"interval_location_profile", "interval_total_summary",
+		"interval_mean_summary", "atomic_event", "atomic_location_profile",
+		"analysis_result",
+	}
+}
+
+// CreateSchema creates any missing PerfDMF tables and indexes. It is
+// idempotent, so every DataSession runs it at open. When every core table
+// already exists the DDL is skipped entirely, which lets read-only
+// connections (DSN option readonly=1) open existing archives.
+func CreateSchema(conn godbc.Conn) error {
+	existing, err := conn.MetaData().Tables()
+	if err != nil {
+		return fmt.Errorf("core: inspect schema: %w", err)
+	}
+	have := make(map[string]bool, len(existing))
+	for _, name := range existing {
+		have[strings.ToLower(name)] = true
+	}
+	complete := true
+	for _, name := range CoreTables() {
+		if !have[name] {
+			complete = false
+			break
+		}
+	}
+	if complete {
+		return nil
+	}
+	for _, ddl := range schemaDDL {
+		if _, err := conn.Exec(ddl); err != nil {
+			return fmt.Errorf("core: create schema: %w", err)
+		}
+	}
+	for _, ix := range schemaIndexes {
+		existing, err := conn.MetaData().Indexes(ix.table)
+		if err != nil {
+			return fmt.Errorf("core: inspect indexes: %w", err)
+		}
+		present := false
+		for _, have := range existing {
+			if strings.EqualFold(have.Name, ix.name) {
+				present = true
+				break
+			}
+		}
+		if present {
+			continue
+		}
+		stmt := fmt.Sprintf("CREATE INDEX %s ON %s (%s)", ix.name, ix.table, ix.column)
+		if _, err := conn.Exec(stmt); err != nil {
+			return fmt.Errorf("core: create index %s: %w", ix.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,555 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"perfdmf/internal/godbc"
+	"perfdmf/internal/model"
+)
+
+// UploadOptions tunes the trial upload path.
+type UploadOptions struct {
+	// TrialName overrides the profile's own name.
+	TrialName string
+	// BatchSize is the number of rows per bulk INSERT statement (default
+	// 64). 1 disables batching — the ablation in DESIGN.md measures the
+	// difference.
+	BatchSize int
+	// SkipSummaries leaves the total/mean summary tables empty; analysis
+	// must then aggregate on demand (the second ablation).
+	SkipSummaries bool
+	// Date stamps the trial row; zero means time.Now().
+	Date time.Time
+}
+
+// ilpColumns is the column list of INTERVAL_LOCATION_PROFILE in insert
+// order.
+var ilpColumns = []string{
+	"interval_event", "node", "context", "thread", "metric",
+	"inclusive_percentage", "inclusive", "exclusive_percentage", "exclusive",
+	"inclusive_per_call", "call", "subroutines",
+}
+
+// summaryColumns is the column list of the two summary tables.
+var summaryColumns = []string{
+	"interval_event", "metric",
+	"inclusive_percentage", "inclusive", "exclusive_percentage", "exclusive",
+	"inclusive_per_call", "call", "subroutines",
+}
+
+var alpColumns = []string{
+	"atomic_event", "node", "context", "thread",
+	"sample_count", "maximum_value", "minimum_value", "mean_value", "standard_deviation",
+}
+
+// batchInserter issues multi-row INSERTs of a fixed batch size, falling
+// back to single-row statements for the remainder. Statements are prepared
+// once — the upload path is the hottest code in PerfDMF.
+type batchInserter struct {
+	batch    godbc.Stmt // nil when batching is disabled
+	single   godbc.Stmt
+	size     int
+	width    int
+	buffered []any
+}
+
+func newBatchInserter(conn godbc.Conn, table string, cols []string, batchSize int) (*batchInserter, error) {
+	bi := &batchInserter{size: batchSize, width: len(cols)}
+	single, err := conn.Prepare(insertSQL(table, cols))
+	if err != nil {
+		return nil, err
+	}
+	bi.single = single
+	if batchSize > 1 {
+		var b strings.Builder
+		b.WriteString("INSERT INTO ")
+		b.WriteString(table)
+		b.WriteString(" (")
+		b.WriteString(strings.Join(cols, ", "))
+		b.WriteString(") VALUES ")
+		row := "(" + strings.TrimSuffix(strings.Repeat("?, ", len(cols)), ", ") + ")"
+		for i := 0; i < batchSize; i++ {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(row)
+		}
+		batch, err := conn.Prepare(b.String())
+		if err != nil {
+			return nil, err
+		}
+		bi.batch = batch
+		bi.buffered = make([]any, 0, batchSize*len(cols))
+	}
+	return bi, nil
+}
+
+// add buffers one row, flushing a full batch.
+func (bi *batchInserter) add(vals ...any) error {
+	if len(vals) != bi.width {
+		return fmt.Errorf("core: batch inserter got %d values, want %d", len(vals), bi.width)
+	}
+	if bi.batch == nil {
+		_, err := bi.single.Exec(vals...)
+		return err
+	}
+	bi.buffered = append(bi.buffered, vals...)
+	if len(bi.buffered) == bi.size*bi.width {
+		if _, err := bi.batch.Exec(bi.buffered...); err != nil {
+			return err
+		}
+		bi.buffered = bi.buffered[:0]
+	}
+	return nil
+}
+
+// flush writes any buffered remainder with single-row statements.
+func (bi *batchInserter) flush() error {
+	for i := 0; i < len(bi.buffered); i += bi.width {
+		if _, err := bi.single.Exec(bi.buffered[i : i+bi.width]...); err != nil {
+			return err
+		}
+	}
+	bi.buffered = bi.buffered[:0]
+	return nil
+}
+
+func (bi *batchInserter) close() {
+	bi.single.Close()
+	if bi.batch != nil {
+		bi.batch.Close()
+	}
+}
+
+// UploadTrial stores a parsed profile as a new trial under the selected
+// experiment: the trial row, metric and event catalogs, every
+// INTERVAL_LOCATION_PROFILE and ATOMIC_LOCATION_PROFILE row, and (unless
+// disabled) the total and mean summary tables. The whole upload is one
+// transaction.
+func (s *DataSession) UploadTrial(p *model.Profile, opts UploadOptions) (*Trial, error) {
+	if s.exp == nil {
+		return nil, fmt.Errorf("core: select an experiment before uploading a trial")
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 64
+	}
+	name := opts.TrialName
+	if name == "" {
+		name = p.Name
+	}
+	date := opts.Date
+	if date.IsZero() {
+		date = time.Now().UTC()
+	}
+
+	if err := s.conn.Begin(); err != nil {
+		return nil, err
+	}
+	trial, err := s.uploadTrialTx(p, opts, name, date)
+	if err != nil {
+		s.conn.Rollback() //nolint:errcheck // surfacing the original error
+		return nil, err
+	}
+	if err := s.conn.Commit(); err != nil {
+		return nil, err
+	}
+	return trial, nil
+}
+
+func (s *DataSession) uploadTrialTx(p *model.Profile, opts UploadOptions, name string, date time.Time) (*Trial, error) {
+	res, err := s.conn.Exec(`INSERT INTO trial
+		(experiment, name, date, node_count, contexts_per_node, max_threads_per_context, metadata)
+		VALUES (?, ?, ?, ?, ?, ?, ?)`,
+		s.exp.ID, name, date,
+		p.NodeCount(), p.ContextsPerNode(), p.MaxThreadsPerContext(), encodeMeta(p.Meta))
+	if err != nil {
+		return nil, err
+	}
+	trialID := res.LastInsertID
+
+	// Metric and event catalogs, keeping model-ID → database-ID maps.
+	metricIDs := make([]int64, len(p.Metrics()))
+	insMetric, err := s.conn.Prepare("INSERT INTO metric (trial, name, derived) VALUES (?, ?, ?)")
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range p.Metrics() {
+		r, err := insMetric.Exec(trialID, m.Name, m.Derived)
+		if err != nil {
+			return nil, err
+		}
+		metricIDs[m.ID] = r.LastInsertID
+	}
+	insMetric.Close()
+
+	eventIDs := make([]int64, len(p.IntervalEvents()))
+	insEvent, err := s.conn.Prepare("INSERT INTO interval_event (trial, name, group_name) VALUES (?, ?, ?)")
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range p.IntervalEvents() {
+		r, err := insEvent.Exec(trialID, e.Name, e.Group)
+		if err != nil {
+			return nil, err
+		}
+		eventIDs[e.ID] = r.LastInsertID
+	}
+	insEvent.Close()
+
+	// Location profiles.
+	ilp, err := newBatchInserter(s.conn, "interval_location_profile", ilpColumns, opts.BatchSize)
+	if err != nil {
+		return nil, err
+	}
+	defer ilp.close()
+	nm := len(p.Metrics())
+	for _, th := range p.Threads() {
+		// Per-thread denominators for the percentage columns.
+		totalExcl := make([]float64, nm)
+		maxIncl := make([]float64, nm)
+		th.EachInterval(func(_ int, d *model.IntervalData) {
+			for m := 0; m < nm; m++ {
+				totalExcl[m] += d.PerMetric[m].Exclusive
+				if d.PerMetric[m].Inclusive > maxIncl[m] {
+					maxIncl[m] = d.PerMetric[m].Inclusive
+				}
+			}
+		})
+		var addErr error
+		th.EachInterval(func(eid int, d *model.IntervalData) {
+			if addErr != nil {
+				return
+			}
+			for m := 0; m < nm; m++ {
+				md := d.PerMetric[m]
+				inclPct, exclPct := 0.0, 0.0
+				if maxIncl[m] > 0 {
+					inclPct = 100 * md.Inclusive / maxIncl[m]
+				}
+				if totalExcl[m] > 0 {
+					exclPct = 100 * md.Exclusive / totalExcl[m]
+				}
+				if err := ilp.add(
+					eventIDs[eid], th.ID.Node, th.ID.Context, th.ID.Thread, metricIDs[m],
+					inclPct, md.Inclusive, exclPct, md.Exclusive,
+					d.InclusivePerCall(m), d.NumCalls, d.NumSubrs,
+				); err != nil {
+					addErr = err
+				}
+			}
+		})
+		if addErr != nil {
+			return nil, addErr
+		}
+	}
+	if err := ilp.flush(); err != nil {
+		return nil, err
+	}
+
+	if !opts.SkipSummaries {
+		if err := s.uploadSummaries(p, eventIDs, metricIDs); err != nil {
+			return nil, err
+		}
+	}
+
+	// Atomic events.
+	if len(p.AtomicEvents()) > 0 {
+		atomicIDs := make([]int64, len(p.AtomicEvents()))
+		insAtomic, err := s.conn.Prepare("INSERT INTO atomic_event (trial, name, group_name) VALUES (?, ?, ?)")
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range p.AtomicEvents() {
+			r, err := insAtomic.Exec(trialID, e.Name, e.Group)
+			if err != nil {
+				return nil, err
+			}
+			atomicIDs[e.ID] = r.LastInsertID
+		}
+		insAtomic.Close()
+		alp, err := newBatchInserter(s.conn, "atomic_location_profile", alpColumns, opts.BatchSize)
+		if err != nil {
+			return nil, err
+		}
+		defer alp.close()
+		for _, th := range p.Threads() {
+			var addErr error
+			th.EachAtomic(func(eid int, d *model.AtomicData) {
+				if addErr != nil {
+					return
+				}
+				if err := alp.add(
+					atomicIDs[eid], th.ID.Node, th.ID.Context, th.ID.Thread,
+					d.SampleCount, d.Maximum, d.Minimum, d.Mean, d.StdDev(),
+				); err != nil {
+					addErr = err
+				}
+			})
+			if addErr != nil {
+				return nil, addErr
+			}
+		}
+		if err := alp.flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	trial := &Trial{
+		ID:           trialID,
+		ExperimentID: s.exp.ID,
+		Name:         name,
+		Fields: map[string]any{
+			"date":                    date,
+			"node_count":              int64(p.NodeCount()),
+			"contexts_per_node":       int64(p.ContextsPerNode()),
+			"max_threads_per_context": int64(p.MaxThreadsPerContext()),
+		},
+	}
+	return trial, nil
+}
+
+// uploadSummaries writes the INTERVAL_TOTAL_SUMMARY and
+// INTERVAL_MEAN_SUMMARY rows from the in-memory aggregates.
+func (s *DataSession) uploadSummaries(p *model.Profile, eventIDs, metricIDs []int64) error {
+	nm := len(p.Metrics())
+	for _, kind := range []struct {
+		table   string
+		summary *model.Summary
+	}{
+		{"interval_total_summary", p.TotalSummary()},
+		{"interval_mean_summary", p.MeanSummary()},
+	} {
+		ins, err := newBatchInserter(s.conn, kind.table, summaryColumns, 16)
+		if err != nil {
+			return err
+		}
+		// Denominators across the summary itself.
+		totalExcl := make([]float64, nm)
+		maxIncl := make([]float64, nm)
+		for _, agg := range kind.summary.Events {
+			for m := 0; m < nm; m++ {
+				totalExcl[m] += agg.PerMetric[m].Exclusive
+				if agg.PerMetric[m].Inclusive > maxIncl[m] {
+					maxIncl[m] = agg.PerMetric[m].Inclusive
+				}
+			}
+		}
+		eids := make([]int, 0, len(kind.summary.Events))
+		for eid := range kind.summary.Events {
+			eids = append(eids, eid)
+		}
+		sort.Ints(eids)
+		for _, eid := range eids {
+			agg := kind.summary.Events[eid]
+			for m := 0; m < nm; m++ {
+				md := agg.PerMetric[m]
+				inclPct, exclPct := 0.0, 0.0
+				if maxIncl[m] > 0 {
+					inclPct = 100 * md.Inclusive / maxIncl[m]
+				}
+				if totalExcl[m] > 0 {
+					exclPct = 100 * md.Exclusive / totalExcl[m]
+				}
+				if err := ins.add(
+					eventIDs[eid], metricIDs[m],
+					inclPct, md.Inclusive, exclPct, md.Exclusive,
+					agg.InclusivePerCall(m), agg.NumCalls, agg.NumSubrs,
+				); err != nil {
+					return err
+				}
+			}
+		}
+		if err := ins.flush(); err != nil {
+			return err
+		}
+		ins.close()
+	}
+	return nil
+}
+
+// SaveDerivedMetric stores one additional metric of a profile into an
+// existing trial: the metric row, its INTERVAL_LOCATION_PROFILE rows and
+// its summary rows (paper §4: "The Trial object also has support for
+// adding new, possibly derived, metrics to an existing trial"). The
+// profile must be the trial's own data (e.g. from LoadTrial) with the
+// derived metric already computed via model.DeriveMetric.
+func (s *DataSession) SaveDerivedMetric(trialID int64, p *model.Profile, metricID int) (*Metric, error) {
+	if metricID < 0 || metricID >= len(p.Metrics()) {
+		return nil, fmt.Errorf("core: profile has no metric %d", metricID)
+	}
+	// Map profile event IDs to database event IDs by name.
+	rows, err := s.conn.Query("SELECT id, name FROM interval_event WHERE trial = ?", trialID)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]int64)
+	for rows.Next() {
+		var id int64
+		var name string
+		if err := rows.Scan(&id, &name); err != nil {
+			return nil, err
+		}
+		byName[name] = id
+	}
+	rows.Close()
+	eventIDs := make([]int64, len(p.IntervalEvents()))
+	for _, e := range p.IntervalEvents() {
+		id, ok := byName[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("core: trial %d has no event %q; is this the trial's own profile?", trialID, e.Name)
+		}
+		eventIDs[e.ID] = id
+	}
+
+	if err := s.conn.Begin(); err != nil {
+		return nil, err
+	}
+	metric, err := s.saveDerivedTx(trialID, p, metricID, eventIDs)
+	if err != nil {
+		s.conn.Rollback() //nolint:errcheck
+		return nil, err
+	}
+	if err := s.conn.Commit(); err != nil {
+		return nil, err
+	}
+	return metric, nil
+}
+
+func (s *DataSession) saveDerivedTx(trialID int64, p *model.Profile, metricID int, eventIDs []int64) (*Metric, error) {
+	m := p.Metrics()[metricID]
+	res, err := s.conn.Exec("INSERT INTO metric (trial, name, derived) VALUES (?, ?, TRUE)",
+		trialID, m.Name)
+	if err != nil {
+		return nil, err
+	}
+	dbMetric := res.LastInsertID
+
+	ilp, err := newBatchInserter(s.conn, "interval_location_profile", ilpColumns, 64)
+	if err != nil {
+		return nil, err
+	}
+	defer ilp.close()
+	for _, th := range p.Threads() {
+		totalExcl, maxIncl := 0.0, 0.0
+		th.EachInterval(func(_ int, d *model.IntervalData) {
+			totalExcl += d.PerMetric[metricID].Exclusive
+			if d.PerMetric[metricID].Inclusive > maxIncl {
+				maxIncl = d.PerMetric[metricID].Inclusive
+			}
+		})
+		var addErr error
+		th.EachInterval(func(eid int, d *model.IntervalData) {
+			if addErr != nil {
+				return
+			}
+			md := d.PerMetric[metricID]
+			inclPct, exclPct := 0.0, 0.0
+			if maxIncl > 0 {
+				inclPct = 100 * md.Inclusive / maxIncl
+			}
+			if totalExcl > 0 {
+				exclPct = 100 * md.Exclusive / totalExcl
+			}
+			if err := ilp.add(
+				eventIDs[eid], th.ID.Node, th.ID.Context, th.ID.Thread, dbMetric,
+				inclPct, md.Inclusive, exclPct, md.Exclusive,
+				d.InclusivePerCall(metricID), d.NumCalls, d.NumSubrs,
+			); err != nil {
+				addErr = err
+			}
+		})
+		if addErr != nil {
+			return nil, addErr
+		}
+	}
+	if err := ilp.flush(); err != nil {
+		return nil, err
+	}
+
+	// Summary rows for the new metric.
+	for _, kind := range []struct {
+		table   string
+		summary *model.Summary
+	}{
+		{"interval_total_summary", p.TotalSummary()},
+		{"interval_mean_summary", p.MeanSummary()},
+	} {
+		ins, err := newBatchInserter(s.conn, kind.table, summaryColumns, 16)
+		if err != nil {
+			return nil, err
+		}
+		totalExcl, maxIncl := 0.0, 0.0
+		for _, agg := range kind.summary.Events {
+			totalExcl += agg.PerMetric[metricID].Exclusive
+			if agg.PerMetric[metricID].Inclusive > maxIncl {
+				maxIncl = agg.PerMetric[metricID].Inclusive
+			}
+		}
+		for eid, agg := range kind.summary.Events {
+			md := agg.PerMetric[metricID]
+			inclPct, exclPct := 0.0, 0.0
+			if maxIncl > 0 {
+				inclPct = 100 * md.Inclusive / maxIncl
+			}
+			if totalExcl > 0 {
+				exclPct = 100 * md.Exclusive / totalExcl
+			}
+			if err := ins.add(
+				eventIDs[eid], dbMetric,
+				inclPct, md.Inclusive, exclPct, md.Exclusive,
+				agg.InclusivePerCall(metricID), agg.NumCalls, agg.NumSubrs,
+			); err != nil {
+				return nil, err
+			}
+		}
+		if err := ins.flush(); err != nil {
+			return nil, err
+		}
+		ins.close()
+	}
+	return &Metric{ID: dbMetric, TrialID: trialID, Name: m.Name, Derived: true}, nil
+}
+
+// encodeMeta serializes trial metadata as "key=quoted-value" lines.
+func encodeMeta(meta map[string]string) string {
+	if len(meta) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(meta))
+	for k := range meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(meta[k]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// decodeMeta reverses encodeMeta; malformed lines are skipped.
+func decodeMeta(s string) map[string]string {
+	meta := make(map[string]string)
+	for _, line := range strings.Split(s, "\n") {
+		if line == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			continue
+		}
+		uq, err := strconv.Unquote(v)
+		if err != nil {
+			continue
+		}
+		meta[k] = uq
+	}
+	return meta
+}

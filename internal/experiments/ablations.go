@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/formats/xmlprof"
+	"perfdmf/internal/mining"
+	"perfdmf/internal/model"
+	"perfdmf/internal/synth"
+)
+
+// writeXML is a seam for E8 (kept here so experiments.go stays focused on
+// the experiment logic).
+func writeXML(path string, p *model.Profile) error {
+	return xmlprof.Write(path, p)
+}
+
+// --- Ablations of the design choices called out in DESIGN.md §4 ---
+
+// AblationRow is one (variant, elapsed) measurement.
+type AblationRow struct {
+	Name    string
+	Variant string
+	Elapsed time.Duration
+	Detail  string
+}
+
+// RunAblationBatchInsert compares the bulk-load path with batched
+// multi-row INSERTs against row-at-a-time statements.
+func RunAblationBatchInsert(threads, events int) ([]AblationRow, error) {
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: threads, Events: events, Metrics: 1, Seed: 4})
+	var out []AblationRow
+	for _, variant := range []struct {
+		name  string
+		batch int
+	}{
+		{"batch=1 (row at a time)", 1},
+		{"batch=64", 64},
+		{"batch=256", 256},
+	} {
+		s, err := newArchive(memDSN("ab-batch"))
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if _, err := s.UploadTrial(p, core.UploadOptions{BatchSize: variant.batch}); err != nil {
+			s.Close()
+			return nil, err
+		}
+		out = append(out, AblationRow{
+			Name: "batch-insert", Variant: variant.name, Elapsed: time.Since(t0),
+			Detail: fmt.Sprintf("%d data points", p.DataPoints()),
+		})
+		s.Close()
+	}
+	return out, nil
+}
+
+// RunAblationIndex compares the indexed trial download against the same
+// download with the supporting index dropped (forcing full scans).
+func RunAblationIndex(threads, events, trials int) ([]AblationRow, error) {
+	s, err := newArchive(memDSN("ab-index"))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	// Several trials so a full scan has to wade through unrelated rows.
+	var lastID int64
+	for i := 0; i < trials; i++ {
+		p := synth.LargeTrial(synth.LargeTrialConfig{Threads: threads, Events: events, Metrics: 1, Seed: int64(i)})
+		trial, err := s.UploadTrial(p, core.UploadOptions{})
+		if err != nil {
+			return nil, err
+		}
+		lastID = trial.ID
+	}
+
+	var out []AblationRow
+	t0 := time.Now()
+	p1, err := s.LoadTrial(lastID)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationRow{
+		Name: "index", Variant: "with ix_ilp_event", Elapsed: time.Since(t0),
+		Detail: fmt.Sprintf("%d data points of %d trials", p1.DataPoints(), trials),
+	})
+
+	if _, err := s.Conn().Exec("DROP INDEX ix_ilp_event ON interval_location_profile"); err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	p2, err := s.LoadTrial(lastID)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationRow{
+		Name: "index", Variant: "full scan", Elapsed: time.Since(t0),
+		Detail: fmt.Sprintf("%d data points of %d trials", p2.DataPoints(), trials),
+	})
+	// Restore for any later use of the archive.
+	if _, err := s.Conn().Exec("CREATE INDEX ix_ilp_event ON interval_location_profile (interval_event)"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunAblationSummary compares querying precomputed mean-summary tables
+// against aggregating INTERVAL_LOCATION_PROFILE on demand.
+func RunAblationSummary(threads, events int) ([]AblationRow, error) {
+	s, err := newArchive(memDSN("ab-summary"))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: threads, Events: events, Metrics: 1, Seed: 6})
+	trial, err := s.UploadTrial(p, core.UploadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s.SetTrial(trial)
+
+	const rounds = 10
+	var out []AblationRow
+	t0 := time.Now()
+	for i := 0; i < rounds; i++ {
+		if _, err := s.MeanSummary("TIME"); err != nil {
+			return nil, err
+		}
+	}
+	out = append(out, AblationRow{
+		Name: "summary", Variant: "precomputed table", Elapsed: time.Since(t0),
+		Detail: fmt.Sprintf("%d queries", rounds),
+	})
+
+	t0 = time.Now()
+	for i := 0; i < rounds; i++ {
+		rows, err := s.Conn().Query(`
+			SELECT e.name, AVG(p.exclusive)
+			FROM interval_event e
+			JOIN interval_location_profile p ON p.interval_event = e.id
+			WHERE e.trial = ?
+			GROUP BY e.name`, trial.ID)
+		if err != nil {
+			return nil, err
+		}
+		n := 0
+		for rows.Next() {
+			n++
+		}
+		rows.Close()
+		if n != events {
+			return nil, fmt.Errorf("on-demand aggregate returned %d events", n)
+		}
+	}
+	out = append(out, AblationRow{
+		Name: "summary", Variant: "aggregate on demand", Elapsed: time.Since(t0),
+		Detail: fmt.Sprintf("%d queries", rounds),
+	})
+	return out, nil
+}
+
+// RunAblationSeeding compares k-means++ seeding against plain random
+// seeding on the E4 workload, reporting final RSS (quality) per variant.
+func RunAblationSeeding(threads int) ([]AblationRow, error) {
+	s, err := newArchive(memDSN("ab-seed"))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	p, _ := synth.CounterTrial(synth.CounterConfig{Threads: threads, Seed: 7})
+	trial, err := s.UploadTrial(p, core.UploadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	fm, err := mining.ExtractFeatures(s, trial.ID, nil)
+	if err != nil {
+		return nil, err
+	}
+	fm.Normalize(mining.NormZScore)
+
+	var out []AblationRow
+	for _, variant := range []struct {
+		name  string
+		plain bool
+	}{
+		{"k-means++", false},
+		{"uniform random", true},
+	} {
+		t0 := time.Now()
+		worst := 0.0
+		// Single-restart runs expose the seeding quality difference.
+		for seed := int64(0); seed < 10; seed++ {
+			cl, err := mining.KMeans(fm.Rows, mining.KMeansConfig{
+				K: 3, Seed: seed, PlainRNG: variant.plain, Restarts: 1,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if cl.RSS > worst {
+				worst = cl.RSS
+			}
+		}
+		out = append(out, AblationRow{
+			Name: "seeding", Variant: variant.name, Elapsed: time.Since(t0),
+			Detail: fmt.Sprintf("worst RSS over 10 seeds: %.4g", worst),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,548 @@
+// Package experiments implements the reproduction of every evaluation
+// claim in the paper, as catalogued in DESIGN.md §3 (E1–E8). Each RunEx
+// function builds its workload, drives the framework end to end, and
+// returns a result table; cmd/experiments prints them and bench_test.go
+// wraps them in testing.B benchmarks. EXPERIMENTS.md records the outcomes.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"perfdmf/internal/analysis"
+	"perfdmf/internal/core"
+	"perfdmf/internal/formats"
+	"perfdmf/internal/mining"
+	"perfdmf/internal/model"
+	"perfdmf/internal/synth"
+)
+
+var memCounter int
+
+func memDSN(tag string) string {
+	memCounter++
+	return fmt.Sprintf("mem:experiments_%s_%d_%d", tag, os.Getpid(), memCounter)
+}
+
+// newArchive opens a fresh session with one application and experiment
+// selected.
+func newArchive(dsn string) (*core.DataSession, error) {
+	s, err := core.Open(dsn)
+	if err != nil {
+		return nil, err
+	}
+	app := &core.Application{Name: "experiments"}
+	if err := s.SaveApplication(app); err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.SetApplication(app)
+	exp := &core.Experiment{Name: "run"}
+	if err := s.SaveExperiment(exp); err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.SetExperiment(exp)
+	return s, nil
+}
+
+// --- E1: large-scale profile handling ---
+
+// E1Row is one point of the §3.1/§5.3 scale claim: a Miranda-like trial of
+// Threads × Events × 1 metric uploaded, summarized, queried and reloaded.
+type E1Row struct {
+	Threads    int
+	Events     int
+	DataPoints int
+	Generate   time.Duration
+	Upload     time.Duration
+	Query      time.Duration // mean-summary query over the trial
+	Load       time.Duration // full trial download
+	UploadRate float64       // data points per second
+}
+
+// RunE1 sweeps thread counts at a fixed event count (the paper's 101).
+func RunE1(threadCounts []int, events int) ([]E1Row, error) {
+	var out []E1Row
+	for _, threads := range threadCounts {
+		row, err := runE1Point(threads, events)
+		if err != nil {
+			return nil, fmt.Errorf("E1 %d threads: %w", threads, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func runE1Point(threads, events int) (E1Row, error) {
+	row := E1Row{Threads: threads, Events: events}
+	s, err := newArchive(memDSN("e1"))
+	if err != nil {
+		return row, err
+	}
+	defer s.Close()
+
+	t0 := time.Now()
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: threads, Events: events, Metrics: 1, Seed: 1})
+	row.Generate = time.Since(t0)
+	row.DataPoints = p.DataPoints()
+
+	t0 = time.Now()
+	trial, err := s.UploadTrial(p, core.UploadOptions{})
+	if err != nil {
+		return row, err
+	}
+	row.Upload = time.Since(t0)
+	if row.Upload > 0 {
+		row.UploadRate = float64(row.DataPoints) / row.Upload.Seconds()
+	}
+
+	t0 = time.Now()
+	s.SetTrial(trial)
+	summary, err := s.MeanSummary("TIME")
+	if err != nil {
+		return row, err
+	}
+	row.Query = time.Since(t0)
+	if len(summary) != events {
+		return row, fmt.Errorf("summary has %d events, want %d", len(summary), events)
+	}
+
+	t0 = time.Now()
+	loaded, err := s.LoadTrial(trial.ID)
+	if err != nil {
+		return row, err
+	}
+	row.Load = time.Since(t0)
+	if loaded.DataPoints() != row.DataPoints {
+		return row, fmt.Errorf("reload lost data: %d vs %d", loaded.DataPoints(), row.DataPoints)
+	}
+	return row, nil
+}
+
+// --- E2: six-format import into one archive ---
+
+// E2Row is one format's import measurements.
+type E2Row struct {
+	Format     string
+	Parse      time.Duration
+	Upload     time.Duration
+	DataPoints int
+	Threads    int
+	RoundTrip  bool // parse → store → load preserved the data-point count
+}
+
+// RunE2 generates one dataset per supported format under dir, imports all
+// of them into a single archive, and reloads each.
+func RunE2(dir string) ([]E2Row, error) {
+	paths, err := synth.WriteSampleFiles(dir, 2005)
+	if err != nil {
+		return nil, err
+	}
+	s, err := newArchive(memDSN("e2"))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	var out []E2Row
+	for _, format := range formats.All {
+		row := E2Row{Format: format}
+		t0 := time.Now()
+		p, err := formats.Load(format, paths[format])
+		if err != nil {
+			return nil, fmt.Errorf("E2 %s: %w", format, err)
+		}
+		row.Parse = time.Since(t0)
+		row.DataPoints = p.DataPoints()
+		row.Threads = p.NumThreads()
+
+		t0 = time.Now()
+		trial, err := s.UploadTrial(p, core.UploadOptions{TrialName: format})
+		if err != nil {
+			return nil, fmt.Errorf("E2 %s upload: %w", format, err)
+		}
+		row.Upload = time.Since(t0)
+
+		loaded, err := s.LoadTrial(trial.ID)
+		if err != nil {
+			return nil, fmt.Errorf("E2 %s reload: %w", format, err)
+		}
+		row.RoundTrip = loaded.DataPoints() == row.DataPoints
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// --- E3: EVH1 speedup study ---
+
+// E3Result is the speedup study plus timing.
+type E3Result struct {
+	Study    *analysis.SpeedupStudy
+	Upload   time.Duration
+	Analysis time.Duration
+}
+
+// RunE3 uploads an EVH1-like scaling series and runs the speedup analyzer.
+func RunE3(procs []int) (*E3Result, error) {
+	s, err := newArchive(memDSN("e3"))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	t0 := time.Now()
+	for _, p := range synth.ScalingSeries(synth.ScalingConfig{Procs: procs, Seed: 11}) {
+		if _, err := s.UploadTrial(p, core.UploadOptions{}); err != nil {
+			return nil, err
+		}
+	}
+	upload := time.Since(t0)
+
+	trials, err := s.TrialList()
+	if err != nil {
+		return nil, err
+	}
+	t0 = time.Now()
+	study, err := analysis.Speedup(s, trials, "TIME")
+	if err != nil {
+		return nil, err
+	}
+	return &E3Result{Study: study, Upload: upload, Analysis: time.Since(t0)}, nil
+}
+
+// --- E4: PerfExplorer clustering on sPPM-like data ---
+
+// E4Row is one clustering run.
+type E4Row struct {
+	Threads    int
+	Dimensions int
+	Extract    time.Duration
+	Cluster    time.Duration
+	K          int
+	Agreement  float64 // with the planted classes
+	RSS        float64
+}
+
+// RunE4 sweeps thread counts, clustering each sPPM-like trial and scoring
+// the recovered clusters against the planted behaviour classes.
+func RunE4(threadCounts []int) ([]E4Row, error) {
+	var out []E4Row
+	for _, threads := range threadCounts {
+		row, err := runE4Point(threads)
+		if err != nil {
+			return nil, fmt.Errorf("E4 %d threads: %w", threads, err)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func runE4Point(threads int) (E4Row, error) {
+	row := E4Row{Threads: threads}
+	s, err := newArchive(memDSN("e4"))
+	if err != nil {
+		return row, err
+	}
+	defer s.Close()
+	p, truth := synth.CounterTrial(synth.CounterConfig{Threads: threads, Seed: 7})
+	trial, err := s.UploadTrial(p, core.UploadOptions{})
+	if err != nil {
+		return row, err
+	}
+
+	t0 := time.Now()
+	fm, err := mining.ExtractFeatures(s, trial.ID, nil)
+	if err != nil {
+		return row, err
+	}
+	row.Extract = time.Since(t0)
+	row.Dimensions = len(fm.Columns)
+
+	fm.Normalize(mining.NormZScore)
+	t0 = time.Now()
+	cl, err := mining.KMeans(fm.Rows, mining.KMeansConfig{K: 3, Seed: 17})
+	if err != nil {
+		return row, err
+	}
+	row.Cluster = time.Since(t0)
+	row.K = cl.K
+	row.RSS = cl.RSS
+
+	aligned := make([]int, len(fm.Threads))
+	for i, th := range fm.Threads {
+		aligned[i] = truth[th.Node]
+	}
+	row.Agreement = clusterAgreement(cl.Assignments, aligned, cl.K)
+	return row, nil
+}
+
+func clusterAgreement(assign, truth []int, k int) float64 {
+	match := 0
+	for c := 0; c < k; c++ {
+		counts := map[int]int{}
+		for i, a := range assign {
+			if a == c {
+				counts[truth[i]]++
+			}
+		}
+		best := 0
+		for _, n := range counts {
+			if n > best {
+				best = n
+			}
+		}
+		match += best
+	}
+	return float64(match) / float64(len(assign))
+}
+
+// --- E5: API vs raw SQL, memory vs file back end ---
+
+// E5Row is one (backend, access-path) timing over a fixed query workload.
+type E5Row struct {
+	Backend string // "mem" or "file"
+	Path    string // "api" or "sql"
+	Elapsed time.Duration
+	Queries int
+}
+
+// RunE5 uploads the same mid-size trial to a memory and a file archive and
+// times the same summary workload through the DataSession API and through
+// raw SQL on both.
+func RunE5(fileDir string) ([]E5Row, error) {
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: 64, Events: 40, Metrics: 1, Seed: 3})
+	backends := []struct{ name, dsn string }{
+		{"mem", memDSN("e5")},
+		{"file", "file:" + fileDir},
+	}
+	var out []E5Row
+	for _, backend := range backends {
+		s, err := newArchive(backend.dsn)
+		if err != nil {
+			return nil, err
+		}
+		trial, err := s.UploadTrial(p, core.UploadOptions{})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		s.SetTrial(trial)
+
+		const rounds = 20
+		t0 := time.Now()
+		for i := 0; i < rounds; i++ {
+			rows, err := s.MeanSummary("TIME")
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			if len(rows) == 0 {
+				s.Close()
+				return nil, fmt.Errorf("E5: empty API result")
+			}
+		}
+		out = append(out, E5Row{Backend: backend.name, Path: "api", Elapsed: time.Since(t0), Queries: rounds})
+
+		t0 = time.Now()
+		for i := 0; i < rounds; i++ {
+			rs, err := s.Conn().Query(`
+				SELECT e.name, t.exclusive FROM interval_event e
+				JOIN interval_mean_summary t ON t.interval_event = e.id
+				WHERE e.trial = ? ORDER BY t.exclusive DESC`, trial.ID)
+			if err != nil {
+				s.Close()
+				return nil, err
+			}
+			n := 0
+			for rs.Next() {
+				n++
+			}
+			rs.Close()
+			if n == 0 {
+				s.Close()
+				return nil, fmt.Errorf("E5: empty SQL result")
+			}
+		}
+		out = append(out, E5Row{Backend: backend.name, Path: "sql", Elapsed: time.Since(t0), Queries: rounds})
+		if err := s.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// --- E6: flexible schema ---
+
+// E6Result verifies the ALTER TABLE → metadata discovery → object API flow
+// and times it.
+type E6Result struct {
+	AddColumn    time.Duration
+	SaveWithCol  time.Duration
+	Reload       time.Duration
+	DropColumn   time.Duration
+	FieldsOK     bool
+	DroppedClean bool
+}
+
+// RunE6 performs the §3.2 flexible-schema scenario end to end.
+func RunE6() (*E6Result, error) {
+	s, err := newArchive(memDSN("e6"))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	res := &E6Result{}
+
+	t0 := time.Now()
+	if _, err := s.Conn().Exec("ALTER TABLE trial ADD COLUMN compiler VARCHAR"); err != nil {
+		return nil, err
+	}
+	if _, err := s.Conn().Exec("ALTER TABLE trial ADD COLUMN os_release VARCHAR DEFAULT 'AIX 5.2'"); err != nil {
+		return nil, err
+	}
+	res.AddColumn = time.Since(t0)
+
+	t0 = time.Now()
+	trial := &core.Trial{Name: "flexible", Fields: map[string]any{
+		"compiler":   "xlf 8.1.1",
+		"node_count": int64(16),
+	}}
+	if err := s.SaveTrial(trial); err != nil {
+		return nil, err
+	}
+	res.SaveWithCol = time.Since(t0)
+
+	t0 = time.Now()
+	trials, err := s.TrialList()
+	if err != nil {
+		return nil, err
+	}
+	res.Reload = time.Since(t0)
+	if len(trials) == 1 &&
+		trials[0].Fields["compiler"] == "xlf 8.1.1" &&
+		trials[0].Fields["os_release"] == "AIX 5.2" &&
+		trials[0].NodeCount() == 16 {
+		res.FieldsOK = true
+	}
+
+	t0 = time.Now()
+	if _, err := s.Conn().Exec("ALTER TABLE trial DROP COLUMN compiler"); err != nil {
+		return nil, err
+	}
+	res.DropColumn = time.Since(t0)
+	trials, err = s.TrialList()
+	if err != nil {
+		return nil, err
+	}
+	_, still := trials[0].Fields["compiler"]
+	res.DroppedClean = !still && trials[0].Fields["os_release"] == "AIX 5.2"
+	return res, nil
+}
+
+// --- E7: derived metrics ---
+
+// E7Result times the derived-metric round trip.
+type E7Result struct {
+	Derive     time.Duration
+	Save       time.Duration
+	Reload     time.Duration
+	ValueOK    bool
+	DataPoints int
+}
+
+// RunE7 loads a counter trial, derives FLOPS = PAPI_FP_OPS / TIME, saves
+// it into the existing trial, and verifies the reloaded values.
+func RunE7(threads int) (*E7Result, error) {
+	s, err := newArchive(memDSN("e7"))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	p, _ := synth.CounterTrial(synth.CounterConfig{Threads: threads, Seed: 5})
+	trial, err := s.UploadTrial(p, core.UploadOptions{})
+	if err != nil {
+		return nil, err
+	}
+	loaded, err := s.LoadTrial(trial.ID)
+	if err != nil {
+		return nil, err
+	}
+	res := &E7Result{}
+
+	t0 := time.Now()
+	mid, err := loaded.DeriveMetric("FLOPS", model.Ratio("PAPI_FP_OPS", "TIME", 1e6))
+	if err != nil {
+		return nil, err
+	}
+	res.Derive = time.Since(t0)
+
+	t0 = time.Now()
+	if _, err := s.SaveDerivedMetric(trial.ID, loaded, mid); err != nil {
+		return nil, err
+	}
+	res.Save = time.Since(t0)
+
+	t0 = time.Now()
+	re, err := s.LoadTrial(trial.ID)
+	if err != nil {
+		return nil, err
+	}
+	res.Reload = time.Since(t0)
+	res.DataPoints = re.DataPoints()
+
+	gm := re.MetricID("FLOPS")
+	if gm >= 0 && re.Metrics()[gm].Derived {
+		th := re.FindThread(0, 0, 0)
+		e := re.FindIntervalEvent("hydro")
+		d := th.FindIntervalData(e.ID)
+		want := 1e6 * d.PerMetric[re.MetricID("PAPI_FP_OPS")].Exclusive /
+			d.PerMetric[re.MetricID("TIME")].Exclusive
+		got := d.PerMetric[gm].Exclusive
+		diff := got - want
+		if diff < 0 {
+			diff = -diff
+		}
+		res.ValueOK = diff <= 1e-9*want
+	}
+	return res, nil
+}
+
+// --- E8: XML export round trip ---
+
+// E8Result times the common-XML export/import path.
+type E8Result struct {
+	Export     time.Duration
+	Import     time.Duration
+	Bytes      int64
+	DataPoints int
+	Lossless   bool
+}
+
+// RunE8 exports a mid-size trial as XML and imports it back.
+func RunE8(dir string, threads, events int) (*E8Result, error) {
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: threads, Events: events, Metrics: 2, Seed: 9})
+	path := dir + "/e8.xml"
+	res := &E8Result{DataPoints: p.DataPoints()}
+
+	t0 := time.Now()
+	if err := writeXML(path, p); err != nil {
+		return nil, err
+	}
+	res.Export = time.Since(t0)
+	if fi, err := os.Stat(path); err == nil {
+		res.Bytes = fi.Size()
+	}
+
+	t0 = time.Now()
+	re, err := formats.Load(formats.XML, path)
+	if err != nil {
+		return nil, err
+	}
+	res.Import = time.Since(t0)
+	res.Lossless = re.DataPoints() == p.DataPoints() &&
+		re.NumThreads() == p.NumThreads() &&
+		len(re.Metrics()) == len(p.Metrics())
+	return res, nil
+}

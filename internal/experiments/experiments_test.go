@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The experiment runners are exercised at small scale; the full sweeps run
+// in cmd/experiments and the benchmark harness.
+
+func TestRunE1Small(t *testing.T) {
+	rows, err := RunE1([]int{16, 64}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[0].DataPoints != 16*21 || rows[1].DataPoints != 64*21 {
+		t.Fatalf("datapoints: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Upload <= 0 || r.Load <= 0 || r.UploadRate <= 0 {
+			t.Fatalf("timings: %+v", r)
+		}
+	}
+}
+
+func TestRunE2AllFormats(t *testing.T) {
+	rows, err := RunE2(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("formats: %d", len(rows))
+	}
+	for _, r := range rows {
+		if !r.RoundTrip {
+			t.Errorf("%s: round trip failed", r.Format)
+		}
+		if r.DataPoints == 0 {
+			t.Errorf("%s: empty profile", r.Format)
+		}
+	}
+}
+
+func TestRunE3Shape(t *testing.T) {
+	res, err := RunE3([]int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	study := res.Study
+	if len(study.Procs) != 4 || study.Procs[3] != 8 {
+		t.Fatalf("procs: %v", study.Procs)
+	}
+	// Monotone speedup, decreasing efficiency, the defining shape.
+	if study.AppSpeed[3] <= study.AppSpeed[0] {
+		t.Fatalf("speedup: %v", study.AppSpeed)
+	}
+	if study.AppEff[3] >= study.AppEff[0] {
+		t.Fatalf("efficiency: %v", study.AppEff)
+	}
+}
+
+func TestRunE4Recovers(t *testing.T) {
+	rows, err := RunE4([]int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Agreement < 0.9 {
+		t.Fatalf("agreement: %+v", rows[0])
+	}
+	if rows[0].K != 3 || rows[0].Dimensions != 40 {
+		t.Fatalf("shape: %+v", rows[0])
+	}
+}
+
+func TestRunE5BothBackends(t *testing.T) {
+	rows, err := RunE5(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows: %+v", rows)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		seen[r.Backend+"/"+r.Path] = true
+		if r.Elapsed <= 0 {
+			t.Fatalf("timing: %+v", r)
+		}
+	}
+	for _, want := range []string{"mem/api", "mem/sql", "file/api", "file/sql"} {
+		if !seen[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+}
+
+func TestRunE6E7E8(t *testing.T) {
+	e6, err := RunE6()
+	if err != nil || !e6.FieldsOK || !e6.DroppedClean {
+		t.Fatalf("E6: %+v %v", e6, err)
+	}
+	e7, err := RunE7(16)
+	if err != nil || !e7.ValueOK {
+		t.Fatalf("E7: %+v %v", e7, err)
+	}
+	e8, err := RunE8(t.TempDir(), 8, 10)
+	if err != nil || !e8.Lossless || e8.Bytes == 0 {
+		t.Fatalf("E8: %+v %v", e8, err)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	batch, err := RunAblationBatchInsert(16, 10)
+	if err != nil || len(batch) != 3 {
+		t.Fatalf("batch: %v %v", batch, err)
+	}
+	index, err := RunAblationIndex(16, 10, 3)
+	if err != nil || len(index) != 2 {
+		t.Fatalf("index: %v %v", index, err)
+	}
+	// The index variant must not be slower than the full scan by a large
+	// factor (it should be faster; allow noise at tiny sizes).
+	if index[0].Elapsed > index[1].Elapsed*3 {
+		t.Fatalf("indexed load slower than scan: %v vs %v", index[0].Elapsed, index[1].Elapsed)
+	}
+	summary, err := RunAblationSummary(16, 10)
+	if err != nil || len(summary) != 2 {
+		t.Fatalf("summary: %v %v", summary, err)
+	}
+	seeding, err := RunAblationSeeding(32)
+	if err != nil || len(seeding) != 2 {
+		t.Fatalf("seeding: %v %v", seeding, err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package dynaprof parses dynaprof (Mucci) probe output, the PAPI-based
+// dynamic instrumentation profiler the paper imports. A dynaprof report is
+// one text file per process with an exclusive profile per probed function:
+//
+//	Dynaprof profile: papiprobe
+//	Metric: PAPI_TOT_CYC
+//
+//	Exclusive Profile.
+//
+//	Name         Percent      Total      Calls
+//	TOTAL         100.00   1000000          1
+//	main           45.20    452000          1
+//	compute        30.10    301000        100
+//
+//	Inclusive Profile.
+//
+//	Name         Percent      Total      Calls
+//	main          100.00   1000000          1
+//	compute        30.10    301000        100
+//
+// The TOTAL row of the exclusive section gives the whole-program total.
+// Single process data lands on thread (0,0,0); multi-process runs are one
+// file per rank, read with ReadRank.
+package dynaprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/model"
+)
+
+// TotalRow is the name of the whole-program summary row.
+const TotalRow = "TOTAL"
+
+// Read parses a single-process dynaprof report.
+func Read(path string) (*model.Profile, error) {
+	p := model.New("dynaprof")
+	if err := ReadRank(p, path, 0); err != nil {
+		return nil, err
+	}
+	p.Name = path
+	return p, nil
+}
+
+// ReadRank parses one dynaprof report into rank's thread of an existing
+// profile, so per-rank files can be merged into one trial.
+func ReadRank(p *model.Profile, path string, rank int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dynaprof: %w", err)
+	}
+	defer f.Close()
+	if err := parseInto(p, f, rank); err != nil {
+		return fmt.Errorf("dynaprof: %s: %w", path, err)
+	}
+	return nil
+}
+
+// Parse parses a dynaprof report from a reader (rank 0).
+func Parse(r io.Reader) (*model.Profile, error) {
+	p := model.New("dynaprof")
+	if err := parseInto(p, r, 0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseInto(p *model.Profile, r io.Reader, rank int) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	metricName := ""
+	const (
+		secNone = iota
+		secExclusive
+		secInclusive
+	)
+	section := secNone
+	type row struct{ total, calls float64 }
+	excl := make(map[string]row)
+	incl := make(map[string]row)
+	sawMagic := false
+
+	for sc.Scan() {
+		trimmed := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(trimmed, "Dynaprof profile:"):
+			sawMagic = true
+			continue
+		case strings.HasPrefix(trimmed, "Metric:"):
+			metricName = strings.TrimSpace(strings.TrimPrefix(trimmed, "Metric:"))
+			continue
+		case strings.HasPrefix(trimmed, "Exclusive Profile"):
+			section = secExclusive
+			continue
+		case strings.HasPrefix(trimmed, "Inclusive Profile"):
+			section = secInclusive
+			continue
+		case trimmed == "" || strings.HasPrefix(trimmed, "Name"):
+			continue
+		}
+		if section == secNone {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		if len(fields) < 4 {
+			continue
+		}
+		name := strings.Join(fields[:len(fields)-3], " ")
+		total, err1 := strconv.ParseFloat(fields[len(fields)-2], 64)
+		calls, err2 := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad profile row %q", trimmed)
+		}
+		if section == secExclusive {
+			excl[name] = row{total, calls}
+		} else {
+			incl[name] = row{total, calls}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawMagic {
+		return fmt.Errorf("not a dynaprof report (missing 'Dynaprof profile:' header)")
+	}
+	if metricName == "" {
+		metricName = "PAPI_TOT_CYC"
+	}
+	if len(excl) == 0 {
+		return fmt.Errorf("report has no exclusive profile rows")
+	}
+
+	metric := p.AddMetric(metricName)
+	th := p.Thread(rank, 0, 0)
+	for name, r := range excl {
+		if name == TotalRow {
+			continue
+		}
+		e := p.AddIntervalEvent(name, "DYNAPROF")
+		d := th.IntervalData(e.ID, len(p.Metrics()))
+		d.NumCalls = r.calls
+		inclTotal := r.total
+		if ir, ok := incl[name]; ok && ir.total > inclTotal {
+			inclTotal = ir.total
+		}
+		d.PerMetric[metric] = model.MetricData{Exclusive: r.total, Inclusive: inclTotal}
+	}
+	return nil
+}
+
+// Write renders one thread of a profile as a dynaprof report.
+func Write(path string, p *model.Profile, node int) error {
+	metrics := p.Metrics()
+	if len(metrics) == 0 {
+		return fmt.Errorf("dynaprof: profile has no metrics")
+	}
+	metric := 0
+	th := p.FindThread(node, 0, 0)
+	if th == nil {
+		return fmt.Errorf("dynaprof: profile has no thread %d,0,0", node)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dynaprof: %w", err)
+	}
+	w := bufio.NewWriter(f)
+
+	events := p.IntervalEvents()
+	var grand float64
+	th.EachInterval(func(_ int, d *model.IntervalData) {
+		grand += d.PerMetric[metric].Exclusive
+	})
+
+	fmt.Fprintf(w, "Dynaprof profile: papiprobe\n")
+	fmt.Fprintf(w, "Metric: %s\n\n", metrics[metric].Name)
+	for _, inclusive := range []bool{false, true} {
+		if inclusive {
+			fmt.Fprintf(w, "\nInclusive Profile.\n\n")
+		} else {
+			fmt.Fprintf(w, "Exclusive Profile.\n\n")
+		}
+		fmt.Fprintf(w, "%-24s %10s %14s %10s\n", "Name", "Percent", "Total", "Calls")
+		if !inclusive {
+			fmt.Fprintf(w, "%-24s %10.2f %14.6g %10d\n", TotalRow, 100.0, grand, 1)
+		}
+		th.EachInterval(func(eid int, d *model.IntervalData) {
+			v := d.PerMetric[metric].Exclusive
+			if inclusive {
+				v = d.PerMetric[metric].Inclusive
+			}
+			pct := 0.0
+			if grand > 0 {
+				pct = 100 * v / grand
+			}
+			fmt.Fprintf(w, "%-24s %10.2f %14.6g %10.0f\n", events[eid].Name, pct, v, d.NumCalls)
+		})
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("dynaprof: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,160 @@
+package dynaprof
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/model"
+)
+
+const sampleReport = `Dynaprof profile: papiprobe
+Metric: PAPI_TOT_CYC
+
+Exclusive Profile.
+
+Name                        Percent          Total      Calls
+TOTAL                        100.00        1000000          1
+main                          24.70         247000          1
+compute kernel                45.20         452000        100
+io_phase                      30.10         301000         10
+
+Inclusive Profile.
+
+Name                        Percent          Total      Calls
+main                         100.00        1000000          1
+compute kernel                45.20         452000        100
+io_phase                      30.10         301000         10
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MetricID("PAPI_TOT_CYC") != 0 {
+		t.Fatalf("metric: %v", p.Metrics())
+	}
+	if p.FindIntervalEvent(TotalRow) != nil {
+		t.Error("TOTAL row should not become an event")
+	}
+	th := p.FindThread(0, 0, 0)
+	e := p.FindIntervalEvent("compute kernel")
+	if e == nil {
+		t.Fatal("event with spaces in name missing")
+	}
+	d := th.FindIntervalData(e.ID)
+	if d.PerMetric[0].Exclusive != 452000 || d.NumCalls != 100 {
+		t.Fatalf("compute kernel: %+v", d)
+	}
+	m := p.FindIntervalEvent("main")
+	md := th.FindIntervalData(m.ID)
+	if md.PerMetric[0].Inclusive != 1000000 || md.PerMetric[0].Exclusive != 247000 {
+		t.Fatalf("main incl/excl: %+v", md)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	// No Metric: line → default metric name; no inclusive section →
+	// inclusive falls back to exclusive.
+	minimal := `Dynaprof profile: papiprobe
+
+Exclusive Profile.
+
+Name      Percent     Total    Calls
+f           100.0      5000        2
+`
+	p, err := Parse(strings.NewReader(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MetricID("PAPI_TOT_CYC") != 0 {
+		t.Fatalf("default metric: %v", p.Metrics())
+	}
+	d := p.FindThread(0, 0, 0).FindIntervalData(p.FindIntervalEvent("f").ID)
+	if d.PerMetric[0].Inclusive != 5000 {
+		t.Fatalf("inclusive fallback: %+v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Parse(strings.NewReader("Dynaprof profile: papiprobe\nExclusive Profile.\n")); err == nil {
+		t.Error("empty profile accepted")
+	}
+	bad := "Dynaprof profile: papiprobe\nExclusive Profile.\nf 100.0 abc 1\n"
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("bad numbers accepted")
+	}
+}
+
+func TestMultiRank(t *testing.T) {
+	dir := t.TempDir()
+	p := model.New("multi")
+	for rank := 0; rank < 3; rank++ {
+		path := filepath.Join(dir, "out."+string(rune('0'+rank)))
+		content := strings.Replace(sampleReport, "452000", "45200"+string(rune('0'+rank)), 2)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := ReadRank(p, path, rank); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.NumThreads() != 3 {
+		t.Fatalf("threads: %d", p.NumThreads())
+	}
+	e := p.FindIntervalEvent("compute kernel")
+	d2 := p.FindThread(2, 0, 0).FindIntervalData(e.ID)
+	if d2.PerMetric[0].Exclusive != 452002 {
+		t.Fatalf("rank2: %+v", d2)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sampleReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "dyn.out")
+	if err := Write(path, orig, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"main", "compute kernel", "io_phase"} {
+		we := orig.FindIntervalEvent(name)
+		ge := got.FindIntervalEvent(name)
+		if ge == nil {
+			t.Fatalf("lost event %q", name)
+		}
+		wd := orig.FindThread(0, 0, 0).FindIntervalData(we.ID)
+		gd := got.FindThread(0, 0, 0).FindIntervalData(ge.ID)
+		if wd.NumCalls != gd.NumCalls {
+			t.Errorf("%s calls: %g vs %g", name, gd.NumCalls, wd.NumCalls)
+		}
+		diff := wd.PerMetric[0].Exclusive - gd.PerMetric[0].Exclusive
+		if diff < -1 || diff > 1 {
+			t.Errorf("%s exclusive: %g vs %g", name, gd.PerMetric[0].Exclusive, wd.PerMetric[0].Exclusive)
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	p := model.New("x")
+	if err := Write(filepath.Join(t.TempDir(), "f"), p, 0); err == nil {
+		t.Error("no-metric profile accepted")
+	}
+	p.AddMetric("M")
+	if err := Write(filepath.Join(t.TempDir(), "f"), p, 5); err == nil {
+		t.Error("missing rank accepted")
+	}
+}

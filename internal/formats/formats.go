@@ -1,0 +1,197 @@
+// Package formats ties the individual profile-format packages together:
+// it names the supported formats, auto-detects the format of a file or
+// directory, and loads any of them into the common model (paper §3.1:
+// "PerfDMF is designed to parse parallel profile data from multiple
+// sources ... through the use of embedded translators").
+package formats
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"perfdmf/internal/formats/dynaprof"
+	"perfdmf/internal/formats/gprof"
+	"perfdmf/internal/formats/hpm"
+	"perfdmf/internal/formats/mpip"
+	"perfdmf/internal/formats/psrun"
+	"perfdmf/internal/formats/sppm"
+	"perfdmf/internal/formats/tau"
+	"perfdmf/internal/formats/xmlprof"
+	"perfdmf/internal/model"
+)
+
+// Format names accepted by Load and returned by Detect.
+const (
+	TAU      = "tau"
+	Gprof    = "gprof"
+	MpiP     = "mpip"
+	Dynaprof = "dynaprof"
+	HPM      = "hpm"
+	Psrun    = "psrun"
+	SPPM     = "sppm"
+	XML      = "xml"
+)
+
+// All lists every supported format name.
+var All = []string{TAU, Gprof, MpiP, Dynaprof, HPM, Psrun, SPPM, XML}
+
+// Load parses path (a file, or a directory for TAU) as the named format.
+func Load(format, path string) (*model.Profile, error) {
+	switch format {
+	case TAU:
+		return tau.Read(path)
+	case Gprof:
+		return gprof.Read(path)
+	case MpiP:
+		return mpip.Read(path)
+	case Dynaprof:
+		return dynaprof.Read(path)
+	case HPM:
+		return hpm.Read(path)
+	case Psrun:
+		return psrun.Read(path)
+	case SPPM:
+		return sppm.Read(path)
+	case XML:
+		return xmlprof.Read(path)
+	}
+	return nil, fmt.Errorf("formats: unknown format %q (supported: %s)",
+		format, strings.Join(All, ", "))
+}
+
+// Detect inspects path and returns the format name it appears to be, based
+// on directory layout for TAU and leading content for the file formats.
+func Detect(path string) (string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return "", fmt.Errorf("formats: %w", err)
+	}
+	if fi.IsDir() {
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return "", fmt.Errorf("formats: %w", err)
+		}
+		for _, e := range entries {
+			if strings.HasPrefix(e.Name(), tau.FilePrefix) ||
+				(e.IsDir() && strings.HasPrefix(e.Name(), "MULTI__")) {
+				return TAU, nil
+			}
+		}
+		return "", fmt.Errorf("formats: directory %s does not look like a TAU profile", path)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return "", fmt.Errorf("formats: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	var lines []string
+	for sc.Scan() && len(lines) < 50 {
+		lines = append(lines, strings.TrimSpace(sc.Text()))
+	}
+	if err := sc.Err(); err != nil {
+		return "", fmt.Errorf("formats: %w", err)
+	}
+	for _, ln := range lines {
+		switch {
+		case strings.HasPrefix(ln, "@ mpiP"):
+			return MpiP, nil
+		case strings.HasPrefix(ln, "Flat profile:"):
+			return Gprof, nil
+		case strings.HasPrefix(ln, "Dynaprof profile:"):
+			return Dynaprof, nil
+		case strings.HasPrefix(ln, "libHPM output summary"):
+			return HPM, nil
+		case strings.Contains(ln, "<hwpcreport"):
+			return Psrun, nil
+		case strings.Contains(ln, "<profile"):
+			return XML, nil
+		case strings.HasPrefix(ln, "# sPPM"):
+			return SPPM, nil
+		case strings.Contains(ln, "templated_functions"):
+			return TAU, nil
+		}
+	}
+	if base := filepath.Base(path); strings.HasPrefix(base, tau.FilePrefix) {
+		return TAU, nil
+	}
+	return "", fmt.Errorf("formats: cannot determine the format of %s", path)
+}
+
+// LoadAuto detects the format of path and loads it. A bare TAU profile
+// file is loaded via its parent directory.
+func LoadAuto(path string) (*model.Profile, error) {
+	format, err := Detect(path)
+	if err != nil {
+		return nil, err
+	}
+	if format == TAU {
+		if fi, err := os.Stat(path); err == nil && !fi.IsDir() {
+			path = filepath.Dir(path)
+		}
+	}
+	return Load(format, path)
+}
+
+// ScanDir lists the regular files in dir whose names match the optional
+// prefix and suffix filters, sorted by name — the paper's §4 mechanism for
+// selecting "a subset of files in a directory that start with a particular
+// prefix or end with a particular suffix".
+func ScanDir(dir, prefix, suffix string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("formats: %w", err)
+	}
+	var out []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if prefix != "" && !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if suffix != "" && !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		out = append(out, filepath.Join(dir, name))
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// LoadMultiRank merges one file per MPI rank into a single trial, for the
+// formats whose tools write per-process output (dynaprof, HPMToolkit,
+// PerfSuite). Files are assigned ranks in slice order, so pass them sorted
+// (ScanDir already does). TAU handles its own directories; mpiP, gprof and
+// sPPM write one file per run.
+func LoadMultiRank(format string, paths []string) (*model.Profile, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("formats: no input files")
+	}
+	var readRank func(p *model.Profile, path string, rank int) error
+	switch format {
+	case Dynaprof:
+		readRank = dynaprof.ReadRank
+	case HPM:
+		readRank = hpm.ReadRank
+	case Psrun:
+		readRank = psrun.ReadRank
+	default:
+		return nil, fmt.Errorf("formats: %s does not support per-rank files (supported: %s, %s, %s)",
+			format, Dynaprof, HPM, Psrun)
+	}
+	p := model.New(format + "-multirank")
+	for rank, path := range paths {
+		if err := readRank(p, path, rank); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

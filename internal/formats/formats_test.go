@@ -1,0 +1,192 @@
+package formats
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"perfdmf/internal/formats/gprof"
+	"perfdmf/internal/formats/xmlprof"
+	"perfdmf/internal/model"
+)
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDetect(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string]string{
+		MpiP:     "@ mpiP\n@ Command : x\n",
+		Gprof:    "Flat profile:\n",
+		Dynaprof: "Dynaprof profile: papiprobe\n",
+		HPM:      "libHPM output summary\n",
+		Psrun:    "<?xml version=\"1.0\"?>\n<hwpcreport version=\"1.0\">\n",
+		XML:      "<?xml version=\"1.0\"?>\n<profile name=\"x\">\n",
+		SPPM:     "# sPPM self-instrumented timing\n",
+	}
+	i := 0
+	for want, content := range cases {
+		path := writeFile(t, dir, "f"+string(rune('a'+i)), content)
+		i++
+		got, err := Detect(path)
+		if err != nil || got != want {
+			t.Errorf("Detect(%s content) = %q, %v; want %q", want, got, err, want)
+		}
+	}
+	// TAU directory.
+	tauDir := filepath.Join(dir, "taurun")
+	os.MkdirAll(tauDir, 0o755)
+	writeFile(t, tauDir, "profile.0.0.0", "1 templated_functions_MULTI_TIME\n# hdr\n\"f\" 1 0 1 1 0\n")
+	if got, err := Detect(tauDir); err != nil || got != TAU {
+		t.Errorf("Detect(tau dir) = %q, %v", got, err)
+	}
+	// Bare TAU file.
+	if got, err := Detect(filepath.Join(tauDir, "profile.0.0.0")); err != nil || got != TAU {
+		t.Errorf("Detect(tau file) = %q, %v", got, err)
+	}
+	// Unknown content.
+	unk := writeFile(t, dir, "unknown.bin", "random stuff\n")
+	if _, err := Detect(unk); err == nil {
+		t.Error("unknown content detected as something")
+	}
+	// Missing path.
+	if _, err := Detect(filepath.Join(dir, "nope")); err == nil {
+		t.Error("missing path accepted")
+	}
+	// Non-TAU directory.
+	empty := filepath.Join(dir, "emptydir")
+	os.MkdirAll(empty, 0o755)
+	if _, err := Detect(empty); err == nil {
+		t.Error("empty dir detected as something")
+	}
+}
+
+func TestLoadDispatch(t *testing.T) {
+	dir := t.TempDir()
+	// Build a small profile, write it as XML, load through the dispatcher.
+	p := model.New("dispatch")
+	m := p.AddMetric("TIME")
+	e := p.AddIntervalEvent("f", "")
+	d := p.Thread(0, 0, 0).IntervalData(e.ID, 1)
+	d.NumCalls = 1
+	d.PerMetric[m] = model.MetricData{Inclusive: 10, Exclusive: 10}
+	xmlPath := filepath.Join(dir, "t.xml")
+	if err := xmlprof.Write(xmlPath, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(XML, xmlPath)
+	if err != nil || got.NumThreads() != 1 {
+		t.Fatalf("Load(xml): %v %v", got, err)
+	}
+	if _, err := Load("nosuch", xmlPath); err == nil {
+		t.Error("unknown format accepted")
+	}
+	// LoadAuto on a gprof file.
+	gPath := filepath.Join(dir, "gmon.txt")
+	if err := gprof.Write(gPath, got); err == nil {
+		// got has TIME metric and thread 0,0,0, so Write succeeds; LoadAuto
+		// must find its way back.
+		auto, err := LoadAuto(gPath)
+		if err != nil {
+			t.Fatalf("LoadAuto(gprof): %v", err)
+		}
+		if auto.FindIntervalEvent("f") == nil {
+			t.Error("LoadAuto lost event")
+		}
+	} else {
+		t.Fatalf("gprof.Write: %v", err)
+	}
+	// LoadAuto on a bare TAU file resolves to the parent directory.
+	tauDir := filepath.Join(dir, "taurun")
+	os.MkdirAll(tauDir, 0o755)
+	writeFile(t, tauDir, "profile.0.0.0", "1 templated_functions_MULTI_TIME\n# hdr\n\"g\" 2 0 5 5 0\n")
+	auto, err := LoadAuto(filepath.Join(tauDir, "profile.0.0.0"))
+	if err != nil {
+		t.Fatalf("LoadAuto(tau file): %v", err)
+	}
+	if auto.FindIntervalEvent("g") == nil {
+		t.Error("tau LoadAuto lost event")
+	}
+}
+
+func TestAllFormatsListed(t *testing.T) {
+	if len(All) != 8 {
+		t.Fatalf("All = %v", All)
+	}
+	seen := map[string]bool{}
+	for _, f := range All {
+		if seen[f] {
+			t.Fatalf("duplicate format %q", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestScanDir(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"app.hpm0_n0", "app.hpm1_n1", "app.hpm10_n2", "other.txt", "app.log"} {
+		writeFile(t, dir, name, "x")
+	}
+	os.MkdirAll(filepath.Join(dir, "app.hpm_dir"), 0o755)
+	files, err := ScanDir(dir, "app.hpm", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("prefix scan: %v", files)
+	}
+	files, _ = ScanDir(dir, "", ".txt")
+	if len(files) != 1 {
+		t.Fatalf("suffix scan: %v", files)
+	}
+	files, _ = ScanDir(dir, "app", ".log")
+	if len(files) != 1 {
+		t.Fatalf("prefix+suffix scan: %v", files)
+	}
+	if _, err := ScanDir(filepath.Join(dir, "missing"), "", ""); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestLoadMultiRank(t *testing.T) {
+	dir := t.TempDir()
+	doc := `<hwpcreport version="1.0" generator="psrun">
+  <executable>a.out</executable>
+  <hwpcevents><hwpcevent name="PAPI_TOT_CYC" type="preset">100</hwpcevent></hwpcevents>
+  <wallclock units="seconds">1.5</wallclock>
+</hwpcreport>`
+	for r := 0; r < 3; r++ {
+		writeFile(t, dir, fmt.Sprintf("run.%d.xml", r), doc)
+	}
+	paths, err := ScanDir(dir, "run.", ".xml")
+	if err != nil || len(paths) != 3 {
+		t.Fatalf("scan: %v %v", paths, err)
+	}
+	p, err := LoadMultiRank(Psrun, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumThreads() != 3 {
+		t.Fatalf("threads: %d", p.NumThreads())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unsupported formats and empty input rejected.
+	if _, err := LoadMultiRank(Gprof, paths); err == nil {
+		t.Error("gprof multi-rank accepted")
+	}
+	if _, err := LoadMultiRank(Psrun, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := LoadMultiRank(Psrun, []string{filepath.Join(dir, "nope.xml")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

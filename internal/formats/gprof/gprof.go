@@ -1,0 +1,280 @@
+// Package gprof parses GNU gprof text output (Graham, Kessler, McKusick —
+// the first profile format the paper lists) into the common profile model,
+// and writes the same shape back out for testing and interchange.
+//
+// The parser consumes the two standard report sections:
+//
+//   - the flat profile ("%  cumulative  self  calls  ...  name") supplies
+//     exclusive time and call counts;
+//   - the call graph ("index % time  self  children  called  name")
+//     supplies inclusive time (self + children) for each primary line.
+//
+// gprof measures a single process, so all data lands on thread (0,0,0).
+// Seconds are converted to microseconds, the model's canonical time unit.
+package gprof
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/model"
+)
+
+// MetricName is the metric gprof profiles record.
+const MetricName = "TIME"
+
+const secondsToMicro = 1e6
+
+// Read parses a gprof report file.
+func Read(path string) (*model.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("gprof: %w", err)
+	}
+	defer f.Close()
+	p, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("gprof: %s: %w", path, err)
+	}
+	p.Name = path
+	return p, nil
+}
+
+// Parse parses a gprof report from a reader.
+func Parse(r io.Reader) (*model.Profile, error) {
+	p := model.New("gprof")
+	metric := p.AddMetric(MetricName)
+	th := p.Thread(0, 0, 0)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	type flatRow struct {
+		self  float64
+		calls float64
+	}
+	flat := make(map[string]flatRow)
+	inclusive := make(map[string]float64)
+
+	const (
+		secNone = iota
+		secFlat
+		secGraph
+	)
+	section := secNone
+	sawFlat := false
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "Flat profile:"):
+			section = secFlat
+			sawFlat = true
+			continue
+		case strings.HasPrefix(trimmed, "Call graph"):
+			section = secGraph
+			continue
+		}
+		switch section {
+		case secFlat:
+			name, row, ok := parseFlatLine(trimmed)
+			if ok {
+				flat[name] = row
+			}
+		case secGraph:
+			name, incl, ok := parseGraphPrimaryLine(line)
+			if ok {
+				inclusive[name] = incl
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawFlat {
+		return nil, fmt.Errorf("no 'Flat profile:' section found")
+	}
+	if len(flat) == 0 {
+		return nil, fmt.Errorf("flat profile contains no samples")
+	}
+
+	for name, row := range flat {
+		e := p.AddIntervalEvent(name, "GPROF_DEFAULT")
+		d := th.IntervalData(e.ID, 1)
+		d.NumCalls = row.calls
+		excl := row.self * secondsToMicro
+		incl := excl
+		if v, ok := inclusive[name]; ok && v*secondsToMicro > incl {
+			incl = v * secondsToMicro
+		}
+		d.PerMetric[metric] = model.MetricData{Exclusive: excl, Inclusive: incl}
+	}
+	return p, nil
+}
+
+// parseFlatLine parses one data line of the flat profile:
+//
+//	%time  cumulative  self  [calls  self-ms/call  total-ms/call]  name
+func parseFlatLine(line string) (string, struct{ self, calls float64 }, bool) {
+	var zero struct{ self, calls float64 }
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return "", zero, false
+	}
+	// The first three fields must be numeric.
+	nums := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", zero, false
+		}
+		nums[i] = v
+	}
+	calls := 0.0
+	nameStart := 3
+	if v, err := strconv.ParseFloat(fields[3], 64); err == nil && len(fields) >= 7 {
+		calls = v
+		nameStart = 6
+	} else if err == nil && len(fields) == 5 {
+		// calls present but per-call columns absent (uncalled leaf).
+		calls = v
+		nameStart = 4
+	}
+	if nameStart >= len(fields) {
+		return "", zero, false
+	}
+	name := strings.Join(fields[nameStart:], " ")
+	return name, struct{ self, calls float64 }{self: nums[2], calls: calls}, true
+}
+
+// parseGraphPrimaryLine parses a primary call-graph line, which is the only
+// line in an entry that begins with "[n]" in the index column:
+//
+//	[3]    52.0    0.02    0.30     121         name [3]
+func parseGraphPrimaryLine(line string) (string, float64, bool) {
+	trimmed := strings.TrimSpace(line)
+	if !strings.HasPrefix(trimmed, "[") {
+		return "", 0, false
+	}
+	fields := strings.Fields(trimmed)
+	if len(fields) < 5 {
+		return "", 0, false
+	}
+	self, err1 := strconv.ParseFloat(fields[2], 64)
+	children, err2 := strconv.ParseFloat(fields[3], 64)
+	if err1 != nil || err2 != nil {
+		return "", 0, false
+	}
+	// Name runs from field 4 (or 5 when a "called" column is present) to
+	// the trailing "[n]" tag.
+	nameStart := 4
+	if _, err := parseCalled(fields[4]); err == nil && len(fields) >= 6 {
+		nameStart = 5
+	}
+	nameEnd := len(fields)
+	if strings.HasPrefix(fields[nameEnd-1], "[") {
+		nameEnd--
+	}
+	if nameStart >= nameEnd {
+		return "", 0, false
+	}
+	name := strings.Join(fields[nameStart:nameEnd], " ")
+	return name, self + children, true
+}
+
+// parseCalled parses the "called" column, which may be "121" or "121+5".
+func parseCalled(s string) (float64, error) {
+	if i := strings.IndexByte(s, '+'); i >= 0 {
+		s = s[:i]
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Write renders a profile as a gprof-style report. Only thread (0,0,0) and
+// the TIME metric are written, matching what gprof itself can express.
+func Write(path string, p *model.Profile) error {
+	th := p.FindThread(0, 0, 0)
+	if th == nil {
+		return fmt.Errorf("gprof: profile has no thread 0,0,0")
+	}
+	metric := p.MetricID(MetricName)
+	if metric < 0 {
+		return fmt.Errorf("gprof: profile has no %s metric", MetricName)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("gprof: %w", err)
+	}
+	w := bufio.NewWriter(f)
+
+	type row struct {
+		name              string
+		self, incl, calls float64
+	}
+	var rows []row
+	total := 0.0
+	events := p.IntervalEvents()
+	th.EachInterval(func(eid int, d *model.IntervalData) {
+		md := d.PerMetric[metric]
+		rows = append(rows, row{
+			name:  events[eid].Name,
+			self:  md.Exclusive / secondsToMicro,
+			incl:  md.Inclusive / secondsToMicro,
+			calls: d.NumCalls,
+		})
+		total += md.Exclusive / secondsToMicro
+	})
+	// gprof sorts the flat profile by self time, descending.
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			if rows[j].self > rows[i].self {
+				rows[i], rows[j] = rows[j], rows[i]
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "Flat profile:\n\n")
+	fmt.Fprintf(w, "Each sample counts as 0.01 seconds.\n")
+	fmt.Fprintf(w, "  %%   cumulative   self              self     total\n")
+	fmt.Fprintf(w, " time   seconds   seconds    calls  ms/call  ms/call  name\n")
+	cum := 0.0
+	for _, r := range rows {
+		cum += r.self
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * r.self / total
+		}
+		selfMS, totalMS := 0.0, 0.0
+		if r.calls > 0 {
+			selfMS = 1000 * r.self / r.calls
+			totalMS = 1000 * r.incl / r.calls
+		}
+		fmt.Fprintf(w, "%6.2f %10.2f %8.2f %8.0f %8.2f %8.2f  %s\n",
+			pct, cum, r.self, r.calls, selfMS, totalMS, r.name)
+	}
+
+	fmt.Fprintf(w, "\n\t\t     Call graph\n\n")
+	fmt.Fprintf(w, "granularity: each sample hit covers 2 byte(s)\n\n")
+	fmt.Fprintf(w, "index %% time    self  children    called     name\n")
+	for i, r := range rows {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * r.incl / total
+			if pct > 100 {
+				pct = 100
+			}
+		}
+		fmt.Fprintf(w, "[%d] %8.1f %7.2f %9.2f %9.0f         %s [%d]\n",
+			i+1, pct, r.self, r.incl-r.self, r.calls, r.name, i+1)
+		fmt.Fprintf(w, "-----------------------------------------------\n")
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("gprof: %w", err)
+	}
+	return f.Close()
+}

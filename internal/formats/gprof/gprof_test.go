@@ -1,0 +1,155 @@
+package gprof
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/model"
+)
+
+const sampleReport = `Flat profile:
+
+Each sample counts as 0.01 seconds.
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+ 60.00      0.60     0.60      100     6.00    12.00  compute
+ 30.00      0.90     0.30     7208     0.04     0.04  open
+ 10.00      1.00     0.10        1   100.00  1000.00  main
+
+		     Call graph
+
+granularity: each sample hit covers 2 byte(s) for 1.00% of 1.00 seconds
+
+index % time    self  children    called     name
+[1]     100.0    0.10      0.90         1         main [1]
+-----------------------------------------------
+[2]      90.0    0.60      0.30       100         compute [2]
+-----------------------------------------------
+[3]      30.0    0.30      0.00      7208         open [3]
+-----------------------------------------------
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	th := p.FindThread(0, 0, 0)
+	if th == nil {
+		t.Fatal("no thread 0,0,0")
+	}
+	check := func(name string, excl, incl, calls float64) {
+		t.Helper()
+		e := p.FindIntervalEvent(name)
+		if e == nil {
+			t.Fatalf("missing event %q", name)
+		}
+		d := th.FindIntervalData(e.ID)
+		if math.Abs(d.PerMetric[0].Exclusive-excl) > 1 ||
+			math.Abs(d.PerMetric[0].Inclusive-incl) > 1 ||
+			d.NumCalls != calls {
+			t.Errorf("%s: excl=%g incl=%g calls=%g, want %g/%g/%g",
+				name, d.PerMetric[0].Exclusive, d.PerMetric[0].Inclusive, d.NumCalls,
+				excl, incl, calls)
+		}
+	}
+	// Microseconds.
+	check("main", 0.10e6, 1.00e6, 1)
+	check("compute", 0.60e6, 0.90e6, 100)
+	check("open", 0.30e6, 0.30e6, 7208)
+}
+
+func TestParseFlatOnly(t *testing.T) {
+	flat := `Flat profile:
+
+Each sample counts as 0.01 seconds.
+  %   cumulative   self              self     total
+ time   seconds   seconds    calls  ms/call  ms/call  name
+100.00      0.50     0.50      10     50.00    50.00  solo func name
+`
+	p, err := Parse(strings.NewReader(flat))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.FindIntervalEvent("solo func name")
+	if e == nil {
+		t.Fatal("event with spaces in name not parsed")
+	}
+	d := p.FindThread(0, 0, 0).FindIntervalData(e.ID)
+	if d.PerMetric[0].Inclusive != d.PerMetric[0].Exclusive {
+		t.Errorf("inclusive should default to exclusive: %+v", d)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("not a gprof file")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Parse(strings.NewReader("Flat profile:\n\nno data rows\n")); err == nil {
+		t.Error("empty flat profile accepted")
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	p := model.New("rt")
+	m := p.AddMetric(MetricName)
+	th := p.Thread(0, 0, 0)
+	names := []string{"alpha", "beta_func", "gamma"}
+	for i, name := range names {
+		e := p.AddIntervalEvent(name, "GPROF_DEFAULT")
+		d := th.IntervalData(e.ID, 1)
+		d.NumCalls = float64(10 * (i + 1))
+		excl := float64(i+1) * 0.25e6
+		d.PerMetric[m] = model.MetricData{Exclusive: excl, Inclusive: excl * 2}
+	}
+	path := filepath.Join(t.TempDir(), "gmon.txt")
+	if err := Write(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gth := got.FindThread(0, 0, 0)
+	for _, name := range names {
+		we := p.FindIntervalEvent(name)
+		ge := got.FindIntervalEvent(name)
+		if ge == nil {
+			t.Fatalf("missing %q after round trip", name)
+		}
+		wd := th.FindIntervalData(we.ID)
+		gd := gth.FindIntervalData(ge.ID)
+		// The text format has 2 decimal places of seconds: tolerate 0.01 s.
+		if math.Abs(wd.PerMetric[0].Exclusive-gd.PerMetric[0].Exclusive) > 0.01e6 {
+			t.Errorf("%s exclusive: got %g want %g", name,
+				gd.PerMetric[0].Exclusive, wd.PerMetric[0].Exclusive)
+		}
+		if math.Abs(wd.PerMetric[0].Inclusive-gd.PerMetric[0].Inclusive) > 0.01e6 {
+			t.Errorf("%s inclusive: got %g want %g", name,
+				gd.PerMetric[0].Inclusive, wd.PerMetric[0].Inclusive)
+		}
+		if wd.NumCalls != gd.NumCalls {
+			t.Errorf("%s calls: got %g want %g", name, gd.NumCalls, wd.NumCalls)
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	p := model.New("x")
+	if err := Write(filepath.Join(t.TempDir(), "f"), p); err == nil {
+		t.Error("profile without thread accepted")
+	}
+	p.AddMetric("OTHER")
+	p.Thread(0, 0, 0)
+	if err := Write(filepath.Join(t.TempDir(), "f"), p); err == nil {
+		t.Error("profile without TIME metric accepted")
+	}
+}

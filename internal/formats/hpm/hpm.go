@@ -1,0 +1,202 @@
+// Package hpm parses IBM HPMToolkit (DeRose) output, the hardware
+// performance monitor format the paper imports (shown in its Figure 2).
+// HPMToolkit writes one text file per process ("<app>.hpm<rank>_<host>")
+// with one block per instrumented section:
+//
+//	libHPM output summary
+//	Total execution wall clock time: 12.5 seconds
+//
+//	Instrumented section: 1 - Label: main
+//	file: sweep.f, lines: 10 <--> 120
+//	Count: 1
+//	Wall Clock Time: 10.5 seconds
+//	PM_FPU0_CMPL (FPU 0 instructions) : 1234567
+//	PM_FPU1_CMPL (FPU 1 instructions) : 234567
+//	PM_CYC (Processor cycles)         : 987654321
+//
+// Each section becomes an interval event; wall-clock seconds become the
+// WALL_CLOCK_TIME metric in microseconds and each counter becomes its own
+// metric. Sections are flat, so inclusive equals exclusive.
+package hpm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/model"
+)
+
+// TimeMetric is the wall-clock metric name.
+const TimeMetric = "WALL_CLOCK_TIME"
+
+const secondsToMicro = 1e6
+
+// Read parses a single-process HPMToolkit file.
+func Read(path string) (*model.Profile, error) {
+	p := model.New("hpm")
+	if err := ReadRank(p, path, 0); err != nil {
+		return nil, err
+	}
+	p.Name = path
+	return p, nil
+}
+
+// ReadRank parses one HPMToolkit file into rank's thread of an existing
+// profile.
+func ReadRank(p *model.Profile, path string, rank int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("hpm: %w", err)
+	}
+	defer f.Close()
+	if err := parseInto(p, f, rank); err != nil {
+		return fmt.Errorf("hpm: %s: %w", path, err)
+	}
+	return nil
+}
+
+// Parse parses HPMToolkit output from a reader (rank 0).
+func Parse(r io.Reader) (*model.Profile, error) {
+	p := model.New("hpm")
+	if err := parseInto(p, r, 0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseInto(p *model.Profile, r io.Reader, rank int) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	th := p.Thread(rank, 0, 0)
+	var cur *model.IntervalData
+	sawMagic := false
+	sections := 0
+
+	setMetric := func(name string, v float64) {
+		m := p.AddMetric(name)
+		for len(cur.PerMetric) <= m {
+			cur.PerMetric = append(cur.PerMetric, model.MetricData{})
+		}
+		cur.PerMetric[m] = model.MetricData{Inclusive: v, Exclusive: v}
+	}
+
+	for sc.Scan() {
+		trimmed := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(trimmed, "libHPM output summary"):
+			sawMagic = true
+			continue
+		case strings.HasPrefix(trimmed, "Instrumented section:"):
+			label := "section"
+			if i := strings.Index(trimmed, "Label:"); i >= 0 {
+				label = strings.TrimSpace(trimmed[i+len("Label:"):])
+			}
+			e := p.AddIntervalEvent(label, "HPM")
+			cur = th.IntervalData(e.ID, len(p.Metrics()))
+			sections++
+			continue
+		case cur == nil:
+			continue
+		case strings.HasPrefix(trimmed, "file:"):
+			continue
+		case strings.HasPrefix(trimmed, "Count:"):
+			n, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(trimmed, "Count:")), 64)
+			if err != nil {
+				return fmt.Errorf("bad Count line %q", trimmed)
+			}
+			cur.NumCalls = n
+		case strings.HasPrefix(trimmed, "Wall Clock Time:"):
+			rest := strings.TrimSpace(strings.TrimPrefix(trimmed, "Wall Clock Time:"))
+			rest = strings.TrimSuffix(rest, "seconds")
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				return fmt.Errorf("bad Wall Clock Time line %q", trimmed)
+			}
+			setMetric(TimeMetric, v*secondsToMicro)
+		default:
+			// Counter line: "NAME (description) : value".
+			name, rest, ok := strings.Cut(trimmed, ":")
+			if !ok {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				continue
+			}
+			if i := strings.IndexByte(name, '('); i >= 0 {
+				name = name[:i]
+			}
+			name = strings.TrimSpace(name)
+			if name == "" || !strings.HasPrefix(name, "PM_") {
+				continue
+			}
+			setMetric(name, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if !sawMagic {
+		return fmt.Errorf("not HPMToolkit output (missing 'libHPM output summary')")
+	}
+	if sections == 0 {
+		return fmt.Errorf("no instrumented sections found")
+	}
+	// Widen any sections recorded before later metrics appeared.
+	nm := len(p.Metrics())
+	th.EachInterval(func(_ int, d *model.IntervalData) {
+		for len(d.PerMetric) < nm {
+			d.PerMetric = append(d.PerMetric, model.MetricData{})
+		}
+	})
+	return nil
+}
+
+// Write renders one rank of a profile as an HPMToolkit file.
+func Write(path string, p *model.Profile, node int) error {
+	th := p.FindThread(node, 0, 0)
+	if th == nil {
+		return fmt.Errorf("hpm: profile has no thread %d,0,0", node)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("hpm: %w", err)
+	}
+	w := bufio.NewWriter(f)
+
+	fmt.Fprintf(w, "libHPM output summary\n")
+	fmt.Fprintf(w, "Total execution wall clock time: 0.0 seconds\n")
+	events := p.IntervalEvents()
+	metrics := p.Metrics()
+	timeID := p.MetricID(TimeMetric)
+	section := 0
+	th.EachInterval(func(eid int, d *model.IntervalData) {
+		section++
+		fmt.Fprintf(w, "\nInstrumented section: %d - Label: %s\n", section, events[eid].Name)
+		fmt.Fprintf(w, "file: app.f, lines: 1 <--> 100\n")
+		fmt.Fprintf(w, "Count: %.0f\n", d.NumCalls)
+		if timeID >= 0 && timeID < len(d.PerMetric) {
+			fmt.Fprintf(w, "Wall Clock Time: %.9g seconds\n",
+				d.PerMetric[timeID].Inclusive/secondsToMicro)
+		}
+		for _, m := range metrics {
+			if m.ID == timeID || m.ID >= len(d.PerMetric) {
+				continue
+			}
+			if !strings.HasPrefix(m.Name, "PM_") {
+				continue
+			}
+			fmt.Fprintf(w, "%s (counter) : %.0f\n", m.Name, d.PerMetric[m.ID].Inclusive)
+		}
+	})
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("hpm: %w", err)
+	}
+	return f.Close()
+}

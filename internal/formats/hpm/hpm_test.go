@@ -1,0 +1,137 @@
+package hpm
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/model"
+)
+
+const sampleReport = `libHPM output summary
+Total execution wall clock time: 12.5 seconds
+
+Instrumented section: 1 - Label: main
+file: sweep.f, lines: 10 <--> 120
+Count: 1
+Wall Clock Time: 10.5 seconds
+PM_FPU0_CMPL (FPU 0 instructions) : 1234567
+PM_FPU1_CMPL (FPU 1 instructions) : 234567
+PM_CYC (Processor cycles) : 987654321
+
+Instrumented section: 2 - Label: solver loop
+file: sweep.f, lines: 40 <--> 80
+Count: 250
+Wall Clock Time: 7.25 seconds
+PM_FPU0_CMPL (FPU 0 instructions) : 1000000
+PM_CYC (Processor cycles) : 500000000
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.MetricID(TimeMetric) < 0 || p.MetricID("PM_CYC") < 0 ||
+		p.MetricID("PM_FPU0_CMPL") < 0 || p.MetricID("PM_FPU1_CMPL") < 0 {
+		t.Fatalf("metrics: %v", p.Metrics())
+	}
+	th := p.FindThread(0, 0, 0)
+	e := p.FindIntervalEvent("main")
+	d := th.FindIntervalData(e.ID)
+	if d.NumCalls != 1 {
+		t.Errorf("main count: %g", d.NumCalls)
+	}
+	if got := d.PerMetric[p.MetricID(TimeMetric)].Inclusive; got != 10.5e6 {
+		t.Errorf("main wall time: %g", got)
+	}
+	if got := d.PerMetric[p.MetricID("PM_CYC")].Inclusive; got != 987654321 {
+		t.Errorf("main cycles: %g", got)
+	}
+	e2 := p.FindIntervalEvent("solver loop")
+	d2 := th.FindIntervalData(e2.ID)
+	if d2.NumCalls != 250 {
+		t.Errorf("solver count: %g", d2.NumCalls)
+	}
+	// Section 2 lacks PM_FPU1_CMPL: must be zero-filled, not short.
+	if got := d2.PerMetric[p.MetricID("PM_FPU1_CMPL")].Inclusive; got != 0 {
+		t.Errorf("missing counter should be 0, got %g", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("nope")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Parse(strings.NewReader("libHPM output summary\n")); err == nil {
+		t.Error("no sections accepted")
+	}
+	bad := "libHPM output summary\nInstrumented section: 1 - Label: x\nCount: many\n"
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("bad Count accepted")
+	}
+}
+
+func TestMultiRank(t *testing.T) {
+	dir := t.TempDir()
+	p := model.New("multi")
+	for rank := 0; rank < 2; rank++ {
+		path := filepath.Join(dir, "app.hpm"+string(rune('0'+rank)))
+		if err := os.WriteFile(path, []byte(sampleReport), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := ReadRank(p, path, rank); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.NumThreads() != 2 {
+		t.Fatalf("threads: %d", p.NumThreads())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sampleReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "app.hpm0")
+	if err := Write(path, orig, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"main", "solver loop"} {
+		we := orig.FindIntervalEvent(name)
+		ge := got.FindIntervalEvent(name)
+		if ge == nil {
+			t.Fatalf("lost section %q", name)
+		}
+		wd := orig.FindThread(0, 0, 0).FindIntervalData(we.ID)
+		gd := got.FindThread(0, 0, 0).FindIntervalData(ge.ID)
+		for _, m := range orig.Metrics() {
+			gm := got.MetricID(m.Name)
+			if gm < 0 {
+				t.Fatalf("lost metric %q", m.Name)
+			}
+			w := wd.PerMetric[m.ID].Inclusive
+			g := gd.PerMetric[gm].Inclusive
+			diff := w - g
+			if diff < -1 || diff > 1 {
+				t.Errorf("%s %s: got %g want %g", name, m.Name, g, w)
+			}
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	p := model.New("x")
+	if err := Write(filepath.Join(t.TempDir(), "f"), p, 0); err == nil {
+		t.Error("empty profile accepted")
+	}
+}

@@ -1,0 +1,297 @@
+// Package mpip parses mpiP reports (Vetter & Chambreau), the lightweight
+// MPI profiling format the paper imports. The sections consumed are:
+//
+//	@--- MPI Time (seconds) ---
+//	Task    AppTime    MPITime     MPI%
+//	   0       10.1        2.5    24.75
+//	   *       40.4       10.0    24.75
+//
+//	@--- Callsites: N ---
+//	 ID Lev File/Address    Line Parent_Funct   MPI_Call
+//	  1   0 sweep.c          123 sweep          Send
+//
+//	@--- Callsite Time statistics (all, milliseconds): N ---
+//	Name    Site Rank  Count      Max     Mean      Min   App%   MPI%
+//	Send       1    0    100     2.50     2.00     1.50   4.95   20.0
+//
+// Per rank, an "Application" event carries AppTime (inclusive) with MPITime
+// folded in, and each callsite becomes an "MPI_<Call>() [site N at
+// <file>:<line>]" leaf event whose total time is Count × Mean. Ranks map to
+// nodes; milliseconds and seconds are converted to microseconds.
+package mpip
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/model"
+)
+
+// MetricName is the metric mpiP reports record.
+const MetricName = "TIME"
+
+const (
+	secondsToMicro = 1e6
+	millisToMicro  = 1e3
+)
+
+// AppEventName is the per-rank whole-application event.
+const AppEventName = "Application"
+
+// Read parses an mpiP report file.
+func Read(path string) (*model.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("mpip: %w", err)
+	}
+	defer f.Close()
+	p, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("mpip: %s: %w", path, err)
+	}
+	p.Name = path
+	return p, nil
+}
+
+type callsite struct {
+	id     int
+	file   string
+	line   int
+	parent string
+	call   string
+}
+
+// Parse parses an mpiP report from a reader.
+func Parse(r io.Reader) (*model.Profile, error) {
+	p := model.New("mpip")
+	metric := p.AddMetric(MetricName)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+
+	const (
+		secNone = iota
+		secMPITime
+		secCallsites
+		secStats
+	)
+	section := secNone
+	sawHeader := false
+	callsites := make(map[int]callsite)
+	// Deferred per-rank MPI totals so the Application event can subtract
+	// MPI time for its exclusive value.
+	appTime := make(map[int]float64) // rank -> app time (us)
+	mpiTime := make(map[int]float64) // rank -> mpi time (us)
+
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case strings.HasPrefix(trimmed, "@ mpiP"):
+			sawHeader = true
+			continue
+		case strings.HasPrefix(trimmed, "@---"):
+			switch {
+			case strings.Contains(trimmed, "MPI Time"):
+				section = secMPITime
+			case strings.Contains(trimmed, "Callsite Time statistics"):
+				section = secStats
+			case strings.Contains(trimmed, "Callsites"):
+				section = secCallsites
+			default:
+				section = secNone
+			}
+			continue
+		case strings.HasPrefix(trimmed, "@"):
+			continue // other metadata lines
+		}
+		if trimmed == "" {
+			continue
+		}
+		switch section {
+		case secMPITime:
+			fields := strings.Fields(trimmed)
+			if len(fields) < 3 || fields[0] == "Task" {
+				continue
+			}
+			if fields[0] == "*" {
+				continue // aggregate row
+			}
+			rank, err := strconv.Atoi(fields[0])
+			if err != nil {
+				continue
+			}
+			app, err1 := strconv.ParseFloat(fields[1], 64)
+			mpi, err2 := strconv.ParseFloat(fields[2], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad MPI Time row %q", trimmed)
+			}
+			appTime[rank] = app * secondsToMicro
+			mpiTime[rank] = mpi * secondsToMicro
+		case secCallsites:
+			fields := strings.Fields(trimmed)
+			if len(fields) < 6 || fields[0] == "ID" {
+				continue
+			}
+			id, err := strconv.Atoi(fields[0])
+			if err != nil {
+				continue
+			}
+			ln, _ := strconv.Atoi(fields[3])
+			callsites[id] = callsite{
+				id: id, file: fields[2], line: ln, parent: fields[4], call: fields[5],
+			}
+		case secStats:
+			fields := strings.Fields(trimmed)
+			if len(fields) < 6 || fields[0] == "Name" {
+				continue
+			}
+			if fields[2] == "*" {
+				continue // aggregate row
+			}
+			site, err := strconv.Atoi(fields[1])
+			if err != nil {
+				continue
+			}
+			rank, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("bad stats rank in %q", trimmed)
+			}
+			count, err1 := strconv.ParseFloat(fields[3], 64)
+			mean, err2 := strconv.ParseFloat(fields[5], 64)
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad stats row %q", trimmed)
+			}
+			cs, ok := callsites[site]
+			name := fields[0]
+			if ok {
+				name = fmt.Sprintf("MPI_%s() [site %d at %s:%d]", cs.call, site, cs.file, cs.line)
+			} else {
+				name = fmt.Sprintf("MPI_%s() [site %d]", name, site)
+			}
+			e := p.AddIntervalEvent(name, "MPI")
+			th := p.Thread(rank, 0, 0)
+			d := th.IntervalData(e.ID, len(p.Metrics()))
+			total := count * mean * millisToMicro
+			d.NumCalls += count
+			d.PerMetric[metric].Inclusive += total
+			d.PerMetric[metric].Exclusive += total
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("not an mpiP report (missing '@ mpiP' header)")
+	}
+	if len(appTime) == 0 {
+		return nil, fmt.Errorf("report has no 'MPI Time' section rows")
+	}
+
+	app := p.AddIntervalEvent(AppEventName, "APPLICATION")
+	for rank, t := range appTime {
+		th := p.Thread(rank, 0, 0)
+		d := th.IntervalData(app.ID, len(p.Metrics()))
+		d.NumCalls = 1
+		excl := t - mpiTime[rank]
+		if excl < 0 {
+			excl = 0
+		}
+		d.PerMetric[metric] = model.MetricData{Inclusive: t, Exclusive: excl}
+	}
+	return p, nil
+}
+
+// Write renders a profile as an mpiP-style report. Events in group "MPI"
+// become callsites; the AppEventName event supplies per-rank app time.
+func Write(path string, p *model.Profile) error {
+	metric := p.MetricID(MetricName)
+	if metric < 0 {
+		return fmt.Errorf("mpip: profile has no %s metric", MetricName)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("mpip: %w", err)
+	}
+	w := bufio.NewWriter(f)
+
+	fmt.Fprintf(w, "@ mpiP\n")
+	fmt.Fprintf(w, "@ Command : %s\n", p.Name)
+	fmt.Fprintf(w, "@ Version : 2.8.1\n")
+
+	appEvent := p.FindIntervalEvent(AppEventName)
+	threads := p.Threads()
+
+	fmt.Fprintf(w, "@--- MPI Time (seconds) %s\n", strings.Repeat("-", 40))
+	fmt.Fprintf(w, "Task    AppTime    MPITime     MPI%%\n")
+	var sumApp, sumMPI float64
+	for _, th := range threads {
+		var app, mpi float64
+		if appEvent != nil {
+			if d := th.FindIntervalData(appEvent.ID); d != nil {
+				app = d.PerMetric[metric].Inclusive / secondsToMicro
+				mpi = (d.PerMetric[metric].Inclusive - d.PerMetric[metric].Exclusive) / secondsToMicro
+			}
+		}
+		pct := 0.0
+		if app > 0 {
+			pct = 100 * mpi / app
+		}
+		fmt.Fprintf(w, "%4d %10.4g %10.4g %8.2f\n", th.ID.Node, app, mpi, pct)
+		sumApp += app
+		sumMPI += mpi
+	}
+	aggPct := 0.0
+	if sumApp > 0 {
+		aggPct = 100 * sumMPI / sumApp
+	}
+	fmt.Fprintf(w, "   * %10.4g %10.4g %8.2f\n", sumApp, sumMPI, aggPct)
+
+	// Assign a callsite ID per MPI event.
+	type site struct {
+		id   int
+		call string
+		ev   *model.IntervalEvent
+	}
+	var sites []site
+	for _, e := range p.IntervalEvents() {
+		if e.Group != "MPI" {
+			continue
+		}
+		call := strings.TrimPrefix(e.Name, "MPI_")
+		if i := strings.IndexAny(call, "( ["); i > 0 {
+			call = call[:i]
+		}
+		sites = append(sites, site{id: len(sites) + 1, call: call, ev: e})
+	}
+	fmt.Fprintf(w, "@--- Callsites: %d %s\n", len(sites), strings.Repeat("-", 40))
+	fmt.Fprintf(w, " ID Lev File/Address   Line Parent_Funct   MPI_Call\n")
+	for _, s := range sites {
+		fmt.Fprintf(w, "%3d   0 %-14s %4d %-14s %s\n", s.id, "app.c", 100+s.id, "main", s.call)
+	}
+
+	fmt.Fprintf(w, "@--- Callsite Time statistics (all, milliseconds): %d %s\n",
+		len(sites)*len(threads), strings.Repeat("-", 20))
+	fmt.Fprintf(w, "Name            Site Rank  Count      Max     Mean      Min   App%%   MPI%%\n")
+	for _, s := range sites {
+		for _, th := range threads {
+			d := th.FindIntervalData(s.ev.ID)
+			if d == nil || d.NumCalls == 0 {
+				continue
+			}
+			totalMS := d.PerMetric[metric].Inclusive / millisToMicro
+			mean := totalMS / d.NumCalls
+			fmt.Fprintf(w, "%-15s %4d %4d %6.0f %8.4g %8.4g %8.4g %6.2f %6.2f\n",
+				s.call, s.id, th.ID.Node, d.NumCalls, mean, mean, mean, 0.0, 0.0)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("mpip: %w", err)
+	}
+	return f.Close()
+}

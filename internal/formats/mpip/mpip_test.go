@@ -1,0 +1,154 @@
+package mpip
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/model"
+)
+
+const sampleReport = `@ mpiP
+@ Command : sweep3d.mpi
+@ Version : 2.8.1
+@ MPIP env var : [null]
+
+@--- MPI Time (seconds) ----------------------------------
+Task    AppTime    MPITime     MPI%
+   0       10.0        2.5    25.00
+   1       10.2        3.0    29.41
+   *       20.2        5.5    27.23
+
+@--- Callsites: 2 ----------------------------------------
+ ID Lev File/Address   Line Parent_Funct   MPI_Call
+  1   0 sweep.c         123 sweep          Send
+  2   0 sweep.c         145 sweep          Recv
+
+@--- Aggregate Time (top twenty, descending, milliseconds) ---
+Call                 Site       Time    App%    MPI%     COV
+Send                    1       3000   14.85   54.55    0.10
+
+@--- Callsite Time statistics (all, milliseconds): 4 -----
+Name            Site Rank  Count      Max     Mean      Min   App%   MPI%
+Send               1    0    100     20.0     15.0     10.0  15.00  60.00
+Send               1    1    100     20.0     16.0     10.0  15.69  53.33
+Recv               2    0     50     25.0     20.0     15.0  10.00  40.00
+Recv               2    1     50     30.0     28.0     20.0  13.73  46.67
+Send               1    *    200     20.0     15.5     10.0  15.35  56.36
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumThreads() != 2 {
+		t.Fatalf("threads: %d", p.NumThreads())
+	}
+	app := p.FindIntervalEvent(AppEventName)
+	if app == nil {
+		t.Fatal("no Application event")
+	}
+	d0 := p.FindThread(0, 0, 0).FindIntervalData(app.ID)
+	if d0.PerMetric[0].Inclusive != 10.0e6 {
+		t.Errorf("rank0 app inclusive = %g", d0.PerMetric[0].Inclusive)
+	}
+	if d0.PerMetric[0].Exclusive != 7.5e6 {
+		t.Errorf("rank0 app exclusive = %g", d0.PerMetric[0].Exclusive)
+	}
+	// Callsite event with resolved file/line in the name.
+	var sendEvent *model.IntervalEvent
+	for _, e := range p.IntervalEvents() {
+		if strings.HasPrefix(e.Name, "MPI_Send() [site 1") {
+			sendEvent = e
+		}
+	}
+	if sendEvent == nil {
+		t.Fatalf("no resolved Send callsite among %v", p.IntervalEvents())
+	}
+	if sendEvent.Group != "MPI" {
+		t.Errorf("group: %q", sendEvent.Group)
+	}
+	d1 := p.FindThread(1, 0, 0).FindIntervalData(sendEvent.ID)
+	// 100 calls × 16 ms = 1.6 s = 1.6e6 us.
+	if math.Abs(d1.PerMetric[0].Inclusive-1.6e6) > 1 {
+		t.Errorf("rank1 send total = %g", d1.PerMetric[0].Inclusive)
+	}
+	if d1.NumCalls != 100 {
+		t.Errorf("rank1 send calls = %g", d1.NumCalls)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("no header here")); err == nil {
+		t.Error("missing header accepted")
+	}
+	if _, err := Parse(strings.NewReader("@ mpiP\n@--- MPI Time (seconds) ---\nTask AppTime MPITime MPI%\n")); err == nil {
+		t.Error("empty MPI Time accepted")
+	}
+	bad := "@ mpiP\n@--- MPI Time (seconds) ---\n 0 ten 2.5 25\n"
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("bad numeric row accepted")
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sampleReport))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "app.mpiP")
+	if err := Write(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Application rows must round-trip numerically (names of callsites are
+	// regenerated, so compare totals instead).
+	app := got.FindIntervalEvent(AppEventName)
+	if app == nil {
+		t.Fatal("round trip lost Application event")
+	}
+	for rank := 0; rank < 2; rank++ {
+		wd := orig.FindThread(rank, 0, 0).FindIntervalData(orig.FindIntervalEvent(AppEventName).ID)
+		gd := got.FindThread(rank, 0, 0).FindIntervalData(app.ID)
+		if math.Abs(wd.PerMetric[0].Inclusive-gd.PerMetric[0].Inclusive) > 1e3 {
+			t.Errorf("rank %d app time: got %g want %g", rank,
+				gd.PerMetric[0].Inclusive, wd.PerMetric[0].Inclusive)
+		}
+	}
+	// Total MPI time across all callsites must match.
+	sumMPI := func(p *model.Profile) float64 {
+		total := 0.0
+		for _, e := range p.IntervalEvents() {
+			if e.Group != "MPI" {
+				continue
+			}
+			for _, th := range p.Threads() {
+				if d := th.FindIntervalData(e.ID); d != nil {
+					total += d.PerMetric[0].Inclusive
+				}
+			}
+		}
+		return total
+	}
+	if w, g := sumMPI(orig), sumMPI(got); math.Abs(w-g) > 1e3 {
+		t.Errorf("total callsite time: got %g want %g", g, w)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	p := model.New("x")
+	if err := Write(filepath.Join(t.TempDir(), "f"), p); err == nil {
+		t.Error("profile without TIME accepted")
+	}
+}

@@ -1,0 +1,196 @@
+// Package psrun parses PerfSuite psrun XML documents (NCSA), the last of
+// the paper's six import formats. A psrun document records whole-program
+// hardware counter totals for one process:
+//
+//	<hwpcreport version="1.0" generator="psrun">
+//	  <executable>sweep3d</executable>
+//	  <hwpcevents>
+//	    <hwpcevent name="PAPI_TOT_CYC" type="preset">987654321</hwpcevent>
+//	    <hwpcevent name="PAPI_FP_OPS" type="preset">123456789</hwpcevent>
+//	  </hwpcevents>
+//	  <wallclock units="seconds">12.5</wallclock>
+//	</hwpcreport>
+//
+// There is no per-function breakdown, so the whole run becomes a single
+// "Entire Program" event whose metrics are the counters plus wall-clock
+// time (converted to microseconds). Multi-process runs are one XML file per
+// rank, merged with ReadRank.
+package psrun
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/model"
+)
+
+// EventName is the single whole-program interval event.
+const EventName = "Entire Program"
+
+// TimeMetric is the wall-clock metric name.
+const TimeMetric = "WALL_CLOCK_TIME"
+
+const secondsToMicro = 1e6
+
+// report mirrors the psrun XML document.
+type report struct {
+	XMLName    xml.Name    `xml:"hwpcreport"`
+	Version    string      `xml:"version,attr"`
+	Generator  string      `xml:"generator,attr"`
+	Executable string      `xml:"executable"`
+	Events     []hwpcEvent `xml:"hwpcevents>hwpcevent"`
+	Wallclock  *wallclock  `xml:"wallclock"`
+}
+
+type hwpcEvent struct {
+	Name  string `xml:"name,attr"`
+	Type  string `xml:"type,attr"`
+	Value string `xml:",chardata"`
+}
+
+type wallclock struct {
+	Units string `xml:"units,attr"`
+	Value string `xml:",chardata"`
+}
+
+// Read parses a single psrun XML file.
+func Read(path string) (*model.Profile, error) {
+	p := model.New("psrun")
+	if err := ReadRank(p, path, 0); err != nil {
+		return nil, err
+	}
+	p.Name = path
+	return p, nil
+}
+
+// ReadRank parses one psrun document into rank's thread of an existing
+// profile.
+func ReadRank(p *model.Profile, path string, rank int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("psrun: %w", err)
+	}
+	defer f.Close()
+	if err := parseInto(p, f, rank); err != nil {
+		return fmt.Errorf("psrun: %s: %w", path, err)
+	}
+	return nil
+}
+
+// Parse parses a psrun document from a reader (rank 0).
+func Parse(r io.Reader) (*model.Profile, error) {
+	p := model.New("psrun")
+	if err := parseInto(p, r, 0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func parseInto(p *model.Profile, r io.Reader, rank int) error {
+	var rep report
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("bad XML: %w", err)
+	}
+	if len(rep.Events) == 0 && rep.Wallclock == nil {
+		return fmt.Errorf("document has no hwpcevent or wallclock elements")
+	}
+	if rep.Executable != "" && p.Name == "psrun" {
+		p.Name = rep.Executable
+	}
+	e := p.AddIntervalEvent(EventName, "PSRUN")
+	th := p.Thread(rank, 0, 0)
+	d := th.IntervalData(e.ID, len(p.Metrics()))
+	d.NumCalls = 1
+
+	set := func(name string, v float64) {
+		m := p.AddMetric(name)
+		for len(d.PerMetric) <= m {
+			d.PerMetric = append(d.PerMetric, model.MetricData{})
+		}
+		d.PerMetric[m] = model.MetricData{Inclusive: v, Exclusive: v}
+	}
+	for _, ev := range rep.Events {
+		v, err := strconv.ParseFloat(strings.TrimSpace(ev.Value), 64)
+		if err != nil {
+			return fmt.Errorf("bad hwpcevent value %q for %s", ev.Value, ev.Name)
+		}
+		set(ev.Name, v)
+	}
+	if rep.Wallclock != nil {
+		v, err := strconv.ParseFloat(strings.TrimSpace(rep.Wallclock.Value), 64)
+		if err != nil {
+			return fmt.Errorf("bad wallclock value %q", rep.Wallclock.Value)
+		}
+		if rep.Wallclock.Units == "" || rep.Wallclock.Units == "seconds" {
+			v *= secondsToMicro
+		}
+		set(TimeMetric, v)
+	}
+	// Widen in case another rank introduced extra metrics earlier.
+	nm := len(p.Metrics())
+	for len(d.PerMetric) < nm {
+		d.PerMetric = append(d.PerMetric, model.MetricData{})
+	}
+	return nil
+}
+
+// Write renders one rank of a profile as a psrun XML document.
+func Write(path string, p *model.Profile, node int) error {
+	th := p.FindThread(node, 0, 0)
+	if th == nil {
+		return fmt.Errorf("psrun: profile has no thread %d,0,0", node)
+	}
+	e := p.FindIntervalEvent(EventName)
+	if e == nil {
+		// Fall back to the first event; psrun has exactly one section.
+		evs := p.IntervalEvents()
+		if len(evs) == 0 {
+			return fmt.Errorf("psrun: profile has no events")
+		}
+		e = evs[0]
+	}
+	d := th.FindIntervalData(e.ID)
+	if d == nil {
+		return fmt.Errorf("psrun: thread %d,0,0 has no data for %q", node, e.Name)
+	}
+	rep := report{Version: "1.0", Generator: "psrun", Executable: p.Name}
+	timeID := p.MetricID(TimeMetric)
+	for _, m := range p.Metrics() {
+		if m.ID >= len(d.PerMetric) {
+			continue
+		}
+		v := d.PerMetric[m.ID].Inclusive
+		if m.ID == timeID {
+			rep.Wallclock = &wallclock{
+				Units: "seconds",
+				Value: strconv.FormatFloat(v/secondsToMicro, 'g', -1, 64),
+			}
+			continue
+		}
+		rep.Events = append(rep.Events, hwpcEvent{
+			Name:  m.Name,
+			Type:  "preset",
+			Value: strconv.FormatFloat(v, 'f', -1, 64),
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("psrun: %w", err)
+	}
+	enc := xml.NewEncoder(f)
+	enc.Indent("", "  ")
+	if _, err := io.WriteString(f, xml.Header); err != nil {
+		f.Close()
+		return fmt.Errorf("psrun: %w", err)
+	}
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return fmt.Errorf("psrun: %w", err)
+	}
+	return f.Close()
+}

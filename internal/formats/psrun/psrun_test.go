@@ -1,0 +1,115 @@
+package psrun
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/model"
+)
+
+const sampleDoc = `<?xml version="1.0" encoding="UTF-8"?>
+<hwpcreport version="1.0" generator="psrun">
+  <executable>sweep3d</executable>
+  <hwpcevents>
+    <hwpcevent name="PAPI_TOT_CYC" type="preset">987654321</hwpcevent>
+    <hwpcevent name="PAPI_FP_OPS" type="preset">123456789</hwpcevent>
+    <hwpcevent name="PAPI_L1_DCM" type="preset">55555</hwpcevent>
+  </hwpcevents>
+  <wallclock units="seconds">12.5</wallclock>
+</hwpcreport>
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "sweep3d" {
+		t.Errorf("name: %q", p.Name)
+	}
+	e := p.FindIntervalEvent(EventName)
+	if e == nil {
+		t.Fatal("no Entire Program event")
+	}
+	d := p.FindThread(0, 0, 0).FindIntervalData(e.ID)
+	if got := d.PerMetric[p.MetricID("PAPI_TOT_CYC")].Inclusive; got != 987654321 {
+		t.Errorf("cycles: %g", got)
+	}
+	if got := d.PerMetric[p.MetricID(TimeMetric)].Inclusive; got != 12.5e6 {
+		t.Errorf("wall time: %g", got)
+	}
+	if len(p.Metrics()) != 4 {
+		t.Errorf("metrics: %v", p.Metrics())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(strings.NewReader("not xml at all")); err == nil {
+		t.Error("non-XML accepted")
+	}
+	if _, err := Parse(strings.NewReader("<hwpcreport></hwpcreport>")); err == nil {
+		t.Error("empty report accepted")
+	}
+	bad := `<hwpcreport><hwpcevents><hwpcevent name="X">abc</hwpcevent></hwpcevents></hwpcreport>`
+	if _, err := Parse(strings.NewReader(bad)); err == nil {
+		t.Error("bad counter value accepted")
+	}
+}
+
+func TestMultiRank(t *testing.T) {
+	dir := t.TempDir()
+	p := model.New("multi")
+	for rank := 0; rank < 4; rank++ {
+		path := filepath.Join(dir, "run."+string(rune('0'+rank))+".xml")
+		if err := os.WriteFile(path, []byte(sampleDoc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := ReadRank(p, path, rank); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if p.NumThreads() != 4 {
+		t.Fatalf("threads: %d", p.NumThreads())
+	}
+	if len(p.Metrics()) != 4 {
+		t.Fatalf("metrics merged wrong: %v", p.Metrics())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sampleDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.xml")
+	if err := Write(path, orig, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd := orig.FindThread(0, 0, 0).FindIntervalData(orig.FindIntervalEvent(EventName).ID)
+	gd := got.FindThread(0, 0, 0).FindIntervalData(got.FindIntervalEvent(EventName).ID)
+	for _, m := range orig.Metrics() {
+		gm := got.MetricID(m.Name)
+		if gm < 0 {
+			t.Fatalf("lost metric %q", m.Name)
+		}
+		if wd.PerMetric[m.ID] != gd.PerMetric[gm] {
+			t.Errorf("%s: got %+v want %+v", m.Name, gd.PerMetric[gm], wd.PerMetric[m.ID])
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	p := model.New("x")
+	if err := Write(filepath.Join(t.TempDir(), "f"), p, 0); err == nil {
+		t.Error("empty profile accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Package sppm parses the self-instrumented timing output of the ASCI
+// sPPM benchmark. The paper (§5.3) notes that sPPM ships its own ad-hoc
+// instrumentation "for which a custom parser was written"; this package is
+// that parser. The format is a simple whitespace table, one file per run:
+//
+//	# sPPM self-instrumented timing
+//	# rank  routine     calls    seconds  [counter=value ...]
+//	0       sppm            1     123.45  PAPI_FP_OPS=1.2e9
+//	0       hydro         100      45.60  PAPI_FP_OPS=8.0e8
+//	1       sppm            1     124.01  PAPI_FP_OPS=1.2e9
+//
+// Lines starting with '#' are comments. Seconds become the TIME metric in
+// microseconds; any key=value tails become additional counter metrics.
+// Routines are flat (inclusive == exclusive) except the "sppm" root, whose
+// inclusive is the rank's total.
+package sppm
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/model"
+)
+
+// MetricName is the time metric recorded by the instrumentation.
+const MetricName = "TIME"
+
+// RootRoutine is the whole-program routine name.
+const RootRoutine = "sppm"
+
+const secondsToMicro = 1e6
+
+// Read parses an sPPM timing file.
+func Read(path string) (*model.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sppm: %w", err)
+	}
+	defer f.Close()
+	p, err := Parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("sppm: %s: %w", path, err)
+	}
+	p.Name = path
+	return p, nil
+}
+
+// Parse parses an sPPM timing table from a reader.
+func Parse(r io.Reader) (*model.Profile, error) {
+	p := model.New("sppm")
+	metric := p.AddMetric(MetricName)
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	rows := 0
+	// Per-rank totals for the root routine's inclusive time.
+	rankTotal := make(map[int]float64)
+	type entry struct {
+		rank    int
+		routine string
+		calls   float64
+		micro   float64
+		extra   map[string]float64
+	}
+	var entries []entry
+
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		trimmed := strings.TrimSpace(sc.Text())
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		fields := strings.Fields(trimmed)
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("line %d: want 'rank routine calls seconds', got %q", lineNo, trimmed)
+		}
+		rank, err := strconv.Atoi(fields[0])
+		if err != nil || rank < 0 {
+			return nil, fmt.Errorf("line %d: bad rank %q", lineNo, fields[0])
+		}
+		calls, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad calls %q", lineNo, fields[2])
+		}
+		secs, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad seconds %q", lineNo, fields[3])
+		}
+		ent := entry{rank: rank, routine: fields[1], calls: calls, micro: secs * secondsToMicro}
+		for _, kv := range fields[4:] {
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("line %d: bad counter %q", lineNo, kv)
+			}
+			x, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad counter value %q", lineNo, kv)
+			}
+			if ent.extra == nil {
+				ent.extra = make(map[string]float64)
+			}
+			ent.extra[k] = x
+		}
+		if ent.routine != RootRoutine {
+			rankTotal[rank] += ent.micro
+		}
+		entries = append(entries, ent)
+		rows++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if rows == 0 {
+		return nil, fmt.Errorf("no timing rows found")
+	}
+
+	for _, ent := range entries {
+		e := p.AddIntervalEvent(ent.routine, "SPPM")
+		th := p.Thread(ent.rank, 0, 0)
+		d := th.IntervalData(e.ID, len(p.Metrics()))
+		d.NumCalls = ent.calls
+		incl := ent.micro
+		excl := ent.micro
+		if ent.routine == RootRoutine {
+			// The root's inclusive covers everything on the rank; its
+			// exclusive is whatever its own row recorded beyond children.
+			if t := rankTotal[ent.rank]; t > 0 {
+				if ent.micro >= t {
+					incl = ent.micro
+					excl = ent.micro - t
+				} else {
+					incl = ent.micro + t
+					excl = ent.micro
+				}
+			}
+		}
+		d.PerMetric[metric] = model.MetricData{Inclusive: incl, Exclusive: excl}
+		for k, v := range ent.extra {
+			m := p.AddMetric(k)
+			for len(d.PerMetric) <= m {
+				d.PerMetric = append(d.PerMetric, model.MetricData{})
+			}
+			d.PerMetric[m] = model.MetricData{Inclusive: v, Exclusive: v}
+		}
+	}
+	// Widen rows that predate late metrics.
+	nm := len(p.Metrics())
+	for _, th := range p.Threads() {
+		th.EachInterval(func(_ int, d *model.IntervalData) {
+			for len(d.PerMetric) < nm {
+				d.PerMetric = append(d.PerMetric, model.MetricData{})
+			}
+		})
+	}
+	return p, nil
+}
+
+// Write renders a profile as an sPPM timing table.
+func Write(path string, p *model.Profile) error {
+	metric := p.MetricID(MetricName)
+	if metric < 0 {
+		return fmt.Errorf("sppm: profile has no %s metric", MetricName)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sppm: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	fmt.Fprintf(w, "# sPPM self-instrumented timing\n")
+	fmt.Fprintf(w, "# rank  routine  calls  seconds  [counter=value ...]\n")
+	events := p.IntervalEvents()
+	metrics := p.Metrics()
+	for _, th := range p.Threads() {
+		th.EachInterval(func(eid int, d *model.IntervalData) {
+			v := d.PerMetric[metric].Exclusive
+			if events[eid].Name == RootRoutine {
+				v = d.PerMetric[metric].Exclusive
+			}
+			fmt.Fprintf(w, "%d %s %.0f %.9g", th.ID.Node, events[eid].Name, d.NumCalls,
+				v/secondsToMicro)
+			for _, m := range metrics {
+				if m.ID == metric || m.ID >= len(d.PerMetric) {
+					continue
+				}
+				if x := d.PerMetric[m.ID].Inclusive; x != 0 {
+					fmt.Fprintf(w, " %s=%g", m.Name, x)
+				}
+			}
+			fmt.Fprintf(w, "\n")
+		})
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("sppm: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,113 @@
+package sppm
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/model"
+)
+
+const sampleTable = `# sPPM self-instrumented timing
+# rank  routine  calls  seconds  [counter=value ...]
+0 sppm 1 130.00 PAPI_FP_OPS=1.2e9
+0 hydro 100 45.60 PAPI_FP_OPS=8.0e8
+0 sweep 200 60.00 PAPI_FP_OPS=3.0e8
+1 sppm 1 131.00 PAPI_FP_OPS=1.21e9
+1 hydro 100 46.00 PAPI_FP_OPS=8.1e8
+1 sweep 200 61.00 PAPI_FP_OPS=3.1e8
+`
+
+func TestParseSample(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumThreads() != 2 {
+		t.Fatalf("threads: %d", p.NumThreads())
+	}
+	if p.MetricID(MetricName) != 0 || p.MetricID("PAPI_FP_OPS") < 0 {
+		t.Fatalf("metrics: %v", p.Metrics())
+	}
+	th := p.FindThread(0, 0, 0)
+	root := p.FindIntervalEvent(RootRoutine)
+	d := th.FindIntervalData(root.ID)
+	// Root row is 130 s; children total 105.6 s → inclusive 130,
+	// exclusive 130-105.6 = 24.4.
+	if math.Abs(d.PerMetric[0].Inclusive-130e6) > 1 {
+		t.Errorf("root inclusive: %g", d.PerMetric[0].Inclusive)
+	}
+	if math.Abs(d.PerMetric[0].Exclusive-24.4e6) > 1 {
+		t.Errorf("root exclusive: %g", d.PerMetric[0].Exclusive)
+	}
+	h := p.FindIntervalEvent("hydro")
+	hd := th.FindIntervalData(h.ID)
+	if hd.NumCalls != 100 || math.Abs(hd.PerMetric[0].Exclusive-45.6e6) > 1 {
+		t.Errorf("hydro: %+v", hd)
+	}
+	if got := hd.PerMetric[p.MetricID("PAPI_FP_OPS")].Inclusive; got != 8.0e8 {
+		t.Errorf("hydro fp ops: %g", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"# only comments\n",
+		"0 sppm 1\n",
+		"x sppm 1 10.0\n",
+		"0 sppm one 10.0\n",
+		"0 sppm 1 ten\n",
+		"0 sppm 1 10.0 PAPI_FP_OPS\n",
+		"0 sppm 1 10.0 PAPI_FP_OPS=abc\n",
+	}
+	for _, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader(sampleTable))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sppm.out")
+	if err := Write(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{RootRoutine, "hydro", "sweep"} {
+		for rank := 0; rank < 2; rank++ {
+			we := orig.FindIntervalEvent(name)
+			ge := got.FindIntervalEvent(name)
+			if ge == nil {
+				t.Fatalf("lost routine %q", name)
+			}
+			wd := orig.FindThread(rank, 0, 0).FindIntervalData(we.ID)
+			gd := got.FindThread(rank, 0, 0).FindIntervalData(ge.ID)
+			if math.Abs(wd.PerMetric[0].Exclusive-gd.PerMetric[0].Exclusive) > 10 {
+				t.Errorf("%s rank %d exclusive: got %g want %g", name, rank,
+					gd.PerMetric[0].Exclusive, wd.PerMetric[0].Exclusive)
+			}
+			if wd.NumCalls != gd.NumCalls {
+				t.Errorf("%s rank %d calls", name, rank)
+			}
+		}
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	p := model.New("x")
+	if err := Write(filepath.Join(t.TempDir(), "f"), p); err == nil {
+		t.Error("no TIME metric accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package tau_test
+
+import (
+	"testing"
+
+	"perfdmf/internal/formats/tau"
+	"perfdmf/internal/synth"
+)
+
+func BenchmarkWrite(b *testing.B) {
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: 32, Events: 50, Metrics: 2, Seed: 1})
+	dir := b.TempDir()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tau.Write(dir, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: 32, Events: 50, Metrics: 2, Seed: 1})
+	dir := b.TempDir()
+	if err := tau.Write(dir, p); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := tau.Read(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got.DataPoints() != p.DataPoints() {
+			b.Fatal("lost data")
+		}
+	}
+}

@@ -1,0 +1,428 @@
+// Package tau reads and writes TAU parallel profile directories (paper
+// §3.1): one "profile.N.C.T" text file per node/context/thread, with
+// multi-metric trials laid out as one "MULTI__<METRIC>" subdirectory per
+// metric. User-defined (atomic) events are supported.
+//
+// File grammar (one file):
+//
+//	<numFuncs> templated_functions_MULTI_<METRIC>
+//	# Name Calls Subrs Excl Incl ProfileCalls
+//	"<event name>" <calls> <subrs> <exclusive> <inclusive> <profileCalls> GROUP="<group>"
+//	...
+//	<numAggregates> aggregates
+//	<numUserEvents> userevents
+//	# eventname numevents max min mean sumsqr
+//	"<event name>" <count> <max> <min> <mean> <sumsqr>
+//	...
+//
+// Values are in the metric's native unit (microseconds for TIME).
+package tau
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/model"
+)
+
+// FilePrefix is the leading component of every TAU profile file name.
+const FilePrefix = "profile."
+
+// multiPrefix marks per-metric subdirectories of a multi-metric trial.
+const multiPrefix = "MULTI__"
+
+// Read loads a TAU profile directory into the common model. The directory
+// either contains profile.N.C.T files directly (single metric) or
+// MULTI__<METRIC> subdirectories (one per metric).
+func Read(dir string) (*model.Profile, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tau: %w", err)
+	}
+	p := model.New(filepath.Base(dir))
+
+	var multiDirs []string
+	sawPlain := false
+	for _, e := range entries {
+		switch {
+		case e.IsDir() && strings.HasPrefix(e.Name(), multiPrefix):
+			multiDirs = append(multiDirs, e.Name())
+		case !e.IsDir() && strings.HasPrefix(e.Name(), FilePrefix):
+			sawPlain = true
+		}
+	}
+	sort.Strings(multiDirs)
+
+	switch {
+	case len(multiDirs) > 0:
+		for _, md := range multiDirs {
+			if err := readMetricDir(p, filepath.Join(dir, md)); err != nil {
+				return nil, err
+			}
+		}
+	case sawPlain:
+		if err := readMetricDir(p, dir); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("tau: %s contains no profile.* files or MULTI__ directories", dir)
+	}
+	return p, nil
+}
+
+// readMetricDir parses every profile.N.C.T file in one directory; the
+// metric name comes from each file's header.
+func readMetricDir(p *model.Profile, dir string) error {
+	files, err := ListProfileFiles(dir, "", "")
+	if err != nil {
+		return err
+	}
+	if len(files) == 0 {
+		return fmt.Errorf("tau: %s contains no profile.* files", dir)
+	}
+	for _, f := range files {
+		if err := readFile(p, f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ListProfileFiles returns the profile.* files in dir whose base name also
+// matches the optional prefix and suffix filters (paper §4: "parsing a
+// directory of files, or a subset of files in a directory that start with
+// a particular prefix or end with a particular suffix"). Files are sorted
+// by (node, context, thread).
+func ListProfileFiles(dir, prefix, suffix string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("tau: %w", err)
+	}
+	type keyed struct {
+		n, c, t int
+		path    string
+	}
+	var files []keyed
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, FilePrefix) {
+			continue
+		}
+		if prefix != "" && !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if suffix != "" && !strings.HasSuffix(name, suffix) {
+			continue
+		}
+		n, c, t, err := ParseFileName(name)
+		if err != nil {
+			continue // not a profile data file (e.g. profile.README)
+		}
+		files = append(files, keyed{n, c, t, filepath.Join(dir, name)})
+	}
+	sort.Slice(files, func(i, j int) bool {
+		a, b := files[i], files[j]
+		if a.n != b.n {
+			return a.n < b.n
+		}
+		if a.c != b.c {
+			return a.c < b.c
+		}
+		return a.t < b.t
+	})
+	out := make([]string, len(files))
+	for i, f := range files {
+		out[i] = f.path
+	}
+	return out, nil
+}
+
+// ParseFileName extracts node, context and thread from "profile.N.C.T".
+func ParseFileName(name string) (node, context, thread int, err error) {
+	rest, ok := strings.CutPrefix(name, FilePrefix)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("tau: %q does not start with %q", name, FilePrefix)
+	}
+	parts := strings.Split(rest, ".")
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("tau: %q is not profile.N.C.T", name)
+	}
+	nums := make([]int, 3)
+	for i, s := range parts {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			return 0, 0, 0, fmt.Errorf("tau: %q is not profile.N.C.T", name)
+		}
+		nums[i] = n
+	}
+	return nums[0], nums[1], nums[2], nil
+}
+
+func readFile(p *model.Profile, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("tau: %w", err)
+	}
+	defer f.Close()
+
+	node, context, thread, err := ParseFileName(filepath.Base(path))
+	if err != nil {
+		return err
+	}
+	th := p.Thread(node, context, thread)
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	line := 0
+	nextLine := func() (string, bool) {
+		if !sc.Scan() {
+			return "", false
+		}
+		line++
+		return sc.Text(), true
+	}
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("tau: %s:%d: %s", path, line, fmt.Sprintf(format, args...))
+	}
+
+	// Header: "<n> templated_functions_MULTI_<METRIC>".
+	header, ok := nextLine()
+	if !ok {
+		return fail("empty file")
+	}
+	hfields := strings.Fields(header)
+	if len(hfields) < 2 {
+		return fail("bad header %q", header)
+	}
+	numFuncs, err := strconv.Atoi(hfields[0])
+	if err != nil || numFuncs < 0 {
+		return fail("bad function count %q", hfields[0])
+	}
+	metricName := "TIME"
+	if m, ok := strings.CutPrefix(hfields[1], "templated_functions_MULTI_"); ok {
+		metricName = m
+	} else if hfields[1] != "templated_functions" {
+		return fail("unrecognized header tag %q", hfields[1])
+	}
+	metric := p.AddMetric(metricName)
+
+	// Column comment line.
+	if _, ok := nextLine(); !ok {
+		return fail("missing column header")
+	}
+
+	for i := 0; i < numFuncs; i++ {
+		ln, ok := nextLine()
+		if !ok {
+			return fail("expected %d functions, got %d", numFuncs, i)
+		}
+		name, rest, err := splitQuoted(ln)
+		if err != nil {
+			return fail("%v", err)
+		}
+		group := ""
+		if gi := strings.Index(rest, `GROUP="`); gi >= 0 {
+			g := rest[gi+len(`GROUP="`):]
+			if end := strings.IndexByte(g, '"'); end >= 0 {
+				group = g[:end]
+			}
+			rest = rest[:gi]
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 5 {
+			return fail("function line needs 5 numeric fields, got %d", len(fields))
+		}
+		nums := make([]float64, 5)
+		for j := 0; j < 5; j++ {
+			nums[j], err = strconv.ParseFloat(fields[j], 64)
+			if err != nil {
+				return fail("bad number %q", fields[j])
+			}
+		}
+		e := p.AddIntervalEvent(name, group)
+		d := th.IntervalData(e.ID, len(p.Metrics()))
+		d.NumCalls = nums[0]
+		d.NumSubrs = nums[1]
+		d.PerMetric[metric] = model.MetricData{Exclusive: nums[2], Inclusive: nums[3]}
+	}
+
+	// Aggregates (unused, but the count must be consumed).
+	ln, ok := nextLine()
+	if !ok {
+		return nil // old files may end after functions
+	}
+	aggFields := strings.Fields(ln)
+	if len(aggFields) >= 2 && aggFields[1] == "aggregates" {
+		n, err := strconv.Atoi(aggFields[0])
+		if err != nil {
+			return fail("bad aggregate count")
+		}
+		for i := 0; i < n; i++ {
+			if _, ok := nextLine(); !ok {
+				return fail("truncated aggregates")
+			}
+		}
+		ln, ok = nextLine()
+		if !ok {
+			return nil
+		}
+	}
+
+	// User events.
+	ueFields := strings.Fields(ln)
+	if len(ueFields) >= 2 && ueFields[1] == "userevents" {
+		n, err := strconv.Atoi(ueFields[0])
+		if err != nil {
+			return fail("bad user event count")
+		}
+		if n > 0 {
+			if _, ok := nextLine(); !ok { // column header
+				return fail("missing user event column header")
+			}
+		}
+		for i := 0; i < n; i++ {
+			ln, ok := nextLine()
+			if !ok {
+				return fail("expected %d user events, got %d", n, i)
+			}
+			name, rest, err := splitQuoted(ln)
+			if err != nil {
+				return fail("%v", err)
+			}
+			fields := strings.Fields(rest)
+			if len(fields) < 5 {
+				return fail("user event line needs 5 fields")
+			}
+			nums := make([]float64, 5)
+			for j := 0; j < 5; j++ {
+				nums[j], err = strconv.ParseFloat(fields[j], 64)
+				if err != nil {
+					return fail("bad number %q", fields[j])
+				}
+			}
+			ae := p.AddAtomicEvent(name, "TAU_EVENT")
+			d := th.AtomicData(ae.ID)
+			d.SampleCount = int64(nums[0])
+			d.Maximum = nums[1]
+			d.Minimum = nums[2]
+			d.Mean = nums[3]
+			d.SumSqr = nums[4]
+		}
+	}
+	return sc.Err()
+}
+
+// splitQuoted splits `"name" rest...` into the quoted name and the rest.
+func splitQuoted(line string) (name, rest string, err error) {
+	s := strings.TrimSpace(line)
+	if !strings.HasPrefix(s, `"`) {
+		return "", "", fmt.Errorf("expected quoted event name in %q", line)
+	}
+	end := strings.IndexByte(s[1:], '"')
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated event name in %q", line)
+	}
+	return s[1 : 1+end], s[2+end:], nil
+}
+
+// Write emits a profile as a TAU directory. Trials with one metric use the
+// flat layout; multi-metric trials get MULTI__<METRIC> subdirectories.
+func Write(dir string, p *model.Profile) error {
+	metrics := p.Metrics()
+	if len(metrics) == 0 {
+		return fmt.Errorf("tau: profile has no metrics")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("tau: %w", err)
+	}
+	if len(metrics) == 1 {
+		return writeMetricDir(dir, p, 0)
+	}
+	for _, m := range metrics {
+		sub := filepath.Join(dir, multiPrefix+sanitizeMetric(m.Name))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return fmt.Errorf("tau: %w", err)
+		}
+		if err := writeMetricDir(sub, p, m.ID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeMetric makes a metric name safe as a directory suffix.
+func sanitizeMetric(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+func writeMetricDir(dir string, p *model.Profile, metric int) error {
+	metricName := p.Metrics()[metric].Name
+	for _, th := range p.Threads() {
+		path := filepath.Join(dir, fmt.Sprintf("%s%d.%d.%d",
+			FilePrefix, th.ID.Node, th.ID.Context, th.ID.Thread))
+		if err := writeFile(path, p, th, metric, metricName); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeFile(path string, p *model.Profile, th *model.Thread, metric int, metricName string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("tau: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+
+	// Count this thread's interval events.
+	n := 0
+	th.EachInterval(func(int, *model.IntervalData) { n++ })
+	fmt.Fprintf(w, "%d templated_functions_MULTI_%s\n", n, metricName)
+	fmt.Fprintf(w, "# Name Calls Subrs Excl Incl ProfileCalls\n")
+	events := p.IntervalEvents()
+	var werr error
+	th.EachInterval(func(eid int, d *model.IntervalData) {
+		md := d.PerMetric[metric]
+		if _, err := fmt.Fprintf(w, "%q %g %g %.16g %.16g 0 GROUP=%q\n",
+			events[eid].Name, d.NumCalls, d.NumSubrs, md.Exclusive, md.Inclusive,
+			events[eid].Group); err != nil && werr == nil {
+			werr = err
+		}
+	})
+	fmt.Fprintf(w, "0 aggregates\n")
+
+	na := 0
+	th.EachAtomic(func(int, *model.AtomicData) { na++ })
+	fmt.Fprintf(w, "%d userevents\n", na)
+	if na > 0 {
+		fmt.Fprintf(w, "# eventname numevents max min mean sumsqr\n")
+		atomics := p.AtomicEvents()
+		th.EachAtomic(func(eid int, d *model.AtomicData) {
+			if _, err := fmt.Fprintf(w, "%q %d %.16g %.16g %.16g %.16g\n",
+				atomics[eid].Name, d.SampleCount, d.Maximum, d.Minimum, d.Mean,
+				d.SumSqr); err != nil && werr == nil {
+				werr = err
+			}
+		})
+	}
+	if werr != nil {
+		f.Close()
+		return fmt.Errorf("tau: %w", werr)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("tau: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,250 @@
+package tau
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/model"
+)
+
+func sampleProfile(metrics int) *model.Profile {
+	p := model.New("sample")
+	names := []string{"TIME", "PAPI_FP_OPS", "PAPI_L1_DCM"}
+	for i := 0; i < metrics; i++ {
+		p.AddMetric(names[i])
+	}
+	main := p.AddIntervalEvent("main() ", "TAU_DEFAULT")
+	mpi := p.AddIntervalEvent("MPI_Send()", "MPI")
+	ue := p.AddAtomicEvent("Message size sent", "TAU_EVENT")
+	for n := 0; n < 2; n++ {
+		for t := 0; t < 2; t++ {
+			th := p.Thread(n, 0, t)
+			base := float64(n*10 + t)
+			d := th.IntervalData(main.ID, metrics)
+			d.NumCalls = 1
+			d.NumSubrs = 42
+			for m := 0; m < metrics; m++ {
+				d.PerMetric[m] = model.MetricData{
+					Inclusive: 1000 + base + float64(m),
+					Exclusive: 100 + base + float64(m),
+				}
+			}
+			d2 := th.IntervalData(mpi.ID, metrics)
+			d2.NumCalls = 250
+			for m := 0; m < metrics; m++ {
+				d2.PerMetric[m] = model.MetricData{
+					Inclusive: 900 - base - float64(m),
+					Exclusive: 900 - base - float64(m),
+				}
+			}
+			ad := th.AtomicData(ue.ID)
+			ad.SampleCount = 250
+			ad.Minimum = 8
+			ad.Maximum = 65536
+			ad.Mean = 1024.5
+			ad.SumSqr = 3e8
+		}
+	}
+	return p
+}
+
+func TestRoundTripSingleMetric(t *testing.T) {
+	p := sampleProfile(1)
+	dir := t.TempDir()
+	if err := Write(dir, p); err != nil {
+		t.Fatal(err)
+	}
+	// Flat layout: profile.N.C.T at top level.
+	if _, err := os.Stat(filepath.Join(dir, "profile.0.0.0")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareProfiles(t, p, got, 1)
+}
+
+func TestRoundTripMultiMetric(t *testing.T) {
+	p := sampleProfile(3)
+	dir := t.TempDir()
+	if err := Write(dir, p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "MULTI__TIME", "profile.1.0.1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compareProfiles(t, p, got, 3)
+}
+
+func compareProfiles(t *testing.T, want, got *model.Profile, metrics int) {
+	t.Helper()
+	if got.NumThreads() != want.NumThreads() {
+		t.Fatalf("threads: got %d want %d", got.NumThreads(), want.NumThreads())
+	}
+	if len(got.Metrics()) != metrics {
+		t.Fatalf("metrics: got %v", got.Metrics())
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, wth := range want.Threads() {
+		gth := got.FindThread(wth.ID.Node, wth.ID.Context, wth.ID.Thread)
+		if gth == nil {
+			t.Fatalf("missing thread %v", wth.ID)
+		}
+		for _, we := range want.IntervalEvents() {
+			ge := got.FindIntervalEvent(we.Name)
+			if ge == nil {
+				t.Fatalf("missing event %q", we.Name)
+			}
+			if ge.Group != we.Group {
+				t.Errorf("event %q group: got %q want %q", we.Name, ge.Group, we.Group)
+			}
+			wd := wth.FindIntervalData(we.ID)
+			gd := gth.FindIntervalData(ge.ID)
+			if wd == nil || gd == nil {
+				t.Fatalf("missing data for %q on %v", we.Name, wth.ID)
+			}
+			if gd.NumCalls != wd.NumCalls || gd.NumSubrs != wd.NumSubrs {
+				t.Errorf("%q calls/subrs: got %g/%g want %g/%g",
+					we.Name, gd.NumCalls, gd.NumSubrs, wd.NumCalls, wd.NumSubrs)
+			}
+			for _, wm := range want.Metrics() {
+				gm := got.MetricID(wm.Name)
+				if gm < 0 {
+					t.Fatalf("missing metric %q", wm.Name)
+				}
+				if gd.PerMetric[gm] != wd.PerMetric[wm.ID] {
+					t.Errorf("%q %s on %v: got %+v want %+v", we.Name, wm.Name,
+						wth.ID, gd.PerMetric[gm], wd.PerMetric[wm.ID])
+				}
+			}
+		}
+		for _, we := range want.AtomicEvents() {
+			ge := got.FindAtomicEvent(we.Name)
+			if ge == nil {
+				t.Fatalf("missing atomic event %q", we.Name)
+			}
+			wd := wth.FindAtomicData(we.ID)
+			gd := gth.FindAtomicData(ge.ID)
+			if *wd != *gd {
+				t.Errorf("atomic %q on %v: got %+v want %+v", we.Name, wth.ID, gd, wd)
+			}
+		}
+	}
+}
+
+func TestParseFileName(t *testing.T) {
+	n, c, th, err := ParseFileName("profile.12.3.4")
+	if err != nil || n != 12 || c != 3 || th != 4 {
+		t.Fatalf("got %d %d %d %v", n, c, th, err)
+	}
+	for _, bad := range []string{"profile.1.2", "profile.a.b.c", "prof.1.2.3", "profile.1.2.3.4", "profile.-1.0.0"} {
+		if _, _, _, err := ParseFileName(bad); err == nil {
+			t.Errorf("ParseFileName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestListProfileFilesFilters(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"profile.0.0.0", "profile.1.0.0", "profile.10.0.0", "profile.README", "other.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	files, err := ListProfileFiles(dir, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("files: %v", files)
+	}
+	// Numeric sort: 0, 1, 10.
+	if !strings.HasSuffix(files[2], "profile.10.0.0") {
+		t.Fatalf("sort order: %v", files)
+	}
+	files, _ = ListProfileFiles(dir, "profile.1", "")
+	if len(files) != 2 {
+		t.Fatalf("prefix filter: %v", files)
+	}
+	files, _ = ListProfileFiles(dir, "", ".0.0")
+	if len(files) != 3 {
+		t.Fatalf("suffix filter: %v", files)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+	dir := t.TempDir()
+	os.WriteFile(filepath.Join(dir, "profile.0.0.0"), []byte("garbage header\n"), 0o644)
+	if _, err := Read(dir); err == nil {
+		t.Error("garbage header accepted")
+	}
+	dir2 := t.TempDir()
+	os.WriteFile(filepath.Join(dir2, "profile.0.0.0"),
+		[]byte("2 templated_functions_MULTI_TIME\n# hdr\n\"f\" 1 0 1 2 0\n"), 0o644)
+	if _, err := Read(dir2); err == nil {
+		t.Error("truncated function list accepted")
+	}
+	if _, err := Read(filepath.Join(dir2, "nonexistent")); err == nil {
+		t.Error("missing dir accepted")
+	}
+}
+
+func TestReadHandCraftedFile(t *testing.T) {
+	dir := t.TempDir()
+	content := `2 templated_functions_MULTI_P_WALL_CLOCK_TIME
+# Name Calls Subrs Excl Incl ProfileCalls
+"main() int (int, char **)" 1 5 2.25e4 1e6 0 GROUP="TAU_USER"
+".TAU application" 1 1 0 1e6 0
+0 aggregates
+1 userevents
+# eventname numevents max min mean sumsqr
+"alloc bytes" 10 4096 16 1000 2e7
+`
+	os.WriteFile(filepath.Join(dir, "profile.0.0.0"), []byte(content), 0o644)
+	p, err := Read(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MetricID("P_WALL_CLOCK_TIME") != 0 {
+		t.Fatalf("metric: %v", p.Metrics())
+	}
+	e := p.FindIntervalEvent("main() int (int, char **)")
+	if e == nil || e.Group != "TAU_USER" {
+		t.Fatalf("event: %+v", e)
+	}
+	d := p.FindThread(0, 0, 0).FindIntervalData(e.ID)
+	if d.PerMetric[0].Exclusive != 2.25e4 || d.PerMetric[0].Inclusive != 1e6 || d.NumSubrs != 5 {
+		t.Fatalf("data: %+v", d)
+	}
+	// Event with no GROUP attribute.
+	if e2 := p.FindIntervalEvent(".TAU application"); e2 == nil || e2.Group != "" {
+		t.Fatalf("ungrouped event: %+v", e2)
+	}
+	ae := p.FindAtomicEvent("alloc bytes")
+	if ae == nil {
+		t.Fatal("atomic event missing")
+	}
+	ad := p.FindThread(0, 0, 0).FindAtomicData(ae.ID)
+	if ad.SampleCount != 10 || ad.Maximum != 4096 || ad.SumSqr != 2e7 {
+		t.Fatalf("atomic data: %+v", ad)
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	p := model.New("x")
+	if err := Write(t.TempDir(), p); err == nil {
+		t.Error("no-metric profile accepted")
+	}
+}

@@ -1,0 +1,243 @@
+// Package xmlprof implements PerfDMF's common XML representation (paper
+// §3.1: "Export of profile data is also supported in a common XML
+// representation"). Unlike the tool-specific formats, the XML document is
+// lossless: metrics, interval events with groups, atomic events, trial
+// metadata, and every thread's measurements round-trip exactly.
+package xmlprof
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"perfdmf/internal/model"
+)
+
+// Document is the root element.
+type Document struct {
+	XMLName xml.Name     `xml:"profile"`
+	Name    string       `xml:"name,attr"`
+	Meta    []MetaItem   `xml:"metadata>item"`
+	Metrics []MetricElem `xml:"metrics>metric"`
+	Events  []EventElem  `xml:"events>event"`
+	Atomics []AtomicElem `xml:"atomicevents>event"`
+	Threads []ThreadElem `xml:"threads>thread"`
+}
+
+// MetaItem is one trial metadata pair.
+type MetaItem struct {
+	Key   string `xml:"key,attr"`
+	Value string `xml:",chardata"`
+}
+
+// MetricElem declares one metric.
+type MetricElem struct {
+	ID      int    `xml:"id,attr"`
+	Name    string `xml:"name,attr"`
+	Derived bool   `xml:"derived,attr,omitempty"`
+}
+
+// EventElem declares one interval event.
+type EventElem struct {
+	ID    int    `xml:"id,attr"`
+	Name  string `xml:"name,attr"`
+	Group string `xml:"group,attr,omitempty"`
+}
+
+// AtomicElem declares one atomic event.
+type AtomicElem struct {
+	ID    int    `xml:"id,attr"`
+	Name  string `xml:"name,attr"`
+	Group string `xml:"group,attr,omitempty"`
+}
+
+// ThreadElem holds one thread's measurements.
+type ThreadElem struct {
+	Node     int            `xml:"node,attr"`
+	Context  int            `xml:"context,attr"`
+	Thread   int            `xml:"thread,attr"`
+	Interval []IntervalElem `xml:"interval"`
+	Atomic   []AtomicData   `xml:"atomic"`
+}
+
+// IntervalElem is one (event, thread) interval record.
+type IntervalElem struct {
+	Event int          `xml:"event,attr"`
+	Calls float64      `xml:"calls,attr"`
+	Subrs float64      `xml:"subrs,attr"`
+	Data  []MetricData `xml:"m"`
+}
+
+// MetricData is one metric's (inclusive, exclusive) pair.
+type MetricData struct {
+	Metric    int     `xml:"id,attr"`
+	Inclusive float64 `xml:"incl,attr"`
+	Exclusive float64 `xml:"excl,attr"`
+}
+
+// AtomicData is one (atomic event, thread) record.
+type AtomicData struct {
+	Event  int     `xml:"event,attr"`
+	Count  int64   `xml:"count,attr"`
+	Max    float64 `xml:"max,attr"`
+	Min    float64 `xml:"min,attr"`
+	Mean   float64 `xml:"mean,attr"`
+	SumSqr float64 `xml:"sumsqr,attr"`
+}
+
+// Write exports a profile to path as XML.
+func Write(path string, p *model.Profile) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("xmlprof: %w", err)
+	}
+	if err := Export(f, p); err != nil {
+		f.Close()
+		return fmt.Errorf("xmlprof: %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// Export writes a profile as XML to w.
+func Export(w io.Writer, p *model.Profile) error {
+	doc := Document{Name: p.Name}
+	keys := make([]string, 0, len(p.Meta))
+	for k := range p.Meta {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		doc.Meta = append(doc.Meta, MetaItem{Key: k, Value: p.Meta[k]})
+	}
+	for _, m := range p.Metrics() {
+		doc.Metrics = append(doc.Metrics, MetricElem{ID: m.ID, Name: m.Name, Derived: m.Derived})
+	}
+	for _, e := range p.IntervalEvents() {
+		doc.Events = append(doc.Events, EventElem{ID: e.ID, Name: e.Name, Group: e.Group})
+	}
+	for _, e := range p.AtomicEvents() {
+		doc.Atomics = append(doc.Atomics, AtomicElem{ID: e.ID, Name: e.Name, Group: e.Group})
+	}
+	for _, th := range p.Threads() {
+		te := ThreadElem{Node: th.ID.Node, Context: th.ID.Context, Thread: th.ID.Thread}
+		th.EachInterval(func(eid int, d *model.IntervalData) {
+			ie := IntervalElem{Event: eid, Calls: d.NumCalls, Subrs: d.NumSubrs}
+			for m, md := range d.PerMetric {
+				ie.Data = append(ie.Data, MetricData{
+					Metric: m, Inclusive: md.Inclusive, Exclusive: md.Exclusive,
+				})
+			}
+			te.Interval = append(te.Interval, ie)
+		})
+		th.EachAtomic(func(eid int, d *model.AtomicData) {
+			te.Atomic = append(te.Atomic, AtomicData{
+				Event: eid, Count: d.SampleCount, Max: d.Maximum, Min: d.Minimum,
+				Mean: d.Mean, SumSqr: d.SumSqr,
+			})
+		})
+		doc.Threads = append(doc.Threads, te)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", " ")
+	return enc.Encode(doc)
+}
+
+// Read imports an XML profile from path.
+func Read(path string) (*model.Profile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("xmlprof: %w", err)
+	}
+	defer f.Close()
+	p, err := Import(f)
+	if err != nil {
+		return nil, fmt.Errorf("xmlprof: %s: %w", path, err)
+	}
+	return p, nil
+}
+
+// Import reads an XML profile from r.
+func Import(r io.Reader) (*model.Profile, error) {
+	var doc Document
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("bad XML: %w", err)
+	}
+	p := model.New(doc.Name)
+	for _, it := range doc.Meta {
+		p.Meta[it.Key] = it.Value
+	}
+	// Metrics, events and atomics must be registered in ID order so the
+	// document's IDs match the model's.
+	sort.Slice(doc.Metrics, func(i, j int) bool { return doc.Metrics[i].ID < doc.Metrics[j].ID })
+	for i, m := range doc.Metrics {
+		if m.ID != i {
+			return nil, fmt.Errorf("metric ids are not dense: got %d at position %d", m.ID, i)
+		}
+		id := p.AddMetric(m.Name)
+		if id != i {
+			return nil, fmt.Errorf("duplicate metric name %q", m.Name)
+		}
+		if m.Derived {
+			p.SetDerived(id)
+		}
+	}
+	sort.Slice(doc.Events, func(i, j int) bool { return doc.Events[i].ID < doc.Events[j].ID })
+	for i, e := range doc.Events {
+		if e.ID != i {
+			return nil, fmt.Errorf("event ids are not dense: got %d at position %d", e.ID, i)
+		}
+		if got := p.AddIntervalEvent(e.Name, e.Group); got.ID != i {
+			return nil, fmt.Errorf("duplicate event name %q", e.Name)
+		}
+	}
+	sort.Slice(doc.Atomics, func(i, j int) bool { return doc.Atomics[i].ID < doc.Atomics[j].ID })
+	for i, e := range doc.Atomics {
+		if e.ID != i {
+			return nil, fmt.Errorf("atomic event ids are not dense: got %d at position %d", e.ID, i)
+		}
+		if got := p.AddAtomicEvent(e.Name, e.Group); got.ID != i {
+			return nil, fmt.Errorf("duplicate atomic event name %q", e.Name)
+		}
+	}
+	nm := len(p.Metrics())
+	nev := len(p.IntervalEvents())
+	nat := len(p.AtomicEvents())
+	for _, te := range doc.Threads {
+		th := p.Thread(te.Node, te.Context, te.Thread)
+		for _, ie := range te.Interval {
+			if ie.Event < 0 || ie.Event >= nev {
+				return nil, fmt.Errorf("thread %d,%d,%d references unknown event %d",
+					te.Node, te.Context, te.Thread, ie.Event)
+			}
+			d := th.IntervalData(ie.Event, nm)
+			d.NumCalls = ie.Calls
+			d.NumSubrs = ie.Subrs
+			for _, md := range ie.Data {
+				if md.Metric < 0 || md.Metric >= nm {
+					return nil, fmt.Errorf("interval record references unknown metric %d", md.Metric)
+				}
+				d.PerMetric[md.Metric] = model.MetricData{
+					Inclusive: md.Inclusive, Exclusive: md.Exclusive,
+				}
+			}
+		}
+		for _, ad := range te.Atomic {
+			if ad.Event < 0 || ad.Event >= nat {
+				return nil, fmt.Errorf("thread %d,%d,%d references unknown atomic event %d",
+					te.Node, te.Context, te.Thread, ad.Event)
+			}
+			d := th.AtomicData(ad.Event)
+			d.SampleCount = ad.Count
+			d.Maximum = ad.Max
+			d.Minimum = ad.Min
+			d.Mean = ad.Mean
+			d.SumSqr = ad.SumSqr
+		}
+	}
+	return p, nil
+}

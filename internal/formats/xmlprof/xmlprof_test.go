@@ -1,0 +1,152 @@
+package xmlprof
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"perfdmf/internal/model"
+)
+
+func sample() *model.Profile {
+	p := model.New("xml-sample")
+	p.Meta["node_count"] = "4"
+	p.Meta["problem"] = "64x64x64"
+	tID := p.AddMetric("TIME")
+	fID := p.AddMetric("PAPI_FP_OPS")
+	main := p.AddIntervalEvent("main()", "TAU_DEFAULT")
+	send := p.AddIntervalEvent("MPI_Send()", "MPI")
+	msg := p.AddAtomicEvent("Message size", "MPI")
+	for n := 0; n < 4; n++ {
+		th := p.Thread(n, 0, 0)
+		d := th.IntervalData(main.ID, 2)
+		d.NumCalls = 1
+		d.NumSubrs = 7
+		d.PerMetric[tID] = model.MetricData{Inclusive: 1e6 + float64(n), Exclusive: 1e5}
+		d.PerMetric[fID] = model.MetricData{Inclusive: 5e8, Exclusive: 4e8}
+		d2 := th.IntervalData(send.ID, 2)
+		d2.NumCalls = 320
+		d2.PerMetric[tID] = model.MetricData{Inclusive: 2.5e5, Exclusive: 2.5e5}
+		a := th.AtomicData(msg.ID)
+		a.SampleCount = 320
+		a.Minimum = 8
+		a.Maximum = 1 << 20
+		a.Mean = 4096.25
+		a.SumSqr = 8.25e12
+	}
+	return p
+}
+
+func TestRoundTripExact(t *testing.T) {
+	p := sample()
+	var buf bytes.Buffer
+	if err := Export(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != p.Name {
+		t.Errorf("name: %q", got.Name)
+	}
+	if got.Meta["node_count"] != "4" || got.Meta["problem"] != "64x64x64" {
+		t.Errorf("meta: %v", got.Meta)
+	}
+	if len(got.Metrics()) != 2 || got.Metrics()[1].Name != "PAPI_FP_OPS" {
+		t.Fatalf("metrics: %v", got.Metrics())
+	}
+	if got.NumThreads() != 4 {
+		t.Fatalf("threads: %d", got.NumThreads())
+	}
+	for _, wth := range p.Threads() {
+		gth := got.FindThread(wth.ID.Node, wth.ID.Context, wth.ID.Thread)
+		wth.EachInterval(func(eid int, wd *model.IntervalData) {
+			gd := gth.FindIntervalData(eid)
+			if gd == nil {
+				t.Fatalf("thread %v lost event %d", wth.ID, eid)
+			}
+			if gd.NumCalls != wd.NumCalls || gd.NumSubrs != wd.NumSubrs {
+				t.Errorf("calls/subrs differ on %v", wth.ID)
+			}
+			for m := range wd.PerMetric {
+				if gd.PerMetric[m] != wd.PerMetric[m] {
+					t.Errorf("thread %v event %d metric %d: %+v vs %+v",
+						wth.ID, eid, m, gd.PerMetric[m], wd.PerMetric[m])
+				}
+			}
+		})
+		wth.EachAtomic(func(eid int, wd *model.AtomicData) {
+			gd := gth.FindAtomicData(eid)
+			if gd == nil || *gd != *wd {
+				t.Errorf("atomic data differs on %v: %+v vs %+v", wth.ID, gd, wd)
+			}
+		})
+	}
+	// Groups preserved.
+	if got.FindIntervalEvent("MPI_Send()").Group != "MPI" {
+		t.Error("event group lost")
+	}
+	if got.FindAtomicEvent("Message size").Group != "MPI" {
+		t.Error("atomic group lost")
+	}
+	// Derived flag preserved.
+	p2 := sample()
+	p2.DeriveMetric("FLOPS", model.Ratio("PAPI_FP_OPS", "TIME", 1e6))
+	var buf2 bytes.Buffer
+	if err := Export(&buf2, p2); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Import(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range got2.Metrics() {
+		if m.Name == "FLOPS" {
+			found = true
+			if !m.Derived {
+				t.Error("derived flag lost on round trip")
+			}
+		}
+	}
+	if !found {
+		t.Error("derived metric lost")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	p := sample()
+	path := filepath.Join(t.TempDir(), "trial.xml")
+	if err := Write(path, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DataPoints() != p.DataPoints() {
+		t.Fatalf("datapoints: %d vs %d", got.DataPoints(), p.DataPoints())
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	bad := []string{
+		"not xml",
+		`<profile name="x"><metrics><metric id="5" name="TIME"/></metrics></profile>`,
+		`<profile name="x"><events><event id="3" name="f"/></events></profile>`,
+		`<profile name="x"><metrics><metric id="0" name="A"/><metric id="1" name="A"/></metrics></profile>`,
+		`<profile name="x"><threads><thread node="0" context="0" thread="0">
+			<interval event="9" calls="1"/></thread></threads></profile>`,
+		`<profile name="x"><metrics><metric id="0" name="TIME"/></metrics>
+			<events><event id="0" name="f"/></events>
+			<threads><thread node="0" context="0" thread="0">
+			<interval event="0" calls="1"><m id="7" incl="1" excl="1"/></interval></thread></threads></profile>`,
+	}
+	for i, src := range bad {
+		if _, err := Import(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

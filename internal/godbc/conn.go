@@ -1,0 +1,391 @@
+package godbc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlexec"
+	"perfdmf/internal/sqlparse"
+)
+
+// conn is the single Conn implementation, backed by a reldb engine. A conn
+// is not safe for concurrent use by multiple goroutines (like a JDBC
+// Connection); open one connection per goroutine — they share the engine.
+type conn struct {
+	db       *reldb.DB
+	tx       *reldb.Tx // open explicit transaction, or nil
+	closed   bool
+	readonly bool         // reject all mutating statements
+	release  func() error // driver-specific close hook
+}
+
+func newConn(db *reldb.DB, release func() error) *conn {
+	return &conn{db: db, release: release}
+}
+
+func toValues(args []any) []reldb.Value {
+	if len(args) == 0 {
+		return nil
+	}
+	out := make([]reldb.Value, len(args))
+	for i, a := range args {
+		out[i] = reldb.FromGo(a)
+	}
+	return out
+}
+
+func (c *conn) check() error {
+	if c.closed {
+		return fmt.Errorf("godbc: connection is closed")
+	}
+	return nil
+}
+
+func (c *conn) Exec(query string, args ...any) (Result, error) {
+	if err := c.check(); err != nil {
+		return Result{}, err
+	}
+	st, err := sqlparse.Parse(query)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.execParsed(st, toValues(args))
+}
+
+func (c *conn) execParsed(st sqlparse.Statement, params []reldb.Value) (Result, error) {
+	switch st.(type) {
+	case *sqlparse.Begin:
+		return Result{}, c.Begin()
+	case *sqlparse.Commit:
+		return Result{}, c.Commit()
+	case *sqlparse.Rollback:
+		return Result{}, c.Rollback()
+	case *sqlparse.Select:
+		return Result{}, fmt.Errorf("godbc: use Query for SELECT")
+	}
+	if c.readonly {
+		return Result{}, fmt.Errorf("godbc: connection is read-only")
+	}
+	if c.tx != nil {
+		res, err := sqlexec.Exec(c.tx, st, params)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result(res), nil
+	}
+	var res sqlexec.Result
+	err := c.db.Write(func(tx *reldb.Tx) error {
+		var err error
+		res, err = sqlexec.Exec(tx, st, params)
+		return err
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result(res), nil
+}
+
+func (c *conn) Query(query string, args ...any) (Rows, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	st, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch st := st.(type) {
+	case *sqlparse.Select:
+		return c.queryParsed(st, toValues(args))
+	case *sqlparse.Explain:
+		return c.explainParsed(st.Select, toValues(args))
+	}
+	return nil, fmt.Errorf("godbc: Query needs a SELECT (or EXPLAIN SELECT) statement")
+}
+
+func (c *conn) queryParsed(sel *sqlparse.Select, params []reldb.Value) (Rows, error) {
+	var rs *sqlexec.ResultSet
+	if c.tx != nil {
+		var err error
+		rs, err = sqlexec.Query(c.tx, sel, params)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		err := c.db.Read(func(tx *reldb.Tx) error {
+			var err error
+			rs, err = sqlexec.Query(tx, sel, params)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &rows{rs: rs, cur: -1}, nil
+}
+
+// explainParsed runs EXPLAIN SELECT: the plan description, not the data.
+func (c *conn) explainParsed(sel *sqlparse.Select, params []reldb.Value) (Rows, error) {
+	var rs *sqlexec.ResultSet
+	if c.tx != nil {
+		var err error
+		rs, err = sqlexec.Explain(c.tx, sel, params)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		err := c.db.Read(func(tx *reldb.Tx) error {
+			var err error
+			rs, err = sqlexec.Explain(tx, sel, params)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &rows{rs: rs, cur: -1}, nil
+}
+
+func (c *conn) Prepare(query string) (Stmt, error) {
+	if err := c.check(); err != nil {
+		return nil, err
+	}
+	st, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{c: c, st: st}, nil
+}
+
+func (c *conn) Begin() error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if c.readonly {
+		return fmt.Errorf("godbc: connection is read-only")
+	}
+	if c.tx != nil {
+		return fmt.Errorf("godbc: transaction already open")
+	}
+	c.tx = c.db.Begin()
+	return nil
+}
+
+func (c *conn) Commit() error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if c.tx == nil {
+		return fmt.Errorf("godbc: no open transaction")
+	}
+	err := c.tx.Commit()
+	c.tx = nil
+	return err
+}
+
+func (c *conn) Rollback() error {
+	if err := c.check(); err != nil {
+		return err
+	}
+	if c.tx == nil {
+		return fmt.Errorf("godbc: no open transaction")
+	}
+	c.tx.Rollback()
+	c.tx = nil
+	return nil
+}
+
+func (c *conn) MetaData() MetaData { return &metaData{c: c} }
+
+func (c *conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	if c.tx != nil {
+		c.tx.Rollback()
+		c.tx = nil
+	}
+	c.closed = true
+	if c.release != nil {
+		return c.release()
+	}
+	return nil
+}
+
+// stmt is a prepared statement bound to its connection.
+type stmt struct {
+	c      *conn
+	st     sqlparse.Statement
+	closed bool
+}
+
+func (s *stmt) Exec(args ...any) (Result, error) {
+	if s.closed {
+		return Result{}, fmt.Errorf("godbc: statement is closed")
+	}
+	if err := s.c.check(); err != nil {
+		return Result{}, err
+	}
+	return s.c.execParsed(s.st, toValues(args))
+}
+
+func (s *stmt) Query(args ...any) (Rows, error) {
+	if s.closed {
+		return nil, fmt.Errorf("godbc: statement is closed")
+	}
+	if err := s.c.check(); err != nil {
+		return nil, err
+	}
+	sel, ok := s.st.(*sqlparse.Select)
+	if !ok {
+		return nil, fmt.Errorf("godbc: Query needs a SELECT statement")
+	}
+	return s.c.queryParsed(sel, toValues(args))
+}
+
+func (s *stmt) Close() error {
+	s.closed = true
+	return nil
+}
+
+// rows is the materialized cursor.
+type rows struct {
+	rs  *sqlexec.ResultSet
+	cur int
+	err error
+}
+
+func (r *rows) Columns() []string { return r.rs.Cols }
+
+func (r *rows) Next() bool {
+	if r.cur+1 >= len(r.rs.Rows) {
+		return false
+	}
+	r.cur++
+	return true
+}
+
+func (r *rows) Value(i int) any {
+	if r.cur < 0 || r.cur >= len(r.rs.Rows) || i < 0 || i >= len(r.rs.Rows[r.cur]) {
+		return nil
+	}
+	return r.rs.Rows[r.cur][i].Go()
+}
+
+func (r *rows) Err() error   { return r.err }
+func (r *rows) Close() error { return nil }
+
+func (r *rows) Scan(dest ...any) error {
+	if r.cur < 0 || r.cur >= len(r.rs.Rows) {
+		return fmt.Errorf("godbc: Scan called without Next")
+	}
+	row := r.rs.Rows[r.cur]
+	if len(dest) != len(row) {
+		return fmt.Errorf("godbc: Scan got %d destinations for %d columns", len(dest), len(row))
+	}
+	for i, d := range dest {
+		if err := assign(d, row[i]); err != nil {
+			return fmt.Errorf("godbc: column %d (%s): %w", i, r.rs.Cols[i], err)
+		}
+	}
+	return nil
+}
+
+// assign converts a value into a destination pointer.
+func assign(dest any, v reldb.Value) error {
+	switch d := dest.(type) {
+	case *int64:
+		*d = v.AsInt()
+	case *int:
+		*d = int(v.AsInt())
+	case *float64:
+		*d = v.AsFloat()
+	case *string:
+		*d = v.AsString()
+	case *bool:
+		*d = v.AsBool()
+	case *time.Time:
+		*d = v.AsTime()
+	case *[]byte:
+		if v.IsNull() {
+			*d = nil
+		} else {
+			*d = []byte(v.AsString())
+		}
+	case *any:
+		*d = v.Go()
+	default:
+		return fmt.Errorf("unsupported Scan destination %T", dest)
+	}
+	return nil
+}
+
+// metaData implements schema inspection over a connection.
+type metaData struct{ c *conn }
+
+// withRead runs fn in the connection's open transaction when there is one,
+// otherwise in a fresh read transaction.
+func (m *metaData) withRead(fn func(tx *reldb.Tx) error) error {
+	if err := m.c.check(); err != nil {
+		return err
+	}
+	if m.c.tx != nil {
+		return fn(m.c.tx)
+	}
+	return m.c.db.Read(fn)
+}
+
+func (m *metaData) Tables() ([]string, error) {
+	var names []string
+	err := m.withRead(func(tx *reldb.Tx) error {
+		names = tx.TableNames()
+		return nil
+	})
+	return names, err
+}
+
+func (m *metaData) Columns(table string) ([]ColumnInfo, error) {
+	var out []ColumnInfo
+	err := m.withRead(func(tx *reldb.Tx) error {
+		tbl, err := tx.Table(table)
+		if err != nil {
+			return err
+		}
+		s := tbl.Schema()
+		for _, col := range s.Columns {
+			out = append(out, ColumnInfo{
+				Name:          col.Name,
+				Type:          col.Type.String(),
+				NotNull:       col.NotNull,
+				PrimaryKey:    strings.EqualFold(s.PrimaryKey, col.Name),
+				AutoIncrement: col.AutoIncrement,
+				Default:       col.Default.Go(),
+			})
+		}
+		return nil
+	})
+	return out, err
+}
+
+func (m *metaData) Indexes(table string) ([]IndexInfo, error) {
+	var out []IndexInfo
+	err := m.withRead(func(tx *reldb.Tx) error {
+		tbl, err := tx.Table(table)
+		if err != nil {
+			return err
+		}
+		for _, ix := range tbl.Indexes() {
+			out = append(out, IndexInfo{
+				Name:   ix.Name,
+				Column: ix.Column(),
+				Kind:   ix.Kind.String(),
+				Unique: ix.Unique,
+			})
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+		return nil
+	})
+	return out, err
+}

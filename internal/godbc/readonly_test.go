@@ -1,0 +1,90 @@
+package godbc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadOnlyConnection(t *testing.T) {
+	dsn := freshMem(t)
+	rw := openT(t, dsn)
+	if _, err := rw.Exec("CREATE TABLE t (a BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rw.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+
+	ro, err := Open(dsn + "?readonly=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ro.Close() })
+
+	// Reads work.
+	rows, err := ro.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Next()
+	var n int64
+	rows.Scan(&n)
+	if n != 1 {
+		t.Fatalf("count = %d", n)
+	}
+	md := ro.MetaData()
+	if tables, err := md.Tables(); err != nil || len(tables) != 1 {
+		t.Fatalf("metadata: %v %v", tables, err)
+	}
+
+	// Every mutation path is rejected.
+	writes := []string{
+		"INSERT INTO t VALUES (2)",
+		"UPDATE t SET a = 3",
+		"DELETE FROM t",
+		"CREATE TABLE u (x BIGINT)",
+		"DROP TABLE t",
+		"ALTER TABLE t ADD COLUMN b BIGINT",
+		"CREATE INDEX ix ON t (a)",
+	}
+	for _, q := range writes {
+		if _, err := ro.Exec(q); err == nil || !strings.Contains(err.Error(), "read-only") {
+			t.Errorf("%s: %v", q, err)
+		}
+	}
+	if err := ro.Begin(); err == nil {
+		t.Error("Begin on read-only connection accepted")
+	}
+	// Prepared statements hit the same wall.
+	stmt, err := ro.Prepare("INSERT INTO t VALUES (?)")
+	if err != nil {
+		t.Fatal(err) // preparing is fine; executing is not
+	}
+	if _, err := stmt.Exec(9); err == nil {
+		t.Error("prepared write on read-only connection accepted")
+	}
+	// The underlying data is untouched.
+	rows, _ = rw.Query("SELECT COUNT(*) FROM t")
+	rows.Next()
+	rows.Scan(&n)
+	if n != 1 {
+		t.Fatalf("data mutated through read-only conn: %d rows", n)
+	}
+}
+
+func TestReadOnlyFileDriver(t *testing.T) {
+	dir := t.TempDir()
+	rw := openT(t, "file:"+dir)
+	rw.Exec("CREATE TABLE t (a BIGINT)")
+	ro, err := Open("file:" + dir + "?readonly=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ro.Close()
+	if _, err := ro.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatal("write through read-only file conn accepted")
+	}
+	if _, err := ro.Query("SELECT * FROM t"); err != nil {
+		t.Fatal(err)
+	}
+}

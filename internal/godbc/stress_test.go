@@ -1,0 +1,158 @@
+package godbc
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWriters drives one connection per goroutine against a
+// shared engine: the paper's shared-repository scenario, where several
+// analysts load trials at once. The engine serializes writers; every
+// insert must land exactly once.
+func TestConcurrentWriters(t *testing.T) {
+	dsn := freshMem(t)
+	setup := openT(t, dsn)
+	if _, err := setup.Exec(
+		"CREATE TABLE t (id BIGINT PRIMARY KEY AUTO_INCREMENT, writer BIGINT, n BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		writers = 8
+		each    = 200
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Open(dsn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			ins, err := c.Prepare("INSERT INTO t (writer, n) VALUES (?, ?)")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < each; i++ {
+				if _, err := ins.Exec(w, i); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Concurrent readers while the writers run.
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			c, err := Open(dsn)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rows, err := c.Query("SELECT COUNT(*) FROM t")
+				if err != nil {
+					errs <- err
+					return
+				}
+				rows.Next()
+				var n int64
+				rows.Scan(&n) //nolint:errcheck
+				if n < 0 || n > writers*each {
+					errs <- fmt.Errorf("impossible count %d", n)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	rows, err := setup.Query("SELECT writer, COUNT(*) FROM t GROUP BY writer ORDER BY writer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for rows.Next() {
+		var w, n int64
+		rows.Scan(&w, &n) //nolint:errcheck
+		if n != each {
+			t.Fatalf("writer %d wrote %d rows, want %d", w, n, each)
+		}
+		seen++
+	}
+	if seen != writers {
+		t.Fatalf("%d writers seen, want %d", seen, writers)
+	}
+	// Auto-increment ids are unique: max id == total rows.
+	rows, _ = setup.Query("SELECT COUNT(*), MAX(id), COUNT(DISTINCT id) FROM t")
+	rows.Next()
+	var total, maxID, distinct int64
+	rows.Scan(&total, &maxID, &distinct) //nolint:errcheck
+	if total != writers*each || maxID != total || distinct != total {
+		t.Fatalf("ids: total=%d max=%d distinct=%d", total, maxID, distinct)
+	}
+}
+
+// TestConcurrentTransactions interleaves explicit transactions from
+// multiple connections; rollbacks must never leak rows.
+func TestConcurrentTransactions(t *testing.T) {
+	dsn := freshMem(t)
+	setup := openT(t, dsn)
+	setup.Exec("CREATE TABLE t (a BIGINT)")
+
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := Open(dsn)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 50; i++ {
+				if err := c.Begin(); err != nil {
+					t.Error(err)
+					return
+				}
+				c.Exec("INSERT INTO t VALUES (?)", w) //nolint:errcheck
+				if i%2 == 0 {
+					c.Commit() //nolint:errcheck
+				} else {
+					c.Rollback() //nolint:errcheck
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	rows, _ := setup.Query("SELECT COUNT(*) FROM t")
+	rows.Next()
+	var n int64
+	rows.Scan(&n) //nolint:errcheck
+	if n != 6*25 {
+		t.Fatalf("rows = %d, want %d (committed halves only)", n, 6*25)
+	}
+}

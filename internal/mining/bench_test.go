@@ -1,0 +1,58 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchRows(n, dims int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, n)
+	for i := range rows {
+		row := make([]float64, dims)
+		c := i % 3
+		for d := range row {
+			center := 0.0
+			if d%3 == c {
+				center = 10
+			}
+			row[d] = center + rng.NormFloat64()
+		}
+		rows[i] = row
+	}
+	return rows
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	for _, n := range []int{256, 1024} {
+		b.Run(fmt.Sprintf("rows-%d", n), func(b *testing.B) {
+			rows := benchRows(n, 40)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := KMeans(rows, KMeansConfig{K: 3, Seed: int64(i)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPCA(b *testing.B) {
+	rows := benchRows(512, 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PrincipalComponents(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNormalizeZScore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		fm := &FeatureMatrix{Columns: make([]string, 40), Rows: benchRows(1024, 40)}
+		b.StartTimer()
+		fm.Normalize(NormZScore)
+	}
+}

@@ -1,0 +1,135 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+
+	"perfdmf/internal/core"
+)
+
+// Metric correlation is the other analysis PerfExplorer runs besides
+// clustering: which hardware counters move together across threads (e.g.
+// FLOP counts tracking cycle counts identifies compute-bound regions; L2
+// misses tracking wall time identifies memory-bound ones).
+
+// Correlation holds a symmetric Pearson correlation matrix over metrics.
+type Correlation struct {
+	TrialID int64
+	Metrics []string
+	// Matrix[i][j] is the correlation of Metrics[i] with Metrics[j] over
+	// per-thread totals; NaN-free (constant metrics correlate as 0).
+	Matrix [][]float64
+}
+
+// Pearson computes the correlation coefficient of two equal-length
+// vectors; vectors with zero variance yield 0.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n == 0 || n != len(y) {
+		return 0
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var cov, vx, vy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Correlate computes the metric-by-metric Pearson correlation over a
+// trial's per-thread totals (exclusive values summed across events). nil
+// metrics means all of the trial's metrics.
+func Correlate(s *core.DataSession, trialID int64, metrics []string) (*Correlation, error) {
+	fm, err := ExtractFeatures(s, trialID, metrics)
+	if err != nil {
+		return nil, err
+	}
+	// Column labels are "event|metric"; aggregate per metric across events.
+	metricNames := []string{}
+	colMetric := make([]int, len(fm.Columns))
+	indexOf := map[string]int{}
+	for c, label := range fm.Columns {
+		_, metric, ok := cutLast(label, '|')
+		if !ok {
+			return nil, fmt.Errorf("mining: malformed feature label %q", label)
+		}
+		mi, seen := indexOf[metric]
+		if !seen {
+			mi = len(metricNames)
+			indexOf[metric] = mi
+			metricNames = append(metricNames, metric)
+		}
+		colMetric[c] = mi
+	}
+	nm := len(metricNames)
+	totals := make([][]float64, nm) // per metric: vector over threads
+	for m := range totals {
+		totals[m] = make([]float64, len(fm.Rows))
+	}
+	for r, row := range fm.Rows {
+		for c, v := range row {
+			totals[colMetric[c]][r] += v
+		}
+	}
+	corr := &Correlation{TrialID: trialID, Metrics: metricNames}
+	corr.Matrix = make([][]float64, nm)
+	for i := range corr.Matrix {
+		corr.Matrix[i] = make([]float64, nm)
+		corr.Matrix[i][i] = 1
+	}
+	for i := 0; i < nm; i++ {
+		for j := i + 1; j < nm; j++ {
+			r := Pearson(totals[i], totals[j])
+			corr.Matrix[i][j] = r
+			corr.Matrix[j][i] = r
+		}
+	}
+	return corr, nil
+}
+
+// StrongPairs returns the metric pairs whose |correlation| meets the
+// threshold, strongest first.
+func (c *Correlation) StrongPairs(threshold float64) []CorrelatedPair {
+	var out []CorrelatedPair
+	for i := 0; i < len(c.Metrics); i++ {
+		for j := i + 1; j < len(c.Metrics); j++ {
+			if r := c.Matrix[i][j]; math.Abs(r) >= threshold {
+				out = append(out, CorrelatedPair{A: c.Metrics[i], B: c.Metrics[j], R: r})
+			}
+		}
+	}
+	// Insertion sort by |R| descending; the list is tiny.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && math.Abs(out[j].R) > math.Abs(out[j-1].R); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// CorrelatedPair is one (metric, metric, r) entry.
+type CorrelatedPair struct {
+	A, B string
+	R    float64
+}
+
+// cutLast splits s at the last occurrence of sep.
+func cutLast(s string, sep byte) (before, after string, ok bool) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == sep {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}

@@ -1,0 +1,34 @@
+package mining_test
+
+import (
+	"fmt"
+	"log"
+
+	"perfdmf/internal/mining"
+)
+
+// ExampleKMeans clusters three obvious groups of points, the operation
+// PerfExplorer applies to per-thread performance vectors.
+func ExampleKMeans() {
+	rows := [][]float64{
+		{0, 0}, {0.1, 0.2}, {0.2, 0.1}, // near the origin
+		{10, 10}, {10.1, 9.9}, // near (10,10)
+		{-10, 10}, {-9.9, 10.2}, // near (-10,10)
+	}
+	cl, err := mining.KMeans(rows, mining.KMeansConfig{K: 3, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes := append([]int(nil), cl.Sizes...)
+	// Sort for stable output (cluster numbering is arbitrary).
+	for i := 0; i < len(sizes); i++ {
+		for j := i + 1; j < len(sizes); j++ {
+			if sizes[j] < sizes[i] {
+				sizes[i], sizes[j] = sizes[j], sizes[i]
+			}
+		}
+	}
+	fmt.Printf("k=%d sizes=%v\n", cl.K, sizes)
+	// Output:
+	// k=3 sizes=[2 2 3]
+}

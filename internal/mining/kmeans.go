@@ -1,0 +1,243 @@
+// Package mining implements the PerfExplorer data-mining engine of paper
+// §5.3: feature extraction from stored trials through the PerfDMF API,
+// normalization, k-means cluster analysis with k-means++ seeding, principal
+// component analysis, and cluster summarization. The paper delegated the
+// statistics to R; this package implements them directly, and
+// cmd/perfexplorer wraps it in the paper's client/server architecture
+// (Figure 3).
+package mining
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Clustering is the result of KMeans.
+type Clustering struct {
+	K           int
+	Assignments []int       // row -> cluster index
+	Centroids   [][]float64 // k × dims
+	Sizes       []int
+	RSS         float64 // total within-cluster sum of squared distances
+	Iterations  int
+}
+
+// KMeansConfig tunes the clustering run.
+type KMeansConfig struct {
+	K        int
+	Seed     int64
+	MaxIter  int  // default 100
+	PlainRNG bool // use uniform random seeding instead of k-means++ (ablation)
+	// Restarts runs the whole algorithm this many times with different
+	// seeds and keeps the lowest-RSS result (R's kmeans nstart). Default 4.
+	Restarts int
+}
+
+// KMeans clusters rows (each a point in len(row)-dimensional space) into
+// cfg.K clusters using Lloyd's algorithm with k-means++ seeding, keeping
+// the best of cfg.Restarts independent runs.
+func KMeans(rows [][]float64, cfg KMeansConfig) (*Clustering, error) {
+	restarts := cfg.Restarts
+	if restarts <= 0 {
+		restarts = 4
+	}
+	var best *Clustering
+	for r := 0; r < restarts; r++ {
+		run := cfg
+		run.Seed = cfg.Seed + int64(r)*7919
+		cl, err := kmeansOnce(rows, run)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || cl.RSS < best.RSS {
+			best = cl
+		}
+	}
+	return best, nil
+}
+
+func kmeansOnce(rows [][]float64, cfg KMeansConfig) (*Clustering, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("mining: no data to cluster")
+	}
+	dims := len(rows[0])
+	for i, r := range rows {
+		if len(r) != dims {
+			return nil, fmt.Errorf("mining: row %d has %d dims, want %d", i, len(r), dims)
+		}
+	}
+	if cfg.K <= 0 || cfg.K > n {
+		return nil, fmt.Errorf("mining: k=%d is out of range for %d rows", cfg.K, n)
+	}
+	if cfg.MaxIter <= 0 {
+		cfg.MaxIter = 100
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	centroids := make([][]float64, cfg.K)
+	if cfg.PlainRNG {
+		perm := rng.Perm(n)
+		for i := 0; i < cfg.K; i++ {
+			centroids[i] = append([]float64(nil), rows[perm[i]]...)
+		}
+	} else {
+		seedPlusPlus(rows, centroids, rng)
+	}
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	cl := &Clustering{K: cfg.K, Assignments: assign, Centroids: centroids}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		cl.Iterations = iter + 1
+		changed := false
+		for i, row := range rows {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := sqDist(row, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; re-seed any empty cluster at the farthest
+		// point to keep k clusters alive.
+		counts := make([]int, cfg.K)
+		next := make([][]float64, cfg.K)
+		for c := range next {
+			next[c] = make([]float64, dims)
+		}
+		for i, row := range rows {
+			c := assign[i]
+			counts[c]++
+			for d, v := range row {
+				next[c][d] += v
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				far := farthestRow(rows, centroids, assign)
+				copy(next[c], rows[far])
+				counts[c] = 1
+				assign[far] = c
+				continue
+			}
+			for d := range next[c] {
+				next[c][d] /= float64(counts[c])
+			}
+		}
+		centroids = next
+		cl.Centroids = centroids
+	}
+
+	cl.Sizes = make([]int, cfg.K)
+	cl.RSS = 0
+	for i, row := range rows {
+		cl.Sizes[assign[i]]++
+		cl.RSS += sqDist(row, centroids[assign[i]])
+	}
+	return cl, nil
+}
+
+// seedPlusPlus implements k-means++ initialization: the first centroid is
+// uniform, each next is drawn with probability proportional to squared
+// distance from the nearest chosen centroid.
+func seedPlusPlus(rows [][]float64, centroids [][]float64, rng *rand.Rand) {
+	n := len(rows)
+	centroids[0] = append([]float64(nil), rows[rng.Intn(n)]...)
+	dist := make([]float64, n)
+	for i, row := range rows {
+		dist[i] = sqDist(row, centroids[0])
+	}
+	for c := 1; c < len(centroids); c++ {
+		total := 0.0
+		for _, d := range dist {
+			total += d
+		}
+		var pick int
+		if total == 0 {
+			pick = rng.Intn(n)
+		} else {
+			target := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, d := range dist {
+				acc += d
+				if acc >= target {
+					pick = i
+					break
+				}
+			}
+		}
+		centroids[c] = append([]float64(nil), rows[pick]...)
+		for i, row := range rows {
+			if d := sqDist(row, centroids[c]); d < dist[i] {
+				dist[i] = d
+			}
+		}
+	}
+}
+
+// farthestRow returns the index of the row farthest from its assigned
+// centroid.
+func farthestRow(rows, centroids [][]float64, assign []int) int {
+	best, bestD := 0, -1.0
+	for i, row := range rows {
+		if d := sqDist(row, centroids[assign[i]]); d > bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func sqDist(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// ChooseK runs KMeans for k = 1..maxK and picks the k at the "elbow": the
+// largest k whose RSS improvement over k-1 still exceeds threshold (a
+// fraction of the k=1 RSS, default 0.15). PerfExplorer's analyst chooses k
+// interactively; this is the automated stand-in used by the benchmarks.
+func ChooseK(rows [][]float64, maxK int, seed int64, threshold float64) (int, []*Clustering, error) {
+	if threshold <= 0 {
+		threshold = 0.15
+	}
+	var all []*Clustering
+	prevRSS := 0.0
+	baseRSS := 0.0
+	bestK := 1
+	for k := 1; k <= maxK && k <= len(rows); k++ {
+		cl, err := KMeans(rows, KMeansConfig{K: k, Seed: seed})
+		if err != nil {
+			return 0, nil, err
+		}
+		all = append(all, cl)
+		if k == 1 {
+			baseRSS = cl.RSS
+			prevRSS = cl.RSS
+			continue
+		}
+		if baseRSS == 0 {
+			break // degenerate: all points identical
+		}
+		if (prevRSS-cl.RSS)/baseRSS > threshold {
+			bestK = k
+		}
+		prevRSS = cl.RSS
+	}
+	return bestK, all, nil
+}

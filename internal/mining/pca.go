@@ -1,0 +1,174 @@
+package mining
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PCA is the result of PrincipalComponents: eigenvectors of the covariance
+// matrix sorted by descending eigenvalue, with explained-variance ratios.
+type PCA struct {
+	Components [][]float64 // each of length dims
+	Variance   []float64   // eigenvalues
+	Explained  []float64   // Variance[i] / sum(Variance)
+	Mean       []float64
+}
+
+// PrincipalComponents computes a full PCA of the rows via Jacobi
+// eigendecomposition of the covariance matrix. PerfExplorer uses PCA to
+// project hundreds of dimensions down for display; dims beyond a few
+// hundred would want a different algorithm, which matches the paper's data
+// shapes (events × metrics).
+func PrincipalComponents(rows [][]float64) (*PCA, error) {
+	n := len(rows)
+	if n < 2 {
+		return nil, fmt.Errorf("mining: PCA needs at least 2 rows")
+	}
+	dims := len(rows[0])
+	mean := make([]float64, dims)
+	for _, r := range rows {
+		if len(r) != dims {
+			return nil, fmt.Errorf("mining: ragged matrix")
+		}
+		for d, v := range r {
+			mean[d] += v
+		}
+	}
+	for d := range mean {
+		mean[d] /= float64(n)
+	}
+	// Covariance matrix.
+	cov := make([][]float64, dims)
+	for i := range cov {
+		cov[i] = make([]float64, dims)
+	}
+	for _, r := range rows {
+		for i := 0; i < dims; i++ {
+			di := r[i] - mean[i]
+			for j := i; j < dims; j++ {
+				cov[i][j] += di * (r[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < dims; i++ {
+		for j := i; j < dims; j++ {
+			cov[i][j] /= float64(n - 1)
+			cov[j][i] = cov[i][j]
+		}
+	}
+	vals, vecs := jacobiEigen(cov)
+
+	order := make([]int, dims)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+
+	p := &PCA{Mean: mean}
+	total := 0.0
+	for _, v := range vals {
+		if v > 0 {
+			total += v
+		}
+	}
+	for _, idx := range order {
+		comp := make([]float64, dims)
+		for d := 0; d < dims; d++ {
+			comp[d] = vecs[d][idx]
+		}
+		p.Components = append(p.Components, comp)
+		v := vals[idx]
+		if v < 0 {
+			v = 0
+		}
+		p.Variance = append(p.Variance, v)
+		if total > 0 {
+			p.Explained = append(p.Explained, v/total)
+		} else {
+			p.Explained = append(p.Explained, 0)
+		}
+	}
+	return p, nil
+}
+
+// Project maps rows onto the first k principal components.
+func (p *PCA) Project(rows [][]float64, k int) [][]float64 {
+	if k > len(p.Components) {
+		k = len(p.Components)
+	}
+	out := make([][]float64, len(rows))
+	for i, r := range rows {
+		proj := make([]float64, k)
+		for c := 0; c < k; c++ {
+			s := 0.0
+			for d := range r {
+				s += (r[d] - p.Mean[d]) * p.Components[c][d]
+			}
+			proj[c] = s
+		}
+		out[i] = proj
+	}
+	return out
+}
+
+// jacobiEigen computes eigenvalues and eigenvectors of a symmetric matrix
+// using cyclic Jacobi rotations. vecs[i][j] is component i of eigenvector j.
+func jacobiEigen(a [][]float64) (vals []float64, vecs [][]float64) {
+	n := len(a)
+	// Work on a copy.
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	vecs = make([][]float64, n)
+	for i := range vecs {
+		vecs[i] = make([]float64, n)
+		vecs[i][i] = 1
+	}
+	for sweep := 0; sweep < 100; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += m[i][j] * m[i][j]
+			}
+		}
+		if off < 1e-20 {
+			break
+		}
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				if math.Abs(m[p][q]) < 1e-300 {
+					continue
+				}
+				theta := (m[q][q] - m[p][p]) / (2 * m[p][q])
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				for k := 0; k < n; k++ {
+					mkp, mkq := m[k][p], m[k][q]
+					m[k][p] = c*mkp - s*mkq
+					m[k][q] = s*mkp + c*mkq
+				}
+				for k := 0; k < n; k++ {
+					mpk, mqk := m[p][k], m[q][k]
+					m[p][k] = c*mpk - s*mqk
+					m[q][k] = s*mpk + c*mqk
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := vecs[k][p], vecs[k][q]
+					vecs[k][p] = c*vkp - s*vkq
+					vecs[k][q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	vals = make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = m[i][i]
+	}
+	return vals, vecs
+}

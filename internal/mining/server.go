@@ -1,0 +1,320 @@
+package mining
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+
+	"perfdmf/internal/core"
+)
+
+// The PerfExplorer client/server protocol (paper Figure 3): the client
+// sends one JSON request per line over TCP; the server answers with one
+// JSON response per line. The analysis server owns the PerfDMF session,
+// runs the mining operation, stores the result back through the PerfDMF
+// API, and returns it.
+
+// Request is one client request.
+type Request struct {
+	// Op is "list" (applications/experiments/trials), "cluster" (run
+	// k-means on a trial), "correlate" (metric correlation matrix) or
+	// "results" (fetch stored analysis results).
+	Op      string   `json:"op"`
+	TrialID int64    `json:"trial_id,omitempty"`
+	Metrics []string `json:"metrics,omitempty"`
+	// K forces the cluster count; 0 means choose automatically up to MaxK.
+	K         int    `json:"k,omitempty"`
+	MaxK      int    `json:"max_k,omitempty"`
+	Seed      int64  `json:"seed,omitempty"`
+	Normalize string `json:"normalize,omitempty"` // "", "zscore", "minmax"
+}
+
+// TrialInfo is one row of the "list" response.
+type TrialInfo struct {
+	TrialID     int64  `json:"trial_id"`
+	Trial       string `json:"trial"`
+	Experiment  string `json:"experiment"`
+	Application string `json:"application"`
+	NodeCount   int64  `json:"node_count"`
+}
+
+// ClusterResult is the payload of a "cluster" response.
+type ClusterResult struct {
+	TrialID    int64            `json:"trial_id"`
+	K          int              `json:"k"`
+	Sizes      []int            `json:"sizes"`
+	RSS        float64          `json:"rss"`
+	Iterations int              `json:"iterations"`
+	Threads    int              `json:"threads"`
+	Dimensions int              `json:"dimensions"`
+	Summaries  []ClusterSummary `json:"summaries"`
+	// Assignments maps row order (node-sorted threads) to cluster index.
+	Assignments []int `json:"assignments"`
+	// PCAExplained is the variance explained by the top components.
+	PCAExplained []float64 `json:"pca_explained,omitempty"`
+	ResultID     int64     `json:"result_id"` // analysis_result row
+}
+
+// Response is one server reply.
+type Response struct {
+	OK          bool                  `json:"ok"`
+	Error       string                `json:"error,omitempty"`
+	Trials      []TrialInfo           `json:"trials,omitempty"`
+	Cluster     *ClusterResult        `json:"cluster,omitempty"`
+	Correlation *Correlation          `json:"correlation,omitempty"`
+	Results     []core.AnalysisResult `json:"results,omitempty"`
+}
+
+// Server is the PerfExplorer analysis server.
+type Server struct {
+	mu   sync.Mutex // serializes access to the session
+	sess *core.DataSession
+	ln   net.Listener
+	done chan struct{}
+}
+
+// NewServer wraps an open PerfDMF session. The caller keeps ownership of
+// the session and must not use it concurrently with the server.
+func NewServer(sess *core.DataSession) *Server {
+	return &Server{sess: sess, done: make(chan struct{})}
+}
+
+// Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
+// returns the bound address.
+func (srv *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv.ln = ln
+	go srv.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (srv *Server) Close() error {
+	close(srv.done)
+	if srv.ln != nil {
+		return srv.ln.Close()
+	}
+	return nil
+}
+
+func (srv *Server) acceptLoop() {
+	for {
+		conn, err := srv.ln.Accept()
+		if err != nil {
+			select {
+			case <-srv.done:
+				return
+			default:
+				return
+			}
+		}
+		go srv.serveConn(conn)
+	}
+}
+
+func (srv *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req Request
+		var resp Response
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			resp = Response{Error: "bad request: " + err.Error()}
+		} else {
+			resp = srv.handle(req)
+		}
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (srv *Server) handle(req Request) Response {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	switch req.Op {
+	case "list":
+		trials, err := srv.listTrials()
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Trials: trials}
+	case "cluster":
+		result, err := srv.cluster(req)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Cluster: result}
+	case "correlate":
+		corr, err := Correlate(srv.sess, req.TrialID, req.Metrics)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		payload, err := json.Marshal(corr)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		if _, err := srv.sess.SaveAnalysisResult(req.TrialID,
+			"correlation", "pearson", string(payload)); err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Correlation: corr}
+	case "results":
+		results, err := srv.sess.AnalysisResults(req.TrialID)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		return Response{OK: true, Results: results}
+	}
+	return Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+func (srv *Server) listTrials() ([]TrialInfo, error) {
+	rows, err := srv.sess.Conn().Query(`
+		SELECT t.id, t.name, e.name, a.name, t.node_count
+		FROM trial t
+		JOIN experiment e ON t.experiment = e.id
+		JOIN application a ON e.application = a.id
+		ORDER BY t.id`)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	var out []TrialInfo
+	for rows.Next() {
+		var ti TrialInfo
+		var nodes any
+		if err := rows.Scan(&ti.TrialID, &ti.Trial, &ti.Experiment, &ti.Application, &nodes); err != nil {
+			return nil, err
+		}
+		if n, ok := nodes.(int64); ok {
+			ti.NodeCount = n
+		}
+		out = append(out, ti)
+	}
+	return out, rows.Err()
+}
+
+// cluster runs the full PerfExplorer pipeline: extract → normalize →
+// k-means (fixed k or automatic) → summarize → PCA → persist.
+func (srv *Server) cluster(req Request) (*ClusterResult, error) {
+	fm, err := ExtractFeatures(srv.sess, req.TrialID, req.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the raw matrix for summaries before normalizing a copy.
+	raw := &FeatureMatrix{TrialID: fm.TrialID, Threads: fm.Threads, Columns: fm.Columns}
+	raw.Rows = make([][]float64, len(fm.Rows))
+	for i, r := range fm.Rows {
+		raw.Rows[i] = append([]float64(nil), r...)
+	}
+	switch req.Normalize {
+	case "", "zscore":
+		fm.Normalize(NormZScore)
+	case "minmax":
+		fm.Normalize(NormMinMax)
+	case "none":
+	default:
+		return nil, fmt.Errorf("mining: unknown normalization %q", req.Normalize)
+	}
+
+	var cl *Clustering
+	if req.K > 0 {
+		cl, err = KMeans(fm.Rows, KMeansConfig{K: req.K, Seed: req.Seed})
+	} else {
+		maxK := req.MaxK
+		if maxK <= 0 {
+			maxK = 8
+		}
+		var k int
+		var all []*Clustering
+		k, all, err = ChooseK(fm.Rows, maxK, req.Seed, 0)
+		if err == nil {
+			cl = all[k-1]
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	result := &ClusterResult{
+		TrialID:     req.TrialID,
+		K:           cl.K,
+		Sizes:       cl.Sizes,
+		RSS:         cl.RSS,
+		Iterations:  cl.Iterations,
+		Threads:     len(fm.Rows),
+		Dimensions:  len(fm.Columns),
+		Summaries:   Summarize(raw, cl, 5),
+		Assignments: cl.Assignments,
+	}
+	if pca, err := PrincipalComponents(fm.Rows); err == nil {
+		n := 3
+		if n > len(pca.Explained) {
+			n = len(pca.Explained)
+		}
+		result.PCAExplained = pca.Explained[:n]
+	}
+
+	// Persist through the PerfDMF API, as PerfExplorer does.
+	payload, err := json.Marshal(result)
+	if err != nil {
+		return nil, err
+	}
+	id, err := srv.sess.SaveAnalysisResult(req.TrialID,
+		fmt.Sprintf("kmeans-k%d", cl.K), "kmeans", string(payload))
+	if err != nil {
+		return nil, err
+	}
+	result.ResultID = id
+	return result, nil
+}
+
+// Client is a PerfExplorer protocol client.
+type Client struct {
+	conn net.Conn
+	sc   *bufio.Scanner
+	enc  *json.Encoder
+}
+
+// Dial connects to a PerfExplorer server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	return &Client{conn: conn, sc: sc, enc: json.NewEncoder(conn)}, nil
+}
+
+// Do sends one request and reads the response.
+func (c *Client) Do(req Request) (*Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return nil, err
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("mining: server closed the connection")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return &resp, fmt.Errorf("mining: server error: %s", resp.Error)
+	}
+	return &resp, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

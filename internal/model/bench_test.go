@@ -1,0 +1,61 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchProfile(threads, events, metrics int) *Profile {
+	p := New("bench")
+	for m := 0; m < metrics; m++ {
+		p.AddMetric(fmt.Sprintf("M%d", m))
+	}
+	evs := make([]*IntervalEvent, events)
+	for e := range evs {
+		evs[e] = p.AddIntervalEvent(fmt.Sprintf("event-%d", e), "G")
+	}
+	for t := 0; t < threads; t++ {
+		th := p.Thread(t, 0, 0)
+		for _, e := range evs {
+			d := th.IntervalData(e.ID, metrics)
+			d.NumCalls = 10
+			for m := 0; m < metrics; m++ {
+				d.PerMetric[m] = MetricData{Inclusive: float64(t + m), Exclusive: float64(t)}
+			}
+		}
+	}
+	return p
+}
+
+func BenchmarkTotalSummary(b *testing.B) {
+	p := benchProfile(512, 101, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := p.TotalSummary()
+		if len(s.Events) != 101 {
+			b.Fatal("wrong summary")
+		}
+	}
+}
+
+func BenchmarkMinMeanMax(b *testing.B) {
+	p := benchProfile(1024, 20, 1)
+	e := p.IntervalEvents()[5]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, ok := p.MinMeanMax(e.ID, 0, false); !ok {
+			b.Fatal("no data")
+		}
+	}
+}
+
+func BenchmarkDeriveMetric(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p := benchProfile(128, 50, 2)
+		b.StartTimer()
+		if _, err := p.DeriveMetric("R", Ratio("M1", "M0", 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package model
+
+import "strings"
+
+// TAU callpath profiles record events whose names are full call paths,
+// "main() => solve() => MPI_Send()", conventionally in the TAU_CALLPATH
+// group alongside the flat events. ParaProf reconstructs call trees from
+// them; this file is that reconstruction for the common model.
+
+// CallpathSep separates frames in a TAU callpath event name.
+const CallpathSep = " => "
+
+// IsCallpath reports whether an event name is a callpath (contains at
+// least two frames).
+func IsCallpath(name string) bool {
+	return strings.Contains(name, CallpathSep)
+}
+
+// CallpathFrames splits a callpath event name into its frames, trimming
+// surrounding whitespace from each.
+func CallpathFrames(name string) []string {
+	parts := strings.Split(name, CallpathSep)
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// CallpathLeaf returns the last frame of a callpath name (the name itself
+// when it is flat).
+func CallpathLeaf(name string) string {
+	frames := CallpathFrames(name)
+	return frames[len(frames)-1]
+}
+
+// CallpathParent returns the path with the last frame removed, or "" for
+// a flat name.
+func CallpathParent(name string) string {
+	i := strings.LastIndex(name, CallpathSep)
+	if i < 0 {
+		return ""
+	}
+	return name[:i]
+}
+
+// CallNode is one node of a reconstructed call tree.
+type CallNode struct {
+	Name      string // this frame's name
+	Path      string // full path from the root
+	EventID   int    // the callpath event supplying this node's data, or -1
+	Inclusive float64
+	Exclusive float64
+	Calls     float64
+	Children  []*CallNode
+}
+
+// CallTree reconstructs a thread's call tree for one metric from its
+// callpath events. Flat events (no separator) become roots; deeper paths
+// attach under their parents, with missing interior nodes synthesized
+// (EventID -1). The returned virtual root has Name "" and aggregates every
+// top-level frame; ok is false when the thread has no callpath events at
+// all.
+func (p *Profile) CallTree(th *Thread, metric int) (root *CallNode, ok bool) {
+	root = &CallNode{Name: "", EventID: -1}
+	nodes := map[string]*CallNode{"": root}
+	saw := false
+
+	// ensure returns the node for a path, creating interior nodes.
+	var ensure func(path string) *CallNode
+	ensure = func(path string) *CallNode {
+		if n, exists := nodes[path]; exists {
+			return n
+		}
+		parent := ensure(CallpathParent(path))
+		n := &CallNode{Name: CallpathLeaf(path), Path: path, EventID: -1}
+		parent.Children = append(parent.Children, n)
+		nodes[path] = n
+		return n
+	}
+
+	events := p.IntervalEvents()
+	th.EachInterval(func(eid int, d *IntervalData) {
+		name := events[eid].Name
+		if !IsCallpath(name) {
+			// Flat events participate only if a callpath version exists
+			// below them; they are added lazily by ensure. But a flat event
+			// that is itself a callpath root should carry its own data.
+			return
+		}
+		saw = true
+		// Normalize the path so frame spacing does not split nodes.
+		frames := CallpathFrames(name)
+		path := strings.Join(frames, CallpathSep)
+		n := ensure(path)
+		n.EventID = eid
+		if metric < len(d.PerMetric) {
+			n.Inclusive = d.PerMetric[metric].Inclusive
+			n.Exclusive = d.PerMetric[metric].Exclusive
+		}
+		n.Calls = d.NumCalls
+	})
+	if !saw {
+		return nil, false
+	}
+
+	// Attach data from flat events to the root-level frames that lack it.
+	th.EachInterval(func(eid int, d *IntervalData) {
+		name := events[eid].Name
+		if IsCallpath(name) {
+			return
+		}
+		if n, exists := nodes[strings.TrimSpace(name)]; exists && n.EventID == -1 {
+			n.EventID = eid
+			if metric < len(d.PerMetric) {
+				n.Inclusive = d.PerMetric[metric].Inclusive
+				n.Exclusive = d.PerMetric[metric].Exclusive
+			}
+			n.Calls = d.NumCalls
+		}
+	})
+
+	// Fill interior nodes without their own event: inclusive is the sum of
+	// children (an underestimate TAU itself makes when paths are truncated).
+	var fill func(n *CallNode) float64
+	fill = func(n *CallNode) float64 {
+		sum := 0.0
+		for _, c := range n.Children {
+			sum += fill(c)
+		}
+		if n.EventID == -1 && n.Path != "" {
+			n.Inclusive = sum
+		}
+		return n.Inclusive
+	}
+	total := 0.0
+	for _, c := range root.Children {
+		total += fill(c)
+	}
+	root.Inclusive = total
+	return root, true
+}
+
+// HotPath follows the heaviest-inclusive child from the root down to a
+// leaf — the first thing an analyst asks of a call tree.
+func HotPath(root *CallNode) []*CallNode {
+	var out []*CallNode
+	n := root
+	for len(n.Children) > 0 {
+		best := n.Children[0]
+		for _, c := range n.Children[1:] {
+			if c.Inclusive > best.Inclusive {
+				best = c
+			}
+		}
+		out = append(out, best)
+		n = best
+	}
+	return out
+}
+
+// WalkCalls visits the tree depth-first in child order.
+func WalkCalls(root *CallNode, fn func(n *CallNode, depth int)) {
+	var walk func(n *CallNode, depth int)
+	walk = func(n *CallNode, depth int) {
+		fn(n, depth)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, c := range root.Children {
+		walk(c, 0)
+	}
+}

@@ -1,0 +1,144 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCallpathHelpers(t *testing.T) {
+	if !IsCallpath("main() => foo()") || IsCallpath("main()") {
+		t.Fatal("IsCallpath")
+	}
+	frames := CallpathFrames("main() =>  foo() => bar()")
+	if len(frames) != 3 || frames[1] != "foo()" {
+		t.Fatalf("frames: %v", frames)
+	}
+	if CallpathLeaf("a => b => c") != "c" || CallpathLeaf("solo") != "solo" {
+		t.Fatal("leaf")
+	}
+	if CallpathParent("a => b => c") != "a => b" || CallpathParent("solo") != "" {
+		t.Fatal("parent")
+	}
+}
+
+// callpathProfile builds the canonical TAU shape: flat events plus
+// TAU_CALLPATH events.
+func callpathProfile() *Profile {
+	p := New("cp")
+	m := p.AddMetric("TIME")
+	th := p.Thread(0, 0, 0)
+	set := func(name, group string, incl, excl, calls float64) {
+		e := p.AddIntervalEvent(name, group)
+		d := th.IntervalData(e.ID, 1)
+		d.NumCalls = calls
+		d.PerMetric[m] = MetricData{Inclusive: incl, Exclusive: excl}
+	}
+	// Flat profile.
+	set("main()", "TAU_DEFAULT", 100, 5, 1)
+	set("solve()", "TAU_USER", 80, 20, 10)
+	set("MPI_Send()", "MPI", 30, 30, 200)
+	set("io()", "TAU_USER", 15, 15, 3)
+	// Callpath events.
+	set("main() => solve()", "TAU_CALLPATH", 80, 20, 10)
+	set("main() => solve() => MPI_Send()", "TAU_CALLPATH", 28, 28, 180)
+	set("main() => io()", "TAU_CALLPATH", 15, 15, 3)
+	set("main() => MPI_Send()", "TAU_CALLPATH", 2, 2, 20)
+	return p
+}
+
+func TestCallTree(t *testing.T) {
+	p := callpathProfile()
+	th := p.FindThread(0, 0, 0)
+	root, ok := p.CallTree(th, 0)
+	if !ok {
+		t.Fatal("no tree")
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "main()" {
+		t.Fatalf("roots: %+v", root.Children)
+	}
+	main := root.Children[0]
+	// main() is an interior node backed by the flat event.
+	if main.EventID == -1 || main.Inclusive != 100 {
+		t.Fatalf("main: %+v", main)
+	}
+	if len(main.Children) != 3 {
+		t.Fatalf("main children: %d", len(main.Children))
+	}
+	var solve *CallNode
+	for _, c := range main.Children {
+		if c.Name == "solve()" {
+			solve = c
+		}
+	}
+	if solve == nil || solve.Inclusive != 80 || solve.Exclusive != 20 || solve.Calls != 10 {
+		t.Fatalf("solve: %+v", solve)
+	}
+	if len(solve.Children) != 1 || solve.Children[0].Name != "MPI_Send()" {
+		t.Fatalf("solve children: %+v", solve.Children)
+	}
+	if solve.Children[0].Inclusive != 28 {
+		t.Fatalf("nested send: %+v", solve.Children[0])
+	}
+	// Paths recorded.
+	if solve.Children[0].Path != "main() => solve() => MPI_Send()" {
+		t.Fatalf("path: %q", solve.Children[0].Path)
+	}
+}
+
+func TestHotPath(t *testing.T) {
+	p := callpathProfile()
+	th := p.FindThread(0, 0, 0)
+	root, _ := p.CallTree(th, 0)
+	hot := HotPath(root)
+	var names []string
+	for _, n := range hot {
+		names = append(names, n.Name)
+	}
+	if strings.Join(names, " > ") != "main() > solve() > MPI_Send()" {
+		t.Fatalf("hot path: %v", names)
+	}
+}
+
+func TestCallTreeNoCallpaths(t *testing.T) {
+	p := New("flat")
+	p.AddMetric("TIME")
+	e := p.AddIntervalEvent("f", "")
+	th := p.Thread(0, 0, 0)
+	th.IntervalData(e.ID, 1)
+	if _, ok := p.CallTree(th, 0); ok {
+		t.Fatal("flat profile produced a tree")
+	}
+}
+
+func TestCallTreeSynthesizedInterior(t *testing.T) {
+	// A deep path with no intermediate events: interior nodes synthesized,
+	// inclusive filled from children.
+	p := New("deep")
+	m := p.AddMetric("TIME")
+	th := p.Thread(0, 0, 0)
+	e := p.AddIntervalEvent("a => b => c", "TAU_CALLPATH")
+	d := th.IntervalData(e.ID, 1)
+	d.NumCalls = 4
+	d.PerMetric[m] = MetricData{Inclusive: 42, Exclusive: 42}
+	root, ok := p.CallTree(th, 0)
+	if !ok {
+		t.Fatal("no tree")
+	}
+	a := root.Children[0]
+	if a.Name != "a" || a.EventID != -1 || a.Inclusive != 42 {
+		t.Fatalf("synthesized a: %+v", a)
+	}
+	b := a.Children[0]
+	if b.Name != "b" || b.Inclusive != 42 {
+		t.Fatalf("synthesized b: %+v", b)
+	}
+	if b.Children[0].Name != "c" || b.Children[0].Calls != 4 {
+		t.Fatalf("leaf: %+v", b.Children[0])
+	}
+	// WalkCalls covers all 3 nodes with correct depths.
+	depths := map[string]int{}
+	WalkCalls(root, func(n *CallNode, depth int) { depths[n.Name] = depth })
+	if depths["a"] != 0 || depths["b"] != 1 || depths["c"] != 2 {
+		t.Fatalf("depths: %v", depths)
+	}
+}

@@ -1,0 +1,68 @@
+package model
+
+import "fmt"
+
+// MetricValues gives a derivation function access to one event's
+// measurements on one thread, keyed by metric name.
+type MetricValues struct {
+	p  *Profile
+	d  *IntervalData
+	th *Thread
+}
+
+// Inclusive returns the inclusive value of the named metric (0 if absent).
+func (mv MetricValues) Inclusive(metric string) float64 {
+	id := mv.p.MetricID(metric)
+	if id < 0 || id >= len(mv.d.PerMetric) {
+		return 0
+	}
+	return mv.d.PerMetric[id].Inclusive
+}
+
+// Exclusive returns the exclusive value of the named metric (0 if absent).
+func (mv MetricValues) Exclusive(metric string) float64 {
+	id := mv.p.MetricID(metric)
+	if id < 0 || id >= len(mv.d.PerMetric) {
+		return 0
+	}
+	return mv.d.PerMetric[id].Exclusive
+}
+
+// Calls returns the event's call count on this thread.
+func (mv MetricValues) Calls() float64 { return mv.d.NumCalls }
+
+// DeriveMetric adds a new metric computed per (thread, event) from existing
+// metrics — the mechanism behind derived data such as FLOP/s =
+// PAPI_FP_OPS / TIME (paper §3.2, §4). The function returns the new
+// inclusive and exclusive values. The new metric is flagged Derived so the
+// database layer can record its provenance.
+func (p *Profile) DeriveMetric(name string, f func(mv MetricValues) (incl, excl float64)) (int, error) {
+	if p.MetricID(name) >= 0 {
+		return 0, fmt.Errorf("model: metric %q already exists", name)
+	}
+	id := p.addDerivedMetric(name)
+	for _, th := range p.threads {
+		for _, d := range th.interval {
+			incl, excl := f(MetricValues{p: p, d: d, th: th})
+			d.PerMetric[id] = MetricData{Inclusive: incl, Exclusive: excl}
+		}
+	}
+	return id, nil
+}
+
+// Ratio is a convenience derivation: numerator/denominator of exclusive
+// and inclusive values, with zero denominators yielding zero. scale is
+// applied to both results (e.g. 1e6 to convert per-microsecond to per-
+// second rates).
+func Ratio(numerator, denominator string, scale float64) func(MetricValues) (float64, float64) {
+	return func(mv MetricValues) (float64, float64) {
+		var incl, excl float64
+		if d := mv.Inclusive(denominator); d != 0 {
+			incl = scale * mv.Inclusive(numerator) / d
+		}
+		if d := mv.Exclusive(denominator); d != 0 {
+			excl = scale * mv.Exclusive(numerator) / d
+		}
+		return incl, excl
+	}
+}

@@ -1,0 +1,41 @@
+package model
+
+// Selection is the node/context/thread filter from the paper's DataSession
+// API ("setting node, context, and thread parameters"). A value of All (-1)
+// on any axis leaves that axis unconstrained.
+type Selection struct {
+	Node    int
+	Context int
+	Thread  int
+}
+
+// All leaves a selection axis unconstrained.
+const All = -1
+
+// SelectAll matches every thread.
+var SelectAll = Selection{Node: All, Context: All, Thread: All}
+
+// Matches reports whether a thread ID satisfies the selection.
+func (s Selection) Matches(id ThreadID) bool {
+	if s.Node != All && id.Node != s.Node {
+		return false
+	}
+	if s.Context != All && id.Context != s.Context {
+		return false
+	}
+	if s.Thread != All && id.Thread != s.Thread {
+		return false
+	}
+	return true
+}
+
+// Select returns the threads matching the selection, in sorted order.
+func (p *Profile) Select(s Selection) []*Thread {
+	var out []*Thread
+	for _, th := range p.Threads() {
+		if s.Matches(th.ID) {
+			out = append(out, th)
+		}
+	}
+	return out
+}

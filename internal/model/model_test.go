@@ -1,0 +1,289 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// buildSample creates a 2-node × 2-thread profile with two events and two
+// metrics, with deterministic values.
+func buildSample() *Profile {
+	p := New("sample")
+	timeID := p.AddMetric("TIME")
+	fpID := p.AddMetric("PAPI_FP_OPS")
+	main := p.AddIntervalEvent("main", "TAU_DEFAULT")
+	comp := p.AddIntervalEvent("compute", "computation")
+	for n := 0; n < 2; n++ {
+		for t := 0; t < 2; t++ {
+			th := p.Thread(n, 0, t)
+			rank := float64(n*2 + t)
+			d := th.IntervalData(main.ID, 2)
+			d.NumCalls = 1
+			d.NumSubrs = 10
+			d.PerMetric[timeID] = MetricData{Inclusive: 100 + rank, Exclusive: 10}
+			d.PerMetric[fpID] = MetricData{Inclusive: 1000, Exclusive: 100}
+			d2 := th.IntervalData(comp.ID, 2)
+			d2.NumCalls = 5
+			d2.PerMetric[timeID] = MetricData{Inclusive: 90 + rank, Exclusive: 90 + rank}
+			d2.PerMetric[fpID] = MetricData{Inclusive: 900, Exclusive: 900}
+		}
+	}
+	return p
+}
+
+func TestProfileBasics(t *testing.T) {
+	p := buildSample()
+	if p.NumThreads() != 4 || p.NodeCount() != 2 {
+		t.Fatalf("threads=%d nodes=%d", p.NumThreads(), p.NodeCount())
+	}
+	if p.ContextsPerNode() != 1 || p.MaxThreadsPerContext() != 2 {
+		t.Fatalf("ctx=%d thr=%d", p.ContextsPerNode(), p.MaxThreadsPerContext())
+	}
+	if got := p.DataPoints(); got != 4*2*2 {
+		t.Fatalf("datapoints=%d", got)
+	}
+	if p.MetricID("TIME") != 0 || p.MetricID("nosuch") != -1 {
+		t.Fatal("MetricID lookup")
+	}
+	if p.AddMetric("TIME") != 0 {
+		t.Fatal("AddMetric not idempotent")
+	}
+	if p.FindIntervalEvent("compute") == nil || p.FindIntervalEvent("nope") != nil {
+		t.Fatal("FindIntervalEvent")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestThreadsSorted(t *testing.T) {
+	p := New("t")
+	p.Thread(1, 0, 1)
+	p.Thread(0, 1, 0)
+	p.Thread(0, 0, 5)
+	p.Thread(1, 0, 0)
+	ths := p.Threads()
+	prev := ThreadID{Node: -1}
+	for _, th := range ths {
+		if th.ID.Less(prev) {
+			t.Fatalf("threads out of order: %v", ths)
+		}
+		prev = th.ID
+	}
+}
+
+func TestLateMetricWidensData(t *testing.T) {
+	p := New("t")
+	p.AddMetric("TIME")
+	e := p.AddIntervalEvent("f", "")
+	th := p.Thread(0, 0, 0)
+	d := th.IntervalData(e.ID, 1)
+	d.PerMetric[0] = MetricData{Inclusive: 5, Exclusive: 5}
+	p.AddMetric("CYCLES")
+	if len(d.PerMetric) != 2 {
+		t.Fatalf("PerMetric width = %d after late AddMetric", len(d.PerMetric))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaries(t *testing.T) {
+	p := buildSample()
+	comp := p.FindIntervalEvent("compute")
+	total := p.TotalSummary()
+	agg := total.Events[comp.ID]
+	// Exclusive TIME: (90+0)+(90+1)+(90+2)+(90+3) = 366.
+	if agg.PerMetric[0].Exclusive != 366 {
+		t.Fatalf("total exclusive = %g", agg.PerMetric[0].Exclusive)
+	}
+	if agg.NumCalls != 20 {
+		t.Fatalf("total calls = %g", agg.NumCalls)
+	}
+	mean := p.MeanSummary()
+	magg := mean.Events[comp.ID]
+	if magg.PerMetric[0].Exclusive != 366.0/4 {
+		t.Fatalf("mean exclusive = %g", magg.PerMetric[0].Exclusive)
+	}
+	if mean.NumThreads != 4 {
+		t.Fatalf("mean threads = %d", mean.NumThreads)
+	}
+}
+
+func TestMinMeanMax(t *testing.T) {
+	p := buildSample()
+	comp := p.FindIntervalEvent("compute")
+	min, mean, max, ok := p.MinMeanMax(comp.ID, 0, false)
+	if !ok || min != 90 || max != 93 || mean != 91.5 {
+		t.Fatalf("min/mean/max = %g/%g/%g ok=%v", min, mean, max, ok)
+	}
+	_, _, _, ok = p.MinMeanMax(999, 0, false)
+	if ok {
+		t.Fatal("MinMeanMax on missing event")
+	}
+	// Inclusive variant.
+	min, _, max, ok = p.MinMeanMax(comp.ID, 0, true)
+	if !ok || min != 90 || max != 93 {
+		t.Fatalf("inclusive: %g %g", min, max)
+	}
+}
+
+func TestPercentages(t *testing.T) {
+	p := buildSample()
+	th := p.FindThread(0, 0, 0)
+	main := p.FindIntervalEvent("main")
+	comp := p.FindIntervalEvent("compute")
+	ex := p.ExclusivePercent(th, 0)
+	// exclusive: main=10, compute=90 → 10% and 90%.
+	if math.Abs(ex[main.ID]-10) > 1e-9 || math.Abs(ex[comp.ID]-90) > 1e-9 {
+		t.Fatalf("exclusive%%: %v", ex)
+	}
+	in := p.InclusivePercent(th, 0)
+	if math.Abs(in[main.ID]-100) > 1e-9 {
+		t.Fatalf("inclusive%% of top: %v", in[main.ID])
+	}
+	if in[comp.ID] >= 100 || in[comp.ID] <= 0 {
+		t.Fatalf("inclusive%% of inner: %v", in[comp.ID])
+	}
+}
+
+func TestSelection(t *testing.T) {
+	p := buildSample()
+	if got := len(p.Select(SelectAll)); got != 4 {
+		t.Fatalf("SelectAll: %d", got)
+	}
+	if got := len(p.Select(Selection{Node: 1, Context: All, Thread: All})); got != 2 {
+		t.Fatalf("node filter: %d", got)
+	}
+	if got := len(p.Select(Selection{Node: 1, Context: 0, Thread: 1})); got != 1 {
+		t.Fatalf("exact filter: %d", got)
+	}
+	if got := len(p.Select(Selection{Node: 9, Context: All, Thread: All})); got != 0 {
+		t.Fatalf("empty filter: %d", got)
+	}
+	// Summary over a selection.
+	sub := p.Select(Selection{Node: 0, Context: All, Thread: All})
+	s := p.SummaryOf(sub, false)
+	comp := p.FindIntervalEvent("compute")
+	if s.Events[comp.ID].PerMetric[0].Exclusive != 90+91 {
+		t.Fatalf("selection summary: %g", s.Events[comp.ID].PerMetric[0].Exclusive)
+	}
+}
+
+func TestDeriveMetric(t *testing.T) {
+	p := buildSample()
+	id, err := p.DeriveMetric("FLOPS", Ratio("PAPI_FP_OPS", "TIME", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Metrics()[id].Derived {
+		t.Fatal("derived flag not set")
+	}
+	th := p.FindThread(0, 0, 0)
+	comp := p.FindIntervalEvent("compute")
+	d := th.FindIntervalData(comp.ID)
+	want := 900.0 / 90.0
+	if d.PerMetric[id].Exclusive != want {
+		t.Fatalf("derived exclusive = %g want %g", d.PerMetric[id].Exclusive, want)
+	}
+	// Duplicate name rejected.
+	if _, err := p.DeriveMetric("FLOPS", Ratio("PAPI_FP_OPS", "TIME", 1)); err == nil {
+		t.Fatal("duplicate derived metric accepted")
+	}
+	if err := p.Validate(); err == nil {
+		// FLOPS excl can exceed incl (rates are not cumulative); Validate
+		// intentionally checks only raw cumulative shape, so derived
+		// metrics may trip it. Accept either outcome but exercise the path.
+		_ = err
+	}
+}
+
+func TestAtomicEvents(t *testing.T) {
+	p := New("t")
+	ae := p.AddAtomicEvent("Message size", "MPI")
+	th := p.Thread(0, 0, 0)
+	d := th.AtomicData(ae.ID)
+	d.SampleCount = 4
+	d.Minimum = 1
+	d.Maximum = 7
+	d.Mean = 4
+	d.SumSqr = 1 + 9 + 25 + 49 // samples 1,3,5,7
+	want := math.Sqrt(84.0/4 - 16)
+	if got := d.StdDev(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("stddev = %g want %g", got, want)
+	}
+	if p.FindAtomicEvent("Message size") != ae {
+		t.Fatal("FindAtomicEvent")
+	}
+	if (&AtomicData{}).StdDev() != 0 {
+		t.Fatal("stddev of empty")
+	}
+	var count int
+	th.EachAtomic(func(eventID int, _ *AtomicData) { count++ })
+	if count != 1 {
+		t.Fatal("EachAtomic")
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	p := New("t")
+	p.AddMetric("TIME")
+	e := p.AddIntervalEvent("f", "")
+	th := p.Thread(0, 0, 0)
+	d := th.IntervalData(e.ID, 1)
+	d.PerMetric[0] = MetricData{Inclusive: 1, Exclusive: 2}
+	if err := p.Validate(); err == nil {
+		t.Fatal("exclusive > inclusive accepted")
+	}
+}
+
+func TestSetIntervalDataConvenience(t *testing.T) {
+	p := New("t")
+	th := p.Thread(0, 0, 0)
+	p.SetIntervalData(th, "MPI_Send()", "MPI", "TIME", 10, 10, 100, 0)
+	p.SetIntervalData(th, "MPI_Send()", "MPI", "PAPI_L1_DCM", 55, 55, 100, 0)
+	e := p.FindIntervalEvent("MPI_Send()")
+	d := th.FindIntervalData(e.ID)
+	if d.NumCalls != 100 || len(d.PerMetric) != 2 || d.PerMetric[1].Inclusive != 55 {
+		t.Fatalf("convenience set: %+v", d)
+	}
+	if d.InclusivePerCall(0) != 0.1 {
+		t.Fatalf("per call: %g", d.InclusivePerCall(0))
+	}
+}
+
+// Property: total summary equals the sum of per-thread values for any
+// random assignment of measurements.
+func TestSummaryAdditive(t *testing.T) {
+	f := func(vals []float64) bool {
+		p := New("q")
+		m := p.AddMetric("TIME")
+		e := p.AddIntervalEvent("f", "")
+		var want float64
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			// Keep magnitudes bounded so the expected sum cannot overflow.
+			v = math.Mod(math.Abs(v), 1e9)
+			th := p.Thread(i, 0, 0)
+			d := th.IntervalData(e.ID, 1)
+			d.PerMetric[m] = MetricData{Inclusive: v, Exclusive: v}
+			want += v
+		}
+		s := p.TotalSummary()
+		if len(vals) == 0 {
+			return len(s.Events) == 0
+		}
+		agg := s.Events[e.ID]
+		if agg == nil {
+			return want == 0
+		}
+		got := agg.PerMetric[m].Inclusive
+		return math.Abs(got-want) <= 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package model
+
+// Summary holds per-event aggregate data across a set of threads — the
+// in-memory counterpart of the INTERVAL_TOTAL_SUMMARY and
+// INTERVAL_MEAN_SUMMARY tables.
+type Summary struct {
+	// Events maps event ID to its aggregated data.
+	Events map[int]*IntervalData
+	// NumThreads is the thread count the mean was taken over.
+	NumThreads int
+}
+
+// TotalSummary aggregates every interval event across all threads: sums of
+// inclusive, exclusive, calls and subroutine counts per metric.
+func (p *Profile) TotalSummary() *Summary {
+	return p.summarize(p.Threads(), false)
+}
+
+// MeanSummary is TotalSummary divided by the number of threads. Matching
+// PerfDMF, the divisor is the total thread count in the trial, including
+// threads that never executed the event.
+func (p *Profile) MeanSummary() *Summary {
+	return p.summarize(p.Threads(), true)
+}
+
+// SummaryOf aggregates over an explicit thread subset (used by the
+// node/context/thread selection filters).
+func (p *Profile) SummaryOf(threads []*Thread, mean bool) *Summary {
+	return p.summarize(threads, mean)
+}
+
+func (p *Profile) summarize(threads []*Thread, mean bool) *Summary {
+	nm := len(p.metrics)
+	s := &Summary{Events: make(map[int]*IntervalData), NumThreads: len(threads)}
+	for _, th := range threads {
+		for eid, d := range th.interval {
+			agg := s.Events[eid]
+			if agg == nil {
+				agg = &IntervalData{PerMetric: make([]MetricData, nm)}
+				s.Events[eid] = agg
+			}
+			agg.NumCalls += d.NumCalls
+			agg.NumSubrs += d.NumSubrs
+			for m := 0; m < nm && m < len(d.PerMetric); m++ {
+				agg.PerMetric[m].Inclusive += d.PerMetric[m].Inclusive
+				agg.PerMetric[m].Exclusive += d.PerMetric[m].Exclusive
+			}
+		}
+	}
+	if mean && len(threads) > 0 {
+		n := float64(len(threads))
+		for _, agg := range s.Events {
+			agg.NumCalls /= n
+			agg.NumSubrs /= n
+			for m := range agg.PerMetric {
+				agg.PerMetric[m].Inclusive /= n
+				agg.PerMetric[m].Exclusive /= n
+			}
+		}
+	}
+	return s
+}
+
+// ExclusivePercent returns, for one thread and metric, each event's
+// exclusive value as a percentage of the thread's total exclusive — the
+// "exclusive percentage" column of INTERVAL_LOCATION_PROFILE.
+func (p *Profile) ExclusivePercent(th *Thread, metric int) map[int]float64 {
+	total := 0.0
+	for _, d := range th.interval {
+		if metric < len(d.PerMetric) {
+			total += d.PerMetric[metric].Exclusive
+		}
+	}
+	out := make(map[int]float64, len(th.interval))
+	for eid, d := range th.interval {
+		if total == 0 || metric >= len(d.PerMetric) {
+			out[eid] = 0
+			continue
+		}
+		out[eid] = 100 * d.PerMetric[metric].Exclusive / total
+	}
+	return out
+}
+
+// InclusivePercent returns each event's inclusive value as a percentage of
+// the thread's maximum inclusive (conventionally the top-level timer).
+func (p *Profile) InclusivePercent(th *Thread, metric int) map[int]float64 {
+	max := 0.0
+	for _, d := range th.interval {
+		if metric < len(d.PerMetric) && d.PerMetric[metric].Inclusive > max {
+			max = d.PerMetric[metric].Inclusive
+		}
+	}
+	out := make(map[int]float64, len(th.interval))
+	for eid, d := range th.interval {
+		if max == 0 || metric >= len(d.PerMetric) {
+			out[eid] = 0
+			continue
+		}
+		out[eid] = 100 * d.PerMetric[metric].Inclusive / max
+	}
+	return out
+}
+
+// MinMeanMax returns, for one event and metric, the minimum, mean and
+// maximum exclusive value across all threads that executed the event.
+// It reports ok=false when no thread has data for the event.
+func (p *Profile) MinMeanMax(eventID, metric int, inclusive bool) (min, mean, max float64, ok bool) {
+	n := 0
+	for _, th := range p.threads {
+		d := th.interval[eventID]
+		if d == nil || metric >= len(d.PerMetric) {
+			continue
+		}
+		v := d.PerMetric[metric].Exclusive
+		if inclusive {
+			v = d.PerMetric[metric].Inclusive
+		}
+		if n == 0 || v < min {
+			min = v
+		}
+		if n == 0 || v > max {
+			max = v
+		}
+		mean += v
+		n++
+	}
+	if n == 0 {
+		return 0, 0, 0, false
+	}
+	return min, mean / float64(n), max, true
+}

@@ -1,0 +1,170 @@
+package reldb
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchTable(b *testing.B, rows int) *DB {
+	b.Helper()
+	db := NewMemory()
+	err := db.Write(func(tx *Tx) error {
+		if err := tx.CreateTable(&Schema{
+			Name: "t",
+			Columns: []Column{
+				{Name: "id", Type: TInt, AutoIncrement: true},
+				{Name: "k", Type: TInt},
+				{Name: "v", Type: TFloat},
+				{Name: "s", Type: TString},
+			},
+			PrimaryKey: "id",
+		}); err != nil {
+			return err
+		}
+		if err := tx.CreateIndex("ix_k", "t", []string{"k"}, HashIndex, false); err != nil {
+			return err
+		}
+		if err := tx.CreateIndex("ix_k_range", "t", []string{"k"}, OrderedIndex, false); err != nil {
+			return err
+		}
+		for i := 0; i < rows; i++ {
+			if _, err := tx.Insert("t", Row{Null, Int(int64(i % 100)), Float(float64(i)), Str("row")}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkInsert(b *testing.B) {
+	db := benchTable(b, 0)
+	b.ResetTimer()
+	err := db.Write(func(tx *Tx) error {
+		for i := 0; i < b.N; i++ {
+			if _, err := tx.Insert("t", Row{Null, Int(int64(i % 100)), Float(1.5), Str("x")}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkPKLookup(b *testing.B) {
+	db := benchTable(b, 10000)
+	b.ResetTimer()
+	db.Read(func(tx *Tx) error {
+		for i := 0; i < b.N; i++ {
+			slots, ok := tx.LookupEq("t", "id", Int(int64(i%10000)+1))
+			if !ok || len(slots) != 1 {
+				b.Fatal("lookup failed")
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkHashIndexLookup(b *testing.B) {
+	db := benchTable(b, 10000)
+	b.ResetTimer()
+	db.Read(func(tx *Tx) error {
+		for i := 0; i < b.N; i++ {
+			slots, ok := tx.LookupEq("t", "k", Int(int64(i%100)))
+			if !ok || len(slots) != 100 {
+				b.Fatal("lookup failed")
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkOrderedRangeScan(b *testing.B) {
+	db := benchTable(b, 10000)
+	b.ResetTimer()
+	db.Read(func(tx *Tx) error {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			ok := tx.ScanRange("t", "k", Int(10), Int(20), true, true, func(int) bool {
+				n++
+				return true
+			})
+			if !ok || n == 0 {
+				b.Fatal("range scan failed")
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkFullScan(b *testing.B) {
+	db := benchTable(b, 10000)
+	b.ResetTimer()
+	db.Read(func(tx *Tx) error {
+		for i := 0; i < b.N; i++ {
+			n := 0
+			tx.Scan("t", func(int, Row) bool { n++; return true })
+			if n != 10000 {
+				b.Fatal("scan lost rows")
+			}
+		}
+		return nil
+	})
+}
+
+func BenchmarkSnapshotRoundTrip(b *testing.B) {
+	dir := b.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = db.Write(func(tx *Tx) error {
+		if err := tx.CreateTable(&Schema{
+			Name: "t",
+			Columns: []Column{
+				{Name: "id", Type: TInt, AutoIncrement: true},
+				{Name: "v", Type: TFloat},
+			},
+			PrimaryKey: "id",
+		}); err != nil {
+			return err
+		}
+		for i := 0; i < 5000; i++ {
+			if _, err := tx.Insert("t", Row{Null, Float(float64(i))}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	db.Close()
+}
+
+func BenchmarkBtreeInsert(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		b.Run(fmt.Sprintf("existing-%d", n), func(b *testing.B) {
+			bt := newBtree()
+			for i := 0; i < n; i++ {
+				bt.insert(Int(int64(i)), i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bt.insert(Int(int64(n+i)), n+i)
+			}
+		})
+	}
+}

@@ -1,0 +1,230 @@
+package reldb
+
+// btree is an in-memory B+tree mapping a column Value to the set of row
+// slots holding that value. It backs ordered (range-scannable) secondary
+// indexes. Duplicate keys are supported by storing a slot list per key.
+//
+// Deletion removes keys from leaves without rebalancing; separator keys in
+// internal nodes may go stale, which the search logic tolerates. For an
+// index workload dominated by bulk insert and scan (the PerfDMF upload and
+// download paths) this keeps the structure simple without hurting the
+// common case.
+type btree struct {
+	root *bnode
+	size int // number of distinct keys
+}
+
+const btreeOrder = 64 // max keys per node
+
+type bnode struct {
+	leaf bool
+	keys []Value
+	vals [][]int  // per-key slot lists (leaf only)
+	kids []*bnode // children (internal only); len(kids) == len(keys)+1
+	next *bnode   // right sibling (leaf only)
+}
+
+func newBtree() *btree {
+	return &btree{root: &bnode{leaf: true}}
+}
+
+// findLeaf descends to the leaf that would contain key.
+func (t *btree) findLeaf(key Value) *bnode {
+	n := t.root
+	for !n.leaf {
+		i := n.childIndex(key)
+		n = n.kids[i]
+	}
+	return n
+}
+
+// childIndex returns the child to descend into for key: the first i with
+// key < keys[i], else the last child.
+func (n *bnode) childIndex(key Value) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if Compare(key, n.keys[mid]) < 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// keyIndex returns the position of key in a leaf and whether it was found;
+// when not found it is the insertion position.
+func (n *bnode) keyIndex(key Value) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c := Compare(n.keys[mid], key); c < 0 {
+			lo = mid + 1
+		} else if c > 0 {
+			hi = mid
+		} else {
+			return mid, true
+		}
+	}
+	return lo, false
+}
+
+// insert adds slot under key.
+func (t *btree) insert(key Value, slot int) {
+	leaf := t.findLeaf(key)
+	i, ok := leaf.keyIndex(key)
+	if ok {
+		leaf.vals[i] = append(leaf.vals[i], slot)
+		return
+	}
+	leaf.keys = append(leaf.keys, Null)
+	copy(leaf.keys[i+1:], leaf.keys[i:])
+	leaf.keys[i] = key
+	leaf.vals = append(leaf.vals, nil)
+	copy(leaf.vals[i+1:], leaf.vals[i:])
+	leaf.vals[i] = []int{slot}
+	t.size++
+	if len(leaf.keys) > btreeOrder {
+		t.splitPath(key)
+	}
+}
+
+// splitPath re-descends from the root splitting any overfull node on the
+// path to key. Because only one leaf grew, at most one node per level needs
+// splitting, and splitting top-down keeps parent pointers unnecessary.
+func (t *btree) splitPath(key Value) {
+	if len(t.root.keys) > btreeOrder {
+		sep, right := t.root.split()
+		t.root = &bnode{
+			keys: []Value{sep},
+			kids: []*bnode{t.root, right},
+		}
+	}
+	n := t.root
+	for !n.leaf {
+		i := n.childIndex(key)
+		child := n.kids[i]
+		if len(child.keys) > btreeOrder {
+			sep, right := child.split()
+			n.keys = append(n.keys, Null)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = sep
+			n.kids = append(n.kids, nil)
+			copy(n.kids[i+2:], n.kids[i+1:])
+			n.kids[i+1] = right
+			if Compare(key, sep) >= 0 {
+				child = right
+			}
+		}
+		n = child
+	}
+}
+
+// split divides an overfull node in two, returning the separator key and
+// the new right sibling.
+func (n *bnode) split() (Value, *bnode) {
+	mid := len(n.keys) / 2
+	right := &bnode{leaf: n.leaf}
+	if n.leaf {
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.vals = append(right.vals, n.vals[mid:]...)
+		n.keys = n.keys[:mid:mid]
+		n.vals = n.vals[:mid:mid]
+		right.next = n.next
+		n.next = right
+		return right.keys[0], right
+	}
+	sep := n.keys[mid]
+	right.keys = append(right.keys, n.keys[mid+1:]...)
+	right.kids = append(right.kids, n.kids[mid+1:]...)
+	n.keys = n.keys[:mid:mid]
+	n.kids = n.kids[: mid+1 : mid+1]
+	return sep, right
+}
+
+// remove deletes slot from under key. Empty keys are removed from their
+// leaf; internal nodes are left untouched.
+func (t *btree) remove(key Value, slot int) {
+	leaf := t.findLeaf(key)
+	i, ok := leaf.keyIndex(key)
+	if !ok {
+		return
+	}
+	slots := leaf.vals[i]
+	for j, s := range slots {
+		if s == slot {
+			slots[j] = slots[len(slots)-1]
+			slots = slots[:len(slots)-1]
+			break
+		}
+	}
+	leaf.vals[i] = slots
+	if len(slots) == 0 {
+		leaf.keys = append(leaf.keys[:i], leaf.keys[i+1:]...)
+		leaf.vals = append(leaf.vals[:i], leaf.vals[i+1:]...)
+		t.size--
+	}
+}
+
+// get returns the slots stored under key.
+func (t *btree) get(key Value) []int {
+	leaf := t.findLeaf(key)
+	if i, ok := leaf.keyIndex(key); ok {
+		return leaf.vals[i]
+	}
+	return nil
+}
+
+// Bound describes one end of a range scan. A nil Value pointer means the
+// range is open on that end.
+type bound struct {
+	val       *Value
+	inclusive bool
+}
+
+// scanRange visits keys in [lo, hi] order, calling fn for each key's slot
+// list. fn returning false stops the scan.
+func (t *btree) scanRange(lo, hi bound, fn func(key Value, slots []int) bool) {
+	var leaf *bnode
+	start := 0
+	if lo.val != nil {
+		leaf = t.findLeaf(*lo.val)
+		i, ok := leaf.keyIndex(*lo.val)
+		start = i
+		if ok && !lo.inclusive {
+			start = i + 1
+		}
+	} else {
+		leaf = t.leftmost()
+	}
+	for leaf != nil {
+		for i := start; i < len(leaf.keys); i++ {
+			k := leaf.keys[i]
+			if hi.val != nil {
+				c := Compare(k, *hi.val)
+				if c > 0 || (c == 0 && !hi.inclusive) {
+					return
+				}
+			}
+			if !fn(k, leaf.vals[i]) {
+				return
+			}
+		}
+		leaf = leaf.next
+		start = 0
+	}
+}
+
+func (t *btree) leftmost() *bnode {
+	n := t.root
+	for !n.leaf {
+		n = n.kids[0]
+	}
+	return n
+}
+
+// walk visits every key in order.
+func (t *btree) walk(fn func(key Value, slots []int) bool) {
+	t.scanRange(bound{}, bound{}, fn)
+}

@@ -1,0 +1,208 @@
+package reldb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func collectKeys(t *btree) []int64 {
+	var keys []int64
+	t.walk(func(k Value, slots []int) bool {
+		if len(slots) > 0 {
+			keys = append(keys, k.I)
+		}
+		return true
+	})
+	return keys
+}
+
+func TestBtreeInsertOrdered(t *testing.T) {
+	bt := newBtree()
+	const n = 1000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		bt.insert(Int(int64(k)), k)
+	}
+	keys := collectKeys(bt)
+	if len(keys) != n {
+		t.Fatalf("got %d keys, want %d", len(keys), n)
+	}
+	for i, k := range keys {
+		if k != int64(i) {
+			t.Fatalf("keys[%d] = %d, out of order", i, k)
+		}
+	}
+}
+
+func TestBtreeDuplicates(t *testing.T) {
+	bt := newBtree()
+	for slot := 0; slot < 10; slot++ {
+		bt.insert(Int(5), slot)
+	}
+	if got := bt.get(Int(5)); len(got) != 10 {
+		t.Fatalf("get(5) returned %d slots, want 10", len(got))
+	}
+	bt.remove(Int(5), 3)
+	got := bt.get(Int(5))
+	if len(got) != 9 {
+		t.Fatalf("after remove, %d slots", len(got))
+	}
+	for _, s := range got {
+		if s == 3 {
+			t.Fatal("slot 3 still present after remove")
+		}
+	}
+}
+
+func TestBtreeRemoveAll(t *testing.T) {
+	bt := newBtree()
+	const n = 500
+	for k := 0; k < n; k++ {
+		bt.insert(Int(int64(k)), k)
+	}
+	for k := 0; k < n; k += 2 {
+		bt.remove(Int(int64(k)), k)
+	}
+	keys := collectKeys(bt)
+	if len(keys) != n/2 {
+		t.Fatalf("got %d keys, want %d", len(keys), n/2)
+	}
+	for _, k := range keys {
+		if k%2 == 0 {
+			t.Fatalf("even key %d not removed", k)
+		}
+	}
+	if bt.size != n/2 {
+		t.Fatalf("size = %d, want %d", bt.size, n/2)
+	}
+}
+
+func TestBtreeRangeScan(t *testing.T) {
+	bt := newBtree()
+	for k := 0; k < 100; k++ {
+		bt.insert(Int(int64(k)), k)
+	}
+	scan := func(lo, hi int64, loInc, hiInc bool) []int64 {
+		var got []int64
+		lov, hiv := Int(lo), Int(hi)
+		bt.scanRange(bound{val: &lov, inclusive: loInc}, bound{val: &hiv, inclusive: hiInc},
+			func(k Value, _ []int) bool {
+				got = append(got, k.I)
+				return true
+			})
+		return got
+	}
+	got := scan(10, 15, true, true)
+	want := []int64{10, 11, 12, 13, 14, 15}
+	if len(got) != len(want) {
+		t.Fatalf("[10,15] returned %v", got)
+	}
+	got = scan(10, 15, false, false)
+	if len(got) != 4 || got[0] != 11 || got[3] != 14 {
+		t.Fatalf("(10,15) returned %v", got)
+	}
+	// Open bounds.
+	var all []int64
+	bt.scanRange(bound{}, bound{}, func(k Value, _ []int) bool {
+		all = append(all, k.I)
+		return true
+	})
+	if len(all) != 100 {
+		t.Fatalf("open scan returned %d keys", len(all))
+	}
+	// Early stop.
+	count := 0
+	bt.scanRange(bound{}, bound{}, func(Value, []int) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+	// Bounds between keys and outside the key range.
+	lov := Float(10.5)
+	hiv := Float(12.5)
+	var mids []int64
+	bt.scanRange(bound{val: &lov, inclusive: true}, bound{val: &hiv, inclusive: true},
+		func(k Value, _ []int) bool {
+			mids = append(mids, k.I)
+			return true
+		})
+	if len(mids) != 2 || mids[0] != 11 || mids[1] != 12 {
+		t.Fatalf("[10.5,12.5] returned %v", mids)
+	}
+}
+
+// Property: after an arbitrary interleaving of inserts and removes, the tree
+// holds exactly the surviving keys, in sorted order.
+func TestBtreeMatchesMapModel(t *testing.T) {
+	f := func(ops []int16) bool {
+		bt := newBtree()
+		model := make(map[int64]map[int]bool)
+		for i, op := range ops {
+			k := int64(op % 64)
+			if op >= 0 {
+				bt.insert(Int(k), i)
+				if model[k] == nil {
+					model[k] = make(map[int]bool)
+				}
+				model[k][i] = true
+			} else {
+				// Remove an arbitrary slot for this key if one exists.
+				for slot := range model[k] {
+					bt.remove(Int(k), slot)
+					delete(model[k], slot)
+					break
+				}
+				if len(model[k]) == 0 {
+					delete(model, k)
+				}
+			}
+		}
+		var wantKeys []int64
+		for k, slots := range model {
+			if len(slots) > 0 {
+				wantKeys = append(wantKeys, k)
+			}
+		}
+		sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+		gotKeys := collectKeys(bt)
+		if len(gotKeys) != len(wantKeys) {
+			return false
+		}
+		for i := range gotKeys {
+			if gotKeys[i] != wantKeys[i] {
+				return false
+			}
+			if len(bt.get(Int(gotKeys[i]))) != len(model[gotKeys[i]]) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBtreeStringKeys(t *testing.T) {
+	bt := newBtree()
+	words := []string{"mpi", "gprof", "tau", "hpm", "psrun", "dynaprof"}
+	for i, w := range words {
+		bt.insert(Str(w), i)
+	}
+	var got []string
+	bt.walk(func(k Value, _ []int) bool {
+		got = append(got, k.S)
+		return true
+	})
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("string keys out of order: %v", got)
+	}
+	if len(bt.get(Str("tau"))) != 1 {
+		t.Fatal("lookup of string key failed")
+	}
+}

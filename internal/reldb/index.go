@@ -1,0 +1,217 @@
+package reldb
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// IndexKind selects the physical structure of a secondary index.
+type IndexKind uint8
+
+const (
+	// HashIndex supports equality lookups in O(1). It may span multiple
+	// columns (a composite index).
+	HashIndex IndexKind = iota
+	// OrderedIndex is a B+tree supporting equality and range scans over a
+	// single column.
+	OrderedIndex
+)
+
+func (k IndexKind) String() string {
+	if k == HashIndex {
+		return "HASH"
+	}
+	return "BTREE"
+}
+
+// Index is a secondary index over one column (hash or B-tree) or several
+// columns (composite hash). Rows with a NULL in any indexed column are not
+// indexed (matching common SQL engines), so index-assisted plans must not
+// be used for IS NULL predicates.
+type Index struct {
+	Name    string
+	Table   string
+	Columns []string // one or more column names
+	Kind    IndexKind
+	Unique  bool
+
+	cols  []int            // column positions in the row
+	hash  map[Value][]int  // single-column hash
+	multi map[string][]int // composite hash, keyed by encoded tuple
+	tree  *btree           // single-column ordered
+}
+
+// Column returns the indexed column name for single-column indexes, or the
+// comma-joined list for composite ones (metadata display).
+func (ix *Index) Column() string { return strings.Join(ix.Columns, ", ") }
+
+func newIndex(name, table string, columns []string, cols []int, kind IndexKind, unique bool) (*Index, error) {
+	if len(columns) == 0 {
+		return nil, fmt.Errorf("reldb: index %s has no columns", name)
+	}
+	if len(columns) > 1 && kind != HashIndex {
+		return nil, fmt.Errorf("reldb: composite index %s must be HASH", name)
+	}
+	ix := &Index{Name: name, Table: table, Columns: columns, Kind: kind, Unique: unique, cols: cols}
+	switch {
+	case len(columns) > 1:
+		ix.multi = make(map[string][]int)
+	case kind == HashIndex:
+		ix.hash = make(map[Value][]int)
+	default:
+		ix.tree = newBtree()
+	}
+	return ix, nil
+}
+
+// encodeKey builds a collision-free string key for a value tuple.
+func encodeKey(vals []Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteByte(byte(v.T) + '0')
+		switch v.T {
+		case TInt, TBool, TTime:
+			b.WriteString(strconv.FormatInt(v.I, 36))
+		case TFloat:
+			b.WriteString(strconv.FormatUint(math.Float64bits(v.F), 36))
+		case TString, TBytes:
+			b.WriteString(strconv.Itoa(len(v.S)))
+			b.WriteByte(':')
+			b.WriteString(v.S)
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// key extracts the index key values from a row; ok is false when any
+// indexed column is NULL (the row is then not indexed).
+func (ix *Index) key(row Row) ([]Value, bool) {
+	vals := make([]Value, len(ix.cols))
+	for i, c := range ix.cols {
+		v := row[c]
+		if v.IsNull() {
+			return nil, false
+		}
+		vals[i] = v
+	}
+	return vals, true
+}
+
+// insert indexes row at slot. It reports a uniqueness violation as an error
+// before modifying the index.
+func (ix *Index) insert(row Row, slot int) error {
+	vals, ok := ix.key(row)
+	if !ok {
+		return nil
+	}
+	if ix.Unique && len(ix.lookupVals(vals)) > 0 {
+		return fmt.Errorf("reldb: unique index %s: duplicate value", ix.Name)
+	}
+	switch {
+	case ix.multi != nil:
+		k := encodeKey(vals)
+		ix.multi[k] = append(ix.multi[k], slot)
+	case ix.hash != nil:
+		ix.hash[vals[0]] = append(ix.hash[vals[0]], slot)
+	default:
+		ix.tree.insert(vals[0], slot)
+	}
+	return nil
+}
+
+// remove un-indexes row at slot.
+func (ix *Index) remove(row Row, slot int) {
+	vals, ok := ix.key(row)
+	if !ok {
+		return
+	}
+	switch {
+	case ix.multi != nil:
+		k := encodeKey(vals)
+		slots := removeSlot(ix.multi[k], slot)
+		if len(slots) == 0 {
+			delete(ix.multi, k)
+		} else {
+			ix.multi[k] = slots
+		}
+	case ix.hash != nil:
+		slots := removeSlot(ix.hash[vals[0]], slot)
+		if len(slots) == 0 {
+			delete(ix.hash, vals[0])
+		} else {
+			ix.hash[vals[0]] = slots
+		}
+	default:
+		ix.tree.remove(vals[0], slot)
+	}
+}
+
+func removeSlot(slots []int, slot int) []int {
+	for j, s := range slots {
+		if s == slot {
+			slots[j] = slots[len(slots)-1]
+			return slots[:len(slots)-1]
+		}
+	}
+	return slots
+}
+
+// lookup returns the slots whose single indexed column equals v. Only
+// valid for single-column indexes.
+func (ix *Index) lookup(v Value) []int {
+	if v.IsNull() || ix.multi != nil {
+		return nil
+	}
+	if ix.hash != nil {
+		return ix.hash[v]
+	}
+	return ix.tree.get(v)
+}
+
+// lookupVals returns the slots matching a full key tuple.
+func (ix *Index) lookupVals(vals []Value) []int {
+	if ix.multi != nil {
+		return ix.multi[encodeKey(vals)]
+	}
+	return ix.lookup(vals[0])
+}
+
+// Ranged reports whether the index supports ordered range scans.
+func (ix *Index) Ranged() bool { return ix.tree != nil }
+
+// scanRange visits slots whose key lies within the bounds, in key order.
+// Only valid for ordered indexes.
+func (ix *Index) scanRange(lo, hi bound, fn func(slot int) bool) {
+	ix.tree.scanRange(lo, hi, func(_ Value, slots []int) bool {
+		for _, s := range slots {
+			if !fn(s) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// rebuild clears and re-populates the index from the table rows.
+func (ix *Index) rebuild(rows []Row) error {
+	switch {
+	case ix.multi != nil:
+		ix.multi = make(map[string][]int, len(rows))
+	case ix.hash != nil:
+		ix.hash = make(map[Value][]int, len(rows))
+	default:
+		ix.tree = newBtree()
+	}
+	for slot, row := range rows {
+		if row == nil {
+			continue
+		}
+		if err := ix.insert(row, slot); err != nil {
+			return err
+		}
+	}
+	return nil
+}

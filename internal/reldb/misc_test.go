@@ -1,0 +1,224 @@
+package reldb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogAccessors(t *testing.T) {
+	db := NewMemory()
+	mustWrite(t, db, func(tx *Tx) error {
+		if err := tx.CreateTable(appSchema()); err != nil {
+			return err
+		}
+		if err := tx.CreateTable(expSchema()); err != nil {
+			return err
+		}
+		return tx.CreateIndex("ix_name", "application", []string{"name"}, OrderedIndex, false)
+	})
+	db.Read(func(tx *Tx) error {
+		names := tx.TableNames()
+		if len(names) != 2 || names[0] != "application" || names[1] != "experiment" {
+			t.Fatalf("TableNames: %v", names)
+		}
+		if !tx.IndexOn("application", "name", true) {
+			t.Error("IndexOn ranged")
+		}
+		if !tx.IndexOn("application", "id", false) {
+			t.Error("IndexOn pk")
+		}
+		if tx.IndexOn("application", "version", false) {
+			t.Error("phantom index")
+		}
+		if tx.IndexOn("nosuch", "x", false) {
+			t.Error("index on missing table")
+		}
+		tbl, _ := tx.Table("application")
+		if tbl.Len() != 0 {
+			t.Errorf("Len: %d", tbl.Len())
+		}
+		ixs := tbl.Indexes()
+		if len(ixs) != 1 || ixs[0].Column() != "name" || ixs[0].Kind.String() != "BTREE" {
+			t.Fatalf("Indexes: %+v", ixs)
+		}
+		if HashIndex.String() != "HASH" {
+			t.Error("kind string")
+		}
+		s := tbl.Schema()
+		if s.Column("NAME") == nil || s.Column("nope") != nil {
+			t.Error("Schema.Column")
+		}
+		cols := s.ColumnNames()
+		if len(cols) != 3 || cols[0] != "id" {
+			t.Errorf("ColumnNames: %v", cols)
+		}
+		return nil
+	})
+	// DropIndex removes it; dropping twice fails.
+	mustWrite(t, db, func(tx *Tx) error { return tx.DropIndex("application", "ix_name") })
+	db.Read(func(tx *Tx) error {
+		if tx.IndexOn("application", "name", false) {
+			t.Error("index survived drop")
+		}
+		return nil
+	})
+	if err := db.Write(func(tx *Tx) error { return tx.DropIndex("application", "ix_name") }); err == nil {
+		t.Error("double drop accepted")
+	}
+	// DropIndex rolls back.
+	mustWrite(t, db, func(tx *Tx) error {
+		return tx.CreateIndex("ix2", "application", []string{"name"}, HashIndex, false)
+	})
+	tx := db.Begin()
+	tx.DropIndex("application", "ix2") //nolint:errcheck
+	tx.Rollback()
+	db.Read(func(tx *Tx) error {
+		if !tx.IndexOn("application", "name", false) {
+			t.Error("DropIndex rollback lost the index")
+		}
+		return nil
+	})
+}
+
+func TestValueStringAndTimeRendering(t *testing.T) {
+	when := time.Date(2005, 8, 1, 12, 30, 0, 0, time.UTC)
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, ""},
+		{Int(-3), "-3"},
+		{Float(2.5), "2.5"},
+		{Str("x"), "x"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Bytes([]byte("ab")), "ab"},
+		{Time(when), "2005-08-01T12:30:00Z"},
+	}
+	for _, c := range cases {
+		if got := c.v.AsString(); got != c.want {
+			t.Errorf("AsString(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	// AsTime branches.
+	if got := Time(when).AsTime(); !got.Equal(when) {
+		t.Error("AsTime from TTime")
+	}
+	if got := Str("2005-08-01T12:30:00Z").AsTime(); !got.Equal(when) {
+		t.Errorf("AsTime from string: %v", got)
+	}
+	if !Float(1.5).AsTime().IsZero() {
+		t.Error("AsTime from float should be zero")
+	}
+	if !Str("garbage").AsTime().IsZero() {
+		t.Error("AsTime from garbage should be zero")
+	}
+}
+
+func TestFromGoWideTypes(t *testing.T) {
+	if FromGo(int32(4)).AsInt() != 4 {
+		t.Error("int32")
+	}
+	if FromGo(uint32(5)).AsInt() != 5 {
+		t.Error("uint32")
+	}
+	if FromGo(uint64(6)).AsInt() != 6 {
+		t.Error("uint64")
+	}
+	if FromGo(float32(1.5)).AsFloat() != 1.5 {
+		t.Error("float32")
+	}
+	if FromGo(Int(7)).AsInt() != 7 {
+		t.Error("Value passthrough")
+	}
+	// Unsupported type renders via fmt.
+	if FromGo(struct{ A int }{1}).T != TString {
+		t.Error("fallback to string")
+	}
+}
+
+func TestCoerceRemainingBranches(t *testing.T) {
+	// Bool/time sources into BIGINT.
+	if v, err := Coerce(Bool(true), TInt); err != nil || v.I != 1 {
+		t.Errorf("bool→int: %v %v", v, err)
+	}
+	when := time.Now()
+	if v, err := Coerce(Time(when), TInt); err != nil || v.I != when.UnixNano() {
+		t.Errorf("time→int: %v %v", v, err)
+	}
+	// Bool into DOUBLE.
+	if v, err := Coerce(Bool(true), TFloat); err != nil || v.F != 1 {
+		t.Errorf("bool→float: %v %v", v, err)
+	}
+	// Int into BOOLEAN / TIMESTAMP.
+	if v, err := Coerce(Int(0), TBool); err != nil || v.AsBool() {
+		t.Errorf("int→bool: %v %v", v, err)
+	}
+	if v, err := Coerce(Int(123), TTime); err != nil || v.I != 123 {
+		t.Errorf("int→time: %v %v", v, err)
+	}
+	// Strings into BOOLEAN.
+	if v, err := Coerce(Str("FALSE"), TBool); err != nil || v.AsBool() {
+		t.Errorf("FALSE→bool: %v %v", v, err)
+	}
+	// String into BLOB; float into BLOB fails.
+	if v, err := Coerce(Str("b"), TBytes); err != nil || v.T != TBytes {
+		t.Errorf("str→blob: %v %v", v, err)
+	}
+	if _, err := Coerce(Float(1), TBytes); err == nil {
+		t.Error("float→blob accepted")
+	}
+	// Bad time string.
+	if _, err := Coerce(Str("not-a-time"), TTime); err == nil {
+		t.Error("garbage→time accepted")
+	}
+	// Everything into VARCHAR works.
+	if v, err := Coerce(Bool(true), TString); err != nil || v.S != "true" {
+		t.Errorf("bool→varchar: %v %v", v, err)
+	}
+}
+
+func TestCheckpointNoopForMemory(t *testing.T) {
+	db := NewMemory()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatalf("memory checkpoint: %v", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("memory close: %v", err)
+	}
+	// Double close of a durable DB is safe.
+	dir := t.TempDir()
+	d, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, d, func(tx *Tx) error { return tx.CreateTable(appSchema()) })
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestSyncOptionWritesThrough(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustWrite(t, db, func(tx *Tx) error {
+		if err := tx.CreateTable(appSchema()); err != nil {
+			return err
+		}
+		_, err := tx.Insert("application", Row{Null, Str("synced"), Null})
+		return err
+	})
+	// Reopen without closing cleanly-ish (Close flushes anyway; the point
+	// is the data is in the WAL immediately after commit).
+	db2 := reopen(t, db, dir, Options{})
+	defer db2.Close()
+	if n := countRows(t, db2, "application"); n != 1 {
+		t.Fatalf("rows: %d", n)
+	}
+}

@@ -1,0 +1,362 @@
+// Package reldb implements the embedded relational storage engine that
+// PerfDMF builds on. It plays the role the paper assigns to PostgreSQL,
+// MySQL, Oracle and DB2: typed tables with primary and foreign keys,
+// secondary indexes, transactions with rollback, and durable snapshot + WAL
+// persistence. The SQL front end lives in internal/sqlparse and
+// internal/sqlexec; callers normally reach this package through the
+// internal/godbc connectivity layer.
+package reldb
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+)
+
+// Type identifies the declared type of a column or the dynamic type of a
+// Value. The zero value is TNull, which is also how SQL NULL is represented.
+type Type uint8
+
+// Column and value types supported by the engine.
+const (
+	TNull   Type = iota // SQL NULL (only valid as a Value type)
+	TInt                // 64-bit signed integer
+	TFloat              // 64-bit IEEE-754 float
+	TString             // UTF-8 string
+	TBool               // boolean
+	TTime               // timestamp with nanosecond precision
+	TBytes              // raw byte string (stored as a Go string)
+)
+
+// String returns the SQL spelling of the type.
+func (t Type) String() string {
+	switch t {
+	case TNull:
+		return "NULL"
+	case TInt:
+		return "BIGINT"
+	case TFloat:
+		return "DOUBLE"
+	case TString:
+		return "VARCHAR"
+	case TBool:
+		return "BOOLEAN"
+	case TTime:
+		return "TIMESTAMP"
+	case TBytes:
+		return "BLOB"
+	}
+	return fmt.Sprintf("Type(%d)", uint8(t))
+}
+
+// Value is a single cell. It is a compact tagged union: integers, booleans
+// and timestamps live in I, floats in F, strings and byte strings in S.
+// Value is comparable and can be used directly as a map key, which the hash
+// indexes rely on.
+type Value struct {
+	T Type
+	I int64
+	F float64
+	S string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{T: TInt, I: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{T: TFloat, F: f} }
+
+// String returns a string value.
+func Str(s string) Value { return Value{T: TString, S: s} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{T: TBool, I: 1}
+	}
+	return Value{T: TBool}
+}
+
+// Time returns a timestamp value.
+func Time(t time.Time) Value { return Value{T: TTime, I: t.UnixNano()} }
+
+// Bytes returns a byte-string value. The bytes are copied.
+func Bytes(b []byte) Value { return Value{T: TBytes, S: string(b)} }
+
+// IsNull reports whether v is SQL NULL.
+func (v Value) IsNull() bool { return v.T == TNull }
+
+// AsInt returns the value as an int64, coercing floats and booleans.
+func (v Value) AsInt() int64 {
+	switch v.T {
+	case TInt, TBool, TTime:
+		return v.I
+	case TFloat:
+		return int64(v.F)
+	case TString:
+		i, _ := strconv.ParseInt(v.S, 10, 64)
+		return i
+	}
+	return 0
+}
+
+// AsFloat returns the value as a float64, coercing integers and booleans.
+func (v Value) AsFloat() float64 {
+	switch v.T {
+	case TInt, TBool:
+		return float64(v.I)
+	case TTime:
+		return float64(v.I)
+	case TFloat:
+		return v.F
+	case TString:
+		f, _ := strconv.ParseFloat(v.S, 64)
+		return f
+	}
+	return 0
+}
+
+// AsString returns the value rendered as a string.
+func (v Value) AsString() string {
+	switch v.T {
+	case TNull:
+		return ""
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TString, TBytes:
+		return v.S
+	case TBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case TTime:
+		return v.AsTime().Format(time.RFC3339Nano)
+	}
+	return ""
+}
+
+// AsBool returns the value as a boolean. Nonzero numbers are true.
+func (v Value) AsBool() bool {
+	switch v.T {
+	case TBool, TInt, TTime:
+		return v.I != 0
+	case TFloat:
+		return v.F != 0
+	case TString:
+		return v.S == "true" || v.S == "TRUE" || v.S == "1"
+	}
+	return false
+}
+
+// AsTime returns the value as a time.Time.
+func (v Value) AsTime() time.Time {
+	switch v.T {
+	case TTime, TInt:
+		return time.Unix(0, v.I).UTC()
+	case TString:
+		t, _ := time.Parse(time.RFC3339Nano, v.S)
+		return t
+	}
+	return time.Time{}
+}
+
+// Go returns the value as a native Go value (nil, int64, float64, string,
+// bool, time.Time or []byte), the representation used by internal/godbc.
+func (v Value) Go() any {
+	switch v.T {
+	case TNull:
+		return nil
+	case TInt:
+		return v.I
+	case TFloat:
+		return v.F
+	case TString:
+		return v.S
+	case TBool:
+		return v.I != 0
+	case TTime:
+		return v.AsTime()
+	case TBytes:
+		return []byte(v.S)
+	}
+	return nil
+}
+
+// FromGo converts a native Go value into a Value. Unsupported types are
+// rendered with fmt.Sprint as strings.
+func FromGo(x any) Value {
+	switch x := x.(type) {
+	case nil:
+		return Null
+	case int:
+		return Int(int64(x))
+	case int32:
+		return Int(int64(x))
+	case int64:
+		return Int(x)
+	case uint32:
+		return Int(int64(x))
+	case uint64:
+		return Int(int64(x))
+	case float32:
+		return Float(float64(x))
+	case float64:
+		return Float(x)
+	case string:
+		return Str(x)
+	case bool:
+		return Bool(x)
+	case time.Time:
+		return Time(x)
+	case []byte:
+		return Bytes(x)
+	case Value:
+		return x
+	}
+	return Str(fmt.Sprint(x))
+}
+
+// numeric reports whether the value is of a numeric type (including
+// booleans and timestamps, which order by their integer representation).
+func (v Value) numeric() bool {
+	switch v.T {
+	case TInt, TFloat, TBool, TTime:
+		return true
+	}
+	return false
+}
+
+// Compare orders two values. NULL sorts before everything; numeric types
+// compare by value with int/float coercion; strings and byte strings compare
+// lexicographically; mixed incomparable types order by type tag so that
+// sorting is total and deterministic.
+func Compare(a, b Value) int {
+	if a.T == TNull || b.T == TNull {
+		switch {
+		case a.T == TNull && b.T == TNull:
+			return 0
+		case a.T == TNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if a.numeric() && b.numeric() {
+		if a.T == TFloat || b.T == TFloat {
+			af, bf := a.AsFloat(), b.AsFloat()
+			switch {
+			case af < bf:
+				return -1
+			case af > bf:
+				return 1
+			case math.Signbit(af) != math.Signbit(bf):
+				// -0 vs +0: treat as equal.
+				return 0
+			default:
+				return 0
+			}
+		}
+		switch {
+		case a.I < b.I:
+			return -1
+		case a.I > b.I:
+			return 1
+		default:
+			return 0
+		}
+	}
+	if (a.T == TString || a.T == TBytes) && (b.T == TString || b.T == TBytes) {
+		switch {
+		case a.S < b.S:
+			return -1
+		case a.S > b.S:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Incomparable types: order by tag for a deterministic total order.
+	switch {
+	case a.T < b.T:
+		return -1
+	case a.T > b.T:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare as equal.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+// Coerce converts v to the column type t, or returns an error when the
+// conversion would lose meaning (e.g. a non-numeric string into BIGINT).
+func Coerce(v Value, t Type) (Value, error) {
+	if v.T == TNull || v.T == t {
+		return v, nil
+	}
+	switch t {
+	case TInt:
+		switch v.T {
+		case TFloat:
+			return Int(int64(v.F)), nil
+		case TBool, TTime:
+			return Int(v.I), nil
+		case TString:
+			i, err := strconv.ParseInt(v.S, 10, 64)
+			if err != nil {
+				return Null, fmt.Errorf("reldb: cannot coerce %q to BIGINT", v.S)
+			}
+			return Int(i), nil
+		}
+	case TFloat:
+		switch v.T {
+		case TInt, TBool:
+			return Float(float64(v.I)), nil
+		case TString:
+			f, err := strconv.ParseFloat(v.S, 64)
+			if err != nil {
+				return Null, fmt.Errorf("reldb: cannot coerce %q to DOUBLE", v.S)
+			}
+			return Float(f), nil
+		}
+	case TString:
+		return Str(v.AsString()), nil
+	case TBool:
+		switch v.T {
+		case TInt:
+			return Bool(v.I != 0), nil
+		case TString:
+			switch v.S {
+			case "true", "TRUE", "1":
+				return Bool(true), nil
+			case "false", "FALSE", "0":
+				return Bool(false), nil
+			}
+			return Null, fmt.Errorf("reldb: cannot coerce %q to BOOLEAN", v.S)
+		}
+	case TTime:
+		switch v.T {
+		case TInt:
+			return Value{T: TTime, I: v.I}, nil
+		case TString:
+			tm, err := time.Parse(time.RFC3339Nano, v.S)
+			if err != nil {
+				return Null, fmt.Errorf("reldb: cannot coerce %q to TIMESTAMP", v.S)
+			}
+			return Time(tm), nil
+		}
+	case TBytes:
+		if v.T == TString {
+			return Value{T: TBytes, S: v.S}, nil
+		}
+	}
+	return Null, fmt.Errorf("reldb: cannot coerce %s to %s", v.T, t)
+}

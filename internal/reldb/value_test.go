@@ -1,0 +1,176 @@
+package reldb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	if got := Int(42).AsInt(); got != 42 {
+		t.Errorf("Int(42).AsInt() = %d", got)
+	}
+	if got := Float(2.5).AsFloat(); got != 2.5 {
+		t.Errorf("Float(2.5).AsFloat() = %g", got)
+	}
+	if got := Str("hi").AsString(); got != "hi" {
+		t.Errorf("Str(hi).AsString() = %q", got)
+	}
+	if !Bool(true).AsBool() || Bool(false).AsBool() {
+		t.Error("Bool round trip failed")
+	}
+	now := time.Now().UTC()
+	if got := Time(now).AsTime(); !got.Equal(now) {
+		t.Errorf("Time round trip: got %v want %v", got, now)
+	}
+	if got := Bytes([]byte{1, 2}).Go().([]byte); len(got) != 2 || got[0] != 1 {
+		t.Errorf("Bytes round trip: %v", got)
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misclassification")
+	}
+}
+
+func TestValueCoercions(t *testing.T) {
+	if got := Float(3.9).AsInt(); got != 3 {
+		t.Errorf("Float(3.9).AsInt() = %d", got)
+	}
+	if got := Int(3).AsFloat(); got != 3.0 {
+		t.Errorf("Int(3).AsFloat() = %g", got)
+	}
+	if got := Str("17").AsInt(); got != 17 {
+		t.Errorf("Str(17).AsInt() = %d", got)
+	}
+	if got := Str("2.25").AsFloat(); got != 2.25 {
+		t.Errorf("Str(2.25).AsFloat() = %g", got)
+	}
+	if got := Int(12).AsString(); got != "12" {
+		t.Errorf("Int(12).AsString() = %q", got)
+	}
+	if !Str("true").AsBool() || Str("nope").AsBool() {
+		t.Error("string AsBool failed")
+	}
+}
+
+func TestFromGoRoundTrip(t *testing.T) {
+	cases := []any{nil, int64(7), 2.5, "s", true, []byte("b")}
+	for _, c := range cases {
+		v := FromGo(c)
+		got := v.Go()
+		switch want := c.(type) {
+		case nil:
+			if got != nil {
+				t.Errorf("FromGo(nil).Go() = %v", got)
+			}
+		case []byte:
+			gb, ok := got.([]byte)
+			if !ok || string(gb) != string(want) {
+				t.Errorf("FromGo(%v).Go() = %v", c, got)
+			}
+		default:
+			if got != c {
+				t.Errorf("FromGo(%v).Go() = %v", c, got)
+			}
+		}
+	}
+	// Plain ints widen to int64.
+	if got := FromGo(5).Go(); got != int64(5) {
+		t.Errorf("FromGo(5).Go() = %v (%T)", got, got)
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null, Null, 0},
+		{Null, Int(0), -1},
+		{Int(0), Null, 1},
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(1), Float(1.5), -1},
+		{Float(2.0), Int(2), 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+		{Bool(false), Bool(true), -1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Property: Compare is antisymmetric and consistent with Equal.
+func TestCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := Int(a), Int(b)
+		return Compare(va, vb) == -Compare(vb, va) &&
+			(Compare(va, vb) == 0) == Equal(va, vb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare on floats is transitive over random triples.
+func TestCompareTransitiveFloats(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		va, vb, vc := Float(a), Float(b), Float(c)
+		if Compare(va, vb) <= 0 && Compare(vb, vc) <= 0 {
+			return Compare(va, vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	v, err := Coerce(Str("42"), TInt)
+	if err != nil || v.I != 42 {
+		t.Errorf("Coerce(42, TInt) = %v, %v", v, err)
+	}
+	v, err = Coerce(Int(3), TFloat)
+	if err != nil || v.F != 3.0 {
+		t.Errorf("Coerce(3, TFloat) = %v, %v", v, err)
+	}
+	if _, err = Coerce(Str("x"), TInt); err == nil {
+		t.Error("Coerce(x, TInt) should fail")
+	}
+	v, err = Coerce(Null, TInt)
+	if err != nil || !v.IsNull() {
+		t.Errorf("Coerce(NULL, TInt) = %v, %v", v, err)
+	}
+	v, err = Coerce(Float(1.5), TString)
+	if err != nil || v.S != "1.5" {
+		t.Errorf("Coerce(1.5, VARCHAR) = %v, %v", v, err)
+	}
+	if _, err = Coerce(Str("maybe"), TBool); err == nil {
+		t.Error("Coerce(maybe, TBool) should fail")
+	}
+	tm := time.Date(2005, 6, 15, 0, 0, 0, 0, time.UTC)
+	v, err = Coerce(Str(tm.Format(time.RFC3339Nano)), TTime)
+	if err != nil || !v.AsTime().Equal(tm) {
+		t.Errorf("Coerce(time string, TTime) = %v, %v", v, err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	names := map[Type]string{
+		TNull: "NULL", TInt: "BIGINT", TFloat: "DOUBLE", TString: "VARCHAR",
+		TBool: "BOOLEAN", TTime: "TIMESTAMP", TBytes: "BLOB",
+	}
+	for ty, want := range names {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package sqlexec
+
+import (
+	"fmt"
+	"testing"
+
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// benchDB builds app/trial tables with rows rows in trial.
+func benchDB(b *testing.B, rows int) *reldb.DB {
+	b.Helper()
+	db := reldb.NewMemory()
+	stmts := []string{
+		`CREATE TABLE application (id BIGINT PRIMARY KEY AUTO_INCREMENT, name VARCHAR NOT NULL)`,
+		`CREATE TABLE trial (
+			id BIGINT PRIMARY KEY AUTO_INCREMENT,
+			application BIGINT NOT NULL REFERENCES application(id),
+			name VARCHAR, node_count BIGINT, time DOUBLE)`,
+		`INSERT INTO application (name) VALUES ('app')`,
+		`CREATE INDEX ix_nodes ON trial (node_count) USING btree`,
+	}
+	for _, src := range stmts {
+		st, err := sqlparse.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Write(func(tx *reldb.Tx) error {
+			_, err := Exec(tx, st, nil)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ins, err := sqlparse.Parse("INSERT INTO trial (application, name, node_count, time) VALUES (1, ?, ?, ?)")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Write(func(tx *reldb.Tx) error {
+		for i := 0; i < rows; i++ {
+			_, err := Exec(tx, ins, []reldb.Value{
+				reldb.Str(fmt.Sprintf("run-%d", i)),
+				reldb.Int(int64(1 << (i % 10))),
+				reldb.Float(float64(i) * 1.5),
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func benchQuery(b *testing.B, db *reldb.DB, src string, params []reldb.Value, wantRows int) {
+	b.Helper()
+	st, err := sqlparse.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sel := st.(*sqlparse.Select)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := db.Read(func(tx *reldb.Tx) error {
+			rs, err := Query(tx, sel, params)
+			if err != nil {
+				return err
+			}
+			if wantRows >= 0 && len(rs.Rows) != wantRows {
+				return fmt.Errorf("got %d rows, want %d", len(rs.Rows), wantRows)
+			}
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseOnlySelect(b *testing.B) {
+	src := `SELECT e.name, COUNT(*), AVG(t.time) FROM trial t
+		JOIN application e ON t.application = e.id
+		WHERE t.node_count >= 128 GROUP BY e.name ORDER BY 2 DESC LIMIT 10`
+	for i := 0; i < b.N; i++ {
+		if _, err := sqlparse.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointQueryIndexed(b *testing.B) {
+	db := benchDB(b, 10000)
+	benchQuery(b, db, "SELECT name FROM trial WHERE id = 5000", nil, 1)
+}
+
+func BenchmarkRangeQueryIndexed(b *testing.B) {
+	db := benchDB(b, 10000)
+	benchQuery(b, db, "SELECT name FROM trial WHERE node_count >= 512", nil, -1)
+}
+
+func BenchmarkFullScanFilter(b *testing.B) {
+	db := benchDB(b, 10000)
+	benchQuery(b, db, "SELECT name FROM trial WHERE time > 7500.0", nil, -1)
+}
+
+func BenchmarkHashJoin(b *testing.B) {
+	db := benchDB(b, 10000)
+	benchQuery(b, db, `SELECT t.name FROM trial t
+		JOIN application a ON t.application = a.id WHERE t.id <= 100`, nil, 100)
+}
+
+func BenchmarkGroupByAggregate(b *testing.B) {
+	db := benchDB(b, 10000)
+	benchQuery(b, db, `SELECT node_count, COUNT(*), AVG(time), STDDEV(time)
+		FROM trial GROUP BY node_count`, nil, 10)
+}
+
+func BenchmarkOrderByLimit(b *testing.B) {
+	db := benchDB(b, 10000)
+	benchQuery(b, db, "SELECT name, time FROM trial ORDER BY time DESC LIMIT 20", nil, 20)
+}

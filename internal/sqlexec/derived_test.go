@@ -1,0 +1,111 @@
+package sqlexec
+
+import (
+	"testing"
+)
+
+func TestDerivedTableBasic(t *testing.T) {
+	db := fixture(t)
+	// Average time per application, computed in a derived table, filtered
+	// outside it.
+	rs := run(t, db, `
+		SELECT app, avg_t FROM (
+			SELECT application AS app, AVG(time) AS avg_t
+			FROM trial GROUP BY application
+		) sums
+		WHERE avg_t > 10
+		ORDER BY avg_t DESC`)
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+	if rs.Rows[0][0].AsInt() != 2 || rs.Rows[0][1].AsFloat() != 24.0 {
+		t.Fatalf("row: %v", rs.Rows[0])
+	}
+	// Qualified references into the derived table.
+	rs = run(t, db, `SELECT s.app FROM (SELECT application app FROM trial) s WHERE s.app = 1`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("qualified: %v", rs.Rows)
+	}
+	// SELECT * over a derived table.
+	rs = run(t, db, `SELECT * FROM (SELECT name, node_count FROM trial WHERE id <= 2) x`)
+	if len(rs.Cols) != 2 || len(rs.Rows) != 2 {
+		t.Fatalf("star: cols=%v rows=%d", rs.Cols, len(rs.Rows))
+	}
+}
+
+func TestDerivedTableJoin(t *testing.T) {
+	db := fixture(t)
+	// Join a base table against a derived aggregate (per-app trial counts).
+	rs := run(t, db, `
+		SELECT a.name, counts.n
+		FROM application a
+		JOIN (SELECT application AS app, COUNT(*) AS n FROM trial GROUP BY application) counts
+		  ON counts.app = a.id
+		ORDER BY counts.n DESC`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+	if rs.Rows[0][0].S != "sppm" || rs.Rows[0][1].AsInt() != 3 {
+		t.Fatalf("row0: %v", rs.Rows[0])
+	}
+	// Derived table as the base with a base-table join.
+	rs = run(t, db, `
+		SELECT top.name, a.name
+		FROM (SELECT name, application FROM trial ORDER BY time DESC LIMIT 1) top
+		JOIN application a ON a.id = top.application`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "run-d" || rs.Rows[0][1].S != "smg2000" {
+		t.Fatalf("slowest: %v", rs.Rows)
+	}
+}
+
+func TestDerivedTableNested(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, `
+		SELECT MAX(n) FROM (
+			SELECT n FROM (
+				SELECT COUNT(*) AS n FROM trial GROUP BY application
+			) inner1
+		) outer1`)
+	if rs.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("nested: %v", rs.Rows)
+	}
+}
+
+func TestDerivedTableParams(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, `
+		SELECT COUNT(*) FROM (SELECT * FROM trial WHERE node_count >= ?) big`, 256)
+	if rs.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("params: %v", rs.Rows)
+	}
+}
+
+func TestDerivedTableErrors(t *testing.T) {
+	db := fixture(t)
+	bad := []string{
+		"SELECT * FROM (SELECT * FROM trial)",           // missing alias
+		"SELECT * FROM (INSERT INTO t VALUES (1)) x",    // not a SELECT
+		"SELECT nosuch FROM (SELECT name FROM trial) d", // unknown column
+		"SELECT * FROM (SELECT * FROM nosuchtable) d",   // inner error
+		"UPDATE (SELECT * FROM trial) d SET name = 'x'", // DML on derived
+	}
+	for _, src := range bad {
+		if _, _, err := tryRun(db, src); err == nil {
+			t.Errorf("%s: accepted", src)
+		}
+	}
+}
+
+func TestExplainDerivedTable(t *testing.T) {
+	db := fixture(t)
+	plan := explainPlan(t, db, `SELECT * FROM (SELECT name FROM trial) d`)
+	if !hasLine(plan, "derived table") {
+		t.Fatalf("plan: %v", plan)
+	}
+	plan = explainPlan(t, db, `
+		SELECT a.name FROM application a
+		JOIN (SELECT application app FROM trial) d ON d.app = a.id`)
+	if !hasLine(plan, "hash join") {
+		t.Fatalf("derived join plan: %v", plan)
+	}
+}

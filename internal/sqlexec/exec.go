@@ -1,0 +1,505 @@
+package sqlexec
+
+import (
+	"fmt"
+	"strings"
+
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// Result reports the effect of a DDL/DML statement.
+type Result struct {
+	RowsAffected int64
+	LastInsertID int64 // primary key of the last inserted row, 0 if none
+}
+
+// ResultSet is a materialized query result.
+type ResultSet struct {
+	Cols []string
+	Rows [][]reldb.Value
+}
+
+// Exec runs a non-SELECT statement inside tx. Transaction-control
+// statements (BEGIN/COMMIT/ROLLBACK) are handled by the connection layer,
+// not here.
+func Exec(tx *reldb.Tx, stmt sqlparse.Statement, params []reldb.Value) (Result, error) {
+	switch st := stmt.(type) {
+	case *sqlparse.CreateTable:
+		return execCreateTable(tx, st)
+	case *sqlparse.DropTable:
+		if st.IfExists && !tx.HasTable(st.Name) {
+			return Result{}, nil
+		}
+		return Result{}, tx.DropTable(st.Name)
+	case *sqlparse.AlterTable:
+		return execAlterTable(tx, st)
+	case *sqlparse.CreateIndex:
+		kind := reldb.HashIndex
+		if st.Using == "BTREE" {
+			kind = reldb.OrderedIndex
+		}
+		return Result{}, tx.CreateIndex(st.Name, st.Table, st.Columns, kind, st.Unique)
+	case *sqlparse.DropIndex:
+		return Result{}, tx.DropIndex(st.Table, st.Name)
+	case *sqlparse.Insert:
+		return execInsert(tx, st, params)
+	case *sqlparse.Update:
+		return execUpdate(tx, st, params)
+	case *sqlparse.Delete:
+		return execDelete(tx, st, params)
+	case *sqlparse.Select:
+		return Result{}, fmt.Errorf("sqlexec: use Query for SELECT")
+	}
+	return Result{}, fmt.Errorf("sqlexec: cannot execute %T", stmt)
+}
+
+func execCreateTable(tx *reldb.Tx, st *sqlparse.CreateTable) (Result, error) {
+	if st.IfNotExists && tx.HasTable(st.Name) {
+		return Result{}, nil
+	}
+	schema := &reldb.Schema{Name: st.Name}
+	for _, cd := range st.Columns {
+		schema.Columns = append(schema.Columns, reldb.Column{
+			Name:          cd.Name,
+			Type:          cd.Type,
+			NotNull:       cd.NotNull || cd.PrimaryKey,
+			Default:       cd.Default,
+			AutoIncrement: cd.AutoIncrement,
+		})
+		if cd.PrimaryKey {
+			if schema.PrimaryKey != "" {
+				return Result{}, fmt.Errorf("sqlexec: table %s: multiple primary keys", st.Name)
+			}
+			schema.PrimaryKey = cd.Name
+		}
+		if cd.References != nil {
+			refCol := cd.References.Column
+			if refCol == "" {
+				refCol = "id"
+			}
+			schema.ForeignKeys = append(schema.ForeignKeys, reldb.ForeignKey{
+				Column: cd.Name, RefTable: cd.References.Table, RefColumn: refCol,
+			})
+		}
+	}
+	return Result{}, tx.CreateTable(schema)
+}
+
+func execAlterTable(tx *reldb.Tx, st *sqlparse.AlterTable) (Result, error) {
+	if st.Add != nil {
+		if st.Add.PrimaryKey || st.Add.AutoIncrement {
+			return Result{}, fmt.Errorf("sqlexec: ALTER TABLE cannot add key columns")
+		}
+		return Result{}, tx.AddColumn(st.Name, reldb.Column{
+			Name:    st.Add.Name,
+			Type:    st.Add.Type,
+			NotNull: st.Add.NotNull,
+			Default: st.Add.Default,
+		})
+	}
+	return Result{}, tx.DropColumn(st.Name, st.DropCol)
+}
+
+func execInsert(tx *reldb.Tx, st *sqlparse.Insert, params []reldb.Value) (Result, error) {
+	tbl, err := tx.Table(st.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	schema := tbl.Schema()
+	// Map each provided column to its schema position.
+	positions := make([]int, 0, len(st.Columns))
+	if len(st.Columns) == 0 {
+		for i := range schema.Columns {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range st.Columns {
+			pos := schema.ColumnIndex(name)
+			if pos < 0 {
+				return Result{}, fmt.Errorf("sqlexec: table %s has no column %s", st.Table, name)
+			}
+			positions = append(positions, pos)
+		}
+	}
+	ev := &env{cols: newColmap(), params: params, tx: tx}
+	var res Result
+	// tx.Insert copies during normalization, so one scratch row serves
+	// every VALUES tuple — the bulk-load path is allocation-sensitive.
+	row := make(reldb.Row, len(schema.Columns))
+	for _, exprs := range st.Rows {
+		if len(exprs) != len(positions) {
+			return Result{}, fmt.Errorf("sqlexec: INSERT row has %d values, want %d",
+				len(exprs), len(positions))
+		}
+		for i := range row {
+			row[i] = reldb.Null
+		}
+		for i, e := range exprs {
+			v, err := eval(e, ev)
+			if err != nil {
+				return Result{}, err
+			}
+			row[positions[i]] = v
+		}
+		id, err := tx.Insert(st.Table, row)
+		if err != nil {
+			return Result{}, err
+		}
+		res.RowsAffected++
+		if !id.IsNull() {
+			res.LastInsertID = id.AsInt()
+		}
+	}
+	return res, nil
+}
+
+// matchingSlots returns the slots of base-table rows satisfying where,
+// using an index when a top-level conjunct permits, otherwise scanning.
+func matchingSlots(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params []reldb.Value) ([]int, error) {
+	tbl, err := tx.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	cols := newColmap()
+	cols.bind(aliasOr(alias, table), table, tbl.Schema())
+	ev := &env{cols: cols, params: params, tx: tx}
+
+	candidates, scanned, err := planAccess(tx, table, aliasOr(alias, table), where, params, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	check := func(slot int) error {
+		row := tx.Row(table, slot)
+		if row == nil {
+			return nil
+		}
+		if where != nil {
+			ev.row = row
+			v, err := eval(where, ev)
+			if err != nil {
+				return err
+			}
+			if !truthy(v) {
+				return nil
+			}
+		}
+		out = append(out, slot)
+		return nil
+	}
+	if scanned {
+		var inner error
+		tx.Scan(table, func(slot int, _ reldb.Row) bool {
+			inner = check(slot)
+			return inner == nil
+		})
+		if inner != nil {
+			return nil, inner
+		}
+		return out, nil
+	}
+	for _, slot := range candidates {
+		if err := check(slot); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func aliasOr(alias, table string) string {
+	if alias != "" {
+		return alias
+	}
+	return table
+}
+
+func execUpdate(tx *reldb.Tx, st *sqlparse.Update, params []reldb.Value) (Result, error) {
+	tbl, err := tx.Table(st.Table)
+	if err != nil {
+		return Result{}, err
+	}
+	schema := tbl.Schema()
+	slots, err := matchingSlots(tx, st.Table, "", st.Where, params)
+	if err != nil {
+		return Result{}, err
+	}
+	cols := newColmap()
+	cols.bind(st.Table, st.Table, schema)
+	ev := &env{cols: cols, params: params, tx: tx}
+	var res Result
+	for _, slot := range slots {
+		old := tx.Row(st.Table, slot)
+		if old == nil {
+			continue
+		}
+		row := make(reldb.Row, len(old))
+		copy(row, old)
+		ev.row = old
+		for _, set := range st.Sets {
+			pos := schema.ColumnIndex(set.Column)
+			if pos < 0 {
+				return Result{}, fmt.Errorf("sqlexec: table %s has no column %s", st.Table, set.Column)
+			}
+			v, err := eval(set.Expr, ev)
+			if err != nil {
+				return Result{}, err
+			}
+			row[pos] = v
+		}
+		if err := tx.Update(st.Table, slot, row); err != nil {
+			return Result{}, err
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+func execDelete(tx *reldb.Tx, st *sqlparse.Delete, params []reldb.Value) (Result, error) {
+	slots, err := matchingSlots(tx, st.Table, "", st.Where, params)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	for _, slot := range slots {
+		if err := tx.Delete(st.Table, slot); err != nil {
+			return Result{}, err
+		}
+		res.RowsAffected++
+	}
+	return res, nil
+}
+
+// planAccess inspects the top-level AND conjuncts of where for a predicate
+// on an indexed column of the base table. It returns either a candidate
+// slot list (scanned=false) or scanned=true meaning a full scan is needed.
+// requireQualified restricts planning to conjuncts whose column reference
+// is explicitly qualified with the base alias; it must be set when the
+// query has joins, where an unqualified name may belong to another table.
+func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params []reldb.Value, requireQualified bool) (slots []int, scanned bool, err error) {
+	conjuncts := splitAnd(where)
+	evalConst := func(e sqlparse.Expr) (reldb.Value, bool) {
+		switch e := e.(type) {
+		case *sqlparse.Literal:
+			return e.Value, true
+		case *sqlparse.Param:
+			if e.Index < len(params) {
+				return params[e.Index], true
+			}
+		}
+		return reldb.Null, false
+	}
+	colOf := func(e sqlparse.Expr) (string, bool) {
+		c, ok := e.(*sqlparse.ColRef)
+		if !ok {
+			return "", false
+		}
+		if c.Table == "" {
+			if requireQualified {
+				return "", false
+			}
+			return c.Name, true
+		}
+		if !strings.EqualFold(c.Table, alias) && !strings.EqualFold(c.Table, table) {
+			return "", false
+		}
+		return c.Name, true
+	}
+	// Collect the constant-equality conjuncts once; a composite index that
+	// covers several of them at once beats any single-column plan.
+	type eqPred struct {
+		col string
+		val reldb.Value
+	}
+	var eqs []eqPred
+	for _, c := range conjuncts {
+		b, ok := c.(*sqlparse.Binary)
+		if !ok || b.Op != sqlparse.OpEq {
+			continue
+		}
+		col, okL := colOf(b.L)
+		v, okR := evalConst(b.R)
+		if !okL || !okR {
+			col, okL = colOf(b.R)
+			v, okR = evalConst(b.L)
+		}
+		if okL && okR && !v.IsNull() {
+			eqs = append(eqs, eqPred{col, v})
+		}
+	}
+	// Try composite coverage from the largest subset down to pairs.
+	if len(eqs) >= 2 {
+		for size := len(eqs); size >= 2; size-- {
+			// Contiguous-subset search keeps this cheap; predicates almost
+			// always appear in index order in generated SQL.
+			for start := 0; start+size <= len(eqs); start++ {
+				cols := make([]string, size)
+				vals := make([]reldb.Value, size)
+				for i := 0; i < size; i++ {
+					cols[i] = eqs[start+i].col
+					vals[i] = eqs[start+i].val
+				}
+				if s, used := tx.LookupEqMulti(table, cols, vals); used {
+					return s, false, nil
+				}
+			}
+		}
+	}
+	// First preference: equality on an indexed column.
+	for _, c := range conjuncts {
+		b, ok := c.(*sqlparse.Binary)
+		if !ok || b.Op != sqlparse.OpEq {
+			continue
+		}
+		col, okL := colOf(b.L)
+		v, okR := evalConst(b.R)
+		if !okL || !okR {
+			col, okL = colOf(b.R)
+			v, okR = evalConst(b.L)
+		}
+		if !okL || !okR || v.IsNull() {
+			continue
+		}
+		if s, used := tx.LookupEq(table, col, v); used {
+			return s, false, nil
+		}
+	}
+	// IN-lists and IN-subqueries on an indexed column become a union of
+	// point lookups (this keeps e.g. core.DeleteTrial's
+	// "WHERE fk IN (SELECT id ...)" statements off the full-scan path).
+	for _, c := range conjuncts {
+		in, ok := c.(*sqlparse.InList)
+		if !ok || in.Neg {
+			continue
+		}
+		col, okC := colOf(in.X)
+		if !okC || !tx.IndexOn(table, col, false) {
+			continue
+		}
+		var vals []reldb.Value
+		if in.Sub != nil {
+			rs, err := Query(tx, in.Sub.Select, params)
+			if err != nil {
+				return nil, false, err
+			}
+			if len(rs.Cols) != 1 {
+				return nil, false, fmt.Errorf("sqlexec: IN subquery must return one column, got %d", len(rs.Cols))
+			}
+			for _, row := range rs.Rows {
+				vals = append(vals, row[0])
+			}
+		} else {
+			allConst := true
+			for _, item := range in.List {
+				v, ok := evalConst(item)
+				if !ok {
+					allConst = false
+					break
+				}
+				vals = append(vals, v)
+			}
+			if !allConst {
+				continue
+			}
+		}
+		seen := make(map[int]bool)
+		union := []int{}
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			s, _ := tx.LookupEq(table, col, v)
+			for _, slot := range s {
+				if !seen[slot] {
+					seen[slot] = true
+					union = append(union, slot)
+				}
+			}
+		}
+		return union, false, nil
+	}
+	// Second preference: a range predicate on an ordered-indexed column.
+	for _, c := range conjuncts {
+		b, ok := c.(*sqlparse.Binary)
+		if !ok {
+			continue
+		}
+		var col string
+		var v reldb.Value
+		var okC, okV bool
+		op := b.Op
+		col, okC = colOf(b.L)
+		v, okV = evalConst(b.R)
+		if !okC || !okV {
+			// Flip: const OP col.
+			col, okC = colOf(b.R)
+			v, okV = evalConst(b.L)
+			switch op {
+			case sqlparse.OpLt:
+				op = sqlparse.OpGt
+			case sqlparse.OpLe:
+				op = sqlparse.OpGe
+			case sqlparse.OpGt:
+				op = sqlparse.OpLt
+			case sqlparse.OpGe:
+				op = sqlparse.OpLe
+			}
+		}
+		if !okC || !okV || v.IsNull() {
+			continue
+		}
+		var lo, hi reldb.Value
+		var loInc, hiInc bool
+		switch op {
+		case sqlparse.OpLt:
+			hi = v
+		case sqlparse.OpLe:
+			hi, hiInc = v, true
+		case sqlparse.OpGt:
+			lo = v
+		case sqlparse.OpGe:
+			lo, loInc = v, true
+		default:
+			continue
+		}
+		var collected []int
+		if tx.ScanRange(table, col, lo, hi, loInc, hiInc, func(slot int) bool {
+			collected = append(collected, slot)
+			return true
+		}) {
+			return collected, false, nil
+		}
+	}
+	// BETWEEN on an ordered-indexed column.
+	for _, c := range conjuncts {
+		bt, ok := c.(*sqlparse.Between)
+		if !ok || bt.Neg {
+			continue
+		}
+		col, okC := colOf(bt.X)
+		lo, okL := evalConst(bt.Lo)
+		hi, okH := evalConst(bt.Hi)
+		if !okC || !okL || !okH || lo.IsNull() || hi.IsNull() {
+			continue
+		}
+		var collected []int
+		if tx.ScanRange(table, col, lo, hi, true, true, func(slot int) bool {
+			collected = append(collected, slot)
+			return true
+		}) {
+			return collected, false, nil
+		}
+	}
+	return nil, true, nil
+}
+
+// splitAnd flattens the top-level AND spine of an expression.
+func splitAnd(e sqlparse.Expr) []sqlparse.Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*sqlparse.Binary); ok && b.Op == sqlparse.OpAnd {
+		return append(splitAnd(b.L), splitAnd(b.R)...)
+	}
+	return []sqlparse.Expr{e}
+}

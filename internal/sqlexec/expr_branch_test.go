@@ -1,0 +1,160 @@
+package sqlexec
+
+import (
+	"testing"
+)
+
+// These tests chase the evaluator branches the higher-level fixtures miss:
+// NULL propagation through every operator family, scalar-function edge
+// cases, and grouping keys over every value type.
+
+func TestNullPropagation(t *testing.T) {
+	db := fixture(t)
+	// Arithmetic with NULL (version is NULL for sphot).
+	rs := run(t, db, `SELECT version || 'x', LENGTH(version), ABS(id) FROM application WHERE id = 3`)
+	if !rs.Rows[0][0].IsNull() || !rs.Rows[0][1].IsNull() {
+		t.Fatalf("null propagation: %v", rs.Rows[0])
+	}
+	if rs.Rows[0][2].AsInt() != 3 {
+		t.Fatalf("abs: %v", rs.Rows[0])
+	}
+	// NULL in arithmetic, modulo, unary minus.
+	rs = run(t, db, `SELECT LENGTH(version) + 1, LENGTH(version) % 2, -LENGTH(version)
+		FROM application WHERE id = 3`)
+	for i, v := range rs.Rows[0] {
+		if !v.IsNull() {
+			t.Fatalf("col %d not null: %v", i, v.Go())
+		}
+	}
+	// Three-valued AND/OR: UNKNOWN OR TRUE = TRUE; UNKNOWN AND TRUE = UNKNOWN.
+	rs = run(t, db, `SELECT COUNT(*) FROM application WHERE version = 'zzz' OR id = 3`)
+	if rs.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("unknown or true: %v", rs.Rows)
+	}
+	rs = run(t, db, `SELECT COUNT(*) FROM application WHERE version = version AND id = 3`)
+	if rs.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("unknown and true: %v", rs.Rows)
+	}
+	// BETWEEN with NULL bound → UNKNOWN: ids 1 and 2 have version length 3
+	// (so they match 1..3); id 3's NULL version makes its predicate UNKNOWN.
+	rs = run(t, db, `SELECT COUNT(*) FROM application WHERE id BETWEEN 1 AND LENGTH(version)`)
+	if rs.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("between null: %v", rs.Rows)
+	}
+	// IN list containing NULL: no match → UNKNOWN, not false-positive.
+	rs = run(t, db, `SELECT COUNT(*) FROM application WHERE id IN (99, LENGTH(version))`)
+	if rs.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("in with null: %v", rs.Rows)
+	}
+	// NOT IN where the list contains a NULL (id 3's version) is UNKNOWN
+	// for that row; rows with concrete lists still match.
+	rs = run(t, db, `SELECT COUNT(*) FROM application WHERE id NOT IN (99, LENGTH(version))`)
+	if rs.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("not in with null: %v", rs.Rows)
+	}
+	rs = run(t, db, `SELECT COUNT(*) FROM application WHERE id = 3 AND id NOT IN (99, LENGTH(version))`)
+	if rs.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("not in with null for the null row: %v", rs.Rows)
+	}
+	// Unary minus on floats, modulo on ints.
+	rs = run(t, db, `SELECT -time, id % 2 FROM trial WHERE id = 1`)
+	if rs.Rows[0][0].AsFloat() != -10.5 || rs.Rows[0][1].AsInt() != 1 {
+		t.Fatalf("unary/mod: %v", rs.Rows[0])
+	}
+	// Integer modulo by zero is NULL.
+	rs = run(t, db, `SELECT id % 0 FROM trial WHERE id = 1`)
+	if !rs.Rows[0][0].IsNull() {
+		t.Fatalf("mod zero: %v", rs.Rows[0][0].Go())
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	db := fixture(t)
+	bad := []string{
+		"SELECT ABS() FROM trial",
+		"SELECT ABS(1, 2) FROM trial",
+		"SELECT SQRT() FROM trial",
+		"SELECT ROUND() FROM trial",
+		"SELECT ROUND(1, 2, 3) FROM trial",
+		"SELECT UPPER() FROM trial",
+		"SELECT LOWER(1, 2) FROM trial",
+		"SELECT LENGTH() FROM trial",
+		"SELECT AVG(time, id) FROM trial",
+	}
+	for _, src := range bad {
+		if _, _, err := tryRun(db, src); err == nil {
+			t.Errorf("%s accepted", src)
+		}
+	}
+	// Aggregate in WHERE is rejected.
+	if _, _, err := tryRun(db, "SELECT name FROM trial WHERE SUM(time) > 1"); err == nil {
+		t.Error("aggregate in WHERE accepted")
+	}
+}
+
+func TestScalarFunctionVariants(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, `SELECT ABS(-2.5), ROUND(2.4), SQRT(LENGTH(version)),
+		COALESCE(version, 'none'), IFNULL(version, 'none')
+		FROM application WHERE id = 3`)
+	r := rs.Rows[0]
+	if r[0].AsFloat() != 2.5 {
+		t.Errorf("abs float: %v", r[0].Go())
+	}
+	if r[1].AsFloat() != 2.0 {
+		t.Errorf("round no digits: %v", r[1].Go())
+	}
+	if !r[2].IsNull() {
+		t.Errorf("sqrt(null): %v", r[2].Go())
+	}
+	if r[3].S != "none" || r[4].S != "none" {
+		t.Errorf("coalesce: %v %v", r[3].Go(), r[4].Go())
+	}
+	// CONCAT with NULL yields NULL; without, joins.
+	rs = run(t, db, `SELECT CONCAT(name, '-', version), CONCAT(name, version) FROM application WHERE id = 3`)
+	if !rs.Rows[0][0].IsNull() || !rs.Rows[0][1].IsNull() {
+		t.Errorf("concat null: %v", rs.Rows[0])
+	}
+	rs = run(t, db, `SELECT CONCAT(name, '/', version) FROM application WHERE id = 1`)
+	if rs.Rows[0][0].S != "sppm/1.0" {
+		t.Errorf("concat: %v", rs.Rows[0][0].Go())
+	}
+}
+
+func TestGroupByMixedTypesAndBooleans(t *testing.T) {
+	db := fixture(t)
+	// Group by a boolean expression — exercises keyOf over TBool.
+	rs := run(t, db, `SELECT node_count > 128, COUNT(*) FROM trial GROUP BY node_count > 128 ORDER BY 2`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("bool group: %v", rs.Rows)
+	}
+	// Group by a float expression and a string.
+	rs = run(t, db, `SELECT time / 2, name, COUNT(*) FROM trial GROUP BY time / 2, name`)
+	if len(rs.Rows) != 5 {
+		t.Fatalf("multi-key group: %v", rs.Rows)
+	}
+	// Group by a NULL-able column: NULLs form their own group.
+	run(t, db, "INSERT INTO trial (application, name, node_count, time) VALUES (1, 'nullnodes', NULL, 1.0)")
+	rs = run(t, db, `SELECT node_count, COUNT(*) FROM trial GROUP BY node_count ORDER BY node_count`)
+	if len(rs.Rows) != 4 { // NULL, 128, 256, 512
+		t.Fatalf("null group: %v", rs.Rows)
+	}
+	if !rs.Rows[0][0].IsNull() {
+		t.Fatalf("null group first: %v", rs.Rows[0])
+	}
+}
+
+func TestAggregatesInsideNestedExpressions(t *testing.T) {
+	db := fixture(t)
+	// collectAggs must find aggregates under unary/in/between/isnull nodes.
+	rs := run(t, db, `SELECT -(SUM(time)), SUM(time) + AVG(time),
+		COUNT(*) IN (5, 6), MAX(time) BETWEEN 1 AND 100, MIN(time) IS NULL
+		FROM trial`)
+	r := rs.Rows[0]
+	if r[0].AsFloat() >= 0 {
+		t.Errorf("negated sum: %v", r[0].Go())
+	}
+	if !r[2].AsBool() || !r[3].AsBool() || r[4].AsBool() {
+		t.Errorf("agg in predicates: %v", r)
+	}
+}

@@ -1,0 +1,188 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// The planner must never change results: any query answered via an index
+// (point, range, IN-union, composite) must return exactly the rows a full
+// scan returns. This property test builds two identical tables — one fully
+// indexed, one bare — and fires randomized predicates at both.
+
+func buildEquivDBs(t *testing.T, rng *rand.Rand, rows int) (*reldb.DB, *reldb.DB) {
+	t.Helper()
+	ddl := `CREATE TABLE t (
+		id BIGINT PRIMARY KEY AUTO_INCREMENT,
+		a BIGINT, b BIGINT, c DOUBLE, s VARCHAR)`
+	mk := func(indexed bool) *reldb.DB {
+		db := reldb.NewMemory()
+		st, err := sqlparse.Parse(ddl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Write(func(tx *reldb.Tx) error {
+			_, err := Exec(tx, st, nil)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if indexed {
+			for _, src := range []string{
+				"CREATE INDEX ix_a ON t (a)",
+				"CREATE INDEX ix_b ON t (b) USING btree",
+				"CREATE INDEX ix_ab ON t (a, b)",
+			} {
+				st, err := sqlparse.Parse(src)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := db.Write(func(tx *reldb.Tx) error {
+					_, err := Exec(tx, st, nil)
+					return err
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return db
+	}
+	indexed, bare := mk(true), mk(false)
+
+	ins, err := sqlparse.Parse("INSERT INTO t (a, b, c, s) VALUES (?, ?, ?, ?)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		params := []reldb.Value{
+			reldb.Int(int64(rng.Intn(10))),
+			reldb.Int(int64(rng.Intn(20))),
+			reldb.Float(rng.Float64() * 100),
+			reldb.Str(fmt.Sprintf("s%d", rng.Intn(6))),
+		}
+		// Occasional NULLs to exercise three-valued planning.
+		if rng.Intn(10) == 0 {
+			params[0] = reldb.Null
+		}
+		for _, db := range []*reldb.DB{indexed, bare} {
+			if err := db.Write(func(tx *reldb.Tx) error {
+				_, err := Exec(tx, ins, params)
+				return err
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return indexed, bare
+}
+
+// randPredicate builds a random conjunction over t's columns.
+func randPredicate(rng *rand.Rand) string {
+	atoms := []func() string{
+		func() string { return fmt.Sprintf("a = %d", rng.Intn(12)) },
+		func() string { return fmt.Sprintf("b = %d", rng.Intn(22)) },
+		func() string { return fmt.Sprintf("b >= %d", rng.Intn(22)) },
+		func() string { return fmt.Sprintf("b < %d", rng.Intn(22)) },
+		func() string { return fmt.Sprintf("b BETWEEN %d AND %d", rng.Intn(10), 10+rng.Intn(10)) },
+		func() string { return fmt.Sprintf("a IN (%d, %d, %d)", rng.Intn(12), rng.Intn(12), rng.Intn(12)) },
+		func() string { return fmt.Sprintf("id = %d", 1+rng.Intn(60)) },
+		func() string { return fmt.Sprintf("c > %g", rng.Float64()*100) },
+		func() string { return fmt.Sprintf("s = 's%d'", rng.Intn(7)) },
+		func() string { return "a IS NULL" },
+		func() string { return fmt.Sprintf("a = %d AND b = %d", rng.Intn(12), rng.Intn(22)) },
+		func() string { return "a IN (SELECT a FROM t WHERE b < 5)" },
+	}
+	n := 1 + rng.Intn(3)
+	out := ""
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			out += " AND "
+		}
+		out += atoms[rng.Intn(len(atoms))]()
+	}
+	return out
+}
+
+func queryIDs(t *testing.T, db *reldb.DB, src string) []int64 {
+	t.Helper()
+	st, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	var ids []int64
+	err = db.Read(func(tx *reldb.Tx) error {
+		rs, err := Query(tx, st.(*sqlparse.Select), nil)
+		if err != nil {
+			return err
+		}
+		for _, row := range rs.Rows {
+			ids = append(ids, row[0].AsInt())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func TestPlannerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2005))
+	indexed, bare := buildEquivDBs(t, rng, 60)
+	for i := 0; i < 400; i++ {
+		src := "SELECT id FROM t WHERE " + randPredicate(rng)
+		a := queryIDs(t, indexed, src)
+		b := queryIDs(t, bare, src)
+		if len(a) != len(b) {
+			t.Fatalf("query %q: indexed %d rows, bare %d rows", src, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query %q: id sets differ at %d: %v vs %v", src, j, a, b)
+			}
+		}
+	}
+}
+
+// The same equivalence must hold for DELETE: both databases end with the
+// same surviving rows.
+func TestPlannerEquivalenceDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	indexed, bare := buildEquivDBs(t, rng, 50)
+	for i := 0; i < 20; i++ {
+		pred := randPredicate(rng)
+		del := "DELETE FROM t WHERE " + pred
+		st, err := sqlparse.Parse(del)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var nA, nB int64
+		for _, pair := range []struct {
+			db *reldb.DB
+			n  *int64
+		}{{indexed, &nA}, {bare, &nB}} {
+			err := pair.db.Write(func(tx *reldb.Tx) error {
+				res, err := Exec(tx, st, nil)
+				*pair.n = res.RowsAffected
+				return err
+			})
+			if err != nil {
+				t.Fatalf("%s: %v", del, err)
+			}
+		}
+		if nA != nB {
+			t.Fatalf("%q deleted %d (indexed) vs %d (bare)", del, nA, nB)
+		}
+		a := queryIDs(t, indexed, "SELECT id FROM t WHERE id > 0")
+		b := queryIDs(t, bare, "SELECT id FROM t WHERE id > 0")
+		if len(a) != len(b) {
+			t.Fatalf("survivors differ after %q: %d vs %d", del, len(a), len(b))
+		}
+	}
+}

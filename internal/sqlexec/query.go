@@ -1,0 +1,722 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// Query executes a SELECT inside tx and materializes the result.
+func Query(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value) (*ResultSet, error) {
+	q := &query{tx: tx, st: st, params: params, cols: newColmap()}
+	return q.run()
+}
+
+type query struct {
+	tx     *reldb.Tx
+	st     *sqlparse.Select
+	params []reldb.Value
+	cols   *colmap
+	fields []field // ordered bound columns, for SELECT *
+}
+
+type field struct {
+	alias string // binding alias (lower-cased)
+	name  string // column name as declared
+	pos   int
+}
+
+// bind registers a table reference's columns. For derived tables it runs
+// the subquery, materializes the rows, and binds the result columns; the
+// materialized rows are returned (nil for base tables).
+func (q *query) bind(tr sqlparse.TableRef) ([]reldb.Row, error) {
+	alias := aliasOr(tr.Alias, tr.Table)
+	base := q.cols.width
+	if tr.Sub != nil {
+		rs, err := Query(q.tx, tr.Sub, q.params)
+		if err != nil {
+			return nil, err
+		}
+		q.cols.bindNames(alias, rs.Cols)
+		for i, c := range rs.Cols {
+			q.fields = append(q.fields, field{alias: strings.ToLower(alias), name: c, pos: base + i})
+		}
+		rows := make([]reldb.Row, len(rs.Rows))
+		for i, r := range rs.Rows {
+			rows[i] = reldb.Row(r)
+		}
+		return rows, nil
+	}
+	tbl, err := q.tx.Table(tr.Table)
+	if err != nil {
+		return nil, err
+	}
+	q.cols.bind(alias, tr.Table, tbl.Schema())
+	for i, c := range tbl.Schema().Columns {
+		q.fields = append(q.fields, field{alias: strings.ToLower(alias), name: c.Name, pos: base + i})
+	}
+	return nil, nil
+}
+
+func (q *query) run() (*ResultSet, error) {
+	st := q.st
+	derived, err := q.bind(st.From)
+	if err != nil {
+		return nil, err
+	}
+	var rows []reldb.Row
+	if st.From.Sub != nil {
+		rows = derived
+	} else {
+		// Base rows, using an index when the WHERE clause admits one. Index
+		// selection is only safe for predicates on the base table;
+		// predicates touching joined tables are re-checked by the full
+		// WHERE filter below, so over-selection is impossible — planAccess
+		// only narrows.
+		baseAlias := aliasOr(st.From.Alias, st.From.Table)
+		slots, scanned, err := planAccess(q.tx, st.From.Table, baseAlias, st.Where, q.params, len(st.Joins) > 0)
+		if err != nil {
+			return nil, err
+		}
+		if scanned {
+			q.tx.Scan(st.From.Table, func(_ int, row reldb.Row) bool { //nolint:errcheck // table verified by bind
+				rows = append(rows, row)
+				return true
+			})
+		} else {
+			for _, slot := range slots {
+				if row := q.tx.Row(st.From.Table, slot); row != nil {
+					rows = append(rows, row)
+				}
+			}
+		}
+	}
+
+	// Joins.
+	for _, join := range st.Joins {
+		rows, err = q.execJoin(rows, join)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// WHERE.
+	if st.Where != nil {
+		ev := &env{cols: q.cols, params: q.params, tx: q.tx}
+		kept := rows[:0:0]
+		for _, row := range rows {
+			ev.row = row
+			v, err := eval(st.Where, ev)
+			if err != nil {
+				return nil, err
+			}
+			if truthy(v) {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+
+	items, colNames, err := q.expandItems()
+	if err != nil {
+		return nil, err
+	}
+	orderExprs, err := q.resolveOrderBy(items)
+	if err != nil {
+		return nil, err
+	}
+
+	var out [][]reldb.Value
+	var sortKeys [][]reldb.Value
+	if q.isAggregate(items, orderExprs) {
+		out, sortKeys, err = q.aggregate(rows, items, orderExprs)
+	} else {
+		out, sortKeys, err = q.project(rows, items, orderExprs)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if st.Distinct {
+		out, sortKeys = distinct(out, sortKeys)
+	}
+	if len(st.OrderBy) > 0 {
+		out = orderRows(out, sortKeys, st.OrderBy)
+	}
+	if out, err = q.applyLimit(out); err != nil {
+		return nil, err
+	}
+	return &ResultSet{Cols: colNames, Rows: out}, nil
+}
+
+// execJoin joins the accumulated rows with one more table. When the ON
+// clause contains an equality between an already-bound column and a column
+// of the new table, a hash join is used; the complete ON expression is
+// still evaluated on each candidate pair.
+func (q *query) execJoin(rows []reldb.Row, join sqlparse.Join) ([]reldb.Row, error) {
+	leftWidth := q.cols.width
+	derived, err := q.bind(join.TableRef)
+	if err != nil {
+		return nil, err
+	}
+	rightWidth := q.cols.width - leftWidth
+
+	var rightRows []reldb.Row
+	if join.Sub != nil {
+		rightRows = derived
+	} else {
+		q.tx.Scan(join.Table, func(_ int, row reldb.Row) bool { //nolint:errcheck // table verified by bind
+			rightRows = append(rightRows, row)
+			return true
+		})
+	}
+
+	// Find a hashable equality: leftPos (in accumulated row) vs rightPos
+	// (in the new table's row).
+	leftPos, rightPos := -1, -1
+	if l, r, ok := findHashKey(q.cols, leftWidth, join.On); ok {
+		leftPos, rightPos = l, r
+	}
+
+	ev := &env{cols: q.cols, params: q.params, tx: q.tx}
+	onMatch := func(l, r reldb.Row) (bool, error) {
+		if join.On == nil {
+			return true, nil
+		}
+		combined := make(reldb.Row, 0, leftWidth+rightWidth)
+		combined = append(combined, l...)
+		combined = append(combined, r...)
+		ev.row = combined
+		v, err := eval(join.On, ev)
+		if err != nil {
+			return false, err
+		}
+		return truthy(v), nil
+	}
+
+	var result []reldb.Row
+	emit := func(l, r reldb.Row) {
+		combined := make(reldb.Row, leftWidth+rightWidth)
+		copy(combined, l)
+		if r != nil {
+			copy(combined[leftWidth:], r)
+		}
+		result = append(result, combined)
+	}
+
+	if leftPos >= 0 {
+		// Hash join.
+		ht := make(map[reldb.Value][]reldb.Row, len(rightRows))
+		for _, r := range rightRows {
+			k := r[rightPos]
+			if k.IsNull() {
+				continue
+			}
+			ht[k] = append(ht[k], r)
+		}
+		for _, l := range rows {
+			matched := false
+			var key reldb.Value
+			if leftPos < len(l) {
+				key = l[leftPos]
+			}
+			if !key.IsNull() {
+				for _, r := range ht[key] {
+					ok, err := onMatch(l, r)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						matched = true
+						emit(l, r)
+					}
+				}
+			}
+			if !matched && join.Kind == sqlparse.LeftJoin {
+				emit(l, nil)
+			}
+		}
+		return result, nil
+	}
+
+	// Nested-loop join.
+	for _, l := range rows {
+		matched := false
+		for _, r := range rightRows {
+			ok, err := onMatch(l, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				matched = true
+				emit(l, r)
+			}
+		}
+		if !matched && join.Kind == sqlparse.LeftJoin {
+			emit(l, nil)
+		}
+	}
+	return result, nil
+}
+
+// expandItems replaces * items with explicit column references and derives
+// output column names.
+func (q *query) expandItems() ([]sqlparse.SelectItem, []string, error) {
+	var items []sqlparse.SelectItem
+	var names []string
+	for _, item := range q.st.Items {
+		if !item.Star {
+			items = append(items, item)
+			names = append(names, itemName(item))
+			continue
+		}
+		want := strings.ToLower(item.Table)
+		found := false
+		for _, f := range q.fields {
+			if want != "" && f.alias != want {
+				continue
+			}
+			found = true
+			items = append(items, sqlparse.SelectItem{
+				Expr: &sqlparse.ColRef{Table: f.alias, Name: f.name},
+			})
+			names = append(names, f.name)
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("sqlexec: %s.* matches no table", item.Table)
+		}
+	}
+	return items, names, nil
+}
+
+func itemName(item sqlparse.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *sqlparse.ColRef:
+		return e.Name
+	case *sqlparse.FuncCall:
+		return strings.ToLower(e.Name)
+	}
+	return "expr"
+}
+
+// resolveOrderBy rewrites ORDER BY terms that reference output aliases or
+// positions into the underlying item expressions.
+func (q *query) resolveOrderBy(items []sqlparse.SelectItem) ([]sqlparse.Expr, error) {
+	var out []sqlparse.Expr
+	for _, ob := range q.st.OrderBy {
+		e := ob.Expr
+		switch x := e.(type) {
+		case *sqlparse.Literal:
+			if x.Value.T == reldb.TInt {
+				n := int(x.Value.I)
+				if n < 1 || n > len(items) {
+					return nil, fmt.Errorf("sqlexec: ORDER BY position %d out of range", n)
+				}
+				e = items[n-1].Expr
+			}
+		case *sqlparse.ColRef:
+			if x.Table == "" {
+				for _, item := range items {
+					if item.Alias != "" && strings.EqualFold(item.Alias, x.Name) {
+						e = item.Expr
+						break
+					}
+				}
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// isAggregate reports whether the query needs the grouped path.
+func (q *query) isAggregate(items []sqlparse.SelectItem, orderExprs []sqlparse.Expr) bool {
+	if len(q.st.GroupBy) > 0 || q.st.Having != nil {
+		return true
+	}
+	for _, item := range items {
+		if len(collectAggs(item.Expr)) > 0 {
+			return true
+		}
+	}
+	for _, e := range orderExprs {
+		if len(collectAggs(e)) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAggs returns the aggregate FuncCall nodes in an expression.
+func collectAggs(e sqlparse.Expr) []*sqlparse.FuncCall {
+	var out []*sqlparse.FuncCall
+	var walk func(e sqlparse.Expr)
+	walk = func(e sqlparse.Expr) {
+		switch e := e.(type) {
+		case *sqlparse.FuncCall:
+			if isAggName(e.Name) {
+				out = append(out, e)
+				return // aggregates cannot nest
+			}
+			for _, a := range e.Args {
+				walk(a)
+			}
+		case *sqlparse.Binary:
+			walk(e.L)
+			walk(e.R)
+		case *sqlparse.Unary:
+			walk(e.X)
+		case *sqlparse.InList:
+			walk(e.X)
+			for _, x := range e.List {
+				walk(x)
+			}
+		case *sqlparse.IsNull:
+			walk(e.X)
+		case *sqlparse.Between:
+			walk(e.X)
+			walk(e.Lo)
+			walk(e.Hi)
+		}
+	}
+	if e != nil {
+		walk(e)
+	}
+	return out
+}
+
+func isAggName(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "STDDEV":
+		return true
+	}
+	return false
+}
+
+// keyOf builds a collision-free string key for a value tuple.
+func keyOf(vals []reldb.Value) string {
+	var b strings.Builder
+	for _, v := range vals {
+		b.WriteByte(byte(v.T) + '0')
+		switch v.T {
+		case reldb.TInt, reldb.TBool, reldb.TTime:
+			b.WriteString(strconv.FormatInt(v.I, 36))
+		case reldb.TFloat:
+			b.WriteString(strconv.FormatUint(math.Float64bits(v.F), 36))
+		case reldb.TString, reldb.TBytes:
+			b.WriteString(strconv.Itoa(len(v.S)))
+			b.WriteByte(':')
+			b.WriteString(v.S)
+		}
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// project evaluates items per row (the non-aggregate path), also computing
+// the ORDER BY sort keys.
+func (q *query) project(rows []reldb.Row, items []sqlparse.SelectItem, orderExprs []sqlparse.Expr) ([][]reldb.Value, [][]reldb.Value, error) {
+	ev := &env{cols: q.cols, params: q.params, tx: q.tx}
+	out := make([][]reldb.Value, 0, len(rows))
+	var keys [][]reldb.Value
+	if len(orderExprs) > 0 {
+		keys = make([][]reldb.Value, 0, len(rows))
+	}
+	for _, row := range rows {
+		ev.row = row
+		rec := make([]reldb.Value, len(items))
+		for i, item := range items {
+			v, err := eval(item.Expr, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			rec[i] = v
+		}
+		out = append(out, rec)
+		if keys != nil {
+			k := make([]reldb.Value, len(orderExprs))
+			for i, e := range orderExprs {
+				v, err := eval(e, ev)
+				if err != nil {
+					return nil, nil, err
+				}
+				k[i] = v
+			}
+			keys = append(keys, k)
+		}
+	}
+	return out, keys, nil
+}
+
+// aggregate groups rows and evaluates aggregate items per group.
+func (q *query) aggregate(rows []reldb.Row, items []sqlparse.SelectItem, orderExprs []sqlparse.Expr) ([][]reldb.Value, [][]reldb.Value, error) {
+	st := q.st
+	ev := &env{cols: q.cols, params: q.params, tx: q.tx}
+
+	type group struct {
+		rows []reldb.Row
+	}
+	groups := make(map[string]*group)
+	var order []string
+	if len(st.GroupBy) == 0 {
+		// A single global group, present even with zero input rows.
+		groups[""] = &group{}
+		order = append(order, "")
+	}
+	for _, row := range rows {
+		key := ""
+		if len(st.GroupBy) > 0 {
+			ev.row = row
+			kv := make([]reldb.Value, len(st.GroupBy))
+			for i, e := range st.GroupBy {
+				v, err := eval(e, ev)
+				if err != nil {
+					return nil, nil, err
+				}
+				kv[i] = v
+			}
+			key = keyOf(kv)
+		}
+		g := groups[key]
+		if g == nil {
+			g = &group{}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.rows = append(g.rows, row)
+	}
+
+	// Aggregate nodes referenced anywhere in the output, HAVING or ORDER BY.
+	var aggNodes []*sqlparse.FuncCall
+	for _, item := range items {
+		aggNodes = append(aggNodes, collectAggs(item.Expr)...)
+	}
+	aggNodes = append(aggNodes, collectAggs(st.Having)...)
+	for _, e := range orderExprs {
+		aggNodes = append(aggNodes, collectAggs(e)...)
+	}
+
+	var out [][]reldb.Value
+	var keys [][]reldb.Value
+	for _, gk := range order {
+		g := groups[gk]
+		aggVals := make(map[*sqlparse.FuncCall]reldb.Value, len(aggNodes))
+		for _, node := range aggNodes {
+			v, err := computeAgg(node, g.rows, q.cols, q.params, q.tx)
+			if err != nil {
+				return nil, nil, err
+			}
+			aggVals[node] = v
+		}
+		gev := &env{cols: q.cols, params: q.params, agg: aggVals, tx: q.tx}
+		if len(g.rows) > 0 {
+			gev.row = g.rows[0]
+		} else {
+			gev.row = make(reldb.Row, q.cols.width)
+		}
+		if st.Having != nil {
+			v, err := eval(st.Having, gev)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		rec := make([]reldb.Value, len(items))
+		for i, item := range items {
+			v, err := eval(item.Expr, gev)
+			if err != nil {
+				return nil, nil, err
+			}
+			rec[i] = v
+		}
+		out = append(out, rec)
+		if len(orderExprs) > 0 {
+			k := make([]reldb.Value, len(orderExprs))
+			for i, e := range orderExprs {
+				v, err := eval(e, gev)
+				if err != nil {
+					return nil, nil, err
+				}
+				k[i] = v
+			}
+			keys = append(keys, k)
+		}
+	}
+	return out, keys, nil
+}
+
+// computeAgg evaluates one aggregate over a group's rows.
+func computeAgg(node *sqlparse.FuncCall, rows []reldb.Row, cols *colmap, params []reldb.Value, tx *reldb.Tx) (reldb.Value, error) {
+	ev := &env{cols: cols, params: params, tx: tx}
+	if node.Star {
+		if node.Name != "COUNT" {
+			return reldb.Null, fmt.Errorf("sqlexec: %s(*) is not valid", node.Name)
+		}
+		return reldb.Int(int64(len(rows))), nil
+	}
+	if len(node.Args) != 1 {
+		return reldb.Null, fmt.Errorf("sqlexec: %s expects one argument", node.Name)
+	}
+	var (
+		count   int64
+		sum     float64
+		sumSq   float64
+		min, mx reldb.Value
+		seen    map[string]bool
+		allInt  = true
+	)
+	if node.Distinct {
+		seen = make(map[string]bool)
+	}
+	for _, row := range rows {
+		ev.row = row
+		v, err := eval(node.Args[0], ev)
+		if err != nil {
+			return reldb.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if node.Distinct {
+			k := keyOf([]reldb.Value{v})
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+		}
+		count++
+		f := v.AsFloat()
+		sum += f
+		sumSq += f * f
+		if v.T != reldb.TInt {
+			allInt = false
+		}
+		if min.IsNull() || reldb.Compare(v, min) < 0 {
+			min = v
+		}
+		if mx.IsNull() || reldb.Compare(v, mx) > 0 {
+			mx = v
+		}
+	}
+	switch node.Name {
+	case "COUNT":
+		return reldb.Int(count), nil
+	case "SUM":
+		if count == 0 {
+			return reldb.Null, nil
+		}
+		if allInt {
+			return reldb.Int(int64(sum)), nil
+		}
+		return reldb.Float(sum), nil
+	case "AVG":
+		if count == 0 {
+			return reldb.Null, nil
+		}
+		return reldb.Float(sum / float64(count)), nil
+	case "MIN":
+		return min, nil
+	case "MAX":
+		return mx, nil
+	case "STDDEV":
+		// Population standard deviation, matching the common DBMS default.
+		if count == 0 {
+			return reldb.Null, nil
+		}
+		n := float64(count)
+		variance := sumSq/n - (sum/n)*(sum/n)
+		if variance < 0 {
+			variance = 0 // guard against rounding
+		}
+		return reldb.Float(math.Sqrt(variance)), nil
+	}
+	return reldb.Null, fmt.Errorf("sqlexec: unknown aggregate %s", node.Name)
+}
+
+func distinct(rows, keys [][]reldb.Value) ([][]reldb.Value, [][]reldb.Value) {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0:0]
+	var outKeys [][]reldb.Value
+	for i, r := range rows {
+		k := keyOf(r)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+		if keys != nil {
+			outKeys = append(outKeys, keys[i])
+		}
+	}
+	return out, outKeys
+}
+
+func orderRows(rows, keys [][]reldb.Value, spec []sqlparse.OrderItem) [][]reldb.Value {
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ka, kb := keys[idx[a]], keys[idx[b]]
+		for i := range spec {
+			c := reldb.Compare(ka[i], kb[i])
+			if c == 0 {
+				continue
+			}
+			if spec[i].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	out := make([][]reldb.Value, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out
+}
+
+func (q *query) applyLimit(rows [][]reldb.Value) ([][]reldb.Value, error) {
+	st := q.st
+	ev := &env{cols: newColmap(), params: q.params, tx: q.tx}
+	if st.Offset != nil {
+		v, err := eval(st.Offset, ev)
+		if err != nil {
+			return nil, err
+		}
+		off := int(v.AsInt())
+		if off < 0 {
+			return nil, fmt.Errorf("sqlexec: negative OFFSET")
+		}
+		if off >= len(rows) {
+			rows = nil
+		} else {
+			rows = rows[off:]
+		}
+	}
+	if st.Limit != nil {
+		v, err := eval(st.Limit, ev)
+		if err != nil {
+			return nil, err
+		}
+		n := int(v.AsInt())
+		if n < 0 {
+			return nil, fmt.Errorf("sqlexec: negative LIMIT")
+		}
+		if n < len(rows) {
+			rows = rows[:n]
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,463 @@
+package sqlexec
+
+import (
+	"strings"
+	"testing"
+
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// run executes a statement (any kind) against db, returning a result set
+// for SELECTs and nil otherwise.
+func run(t *testing.T, db *reldb.DB, src string, params ...any) *ResultSet {
+	t.Helper()
+	rs, _, err := tryRun(db, src, params...)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	return rs
+}
+
+func tryRun(db *reldb.DB, src string, params ...any) (*ResultSet, Result, error) {
+	st, err := sqlparse.Parse(src)
+	if err != nil {
+		return nil, Result{}, err
+	}
+	vals := make([]reldb.Value, len(params))
+	for i, p := range params {
+		vals[i] = reldb.FromGo(p)
+	}
+	if sel, ok := st.(*sqlparse.Select); ok {
+		var rs *ResultSet
+		err := db.Read(func(tx *reldb.Tx) error {
+			var err error
+			rs, err = Query(tx, sel, vals)
+			return err
+		})
+		return rs, Result{}, err
+	}
+	var res Result
+	err = db.Write(func(tx *reldb.Tx) error {
+		var err error
+		res, err = Exec(tx, st, vals)
+		return err
+	})
+	return nil, res, err
+}
+
+// fixture builds the miniature PerfDMF-shaped database used by the tests.
+func fixture(t *testing.T) *reldb.DB {
+	t.Helper()
+	db := reldb.NewMemory()
+	stmts := []string{
+		`CREATE TABLE application (
+			id BIGINT PRIMARY KEY AUTO_INCREMENT,
+			name VARCHAR NOT NULL,
+			version VARCHAR)`,
+		`CREATE TABLE trial (
+			id BIGINT PRIMARY KEY AUTO_INCREMENT,
+			application BIGINT NOT NULL REFERENCES application(id),
+			name VARCHAR,
+			node_count BIGINT,
+			time DOUBLE)`,
+		`INSERT INTO application (name, version) VALUES
+			('sppm', '1.0'), ('smg2000', '2.1'), ('sphot', NULL)`,
+		`INSERT INTO trial (application, name, node_count, time) VALUES
+			(1, 'run-a', 128, 10.5),
+			(1, 'run-b', 256, 6.25),
+			(1, 'run-c', 512, 4.0),
+			(2, 'run-d', 128, 30.0),
+			(2, 'run-e', 256, 18.0)`,
+	}
+	for _, s := range stmts {
+		run(t, db, s)
+	}
+	return db
+}
+
+func TestSelectAll(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT * FROM application")
+	if len(rs.Cols) != 3 || rs.Cols[0] != "id" {
+		t.Fatalf("cols: %v", rs.Cols)
+	}
+	if len(rs.Rows) != 3 {
+		t.Fatalf("rows: %d", len(rs.Rows))
+	}
+}
+
+func TestSelectWhereParams(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT name FROM trial WHERE node_count = ? ORDER BY name", 128)
+	if len(rs.Rows) != 2 || rs.Rows[0][0].S != "run-a" || rs.Rows[1][0].S != "run-d" {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+}
+
+func TestSelectExpressionsAndAliases(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT name, time / node_count AS per_node FROM trial WHERE id = 1")
+	if rs.Cols[1] != "per_node" {
+		t.Fatalf("cols: %v", rs.Cols)
+	}
+	if got := rs.Rows[0][1].AsFloat(); got != 10.5/128 {
+		t.Fatalf("per_node = %v", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, `
+		SELECT a.name, t.name, t.time
+		FROM application a
+		JOIN trial t ON t.application = a.id
+		WHERE a.name = 'sppm'
+		ORDER BY t.time`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+	if rs.Rows[0][2].AsFloat() != 4.0 || rs.Rows[0][0].S != "sppm" {
+		t.Fatalf("row0: %v", rs.Rows[0])
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, `
+		SELECT a.name, t.id
+		FROM application a
+		LEFT JOIN trial t ON t.application = a.id
+		WHERE t.id IS NULL`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "sphot" {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+}
+
+func TestJoinNestedLoopFallback(t *testing.T) {
+	db := fixture(t)
+	// Non-equality ON forces the nested-loop path.
+	rs := run(t, db, `
+		SELECT a.name, t.name
+		FROM application a
+		JOIN trial t ON t.application < a.id
+		WHERE a.name = 'smg2000'`)
+	// trials with application(=1) < 2: the three sppm trials.
+	if len(rs.Rows) != 3 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+}
+
+func TestGroupByAggregates(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, `
+		SELECT application, COUNT(*) AS n, AVG(time) avg_t, MIN(time), MAX(time),
+		       SUM(node_count), STDDEV(time)
+		FROM trial
+		GROUP BY application
+		ORDER BY application`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("groups: %v", rs.Rows)
+	}
+	g1 := rs.Rows[0]
+	if g1[1].AsInt() != 3 {
+		t.Errorf("count = %v", g1[1].Go())
+	}
+	wantAvg := (10.5 + 6.25 + 4.0) / 3
+	if got := g1[2].AsFloat(); got < wantAvg-1e-9 || got > wantAvg+1e-9 {
+		t.Errorf("avg = %v want %v", got, wantAvg)
+	}
+	if g1[3].AsFloat() != 4.0 || g1[4].AsFloat() != 10.5 {
+		t.Errorf("min/max = %v/%v", g1[3].Go(), g1[4].Go())
+	}
+	if g1[5].AsInt() != 128+256+512 {
+		t.Errorf("sum = %v", g1[5].Go())
+	}
+	if g1[6].AsFloat() <= 0 {
+		t.Errorf("stddev = %v", g1[6].Go())
+	}
+}
+
+func TestHaving(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, `
+		SELECT application, COUNT(*) n FROM trial
+		GROUP BY application HAVING COUNT(*) > 2`)
+	if len(rs.Rows) != 1 || rs.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+}
+
+func TestGlobalAggregateOnEmptyInput(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT COUNT(*), SUM(time), MIN(time) FROM trial WHERE id > 100")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+	if rs.Rows[0][0].AsInt() != 0 {
+		t.Errorf("count = %v", rs.Rows[0][0].Go())
+	}
+	if !rs.Rows[0][1].IsNull() || !rs.Rows[0][2].IsNull() {
+		t.Errorf("sum/min on empty = %v/%v", rs.Rows[0][1].Go(), rs.Rows[0][2].Go())
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT COUNT(DISTINCT node_count) FROM trial")
+	if rs.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("distinct count = %v", rs.Rows[0][0].Go())
+	}
+}
+
+func TestDistinctRows(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT DISTINCT node_count FROM trial ORDER BY node_count")
+	if len(rs.Rows) != 3 || rs.Rows[0][0].AsInt() != 128 || rs.Rows[2][0].AsInt() != 512 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+}
+
+func TestOrderByForms(t *testing.T) {
+	db := fixture(t)
+	// Desc, positional, alias.
+	rs := run(t, db, "SELECT name, time t FROM trial ORDER BY 2 DESC")
+	if rs.Rows[0][0].S != "run-d" {
+		t.Fatalf("positional desc: %v", rs.Rows)
+	}
+	rs = run(t, db, "SELECT name, time t FROM trial ORDER BY t")
+	if rs.Rows[0][0].S != "run-c" {
+		t.Fatalf("alias asc: %v", rs.Rows)
+	}
+	// Multi-key with tie on the first key.
+	rs = run(t, db, "SELECT name FROM trial ORDER BY node_count, name DESC")
+	if rs.Rows[0][0].S != "run-d" || rs.Rows[1][0].S != "run-a" {
+		t.Fatalf("multi-key: %v", rs.Rows)
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT id FROM trial ORDER BY id LIMIT 2 OFFSET 1")
+	if len(rs.Rows) != 2 || rs.Rows[0][0].AsInt() != 2 || rs.Rows[1][0].AsInt() != 3 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+	rs = run(t, db, "SELECT id FROM trial ORDER BY id LIMIT 0")
+	if len(rs.Rows) != 0 {
+		t.Fatalf("limit 0: %v", rs.Rows)
+	}
+	rs = run(t, db, "SELECT id FROM trial OFFSET 99")
+	if len(rs.Rows) != 0 {
+		t.Fatalf("big offset: %v", rs.Rows)
+	}
+}
+
+func TestUpdateDeleteSQL(t *testing.T) {
+	db := fixture(t)
+	_, res, err := tryRun(db, "UPDATE trial SET time = time * 2 WHERE application = 1")
+	if err != nil || res.RowsAffected != 3 {
+		t.Fatalf("update: %v %v", res, err)
+	}
+	rs := run(t, db, "SELECT time FROM trial WHERE name = 'run-a'")
+	if rs.Rows[0][0].AsFloat() != 21.0 {
+		t.Fatalf("after update: %v", rs.Rows)
+	}
+	_, res, err = tryRun(db, "DELETE FROM trial WHERE node_count = 128")
+	if err != nil || res.RowsAffected != 2 {
+		t.Fatalf("delete: %v %v", res, err)
+	}
+	rs = run(t, db, "SELECT COUNT(*) FROM trial")
+	if rs.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("count after delete: %v", rs.Rows)
+	}
+}
+
+func TestInsertResult(t *testing.T) {
+	db := fixture(t)
+	_, res, err := tryRun(db, "INSERT INTO application (name) VALUES ('new1'), ('new2')")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 2 || res.LastInsertID != 5 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+func TestLikeAndScalarFuncs(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT name FROM trial WHERE name LIKE 'run-_' AND name NOT LIKE '%d'")
+	if len(rs.Rows) != 4 {
+		t.Fatalf("like rows: %v", rs.Rows)
+	}
+	rs = run(t, db, "SELECT UPPER(name), LENGTH(name), ABS(-3), SQRT(16.0), ROUND(2.567, 2), COALESCE(NULL, 'x') FROM application WHERE id = 1")
+	r := rs.Rows[0]
+	if r[0].S != "SPPM" || r[1].AsInt() != 4 || r[2].AsInt() != 3 ||
+		r[3].AsFloat() != 4.0 || r[4].AsFloat() != 2.57 || r[5].S != "x" {
+		t.Fatalf("scalars: %v", r)
+	}
+	rs = run(t, db, "SELECT name || '-v' || version FROM application WHERE id = 1")
+	if rs.Rows[0][0].S != "sppm-v1.0" {
+		t.Fatalf("concat: %v", rs.Rows[0][0].Go())
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	db := fixture(t)
+	// version IS NULL for sphot; comparisons with NULL are unknown.
+	rs := run(t, db, "SELECT name FROM application WHERE version = version")
+	if len(rs.Rows) != 2 {
+		t.Fatalf("null equality: %v", rs.Rows)
+	}
+	rs = run(t, db, "SELECT name FROM application WHERE version IS NULL")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "sphot" {
+		t.Fatalf("is null: %v", rs.Rows)
+	}
+	rs = run(t, db, "SELECT name FROM application WHERE NOT (version = '1.0')")
+	// NULL version row must not appear: NOT UNKNOWN = UNKNOWN.
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "smg2000" {
+		t.Fatalf("not with null: %v", rs.Rows)
+	}
+	// x / 0 yields NULL rather than an error.
+	rs = run(t, db, "SELECT 1 / 0 FROM application WHERE id = 1")
+	if !rs.Rows[0][0].IsNull() {
+		t.Fatalf("div by zero: %v", rs.Rows[0][0].Go())
+	}
+}
+
+func TestInBetween(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT COUNT(*) FROM trial WHERE node_count IN (128, 512)")
+	if rs.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("in: %v", rs.Rows)
+	}
+	rs = run(t, db, "SELECT COUNT(*) FROM trial WHERE time BETWEEN 5 AND 20")
+	if rs.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("between: %v", rs.Rows)
+	}
+	rs = run(t, db, "SELECT COUNT(*) FROM trial WHERE node_count NOT IN (128)")
+	if rs.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("not in: %v", rs.Rows)
+	}
+}
+
+func TestIndexAssistedQuery(t *testing.T) {
+	db := fixture(t)
+	run(t, db, "CREATE INDEX ix_nodes ON trial (node_count) USING btree")
+	// Equality via the new index.
+	rs := run(t, db, "SELECT COUNT(*) FROM trial WHERE node_count = 256")
+	if rs.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("eq: %v", rs.Rows)
+	}
+	// Range via the ordered index.
+	rs = run(t, db, "SELECT name FROM trial WHERE node_count >= 256 ORDER BY name")
+	if len(rs.Rows) != 3 {
+		t.Fatalf("range: %v", rs.Rows)
+	}
+	// PK index used for point queries.
+	rs = run(t, db, "SELECT name FROM trial WHERE id = 4")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "run-d" {
+		t.Fatalf("pk point: %v", rs.Rows)
+	}
+	// Index plus residual predicate.
+	rs = run(t, db, "SELECT name FROM trial WHERE node_count = 128 AND time > 20")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].S != "run-d" {
+		t.Fatalf("residual: %v", rs.Rows)
+	}
+}
+
+func TestIndexNotMisusedAcrossJoin(t *testing.T) {
+	db := fixture(t)
+	// "name" is ambiguous across application and trial; with a join present
+	// the planner must not use an index for the unqualified predicate.
+	run(t, db, "CREATE INDEX ix_aname ON application (name)")
+	rs := run(t, db, `
+		SELECT t.name FROM application a
+		JOIN trial t ON t.application = a.id
+		WHERE a.name = 'sppm'`)
+	if len(rs.Rows) != 3 {
+		t.Fatalf("qualified: %v", rs.Rows)
+	}
+}
+
+func TestDDLviaSQL(t *testing.T) {
+	db := reldb.NewMemory()
+	run(t, db, "CREATE TABLE t (id BIGINT PRIMARY KEY AUTO_INCREMENT, a VARCHAR)")
+	run(t, db, "CREATE TABLE IF NOT EXISTS t (id BIGINT PRIMARY KEY)")
+	run(t, db, "ALTER TABLE t ADD COLUMN b DOUBLE DEFAULT 1.5")
+	run(t, db, "INSERT INTO t (a) VALUES ('x')")
+	rs := run(t, db, "SELECT b FROM t")
+	if rs.Rows[0][0].AsFloat() != 1.5 {
+		t.Fatalf("default: %v", rs.Rows)
+	}
+	run(t, db, "ALTER TABLE t DROP COLUMN a")
+	rs = run(t, db, "SELECT * FROM t")
+	if len(rs.Cols) != 2 {
+		t.Fatalf("cols after drop: %v", rs.Cols)
+	}
+	run(t, db, "DROP TABLE t")
+	run(t, db, "DROP TABLE IF EXISTS t")
+	if _, _, err := tryRun(db, "DROP TABLE t"); err == nil {
+		t.Fatal("dropping a missing table should fail")
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	db := fixture(t)
+	bad := []string{
+		"SELECT nosuch FROM trial",
+		"SELECT * FROM nosuch",
+		"SELECT name FROM application a JOIN trial t ON t.application = a.id WHERE id = 1", // ambiguous id
+		"INSERT INTO trial (nosuch) VALUES (1)",
+		"INSERT INTO trial (id, name) VALUES (1)",
+		"SELECT SUM(*) FROM trial",
+		"SELECT NOSUCHFUNC(1) FROM trial",
+		"SELECT name FROM trial ORDER BY 17",
+		"SELECT name FROM trial LIMIT -1",
+		"UPDATE trial SET nosuch = 1",
+	}
+	for _, src := range bad {
+		if _, _, err := tryRun(db, src); err == nil {
+			t.Errorf("%s: expected error", src)
+		}
+	}
+	// Missing parameter.
+	if _, _, err := tryRun(db, "SELECT * FROM trial WHERE id = ?"); err == nil ||
+		!strings.Contains(err.Error(), "parameter") {
+		t.Errorf("missing param: %v", err)
+	}
+}
+
+func TestLikeMatcher(t *testing.T) {
+	cases := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"%", "", true},
+		{"%", "anything", true},
+		{"MPI%", "MPI_Send", true},
+		{"MPI%", "PMPI_Send", false},
+		{"%Send", "MPI_Send", true},
+		{"%Recv%", "MPI_Irecv", false},
+		{"MPI__end", "MPI_Send", true},
+		{"_", "", false},
+		{"_", "a", true},
+		{"a%b%c", "axxbyyc", true},
+		{"a%b%c", "axxbyy", false},
+		{"", "", true},
+		{"", "x", false},
+		{"%%x", "x", true},
+	}
+	for _, c := range cases {
+		if got := likeMatch(c.pattern, c.s); got != c.want {
+			t.Errorf("likeMatch(%q, %q) = %v", c.pattern, c.s, got)
+		}
+	}
+}
+
+func TestQualifiedStar(t *testing.T) {
+	db := fixture(t)
+	rs := run(t, db, "SELECT t.* FROM application a JOIN trial t ON t.application = a.id WHERE a.id = 2")
+	if len(rs.Cols) != 5 || len(rs.Rows) != 2 {
+		t.Fatalf("t.*: cols=%v rows=%d", rs.Cols, len(rs.Rows))
+	}
+}

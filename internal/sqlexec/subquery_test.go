@@ -1,0 +1,167 @@
+package sqlexec
+
+import (
+	"strings"
+	"testing"
+
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+func TestInSubquery(t *testing.T) {
+	db := fixture(t)
+	// Trials of applications whose name starts with 's' and has version set.
+	rs := run(t, db, `
+		SELECT name FROM trial
+		WHERE application IN (SELECT id FROM application WHERE version IS NOT NULL)
+		ORDER BY name`)
+	if len(rs.Rows) != 5 {
+		t.Fatalf("rows: %v", rs.Rows)
+	}
+	rs = run(t, db, `
+		SELECT name FROM trial
+		WHERE application NOT IN (SELECT id FROM application WHERE name = 'sppm')`)
+	if len(rs.Rows) != 2 {
+		t.Fatalf("not in: %v", rs.Rows)
+	}
+	// Empty subquery result: IN → no rows, NOT IN → all rows.
+	rs = run(t, db, `
+		SELECT COUNT(*) FROM trial
+		WHERE application IN (SELECT id FROM application WHERE name = 'nosuch')`)
+	if rs.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("in empty: %v", rs.Rows)
+	}
+	rs = run(t, db, `
+		SELECT COUNT(*) FROM trial
+		WHERE application NOT IN (SELECT id FROM application WHERE name = 'nosuch')`)
+	if rs.Rows[0][0].AsInt() != 5 {
+		t.Fatalf("not in empty: %v", rs.Rows)
+	}
+}
+
+func TestScalarSubquery(t *testing.T) {
+	db := fixture(t)
+	// Trials slower than the average.
+	rs := run(t, db, `
+		SELECT name FROM trial
+		WHERE time > (SELECT AVG(time) FROM trial)
+		ORDER BY time DESC`)
+	if len(rs.Rows) != 2 || rs.Rows[0][0].S != "run-d" {
+		t.Fatalf("above average: %v", rs.Rows)
+	}
+	// Scalar subquery as a projected expression.
+	rs = run(t, db, `SELECT name, time - (SELECT MIN(time) FROM trial) FROM trial WHERE id = 1`)
+	if rs.Rows[0][1].AsFloat() != 10.5-4.0 {
+		t.Fatalf("projection: %v", rs.Rows)
+	}
+	// Empty scalar subquery yields NULL.
+	rs = run(t, db, `SELECT (SELECT time FROM trial WHERE id = 99) FROM application WHERE id = 1`)
+	if !rs.Rows[0][0].IsNull() {
+		t.Fatalf("empty scalar: %v", rs.Rows[0][0].Go())
+	}
+}
+
+func TestSubqueryInDML(t *testing.T) {
+	db := fixture(t)
+	// DELETE with IN subquery (the DeleteTrial pattern).
+	_, res, err := tryRun(db, `
+		DELETE FROM trial
+		WHERE application IN (SELECT id FROM application WHERE name = 'sppm')`)
+	if err != nil || res.RowsAffected != 3 {
+		t.Fatalf("delete: %v %v", res, err)
+	}
+	// UPDATE with scalar subquery.
+	_, res, err = tryRun(db, `
+		UPDATE trial SET time = (SELECT MAX(time) FROM trial) WHERE id = 4`)
+	if err != nil || res.RowsAffected != 1 {
+		t.Fatalf("update: %v %v", res, err)
+	}
+	rs := run(t, db, "SELECT time FROM trial WHERE id = 4")
+	if rs.Rows[0][0].AsFloat() != 30.0 {
+		t.Fatalf("updated value: %v", rs.Rows)
+	}
+}
+
+func TestSubqueryErrors(t *testing.T) {
+	db := fixture(t)
+	// Multi-column scalar subquery.
+	if _, _, err := tryRun(db, "SELECT (SELECT id, name FROM application) FROM trial"); err == nil ||
+		!strings.Contains(err.Error(), "one column") {
+		t.Errorf("multi-column scalar: %v", err)
+	}
+	// Multi-row scalar subquery.
+	if _, _, err := tryRun(db, "SELECT (SELECT id FROM application) FROM trial"); err == nil ||
+		!strings.Contains(err.Error(), "rows") {
+		t.Errorf("multi-row scalar: %v", err)
+	}
+	// Multi-column IN subquery.
+	if _, _, err := tryRun(db, "SELECT name FROM trial WHERE id IN (SELECT id, name FROM application)"); err == nil {
+		t.Error("multi-column IN accepted")
+	}
+	// Correlated subqueries are rejected (unknown column in inner scope).
+	if _, _, err := tryRun(db, `
+		SELECT name FROM trial t
+		WHERE time > (SELECT AVG(time) FROM trial WHERE application = t.application)`); err == nil {
+		t.Error("correlated subquery accepted")
+	}
+}
+
+func TestInPlanningWithIndex(t *testing.T) {
+	db := fixture(t)
+	run(t, db, "CREATE INDEX ix_app ON trial (application)")
+	// Indexed IN list.
+	rs := run(t, db, "SELECT COUNT(*) FROM trial WHERE application IN (1, 99)")
+	if rs.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("in list with index: %v", rs.Rows)
+	}
+	// Indexed IN subquery.
+	rs = run(t, db, `
+		SELECT COUNT(*) FROM trial
+		WHERE application IN (SELECT id FROM application WHERE name LIKE 's%')`)
+	if rs.Rows[0][0].AsInt() != 5 {
+		t.Fatalf("in subquery with index: %v", rs.Rows)
+	}
+	// Residual predicates still apply on top of the IN plan.
+	rs = run(t, db, `
+		SELECT COUNT(*) FROM trial
+		WHERE application IN (1, 2) AND node_count = 128`)
+	if rs.Rows[0][0].AsInt() != 2 {
+		t.Fatalf("in + residual: %v", rs.Rows)
+	}
+	// Duplicate values in the list must not duplicate rows.
+	rs = run(t, db, "SELECT COUNT(*) FROM trial WHERE application IN (1, 1, 1)")
+	if rs.Rows[0][0].AsInt() != 3 {
+		t.Fatalf("duplicate in values: %v", rs.Rows)
+	}
+}
+
+func TestCompositeIndexPlan(t *testing.T) {
+	db := fixture(t)
+	run(t, db, "CREATE INDEX ix_app_nodes ON trial (application, node_count)")
+	rs := run(t, db, "SELECT COUNT(*) FROM trial WHERE application = 1 AND node_count = 256")
+	if rs.Rows[0][0].AsInt() != 1 {
+		t.Fatalf("composite eq: %v", rs.Rows)
+	}
+	// EXPLAIN confirms the composite index drives the plan.
+	st, err := sqlparse.Parse("EXPLAIN SELECT name FROM trial WHERE application = 1 AND node_count = 256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plan string
+	db.Read(func(tx *reldb.Tx) error {
+		rs, err := Explain(tx, st.(*sqlparse.Explain).Select, nil)
+		if err != nil {
+			return err
+		}
+		plan = rs.Rows[0][0].S
+		return nil
+	})
+	if !strings.Contains(plan, "index access (1 candidate rows)") {
+		t.Fatalf("plan: %q", plan)
+	}
+	// Residual predicates still re-checked.
+	rs = run(t, db, "SELECT COUNT(*) FROM trial WHERE application = 1 AND node_count = 256 AND time > 100")
+	if rs.Rows[0][0].AsInt() != 0 {
+		t.Fatalf("composite + residual: %v", rs.Rows)
+	}
+}

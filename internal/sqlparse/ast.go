@@ -1,0 +1,261 @@
+package sqlparse
+
+import "perfdmf/internal/reldb"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// ColumnDef is one column in CREATE TABLE or ALTER TABLE ADD COLUMN.
+type ColumnDef struct {
+	Name          string
+	Type          reldb.Type
+	NotNull       bool
+	PrimaryKey    bool
+	AutoIncrement bool
+	Default       reldb.Value
+	References    *ForeignRef // inline REFERENCES clause
+}
+
+// ForeignRef is the target of a REFERENCES clause.
+type ForeignRef struct {
+	Table  string
+	Column string
+}
+
+// CreateTable is CREATE TABLE [IF NOT EXISTS] name (...).
+type CreateTable struct {
+	Name        string
+	IfNotExists bool
+	Columns     []ColumnDef
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// AlterTable is ALTER TABLE name ADD COLUMN def | DROP COLUMN name.
+type AlterTable struct {
+	Name    string
+	Add     *ColumnDef // nil when dropping
+	DropCol string     // "" when adding
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX name ON table (col[, col...])
+// [USING HASH|BTREE]. Multi-column indexes must use HASH.
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	Using   string // "HASH" (default) or "BTREE"
+}
+
+// DropIndex is DROP INDEX name ON table.
+type DropIndex struct {
+	Name  string
+	Table string
+}
+
+// Insert is INSERT INTO table [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string // empty means all columns in schema order
+	Rows    [][]Expr
+}
+
+// SelectItem is one projected expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool   // SELECT * or t.*
+	Table string // qualifier for t.*
+}
+
+// TableRef names a table, or a derived table — a parenthesized SELECT —
+// with an alias (mandatory for derived tables).
+type TableRef struct {
+	Table string
+	Alias string
+	Sub   *Select // non-nil for FROM (SELECT ...) alias
+}
+
+// JoinKind distinguishes join types.
+type JoinKind uint8
+
+// Supported join types.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+)
+
+// Join is one JOIN clause.
+type Join struct {
+	Kind JoinKind
+	TableRef
+	On Expr
+}
+
+// OrderItem is one ORDER BY term.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a SELECT statement.
+type Select struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []Join
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil when absent
+	Offset   Expr
+}
+
+// Assign is one SET column = expr pair.
+type Assign struct {
+	Column string
+	Expr   Expr
+}
+
+// Update is UPDATE table SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Sets  []Assign
+	Where Expr
+}
+
+// Delete is DELETE FROM table [WHERE ...].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Explain is EXPLAIN SELECT ...: it returns the executor's plan for the
+// wrapped query as rows of text instead of running it.
+type Explain struct {
+	Select *Select
+}
+
+// Begin, Commit and Rollback are transaction control statements.
+type (
+	Begin    struct{}
+	Commit   struct{}
+	Rollback struct{}
+)
+
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*AlterTable) stmt()  {}
+func (*CreateIndex) stmt() {}
+func (*DropIndex) stmt()   {}
+func (*Insert) stmt()      {}
+func (*Explain) stmt()     {}
+func (*Select) stmt()      {}
+func (*Update) stmt()      {}
+func (*Delete) stmt()      {}
+func (*Begin) stmt()       {}
+func (*Commit) stmt()      {}
+func (*Rollback) stmt()    {}
+
+// Expr is any expression node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Value reldb.Value }
+
+// Param is a ? placeholder; Index is its zero-based position.
+type Param struct{ Index int }
+
+// ColRef references a column, optionally table-qualified.
+type ColRef struct {
+	Table string
+	Name  string
+}
+
+// BinOp identifies a binary operator.
+type BinOp uint8
+
+// Binary operators, in no particular order.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpLike
+	OpConcat
+)
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// Unary is -x or NOT x.
+type Unary struct {
+	Neg bool // true: arithmetic negation; false: logical NOT
+	X   Expr
+}
+
+// FuncCall is name(args) — aggregates and scalar functions.
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Star     bool // COUNT(*)
+	Distinct bool // COUNT(DISTINCT x)
+}
+
+// InList is x [NOT] IN (a, b, ...) or x [NOT] IN (SELECT ...).
+// Exactly one of List and Sub is set.
+type InList struct {
+	X    Expr
+	List []Expr
+	Sub  *Subquery
+	Neg  bool
+}
+
+// IsNull is x IS [NOT] NULL.
+type IsNull struct {
+	X   Expr
+	Neg bool
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Neg       bool
+}
+
+// Subquery is a parenthesized SELECT used as an expression: either the
+// right side of [NOT] IN, or a scalar subquery (which must return at most
+// one row of one column). Only uncorrelated subqueries are supported: the
+// inner SELECT cannot reference outer columns.
+type Subquery struct {
+	Select *Select
+}
+
+func (*Literal) expr()  {}
+func (*Param) expr()    {}
+func (*ColRef) expr()   {}
+func (*Binary) expr()   {}
+func (*Unary) expr()    {}
+func (*FuncCall) expr() {}
+func (*InList) expr()   {}
+func (*IsNull) expr()   {}
+func (*Between) expr()  {}
+func (*Subquery) expr() {}

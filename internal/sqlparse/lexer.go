@@ -1,0 +1,225 @@
+// Package sqlparse implements the SQL dialect PerfDMF speaks to the
+// embedded engine: a lexer, AST and recursive-descent parser for the subset
+// of ANSI SQL the framework needs (DDL with ALTER TABLE, multi-row INSERT,
+// SELECT with joins/grouping/aggregates, UPDATE, DELETE, transactions).
+// Keeping the dialect small and vendor-neutral is the point the paper makes
+// about JDBC: analysis code never sees engine-specific syntax.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies a lexical token.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp    // operators and punctuation
+	tokParam // ? placeholder
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; identifiers as written
+	pos  int    // byte offset in the input
+}
+
+// keywords recognized by the lexer. Identifiers that match (case-
+// insensitively) are tagged tokKeyword with upper-cased text.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "INSERT": true, "INTO": true, "VALUES": true, "UPDATE": true,
+	"SET": true, "DELETE": true, "CREATE": true, "TABLE": true, "DROP": true,
+	"ALTER": true, "ADD": true, "COLUMN": true, "INDEX": true, "ON": true,
+	"UNIQUE": true, "PRIMARY": true, "KEY": true, "FOREIGN": true,
+	"REFERENCES": true, "DEFAULT": true, "NULL": true, "AUTO_INCREMENT": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "OUTER": true, "AS": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true, "ASC": true,
+	"DESC": true, "LIMIT": true, "OFFSET": true, "LIKE": true, "IN": true,
+	"IS": true, "BETWEEN": true, "DISTINCT": true, "BEGIN": true,
+	"COMMIT": true, "ROLLBACK": true, "TRANSACTION": true, "IF": true,
+	"EXISTS": true, "USING": true, "TRUE": true, "FALSE": true,
+	"EXPLAIN": true,
+	"BIGINT":  true, "INT": true, "INTEGER": true, "DOUBLE": true,
+	"FLOAT": true, "REAL": true, "VARCHAR": true, "TEXT": true,
+	"BOOLEAN": true, "BOOL": true, "TIMESTAMP": true, "BLOB": true,
+	"PRECISION": true, "CONSTRAINT": true,
+}
+
+// lexer splits a SQL string into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. It returns an error for unterminated strings or
+// illegal characters; position information is byte-based.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '-' && l.peekAt(1) == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent(start)
+		case c >= '0' && c <= '9' || (c == '.' && isDigit(l.peekAt(1))):
+			l.lexNumber(start)
+		case c == '\'':
+			if err := l.lexString(start); err != nil {
+				return nil, err
+			}
+		case c == '"' || c == '`':
+			if err := l.lexQuotedIdent(start, c); err != nil {
+				return nil, err
+			}
+		case c == '?':
+			l.pos++
+			l.emit(tokParam, "?", start)
+		default:
+			if err := l.lexOp(start); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && (l.src[l.pos] == ' ' || l.src[l.pos] == '\t' ||
+		l.src[l.pos] == '\n' || l.src[l.pos] == '\r') {
+		l.pos++
+	}
+}
+
+func (l *lexer) peekAt(off int) byte {
+	if l.pos+off < len(l.src) {
+		return l.src[l.pos+off]
+	}
+	return 0
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func (l *lexer) lexIdent(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	word := l.src[start:l.pos]
+	upper := strings.ToUpper(word)
+	if keywords[upper] {
+		l.emit(tokKeyword, upper, start)
+	} else {
+		l.emit(tokIdent, word, start)
+	}
+}
+
+func (l *lexer) lexNumber(start int) {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			l.emit(tokNumber, l.src[start:l.pos], start)
+			return
+		}
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+// lexString scans a single-quoted SQL string; ” is the escaped quote.
+func (l *lexer) lexString(start int) error {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.peekAt(1) == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, b.String(), start)
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated string at offset %d", start)
+}
+
+// lexQuotedIdent scans a "double-quoted" or `backtick` identifier.
+func (l *lexer) lexQuotedIdent(start int, quote byte) error {
+	l.pos++
+	from := l.pos
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == quote {
+			l.emit(tokIdent, l.src[from:l.pos], start)
+			l.pos++
+			return nil
+		}
+		l.pos++
+	}
+	return fmt.Errorf("sqlparse: unterminated quoted identifier at offset %d", start)
+}
+
+func (l *lexer) lexOp(start int) error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=", "||":
+		l.pos += 2
+		l.emit(tokOp, two, start)
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '*', '+', '-', '/', '%', '=', '<', '>', '.', ';':
+		l.pos++
+		l.emit(tokOp, string(c), start)
+		return nil
+	}
+	return fmt.Errorf("sqlparse: illegal character %q at offset %d", c, start)
+}

@@ -1,0 +1,1090 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/reldb"
+)
+
+// Parse parses a single SQL statement. A trailing semicolon is allowed.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	st, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(tokOp, ";")
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("unexpected %q after statement", p.cur().text)
+	}
+	return st, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	var out []Statement
+	for {
+		for p.accept(tokOp, ";") {
+		}
+		if p.at(tokEOF, "") {
+			return out, nil
+		}
+		st, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.accept(tokOp, ";") && !p.at(tokEOF, "") {
+			return nil, p.errf("expected ';' between statements, got %q", p.cur().text)
+		}
+	}
+}
+
+type parser struct {
+	src    string
+	toks   []token
+	pos    int
+	params int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(kind tokenKind, text string) (token, error) {
+	if p.at(kind, text) {
+		return p.next(), nil
+	}
+	want := text
+	if want == "" {
+		switch kind {
+		case tokIdent:
+			want = "identifier"
+		case tokNumber:
+			want = "number"
+		default:
+			want = "token"
+		}
+	}
+	return token{}, p.errf("expected %s, got %q", want, p.cur().text)
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlparse: offset %d: %s", p.cur().pos, fmt.Sprintf(format, args...))
+}
+
+// ident accepts an identifier or a non-reserved keyword used as a name
+// (column names like "name" or "key" appear in real PerfDMF schemas).
+func (p *parser) ident() (string, error) {
+	if p.at(tokIdent, "") {
+		return p.next().text, nil
+	}
+	return "", p.errf("expected identifier, got %q", p.cur().text)
+}
+
+func (p *parser) statement() (Statement, error) {
+	switch {
+	case p.accept(tokKeyword, "EXPLAIN"):
+		if !p.at(tokKeyword, "SELECT") {
+			return nil, p.errf("EXPLAIN supports only SELECT")
+		}
+		sel, err := p.selectStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &Explain{Select: sel.(*Select)}, nil
+	case p.at(tokKeyword, "SELECT"):
+		return p.selectStmt()
+	case p.at(tokKeyword, "INSERT"):
+		return p.insertStmt()
+	case p.at(tokKeyword, "UPDATE"):
+		return p.updateStmt()
+	case p.at(tokKeyword, "DELETE"):
+		return p.deleteStmt()
+	case p.at(tokKeyword, "CREATE"):
+		return p.createStmt()
+	case p.at(tokKeyword, "DROP"):
+		return p.dropStmt()
+	case p.at(tokKeyword, "ALTER"):
+		return p.alterStmt()
+	case p.accept(tokKeyword, "BEGIN"):
+		p.accept(tokKeyword, "TRANSACTION")
+		return &Begin{}, nil
+	case p.accept(tokKeyword, "COMMIT"):
+		return &Commit{}, nil
+	case p.accept(tokKeyword, "ROLLBACK"):
+		return &Rollback{}, nil
+	}
+	return nil, p.errf("expected statement, got %q", p.cur().text)
+}
+
+// --- DDL ---
+
+func (p *parser) typeName() (reldb.Type, error) {
+	t := p.cur()
+	if t.kind != tokKeyword {
+		return reldb.TNull, p.errf("expected type name, got %q", t.text)
+	}
+	p.pos++
+	var ty reldb.Type
+	switch t.text {
+	case "BIGINT", "INT", "INTEGER":
+		ty = reldb.TInt
+	case "DOUBLE", "FLOAT", "REAL":
+		ty = reldb.TFloat
+		p.accept(tokKeyword, "PRECISION") // DOUBLE PRECISION
+	case "VARCHAR", "TEXT":
+		ty = reldb.TString
+	case "BOOLEAN", "BOOL":
+		ty = reldb.TBool
+	case "TIMESTAMP":
+		ty = reldb.TTime
+	case "BLOB":
+		ty = reldb.TBytes
+	default:
+		return reldb.TNull, p.errf("unknown type %q", t.text)
+	}
+	// Optional length, e.g. VARCHAR(4096) — accepted and ignored.
+	if p.accept(tokOp, "(") {
+		if _, err := p.expect(tokNumber, ""); err != nil {
+			return ty, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return ty, err
+		}
+	}
+	return ty, nil
+}
+
+func (p *parser) columnDef() (ColumnDef, error) {
+	var cd ColumnDef
+	name, err := p.ident()
+	if err != nil {
+		return cd, err
+	}
+	cd.Name = name
+	cd.Type, err = p.typeName()
+	if err != nil {
+		return cd, err
+	}
+	for {
+		switch {
+		case p.accept(tokKeyword, "NOT"):
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return cd, err
+			}
+			cd.NotNull = true
+		case p.accept(tokKeyword, "NULL"):
+			// explicit nullable; nothing to record
+		case p.accept(tokKeyword, "PRIMARY"):
+			if _, err := p.expect(tokKeyword, "KEY"); err != nil {
+				return cd, err
+			}
+			cd.PrimaryKey = true
+		case p.accept(tokKeyword, "AUTO_INCREMENT"):
+			cd.AutoIncrement = true
+		case p.accept(tokKeyword, "DEFAULT"):
+			v, err := p.literalValue()
+			if err != nil {
+				return cd, err
+			}
+			cd.Default = v
+		case p.accept(tokKeyword, "REFERENCES"):
+			tbl, err := p.ident()
+			if err != nil {
+				return cd, err
+			}
+			ref := &ForeignRef{Table: tbl}
+			if p.accept(tokOp, "(") {
+				col, err := p.ident()
+				if err != nil {
+					return cd, err
+				}
+				ref.Column = col
+				if _, err := p.expect(tokOp, ")"); err != nil {
+					return cd, err
+				}
+			}
+			cd.References = ref
+		default:
+			return cd, nil
+		}
+	}
+}
+
+// literalValue parses a constant usable in DEFAULT clauses.
+func (p *parser) literalValue() (reldb.Value, error) {
+	neg := p.accept(tokOp, "-")
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := numberValue(t.text)
+		if err != nil {
+			return reldb.Null, p.errf("%v", err)
+		}
+		if neg {
+			if v.T == reldb.TInt {
+				v.I = -v.I
+			} else {
+				v.F = -v.F
+			}
+		}
+		return v, nil
+	case t.kind == tokString:
+		p.pos++
+		return reldb.Str(t.text), nil
+	case p.accept(tokKeyword, "NULL"):
+		return reldb.Null, nil
+	case p.accept(tokKeyword, "TRUE"):
+		return reldb.Bool(true), nil
+	case p.accept(tokKeyword, "FALSE"):
+		return reldb.Bool(false), nil
+	}
+	return reldb.Null, p.errf("expected literal, got %q", t.text)
+}
+
+func numberValue(text string) (reldb.Value, error) {
+	if !strings.ContainsAny(text, ".eE") {
+		i, err := strconv.ParseInt(text, 10, 64)
+		if err == nil {
+			return reldb.Int(i), nil
+		}
+	}
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return reldb.Null, fmt.Errorf("bad number %q", text)
+	}
+	return reldb.Float(f), nil
+}
+
+func (p *parser) createStmt() (Statement, error) {
+	p.next() // CREATE
+	unique := p.accept(tokKeyword, "UNIQUE")
+	switch {
+	case p.accept(tokKeyword, "TABLE"):
+		if unique {
+			return nil, p.errf("UNIQUE is not valid on CREATE TABLE")
+		}
+		ct := &CreateTable{}
+		if p.accept(tokKeyword, "IF") {
+			if _, err := p.expect(tokKeyword, "NOT"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "EXISTS"); err != nil {
+				return nil, err
+			}
+			ct.IfNotExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ct.Name = name
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		for {
+			cd, err := p.columnDef()
+			if err != nil {
+				return nil, err
+			}
+			ct.Columns = append(ct.Columns, cd)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return ct, nil
+	case p.accept(tokKeyword, "INDEX"):
+		ci := &CreateIndex{Unique: unique, Using: "HASH"}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Name = name
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		if ci.Table, err = p.ident(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ci.Columns = append(ci.Columns, col)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		if p.accept(tokKeyword, "USING") {
+			u, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			switch strings.ToUpper(u) {
+			case "HASH", "BTREE":
+				ci.Using = strings.ToUpper(u)
+			default:
+				return nil, p.errf("unknown index method %q", u)
+			}
+		}
+		return ci, nil
+	}
+	return nil, p.errf("expected TABLE or INDEX after CREATE")
+}
+
+func (p *parser) dropStmt() (Statement, error) {
+	p.next() // DROP
+	switch {
+	case p.accept(tokKeyword, "TABLE"):
+		dt := &DropTable{}
+		if p.accept(tokKeyword, "IF") {
+			if _, err := p.expect(tokKeyword, "EXISTS"); err != nil {
+				return nil, err
+			}
+			dt.IfExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		dt.Name = name
+		return dt, nil
+	case p.accept(tokKeyword, "INDEX"):
+		di := &DropIndex{}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		di.Name = name
+		if _, err := p.expect(tokKeyword, "ON"); err != nil {
+			return nil, err
+		}
+		if di.Table, err = p.ident(); err != nil {
+			return nil, err
+		}
+		return di, nil
+	}
+	return nil, p.errf("expected TABLE or INDEX after DROP")
+}
+
+func (p *parser) alterStmt() (Statement, error) {
+	p.next() // ALTER
+	if _, err := p.expect(tokKeyword, "TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	at := &AlterTable{Name: name}
+	switch {
+	case p.accept(tokKeyword, "ADD"):
+		p.accept(tokKeyword, "COLUMN")
+		cd, err := p.columnDef()
+		if err != nil {
+			return nil, err
+		}
+		at.Add = &cd
+		return at, nil
+	case p.accept(tokKeyword, "DROP"):
+		p.accept(tokKeyword, "COLUMN")
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		at.DropCol = col
+		return at, nil
+	}
+	return nil, p.errf("expected ADD or DROP after ALTER TABLE name")
+}
+
+// --- DML ---
+
+func (p *parser) insertStmt() (Statement, error) {
+	p.next() // INSERT
+	if _, err := p.expect(tokKeyword, "INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: table}
+	if p.accept(tokOp, "(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, col)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokKeyword, "VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if _, err := p.expect(tokOp, "("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func (p *parser) updateStmt() (Statement, error) {
+	p.next() // UPDATE
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	up := &Update{Table: table}
+	if _, err := p.expect(tokKeyword, "SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		up.Sets = append(up.Sets, Assign{Column: col, Expr: e})
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if p.accept(tokKeyword, "WHERE") {
+		if up.Where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	return up, nil
+}
+
+func (p *parser) deleteStmt() (Statement, error) {
+	p.next() // DELETE
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	del := &Delete{Table: table}
+	if p.accept(tokKeyword, "WHERE") {
+		if del.Where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	return del, nil
+}
+
+func (p *parser) tableRef() (TableRef, error) {
+	var tr TableRef
+	if p.accept(tokOp, "(") {
+		if !p.at(tokKeyword, "SELECT") {
+			return tr, p.errf("expected SELECT in derived table")
+		}
+		sub, err := p.selectStmt()
+		if err != nil {
+			return tr, err
+		}
+		tr.Sub = sub.(*Select)
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return tr, err
+		}
+		p.accept(tokKeyword, "AS")
+		alias, err := p.ident()
+		if err != nil {
+			return tr, p.errf("derived table needs an alias")
+		}
+		tr.Alias = alias
+		tr.Table = alias
+		return tr, nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return tr, err
+	}
+	tr.Table = name
+	if p.accept(tokKeyword, "AS") {
+		if tr.Alias, err = p.ident(); err != nil {
+			return tr, err
+		}
+	} else if p.at(tokIdent, "") {
+		tr.Alias = p.next().text
+	}
+	return tr, nil
+}
+
+func (p *parser) selectStmt() (Statement, error) {
+	p.next() // SELECT
+	sel := &Select{}
+	sel.Distinct = p.accept(tokKeyword, "DISTINCT")
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if p.accept(tokOp, ",") {
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokKeyword, "FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.tableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+	for {
+		var kind JoinKind
+		switch {
+		case p.accept(tokKeyword, "JOIN"):
+			kind = InnerJoin
+		case p.accept(tokKeyword, "INNER"):
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = InnerJoin
+		case p.accept(tokKeyword, "LEFT"):
+			p.accept(tokKeyword, "OUTER")
+			if _, err := p.expect(tokKeyword, "JOIN"); err != nil {
+				return nil, err
+			}
+			kind = LeftJoin
+		default:
+			goto afterJoins
+		}
+		{
+			tr, err := p.tableRef()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.Joins = append(sel.Joins, Join{Kind: kind, TableRef: tr, On: on})
+		}
+	}
+afterJoins:
+	if p.accept(tokKeyword, "WHERE") {
+		if sel.Where, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "GROUP") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, e)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "HAVING") {
+		if sel.Having, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "ORDER") {
+		if _, err := p.expect(tokKeyword, "BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept(tokKeyword, "DESC") {
+				item.Desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if p.accept(tokOp, ",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept(tokKeyword, "LIMIT") {
+		if sel.Limit, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	if p.accept(tokKeyword, "OFFSET") {
+		if sel.Offset, err = p.expr(); err != nil {
+			return nil, err
+		}
+	}
+	return sel, nil
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	if p.accept(tokOp, "*") {
+		return SelectItem{Star: true}, nil
+	}
+	// t.* form: identifier '.' '*'
+	if p.at(tokIdent, "") && p.pos+2 < len(p.toks) &&
+		p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "." &&
+		p.toks[p.pos+2].kind == tokOp && p.toks[p.pos+2].text == "*" {
+		table := p.next().text
+		p.next()
+		p.next()
+		return SelectItem{Star: true, Table: table}, nil
+	}
+	e, err := p.expr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.accept(tokKeyword, "AS") {
+		if item.Alias, err = p.ident(); err != nil {
+			return item, err
+		}
+	} else if p.at(tokIdent, "") {
+		item.Alias = p.next().text
+	}
+	return item, nil
+}
+
+// --- expressions ---
+
+// expr parses with precedence: OR < AND < NOT < comparison < additive <
+// multiplicative < unary < primary.
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Neg: false, X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "="):
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpEq, L: l, R: r}
+		case p.accept(tokOp, "<>"), p.accept(tokOp, "!="):
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpNe, L: l, R: r}
+		case p.accept(tokOp, "<="):
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpLe, L: l, R: r}
+		case p.accept(tokOp, ">="):
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpGe, L: l, R: r}
+		case p.accept(tokOp, "<"):
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpLt, L: l, R: r}
+		case p.accept(tokOp, ">"):
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpGt, L: l, R: r}
+		case p.accept(tokKeyword, "LIKE"):
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpLike, L: l, R: r}
+		case p.at(tokKeyword, "IS"):
+			p.next()
+			neg := p.accept(tokKeyword, "NOT")
+			if _, err := p.expect(tokKeyword, "NULL"); err != nil {
+				return nil, err
+			}
+			l = &IsNull{X: l, Neg: neg}
+		case p.at(tokKeyword, "IN"), p.at(tokKeyword, "NOT"):
+			neg := false
+			if p.at(tokKeyword, "NOT") {
+				// Only consume NOT when followed by IN/LIKE/BETWEEN.
+				save := p.pos
+				p.next()
+				switch {
+				case p.accept(tokKeyword, "LIKE"):
+					r, err := p.addExpr()
+					if err != nil {
+						return nil, err
+					}
+					l = &Unary{X: &Binary{Op: OpLike, L: l, R: r}}
+					continue
+				case p.at(tokKeyword, "IN"):
+					neg = true
+				case p.at(tokKeyword, "BETWEEN"):
+					neg = true
+				default:
+					p.pos = save
+					return l, nil
+				}
+			}
+			if p.accept(tokKeyword, "BETWEEN") {
+				lo, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokKeyword, "AND"); err != nil {
+					return nil, err
+				}
+				hi, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				l = &Between{X: l, Lo: lo, Hi: hi, Neg: neg}
+				continue
+			}
+			if _, err := p.expect(tokKeyword, "IN"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokOp, "("); err != nil {
+				return nil, err
+			}
+			if p.at(tokKeyword, "SELECT") {
+				sub, err := p.selectStmt()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(tokOp, ")"); err != nil {
+					return nil, err
+				}
+				l = &InList{X: l, Neg: neg, Sub: &Subquery{Select: sub.(*Select)}}
+				continue
+			}
+			in := &InList{X: l, Neg: neg}
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if p.accept(tokOp, ",") {
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			l = in
+		case p.at(tokKeyword, "BETWEEN"):
+			p.next()
+			lo, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokKeyword, "AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Between{X: l, Lo: lo, Hi: hi}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpAdd, L: l, R: r}
+		case p.accept(tokOp, "-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpSub, L: l, R: r}
+		case p.accept(tokOp, "||"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpConcat, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept(tokOp, "*"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpMul, L: l, R: r}
+		case p.accept(tokOp, "/"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpDiv, L: l, R: r}
+		case p.accept(tokOp, "%"):
+			r, err := p.unaryExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = &Binary{Op: OpMod, L: l, R: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.accept(tokOp, "-") {
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Neg: true, X: x}, nil
+	}
+	p.accept(tokOp, "+")
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.cur()
+	switch {
+	case t.kind == tokNumber:
+		p.pos++
+		v, err := numberValue(t.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		return &Literal{Value: v}, nil
+	case t.kind == tokString:
+		p.pos++
+		return &Literal{Value: reldb.Str(t.text)}, nil
+	case t.kind == tokParam:
+		p.pos++
+		e := &Param{Index: p.params}
+		p.params++
+		return e, nil
+	case p.accept(tokKeyword, "NULL"):
+		return &Literal{Value: reldb.Null}, nil
+	case p.accept(tokKeyword, "TRUE"):
+		return &Literal{Value: reldb.Bool(true)}, nil
+	case p.accept(tokKeyword, "FALSE"):
+		return &Literal{Value: reldb.Bool(false)}, nil
+	case p.accept(tokOp, "("):
+		if p.at(tokKeyword, "SELECT") {
+			sub, err := p.selectStmt()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return &Subquery{Select: sub.(*Select)}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokOp, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent:
+		p.pos++
+		name := t.text
+		// Function call.
+		if p.accept(tokOp, "(") {
+			fc := &FuncCall{Name: strings.ToUpper(name)}
+			if p.accept(tokOp, "*") {
+				fc.Star = true
+				if _, err := p.expect(tokOp, ")"); err != nil {
+					return nil, err
+				}
+				return fc, nil
+			}
+			fc.Distinct = p.accept(tokKeyword, "DISTINCT")
+			if !p.at(tokOp, ")") {
+				for {
+					e, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					fc.Args = append(fc.Args, e)
+					if p.accept(tokOp, ",") {
+						continue
+					}
+					break
+				}
+			}
+			if _, err := p.expect(tokOp, ")"); err != nil {
+				return nil, err
+			}
+			return fc, nil
+		}
+		// Qualified column: table.column
+		if p.accept(tokOp, ".") {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ColRef{Table: name, Name: col}, nil
+		}
+		return &ColRef{Name: name}, nil
+	}
+	return nil, p.errf("unexpected %q in expression", t.text)
+}

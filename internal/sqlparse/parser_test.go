@@ -1,0 +1,328 @@
+package sqlparse
+
+import (
+	"testing"
+
+	"perfdmf/internal/reldb"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, `CREATE TABLE IF NOT EXISTS trial (
+		id BIGINT PRIMARY KEY AUTO_INCREMENT,
+		experiment BIGINT NOT NULL REFERENCES experiment(id),
+		name VARCHAR(4096),
+		node_count INT DEFAULT 0,
+		date TIMESTAMP,
+		ok BOOLEAN DEFAULT TRUE,
+		ratio DOUBLE PRECISION DEFAULT -1.5
+	)`)
+	ct, ok := st.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if !ct.IfNotExists || ct.Name != "trial" || len(ct.Columns) != 7 {
+		t.Fatalf("header: %+v", ct)
+	}
+	id := ct.Columns[0]
+	if !id.PrimaryKey || !id.AutoIncrement || id.Type != reldb.TInt {
+		t.Errorf("id column: %+v", id)
+	}
+	exp := ct.Columns[1]
+	if !exp.NotNull || exp.References == nil || exp.References.Table != "experiment" ||
+		exp.References.Column != "id" {
+		t.Errorf("experiment column: %+v", exp)
+	}
+	if ct.Columns[3].Default.AsInt() != 0 || ct.Columns[3].Default.IsNull() {
+		t.Errorf("node_count default: %+v", ct.Columns[3].Default)
+	}
+	if !ct.Columns[5].Default.AsBool() {
+		t.Errorf("ok default: %+v", ct.Columns[5].Default)
+	}
+	if ct.Columns[6].Default.AsFloat() != -1.5 {
+		t.Errorf("ratio default: %+v", ct.Columns[6].Default)
+	}
+}
+
+func TestParseDropAlterIndex(t *testing.T) {
+	if dt := mustParse(t, "DROP TABLE IF EXISTS trial").(*DropTable); !dt.IfExists || dt.Name != "trial" {
+		t.Errorf("drop: %+v", dt)
+	}
+	at := mustParse(t, "ALTER TABLE application ADD COLUMN compiler VARCHAR DEFAULT 'gcc'").(*AlterTable)
+	if at.Add == nil || at.Add.Name != "compiler" || at.Add.Default.S != "gcc" {
+		t.Errorf("alter add: %+v", at.Add)
+	}
+	at = mustParse(t, "ALTER TABLE application DROP COLUMN compiler").(*AlterTable)
+	if at.DropCol != "compiler" {
+		t.Errorf("alter drop: %+v", at)
+	}
+	ci := mustParse(t, "CREATE UNIQUE INDEX ix ON trial (name) USING btree").(*CreateIndex)
+	if !ci.Unique || ci.Table != "trial" || len(ci.Columns) != 1 || ci.Columns[0] != "name" || ci.Using != "BTREE" {
+		t.Errorf("create index: %+v", ci)
+	}
+	di := mustParse(t, "DROP INDEX ix ON trial").(*DropIndex)
+	if di.Name != "ix" || di.Table != "trial" {
+		t.Errorf("drop index: %+v", di)
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	ins := mustParse(t, `INSERT INTO metric (trial, name) VALUES (1, 'TIME'), (?, ?)`).(*Insert)
+	if ins.Table != "metric" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("insert: %+v", ins)
+	}
+	if lit, ok := ins.Rows[0][0].(*Literal); !ok || lit.Value.AsInt() != 1 {
+		t.Errorf("row0 col0: %#v", ins.Rows[0][0])
+	}
+	if pm, ok := ins.Rows[1][0].(*Param); !ok || pm.Index != 0 {
+		t.Errorf("row1 col0: %#v", ins.Rows[1][0])
+	}
+	if pm, ok := ins.Rows[1][1].(*Param); !ok || pm.Index != 1 {
+		t.Errorf("row1 col1: %#v", ins.Rows[1][1])
+	}
+	// Without a column list.
+	ins = mustParse(t, `INSERT INTO t VALUES (1, 'a')`).(*Insert)
+	if len(ins.Columns) != 0 || len(ins.Rows[0]) != 2 {
+		t.Errorf("bare insert: %+v", ins)
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	st := mustParse(t, `
+		SELECT e.name, COUNT(*) AS n, AVG(t.node_count) mean_nodes
+		FROM experiment e
+		JOIN trial t ON t.experiment = e.id
+		WHERE e.application = ? AND t.node_count >= 128
+		GROUP BY e.name
+		HAVING COUNT(*) > 1
+		ORDER BY n DESC, e.name
+		LIMIT 10 OFFSET 5`)
+	sel := st.(*Select)
+	if len(sel.Items) != 3 {
+		t.Fatalf("items: %d", len(sel.Items))
+	}
+	if sel.Items[1].Alias != "n" || sel.Items[2].Alias != "mean_nodes" {
+		t.Errorf("aliases: %+v", sel.Items)
+	}
+	if sel.From.Table != "experiment" || sel.From.Alias != "e" {
+		t.Errorf("from: %+v", sel.From)
+	}
+	if len(sel.Joins) != 1 || sel.Joins[0].Kind != InnerJoin || sel.Joins[0].Alias != "t" {
+		t.Errorf("joins: %+v", sel.Joins)
+	}
+	if sel.Where == nil || len(sel.GroupBy) != 1 || sel.Having == nil {
+		t.Error("missing where/group/having")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Errorf("order: %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Error("missing limit/offset")
+	}
+}
+
+func TestParseSelectStar(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM trial").(*Select)
+	if !sel.Items[0].Star || sel.Items[0].Table != "" {
+		t.Errorf("star: %+v", sel.Items[0])
+	}
+	sel = mustParse(t, "SELECT t.* , 1 FROM trial t").(*Select)
+	if !sel.Items[0].Star || sel.Items[0].Table != "t" {
+		t.Errorf("qualified star: %+v", sel.Items[0])
+	}
+	sel = mustParse(t, "SELECT DISTINCT name FROM trial").(*Select)
+	if !sel.Distinct {
+		t.Error("distinct lost")
+	}
+}
+
+func TestParseLeftJoin(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.aid").(*Select)
+	if len(sel.Joins) != 1 || sel.Joins[0].Kind != LeftJoin {
+		t.Fatalf("joins: %+v", sel.Joins)
+	}
+}
+
+func TestParseExprForms(t *testing.T) {
+	sel := mustParse(t, `SELECT 1 FROM t WHERE
+		a BETWEEN 1 AND 10
+		AND b NOT IN (1, 2, 3)
+		AND c IS NOT NULL
+		AND d LIKE 'MPI%'
+		AND NOT (e = 1 OR f < -2.5e3)
+		AND g NOT BETWEEN 1 AND 2
+		AND h NOT LIKE '%x'`).(*Select)
+	if sel.Where == nil {
+		t.Fatal("no where")
+	}
+	// Spot-check a couple of node shapes by walking the AND spine.
+	var leaves []Expr
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if b, ok := e.(*Binary); ok && b.Op == OpAnd {
+			walk(b.L)
+			walk(b.R)
+			return
+		}
+		leaves = append(leaves, e)
+	}
+	walk(sel.Where)
+	if len(leaves) != 7 {
+		t.Fatalf("got %d conjuncts", len(leaves))
+	}
+	if bt, ok := leaves[0].(*Between); !ok || bt.Neg {
+		t.Errorf("leaf0: %#v", leaves[0])
+	}
+	if in, ok := leaves[1].(*InList); !ok || !in.Neg || len(in.List) != 3 {
+		t.Errorf("leaf1: %#v", leaves[1])
+	}
+	if isn, ok := leaves[2].(*IsNull); !ok || !isn.Neg {
+		t.Errorf("leaf2: %#v", leaves[2])
+	}
+	if like, ok := leaves[3].(*Binary); !ok || like.Op != OpLike {
+		t.Errorf("leaf3: %#v", leaves[3])
+	}
+	if not, ok := leaves[4].(*Unary); !ok || not.Neg {
+		t.Errorf("leaf4: %#v", leaves[4])
+	}
+	if bt, ok := leaves[5].(*Between); !ok || !bt.Neg {
+		t.Errorf("leaf5: %#v", leaves[5])
+	}
+	if not, ok := leaves[6].(*Unary); !ok || not.Neg {
+		t.Errorf("leaf6: %#v", leaves[6])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT 1 + 2 * 3 FROM t").(*Select)
+	b := sel.Items[0].Expr.(*Binary)
+	if b.Op != OpAdd {
+		t.Fatalf("top op: %v", b.Op)
+	}
+	if inner, ok := b.R.(*Binary); !ok || inner.Op != OpMul {
+		t.Fatalf("right: %#v", b.R)
+	}
+	// Parentheses override.
+	sel = mustParse(t, "SELECT (1 + 2) * 3 FROM t").(*Select)
+	b = sel.Items[0].Expr.(*Binary)
+	if b.Op != OpMul {
+		t.Fatalf("top op with parens: %v", b.Op)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	up := mustParse(t, "UPDATE trial SET name = 'x', node_count = node_count + 1 WHERE id = ?").(*Update)
+	if up.Table != "trial" || len(up.Sets) != 2 || up.Where == nil {
+		t.Fatalf("update: %+v", up)
+	}
+	del := mustParse(t, "DELETE FROM trial WHERE id = 3").(*Delete)
+	if del.Table != "trial" || del.Where == nil {
+		t.Fatalf("delete: %+v", del)
+	}
+	del = mustParse(t, "DELETE FROM trial").(*Delete)
+	if del.Where != nil {
+		t.Fatal("unexpected where")
+	}
+}
+
+func TestParseTransactions(t *testing.T) {
+	if _, ok := mustParse(t, "BEGIN").(*Begin); !ok {
+		t.Error("BEGIN")
+	}
+	if _, ok := mustParse(t, "BEGIN TRANSACTION").(*Begin); !ok {
+		t.Error("BEGIN TRANSACTION")
+	}
+	if _, ok := mustParse(t, "COMMIT").(*Commit); !ok {
+		t.Error("COMMIT")
+	}
+	if _, ok := mustParse(t, "ROLLBACK;").(*Rollback); !ok {
+		t.Error("ROLLBACK")
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript(`
+		CREATE TABLE a (id BIGINT PRIMARY KEY);
+		-- a comment
+		INSERT INTO a VALUES (1);
+		SELECT * FROM a;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestParseStrings(t *testing.T) {
+	ins := mustParse(t, `INSERT INTO t VALUES ('it''s', 'a')`).(*Insert)
+	if lit := ins.Rows[0][0].(*Literal); lit.Value.S != "it's" {
+		t.Errorf("escaped quote: %q", lit.Value.S)
+	}
+	// Quoted identifiers.
+	sel := mustParse(t, `SELECT "name", `+"`group`"+` FROM "trial"`).(*Select)
+	if cr := sel.Items[0].Expr.(*ColRef); cr.Name != "name" {
+		t.Errorf("quoted ident: %+v", cr)
+	}
+	if cr := sel.Items[1].Expr.(*ColRef); cr.Name != "group" {
+		t.Errorf("backtick ident: %+v", cr)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"INSERT INTO t (a VALUES (1)",
+		"CREATE TABLE t ()",
+		"CREATE TABLE t (a FOO)",
+		"UPDATE t SET",
+		"DELETE t",
+		"SELECT 'unterminated FROM t",
+		"SELECT * FROM t WHERE a @ 1",
+		"SELECT * FROM t; garbage",
+		"CREATE INDEX i ON t (a) USING quadtree",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParamNumbering(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t WHERE a = ? AND b = ? AND c IN (?, ?)").(*Select)
+	max := -1
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch e := e.(type) {
+		case *Param:
+			if e.Index > max {
+				max = e.Index
+			}
+		case *Binary:
+			walk(e.L)
+			walk(e.R)
+		case *InList:
+			walk(e.X)
+			for _, x := range e.List {
+				walk(x)
+			}
+		}
+	}
+	walk(sel.Where)
+	if max != 3 {
+		t.Fatalf("max param index = %d, want 3", max)
+	}
+}

@@ -1,0 +1,200 @@
+package synth
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"perfdmf/internal/formats"
+	"perfdmf/internal/formats/dynaprof"
+	"perfdmf/internal/formats/gprof"
+	"perfdmf/internal/formats/hpm"
+	"perfdmf/internal/formats/mpip"
+	"perfdmf/internal/formats/psrun"
+	"perfdmf/internal/formats/sppm"
+	"perfdmf/internal/formats/tau"
+	"perfdmf/internal/formats/xmlprof"
+	"perfdmf/internal/model"
+)
+
+// WriteSampleFiles generates one realistic dataset per supported profile
+// format under dir, in each tool's own on-disk format. The result maps
+// format name (formats.TAU, ...) to the path Load should be given. This is
+// the data source for E2 (six-format import) and examples/multiformat.
+func WriteSampleFiles(dir string, seed int64) (map[string]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+
+	// TAU: 4 ranks, multi-metric.
+	tauProfile := LargeTrial(LargeTrialConfig{Threads: 4, Events: 12, Metrics: 2, Seed: seed})
+	tauDir := filepath.Join(dir, "tau-run")
+	if err := tau.Write(tauDir, tauProfile); err != nil {
+		return nil, err
+	}
+	out[formats.TAU] = tauDir
+
+	// gprof: single process.
+	gp := singleProcessProfile("gprof-app", seed+1)
+	gPath := filepath.Join(dir, "gprof.txt")
+	if err := gprof.Write(gPath, gp); err != nil {
+		return nil, err
+	}
+	out[formats.Gprof] = gPath
+
+	// mpiP: 4 ranks with an Application event and MPI callsites.
+	mp := mpiProfile(4, seed+2)
+	mPath := filepath.Join(dir, "app.4.mpiP")
+	if err := mpip.Write(mPath, mp); err != nil {
+		return nil, err
+	}
+	out[formats.MpiP] = mPath
+
+	// dynaprof: single process, cycle counter.
+	dp := singleProcessProfile("dynaprof-app", seed+3)
+	dPath := filepath.Join(dir, "dynaprof.out")
+	if err := dynaprof.Write(dPath, dp, 0); err != nil {
+		return nil, err
+	}
+	out[formats.Dynaprof] = dPath
+
+	// HPMToolkit: counter sections.
+	hp := hpmProfile(seed + 4)
+	hPath := filepath.Join(dir, "app.hpm0_node0")
+	if err := hpm.Write(hPath, hp, 0); err != nil {
+		return nil, err
+	}
+	out[formats.HPM] = hPath
+
+	// psrun: whole-program counters.
+	pp := psrunProfile(seed + 5)
+	pPath := filepath.Join(dir, "psrun.0.xml")
+	if err := psrun.Write(pPath, pp, 0); err != nil {
+		return nil, err
+	}
+	out[formats.Psrun] = pPath
+
+	// sPPM self-instrumented table, 8 ranks.
+	sp, _ := CounterTrial(CounterConfig{Threads: 8, Seed: seed + 6})
+	sPath := filepath.Join(dir, "sppm-timing.txt")
+	if err := sppm.Write(sPath, sp); err != nil {
+		return nil, err
+	}
+	out[formats.SPPM] = sPath
+
+	// Common XML export of the TAU profile.
+	xPath := filepath.Join(dir, "trial.xml")
+	if err := xmlprof.Write(xPath, tauProfile); err != nil {
+		return nil, err
+	}
+	out[formats.XML] = xPath
+	return out, nil
+}
+
+// singleProcessProfile builds a small one-thread TIME profile with a
+// proper call-tree shape (main includes everything).
+func singleProcessProfile(name string, seed int64) *model.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	p := model.New(name)
+	m := p.AddMetric("TIME")
+	th := p.Thread(0, 0, 0)
+	kernels := []string{"solve", "assemble", "update_halo", "io_dump", "checkpoint"}
+	sum := 0.0
+	for i, k := range kernels {
+		e := p.AddIntervalEvent(k, "APP")
+		d := th.IntervalData(e.ID, 1)
+		d.NumCalls = float64(10 * (i + 1))
+		excl := (0.2 + rng.Float64()) * secondsToMicro
+		d.PerMetric[m] = model.MetricData{Inclusive: excl, Exclusive: excl}
+		sum += excl
+	}
+	main := p.AddIntervalEvent("main", "APP")
+	d := th.IntervalData(main.ID, 1)
+	d.NumCalls = 1
+	d.NumSubrs = float64(len(kernels))
+	d.PerMetric[m] = model.MetricData{Inclusive: sum * 1.05, Exclusive: sum * 0.05}
+	return p
+}
+
+// mpiProfile builds a profile in the shape mpip.Write expects: a per-rank
+// Application event plus MPI-group callsite events.
+func mpiProfile(ranks int, seed int64) *model.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	p := model.New("mpi-app")
+	m := p.AddMetric(mpip.MetricName)
+	app := p.AddIntervalEvent(mpip.AppEventName, "APPLICATION")
+	send := p.AddIntervalEvent("MPI_Send()", "MPI")
+	recv := p.AddIntervalEvent("MPI_Recv()", "MPI")
+	wait := p.AddIntervalEvent("MPI_Waitall()", "MPI")
+	for rank := 0; rank < ranks; rank++ {
+		th := p.Thread(rank, 0, 0)
+		mpiTotal := 0.0
+		for i, e := range []*model.IntervalEvent{send, recv, wait} {
+			d := th.IntervalData(e.ID, 1)
+			d.NumCalls = float64(100 * (i + 1))
+			t := (0.5 + rng.Float64()) * secondsToMicro
+			d.PerMetric[m] = model.MetricData{Inclusive: t, Exclusive: t}
+			mpiTotal += t
+		}
+		d := th.IntervalData(app.ID, 1)
+		d.NumCalls = 1
+		appTime := mpiTotal + (5+rng.Float64())*secondsToMicro
+		d.PerMetric[m] = model.MetricData{Inclusive: appTime, Exclusive: appTime - mpiTotal}
+	}
+	return p
+}
+
+// hpmProfile builds a profile in the shape hpm.Write expects: sections
+// with WALL_CLOCK_TIME and PM_* counters.
+func hpmProfile(seed int64) *model.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	p := model.New("hpm-app")
+	tm := p.AddMetric(hpm.TimeMetric)
+	counters := []string{"PM_FPU0_CMPL", "PM_FPU1_CMPL", "PM_CYC", "PM_LD_MISS_L1"}
+	for _, c := range counters {
+		p.AddMetric(c)
+	}
+	th := p.Thread(0, 0, 0)
+	nm := 1 + len(counters)
+	for i, label := range []string{"main", "solver", "exchange"} {
+		e := p.AddIntervalEvent(label, "HPM")
+		d := th.IntervalData(e.ID, nm)
+		d.NumCalls = float64(1 + i*10)
+		t := (1 + rng.Float64()*10) * secondsToMicro
+		d.PerMetric[tm] = model.MetricData{Inclusive: t, Exclusive: t}
+		for j := range counters {
+			v := float64(int64((1 + rng.Float64()) * 1e8 * float64(j+1)))
+			d.PerMetric[j+1] = model.MetricData{Inclusive: v, Exclusive: v}
+		}
+	}
+	return p
+}
+
+// psrunProfile builds a whole-program counter profile for psrun.Write.
+func psrunProfile(seed int64) *model.Profile {
+	rng := rand.New(rand.NewSource(seed))
+	p := model.New("psrun-app")
+	tm := p.AddMetric(psrun.TimeMetric)
+	e := p.AddIntervalEvent(psrun.EventName, "PSRUN")
+	th := p.Thread(0, 0, 0)
+	names := []string{"PAPI_TOT_CYC", "PAPI_FP_OPS", "PAPI_L1_DCM"}
+	nm := 1 + len(names)
+	d := th.IntervalData(e.ID, nm)
+	d.NumCalls = 1
+	t := (30 + rng.Float64()*30) * secondsToMicro
+	d.PerMetric[tm] = model.MetricData{Inclusive: t, Exclusive: t}
+	for i, n := range names {
+		p.AddMetric(n)
+		v := float64(int64((1 + rng.Float64()) * 1e9))
+		d.PerMetric[i+1] = model.MetricData{Inclusive: v, Exclusive: v}
+	}
+	return p
+}
+
+// Describe returns a one-line summary of a profile, used by the CLI tools.
+func Describe(p *model.Profile) string {
+	return fmt.Sprintf("%s: %d threads, %d events, %d metrics, %d data points",
+		p.Name, p.NumThreads(), len(p.IntervalEvents()), len(p.Metrics()), p.DataPoints())
+}

@@ -1,0 +1,429 @@
+// Package synth generates synthetic parallel profiles that stand in for
+// the paper's evaluation datasets (see DESIGN.md §1): a Miranda-like
+// large-scale trial (101 events × 16K threads, §5.3), an EVH1-like
+// strong-scaling series for the speedup analyzer (§5.2), and an sPPM-like
+// multi-counter trial with planted behaviour classes for PerfExplorer
+// clustering (§5.3, Ahn & Vetter's analysis). All generators are
+// deterministic for a given seed.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"perfdmf/internal/model"
+)
+
+// secondsToMicro converts seconds to the model's canonical microseconds.
+const secondsToMicro = 1e6
+
+// LargeTrialConfig shapes a Miranda-like trial.
+type LargeTrialConfig struct {
+	Threads int   // number of threads of execution (paper: up to 16384)
+	Events  int   // instrumented events (paper: "over one hundred", 101)
+	Metrics int   // metrics; Miranda had 1 (wall clock)
+	Seed    int64 // RNG seed
+}
+
+// LargeTrial builds a flat profile of the configured size. Event 0 is the
+// application timer whose inclusive value spans the run; the remaining
+// events split the time with a Zipf-like distribution plus per-thread
+// noise, and a block of "MPI_*" events carries rank-dependent communication
+// time so downstream analyses see realistic structure.
+func LargeTrial(cfg LargeTrialConfig) *model.Profile {
+	if cfg.Threads <= 0 || cfg.Events <= 1 {
+		panic("synth: LargeTrial needs at least 1 thread and 2 events")
+	}
+	if cfg.Metrics <= 0 {
+		cfg.Metrics = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := model.New(fmt.Sprintf("miranda-like-%dp-%de", cfg.Threads, cfg.Events))
+	p.Meta["generator"] = "synth.LargeTrial"
+	p.Meta["threads"] = fmt.Sprint(cfg.Threads)
+
+	metricNames := []string{"TIME", "PAPI_TOT_CYC", "PAPI_FP_OPS", "PAPI_L1_DCM",
+		"PAPI_L2_DCM", "PAPI_TOT_INS", "PAPI_BR_MSP"}
+	for m := 0; m < cfg.Metrics; m++ {
+		name := fmt.Sprintf("METRIC_%d", m)
+		if m < len(metricNames) {
+			name = metricNames[m]
+		}
+		p.AddMetric(name)
+	}
+
+	app := p.AddIntervalEvent(".TAU application", "TAU_DEFAULT")
+	events := make([]*model.IntervalEvent, 0, cfg.Events-1)
+	// Zipf-ish weights for how the run time is distributed across events.
+	weights := make([]float64, cfg.Events-1)
+	totalW := 0.0
+	for i := range weights {
+		var name, group string
+		if i%5 == 4 {
+			name = fmt.Sprintf("MPI_Op_%d()", i/5)
+			group = "MPI"
+		} else {
+			name = fmt.Sprintf("compute_kernel_%d [{miranda.f90} {%d}]", i, 100+3*i)
+			group = "TAU_USER"
+		}
+		events = append(events, p.AddIntervalEvent(name, group))
+		weights[i] = 1.0 / float64(i+1)
+		totalW += weights[i]
+	}
+
+	const wallSeconds = 900.0 // a 15-minute run
+	nm := cfg.Metrics
+	for rank := 0; rank < cfg.Threads; rank++ {
+		th := p.Thread(rank, 0, 0)
+		// Per-rank noise and a mild rank-position skew (boundary ranks do
+		// less halo exchange).
+		skew := 1 + 0.05*math.Sin(2*math.Pi*float64(rank)/float64(cfg.Threads))
+		noise := 1 + 0.02*rng.NormFloat64()
+		if noise < 0.9 {
+			noise = 0.9
+		}
+		wall := wallSeconds * secondsToMicro * skew * noise
+
+		appData := th.IntervalData(app.ID, nm)
+		appData.NumCalls = 1
+		appData.NumSubrs = float64(len(events))
+
+		sumExcl := make([]float64, nm)
+		for i, e := range events {
+			d := th.IntervalData(e.ID, nm)
+			d.NumCalls = float64(10 * (i%13 + 1))
+			share := weights[i] / totalW
+			jitter := 1 + 0.1*rng.NormFloat64()
+			if jitter < 0.5 {
+				jitter = 0.5
+			}
+			excl := 0.95 * wall * share * jitter
+			for m := 0; m < nm; m++ {
+				scale := 1.0
+				if m > 0 {
+					// Counters scale with time at a per-event rate.
+					scale = float64(1000*(m+i%7)) + 1
+				}
+				d.PerMetric[m] = model.MetricData{
+					Inclusive: excl * scale,
+					Exclusive: excl * scale,
+				}
+				sumExcl[m] += excl * scale
+			}
+		}
+		for m := 0; m < nm; m++ {
+			incl := sumExcl[m] * 1.02 // a little time outside instrumented events
+			appData.PerMetric[m] = model.MetricData{
+				Inclusive: incl,
+				Exclusive: incl - sumExcl[m],
+			}
+		}
+	}
+	return p
+}
+
+// ScalingConfig shapes an EVH1-like strong-scaling study.
+type ScalingConfig struct {
+	Procs []int // processor counts, e.g. 1,2,4,...,64
+	Seed  int64
+	// Routines defaults to a realistic EVH1-like set when nil.
+	Routines []ScalingRoutine
+}
+
+// ScalingRoutine models one routine's strong-scaling behaviour:
+// T(p) = Serial + Parallel/p + Comm·log2(p), in seconds, with per-thread
+// noise. Amdahl's law in miniature — the speedup analyzer should find the
+// communication-bound routines flattening out.
+type ScalingRoutine struct {
+	Name     string
+	Group    string
+	Serial   float64
+	Parallel float64
+	Comm     float64
+	Calls    float64
+}
+
+// DefaultEVH1Routines is the routine mix used when ScalingConfig.Routines
+// is nil: hydro sweeps dominated by parallel work, Riemann solves with a
+// small serial part, boundary exchange dominated by communication.
+func DefaultEVH1Routines() []ScalingRoutine {
+	return []ScalingRoutine{
+		{Name: "SWEEPX", Group: "HYDRO", Serial: 0.5, Parallel: 220, Comm: 0.00, Calls: 400},
+		{Name: "SWEEPY", Group: "HYDRO", Serial: 0.5, Parallel: 210, Comm: 0.00, Calls: 400},
+		{Name: "RIEMANN", Group: "HYDRO", Serial: 2.0, Parallel: 160, Comm: 0.00, Calls: 4800},
+		{Name: "PARABOLA", Group: "HYDRO", Serial: 0.2, Parallel: 90, Comm: 0.00, Calls: 4800},
+		{Name: "REMAP", Group: "HYDRO", Serial: 0.3, Parallel: 70, Comm: 0.00, Calls: 800},
+		{Name: "MPI_Alltoall()", Group: "MPI", Serial: 0.05, Parallel: 0, Comm: 1.8, Calls: 400},
+		{Name: "MPI_Allreduce()", Group: "MPI", Serial: 0.1, Parallel: 0, Comm: 0.9, Calls: 430},
+		{Name: "BOUNDARY", Group: "HYDRO", Serial: 0.1, Parallel: 4, Comm: 0.35, Calls: 800},
+	}
+}
+
+// ScalingSeries builds one profile per processor count. Each profile's
+// metadata records the count, and node_count reflects it so the trial rows
+// uploaded by core carry the right processor counts for analysis.Speedup.
+func ScalingSeries(cfg ScalingConfig) []*model.Profile {
+	routines := cfg.Routines
+	if routines == nil {
+		routines = DefaultEVH1Routines()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []*model.Profile
+	for _, procs := range cfg.Procs {
+		p := model.New(fmt.Sprintf("evh1-like-%dp", procs))
+		p.Meta["generator"] = "synth.ScalingSeries"
+		p.Meta["procs"] = fmt.Sprint(procs)
+		p.AddMetric("TIME")
+		main := p.AddIntervalEvent("MAIN", "EVH1")
+		evs := make([]*model.IntervalEvent, len(routines))
+		for i, r := range routines {
+			evs[i] = p.AddIntervalEvent(r.Name, r.Group)
+		}
+		logp := math.Log2(float64(procs))
+		if procs == 1 {
+			logp = 0
+		}
+		for rank := 0; rank < procs; rank++ {
+			th := p.Thread(rank, 0, 0)
+			sum := 0.0
+			for i, r := range routines {
+				t := r.Serial + r.Parallel/float64(procs) + r.Comm*logp
+				t *= 1 + 0.03*rng.NormFloat64()
+				if t < 0 {
+					t = 0
+				}
+				micro := t * secondsToMicro
+				d := th.IntervalData(evs[i].ID, 1)
+				d.NumCalls = r.Calls
+				d.PerMetric[0] = model.MetricData{Inclusive: micro, Exclusive: micro}
+				sum += micro
+			}
+			d := th.IntervalData(main.ID, 1)
+			d.NumCalls = 1
+			d.NumSubrs = float64(len(routines))
+			d.PerMetric[0] = model.MetricData{Inclusive: sum * 1.01, Exclusive: sum * 0.01}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// CounterConfig shapes an sPPM-like multi-counter trial with planted
+// behaviour classes.
+type CounterConfig struct {
+	Threads int
+	Seed    int64
+	// Classes defaults to the three-way split Ahn & Vetter observed in
+	// sPPM (floating-point heavy, memory bound, communication bound).
+	Classes []BehaviourClass
+}
+
+// BehaviourClass is one planted cluster: a fraction of ranks whose events
+// carry a distinctive counter signature. Signature values are per-second
+// rates for each of the seven PAPI metrics.
+type BehaviourClass struct {
+	Name      string
+	Fraction  float64
+	Signature [7]float64
+}
+
+// PAPIMetrics are the seven hardware counters collected in the paper's
+// sPPM study ("up to 7 PAPI hardware counters were collected at a time").
+var PAPIMetrics = [7]string{
+	"PAPI_FP_OPS", "PAPI_TOT_CYC", "PAPI_TOT_INS", "PAPI_L1_DCM",
+	"PAPI_L2_DCM", "PAPI_TLB_DM", "PAPI_BR_MSP",
+}
+
+// DefaultSPPMClasses reproduces a three-cluster structure like the one
+// PerfExplorer found in sPPM: distinct floating-point behaviour between
+// rank groups.
+func DefaultSPPMClasses() []BehaviourClass {
+	return []BehaviourClass{
+		{
+			Name: "fp-heavy", Fraction: 0.5,
+			Signature: [7]float64{9.0e8, 1.4e9, 1.6e9, 2.0e6, 4.0e5, 9.0e3, 1.0e6},
+		},
+		{
+			Name: "memory-bound", Fraction: 0.375,
+			Signature: [7]float64{2.5e8, 1.4e9, 9.0e8, 2.4e7, 6.0e6, 8.0e4, 2.5e6},
+		},
+		{
+			Name: "io-and-comm", Fraction: 0.125,
+			Signature: [7]float64{4.0e7, 1.2e9, 4.0e8, 5.0e6, 1.2e6, 3.0e4, 7.0e6},
+		},
+	}
+}
+
+// CounterTrial builds an sPPM-like trial: TIME plus seven PAPI metrics for
+// a handful of routines, with each rank assigned to a behaviour class. The
+// returned assignment maps rank to class index, for verifying a clustering
+// run (E4 checks recovered clusters against this ground truth).
+func CounterTrial(cfg CounterConfig) (*model.Profile, []int) {
+	if cfg.Threads <= 0 {
+		panic("synth: CounterTrial needs threads")
+	}
+	classes := cfg.Classes
+	if classes == nil {
+		classes = DefaultSPPMClasses()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := model.New(fmt.Sprintf("sppm-like-%dp", cfg.Threads))
+	p.Meta["generator"] = "synth.CounterTrial"
+	p.AddMetric("TIME")
+	for _, m := range PAPIMetrics {
+		p.AddMetric(m)
+	}
+	nm := 1 + len(PAPIMetrics)
+	routines := []struct {
+		name  string
+		share float64
+	}{
+		{"sppm", 0.05}, {"hydro", 0.35}, {"sweep", 0.30},
+		{"interf", 0.20}, {"difuze", 0.10},
+	}
+	evs := make([]*model.IntervalEvent, len(routines))
+	for i, r := range routines {
+		evs[i] = p.AddIntervalEvent(r.name, "SPPM")
+	}
+
+	// Deterministic class assignment by fraction, interleaved so cluster
+	// membership is not a trivial function of rank order.
+	assignment := make([]int, cfg.Threads)
+	bounds := make([]float64, len(classes))
+	acc := 0.0
+	for i, c := range classes {
+		acc += c.Fraction
+		bounds[i] = acc
+	}
+	for rank := 0; rank < cfg.Threads; rank++ {
+		u := float64((rank*2654435761)%1000) / 1000.0 // hashed position in [0,1)
+		cls := len(classes) - 1
+		for i, b := range bounds {
+			if u < b {
+				cls = i
+				break
+			}
+		}
+		assignment[rank] = cls
+	}
+
+	const wall = 600.0 // seconds
+	for rank := 0; rank < cfg.Threads; rank++ {
+		th := p.Thread(rank, 0, 0)
+		sig := classes[assignment[rank]].Signature
+		for i, r := range routines {
+			d := th.IntervalData(evs[i].ID, nm)
+			d.NumCalls = 100
+			t := wall * r.share * (1 + 0.02*rng.NormFloat64())
+			micro := t * secondsToMicro
+			d.PerMetric[0] = model.MetricData{Inclusive: micro, Exclusive: micro}
+			for m, rate := range sig {
+				// Per-routine tilt keeps events distinguishable while the
+				// rank's class signature dominates.
+				tilt := 1 + 0.1*float64(i)/float64(len(routines))
+				v := rate * t * tilt * (1 + 0.03*rng.NormFloat64())
+				if v < 0 {
+					v = 0
+				}
+				d.PerMetric[m+1] = model.MetricData{Inclusive: v, Exclusive: v}
+			}
+		}
+	}
+	return p, assignment
+}
+
+// CallpathConfig shapes a TAU-style callpath trial.
+type CallpathConfig struct {
+	Threads int
+	Depth   int // call-tree depth below main (default 3)
+	Fanout  int // children per node (default 3)
+	Seed    int64
+}
+
+// CallpathTrial builds a profile in TAU callpath form: flat events plus
+// TAU_CALLPATH events whose names are full "a => b => c" paths, with
+// consistent inclusive/exclusive accounting. It exercises the model's
+// call-tree reconstruction and the trialbrowser -calltree view.
+func CallpathTrial(cfg CallpathConfig) *model.Profile {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 3
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 3
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	p := model.New(fmt.Sprintf("callpath-%dd%df", cfg.Depth, cfg.Fanout))
+	p.Meta["generator"] = "synth.CallpathTrial"
+	m := p.AddMetric("TIME")
+
+	// One deterministic tree shared by all threads; per-thread jitter on
+	// the values only.
+	type frame struct {
+		path  string
+		name  string
+		depth int
+	}
+	var frames []frame
+	var build func(path string, depth int)
+	build = func(path string, depth int) {
+		frames = append(frames, frame{path: path, name: model.CallpathLeaf(path), depth: depth})
+		if depth == cfg.Depth {
+			return
+		}
+		for c := 0; c < cfg.Fanout; c++ {
+			build(fmt.Sprintf("%s => fn_%d_%d()", path, depth+1, c), depth+1)
+		}
+	}
+	build("main()", 0)
+
+	for rank := 0; rank < cfg.Threads; rank++ {
+		th := p.Thread(rank, 0, 0)
+		// Assign exclusive time per frame, then roll up inclusives bottom-up
+		// (frames are in preorder; accumulate via a map keyed by path).
+		excl := make(map[string]float64, len(frames))
+		incl := make(map[string]float64, len(frames))
+		for _, f := range frames {
+			excl[f.path] = (1 + rng.Float64()) * secondsToMicro / float64(f.depth+1)
+		}
+		for i := len(frames) - 1; i >= 0; i-- {
+			f := frames[i]
+			incl[f.path] += excl[f.path]
+			if parent := model.CallpathParent(f.path); parent != "" {
+				incl[parent] += incl[f.path]
+			}
+		}
+		flat := make(map[string]float64)
+		flatIncl := make(map[string]float64)
+		for _, f := range frames {
+			group := "TAU_CALLPATH"
+			if f.depth == 0 {
+				group = "TAU_DEFAULT"
+			}
+			e := p.AddIntervalEvent(f.path, group)
+			d := th.IntervalData(e.ID, 1)
+			d.NumCalls = float64(1 + f.depth*2)
+			d.PerMetric[m] = model.MetricData{Inclusive: incl[f.path], Exclusive: excl[f.path]}
+			// A frame name can occur under several parents; the flat event
+			// aggregates all occurrences. The subtrees are disjoint (no
+			// recursion in the generated tree), so inclusives sum too.
+			flat[f.name] += excl[f.path]
+			flatIncl[f.name] += incl[f.path]
+		}
+		// Flat events for every distinct frame name (skipping main, which
+		// is already flat at depth 0).
+		for name, ex := range flat {
+			if name == "main()" {
+				continue
+			}
+			e := p.AddIntervalEvent(name, "TAU_USER")
+			d := th.IntervalData(e.ID, 1)
+			d.NumCalls = 1
+			d.PerMetric[m] = model.MetricData{Inclusive: flatIncl[name], Exclusive: ex}
+		}
+	}
+	return p
+}

@@ -1,0 +1,200 @@
+package synth
+
+import (
+	"testing"
+
+	"perfdmf/internal/formats"
+	"perfdmf/internal/model"
+)
+
+func TestLargeTrialShape(t *testing.T) {
+	p := LargeTrial(LargeTrialConfig{Threads: 32, Events: 21, Metrics: 2, Seed: 1})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumThreads() != 32 {
+		t.Fatalf("threads: %d", p.NumThreads())
+	}
+	if len(p.IntervalEvents()) != 21 {
+		t.Fatalf("events: %d", len(p.IntervalEvents()))
+	}
+	if len(p.Metrics()) != 2 {
+		t.Fatalf("metrics: %d", len(p.Metrics()))
+	}
+	// Data points = threads × events × metrics for a dense profile.
+	if got := p.DataPoints(); got != 32*21*2 {
+		t.Fatalf("datapoints: %d", got)
+	}
+	// Deterministic for the same seed.
+	q := LargeTrial(LargeTrialConfig{Threads: 32, Events: 21, Metrics: 2, Seed: 1})
+	e := p.IntervalEvents()[3]
+	pd := p.FindThread(7, 0, 0).FindIntervalData(e.ID)
+	qd := q.FindThread(7, 0, 0).FindIntervalData(q.FindIntervalEvent(e.Name).ID)
+	if pd.PerMetric[0] != qd.PerMetric[0] {
+		t.Fatal("not deterministic")
+	}
+	// Different seeds differ.
+	r := LargeTrial(LargeTrialConfig{Threads: 32, Events: 21, Metrics: 2, Seed: 2})
+	rd := r.FindThread(7, 0, 0).FindIntervalData(r.FindIntervalEvent(e.Name).ID)
+	if pd.PerMetric[0] == rd.PerMetric[0] {
+		t.Fatal("seed has no effect")
+	}
+	// The paper's headline configuration scaled down: the event mix has
+	// both MPI and compute groups.
+	sawMPI, sawUser := false, false
+	for _, e := range p.IntervalEvents() {
+		switch e.Group {
+		case "MPI":
+			sawMPI = true
+		case "TAU_USER":
+			sawUser = true
+		}
+	}
+	if !sawMPI || !sawUser {
+		t.Fatal("event mix lacks MPI or compute groups")
+	}
+}
+
+func TestScalingSeriesBehaviour(t *testing.T) {
+	series := ScalingSeries(ScalingConfig{Procs: []int{1, 4, 16}, Seed: 3})
+	if len(series) != 3 {
+		t.Fatalf("series: %d", len(series))
+	}
+	for i, procs := range []int{1, 4, 16} {
+		if series[i].NumThreads() != procs {
+			t.Fatalf("profile %d threads: %d", i, series[i].NumThreads())
+		}
+		if err := series[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A parallel-dominated routine must shrink with p; a comm-dominated
+	// routine must grow.
+	meanExcl := func(idx int, name string) float64 {
+		p := series[idx]
+		e := p.FindIntervalEvent(name)
+		_, mean, _, ok := p.MinMeanMax(e.ID, 0, false)
+		if !ok {
+			t.Fatalf("no data for %s", name)
+		}
+		return mean
+	}
+	if !(meanExcl(0, "SWEEPX") > meanExcl(1, "SWEEPX") && meanExcl(1, "SWEEPX") > meanExcl(2, "SWEEPX")) {
+		t.Error("SWEEPX does not scale down")
+	}
+	if !(meanExcl(2, "MPI_Alltoall()") > meanExcl(1, "MPI_Alltoall()")) {
+		t.Error("MPI_Alltoall does not grow with procs")
+	}
+}
+
+func TestCounterTrialClasses(t *testing.T) {
+	p, assignment := CounterTrial(CounterConfig{Threads: 64, Seed: 4})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(assignment) != 64 {
+		t.Fatalf("assignment: %d", len(assignment))
+	}
+	if len(p.Metrics()) != 8 { // TIME + 7 PAPI
+		t.Fatalf("metrics: %v", p.Metrics())
+	}
+	// All classes represented, roughly in the configured fractions.
+	counts := map[int]int{}
+	for _, c := range assignment {
+		counts[c]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("classes present: %v", counts)
+	}
+	if counts[0] < 20 || counts[1] < 12 || counts[2] < 3 {
+		t.Fatalf("class sizes off: %v", counts)
+	}
+	// FP-heavy ranks must show far higher FP_OPS than io/comm ranks.
+	fp := p.MetricID("PAPI_FP_OPS")
+	ev := p.FindIntervalEvent("hydro")
+	var fpHeavy, ioRank int = -1, -1
+	for rank, c := range assignment {
+		if c == 0 && fpHeavy < 0 {
+			fpHeavy = rank
+		}
+		if c == 2 && ioRank < 0 {
+			ioRank = rank
+		}
+	}
+	a := p.FindThread(fpHeavy, 0, 0).FindIntervalData(ev.ID).PerMetric[fp].Exclusive
+	b := p.FindThread(ioRank, 0, 0).FindIntervalData(ev.ID).PerMetric[fp].Exclusive
+	if a < 5*b {
+		t.Fatalf("class signatures too close: fp-heavy %g vs io %g", a, b)
+	}
+}
+
+func TestWriteSampleFilesAllParse(t *testing.T) {
+	dir := t.TempDir()
+	paths, err := WriteSampleFiles(dir, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(formats.All) {
+		t.Fatalf("got %d sample files, want %d", len(paths), len(formats.All))
+	}
+	for _, format := range formats.All {
+		path, ok := paths[format]
+		if !ok {
+			t.Errorf("no sample for %s", format)
+			continue
+		}
+		p, err := formats.Load(format, path)
+		if err != nil {
+			t.Errorf("%s: %v", format, err)
+			continue
+		}
+		if p.NumThreads() == 0 || len(p.IntervalEvents()) == 0 {
+			t.Errorf("%s: empty profile", format)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", format, err)
+		}
+		// Auto-detection agrees with the declared format.
+		detected, err := formats.Detect(path)
+		if err != nil {
+			t.Errorf("%s: detect: %v", format, err)
+		} else if detected != format {
+			t.Errorf("%s detected as %s", format, detected)
+		}
+	}
+}
+
+func TestCallpathTrial(t *testing.T) {
+	p := CallpathTrial(CallpathConfig{Threads: 2, Depth: 2, Fanout: 2, Seed: 5})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	th := p.FindThread(0, 0, 0)
+	root, ok := p.CallTree(th, 0)
+	if !ok {
+		t.Fatal("no call tree")
+	}
+	if len(root.Children) != 1 || root.Children[0].Name != "main()" {
+		t.Fatalf("roots: %+v", root.Children)
+	}
+	main := root.Children[0]
+	if len(main.Children) != 2 {
+		t.Fatalf("fanout: %d", len(main.Children))
+	}
+	// Inclusive accounting: parent inclusive >= sum of children inclusives.
+	var check func(n *model.CallNode)
+	check = func(n *model.CallNode) {
+		sum := 0.0
+		for _, c := range n.Children {
+			sum += c.Inclusive
+			check(c)
+		}
+		if n.Inclusive < sum-1e-6 {
+			t.Fatalf("node %s: inclusive %g < children %g", n.Path, n.Inclusive, sum)
+		}
+	}
+	check(main)
+	if hot := model.HotPath(root); len(hot) != 3 { // main + 2 levels
+		t.Fatalf("hot path length: %d", len(hot))
+	}
+}
