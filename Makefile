@@ -1,0 +1,35 @@
+# Developer entry points. `make check` is the gate a change must pass:
+# vet, full build, the race-enabled test suite, and a one-shot run of the
+# observability overhead guard benchmark.
+
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench experiments clean
+
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One iteration per sub-benchmark: proves the guard still compiles and
+# runs. Real numbers come from `make bench`.
+bench-smoke:
+	$(GO) test -run '^$$' -bench ObsOverhead -benchtime 1x .
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+experiments:
+	$(GO) run ./cmd/experiments -quick
+
+clean:
+	rm -rf bin BENCH_obs.json

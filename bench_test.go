@@ -11,12 +11,14 @@ import (
 	"fmt"
 	"os"
 	"testing"
+	"time"
 
 	"perfdmf/internal/analysis"
 	"perfdmf/internal/core"
 	"perfdmf/internal/experiments"
 	"perfdmf/internal/formats"
 	"perfdmf/internal/mining"
+	"perfdmf/internal/obs"
 	"perfdmf/internal/synth"
 )
 
@@ -318,6 +320,39 @@ func BenchmarkE8XMLRoundTrip(b *testing.B) {
 		bytes = res.Bytes
 	}
 	b.ReportMetric(float64(bytes), "bytes")
+}
+
+// BenchmarkObsOverhead is the observability overhead guard: the same
+// Miranda-like bulk upload with instrumentation idle (counters only),
+// with tracing + slow-query logging on, and with only the slow-query
+// threshold armed. The idle case must stay within a few percent of the
+// seed's upload rate — the acceptance bound is < 5% — because the bulk
+// path then pays just atomic adds per statement.
+func BenchmarkObsOverhead(b *testing.B) {
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: 512, Events: 101, Metrics: 1, Seed: 1})
+	points := float64(p.DataPoints())
+	variants := []struct {
+		name string
+		cfg  obs.Config
+	}{
+		{"off", obs.Config{}},
+		{"slowlog", obs.Config{SlowQuery: 50 * time.Millisecond}},
+		{"trace", obs.Config{Trace: true, SlowQuery: 50 * time.Millisecond}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			obs.Apply(v.cfg)
+			defer obs.Apply(obs.Config{})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s := benchArchive(b, "obs-"+v.name)
+				if _, err := s.UploadTrial(p, core.UploadOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(points*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+	}
 }
 
 // --- ablations (DESIGN.md §4) ---

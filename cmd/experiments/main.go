@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,7 @@ import (
 	"text/tabwriter"
 
 	"perfdmf/internal/experiments"
+	"perfdmf/internal/obs"
 )
 
 func main() {
@@ -28,11 +30,32 @@ func main() {
 	debug.SetGCPercent(300)
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	only := flag.String("only", "", "comma-separated experiment subset (e.g. E1,E4,AB)")
+	obsOut := flag.String("obs", "BENCH_obs.json", "write the engine-metrics snapshot to this file after the run (empty disables)")
 	flag.Parse()
 	if err := run(*quick, *only); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if *obsOut != "" {
+		if err := writeObsSnapshot(*obsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeObsSnapshot dumps the obs registry as machine-readable JSON — the
+// framework's view of its own engine activity across the whole run.
+func writeObsSnapshot(path string) error {
+	data, err := json.MarshalIndent(obs.Default.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("\nengine metrics written to %s\n", path)
+	return nil
 }
 
 func run(quick bool, only string) error {

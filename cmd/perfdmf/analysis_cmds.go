@@ -3,7 +3,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -11,6 +13,7 @@ import (
 	"perfdmf/internal/analysis"
 	"perfdmf/internal/core"
 	"perfdmf/internal/model"
+	"perfdmf/internal/obs"
 )
 
 // Analysis-toolkit subcommands:
@@ -197,10 +200,13 @@ func cmdRestore(args []string) error {
 }
 
 // cmdStats reports row counts per PerfDMF table — the quick health check
-// an archive operator runs ("how big is this repository?").
+// an archive operator runs ("how big is this repository?") — followed by
+// the framework's own engine metrics. -prom switches to the Prometheus
+// text exposition format for scraping.
 func cmdStats(args []string) error {
 	fs := flag.NewFlagSet("stats", flag.ContinueOnError)
 	dsn := fs.String("db", "", "database DSN")
+	prom := fs.Bool("prom", false, "emit metrics in Prometheus text format")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -225,5 +231,60 @@ func cmdStats(args []string) error {
 		total += n
 	}
 	fmt.Fprintf(w, "TOTAL\t%d\t\n", total)
-	return w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Println()
+	if *prom {
+		return obs.Default.WritePrometheus(os.Stdout)
+	}
+	return printEngineMetrics(os.Stdout)
+}
+
+// printEngineMetrics renders the obs registry for humans: non-zero counters
+// and gauges as name/value pairs, histograms as count, mean and p99.
+func printEngineMetrics(out io.Writer) error {
+	snap := obs.Default.Snapshot()
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "ENGINE METRIC\tVALUE\t\n")
+	names := make([]string, 0, len(snap.Counters)+len(snap.Gauges))
+	for name, v := range snap.Counters {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	for name, v := range snap.Gauges {
+		if v != 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		v, ok := snap.Counters[name]
+		if !ok {
+			v = snap.Gauges[name]
+		}
+		fmt.Fprintf(w, "%s\t%d\t\n", name, v)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	hnames := make([]string, 0, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		if h.Count > 0 {
+			hnames = append(hnames, name)
+		}
+	}
+	if len(hnames) == 0 {
+		return nil
+	}
+	sort.Strings(hnames)
+	fmt.Fprintln(out)
+	hw := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(hw, "LATENCY/SIZE\tCOUNT\tMEAN\tP99\t\n")
+	for _, name := range hnames {
+		h := snap.Histograms[name]
+		fmt.Fprintf(hw, "%s\t%d\t%.0f\t%d\t\n", name, h.Count, h.Mean(), h.Quantile(0.99))
+	}
+	return hw.Flush()
 }

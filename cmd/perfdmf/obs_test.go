@@ -1,0 +1,102 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStatsEngineMetrics is the observability acceptance check: after an
+// upload + query session on a durable archive, `perfdmf stats` reports
+// non-zero query, WAL and transaction metrics. Everything runs in-process
+// (the obs registry is process-local).
+func TestStatsEngineMetrics(t *testing.T) {
+	dsn := "file:" + t.TempDir()
+	tauDir := writeTauSample(t)
+	if _, err := capture(t, func() error {
+		return run([]string{"load", "-db", dsn, "-app", "obs", "-exp", "e1", tauDir})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"sql", "-db", dsn, "SELECT COUNT(*) FROM interval_event"})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := capture(t, func() error { return run([]string{"stats", "-db", dsn}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ENGINE METRIC") {
+		t.Fatalf("stats output missing metrics section:\n%s", out)
+	}
+	for _, name := range []string{
+		"godbc_query_total", "godbc_exec_total",
+		"reldb_wal_appends_total", "reldb_tx_commit_total",
+		"sqlexec_rows_scanned_total",
+	} {
+		line := metricLine(out, name)
+		if line == "" {
+			t.Errorf("stats output missing metric %s:\n%s", name, out)
+			continue
+		}
+		if strings.HasSuffix(strings.TrimSpace(line), " 0") {
+			t.Errorf("metric %s is zero: %q", name, line)
+		}
+	}
+	if !strings.Contains(out, "godbc_query_ns") {
+		t.Errorf("stats output missing histogram table:\n%s", out)
+	}
+
+	// -prom renders the same registry in exposition format.
+	out, err = capture(t, func() error { return run([]string{"stats", "-db", dsn, "-prom"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE godbc_query_total counter",
+		"# TYPE godbc_query_ns histogram",
+		`godbc_query_ns_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// metricLine returns the output line containing name, "" when absent.
+func metricLine(out, name string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, name) {
+			return line
+		}
+	}
+	return ""
+}
+
+// TestSQLExplainAnalyze drives EXPLAIN ANALYZE through the CLI sql command
+// on an indexed SELECT, per the acceptance criterion.
+func TestSQLExplainAnalyze(t *testing.T) {
+	dsn := "file:" + t.TempDir()
+	tauDir := writeTauSample(t)
+	if _, err := capture(t, func() error {
+		return run([]string{"load", "-db", dsn, "-app", "obs", "-exp", "e1", tauDir})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error {
+		return run([]string{"sql", "-db", dsn, "EXPLAIN ANALYZE SELECT name FROM trial WHERE id = 1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"index access",
+		"actual: plan=", "execute=", "materialize=", "total=",
+		"rows scanned=1, rows returned=1 (index access)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"perfdmf/internal/obs"
 	"perfdmf/internal/reldb"
 	"perfdmf/internal/sqlexec"
 	"perfdmf/internal/sqlparse"
@@ -20,9 +21,11 @@ type conn struct {
 	closed   bool
 	readonly bool         // reject all mutating statements
 	release  func() error // driver-specific close hook
+	obs      obsOpts      // per-connection trace/slow-query overrides
 }
 
 func newConn(db *reldb.DB, release func() error) *conn {
+	mConnsOpened.Inc()
 	return &conn{db: db, release: release}
 }
 
@@ -48,11 +51,26 @@ func (c *conn) Exec(query string, args ...any) (Result, error) {
 	if err := c.check(); err != nil {
 		return Result{}, err
 	}
+	mExecTotal.Inc()
+	sp := c.startSpan("exec", query, len(args))
 	st, err := sqlparse.Parse(query)
 	if err != nil {
+		mStmtErrors.Inc()
+		c.finishSpan(sp, err)
 		return Result{}, err
 	}
-	return c.execParsed(st, toValues(args))
+	if sp != nil {
+		sp.Parse = time.Since(sp.Start)
+	}
+	res, err := c.execParsed(st, toValues(args))
+	if err != nil {
+		mStmtErrors.Inc()
+	}
+	c.finishSpan(sp, err)
+	if sp != nil {
+		mExecNS.Observe(int64(sp.Total))
+	}
+	return res, err
 }
 
 func (c *conn) execParsed(st sqlparse.Statement, params []reldb.Value) (Result, error) {
@@ -92,38 +110,58 @@ func (c *conn) Query(query string, args ...any) (Rows, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
+	mQueryTotal.Inc()
+	start := time.Now()
+	sp := c.startSpan("query", query, len(args))
 	st, err := sqlparse.Parse(query)
 	if err != nil {
+		mStmtErrors.Inc()
+		c.finishSpan(sp, err)
 		return nil, err
 	}
+	if sp != nil {
+		sp.Parse = time.Since(sp.Start)
+	}
+	var out Rows
 	switch st := st.(type) {
 	case *sqlparse.Select:
-		return c.queryParsed(st, toValues(args))
+		out, err = c.queryParsed(st, toValues(args), sp)
 	case *sqlparse.Explain:
-		return c.explainParsed(st.Select, toValues(args))
+		if st.Analyze {
+			out, err = c.explainAnalyzeParsed(st.Select, toValues(args))
+		} else {
+			out, err = c.explainParsed(st.Select, toValues(args))
+		}
+	default:
+		err = fmt.Errorf("godbc: Query needs a SELECT (or EXPLAIN SELECT) statement")
 	}
-	return nil, fmt.Errorf("godbc: Query needs a SELECT (or EXPLAIN SELECT) statement")
+	if err != nil {
+		mStmtErrors.Inc()
+	}
+	mQueryNS.Observe(int64(time.Since(start)))
+	c.finishSpan(sp, err)
+	return out, err
 }
 
-func (c *conn) queryParsed(sel *sqlparse.Select, params []reldb.Value) (Rows, error) {
+func (c *conn) queryParsed(sel *sqlparse.Select, params []reldb.Value, sp *obs.Span) (Rows, error) {
 	var rs *sqlexec.ResultSet
 	if c.tx != nil {
 		var err error
-		rs, err = sqlexec.Query(c.tx, sel, params)
+		rs, err = sqlexec.QueryTraced(c.tx, sel, params, sp)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		err := c.db.Read(func(tx *reldb.Tx) error {
 			var err error
-			rs, err = sqlexec.Query(tx, sel, params)
+			rs, err = sqlexec.QueryTraced(tx, sel, params, sp)
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
 	}
-	return &rows{rs: rs, cur: -1}, nil
+	return newRows(rs), nil
 }
 
 // explainParsed runs EXPLAIN SELECT: the plan description, not the data.
@@ -145,18 +183,49 @@ func (c *conn) explainParsed(sel *sqlparse.Select, params []reldb.Value) (Rows, 
 			return nil, err
 		}
 	}
-	return &rows{rs: rs, cur: -1}, nil
+	return newRows(rs), nil
+}
+
+// explainAnalyzeParsed runs EXPLAIN ANALYZE SELECT: the plan, executed and
+// annotated with measured phase timings and row counts.
+func (c *conn) explainAnalyzeParsed(sel *sqlparse.Select, params []reldb.Value) (Rows, error) {
+	var rs *sqlexec.ResultSet
+	if c.tx != nil {
+		var err error
+		rs, err = sqlexec.ExplainAnalyze(c.tx, sel, params)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		err := c.db.Read(func(tx *reldb.Tx) error {
+			var err error
+			rs, err = sqlexec.ExplainAnalyze(tx, sel, params)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newRows(rs), nil
 }
 
 func (c *conn) Prepare(query string) (Stmt, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
+	mPrepareTotal.Inc()
+	sp := c.startSpan("prepare", query, 0)
 	st, err := sqlparse.Parse(query)
+	if sp != nil {
+		sp.Parse = time.Since(sp.Start)
+	}
 	if err != nil {
+		mStmtErrors.Inc()
+		c.finishSpan(sp, err)
 		return nil, err
 	}
-	return &stmt{c: c, st: st}, nil
+	c.finishSpan(sp, nil)
+	return &stmt{c: c, st: st, src: query}, nil
 }
 
 func (c *conn) Begin() error {
@@ -208,6 +277,7 @@ func (c *conn) Close() error {
 		c.tx = nil
 	}
 	c.closed = true
+	mConnsClosed.Inc()
 	if c.release != nil {
 		return c.release()
 	}
@@ -218,6 +288,7 @@ func (c *conn) Close() error {
 type stmt struct {
 	c      *conn
 	st     sqlparse.Statement
+	src    string // original statement text, for spans
 	closed bool
 }
 
@@ -228,7 +299,17 @@ func (s *stmt) Exec(args ...any) (Result, error) {
 	if err := s.c.check(); err != nil {
 		return Result{}, err
 	}
-	return s.c.execParsed(s.st, toValues(args))
+	mExecTotal.Inc()
+	sp := s.c.startSpan("exec", s.src, len(args))
+	res, err := s.c.execParsed(s.st, toValues(args))
+	if err != nil {
+		mStmtErrors.Inc()
+	}
+	s.c.finishSpan(sp, err)
+	if sp != nil {
+		mExecNS.Observe(int64(sp.Total))
+	}
+	return res, err
 }
 
 func (s *stmt) Query(args ...any) (Rows, error) {
@@ -242,7 +323,16 @@ func (s *stmt) Query(args ...any) (Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("godbc: Query needs a SELECT statement")
 	}
-	return s.c.queryParsed(sel, toValues(args))
+	mQueryTotal.Inc()
+	start := time.Now()
+	sp := s.c.startSpan("query", s.src, len(args))
+	out, err := s.c.queryParsed(sel, toValues(args), sp)
+	if err != nil {
+		mStmtErrors.Inc()
+	}
+	mQueryNS.Observe(int64(time.Since(start)))
+	s.c.finishSpan(sp, err)
+	return out, err
 }
 
 func (s *stmt) Close() error {
@@ -250,17 +340,25 @@ func (s *stmt) Close() error {
 	return nil
 }
 
-// rows is the materialized cursor.
+// rows is the materialized cursor. Close releases the materialized result
+// set (the only resource a fully-buffered cursor holds) and exhausts the
+// cursor; it is idempotent, and the column names stay readable afterwards.
 type rows struct {
-	rs  *sqlexec.ResultSet
-	cur int
-	err error
+	cols   []string
+	data   [][]reldb.Value
+	cur    int
+	err    error
+	closed bool
 }
 
-func (r *rows) Columns() []string { return r.rs.Cols }
+func newRows(rs *sqlexec.ResultSet) *rows {
+	return &rows{cols: rs.Cols, data: rs.Rows, cur: -1}
+}
+
+func (r *rows) Columns() []string { return r.cols }
 
 func (r *rows) Next() bool {
-	if r.cur+1 >= len(r.rs.Rows) {
+	if r.closed || r.cur+1 >= len(r.data) {
 		return false
 	}
 	r.cur++
@@ -268,26 +366,34 @@ func (r *rows) Next() bool {
 }
 
 func (r *rows) Value(i int) any {
-	if r.cur < 0 || r.cur >= len(r.rs.Rows) || i < 0 || i >= len(r.rs.Rows[r.cur]) {
+	if r.cur < 0 || r.cur >= len(r.data) || i < 0 || i >= len(r.data[r.cur]) {
 		return nil
 	}
-	return r.rs.Rows[r.cur][i].Go()
+	return r.data[r.cur][i].Go()
 }
 
-func (r *rows) Err() error   { return r.err }
-func (r *rows) Close() error { return nil }
+func (r *rows) Err() error { return r.err }
+
+func (r *rows) Close() error {
+	r.closed = true
+	r.data = nil // release the result set for the GC
+	return nil
+}
 
 func (r *rows) Scan(dest ...any) error {
-	if r.cur < 0 || r.cur >= len(r.rs.Rows) {
+	if r.closed {
+		return fmt.Errorf("godbc: Scan on closed rows")
+	}
+	if r.cur < 0 || r.cur >= len(r.data) {
 		return fmt.Errorf("godbc: Scan called without Next")
 	}
-	row := r.rs.Rows[r.cur]
+	row := r.data[r.cur]
 	if len(dest) != len(row) {
 		return fmt.Errorf("godbc: Scan got %d destinations for %d columns", len(dest), len(row))
 	}
 	for i, d := range dest {
 		if err := assign(d, row[i]); err != nil {
-			return fmt.Errorf("godbc: column %d (%s): %w", i, r.rs.Cols[i], err)
+			return fmt.Errorf("godbc: column %d (%s): %w", i, r.cols[i], err)
 		}
 	}
 	return nil

@@ -16,6 +16,12 @@
 // for shared repositories (§5.1: "a simple matter to implement access
 // authorization to enforce different policies for performance data
 // security and sharing").
+//
+// Both drivers also accept per-connection observability overrides,
+// ?trace=1&slowms=50: trace records every statement on the connection into
+// the obs tracer, slowms sets the connection's slow-query threshold in
+// milliseconds (0 silences a globally-configured threshold). Unset options
+// defer to the global obs configuration (PERFDMF_TRACE / PERFDMF_SLOW_MS).
 package godbc
 
 import (
@@ -69,8 +75,9 @@ type Result struct {
 	LastInsertID int64
 }
 
-// Rows is a cursor over a query result. It is fully materialized: Close is
-// optional but harmless.
+// Rows is a cursor over a query result. It is fully materialized; Close
+// releases the buffered result set, after which the cursor is exhausted
+// (Next reports false). Closing twice is safe.
 type Rows interface {
 	// Columns returns the result column names.
 	Columns() []string
@@ -208,6 +215,10 @@ func (d *memDriver) Open(rest string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
+	oo, err := parseObsOptions(opts)
+	if err != nil {
+		return nil, err
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	db := d.dbs[name]
@@ -217,6 +228,7 @@ func (d *memDriver) Open(rest string) (Conn, error) {
 	}
 	c := newConn(db, nil)
 	c.readonly = optBool(opts, "readonly")
+	c.obs = oo
 	return c, nil
 }
 
@@ -239,6 +251,10 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	}
 	if path == "" {
 		return nil, fmt.Errorf("godbc: file DSN needs a directory path")
+	}
+	oo, err := parseObsOptions(opts)
+	if err != nil {
+		return nil, err
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -276,6 +292,7 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	}
 	c := newConn(entry.db, release)
 	c.readonly = readonly
+	c.obs = oo
 	return c, nil
 }
 

@@ -1,0 +1,103 @@
+package godbc
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"perfdmf/internal/obs"
+)
+
+// Connectivity-layer metrics, resolved once. The exec counters ride the
+// bulk-upload hot path, so with tracing off and no slow-query threshold the
+// per-statement cost is a single atomic add.
+var (
+	mConnsOpened  = obs.Default.Counter("godbc_conns_opened_total")
+	mConnsClosed  = obs.Default.Counter("godbc_conns_closed_total")
+	mExecTotal    = obs.Default.Counter("godbc_exec_total")
+	mQueryTotal   = obs.Default.Counter("godbc_query_total")
+	mPrepareTotal = obs.Default.Counter("godbc_prepare_total")
+	mStmtErrors   = obs.Default.Counter("godbc_statement_errors_total")
+	mQueryNS      = obs.Default.Histogram("godbc_query_ns")
+	mExecNS       = obs.Default.Histogram("godbc_exec_ns") // only fed while timing is on
+)
+
+// obsOpts carries per-connection observability overrides parsed from DSN
+// options (?trace=1&slowms=50). Unset knobs defer to the global obs config,
+// so a connection can both enable tracing the process has off and silence a
+// global slow-query threshold with slowms=0.
+type obsOpts struct {
+	traceSet bool
+	trace    bool
+	slowSet  bool
+	slow     time.Duration
+}
+
+// parseObsOptions validates the trace and slowms DSN options. Unlike the
+// lenient global env knobs, DSN options are spelled by the user right now,
+// so malformed values are errors.
+func parseObsOptions(opts map[string]string) (obsOpts, error) {
+	var o obsOpts
+	if v, ok := opts["trace"]; ok {
+		switch v {
+		case "1", "true", "yes":
+			o.traceSet, o.trace = true, true
+		case "0", "false", "no":
+			o.traceSet, o.trace = true, false
+		default:
+			return o, fmt.Errorf("godbc: option trace=%q is not a boolean", v)
+		}
+	}
+	if v, ok := opts["slowms"]; ok {
+		ms, err := strconv.Atoi(v)
+		if err != nil || ms < 0 {
+			return o, fmt.Errorf("godbc: option slowms=%q is not a non-negative integer", v)
+		}
+		o.slowSet, o.slow = true, time.Duration(ms)*time.Millisecond
+	}
+	return o, nil
+}
+
+// tracingOn resolves the connection's effective tracing switch.
+func (c *conn) tracingOn() bool {
+	if c.obs.traceSet {
+		return c.obs.trace
+	}
+	return obs.TracingEnabled()
+}
+
+// slowThreshold resolves the connection's effective slow-query threshold.
+func (c *conn) slowThreshold() time.Duration {
+	if c.obs.slowSet {
+		return c.obs.slow
+	}
+	return obs.SlowQueryThreshold()
+}
+
+// startSpan returns a live span when some consumer (tracer or slow-query
+// log) wants it, nil otherwise. Nil spans keep the statement path free of
+// time.Now calls.
+func (c *conn) startSpan(kind, stmt string, nparams int) *obs.Span {
+	if !c.tracingOn() && c.slowThreshold() <= 0 {
+		return nil
+	}
+	return &obs.Span{Kind: kind, Statement: stmt, Params: nparams, Start: time.Now()}
+}
+
+// finishSpan stamps the total, records the error, and routes the span to the
+// tracer and/or slow-query log.
+func (c *conn) finishSpan(sp *obs.Span, err error) {
+	if sp == nil {
+		return
+	}
+	sp.Total = time.Since(sp.Start)
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	if c.tracingOn() {
+		obs.DefaultTracer.Record(sp)
+	}
+	if th := c.slowThreshold(); th > 0 && sp.Total >= th {
+		obs.DefaultSlowLog.Record(sp)
+	}
+}

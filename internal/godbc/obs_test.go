@@ -1,0 +1,270 @@
+package godbc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"perfdmf/internal/obs"
+)
+
+func mustExec(t *testing.T, c Conn, q string, args ...any) {
+	t.Helper()
+	if _, err := c.Exec(q, args...); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRowsClose is the regression test for Close being a silent no-op:
+// Close must release the result set, exhaust the cursor, and stay safe to
+// call twice.
+func TestRowsClose(t *testing.T) {
+	c := openT(t, freshMem(t))
+	mustExec(t, c, "CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
+	for i := 0; i < 3; i++ {
+		mustExec(t, c, "INSERT INTO t (id, v) VALUES (?, ?)", i, i*10)
+	}
+	rows, err := c.Query("SELECT id, v FROM t ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rows.Next() {
+		t.Fatal("no first row")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if rows.Next() {
+		t.Fatal("Next succeeded after Close")
+	}
+	if got := rows.Value(0); got != nil {
+		t.Fatalf("Value after Close = %v, want nil", got)
+	}
+	var id int64
+	if err := rows.Scan(&id); err == nil {
+		t.Fatal("Scan after Close succeeded")
+	}
+	if err := rows.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("Err after Close: %v", err)
+	}
+	// Columns stay readable for result-shape inspection.
+	if cols := rows.Columns(); len(cols) != 2 || cols[0] != "id" {
+		t.Fatalf("Columns after Close = %v", cols)
+	}
+	// The released cursor does not affect fresh queries.
+	rows2, err := c.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows2.Close()
+	var n int64
+	if !rows2.Next() {
+		t.Fatal("count row missing")
+	}
+	if err := rows2.Scan(&n); err != nil || n != 3 {
+		t.Fatalf("count = %d, err = %v", n, err)
+	}
+}
+
+// TestDSNObsOptions checks trace/slowms parsing on both drivers: valid
+// spellings apply, malformed ones fail the Open.
+func TestDSNObsOptions(t *testing.T) {
+	c, err := Open("mem:dsnobs?trace=1&slowms=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cc := c.(*conn)
+	if !cc.obs.traceSet || !cc.obs.trace || !cc.tracingOn() {
+		t.Fatalf("trace option not applied: %+v", cc.obs)
+	}
+	if !cc.obs.slowSet || cc.slowThreshold() != 50*time.Millisecond {
+		t.Fatalf("slowms option not applied: %+v", cc.obs)
+	}
+
+	// slowms=0 on a connection silences a global threshold.
+	obs.SetSlowQueryThreshold(time.Millisecond)
+	defer obs.SetSlowQueryThreshold(0)
+	c2, err := Open("mem:dsnobs?slowms=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if th := c2.(*conn).slowThreshold(); th != 0 {
+		t.Fatalf("slowms=0 did not override global threshold: %v", th)
+	}
+
+	dir := t.TempDir()
+	fc, err := Open("file:" + dir + "?trace=true&slowms=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fcc := fc.(*conn)
+	if !fcc.tracingOn() || fcc.slowThreshold() != 10*time.Millisecond {
+		t.Fatalf("file driver options not applied: %+v", fcc.obs)
+	}
+	if err := fc.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, dsn := range []string{
+		"mem:dsnobs?trace=maybe",
+		"mem:dsnobs?slowms=-1",
+		"mem:dsnobs?slowms=fast",
+		"mem:dsnobs?slowms=",
+		"fmt", // placeholder replaced below for the file driver
+	} {
+		if dsn == "fmt" {
+			dsn = fmt.Sprintf("file:%s?trace=2", t.TempDir())
+		}
+		if _, err := Open(dsn); err == nil {
+			t.Errorf("Open(%q) accepted a malformed option", dsn)
+		}
+	}
+}
+
+// TestTracerAndSlowLogRouting drives statements over a traced connection
+// and checks they land in the tracer; a 0ms threshold (every statement is
+// slow) feeds the slow-query log.
+func TestTracerAndSlowLogRouting(t *testing.T) {
+	obs.DefaultTracer.Reset()
+	obs.DefaultSlowLog.Reset()
+	c, err := Open("mem:tracerouting?trace=1&slowms=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustExec(t, c, "CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
+	mustExec(t, c, "INSERT INTO t (id, v) VALUES (1, 10)")
+	rows, err := c.Query("SELECT v FROM t WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	spans := obs.DefaultTracer.Recent()
+	if len(spans) < 3 {
+		t.Fatalf("tracer got %d spans, want >= 3", len(spans))
+	}
+	last := spans[len(spans)-1]
+	if last.Kind != "query" || !last.IndexUsed || last.RowsReturned != 1 {
+		t.Fatalf("query span = %+v", last)
+	}
+	if last.Total <= 0 || last.Parse <= 0 {
+		t.Fatalf("span not timed: %+v", last)
+	}
+	if !strings.Contains(last.Statement, "SELECT v FROM t") {
+		t.Fatalf("span statement = %q", last.Statement)
+	}
+	// slowms=0 disables the slow log (0 = off, matching the global knob).
+	if obs.DefaultSlowLog.Total() != 0 {
+		t.Fatalf("slow log got %d entries with threshold off", obs.DefaultSlowLog.Total())
+	}
+
+	// A 1ns global threshold catches everything on a default connection.
+	obs.SetSlowQueryThreshold(time.Nanosecond)
+	defer obs.SetSlowQueryThreshold(0)
+	c2, err := Open("mem:tracerouting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rows2, err := c2.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows2.Close()
+	if obs.DefaultSlowLog.Total() < 1 {
+		t.Fatal("slow log empty after query over threshold")
+	}
+	sp := obs.DefaultSlowLog.Recent()[0]
+	if sp.Kind != "query" || sp.Total < time.Nanosecond {
+		t.Fatalf("slow span = %+v", sp)
+	}
+}
+
+// TestExplainAnalyzeThroughConn checks the EXPLAIN ANALYZE path end to end:
+// parser flag, execution, and actual-timing rows via the godbc cursor.
+func TestExplainAnalyzeThroughConn(t *testing.T) {
+	c := openT(t, freshMem(t))
+	mustExec(t, c, "CREATE TABLE t (id BIGINT PRIMARY KEY, v BIGINT)")
+	for i := 0; i < 10; i++ {
+		mustExec(t, c, "INSERT INTO t (id, v) VALUES (?, ?)", i, i)
+	}
+	rows, err := c.Query("EXPLAIN ANALYZE SELECT v FROM t WHERE id = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	var lines []string
+	for rows.Next() {
+		var s string
+		if err := rows.Scan(&s); err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, s)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{
+		"index access", "actual: plan=", "total=",
+		"rows scanned=1, rows returned=1 (index access)",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("EXPLAIN ANALYZE output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+// TestMetaDataAfterAlter exercises MetaData().Columns() and Indexes()
+// through ALTER TABLE ADD/DROP COLUMN with the instrumentation wrappers
+// active (traced connection).
+func TestMetaDataAfterAlter(t *testing.T) {
+	c, err := Open("mem:metaalter?trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	mustExec(t, c, "CREATE TABLE t (id BIGINT PRIMARY KEY, a BIGINT)")
+	mustExec(t, c, "CREATE INDEX ix_a ON t (a)")
+
+	colNames := func() []string {
+		cols, err := c.MetaData().Columns("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, len(cols))
+		for i, col := range cols {
+			names[i] = col.Name
+		}
+		return names
+	}
+
+	mustExec(t, c, "ALTER TABLE t ADD COLUMN b VARCHAR")
+	if got := colNames(); len(got) != 3 || got[2] != "b" {
+		t.Fatalf("columns after ADD = %v", got)
+	}
+	mustExec(t, c, "ALTER TABLE t DROP COLUMN b")
+	if got := colNames(); len(got) != 2 || got[0] != "id" || got[1] != "a" {
+		t.Fatalf("columns after DROP = %v", got)
+	}
+	ixs, err := c.MetaData().Indexes("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ixs) != 1 || ixs[0].Name != "ix_a" || ixs[0].Column != "a" {
+		t.Fatalf("indexes after ALTERs = %+v", ixs)
+	}
+	// The ALTERs above ran as traced exec statements.
+	found := false
+	for _, sp := range obs.DefaultTracer.Recent() {
+		if sp.Kind == "exec" && strings.Contains(sp.Statement, "ALTER TABLE t ADD") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("ALTER TABLE span missing from tracer")
+	}
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("Counter did not return the existing handle")
+	}
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1 << 20, 21}, {1<<63 - 1, HistBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.v); got != tc.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.v, got, tc.bucket)
+		}
+	}
+	h := (&Registry{histograms: map[string]*Histogram{}}).Histogram("h")
+	for _, v := range []int64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 1106 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	s := h.snapshot()
+	if s.Mean() != 1106.0/5 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+	// p100 lands in the bucket holding 1000: upper bound 1024.
+	if q := s.Quantile(1.0); q != 1024 {
+		t.Fatalf("q100 = %d, want 1024", q)
+	}
+	if q := s.Quantile(0.2); q != 2 {
+		t.Fatalf("q20 = %d, want 2 (value 1 lives in [1,2))", q)
+	}
+}
+
+func TestSnapshotAndPrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Gauge("b_bytes").Set(42)
+	r.Histogram("c_ns").Observe(100)
+	s := r.Snapshot()
+	if s.Counters["a_total"] != 3 || s.Gauges["b_bytes"] != 42 || s.Histograms["c_ns"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE a_total counter\na_total 3",
+		"# TYPE b_bytes gauge\nb_bytes 42",
+		"# TYPE c_ns histogram",
+		`c_ns_bucket{le="128"} 1`,
+		`c_ns_bucket{le="+Inf"} 1`,
+		"c_ns_sum 100",
+		"c_ns_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	r.Reset()
+	if s := r.Snapshot(); s.Counters["a_total"] != 0 || s.Histograms["c_ns"].Count != 0 {
+		t.Fatalf("Reset left values: %+v", s)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("shared").Inc()
+				r.Histogram("h").Observe(int64(j))
+				r.Gauge("g").Set(int64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestConfigSwitches(t *testing.T) {
+	defer Apply(Config{})
+	Apply(Config{})
+	if TimingEnabled() {
+		t.Fatal("timing enabled with empty config")
+	}
+	Apply(Config{Trace: true})
+	if !TracingEnabled() || !TimingEnabled() {
+		t.Fatal("trace did not enable timing")
+	}
+	Apply(Config{SlowQuery: 5 * time.Millisecond})
+	if TracingEnabled() {
+		t.Fatal("trace still on")
+	}
+	if !TimingEnabled() || SlowQueryThreshold() != 5*time.Millisecond {
+		t.Fatal("slow threshold did not enable timing")
+	}
+	SetSlowQueryThreshold(-1)
+	if SlowQueryThreshold() != 0 {
+		t.Fatal("negative threshold not clamped")
+	}
+}
+
+func TestApplyEnv(t *testing.T) {
+	defer Apply(Config{})
+	t.Setenv(EnvTrace, "1")
+	t.Setenv(EnvSlowMS, "25")
+	ApplyEnv()
+	if !TracingEnabled() || SlowQueryThreshold() != 25*time.Millisecond {
+		t.Fatalf("env not applied: trace=%v slow=%v", TracingEnabled(), SlowQueryThreshold())
+	}
+	t.Setenv(EnvSlowMS, "bogus") // malformed values are ignored, not fatal
+	ApplyEnv()
+	if SlowQueryThreshold() != 25*time.Millisecond {
+		t.Fatal("malformed env var changed the threshold")
+	}
+}
+
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record(&Span{Params: i})
+	}
+	got := tr.Recent()
+	if len(got) != 3 || got[0].Params != 2 || got[2].Params != 4 {
+		t.Fatalf("recent = %+v", got)
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	tr.Reset()
+	if len(tr.Recent()) != 0 || tr.Total() != 0 {
+		t.Fatal("reset left spans")
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	l := NewSlowLog(2)
+	var b strings.Builder
+	l.SetOutput(&b)
+	sp := &Span{
+		Kind: "query", Statement: "SELECT *\n  FROM t WHERE a = ?", Params: 1,
+		Start: time.Unix(0, 0).UTC(), Total: 80 * time.Millisecond,
+		Plan: time.Millisecond, Execute: 70 * time.Millisecond,
+		RowsScanned: 1000, RowsReturned: 3, PlanSummary: "full scan",
+	}
+	l.Record(sp)
+	out := b.String()
+	for _, want := range []string{
+		"slow-query", "kind=query", "total=80ms", "rows=1000/3",
+		`plan="full scan"`, `stmt="SELECT * FROM t WHERE a = ?"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("slow log line missing %q: %s", want, out)
+		}
+	}
+	l.Record(&Span{Kind: "exec"})
+	l.Record(&Span{Kind: "exec"})
+	if got := l.Recent(); len(got) != 2 || got[0].Kind != "exec" {
+		t.Fatalf("ring = %+v", got)
+	}
+	if l.Total() != 3 {
+		t.Fatalf("total = %d", l.Total())
+	}
+}
+
+func TestSpanStringTruncation(t *testing.T) {
+	sp := &Span{Kind: "query", Statement: strings.Repeat("x", 500)}
+	s := sp.String()
+	if !strings.Contains(s, strings.Repeat("x", 197)+"...") {
+		t.Fatal("statement not truncated to 197 chars + ellipsis")
+	}
+	if strings.Contains(s, strings.Repeat("x", 198)) {
+		t.Fatal("statement longer than the 200-char cap")
+	}
+}

@@ -1,0 +1,279 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span records one statement's journey through the stack: the godbc layer
+// stamps parse time and totals, sqlexec fills in the plan/execute/
+// materialize phases, the access-path decision, and rows scanned vs.
+// returned. A span costs nothing unless tracing or the slow-query log is
+// active — callers pass nil otherwise.
+type Span struct {
+	Kind      string    `json:"kind"` // "exec", "query" or "prepare"
+	Statement string    `json:"statement"`
+	Params    int       `json:"params"` // bound-parameter count
+	Start     time.Time `json:"start"`
+
+	// Phase timings. For Exec statements the engine work is folded into
+	// Execute; Prepare spans only have Parse.
+	Parse       time.Duration `json:"parse_ns"`
+	Plan        time.Duration `json:"plan_ns"`
+	Execute     time.Duration `json:"execute_ns"`
+	Materialize time.Duration `json:"materialize_ns"`
+	Total       time.Duration `json:"total_ns"`
+
+	RowsScanned  int64  `json:"rows_scanned"`
+	RowsReturned int64  `json:"rows_returned"`
+	IndexUsed    bool   `json:"index_used"`
+	PlanSummary  string `json:"plan_summary,omitempty"`
+	Err          string `json:"err,omitempty"`
+}
+
+// String renders the span as the one-line slow-query log format documented
+// in docs/OBSERVABILITY.md.
+func (sp *Span) String() string {
+	stmt := sp.Statement
+	if len(stmt) > 200 {
+		stmt = stmt[:197] + "..."
+	}
+	stmt = strings.Join(strings.Fields(stmt), " ") // collapse newlines/indent
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s kind=%s total=%v parse=%v plan=%v execute=%v materialize=%v rows=%d/%d params=%d",
+		sp.Start.Format(time.RFC3339), sp.Kind, sp.Total, sp.Parse, sp.Plan,
+		sp.Execute, sp.Materialize, sp.RowsScanned, sp.RowsReturned, sp.Params)
+	if sp.PlanSummary != "" {
+		fmt.Fprintf(&b, " plan=%q", sp.PlanSummary)
+	}
+	if sp.Err != "" {
+		fmt.Fprintf(&b, " err=%q", sp.Err)
+	}
+	fmt.Fprintf(&b, " stmt=%q", stmt)
+	return b.String()
+}
+
+// --- global tracing / slow-query configuration ---
+
+var (
+	traceEnabled  atomic.Bool
+	slowThreshold atomic.Int64 // nanoseconds; 0 disables the slow-query log
+	timingEnabled atomic.Bool  // traceEnabled || slowThreshold > 0
+)
+
+func refreshTiming() {
+	timingEnabled.Store(traceEnabled.Load() || slowThreshold.Load() > 0)
+}
+
+// SetTracing turns statement tracing on or off globally. Connections can
+// override this per DSN (godbc's ?trace=1).
+func SetTracing(on bool) {
+	traceEnabled.Store(on)
+	refreshTiming()
+}
+
+// TracingEnabled reports the global tracing switch.
+func TracingEnabled() bool { return traceEnabled.Load() }
+
+// SetSlowQueryThreshold sets the global slow-query threshold; statements
+// that take at least d are recorded in DefaultSlowLog. Zero disables.
+func SetSlowQueryThreshold(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	slowThreshold.Store(int64(d))
+	refreshTiming()
+}
+
+// SlowQueryThreshold returns the global threshold (0 = disabled).
+func SlowQueryThreshold() time.Duration {
+	return time.Duration(slowThreshold.Load())
+}
+
+// TimingEnabled reports whether any consumer (tracing or the slow-query
+// log) needs per-statement wall-clock timing. Hot paths gate their
+// time.Now calls on this so the idle cost stays at a few atomic adds.
+func TimingEnabled() bool { return timingEnabled.Load() }
+
+// Config bundles the runtime-tunable observability settings.
+type Config struct {
+	// Trace enables per-statement span recording into DefaultTracer.
+	Trace bool
+	// SlowQuery is the slow-query log threshold; zero disables the log.
+	SlowQuery time.Duration
+}
+
+// Apply installs cfg globally.
+func Apply(cfg Config) {
+	SetTracing(cfg.Trace)
+	SetSlowQueryThreshold(cfg.SlowQuery)
+}
+
+// Env var names honoured at startup (and re-readable via ApplyEnv):
+// PERFDMF_TRACE=1 enables tracing, PERFDMF_SLOW_MS=50 sets the slow-query
+// threshold in milliseconds.
+const (
+	EnvTrace  = "PERFDMF_TRACE"
+	EnvSlowMS = "PERFDMF_SLOW_MS"
+)
+
+// ApplyEnv reads EnvTrace and EnvSlowMS and applies whatever is set,
+// leaving unset knobs untouched. Malformed values are ignored — an
+// observability layer must never stop the program it observes.
+func ApplyEnv() {
+	if v, ok := os.LookupEnv(EnvTrace); ok {
+		SetTracing(v == "1" || strings.EqualFold(v, "true") || strings.EqualFold(v, "yes"))
+	}
+	if v, ok := os.LookupEnv(EnvSlowMS); ok {
+		if ms, err := strconv.Atoi(v); err == nil && ms >= 0 {
+			SetSlowQueryThreshold(time.Duration(ms) * time.Millisecond)
+		}
+	}
+}
+
+func init() { ApplyEnv() }
+
+// --- tracer ---
+
+// Tracer keeps a bounded ring of the most recent spans.
+type Tracer struct {
+	mu    sync.Mutex
+	buf   []*Span
+	next  int
+	total int64
+}
+
+// NewTracer returns a tracer retaining the last n spans.
+func NewTracer(n int) *Tracer {
+	if n < 1 {
+		n = 1
+	}
+	return &Tracer{buf: make([]*Span, n)}
+}
+
+// DefaultTracer receives every span when tracing is enabled.
+var DefaultTracer = NewTracer(256)
+
+// Record stores a completed span.
+func (t *Tracer) Record(sp *Span) {
+	t.mu.Lock()
+	t.buf[t.next] = sp
+	t.next = (t.next + 1) % len(t.buf)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total returns how many spans have been recorded since process start.
+func (t *Tracer) Total() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Recent returns the retained spans, oldest first.
+func (t *Tracer) Recent() []*Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, 0, len(t.buf))
+	for i := 0; i < len(t.buf); i++ {
+		if sp := t.buf[(t.next+i)%len(t.buf)]; sp != nil {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Reset discards retained spans (for tests).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.buf {
+		t.buf[i] = nil
+	}
+	t.next = 0
+	t.total = 0
+}
+
+// --- slow-query log ---
+
+// SlowLog retains statements that exceeded the slow-query threshold and
+// optionally streams each entry as a formatted line to an io.Writer.
+type SlowLog struct {
+	mu   sync.Mutex
+	buf  []*Span
+	next int
+	n    int64
+	out  io.Writer
+}
+
+// NewSlowLog returns a log retaining the last n slow statements.
+func NewSlowLog(n int) *SlowLog {
+	if n < 1 {
+		n = 1
+	}
+	return &SlowLog{buf: make([]*Span, n)}
+}
+
+// DefaultSlowLog receives every statement that crosses the threshold.
+var DefaultSlowLog = NewSlowLog(128)
+
+var slowQueriesTotal = Default.Counter("obs_slow_queries_total")
+
+// SetOutput streams future entries to w as one-line records (nil disables
+// streaming; entries are always retained in the ring).
+func (l *SlowLog) SetOutput(w io.Writer) {
+	l.mu.Lock()
+	l.out = w
+	l.mu.Unlock()
+}
+
+// Record stores one slow statement.
+func (l *SlowLog) Record(sp *Span) {
+	slowQueriesTotal.Inc()
+	l.mu.Lock()
+	l.buf[l.next] = sp
+	l.next = (l.next + 1) % len(l.buf)
+	l.n++
+	out := l.out
+	l.mu.Unlock()
+	if out != nil {
+		fmt.Fprintf(out, "slow-query %s\n", sp) //nolint:errcheck // best-effort log stream
+	}
+}
+
+// Total returns how many slow statements have been recorded.
+func (l *SlowLog) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// Recent returns the retained entries, oldest first.
+func (l *SlowLog) Recent() []*Span {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]*Span, 0, len(l.buf))
+	for i := 0; i < len(l.buf); i++ {
+		if sp := l.buf[(l.next+i)%len(l.buf)]; sp != nil {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// Reset discards retained entries (for tests).
+func (l *SlowLog) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range l.buf {
+		l.buf[i] = nil
+	}
+	l.next = 0
+	l.n = 0
+}

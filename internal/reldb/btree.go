@@ -124,6 +124,7 @@ func (t *btree) splitPath(key Value) {
 // split divides an overfull node in two, returning the separator key and
 // the new right sibling.
 func (n *bnode) split() (Value, *bnode) {
+	mBtreeSplits.Inc()
 	mid := len(n.keys) / 2
 	right := &bnode{leaf: n.leaf}
 	if n.leaf {

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // DB is an embedded relational database: a catalog of tables plus optional
@@ -58,6 +59,7 @@ type undoRec struct {
 func (db *DB) Read(fn func(tx *Tx) error) error {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	mTxRead.Inc()
 	tx := &Tx{db: db}
 	return fn(tx)
 }
@@ -76,7 +78,10 @@ func (db *DB) Write(fn func(tx *Tx) error) error {
 // Begin starts an explicit write transaction. The caller must call Commit
 // or Rollback; the database is locked until then.
 func (db *DB) Begin() *Tx {
+	start := time.Now()
 	db.mu.Lock()
+	mLockWaitNS.Observe(int64(time.Since(start)))
+	mTxBegin.Inc()
 	return &Tx{db: db, writable: true}
 }
 
@@ -87,6 +92,7 @@ func (tx *Tx) Commit() error {
 		return nil
 	}
 	tx.done = true
+	mTxCommit.Inc()
 	defer tx.db.mu.Unlock()
 	if tx.db.wal != nil && len(tx.redo) > 0 {
 		if err := tx.db.wal.append(tx.redo); err != nil {
@@ -112,6 +118,7 @@ func (tx *Tx) Rollback() {
 		return
 	}
 	tx.done = true
+	mTxRollback.Inc()
 	tx.rollbackLocked()
 	tx.db.mu.Unlock()
 }
@@ -401,6 +408,7 @@ func (tx *Tx) Insert(table string, row Row) (Value, error) {
 	if err != nil {
 		return Null, err
 	}
+	mRowsInserted.Inc()
 	tx.undo = append(tx.undo, undoRec{kind: undoInsert, table: strings.ToLower(table), slot: slot})
 	if tx.logRedo() {
 		tx.redo = append(tx.redo, walRecord{kind: walInsert, table: t.schema.Name, row: norm.clone()})
@@ -432,6 +440,7 @@ func (tx *Tx) Update(table string, slot int, row Row) error {
 	if err != nil {
 		return err
 	}
+	mRowsUpdated.Inc()
 	tx.undo = append(tx.undo, undoRec{kind: undoUpdate, table: strings.ToLower(table), slot: slot, row: old})
 	if tx.logRedo() {
 		tx.redo = append(tx.redo, walRecord{kind: walUpdate, table: t.schema.Name, slot: slot, row: norm.clone()})
@@ -452,6 +461,7 @@ func (tx *Tx) Delete(table string, slot int) error {
 	if err != nil {
 		return err
 	}
+	mRowsDeleted.Inc()
 	tx.undo = append(tx.undo, undoRec{kind: undoDelete, table: strings.ToLower(table), slot: slot, row: old})
 	if tx.logRedo() {
 		tx.redo = append(tx.redo, walRecord{kind: walDelete, table: t.schema.Name, slot: slot})

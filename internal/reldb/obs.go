@@ -1,0 +1,39 @@
+package reldb
+
+import "perfdmf/internal/obs"
+
+// Engine-level metrics, resolved once so the hot paths pay a single atomic
+// add per event. Names and semantics are documented in
+// docs/OBSERVABILITY.md.
+var (
+	// Transactions.
+	mTxBegin    = obs.Default.Counter("reldb_tx_begin_total")
+	mTxCommit   = obs.Default.Counter("reldb_tx_commit_total")
+	mTxRollback = obs.Default.Counter("reldb_tx_rollback_total")
+	mTxRead     = obs.Default.Counter("reldb_tx_read_total")
+	// Write-lock acquisition wait, nanoseconds: contention between
+	// concurrent uploader sessions shows up here.
+	mLockWaitNS = obs.Default.Histogram("reldb_lock_wait_ns")
+
+	// Row mutations.
+	mRowsInserted = obs.Default.Counter("reldb_rows_inserted_total")
+	mRowsUpdated  = obs.Default.Counter("reldb_rows_updated_total")
+	mRowsDeleted  = obs.Default.Counter("reldb_rows_deleted_total")
+
+	// WAL: one append per commit batch.
+	mWALAppends  = obs.Default.Counter("reldb_wal_appends_total")
+	mWALRecords  = obs.Default.Counter("reldb_wal_records_total")
+	mWALBytes    = obs.Default.Counter("reldb_wal_bytes_total")
+	mWALAppendNS = obs.Default.Histogram("reldb_wal_append_ns")
+	mWALFsyncNS  = obs.Default.Histogram("reldb_wal_fsync_ns")
+	mWALReplayed = obs.Default.Counter("reldb_wal_replay_ops_total")
+
+	// Snapshots (checkpoint write and startup load).
+	mCheckpoints    = obs.Default.Counter("reldb_checkpoint_total")
+	mCheckpointNS   = obs.Default.Histogram("reldb_checkpoint_ns")
+	mSnapshotBytes  = obs.Default.Gauge("reldb_snapshot_bytes")
+	mSnapshotLoadNS = obs.Default.Histogram("reldb_snapshot_load_ns")
+
+	// B-tree structure churn in ordered indexes.
+	mBtreeSplits = obs.Default.Counter("reldb_btree_splits_total")
+)

@@ -1,0 +1,110 @@
+package reldb
+
+import (
+	"testing"
+
+	"perfdmf/internal/obs"
+)
+
+// TestEngineMetrics exercises a durable-database session and checks the
+// engine counters move. Metrics are process-global, so the test asserts
+// deltas rather than absolute values.
+func TestEngineMetrics(t *testing.T) {
+	before := obs.Default.Snapshot()
+
+	dir := t.TempDir()
+	db, err := Open(dir, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Begin()
+	if err := tx.CreateTable(&Schema{
+		Name: "m", PrimaryKey: "id",
+		Columns: []Column{{Name: "id", Type: TInt}, {Name: "v", Type: TInt}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := tx.Insert("m", Row{Int(int64(i)), Int(int64(i * i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Read(func(tx *Tx) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	after := obs.Default.Snapshot()
+	delta := func(name string) int64 { return after.Counters[name] - before.Counters[name] }
+	for name, min := range map[string]int64{
+		"reldb_tx_begin_total":      1,
+		"reldb_tx_commit_total":     1,
+		"reldb_tx_read_total":       1,
+		"reldb_rows_inserted_total": 10,
+		"reldb_wal_appends_total":   1,
+		"reldb_wal_records_total":   11, // create table + 10 inserts
+		"reldb_checkpoint_total":    1,
+	} {
+		if got := delta(name); got < min {
+			t.Errorf("%s delta = %d, want >= %d", name, got, min)
+		}
+	}
+	if delta("reldb_wal_bytes_total") <= 0 {
+		t.Error("wal bytes did not grow")
+	}
+	if after.Gauges["reldb_snapshot_bytes"] <= 0 {
+		t.Error("snapshot size gauge not set")
+	}
+	fsync := after.Histograms["reldb_wal_fsync_ns"].Count - before.Histograms["reldb_wal_fsync_ns"].Count
+	if fsync < 1 {
+		t.Errorf("fsync histogram count delta = %d, want >= 1", fsync)
+	}
+
+	// Reopen: replay metrics. The checkpoint truncated the WAL, so write one
+	// more batch first.
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx = db2.Begin()
+	if _, err := tx.Insert("m", Row{Int(100), Int(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	final := obs.Default.Snapshot()
+	if got := final.Counters["reldb_wal_replay_ops_total"] - after.Counters["reldb_wal_replay_ops_total"]; got < 1 {
+		t.Errorf("wal replay ops delta = %d, want >= 1", got)
+	}
+	if got := final.Histograms["reldb_snapshot_load_ns"].Count - before.Histograms["reldb_snapshot_load_ns"].Count; got < 2 {
+		t.Errorf("snapshot load count delta = %d, want >= 2", got)
+	}
+}
+
+// TestRollbackMetric checks the rollback counter specifically.
+func TestRollbackMetric(t *testing.T) {
+	before := obs.Default.Counter("reldb_tx_rollback_total").Value()
+	db := NewMemory()
+	tx := db.Begin()
+	tx.Rollback()
+	if got := obs.Default.Counter("reldb_tx_rollback_total").Value() - before; got != 1 {
+		t.Fatalf("rollback delta = %d, want 1", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Durable storage layout: <dir>/data.snap holds a full snapshot of the
@@ -81,10 +82,15 @@ func Open(dir string, opts Options) (*DB, error) {
 
 	snapPath := filepath.Join(dir, snapFile)
 	if f, err := os.Open(snapPath); err == nil {
+		start := time.Now()
 		err = db.loadSnapshot(bufio.NewReaderSize(f, 1<<20))
 		f.Close()
 		if err != nil {
 			return nil, fmt.Errorf("reldb: load snapshot %s: %w", snapPath, err)
+		}
+		mSnapshotLoadNS.Observe(int64(time.Since(start)))
+		if fi, err := os.Stat(snapPath); err == nil {
+			mSnapshotBytes.Set(fi.Size())
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
@@ -98,6 +104,7 @@ func Open(dir string, opts Options) (*DB, error) {
 			return nil, fmt.Errorf("reldb: replay wal %s: %w", walPath, err2)
 		}
 		db.walOps = n
+		mWALReplayed.Add(int64(n))
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
 	}
@@ -122,6 +129,7 @@ func (db *DB) checkpointLocked() error {
 	if db.dir == "" {
 		return nil
 	}
+	start := time.Now()
 	tmp := filepath.Join(db.dir, snapFile+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -147,11 +155,20 @@ func (db *DB) checkpointLocked() error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := os.Rename(tmp, filepath.Join(db.dir, snapFile)); err != nil {
+	snapPath := filepath.Join(db.dir, snapFile)
+	if err := os.Rename(tmp, snapPath); err != nil {
 		return err
 	}
 	db.walOps = 0
-	return db.wal.truncate()
+	if err := db.wal.truncate(); err != nil {
+		return err
+	}
+	mCheckpoints.Inc()
+	mCheckpointNS.Observe(int64(time.Since(start)))
+	if fi, err := os.Stat(snapPath); err == nil {
+		mSnapshotBytes.Set(fi.Size())
+	}
+	return nil
 }
 
 // Close flushes and closes the WAL. In-memory databases are a no-op.
@@ -489,6 +506,7 @@ func openWAL(path string, sync bool) (*walWriter, error) {
 
 // append writes one commit batch: length, crc32, payload.
 func (w *walWriter) append(recs []walRecord) error {
+	start := time.Now()
 	var b bytes.Buffer
 	putUvarint(&b, uint64(len(recs)))
 	for i := range recs {
@@ -504,9 +522,17 @@ func (w *walWriter) append(recs []walRecord) error {
 	if _, err := w.f.Write(payload); err != nil {
 		return err
 	}
+	mWALAppends.Inc()
+	mWALRecords.Add(int64(len(recs)))
+	mWALBytes.Add(int64(len(hdr) + len(payload)))
 	if w.sync {
-		return w.f.Sync()
+		fsyncStart := time.Now()
+		err := w.f.Sync()
+		mWALFsyncNS.Observe(int64(time.Since(fsyncStart)))
+		mWALAppendNS.Observe(int64(time.Since(start)))
+		return err
 	}
+	mWALAppendNS.Observe(int64(time.Since(start)))
 	return nil
 }
 

@@ -2,7 +2,9 @@ package sqlexec
 
 import (
 	"fmt"
+	"time"
 
+	"perfdmf/internal/obs"
 	"perfdmf/internal/reldb"
 	"perfdmf/internal/sqlparse"
 )
@@ -65,6 +67,37 @@ func Explain(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value) (*ResultSe
 	if st.Limit != nil || st.Offset != nil {
 		add("limit/offset")
 	}
+	return rs, nil
+}
+
+// ExplainAnalyze renders the static plan, then actually runs the query with
+// a span attached and appends the measured phase timings, row counts and
+// access-path outcome. The query's rows are discarded; only the annotated
+// plan is returned.
+func ExplainAnalyze(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value) (*ResultSet, error) {
+	rs, err := Explain(tx, st, params)
+	if err != nil {
+		return nil, err
+	}
+	add := func(format string, args ...any) {
+		rs.Rows = append(rs.Rows, []reldb.Value{reldb.Str(fmt.Sprintf(format, args...))})
+	}
+
+	sp := &obs.Span{Kind: "query", Start: time.Now()}
+	if _, err := QueryTraced(tx, st, params, sp); err != nil {
+		return nil, err
+	}
+	sp.Total = time.Since(sp.Start)
+	access := "full scan"
+	if sp.IndexUsed {
+		access = "index access"
+	} else if sp.PlanSummary != "" {
+		access = sp.PlanSummary
+	}
+	add("actual: plan=%v execute=%v materialize=%v total=%v",
+		sp.Plan, sp.Execute, sp.Materialize, sp.Total)
+	add("actual: rows scanned=%d, rows returned=%d (%s)",
+		sp.RowsScanned, sp.RowsReturned, access)
 	return rs, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"perfdmf/internal/obs"
 	"perfdmf/internal/reldb"
 	"perfdmf/internal/sqlparse"
 )
@@ -98,6 +99,89 @@ func TestExplainJoins(t *testing.T) {
 		if !hasLine(plan, want) {
 			t.Errorf("plan missing %q: %v", want, plan)
 		}
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	db := fixture(t)
+	st, err := sqlparse.Parse("EXPLAIN ANALYZE SELECT name FROM trial WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := st.(*sqlparse.Explain)
+	if !ex.Analyze {
+		t.Fatal("ANALYZE flag not parsed")
+	}
+	var lines []string
+	err = db.Read(func(tx *reldb.Tx) error {
+		rs, err := ExplainAnalyze(tx, ex.Select, nil)
+		if err != nil {
+			return err
+		}
+		for _, row := range rs.Rows {
+			lines = append(lines, row[0].S)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Static plan first, then measured rows.
+	if !hasLine(lines, "index access (1 candidate rows)") {
+		t.Fatalf("static plan missing: %v", lines)
+	}
+	for _, want := range []string{
+		"actual: plan=", "execute=", "materialize=", "total=",
+		"rows scanned=1, rows returned=1 (index access)",
+	} {
+		if !hasLine(lines, want) {
+			t.Errorf("analyze output missing %q: %v", want, lines)
+		}
+	}
+
+	// Full-scan query reports the scan and the scanned/returned asymmetry.
+	st, err = sqlparse.Parse("EXPLAIN ANALYZE SELECT name FROM trial WHERE time > 0.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines = nil
+	err = db.Read(func(tx *reldb.Tx) error {
+		rs, err := ExplainAnalyze(tx, st.(*sqlparse.Explain).Select, nil)
+		if err != nil {
+			return err
+		}
+		for _, row := range rs.Rows {
+			lines = append(lines, row[0].S)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasLine(lines, "(full scan)") {
+		t.Fatalf("full-scan analyze output: %v", lines)
+	}
+}
+
+func TestQueryTracedSpan(t *testing.T) {
+	db := fixture(t)
+	st, err := sqlparse.Parse("SELECT name FROM trial WHERE id = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := &obs.Span{}
+	err = db.Read(func(tx *reldb.Tx) error {
+		_, err := QueryTraced(tx, st.(*sqlparse.Select), nil, sp)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.IndexUsed || sp.RowsScanned != 1 || sp.RowsReturned != 1 {
+		t.Fatalf("span = %+v", sp)
+	}
+	if sp.Plan <= 0 || sp.Execute <= 0 || sp.Materialize <= 0 {
+		t.Fatalf("phase timings not recorded: %+v", sp)
 	}
 }
 

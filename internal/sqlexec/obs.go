@@ -1,0 +1,14 @@
+package sqlexec
+
+import "perfdmf/internal/obs"
+
+// Executor-level metrics, resolved once. Access-path counters move on every
+// base-table access decision; the row counters track scanned (fetched and
+// examined) vs. returned (surviving projection and LIMIT) rows, the ratio
+// that tells whether indexes are doing their job.
+var (
+	mIndexAccess  = obs.Default.Counter("sqlexec_index_access_total")
+	mFullScan     = obs.Default.Counter("sqlexec_full_scan_total")
+	mRowsScanned  = obs.Default.Counter("sqlexec_rows_scanned_total")
+	mRowsReturned = obs.Default.Counter("sqlexec_rows_returned_total")
+)

@@ -6,7 +6,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"perfdmf/internal/obs"
 	"perfdmf/internal/reldb"
 	"perfdmf/internal/sqlparse"
 )
@@ -17,12 +19,22 @@ func Query(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value) (*ResultSet,
 	return q.run()
 }
 
+// QueryTraced is Query with a span: the executor fills in the plan/execute/
+// materialize phase timings, the access-path decision, and rows scanned vs.
+// returned. sp may be nil, which degrades to plain Query.
+func QueryTraced(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value, sp *obs.Span) (*ResultSet, error) {
+	q := &query{tx: tx, st: st, params: params, cols: newColmap(), sp: sp}
+	return q.run()
+}
+
 type query struct {
-	tx     *reldb.Tx
-	st     *sqlparse.Select
-	params []reldb.Value
-	cols   *colmap
-	fields []field // ordered bound columns, for SELECT *
+	tx      *reldb.Tx
+	st      *sqlparse.Select
+	params  []reldb.Value
+	cols    *colmap
+	fields  []field // ordered bound columns, for SELECT *
+	sp      *obs.Span
+	scanned int64 // rows fetched from storage (base + join inputs)
 }
 
 type field struct {
@@ -65,13 +77,24 @@ func (q *query) bind(tr sqlparse.TableRef) ([]reldb.Row, error) {
 
 func (q *query) run() (*ResultSet, error) {
 	st := q.st
+	timed := q.sp != nil
+	var mark time.Time
+	if timed {
+		mark = time.Now()
+	}
 	derived, err := q.bind(st.From)
 	if err != nil {
 		return nil, err
 	}
 	var rows []reldb.Row
 	if st.From.Sub != nil {
+		if timed {
+			q.sp.PlanSummary = "derived table"
+			q.sp.Plan += time.Since(mark)
+			mark = time.Now()
+		}
 		rows = derived
+		q.scanned += int64(len(rows))
 	} else {
 		// Base rows, using an index when the WHERE clause admits one. Index
 		// selection is only safe for predicates on the base table;
@@ -82,6 +105,21 @@ func (q *query) run() (*ResultSet, error) {
 		slots, scanned, err := planAccess(q.tx, st.From.Table, baseAlias, st.Where, q.params, len(st.Joins) > 0)
 		if err != nil {
 			return nil, err
+		}
+		if scanned {
+			mFullScan.Inc()
+		} else {
+			mIndexAccess.Inc()
+		}
+		if timed {
+			if scanned {
+				q.sp.PlanSummary = "full scan"
+			} else {
+				q.sp.PlanSummary = "index access"
+				q.sp.IndexUsed = true
+			}
+			q.sp.Plan += time.Since(mark)
+			mark = time.Now()
 		}
 		if scanned {
 			q.tx.Scan(st.From.Table, func(_ int, row reldb.Row) bool { //nolint:errcheck // table verified by bind
@@ -95,6 +133,7 @@ func (q *query) run() (*ResultSet, error) {
 				}
 			}
 		}
+		q.scanned += int64(len(rows))
 	}
 
 	// Joins.
@@ -120,6 +159,10 @@ func (q *query) run() (*ResultSet, error) {
 			}
 		}
 		rows = kept
+	}
+	if timed {
+		q.sp.Execute += time.Since(mark)
+		mark = time.Now()
 	}
 
 	items, colNames, err := q.expandItems()
@@ -151,6 +194,13 @@ func (q *query) run() (*ResultSet, error) {
 	if out, err = q.applyLimit(out); err != nil {
 		return nil, err
 	}
+	mRowsScanned.Add(q.scanned)
+	mRowsReturned.Add(int64(len(out)))
+	if timed {
+		q.sp.Materialize += time.Since(mark)
+		q.sp.RowsScanned += q.scanned
+		q.sp.RowsReturned += int64(len(out))
+	}
 	return &ResultSet{Cols: colNames, Rows: out}, nil
 }
 
@@ -175,6 +225,7 @@ func (q *query) execJoin(rows []reldb.Row, join sqlparse.Join) ([]reldb.Row, err
 			return true
 		})
 	}
+	q.scanned += int64(len(rightRows))
 
 	// Find a hashable equality: leftPos (in accumulated row) vs rightPos
 	// (in the new table's row).

@@ -136,10 +136,13 @@ type Delete struct {
 	Where Expr
 }
 
-// Explain is EXPLAIN SELECT ...: it returns the executor's plan for the
-// wrapped query as rows of text instead of running it.
+// Explain is EXPLAIN [ANALYZE] SELECT ...: it returns the executor's plan
+// for the wrapped query as rows of text. With Analyze set the query is also
+// executed and the plan is annotated with actual phase timings and row
+// counts.
 type Explain struct {
-	Select *Select
+	Select  *Select
+	Analyze bool
 }
 
 // Begin, Commit and Rollback are transaction control statements.

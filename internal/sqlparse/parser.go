@@ -108,6 +108,7 @@ func (p *parser) ident() (string, error) {
 func (p *parser) statement() (Statement, error) {
 	switch {
 	case p.accept(tokKeyword, "EXPLAIN"):
+		analyze := p.accept(tokKeyword, "ANALYZE")
 		if !p.at(tokKeyword, "SELECT") {
 			return nil, p.errf("EXPLAIN supports only SELECT")
 		}
@@ -115,7 +116,7 @@ func (p *parser) statement() (Statement, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Select: sel.(*Select)}, nil
+		return &Explain{Select: sel.(*Select), Analyze: analyze}, nil
 	case p.at(tokKeyword, "SELECT"):
 		return p.selectStmt()
 	case p.at(tokKeyword, "INSERT"):
