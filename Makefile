@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench experiments clean
+.PHONY: check vet build test race bench-smoke serve-smoke bench experiments clean
 
-check: vet build race bench-smoke
+check: vet build race bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,29 @@ race:
 # runs. Real numbers come from `make bench`.
 bench-smoke:
 	$(GO) test -run '^$$' -bench ObsOverhead -benchtime 1x .
+
+# Boot `perfdmf serve` on an ephemeral port, scrape /healthz and /metrics,
+# and assert both respond. Exercises the real binary end to end.
+serve-smoke:
+	$(GO) build -o bin/perfdmf ./cmd/perfdmf
+	@rm -f bin/serve-smoke.log
+	@bin/perfdmf serve -db mem:smoke -addr 127.0.0.1:0 > bin/serve-smoke.log 2>&1 & \
+	pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 50); do \
+		addr=$$(sed -n 's|^perfdmf: serving on http://\([^ ]*\).*|\1|p' bin/serve-smoke.log); \
+		[ -n "$$addr" ] && break; \
+		sleep 0.1; \
+	done; \
+	if [ -z "$$addr" ]; then echo "serve-smoke: server never came up"; cat bin/serve-smoke.log; kill $$pid 2>/dev/null; exit 1; fi; \
+	ok=0; \
+	curl -fsS "http://$$addr/healthz" > /dev/null && \
+	curl -fsS "http://$$addr/metrics" > bin/serve-smoke.metrics && \
+	grep -q '^go_goroutines ' bin/serve-smoke.metrics && \
+	grep -q '^godbc_conns_opened_total ' bin/serve-smoke.metrics && ok=1; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	if [ "$$ok" != 1 ]; then echo "serve-smoke: endpoint checks failed"; cat bin/serve-smoke.log; exit 1; fi; \
+	echo "serve-smoke: ok (http://$$addr)"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

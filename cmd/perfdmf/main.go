@@ -16,6 +16,7 @@
 //	perfdmf regress -db DSN -trials 1,2,3 [-threshold 0.1]
 //	perfdmf dump   -db DSN -o DIR            (portable archive export)
 //	perfdmf restore -db DSN -from DIR
+//	perfdmf serve  -db DSN [-addr HOST:PORT] [-trace] [-telemetry=false]
 //	perfdmf formats
 //
 // DSN examples: file:/path/to/archive, mem:scratch.
@@ -46,7 +47,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (load, list, summary, export, sql, delete, compare, derive, regress, stats, dump, restore, formats)")
+		return fmt.Errorf("missing subcommand (load, list, summary, export, sql, delete, compare, derive, regress, stats, dump, restore, serve, formats)")
 	}
 	switch args[0] {
 	case "load":
@@ -73,6 +74,8 @@ func run(args []string) error {
 		return cmdDump(args[1:])
 	case "restore":
 		return cmdRestore(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "formats":
 		fmt.Println(strings.Join(formats.All, "\n"))
 		return nil

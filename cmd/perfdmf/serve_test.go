@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"perfdmf/internal/obs"
+	"perfdmf/internal/obs/httpserve"
+)
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServeEndToEnd is the tentpole acceptance test: `perfdmf serve` with
+// telemetry on, a trial loaded through the ordinary CLI path, the bulk-load
+// spans queryable in PERFDMF_SPANS via plain SQL, the monitoring endpoints
+// live over real HTTP — and the sink provably not re-tracing its own
+// INSERTs.
+func TestServeEndToEnd(t *testing.T) {
+	dsn := "mem:serve_e2e"
+	si, err := startServe(serveConfig{
+		dsn:       dsn,
+		addr:      "127.0.0.1:0",
+		interval:  time.Hour, // collector samples once at start; no ticking in tests
+		telemetry: true,
+		flush:     time.Hour, // flush manually below
+		trace:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer si.Close()
+
+	// Load a trial through the normal CLI path; its statements run while the
+	// sink is installed, so the bulk-load INSERTs become spans.
+	tauDir := writeTauSample(t)
+	if _, err := capture(t, func() error {
+		return run([]string{"load", "-db", dsn, "-app", "serveapp", "-exp", "e1", tauDir})
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	sink := obs.ActiveSink()
+	if sink == nil {
+		t.Fatal("serve did not install a telemetry sink")
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The framework's own performance data via the framework's own SQL shell.
+	out, err := capture(t, func() error {
+		return run([]string{"sql", "-db", dsn,
+			"SELECT op, COUNT(*) FROM PERFDMF_SPANS GROUP BY op"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "INSERT") || !strings.Contains(out, "SELECT") {
+		t.Fatalf("PERFDMF_SPANS per-op summary missing load activity:\n%s", out)
+	}
+
+	// The sink's own INSERTs ran on a quiet connection: no stored span may be
+	// an INSERT into the telemetry tables.
+	out, err = capture(t, func() error {
+		return run([]string{"sql", "-db", dsn, "SELECT statement FROM PERFDMF_SPANS"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		up := strings.ToUpper(line)
+		if strings.HasPrefix(strings.TrimSpace(up), "INSERT") &&
+			(strings.Contains(up, "PERFDMF_SPANS") || strings.Contains(up, "PERFDMF_SLOWLOG")) {
+			t.Fatalf("sink traced its own INSERT: %q", line)
+		}
+	}
+
+	// Live HTTP: /metrics serves engine counters and runtime gauges together.
+	code, body := httpGet(t, fmt.Sprintf("http://%s/metrics", si.Addr))
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{"godbc_exec_total", "go_goroutines", "obs_telemetry_stored_total"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = httpGet(t, fmt.Sprintf("http://%s/healthz", si.Addr))
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d: %s", code, body)
+	}
+	var hr httpserve.HealthResponse
+	if err := json.Unmarshal([]byte(body), &hr); err != nil {
+		t.Fatal(err)
+	}
+	if hr.Status != "ok" || hr.DB == nil || !hr.DB.Open {
+		t.Fatalf("healthz = %+v", hr)
+	}
+
+	// /traces serves the spans the load produced (tracing was on).
+	code, body = httpGet(t, fmt.Sprintf("http://%s/traces?n=5", si.Addr))
+	if code != http.StatusOK || !strings.Contains(body, `"kind"`) {
+		t.Fatalf("GET /traces = %d: %s", code, body)
+	}
+
+	// Close restores the pre-serve obs configuration and uninstalls the sink.
+	if err := si.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if obs.ActiveSink() != nil {
+		t.Error("sink still installed after Close")
+	}
+	if obs.TracingEnabled() {
+		t.Error("tracing still enabled after Close")
+	}
+}
+
+// TestServeBadConfig: startServe must fail cleanly, leaving no global state
+// behind.
+func TestServeBadConfig(t *testing.T) {
+	if _, err := startServe(serveConfig{}); err == nil {
+		t.Fatal("startServe accepted an empty DSN")
+	}
+	if _, err := startServe(serveConfig{dsn: "bogus:x", addr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("startServe accepted an unknown driver")
+	}
+	if _, err := startServe(serveConfig{dsn: "mem:badaddr", addr: "256.0.0.1:bogus", trace: true}); err == nil {
+		t.Fatal("startServe accepted a malformed listen address")
+	}
+	if obs.TracingEnabled() {
+		t.Error("failed startServe leaked tracing config")
+	}
+	if obs.ActiveSink() != nil {
+		t.Error("failed startServe leaked an installed sink")
+	}
+}

@@ -20,8 +20,10 @@ type conn struct {
 	tx       *reldb.Tx // open explicit transaction, or nil
 	closed   bool
 	readonly bool         // reject all mutating statements
-	release  func() error // driver-specific close hook
-	obs      obsOpts      // per-connection trace/slow-query overrides
+	quiet    bool         // never produce spans (the telemetry store's own
+	// connection, so its INSERTs cannot trace themselves back into the sink)
+	release func() error // driver-specific close hook
+	obs     obsOpts      // per-connection trace/slow-query overrides
 }
 
 func newConn(db *reldb.DB, release func() error) *conn {

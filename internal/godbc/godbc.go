@@ -183,6 +183,27 @@ func parseDSNOptions(rest string) (string, map[string]string, error) {
 	return path, opts, nil
 }
 
+// checkOptions rejects DSN option keys the driver does not recognize. A
+// misspelled observability option (?trce=1) silently doing nothing is worse
+// than an error: the operator believes tracing is on when it is not.
+func checkOptions(opts map[string]string, known ...string) error {
+	for k := range opts {
+		recognized := false
+		for _, want := range known {
+			if k == want {
+				recognized = true
+				break
+			}
+		}
+		if !recognized {
+			sort.Strings(known)
+			return fmt.Errorf("godbc: unknown DSN option %q (known options: %s)",
+				k, strings.Join(known, ", "))
+		}
+	}
+	return nil
+}
+
 func optInt(opts map[string]string, key string, def int) (int, error) {
 	s, ok := opts[key]
 	if !ok {
@@ -213,6 +234,9 @@ type memDriver struct {
 func (d *memDriver) Open(rest string) (Conn, error) {
 	name, opts, err := parseDSNOptions(rest)
 	if err != nil {
+		return nil, err
+	}
+	if err := checkOptions(opts, "readonly", "trace", "slowms"); err != nil {
 		return nil, err
 	}
 	oo, err := parseObsOptions(opts)
@@ -251,6 +275,9 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	}
 	if path == "" {
 		return nil, fmt.Errorf("godbc: file DSN needs a directory path")
+	}
+	if err := checkOptions(opts, "readonly", "sync", "checkpoint", "trace", "slowms"); err != nil {
+		return nil, err
 	}
 	oo, err := parseObsOptions(opts)
 	if err != nil {

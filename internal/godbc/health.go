@@ -1,0 +1,43 @@
+package godbc
+
+import "time"
+
+// Health mirrors the engine's durability/liveness probe (reldb.Health) for
+// consumers above the connectivity layer — `perfdmf serve`'s /healthz
+// endpoint reads it through the HealthReporter interface.
+type Health struct {
+	Open           bool      `json:"open"`
+	Durable        bool      `json:"durable"`
+	WALWritable    bool      `json:"wal_writable"`
+	WALError       string    `json:"wal_error,omitempty"`
+	WALOpsPending  int       `json:"wal_ops_pending"`
+	LastCheckpoint time.Time `json:"last_checkpoint"`
+	Tables         int       `json:"tables"`
+}
+
+// OK reports whether the engine can serve reads and durable writes.
+func (h Health) OK() bool { return h.Open && h.WALWritable }
+
+// HealthReporter is implemented by connections that can probe the health of
+// their underlying engine. Both built-in drivers implement it.
+type HealthReporter interface {
+	Health() (Health, error)
+}
+
+// Health probes the connection's engine. It errors only when the connection
+// itself is closed; an unhealthy engine is reported in the struct.
+func (c *conn) Health() (Health, error) {
+	if err := c.check(); err != nil {
+		return Health{}, err
+	}
+	h := c.db.Health()
+	return Health{
+		Open:           h.Open,
+		Durable:        h.Durable,
+		WALWritable:    h.WALWritable,
+		WALError:       h.WALError,
+		WALOpsPending:  h.WALOpsPending,
+		LastCheckpoint: h.LastCheckpoint,
+		Tables:         h.Tables,
+	}, nil
+}

@@ -74,18 +74,23 @@ func (c *conn) slowThreshold() time.Duration {
 	return obs.SlowQueryThreshold()
 }
 
-// startSpan returns a live span when some consumer (tracer or slow-query
-// log) wants it, nil otherwise. Nil spans keep the statement path free of
-// time.Now calls.
+// startSpan returns a live span when some consumer (tracer, slow-query log
+// or an installed telemetry sink) wants it, nil otherwise. Nil spans keep
+// the statement path free of time.Now calls. Quiet connections (the
+// telemetry store's own) never produce spans — that is what breaks the
+// "sink INSERT traces itself into the sink" loop.
 func (c *conn) startSpan(kind, stmt string, nparams int) *obs.Span {
-	if !c.tracingOn() && c.slowThreshold() <= 0 {
+	if c.quiet {
 		return nil
 	}
-	return &obs.Span{Kind: kind, Statement: stmt, Params: nparams, Start: time.Now()}
+	if !c.tracingOn() && c.slowThreshold() <= 0 && !obs.SinkActive() {
+		return nil
+	}
+	return &obs.Span{ID: obs.NextSpanID(), Kind: kind, Statement: stmt, Params: nparams, Start: time.Now()}
 }
 
-// finishSpan stamps the total, records the error, and routes the span to the
-// tracer and/or slow-query log.
+// finishSpan stamps the total, records the error, and routes the span to
+// the tracer, the slow-query log, and the telemetry sink.
 func (c *conn) finishSpan(sp *obs.Span, err error) {
 	if sp == nil {
 		return
@@ -97,7 +102,12 @@ func (c *conn) finishSpan(sp *obs.Span, err error) {
 	if c.tracingOn() {
 		obs.DefaultTracer.Record(sp)
 	}
+	slow := false
 	if th := c.slowThreshold(); th > 0 && sp.Total >= th {
+		slow = true
 		obs.DefaultSlowLog.Record(sp)
+	}
+	if s := obs.ActiveSink(); s != nil {
+		s.Offer(sp, slow)
 	}
 }

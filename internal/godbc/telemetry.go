@@ -1,0 +1,172 @@
+// Self-hosted telemetry: PerfDMF stores its own spans and slow queries in
+// the same relational engine it manages application profiles with. The
+// paper's thesis — performance data belongs in a queryable relational
+// store — applied to the framework itself:
+//
+//	SELECT op, COUNT(*), SUM(dur_us) FROM PERFDMF_SPANS GROUP BY op
+//
+// The obs.TelemetrySink owns buffering/backpressure; TelemetryStore owns
+// the schema and the INSERT path. The store's connection is quiet (it never
+// produces spans), so persisting telemetry cannot generate more telemetry.
+package godbc
+
+import (
+	"fmt"
+
+	"perfdmf/internal/obs"
+)
+
+// Telemetry table names, discoverable like any other table via MetaData().
+const (
+	SpansTable   = "PERFDMF_SPANS"
+	SlowLogTable = "PERFDMF_SLOWLOG"
+)
+
+// telemetryDDL is idempotent; the store runs it at open.
+var telemetryDDL = []string{
+	`CREATE TABLE IF NOT EXISTS PERFDMF_SPANS (
+		span_id BIGINT PRIMARY KEY,
+		start_time TIMESTAMP,
+		kind VARCHAR NOT NULL,
+		op VARCHAR,
+		statement VARCHAR,
+		params BIGINT,
+		parse_us BIGINT,
+		plan_us BIGINT,
+		execute_us BIGINT,
+		materialize_us BIGINT,
+		dur_us BIGINT,
+		rows_scanned BIGINT,
+		rows_returned BIGINT,
+		index_used BOOLEAN,
+		plan_summary VARCHAR,
+		err VARCHAR)`,
+
+	`CREATE TABLE IF NOT EXISTS PERFDMF_SLOWLOG (
+		span_id BIGINT PRIMARY KEY,
+		start_time TIMESTAMP,
+		kind VARCHAR NOT NULL,
+		op VARCHAR,
+		statement VARCHAR,
+		dur_us BIGINT,
+		rows_scanned BIGINT,
+		rows_returned BIGINT,
+		err VARCHAR)`,
+}
+
+const telemetryStatementMax = 512 // stored statement text cap, bytes
+
+// TelemetryStore persists span batches through an ordinary godbc
+// connection. Its Store method matches the obs.TelemetrySink callback.
+type TelemetryStore struct {
+	conn    Conn
+	insSpan Stmt
+	insSlow Stmt
+}
+
+// OpenTelemetryStore opens a dedicated quiet connection to dsn and ensures
+// the PERFDMF_SPANS and PERFDMF_SLOWLOG tables exist. The DSN should name
+// the same database the application uses (mem: names and file: directories
+// share one engine across connections), so the telemetry lands next to the
+// profile data and is queryable with the same SQL.
+func OpenTelemetryStore(dsn string) (*TelemetryStore, error) {
+	c, err := Open(dsn)
+	if err != nil {
+		return nil, fmt.Errorf("godbc: telemetry store: %w", err)
+	}
+	if cc, ok := c.(*conn); ok {
+		cc.quiet = true
+		// The store must be able to write regardless of DSN observability
+		// options; per-connection trace/slowms make no sense on a quiet
+		// connection.
+		cc.obs = obsOpts{}
+	}
+	for _, ddl := range telemetryDDL {
+		if _, err := c.Exec(ddl); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("godbc: telemetry schema: %w", err)
+		}
+	}
+	insSpan, err := c.Prepare(`INSERT INTO PERFDMF_SPANS (span_id, start_time, kind, op,
+		statement, params, parse_us, plan_us, execute_us, materialize_us, dur_us,
+		rows_scanned, rows_returned, index_used, plan_summary, err)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("godbc: telemetry prepare: %w", err)
+	}
+	insSlow, err := c.Prepare(`INSERT INTO PERFDMF_SLOWLOG (span_id, start_time, kind, op,
+		statement, dur_us, rows_scanned, rows_returned, err)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`)
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("godbc: telemetry prepare: %w", err)
+	}
+	return &TelemetryStore{conn: c, insSpan: insSpan, insSlow: insSlow}, nil
+}
+
+// Store persists one sink batch in a single transaction. It satisfies the
+// obs.TelemetrySink store callback.
+func (ts *TelemetryStore) Store(batch []obs.SinkEntry) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := ts.conn.Begin(); err != nil {
+		return err
+	}
+	for _, e := range batch {
+		sp := e.Span
+		stmt := sp.CompactStatement(telemetryStatementMax)
+		if _, err := ts.insSpan.Exec(
+			sp.ID, sp.Start, sp.Kind, sp.Op(), stmt, sp.Params,
+			sp.Parse.Microseconds(), sp.Plan.Microseconds(),
+			sp.Execute.Microseconds(), sp.Materialize.Microseconds(),
+			sp.Total.Microseconds(), sp.RowsScanned, sp.RowsReturned,
+			sp.IndexUsed, sp.PlanSummary, sp.Err,
+		); err != nil {
+			ts.conn.Rollback() //nolint:errcheck
+			return fmt.Errorf("godbc: telemetry insert span %d: %w", sp.ID, err)
+		}
+		if !e.Slow {
+			continue
+		}
+		if _, err := ts.insSlow.Exec(
+			sp.ID, sp.Start, sp.Kind, sp.Op(), stmt,
+			sp.Total.Microseconds(), sp.RowsScanned, sp.RowsReturned, sp.Err,
+		); err != nil {
+			ts.conn.Rollback() //nolint:errcheck
+			return fmt.Errorf("godbc: telemetry insert slowlog %d: %w", sp.ID, err)
+		}
+	}
+	return ts.conn.Commit()
+}
+
+// Close releases the store's statements and connection.
+func (ts *TelemetryStore) Close() error {
+	ts.insSpan.Close() //nolint:errcheck
+	ts.insSlow.Close() //nolint:errcheck
+	return ts.conn.Close()
+}
+
+// StartTelemetry wires the whole self-hosted telemetry path: it opens a
+// TelemetryStore on dsn, starts an obs.TelemetrySink flushing into it, and
+// installs the sink globally so every connection's completed spans are
+// captured. The returned stop function uninstalls the sink, flushes the
+// tail, and closes the store.
+func StartTelemetry(dsn string, o obs.SinkOptions) (stop func() error, err error) {
+	st, err := OpenTelemetryStore(dsn)
+	if err != nil {
+		return nil, err
+	}
+	sink := obs.NewTelemetrySink(st.Store, o)
+	sink.Start()
+	obs.InstallSink(sink)
+	return func() error {
+		obs.UninstallSink()
+		err := sink.Close()
+		if cerr := st.Close(); err == nil {
+			err = cerr
+		}
+		return err
+	}, nil
+}

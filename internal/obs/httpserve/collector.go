@@ -1,0 +1,132 @@
+package httpserve
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"perfdmf/internal/obs"
+)
+
+// Collector samples Go runtime statistics into an obs registry on a fixed
+// interval, so /metrics serves process health (heap, GC, goroutines) next to
+// the engine's own counters. Metric names:
+//
+//	go_goroutines            gauge     live goroutine count
+//	go_heap_alloc_bytes      gauge     bytes of live heap objects
+//	go_heap_sys_bytes        gauge     heap bytes obtained from the OS
+//	go_heap_objects          gauge     live heap object count
+//	go_gc_cycles_total       counter   completed GC cycles
+//	go_gc_pause_ns           histogram stop-the-world pause durations
+//	reldb_wal_ops_pending    gauge     fsync backlog (only with a Backlog func)
+type Collector struct {
+	mu        sync.Mutex
+	lastNumGC uint32
+	backlog   func() int
+
+	goroutines  *obs.Gauge
+	heapAlloc   *obs.Gauge
+	heapSys     *obs.Gauge
+	heapObjects *obs.Gauge
+	gcCycles    *obs.Counter
+	gcPause     *obs.Histogram
+	walPending  *obs.Gauge
+
+	started  bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewCollector builds a collector reporting into reg (obs.Default when nil).
+// backlog, when non-nil, is sampled into reldb_wal_ops_pending — wire it to
+// the served database's WAL so the fsync backlog is scrapeable.
+func NewCollector(reg *obs.Registry, backlog func() int) *Collector {
+	if reg == nil {
+		reg = obs.Default
+	}
+	c := &Collector{
+		backlog:     backlog,
+		goroutines:  reg.Gauge("go_goroutines"),
+		heapAlloc:   reg.Gauge("go_heap_alloc_bytes"),
+		heapSys:     reg.Gauge("go_heap_sys_bytes"),
+		heapObjects: reg.Gauge("go_heap_objects"),
+		gcCycles:    reg.Counter("go_gc_cycles_total"),
+		gcPause:     reg.Histogram("go_gc_pause_ns"),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	if backlog != nil {
+		c.walPending = reg.Gauge("reldb_wal_ops_pending")
+	}
+	return c
+}
+
+// CollectNow takes one sample immediately. Safe for concurrent use with the
+// background loop.
+func (c *Collector) CollectNow() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	c.goroutines.Set(int64(runtime.NumGoroutine()))
+
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.heapAlloc.Set(int64(ms.HeapAlloc))
+	c.heapSys.Set(int64(ms.HeapSys))
+	c.heapObjects.Set(int64(ms.HeapObjects))
+
+	// Drain pauses of GC cycles completed since the last sample from the
+	// runtime's 256-entry ring; cycle i's pause sits at PauseNs[(i+255)%256].
+	// If more than 256 cycles elapsed between samples the overwritten ones
+	// are skipped rather than double-counted.
+	n := ms.NumGC
+	if n > c.lastNumGC {
+		c.gcCycles.Add(int64(n - c.lastNumGC))
+		first := c.lastNumGC + 1
+		if n-first >= 256 {
+			first = n - 255
+		}
+		for i := first; i <= n; i++ {
+			c.gcPause.Observe(int64(ms.PauseNs[(i+255)%256]))
+		}
+		c.lastNumGC = n
+	}
+
+	if c.walPending != nil {
+		c.walPending.Set(int64(c.backlog()))
+	}
+}
+
+// Start launches the background sampling loop. interval defaults to 5s when
+// non-positive. One initial sample is taken synchronously so metrics are
+// populated before the first tick.
+func (c *Collector) Start(interval time.Duration) {
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	c.started = true
+	c.CollectNow()
+	go func() {
+		defer close(c.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				c.CollectNow()
+			case <-c.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit. Stopping a
+// collector that was never started is safe; stopping twice is safe.
+func (c *Collector) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	if c.started {
+		<-c.done
+	}
+}

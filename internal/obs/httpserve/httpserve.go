@@ -1,0 +1,166 @@
+// Package httpserve is the HTTP face of PerfDMF's observability layer — the
+// engine behind `perfdmf serve`. It exposes the obs registry in Prometheus
+// text and JSON form, a liveness/durability health probe, the recent trace
+// and slow-query rings, and net/http/pprof, all over plain net/http.
+//
+// The package sits above godbc (for the health probe) and obs; nothing in
+// the engine stack imports it.
+package httpserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"perfdmf/internal/godbc"
+	"perfdmf/internal/obs"
+)
+
+// Options configures a monitoring handler. Zero values fall back to the
+// process-wide obs globals, so Options{} serves the default registry.
+type Options struct {
+	// Registry backs /metrics and /metrics.json. Default: obs.Default.
+	Registry *obs.Registry
+	// Tracer backs /traces. Default: obs.DefaultTracer.
+	Tracer *obs.Tracer
+	// SlowLog backs /slowlog. Default: obs.DefaultSlowLog.
+	SlowLog *obs.SlowLog
+	// Health probes the served database for /healthz. When nil, /healthz
+	// only reports process liveness.
+	Health func() (godbc.Health, error)
+	// MaxCheckpointAge marks a durable database degraded when its last
+	// checkpoint is older than this. Zero disables the age check.
+	MaxCheckpointAge time.Duration
+}
+
+func (o *Options) fill() {
+	if o.Registry == nil {
+		o.Registry = obs.Default
+	}
+	if o.Tracer == nil {
+		o.Tracer = obs.DefaultTracer
+	}
+	if o.SlowLog == nil {
+		o.SlowLog = obs.DefaultSlowLog
+	}
+}
+
+// HealthResponse is the /healthz body. Status is "ok" (HTTP 200) or
+// "degraded" (HTTP 503).
+type HealthResponse struct {
+	Status               string        `json:"status"`
+	Error                string        `json:"error,omitempty"`
+	DB                   *godbc.Health `json:"db,omitempty"`
+	CheckpointAgeSeconds float64       `json:"checkpoint_age_seconds,omitempty"`
+}
+
+// NewHandler builds the monitoring mux:
+//
+//	GET /metrics        Prometheus text exposition of the registry
+//	GET /metrics.json   registry snapshot as JSON (BENCH_obs.json shape)
+//	GET /healthz        process + database health, 200/503
+//	GET /traces?n=50    most recent traced spans, oldest first
+//	GET /slowlog?n=50   most recent slow queries, oldest first
+//	    /debug/pprof/   net/http/pprof profiles
+func NewHandler(o Options) http.Handler {
+	o.fill()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry.WritePrometheus(w) //nolint:errcheck // client went away
+	}))
+	mux.HandleFunc("/metrics.json", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, o.Registry.Snapshot())
+	}))
+	mux.HandleFunc("/healthz", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		resp, code := o.health()
+		writeJSON(w, code, resp)
+	}))
+	mux.HandleFunc("/traces", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		writeSpans(w, r, o.Tracer.Recent())
+	}))
+	mux.HandleFunc("/slowlog", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		writeSpans(w, r, o.SlowLog.Recent())
+	}))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (o *Options) health() (HealthResponse, int) {
+	resp := HealthResponse{Status: "ok"}
+	if o.Health == nil {
+		return resp, http.StatusOK
+	}
+	h, err := o.Health()
+	if err != nil {
+		resp.Status = "degraded"
+		resp.Error = err.Error()
+		return resp, http.StatusServiceUnavailable
+	}
+	resp.DB = &h
+	code := http.StatusOK
+	if !h.OK() {
+		resp.Status = "degraded"
+		if h.WALError != "" {
+			resp.Error = h.WALError
+		}
+		code = http.StatusServiceUnavailable
+	}
+	if !h.LastCheckpoint.IsZero() {
+		age := time.Since(h.LastCheckpoint)
+		resp.CheckpointAgeSeconds = age.Seconds()
+		if o.MaxCheckpointAge > 0 && h.Durable && age > o.MaxCheckpointAge {
+			resp.Status = "degraded"
+			resp.Error = "last checkpoint older than " + o.MaxCheckpointAge.String()
+			code = http.StatusServiceUnavailable
+		}
+	}
+	return resp, code
+}
+
+// writeSpans renders the last n spans of ring (oldest first). n defaults to
+// 50 and is capped by the ring size.
+func writeSpans(w http.ResponseWriter, r *http.Request, ring []*obs.Span) {
+	n := 50
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			http.Error(w, "n must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	if n > len(ring) {
+		n = len(ring)
+	}
+	spans := ring[len(ring)-n:]
+	if spans == nil {
+		spans = []*obs.Span{}
+	}
+	writeJSON(w, http.StatusOK, spans)
+}
+
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}

@@ -1,0 +1,241 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"perfdmf/internal/godbc"
+	"perfdmf/internal/obs"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestMetricsEndpoint is the acceptance scrape: /metrics must expose both
+// engine counters (fed by real godbc statements) and runtime-collector
+// gauges from one registry.
+func TestMetricsEndpoint(t *testing.T) {
+	c, err := godbc.Open("mem:httpserve_metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE m (id BIGINT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Exec("INSERT INTO m (id) VALUES (?)", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	col := NewCollector(nil, func() int { return 7 })
+	col.CollectNow()
+
+	srv := httptest.NewServer(NewHandler(Options{}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d", code)
+	}
+	for _, want := range []string{
+		"godbc_exec_total",    // engine counter
+		"go_goroutines",       // runtime gauge
+		"go_heap_alloc_bytes", // runtime gauge
+		"reldb_wal_ops_pending 7",
+		"# TYPE godbc_exec_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	code, body = get(t, srv, "/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("GET /metrics.json = %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("metrics.json does not parse as a snapshot: %v", err)
+	}
+	if snap.Counters["godbc_exec_total"] < 2 {
+		t.Errorf("snapshot godbc_exec_total = %d", snap.Counters["godbc_exec_total"])
+	}
+	if _, ok := snap.Gauges["go_goroutines"]; !ok {
+		t.Error("snapshot missing go_goroutines gauge")
+	}
+}
+
+// TestMetricsJSONQuantiles: histogram snapshots in /metrics.json carry the
+// p50/p95/p99 fields, and /metrics carries quantile series.
+func TestMetricsJSONQuantiles(t *testing.T) {
+	reg := obs.NewRegistry()
+	h := reg.Histogram("test_lat_ns")
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	srv := httptest.NewServer(NewHandler(Options{Registry: reg}))
+	defer srv.Close()
+
+	_, body := get(t, srv, "/metrics.json")
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatal(err)
+	}
+	hs := snap.Histograms["test_lat_ns"]
+	if hs.P50 != 4 || hs.P95 != 4 || hs.P99 != 4 {
+		t.Errorf("quantiles = %d/%d/%d, want 4/4/4", hs.P50, hs.P95, hs.P99)
+	}
+	_, prom := get(t, srv, "/metrics")
+	if !strings.Contains(prom, `test_lat_ns{quantile="0.99"} 4`) {
+		t.Errorf("/metrics missing quantile series:\n%s", prom)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	dir := t.TempDir()
+	c, err := godbc.Open("file:" + dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	hr := c.(godbc.HealthReporter)
+
+	srv := httptest.NewServer(NewHandler(Options{Health: hr.Health}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d: %s", code, body)
+	}
+	var resp HealthResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "ok" || resp.DB == nil || !resp.DB.Open || !resp.DB.Durable || !resp.DB.WALWritable {
+		t.Fatalf("healthz = %+v", resp)
+	}
+
+	// A stale checkpoint flips the probe to degraded/503.
+	stale := httptest.NewServer(NewHandler(Options{
+		Health: func() (godbc.Health, error) {
+			h, err := hr.Health()
+			h.LastCheckpoint = time.Now().Add(-time.Hour)
+			return h, err
+		},
+		MaxCheckpointAge: time.Minute,
+	}))
+	defer stale.Close()
+	code, body = get(t, stale, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("stale-checkpoint healthz = %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != "degraded" || resp.CheckpointAgeSeconds < 3000 {
+		t.Fatalf("stale healthz = %+v", resp)
+	}
+}
+
+func TestHealthzNoDB(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{}))
+	defer srv.Close()
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("no-DB healthz = %d: %s", code, body)
+	}
+}
+
+func TestTracesAndSlowlog(t *testing.T) {
+	tr := obs.NewTracer(8)
+	sl := obs.NewSlowLog(8)
+	for i := 1; i <= 5; i++ {
+		sp := &obs.Span{ID: int64(i), Kind: "query", Statement: "SELECT 1", Total: time.Duration(i) * time.Millisecond}
+		tr.Record(sp)
+		if i%2 == 1 {
+			sl.Record(sp)
+		}
+	}
+	srv := httptest.NewServer(NewHandler(Options{Tracer: tr, SlowLog: sl}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/traces?n=2")
+	if code != http.StatusOK {
+		t.Fatalf("GET /traces = %d", code)
+	}
+	var spans []*obs.Span
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || spans[0].ID != 4 || spans[1].ID != 5 {
+		t.Fatalf("traces?n=2 = %s", body)
+	}
+
+	code, body = get(t, srv, "/slowlog")
+	if code != http.StatusOK {
+		t.Fatalf("GET /slowlog = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 3 {
+		t.Fatalf("slowlog = %s", body)
+	}
+
+	if code, _ := get(t, srv, "/traces?n=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("traces?n=bogus = %d", code)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{}))
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("GET /debug/pprof/ = %d", code)
+	}
+}
+
+func TestGetOnly(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{}))
+	defer srv.Close()
+	resp, err := srv.Client().Post(srv.URL+"/metrics", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics = %d", resp.StatusCode)
+	}
+}
+
+func TestCollectorStartStop(t *testing.T) {
+	reg := obs.NewRegistry()
+	col := NewCollector(reg, nil)
+	col.Start(time.Millisecond)
+	time.Sleep(20 * time.Millisecond)
+	col.Stop()
+	col.Stop() // idempotent
+	if reg.Snapshot().Gauges["go_goroutines"] == 0 {
+		t.Fatal("collector never sampled go_goroutines")
+	}
+
+	// Never-started collectors stop cleanly too.
+	NewCollector(reg, nil).Stop()
+}

@@ -98,10 +98,15 @@ func (h *Histogram) Count() int64 { return h.count.Load() }
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() int64 { return h.sum.Load() }
 
-// HistSnapshot is a point-in-time copy of a histogram.
+// HistSnapshot is a point-in-time copy of a histogram. P50/P95/P99 are
+// precomputed upper-bound quantile estimates (see Quantile), so JSON
+// consumers get latency percentiles without reconstructing the buckets.
 type HistSnapshot struct {
 	Count   int64              `json:"count"`
 	Sum     int64              `json:"sum"`
+	P50     int64              `json:"p50"`
+	P95     int64              `json:"p95"`
+	P99     int64              `json:"p99"`
 	Buckets map[string]int64   `json:"buckets,omitempty"` // upper bound -> count, non-empty buckets only
 	bounds  []histBucketSample // parallel data kept for quantiles
 }
@@ -128,6 +133,9 @@ func (h *Histogram) snapshot() HistSnapshot {
 		s.Buckets[fmt.Sprint(upper)] = n
 		s.bounds = append(s.bounds, histBucketSample{upper: upper, count: n})
 	}
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
 	return s
 }
 
@@ -321,6 +329,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		for _, b := range h.bounds {
 			cum += b.count
 			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, b.upper, cum); err != nil {
+				return err
+			}
+		}
+		// Summary-style quantile series alongside the buckets, so scrapers
+		// get p50/p95/p99 without a histogram_quantile() round trip.
+		for _, q := range [...]struct {
+			label string
+			v     int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=\"%s\"} %d\n", name, q.label, q.v); err != nil {
 				return err
 			}
 		}

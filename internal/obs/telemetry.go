@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TelemetrySink batches completed spans (and slow-query entries) and hands
+// them to a storage callback on a background goroutine. The storage side
+// lives elsewhere (godbc persists batches into the PERFDMF_SPANS and
+// PERFDMF_SLOWLOG tables); this type only owns the buffering policy:
+//
+//   - Offer never blocks the query path. The buffer is bounded; when it is
+//     full the entry is dropped and counted in obs_telemetry_dropped_total.
+//   - The store callback runs outside the buffer lock, so a slow (or
+//     blocked) store cannot stall producers — new entries keep accumulating
+//     up to Capacity and then fall on the floor, counted.
+//   - Re-entrancy safety is the producer's job: the godbc connection the
+//     store writes through is marked quiet, so the sink's own INSERTs never
+//     produce spans that would be offered back to the sink.
+type TelemetrySink struct {
+	store func([]SinkEntry) error
+	cap   int
+	every time.Duration
+
+	mu  sync.Mutex
+	buf []SinkEntry
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// SinkEntry is one completed span; Slow marks entries that also crossed the
+// slow-query threshold (they are mirrored into the slow-log table).
+type SinkEntry struct {
+	Span *Span
+	Slow bool
+}
+
+// SinkOptions tunes a TelemetrySink. Zero values pick the defaults.
+type SinkOptions struct {
+	// Capacity bounds the number of buffered entries (default 4096).
+	Capacity int
+	// FlushEvery is the background flush period (default 1s).
+	FlushEvery time.Duration
+}
+
+// Sink throughput metrics, resolved once.
+var (
+	sinkOffered   = Default.Counter("obs_telemetry_offered_total")
+	sinkDropped   = Default.Counter("obs_telemetry_dropped_total")
+	sinkStored    = Default.Counter("obs_telemetry_stored_total")
+	sinkStoreErrs = Default.Counter("obs_telemetry_store_errors_total")
+)
+
+// NewTelemetrySink returns a sink feeding store. Call Start to launch the
+// background flusher; Flush works without it (tests, one-shot tools).
+func NewTelemetrySink(store func([]SinkEntry) error, o SinkOptions) *TelemetrySink {
+	if o.Capacity <= 0 {
+		o.Capacity = 4096
+	}
+	if o.FlushEvery <= 0 {
+		o.FlushEvery = time.Second
+	}
+	return &TelemetrySink{
+		store: store,
+		cap:   o.Capacity,
+		every: o.FlushEvery,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Start launches the background flush goroutine. Starting twice is a no-op.
+func (s *TelemetrySink) Start() {
+	s.startOnce.Do(func() { go s.loop() })
+}
+
+func (s *TelemetrySink) loop() {
+	defer close(s.done)
+	t := time.NewTicker(s.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.Flush() //nolint:errcheck // counted in obs_telemetry_store_errors_total
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// Offer enqueues a completed span without blocking. When the buffer is at
+// capacity the entry is dropped and counted — backpressure must never stall
+// the statement that produced the span.
+func (s *TelemetrySink) Offer(sp *Span, slow bool) {
+	if sp == nil {
+		return
+	}
+	s.mu.Lock()
+	if len(s.buf) >= s.cap {
+		s.mu.Unlock()
+		sinkDropped.Inc()
+		return
+	}
+	s.buf = append(s.buf, SinkEntry{Span: sp, Slow: slow})
+	s.mu.Unlock()
+	sinkOffered.Inc()
+}
+
+// Buffered returns the number of entries waiting for the next flush.
+func (s *TelemetrySink) Buffered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Dropped returns the total entries dropped under backpressure.
+func (s *TelemetrySink) Dropped() int64 { return sinkDropped.Value() }
+
+// Flush synchronously stores everything buffered so far. Entries are handed
+// to the store callback outside the buffer lock.
+func (s *TelemetrySink) Flush() error {
+	s.mu.Lock()
+	batch := s.buf
+	s.buf = nil
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if err := s.store(batch); err != nil {
+		sinkStoreErrs.Inc()
+		return err
+	}
+	sinkStored.Add(int64(len(batch)))
+	return nil
+}
+
+// Close stops the background flusher (if started) and runs a final Flush.
+func (s *TelemetrySink) Close() error {
+	s.startOnce.Do(func() { close(s.done) }) // never started: mark loop done
+	select {
+	case <-s.done:
+	default:
+		close(s.stop)
+		<-s.done
+	}
+	return s.Flush()
+}
+
+// --- global sink installation ---
+
+var activeSink atomic.Pointer[TelemetrySink]
+
+// InstallSink routes every completed span to s until UninstallSink. While a
+// sink is installed, godbc starts spans even with tracing and the slow-query
+// log off, so the telemetry tables see all statements.
+func InstallSink(s *TelemetrySink) { activeSink.Store(s) }
+
+// UninstallSink detaches the installed sink (it is not closed).
+func UninstallSink() { activeSink.Store(nil) }
+
+// ActiveSink returns the installed sink, nil when none.
+func ActiveSink() *TelemetrySink { return activeSink.Load() }
+
+// SinkActive reports whether a sink is installed — a single atomic load,
+// cheap enough for statement hot paths.
+func SinkActive() bool { return activeSink.Load() != nil }

@@ -17,6 +17,11 @@ import (
 // returned. A span costs nothing unless tracing or the slow-query log is
 // active — callers pass nil otherwise.
 type Span struct {
+	// ID is a process-wide monotonically increasing span id (see NextSpanID).
+	// It appears in the slow-query log line, the /traces endpoint and the
+	// PERFDMF_SPANS / PERFDMF_SLOWLOG telemetry tables, so an entry in any
+	// one of them can be joined against the others.
+	ID        int64     `json:"id"`
 	Kind      string    `json:"kind"` // "exec", "query" or "prepare"
 	Statement string    `json:"statement"`
 	Params    int       `json:"params"` // bound-parameter count
@@ -37,17 +42,42 @@ type Span struct {
 	Err          string `json:"err,omitempty"`
 }
 
-// String renders the span as the one-line slow-query log format documented
-// in docs/OBSERVABILITY.md.
-func (sp *Span) String() string {
-	stmt := sp.Statement
-	if len(stmt) > 200 {
-		stmt = stmt[:197] + "..."
+// spanIDs backs NextSpanID.
+var spanIDs atomic.Int64
+
+// NextSpanID returns the next process-wide span id (1, 2, ...). The godbc
+// layer stamps every span it starts.
+func NextSpanID() int64 { return spanIDs.Add(1) }
+
+// Op returns the statement's leading SQL keyword, upper-cased ("SELECT",
+// "INSERT", ...), or "" for an empty statement — the grouping key for
+// per-operation telemetry queries.
+func (sp *Span) Op() string {
+	f := strings.Fields(sp.Statement)
+	if len(f) == 0 {
+		return ""
 	}
-	stmt = strings.Join(strings.Fields(stmt), " ") // collapse newlines/indent
+	return strings.ToUpper(f[0])
+}
+
+// CompactStatement returns the statement text with whitespace collapsed and
+// truncated to max bytes (a trailing "..." marks truncation).
+func (sp *Span) CompactStatement(max int) string {
+	stmt := strings.Join(strings.Fields(sp.Statement), " ")
+	if max > 3 && len(stmt) > max {
+		stmt = stmt[:max-3] + "..."
+	}
+	return stmt
+}
+
+// String renders the span as the one-line slow-query log format documented
+// in docs/OBSERVABILITY.md. The id and RFC3339 start time let a log line be
+// joined against /traces and the PERFDMF_SPANS table.
+func (sp *Span) String() string {
+	stmt := sp.CompactStatement(200)
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s kind=%s total=%v parse=%v plan=%v execute=%v materialize=%v rows=%d/%d params=%d",
-		sp.Start.Format(time.RFC3339), sp.Kind, sp.Total, sp.Parse, sp.Plan,
+	fmt.Fprintf(&b, "%s id=%d kind=%s total=%v parse=%v plan=%v execute=%v materialize=%v rows=%d/%d params=%d",
+		sp.Start.Format(time.RFC3339), sp.ID, sp.Kind, sp.Total, sp.Parse, sp.Plan,
 		sp.Execute, sp.Materialize, sp.RowsScanned, sp.RowsReturned, sp.Params)
 	if sp.PlanSummary != "" {
 		fmt.Fprintf(&b, " plan=%q", sp.PlanSummary)

@@ -19,6 +19,9 @@ type DB struct {
 	dir     string            // durable storage directory ("" = memory)
 	walOps  int               // logical ops appended since last checkpoint
 	chkEach int               // checkpoint after this many ops (0 = never)
+	lastChk time.Time         // last successful checkpoint (or the snapshot
+	// loaded at Open); zero for in-memory databases and fresh directories
+	closed bool
 }
 
 // NewMemory returns a new in-memory database with no durable storage.

@@ -1,0 +1,66 @@
+package reldb
+
+import "time"
+
+// Health is a point-in-time durability/liveness probe of a database — the
+// raw material for `perfdmf serve`'s /healthz endpoint. All fields are
+// cheap to gather: no I/O beyond an fstat of the WAL file descriptor.
+type Health struct {
+	// Open reports that Close has not been called.
+	Open bool
+	// Durable reports directory-backed storage (the file driver).
+	Durable bool
+	// WALWritable reports that the WAL file descriptor is still usable.
+	// Vacuously true for in-memory databases.
+	WALWritable bool
+	// WALError carries the probe failure detail when WALWritable is false.
+	WALError string
+	// WALOpsPending counts logical operations appended to the WAL since the
+	// last checkpoint — the work a crash would have to replay, and the
+	// backlog `perfdmf serve`'s runtime collector exports as the
+	// reldb_wal_ops_pending gauge.
+	WALOpsPending int
+	// LastCheckpoint is the time of the last successful checkpoint (or of
+	// the snapshot loaded at Open). Zero for in-memory databases and for
+	// durable databases that have never checkpointed.
+	LastCheckpoint time.Time
+	// Tables is the catalog size.
+	Tables int
+}
+
+// CheckpointAge returns time since LastCheckpoint at now, or 0 when the
+// database has never checkpointed (nothing to be stale relative to).
+func (h Health) CheckpointAge(now time.Time) time.Duration {
+	if h.LastCheckpoint.IsZero() {
+		return 0
+	}
+	return now.Sub(h.LastCheckpoint)
+}
+
+// Health probes the database. Safe for concurrent use with readers and
+// writers (it takes a shared lock).
+func (db *DB) Health() Health {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	h := Health{
+		Open:           !db.closed,
+		Durable:        db.dir != "",
+		WALWritable:    true,
+		WALOpsPending:  db.walOps,
+		LastCheckpoint: db.lastChk,
+		Tables:         len(db.tables),
+	}
+	if !h.Durable {
+		return h
+	}
+	if db.wal == nil {
+		h.WALWritable = false
+		h.WALError = "wal closed"
+		return h
+	}
+	if err := db.wal.probe(); err != nil {
+		h.WALWritable = false
+		h.WALError = err.Error()
+	}
+	return h
+}

@@ -1,0 +1,94 @@
+package reldb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHealthMemory(t *testing.T) {
+	db := NewMemory()
+	h := db.Health()
+	if !h.Open || h.Durable || !h.WALWritable || h.WALError != "" {
+		t.Fatalf("memory health = %+v", h)
+	}
+	if !h.LastCheckpoint.IsZero() || h.CheckpointAge(time.Now()) != 0 {
+		t.Fatalf("memory db reports a checkpoint: %+v", h)
+	}
+	if err := db.Write(func(tx *Tx) error {
+		return tx.CreateTable(&Schema{Name: "t", Columns: []Column{{Name: "id", Type: TInt}}})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h := db.Health(); h.Tables != 1 || h.WALOpsPending != 0 {
+		t.Fatalf("health after DDL = %+v", h)
+	}
+	db.Close()
+	if h := db.Health(); h.Open {
+		t.Fatal("memory db still open after Close")
+	}
+}
+
+func TestHealthDurable(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := db.Health()
+	if !h.Open || !h.Durable || !h.WALWritable {
+		t.Fatalf("fresh durable health = %+v", h)
+	}
+	if !h.LastCheckpoint.IsZero() {
+		t.Fatalf("fresh directory reports a checkpoint: %+v", h)
+	}
+
+	if err := db.Write(func(tx *Tx) error {
+		if err := tx.CreateTable(&Schema{Name: "t", Columns: []Column{{Name: "id", Type: TInt}}}); err != nil {
+			return err
+		}
+		_, err := tx.Insert("t", Row{Int(1)})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if h := db.Health(); h.WALOpsPending != 2 { // CREATE + INSERT
+		t.Fatalf("pending ops = %d, want 2 (%+v)", h.WALOpsPending, h)
+	}
+
+	before := time.Now()
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	h = db.Health()
+	if h.WALOpsPending != 0 {
+		t.Fatalf("pending ops after checkpoint = %d", h.WALOpsPending)
+	}
+	if h.LastCheckpoint.Before(before) {
+		t.Fatalf("last checkpoint %v predates the checkpoint call %v", h.LastCheckpoint, before)
+	}
+	if age := h.CheckpointAge(time.Now()); age < 0 || age > time.Minute {
+		t.Fatalf("checkpoint age = %v", age)
+	}
+
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	h = db.Health()
+	if h.Open || h.WALWritable || h.WALError != "wal closed" {
+		t.Fatalf("health after Close = %+v", h)
+	}
+
+	// Reopen: the snapshot mtime carries the checkpoint time across restarts.
+	db2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	h = db2.Health()
+	if h.LastCheckpoint.IsZero() {
+		t.Fatal("reopened db lost the checkpoint timestamp")
+	}
+	if h.Tables != 1 || !h.WALWritable {
+		t.Fatalf("reopened health = %+v", h)
+	}
+}

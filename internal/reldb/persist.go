@@ -91,6 +91,9 @@ func Open(dir string, opts Options) (*DB, error) {
 		mSnapshotLoadNS.Observe(int64(time.Since(start)))
 		if fi, err := os.Stat(snapPath); err == nil {
 			mSnapshotBytes.Set(fi.Size())
+			// The snapshot's mtime is when the last checkpoint completed;
+			// health probes measure checkpoint age from it across restarts.
+			db.lastChk = fi.ModTime()
 		}
 	} else if !errors.Is(err, os.ErrNotExist) {
 		return nil, err
@@ -165,16 +168,19 @@ func (db *DB) checkpointLocked() error {
 	}
 	mCheckpoints.Inc()
 	mCheckpointNS.Observe(int64(time.Since(start)))
+	db.lastChk = time.Now()
 	if fi, err := os.Stat(snapPath); err == nil {
 		mSnapshotBytes.Set(fi.Size())
 	}
 	return nil
 }
 
-// Close flushes and closes the WAL. In-memory databases are a no-op.
+// Close flushes and closes the WAL. In-memory databases only mark
+// themselves closed (visible to Health).
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.closed = true
 	if db.wal == nil {
 		return nil
 	}
@@ -534,6 +540,13 @@ func (w *walWriter) append(recs []walRecord) error {
 	}
 	mWALAppendNS.Observe(int64(time.Since(start)))
 	return nil
+}
+
+// probe reports whether the WAL file descriptor is still usable (fstat, no
+// data written) — the health check's "can we still commit" signal.
+func (w *walWriter) probe() error {
+	_, err := w.f.Stat()
+	return err
 }
 
 func (w *walWriter) truncate() error {
