@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke serve-smoke bench experiments clean
+.PHONY: check vet build test race bench-smoke serve-smoke bench bench-parallel experiments clean
 
 check: vet build race bench-smoke serve-smoke
 
@@ -51,8 +51,16 @@ serve-smoke:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# Parallel-executor sweep: BenchmarkParallelScan/GroupBy/PlanCache at
+# workers 1/2/4/8, then the P1 experiment, which writes the machine-readable
+# BENCH_parallel.json (speedups are only meaningful on a multi-core runner —
+# check the recorded gomaxprocs).
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelScan|BenchmarkParallelGroupBy|BenchmarkPlanCache' -benchmem .
+	$(GO) run ./cmd/experiments -only P1 -obs "" -parallel BENCH_parallel.json
+
 experiments:
 	$(GO) run ./cmd/experiments -quick
 
 clean:
-	rm -rf bin BENCH_obs.json
+	rm -rf bin BENCH_obs.json BENCH_parallel.json

@@ -1,0 +1,135 @@
+package perfdmf
+
+// Benchmarks for the parallel query executor (ROADMAP: parallel execution
+// layer). One Miranda-scale trial (≥1M data points) is uploaded once and
+// shared; each benchmark then sweeps the ?workers=N budget so the scan and
+// GROUP BY paths can be compared serial vs parallel with benchstat. On a
+// single-core runner the parallel rows are correctness exercise only —
+// check the reported gomaxprocs metric before reading them as speedups.
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/godbc"
+	"perfdmf/internal/synth"
+)
+
+const parallelBenchDSN = "mem:bench_parallel_shared"
+
+var parallelBenchOnce sync.Once
+
+// parallelBenchSetup uploads the shared trial on first use (10240 threads ×
+// 101 events ≈ 1.03M interval_location_profile rows).
+func parallelBenchSetup(b *testing.B) {
+	b.Helper()
+	var err error
+	parallelBenchOnce.Do(func() {
+		var s *core.DataSession
+		s, err = core.Open(parallelBenchDSN)
+		if err != nil {
+			return
+		}
+		defer s.Close()
+		app := &core.Application{Name: "bench-parallel"}
+		if err = s.SaveApplication(app); err != nil {
+			return
+		}
+		s.SetApplication(app)
+		exp := &core.Experiment{Name: "bench-parallel"}
+		if err = s.SaveExperiment(exp); err != nil {
+			return
+		}
+		s.SetExperiment(exp)
+		p := synth.LargeTrial(synth.LargeTrialConfig{Threads: 10240, Events: 101, Metrics: 1, Seed: 1})
+		_, err = s.UploadTrial(p, core.UploadOptions{})
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchWorkersConn(b *testing.B, workers int) godbc.Conn {
+	b.Helper()
+	c, err := godbc.Open(fmt.Sprintf("%s?workers=%d", parallelBenchDSN, workers))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	return c
+}
+
+func drainQuery(b *testing.B, c godbc.Conn, q string, args ...any) {
+	b.Helper()
+	rows, err := c.Query(q, args...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for rows.Next() {
+	}
+	if err := rows.Err(); err != nil {
+		b.Fatal(err)
+	}
+	rows.Close()
+}
+
+// BenchmarkParallelScan measures a filtered full scan (WHERE folded into
+// the partition workers) over the shared 1M-row trial.
+func BenchmarkParallelScan(b *testing.B) {
+	parallelBenchSetup(b)
+	const q = `SELECT COUNT(*) FROM interval_location_profile WHERE exclusive > ? AND call > 0`
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			c := benchWorkersConn(b, w)
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainQuery(b, c, q, 100.0)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelGroupBy measures the chunked partial aggregation over
+// all 101 event groups of the shared trial.
+func BenchmarkParallelGroupBy(b *testing.B) {
+	parallelBenchSetup(b)
+	const q = `SELECT interval_event, COUNT(*), SUM(exclusive), AVG(inclusive),
+			MIN(exclusive), MAX(exclusive)
+		FROM interval_location_profile GROUP BY interval_event`
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			c := benchWorkersConn(b, w)
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				drainQuery(b, c, q)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanCache pits the statement/plan cache's hit path (one text,
+// repeated) against guaranteed misses (a distinct text every iteration).
+func BenchmarkPlanCache(b *testing.B) {
+	parallelBenchSetup(b)
+	b.Run("hit", func(b *testing.B) {
+		c := benchWorkersConn(b, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			drainQuery(b, c, "SELECT id, name FROM metric WHERE id = ?", 1)
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		c := benchWorkersConn(b, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Unique LIMIT keeps every text distinct (guaranteed reparse)
+			// while the result stays identical to the hit benchmark's.
+			drainQuery(b, c, fmt.Sprintf("SELECT id, name FROM metric WHERE id = ? LIMIT %d", i+1), 1)
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime/debug"
 	"strings"
+	"time"
 	"text/tabwriter"
 
 	"perfdmf/internal/experiments"
@@ -31,8 +32,9 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps")
 	only := flag.String("only", "", "comma-separated experiment subset (e.g. E1,E4,AB)")
 	obsOut := flag.String("obs", "BENCH_obs.json", "write the engine-metrics snapshot to this file after the run (empty disables)")
+	parallelOut := flag.String("parallel", "BENCH_parallel.json", "write the P1 parallel-execution benchmark to this file (empty disables)")
 	flag.Parse()
-	if err := run(*quick, *only); err != nil {
+	if err := run(*quick, *only, *parallelOut); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -58,7 +60,7 @@ func writeObsSnapshot(path string) error {
 	return nil
 }
 
-func run(quick bool, only string) error {
+func run(quick bool, only, parallelOut string) error {
 	want := func(id string) bool {
 		if only == "" {
 			return true
@@ -116,6 +118,56 @@ func run(quick bool, only string) error {
 			return err
 		}
 	}
+	if want("P1") {
+		if err := runP1(quick, parallelOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runP1 times the parallel query executor (partitioned scan + chunked
+// GROUP BY) at increasing worker budgets over one Miranda-scale trial, and
+// the statement/plan cache on a point-query hot loop. Speedup is measured
+// against workers=1 in the same process; on a single-core runner the
+// GOMAXPROCS field in the JSON tells consumers not to expect one.
+func runP1(quick bool, out string) error {
+	header("P1", "parallel query execution (workers sweep, Miranda-scale trial)")
+	threads := 16384
+	if quick {
+		threads = 2048
+	}
+	res, err := experiments.RunP1(threads, 101, []int{1, 2, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rows=%d (threads=%d events=%d)  GOMAXPROCS=%d  generate=%v upload=%v\n\n",
+		res.Rows, res.Threads, res.Events, res.GOMAXPROCS,
+		res.Generate.Round(1e6), res.Upload.Round(1e6))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "WORKERS\tSCAN\tSPEEDUP\tGROUP BY\tSPEEDUP\t\n")
+	for _, r := range res.Timings {
+		fmt.Fprintf(w, "%d\t%v\t%.2fx\t%v\t%.2fx\t\n",
+			r.Workers,
+			(time.Duration(r.ScanNS)).Round(1e5), r.ScanSpeedup,
+			(time.Duration(r.GroupByNS)).Round(1e5), r.GroupBySpeedup)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nplan cache: %v/op cached text vs %v/op fresh text\n",
+		time.Duration(res.PlanCacheHitNS), time.Duration(res.PlanCacheMissNS))
+	if out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("parallel benchmark written to %s\n", out)
 	return nil
 }
 

@@ -19,7 +19,10 @@
 //	perfdmf serve  -db DSN [-addr HOST:PORT] [-trace] [-telemetry=false]
 //	perfdmf formats
 //
-// DSN examples: file:/path/to/archive, mem:scratch.
+// DSN examples: file:/path/to/archive, mem:scratch. Connection options
+// ride the DSN: file:dir?trace=1&slowms=50 for observability,
+// ?workers=N to cap SELECT parallelism (0 forces serial execution; unset
+// defaults to GOMAXPROCS) — e.g. perfdmf sql -db "file:archive?workers=4".
 package main
 
 import (

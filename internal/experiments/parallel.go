@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/godbc"
+	"perfdmf/internal/synth"
+)
+
+// P1 measures the parallel query executor on a Miranda-scale trial: the
+// same partitioned scan and GROUP BY aggregation executed at increasing
+// worker budgets, plus the prepared-statement plan cache's effect on a
+// point-query hot loop. The JSON this produces (BENCH_parallel.json via
+// cmd/experiments) is the artifact the speedup acceptance check reads.
+//
+// Speedups are relative to workers=1 on the same data in the same process.
+// On a single-core runner (GOMAXPROCS=1) the parallel rows still execute —
+// the workers are real goroutines — but no speedup is expected; consumers
+// should gate on the recorded GOMAXPROCS.
+
+// P1Timing is one worker-budget measurement point.
+type P1Timing struct {
+	Workers        int     `json:"workers"`
+	ScanNS         int64   `json:"scan_ns_per_op"`
+	GroupByNS      int64   `json:"groupby_ns_per_op"`
+	ScanSpeedup    float64 `json:"scan_speedup"`
+	GroupBySpeedup float64 `json:"groupby_speedup"`
+}
+
+// P1Result is the full parallel-execution benchmark record.
+type P1Result struct {
+	Rows            int        `json:"rows"`
+	Threads         int        `json:"threads"`
+	Events          int        `json:"events"`
+	GOMAXPROCS      int        `json:"gomaxprocs"`
+	ScanQuery       string     `json:"scan_query"`
+	GroupByQuery    string     `json:"groupby_query"`
+	Timings         []P1Timing `json:"results"`
+	PlanCacheHitNS  int64      `json:"plan_cache_hit_ns_per_op"`
+	PlanCacheMissNS int64      `json:"plan_cache_miss_ns_per_op"`
+	Generate        time.Duration `json:"-"`
+	Upload          time.Duration `json:"-"`
+}
+
+const (
+	p1ScanQuery = `SELECT COUNT(*) FROM interval_location_profile
+		WHERE exclusive > ? AND call > 0`
+	p1GroupByQuery = `SELECT interval_event, COUNT(*), SUM(exclusive),
+			AVG(inclusive), MIN(exclusive), MAX(exclusive)
+		FROM interval_location_profile GROUP BY interval_event`
+)
+
+// RunP1 uploads one synthetic trial of threads×events data points and times
+// the two representative read queries at each worker budget.
+func RunP1(threads, events int, workerBudgets []int) (*P1Result, error) {
+	res := &P1Result{
+		Threads:      threads,
+		Events:       events,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		ScanQuery:    p1ScanQuery,
+		GroupByQuery: p1GroupByQuery,
+	}
+	dsn := memDSN("p1")
+	s, err := newArchive(dsn)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	t0 := time.Now()
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: threads, Events: events, Metrics: 1, Seed: 1})
+	res.Generate = time.Since(t0)
+	res.Rows = p.DataPoints()
+	t0 = time.Now()
+	if _, err := s.UploadTrial(p, core.UploadOptions{}); err != nil {
+		return nil, err
+	}
+	res.Upload = time.Since(t0)
+
+	for _, w := range workerBudgets {
+		c, err := godbc.Open(fmt.Sprintf("%s?workers=%d", dsn, w))
+		if err != nil {
+			return nil, err
+		}
+		scanNS, err := timeQuery(c, p1ScanQuery, 3, 100.0)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("P1 scan workers=%d: %w", w, err)
+		}
+		gbNS, err := timeQuery(c, p1GroupByQuery, 3)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("P1 groupby workers=%d: %w", w, err)
+		}
+		c.Close()
+		res.Timings = append(res.Timings, P1Timing{Workers: w, ScanNS: scanNS, GroupByNS: gbNS})
+	}
+	if len(res.Timings) > 0 {
+		base := res.Timings[0]
+		for i := range res.Timings {
+			res.Timings[i].ScanSpeedup = float64(base.ScanNS) / float64(res.Timings[i].ScanNS)
+			res.Timings[i].GroupBySpeedup = float64(base.GroupByNS) / float64(res.Timings[i].GroupByNS)
+		}
+	}
+
+	hit, miss, err := timePlanCache(s.Conn())
+	if err != nil {
+		return nil, err
+	}
+	res.PlanCacheHitNS, res.PlanCacheMissNS = hit, miss
+	return res, nil
+}
+
+// timeQuery runs the query reps+1 times (first is warm-up) and returns the
+// fastest wall time in nanoseconds — min, not mean, since the interesting
+// quantity is the query's cost without scheduler noise.
+func timeQuery(c godbc.Conn, q string, reps int, args ...any) (int64, error) {
+	best := int64(0)
+	for i := 0; i <= reps; i++ {
+		t0 := time.Now()
+		rows, err := c.Query(q, args...)
+		if err != nil {
+			return 0, err
+		}
+		for rows.Next() {
+		}
+		err = rows.Err()
+		rows.Close()
+		if err != nil {
+			return 0, err
+		}
+		d := time.Since(t0).Nanoseconds()
+		if i == 0 {
+			continue // warm-up: populates caches, faults pages
+		}
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// timePlanCache measures a point-query hot loop twice: once re-issuing the
+// same text (statement-cache hits after the first parse) and once with a
+// distinct text per iteration (every execution parses and plans afresh).
+// The gap is what the cache buys PerfDMF's fixed statement vocabulary.
+func timePlanCache(c godbc.Conn) (hitNS, missNS int64, err error) {
+	const iters = 2000
+	point := func(q string, args ...any) error {
+		rows, err := c.Query(q, args...)
+		if err != nil {
+			return err
+		}
+		for rows.Next() {
+		}
+		err = rows.Err()
+		rows.Close()
+		return err
+	}
+	if err := point("SELECT id, name FROM metric WHERE id = ?", 1); err != nil {
+		return 0, 0, err
+	}
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := point("SELECT id, name FROM metric WHERE id = ?", 1); err != nil {
+			return 0, 0, err
+		}
+	}
+	hitNS = time.Since(t0).Nanoseconds() / iters
+	t0 = time.Now()
+	for i := 0; i < iters; i++ {
+		// A unique LIMIT makes every text distinct (guaranteed cache miss)
+		// without changing the result the query produces.
+		q := fmt.Sprintf("SELECT id, name FROM metric WHERE id = ? LIMIT %d", i+1)
+		if err := point(q, 1); err != nil {
+			return 0, 0, err
+		}
+	}
+	missNS = time.Since(t0).Nanoseconds() / iters
+	return hitNS, missNS, nil
+}

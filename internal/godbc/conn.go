@@ -24,11 +24,13 @@ type conn struct {
 	// connection, so its INSERTs cannot trace themselves back into the sink)
 	release func() error // driver-specific close hook
 	obs     obsOpts      // per-connection trace/slow-query overrides
+	workers int          // ?workers=N parallelism (-1 unset, 0 serial)
+	cache   *stmtCache   // per-connection statement/plan cache
 }
 
 func newConn(db *reldb.DB, release func() error) *conn {
 	mConnsOpened.Inc()
-	return &conn{db: db, release: release}
+	return &conn{db: db, release: release, workers: -1, cache: newStmtCache()}
 }
 
 func toValues(args []any) []reldb.Value {
@@ -55,7 +57,7 @@ func (c *conn) Exec(query string, args ...any) (Result, error) {
 	}
 	mExecTotal.Inc()
 	sp := c.startSpan("exec", query, len(args))
-	st, err := sqlparse.Parse(query)
+	e, err := c.parseCached(query)
 	if err != nil {
 		mStmtErrors.Inc()
 		c.finishSpan(sp, err)
@@ -64,7 +66,7 @@ func (c *conn) Exec(query string, args ...any) (Result, error) {
 	if sp != nil {
 		sp.Parse = time.Since(sp.Start)
 	}
-	res, err := c.execParsed(st, toValues(args))
+	res, err := c.execParsed(e.st, toValues(args))
 	if err != nil {
 		mStmtErrors.Inc()
 	}
@@ -115,7 +117,7 @@ func (c *conn) Query(query string, args ...any) (Rows, error) {
 	mQueryTotal.Inc()
 	start := time.Now()
 	sp := c.startSpan("query", query, len(args))
-	st, err := sqlparse.Parse(query)
+	e, err := c.parseCached(query)
 	if err != nil {
 		mStmtErrors.Inc()
 		c.finishSpan(sp, err)
@@ -125,9 +127,9 @@ func (c *conn) Query(query string, args ...any) (Rows, error) {
 		sp.Parse = time.Since(sp.Start)
 	}
 	var out Rows
-	switch st := st.(type) {
+	switch st := e.st.(type) {
 	case *sqlparse.Select:
-		out, err = c.queryParsed(st, toValues(args), sp)
+		out, err = c.queryPlanned(st, e.plan, toValues(args), sp)
 	case *sqlparse.Explain:
 		if st.Analyze {
 			out, err = c.explainAnalyzeParsed(st.Select, toValues(args))
@@ -145,18 +147,19 @@ func (c *conn) Query(query string, args ...any) (Rows, error) {
 	return out, err
 }
 
-func (c *conn) queryParsed(sel *sqlparse.Select, params []reldb.Value, sp *obs.Span) (Rows, error) {
+func (c *conn) queryPlanned(sel *sqlparse.Select, plan *sqlexec.Plan, params []reldb.Value, sp *obs.Span) (Rows, error) {
+	opts := c.queryOptions(plan)
 	var rs *sqlexec.ResultSet
 	if c.tx != nil {
 		var err error
-		rs, err = sqlexec.QueryTraced(c.tx, sel, params, sp)
+		rs, err = sqlexec.QueryOpts(c.tx, sel, params, sp, opts)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		err := c.db.Read(func(tx *reldb.Tx) error {
 			var err error
-			rs, err = sqlexec.QueryTraced(tx, sel, params, sp)
+			rs, err = sqlexec.QueryOpts(tx, sel, params, sp, opts)
 			return err
 		})
 		if err != nil {
@@ -191,17 +194,18 @@ func (c *conn) explainParsed(sel *sqlparse.Select, params []reldb.Value) (Rows, 
 // explainAnalyzeParsed runs EXPLAIN ANALYZE SELECT: the plan, executed and
 // annotated with measured phase timings and row counts.
 func (c *conn) explainAnalyzeParsed(sel *sqlparse.Select, params []reldb.Value) (Rows, error) {
+	opts := c.queryOptions(nil)
 	var rs *sqlexec.ResultSet
 	if c.tx != nil {
 		var err error
-		rs, err = sqlexec.ExplainAnalyze(c.tx, sel, params)
+		rs, err = sqlexec.ExplainAnalyzeOpts(c.tx, sel, params, opts)
 		if err != nil {
 			return nil, err
 		}
 	} else {
 		err := c.db.Read(func(tx *reldb.Tx) error {
 			var err error
-			rs, err = sqlexec.ExplainAnalyze(tx, sel, params)
+			rs, err = sqlexec.ExplainAnalyzeOpts(tx, sel, params, opts)
 			return err
 		})
 		if err != nil {
@@ -217,7 +221,7 @@ func (c *conn) Prepare(query string) (Stmt, error) {
 	}
 	mPrepareTotal.Inc()
 	sp := c.startSpan("prepare", query, 0)
-	st, err := sqlparse.Parse(query)
+	e, err := c.parseCached(query)
 	if sp != nil {
 		sp.Parse = time.Since(sp.Start)
 	}
@@ -227,7 +231,7 @@ func (c *conn) Prepare(query string) (Stmt, error) {
 		return nil, err
 	}
 	c.finishSpan(sp, nil)
-	return &stmt{c: c, st: st, src: query}, nil
+	return &stmt{c: c, entry: e, src: query}, nil
 }
 
 func (c *conn) Begin() error {
@@ -286,10 +290,12 @@ func (c *conn) Close() error {
 	return nil
 }
 
-// stmt is a prepared statement bound to its connection.
+// stmt is a prepared statement bound to its connection. It shares its
+// cache entry — parsed AST plus plan handle — with the connection's
+// statement cache, so executions through either path reuse the same plan.
 type stmt struct {
 	c      *conn
-	st     sqlparse.Statement
+	entry  *cacheEntry
 	src    string // original statement text, for spans
 	closed bool
 }
@@ -303,7 +309,7 @@ func (s *stmt) Exec(args ...any) (Result, error) {
 	}
 	mExecTotal.Inc()
 	sp := s.c.startSpan("exec", s.src, len(args))
-	res, err := s.c.execParsed(s.st, toValues(args))
+	res, err := s.c.execParsed(s.entry.st, toValues(args))
 	if err != nil {
 		mStmtErrors.Inc()
 	}
@@ -321,14 +327,14 @@ func (s *stmt) Query(args ...any) (Rows, error) {
 	if err := s.c.check(); err != nil {
 		return nil, err
 	}
-	sel, ok := s.st.(*sqlparse.Select)
+	sel, ok := s.entry.st.(*sqlparse.Select)
 	if !ok {
 		return nil, fmt.Errorf("godbc: Query needs a SELECT statement")
 	}
 	mQueryTotal.Inc()
 	start := time.Now()
 	sp := s.c.startSpan("query", s.src, len(args))
-	out, err := s.c.queryParsed(sel, toValues(args), sp)
+	out, err := s.c.queryPlanned(sel, s.entry.plan, toValues(args), sp)
 	if err != nil {
 		mStmtErrors.Inc()
 	}

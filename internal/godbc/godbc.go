@@ -22,6 +22,12 @@
 // the obs tracer, slowms sets the connection's slow-query threshold in
 // milliseconds (0 silences a globally-configured threshold). Unset options
 // defer to the global obs configuration (PERFDMF_TRACE / PERFDMF_SLOW_MS).
+//
+// The ?workers=N option caps the parallelism of SELECT execution on the
+// connection: N>1 allows up to N worker goroutines for partitioned scans
+// and partial aggregation, N=0 (or 1) forces serial execution, and leaving
+// the option unset defers to the executor's default (GOMAXPROCS). Like the
+// observability options, malformed values fail Open.
 package godbc
 
 import (
@@ -236,10 +242,14 @@ func (d *memDriver) Open(rest string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := checkOptions(opts, "readonly", "trace", "slowms"); err != nil {
+	if err := checkOptions(opts, "readonly", "trace", "slowms", "workers"); err != nil {
 		return nil, err
 	}
 	oo, err := parseObsOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	workers, err := parseWorkersOption(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +263,7 @@ func (d *memDriver) Open(rest string) (Conn, error) {
 	c := newConn(db, nil)
 	c.readonly = optBool(opts, "readonly")
 	c.obs = oo
+	c.workers = workers
 	return c, nil
 }
 
@@ -276,10 +287,14 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	if path == "" {
 		return nil, fmt.Errorf("godbc: file DSN needs a directory path")
 	}
-	if err := checkOptions(opts, "readonly", "sync", "checkpoint", "trace", "slowms"); err != nil {
+	if err := checkOptions(opts, "readonly", "sync", "checkpoint", "trace", "slowms", "workers"); err != nil {
 		return nil, err
 	}
 	oo, err := parseObsOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	workers, err := parseWorkersOption(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +335,7 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	c := newConn(entry.db, release)
 	c.readonly = readonly
 	c.obs = oo
+	c.workers = workers
 	return c, nil
 }
 

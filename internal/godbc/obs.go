@@ -58,6 +58,21 @@ func parseObsOptions(opts map[string]string) (obsOpts, error) {
 	return o, nil
 }
 
+// parseWorkersOption validates the ?workers=N knob with the same strictness
+// as the observability options: the value must be a non-negative integer.
+// It returns -1 when the option is absent (defer to the executor default).
+func parseWorkersOption(opts map[string]string) (int, error) {
+	v, ok := opts["workers"]
+	if !ok {
+		return -1, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("godbc: option workers=%q is not a non-negative integer", v)
+	}
+	return n, nil
+}
+
 // tracingOn resolves the connection's effective tracing switch.
 func (c *conn) tracingOn() bool {
 	if c.obs.traceSet {

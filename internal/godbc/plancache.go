@@ -1,0 +1,87 @@
+package godbc
+
+import (
+	"perfdmf/internal/sqlexec"
+	"perfdmf/internal/sqlparse"
+)
+
+// stmtCacheMax bounds the per-connection statement cache. PerfDMF workloads
+// cycle through a small, fixed statement vocabulary (the upload loop and
+// the analysis queries), so a modest FIFO is plenty and keeps a connection
+// that streams ad-hoc SQL from holding every statement it ever saw.
+const stmtCacheMax = 256
+
+// cacheEntry is one cached statement: the parsed AST, plus — for SELECTs —
+// a reusable executor plan that memoizes the access-path decision keyed by
+// the base table's schema version. The AST is never mutated by execution,
+// so sharing it across executions (and with prepared statements) is safe.
+type cacheEntry struct {
+	st   sqlparse.Statement
+	plan *sqlexec.Plan // non-nil only for SELECT statements
+}
+
+// stmtCache maps SQL text to parsed statements for one connection. A conn
+// serves a single goroutine (JDBC's Connection contract), so no locking.
+type stmtCache struct {
+	entries map[string]*cacheEntry
+	fifo    []string // insertion order, for eviction
+}
+
+func newStmtCache() *stmtCache {
+	return &stmtCache{entries: make(map[string]*cacheEntry)}
+}
+
+func (sc *stmtCache) lookup(sql string) *cacheEntry { return sc.entries[sql] }
+
+func (sc *stmtCache) store(sql string, e *cacheEntry) {
+	if _, ok := sc.entries[sql]; ok {
+		sc.entries[sql] = e
+		return
+	}
+	if len(sc.fifo) >= stmtCacheMax {
+		evict := sc.fifo[0]
+		sc.fifo = sc.fifo[1:]
+		delete(sc.entries, evict)
+	}
+	sc.entries[sql] = e
+	sc.fifo = append(sc.fifo, sql)
+}
+
+// parseCached returns the cached parse of query, parsing and caching on
+// miss. Every statement that reaches Exec/Query/Prepare with the same text
+// skips the lexer and parser after the first time; the attached plan
+// additionally skips the executor's access-path search while the schema
+// version holds (see sqlexec.Plan).
+func (c *conn) parseCached(query string) (*cacheEntry, error) {
+	if e := c.cache.lookup(query); e != nil {
+		sqlexec.PlanCacheHit()
+		return e, nil
+	}
+	sqlexec.PlanCacheMiss()
+	st, err := sqlparse.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	e := &cacheEntry{st: st}
+	if sel, ok := st.(*sqlparse.Select); ok {
+		e.plan = sqlexec.NewPlan(sel)
+	}
+	c.cache.store(query, e)
+	return e, nil
+}
+
+// queryOptions resolves the connection's execution options for one SELECT:
+// the workers knob (DSN ?workers=N; N=0 forces serial, unset defers to the
+// executor's GOMAXPROCS default) and the statement's reusable plan handle.
+func (c *conn) queryOptions(plan *sqlexec.Plan) sqlexec.Options {
+	opts := sqlexec.Options{Plan: plan}
+	switch {
+	case c.workers < 0: // unset: executor default (GOMAXPROCS)
+		opts.Workers = 0
+	case c.workers == 0: // ?workers=0: serial
+		opts.Workers = 1
+	default:
+		opts.Workers = c.workers
+	}
+	return opts
+}

@@ -299,6 +299,8 @@ func (tx *Tx) DropColumn(table, column string) error {
 				ix.cols[i] = t.schema.ColumnIndex(icol)
 			}
 		}
+		t.arena = nil
+		t.bumpVersion()
 	}})
 	tx.redo = append(tx.redo, walRecord{kind: walDropColumn, table: t.schema.Name, name: column})
 	return nil
@@ -336,8 +338,10 @@ func (tx *Tx) CreateIndex(name, table string, columns []string, kind IndexKind, 
 		return err
 	}
 	t.indexes[key] = ix
+	t.bumpVersion()
 	tx.undo = append(tx.undo, undoRec{kind: undoDDL, restore: func() {
 		delete(t.indexes, key)
+		t.bumpVersion()
 	}})
 	tx.redo = append(tx.redo, walRecord{
 		kind: walCreateIndex, table: t.schema.Name, name: name,
@@ -361,8 +365,10 @@ func (tx *Tx) DropIndex(table, name string) error {
 		return fmt.Errorf("reldb: no index %s on table %s", name, table)
 	}
 	delete(t.indexes, key)
+	t.bumpVersion()
 	tx.undo = append(tx.undo, undoRec{kind: undoDDL, restore: func() {
 		t.indexes[key] = ix
+		t.bumpVersion()
 	}})
 	tx.redo = append(tx.redo, walRecord{kind: walDropIndex, table: t.schema.Name, name: name})
 	return nil
@@ -480,6 +486,29 @@ func (tx *Tx) Scan(table string, fn func(slot int, row Row) bool) error {
 	}
 	t.scan(fn)
 	return nil
+}
+
+// ScanPartitioned exposes Table.ScanPartitioned under a transaction: the
+// slot array split into at most n contiguous ranges, delivered in order.
+// The row slices alias live storage and are only safe to read while the
+// transaction is open.
+func (tx *Tx) ScanPartitioned(table string, n int, fn func(part, base int, rows []Row)) error {
+	t, err := tx.Table(table)
+	if err != nil {
+		return err
+	}
+	t.ScanPartitioned(n, fn)
+	return nil
+}
+
+// TableVersion returns the schema version of the named table, or 0 when no
+// such table exists. See Table.Version.
+func (tx *Tx) TableVersion(table string) int64 {
+	t := tx.db.tables[strings.ToLower(table)]
+	if t == nil {
+		return 0
+	}
+	return t.version
 }
 
 // Row returns the row at slot, or nil.

@@ -1,0 +1,197 @@
+package reldb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// versionOf reads a table's schema version outside any transaction helper.
+func versionOf(t *testing.T, db *DB, name string) int64 {
+	t.Helper()
+	var v int64
+	if err := db.Read(func(tx *Tx) error {
+		v = tx.TableVersion(name)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestSchemaVersionBumps pins the plan-cache invalidation contract: every
+// DDL that can change an access-path decision — column add/drop, index
+// create/drop — moves the table's schema version, and so does rolling any
+// of them back. A version must never be reused, otherwise a plan memoized
+// against the rolled-back shape would validate against the restored one.
+func TestSchemaVersionBumps(t *testing.T) {
+	db := NewMemory()
+	mustWrite(t, db, func(tx *Tx) error { return tx.CreateTable(appSchema()) })
+
+	seen := map[int64]bool{versionOf(t, db, "application"): true}
+	step := func(label string, fn func(tx *Tx) error) {
+		t.Helper()
+		mustWrite(t, db, fn)
+		v := versionOf(t, db, "application")
+		if seen[v] {
+			t.Fatalf("%s: version %d reused", label, v)
+		}
+		seen[v] = true
+	}
+	sentinel := errors.New("force rollback")
+	stepRollback := func(label string, fn func(tx *Tx) error) {
+		t.Helper()
+		err := db.Write(func(tx *Tx) error {
+			if err := fn(tx); err != nil {
+				return err
+			}
+			return sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("%s: %v", label, err)
+		}
+		v := versionOf(t, db, "application")
+		if seen[v] {
+			t.Fatalf("%s: version %d reused after rollback", label, v)
+		}
+		seen[v] = true
+	}
+
+	step("add column", func(tx *Tx) error {
+		return tx.AddColumn("application", Column{Name: "note", Type: TString})
+	})
+	step("create index", func(tx *Tx) error {
+		return tx.CreateIndex("ix_name", "application", []string{"name"}, HashIndex, false)
+	})
+	step("drop index", func(tx *Tx) error {
+		return tx.DropIndex("application", "ix_name")
+	})
+	step("drop column", func(tx *Tx) error {
+		return tx.DropColumn("application", "note")
+	})
+	stepRollback("rolled-back add column", func(tx *Tx) error {
+		return tx.AddColumn("application", Column{Name: "tmp", Type: TInt})
+	})
+	stepRollback("rolled-back create index", func(tx *Tx) error {
+		return tx.CreateIndex("ix_tmp", "application", []string{"name"}, HashIndex, false)
+	})
+}
+
+// TestScanPartitioned checks the partition contract the parallel executor
+// depends on: the partitions tile the slot space exactly — every slot
+// (including tombstones) appears once, in slot order, with the right base.
+func TestScanPartitioned(t *testing.T) {
+	db := NewMemory()
+	mustWrite(t, db, func(tx *Tx) error {
+		if err := tx.CreateTable(appSchema()); err != nil {
+			return err
+		}
+		for i := 0; i < 37; i++ {
+			if _, err := tx.Insert("application", Row{Null, Str("app"), Null}); err != nil {
+				return err
+			}
+		}
+		// Punch holes so some slots are nil.
+		for _, slot := range []int{0, 5, 17, 36} {
+			if err := tx.Delete("application", slot); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+
+	for _, n := range []int{1, 2, 3, 7, 37, 100} {
+		var (
+			covered  = make([]bool, 37)
+			lastPart = -1
+			nextSlot int
+		)
+		if err := db.Read(func(tx *Tx) error {
+			return tx.ScanPartitioned("application", n, func(part, base int, rows []Row) {
+				if part <= lastPart {
+					t.Fatalf("n=%d: partition %d after %d (out of order)", n, part, lastPart)
+				}
+				lastPart = part
+				if base != nextSlot {
+					t.Fatalf("n=%d part=%d: base = %d, want %d", n, part, base, nextSlot)
+				}
+				for i := range rows {
+					slot := base + i
+					if covered[slot] {
+						t.Fatalf("n=%d: slot %d covered twice", n, slot)
+					}
+					covered[slot] = true
+				}
+				nextSlot = base + len(rows)
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for slot, ok := range covered {
+			if !ok {
+				t.Fatalf("n=%d: slot %d never covered", n, slot)
+			}
+		}
+		deleted := map[int]bool{0: true, 5: true, 17: true, 36: true}
+		if err := db.Read(func(tx *Tx) error {
+			return tx.ScanPartitioned("application", n, func(part, base int, rows []Row) {
+				for i, r := range rows {
+					if deleted[base+i] != (r == nil) {
+						t.Fatalf("n=%d slot %d: nil=%v, deleted=%v", n, base+i, r == nil, deleted[base+i])
+					}
+				}
+			})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Empty table: no callbacks, no panic.
+	mustWrite(t, db, func(tx *Tx) error { return tx.CreateTable(expSchema()) })
+	if err := db.Read(func(tx *Tx) error {
+		return tx.ScanPartitioned("experiment", 4, func(part, base int, rows []Row) {
+			t.Fatalf("callback on empty table: part=%d", part)
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRowArenaIsolation guards the bulk-insert arena: rows carved from the
+// shared block must be fully independent — writing one row's cell cannot
+// bleed into a neighbor, and appending (as ALTER TABLE ADD COLUMN does)
+// must copy rather than grow into the next row's cells.
+func TestRowArenaIsolation(t *testing.T) {
+	db := NewMemory()
+	mustWrite(t, db, func(tx *Tx) error {
+		if err := tx.CreateTable(appSchema()); err != nil {
+			return err
+		}
+		for i := 0; i < 600; i++ { // span several arena blocks
+			row := Row{Null, Str(fmt.Sprintf("app-%d", i)), Null}
+			if _, err := tx.Insert("application", row); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	mustWrite(t, db, func(tx *Tx) error {
+		// ADD COLUMN appends a cell to every stored row in place; with a
+		// shared arena this is exactly the operation that would stomp the
+		// next row if rows kept spare capacity.
+		return tx.AddColumn("application", Column{Name: "extra", Type: TInt, Default: Int(7)})
+	})
+	if err := db.Read(func(tx *Tx) error {
+		return tx.Scan("application", func(slot int, row Row) bool {
+			if len(row) != 4 {
+				t.Fatalf("slot %d: width %d", slot, len(row))
+			}
+			if row[1].S != fmt.Sprintf("app-%d", slot) || row[3].AsInt() != 7 {
+				t.Fatalf("slot %d: corrupted row %v", slot, row)
+			}
+			return true
+		})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

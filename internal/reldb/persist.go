@@ -13,6 +13,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -510,13 +511,28 @@ func openWAL(path string, sync bool) (*walWriter, error) {
 	return &walWriter{f: f, sync: sync}, nil
 }
 
+// walBufPool recycles the encode buffer across commit batches. Bulk loads
+// commit thousands of batches; without the pool each one allocates (and
+// grows) a fresh bytes.Buffer.
+var walBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledWALBuf caps what goes back in the pool: an occasional huge batch
+// should not pin a multi-megabyte buffer for the process lifetime.
+const maxPooledWALBuf = 1 << 20
+
 // append writes one commit batch: length, crc32, payload.
 func (w *walWriter) append(recs []walRecord) error {
 	start := time.Now()
-	var b bytes.Buffer
-	putUvarint(&b, uint64(len(recs)))
+	b := walBufPool.Get().(*bytes.Buffer)
+	b.Reset()
+	defer func() {
+		if b.Cap() <= maxPooledWALBuf {
+			walBufPool.Put(b)
+		}
+	}()
+	putUvarint(b, uint64(len(recs)))
 	for i := range recs {
-		encodeWALRecord(&b, &recs[i])
+		encodeWALRecord(b, &recs[i])
 	}
 	payload := b.Bytes()
 	var hdr [12]byte

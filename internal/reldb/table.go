@@ -3,6 +3,7 @@ package reldb
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // Row is a single table row; cells are ordered as in the table schema.
@@ -25,12 +26,22 @@ type Table struct {
 	free    []int
 	live    int
 	autoInc int64
+	version int64             // schema version, see Version
+	arena   []Value           // block-allocated cell storage for normalize
 	pk      *Index            // unique index over the primary key, or nil
 	indexes map[string]*Index // secondary indexes by lower-cased index name
 }
 
+// schemaVersions issues process-wide unique schema versions. Every DDL that
+// changes a table's columns or indexes assigns the table a fresh version, so
+// a cached access plan detects staleness with a single compare — and a table
+// dropped and recreated under the same name can never alias an old version.
+var schemaVersions atomic.Int64
+
+func nextSchemaVersion() int64 { return schemaVersions.Add(1) }
+
 func newTable(schema *Schema) *Table {
-	t := &Table{schema: schema, indexes: make(map[string]*Index)}
+	t := &Table{schema: schema, indexes: make(map[string]*Index), version: nextSchemaVersion()}
 	if schema.PrimaryKey != "" {
 		col := schema.ColumnIndex(schema.PrimaryKey)
 		t.pk, _ = newIndex("pk_"+schema.Name, schema.Name,
@@ -42,8 +53,64 @@ func newTable(schema *Schema) *Table {
 // Schema returns the table's schema. Callers must not mutate it.
 func (t *Table) Schema() *Schema { return t.schema }
 
+// Version returns the table's schema version: a process-wide unique value
+// reassigned by every column or index DDL (including rollbacks of such
+// DDL). Plan caches compare it to decide whether a cached access-path
+// decision is still valid.
+func (t *Table) Version() int64 { return t.version }
+
+// bumpVersion assigns the table a fresh schema version.
+func (t *Table) bumpVersion() { t.version = nextSchemaVersion() }
+
 // Len returns the number of live rows.
 func (t *Table) Len() int { return t.live }
+
+// rowArenaBlock is how many rows' worth of cells newRowBuf reserves per
+// allocation. Bulk loads (the Miranda upload is >1.6M inserts) otherwise pay
+// one small make per row; carving rows out of a shared block cuts that to
+// one allocation per block.
+const rowArenaBlock = 256
+
+// newRowBuf returns a zeroed row of schema width carved from the table's
+// cell arena. The returned slice has capacity == length, so appending to it
+// (e.g. addColumn widening rows) copies instead of clobbering a neighbour.
+func (t *Table) newRowBuf() Row {
+	n := len(t.schema.Columns)
+	if n == 0 {
+		return Row{}
+	}
+	if len(t.arena) < n {
+		t.arena = make([]Value, n*rowArenaBlock)
+	}
+	r := Row(t.arena[:n:n])
+	t.arena = t.arena[n:]
+	return r
+}
+
+// ScanPartitioned splits the slot array into at most n contiguous slot
+// ranges of near-equal size and calls fn once per partition, in partition
+// order, with the partition index, the first slot of the range, and the raw
+// row slice (rows[i] is slot base+i; nil entries are free slots). The row
+// slices alias live table storage: callers may hand different partitions to
+// different goroutines, but only for reading, and only while holding the
+// transaction that obtained the table.
+func (t *Table) ScanPartitioned(n int, fn func(part, base int, rows []Row)) {
+	total := len(t.rows)
+	if total == 0 {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > total {
+		n = total
+	}
+	for p := 0; p < n; p++ {
+		lo := p * total / n
+		hi := (p + 1) * total / n
+		fn(p, lo, t.rows[lo:hi])
+	}
+}
 
 // normalize coerces a full-width row to the schema's column types, applies
 // defaults and the auto-increment counter, and checks NOT NULL constraints.
@@ -52,7 +119,7 @@ func (t *Table) normalize(row Row) (Row, error) {
 		return nil, fmt.Errorf("reldb: table %s: got %d values, want %d",
 			t.schema.Name, len(row), len(t.schema.Columns))
 	}
-	out := make(Row, len(row))
+	out := t.newRowBuf()
 	for i := range row {
 		col := &t.schema.Columns[i]
 		v := row[i]
@@ -330,6 +397,8 @@ func (t *Table) addColumn(col Column) error {
 		}
 		t.rows[slot] = append(row, fill)
 	}
+	t.arena = nil // old width; carve fresh blocks at the new width
+	t.bumpVersion()
 	return nil
 }
 
@@ -372,5 +441,7 @@ func (t *Table) dropColumn(name string) error {
 			ix.cols[i] = t.schema.ColumnIndex(icol)
 		}
 	}
+	t.arena = nil
+	t.bumpVersion()
 	return nil
 }

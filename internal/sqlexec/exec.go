@@ -165,10 +165,11 @@ func matchingSlots(tx *reldb.Tx, table, alias string, where sqlparse.Expr, param
 	cols.bind(aliasOr(alias, table), table, tbl.Schema())
 	ev := &env{cols: cols, params: params, tx: tx}
 
-	candidates, scanned, err := planAccess(tx, table, aliasOr(alias, table), where, params, false)
+	candidates, dec, err := planAccess(tx, table, aliasOr(alias, table), where, params, false)
 	if err != nil {
 		return nil, err
 	}
+	scanned := dec.kind == accessFullScan
 	var out []int
 	check := func(slot int) error {
 		row := tx.Row(table, slot)
@@ -271,23 +272,16 @@ func execDelete(tx *reldb.Tx, st *sqlparse.Delete, params []reldb.Value) (Result
 }
 
 // planAccess inspects the top-level AND conjuncts of where for a predicate
-// on an indexed column of the base table. It returns either a candidate
-// slot list (scanned=false) or scanned=true meaning a full scan is needed.
-// requireQualified restricts planning to conjuncts whose column reference
-// is explicitly qualified with the base alias; it must be set when the
-// query has joins, where an unqualified name may belong to another table.
-func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params []reldb.Value, requireQualified bool) (slots []int, scanned bool, err error) {
+// on an indexed column of the base table. It returns a candidate slot list
+// plus the decision it took; dec.kind == accessFullScan means no index
+// applied and the caller must scan every live row. requireQualified
+// restricts planning to conjuncts whose column reference is explicitly
+// qualified with the base alias; it must be set when the query has joins,
+// where an unqualified name may belong to another table.
+func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params []reldb.Value, requireQualified bool) (slots []int, dec accessDecision, err error) {
 	conjuncts := splitAnd(where)
 	evalConst := func(e sqlparse.Expr) (reldb.Value, bool) {
-		switch e := e.(type) {
-		case *sqlparse.Literal:
-			return e.Value, true
-		case *sqlparse.Param:
-			if e.Index < len(params) {
-				return params[e.Index], true
-			}
-		}
-		return reldb.Null, false
+		return constVal(e, params)
 	}
 	colOf := func(e sqlparse.Expr) (string, bool) {
 		c, ok := e.(*sqlparse.ColRef)
@@ -306,10 +300,13 @@ func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params [
 		return c.Name, true
 	}
 	// Collect the constant-equality conjuncts once; a composite index that
-	// covers several of them at once beats any single-column plan.
+	// covers several of them at once beats any single-column plan. The
+	// value-side expression rides along so the decision can be memoized and
+	// replayed against future parameter sets.
 	type eqPred struct {
-		col string
-		val reldb.Value
+		col  string
+		val  reldb.Value
+		expr sqlparse.Expr
 	}
 	var eqs []eqPred
 	for _, c := range conjuncts {
@@ -319,12 +316,14 @@ func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params [
 		}
 		col, okL := colOf(b.L)
 		v, okR := evalConst(b.R)
+		vexpr := b.R
 		if !okL || !okR {
 			col, okL = colOf(b.R)
 			v, okR = evalConst(b.L)
+			vexpr = b.L
 		}
 		if okL && okR && !v.IsNull() {
-			eqs = append(eqs, eqPred{col, v})
+			eqs = append(eqs, eqPred{col, v, vexpr})
 		}
 	}
 	// Try composite coverage from the largest subset down to pairs.
@@ -335,33 +334,22 @@ func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params [
 			for start := 0; start+size <= len(eqs); start++ {
 				cols := make([]string, size)
 				vals := make([]reldb.Value, size)
+				exprs := make([]sqlparse.Expr, size)
 				for i := 0; i < size; i++ {
 					cols[i] = eqs[start+i].col
 					vals[i] = eqs[start+i].val
+					exprs[i] = eqs[start+i].expr
 				}
 				if s, used := tx.LookupEqMulti(table, cols, vals); used {
-					return s, false, nil
+					return s, accessDecision{kind: accessMultiEq, cols: cols, valExprs: exprs}, nil
 				}
 			}
 		}
 	}
 	// First preference: equality on an indexed column.
-	for _, c := range conjuncts {
-		b, ok := c.(*sqlparse.Binary)
-		if !ok || b.Op != sqlparse.OpEq {
-			continue
-		}
-		col, okL := colOf(b.L)
-		v, okR := evalConst(b.R)
-		if !okL || !okR {
-			col, okL = colOf(b.R)
-			v, okR = evalConst(b.L)
-		}
-		if !okL || !okR || v.IsNull() {
-			continue
-		}
-		if s, used := tx.LookupEq(table, col, v); used {
-			return s, false, nil
+	for _, eq := range eqs {
+		if s, used := tx.LookupEq(table, eq.col, eq.val); used {
+			return s, accessDecision{kind: accessEqIndex, cols: []string{eq.col}, valExprs: []sqlparse.Expr{eq.expr}}, nil
 		}
 	}
 	// IN-lists and IN-subqueries on an indexed column become a union of
@@ -380,10 +368,10 @@ func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params [
 		if in.Sub != nil {
 			rs, err := Query(tx, in.Sub.Select, params)
 			if err != nil {
-				return nil, false, err
+				return nil, accessDecision{}, err
 			}
 			if len(rs.Cols) != 1 {
-				return nil, false, fmt.Errorf("sqlexec: IN subquery must return one column, got %d", len(rs.Cols))
+				return nil, accessDecision{}, fmt.Errorf("sqlexec: IN subquery must return one column, got %d", len(rs.Cols))
 			}
 			for _, row := range rs.Rows {
 				vals = append(vals, row[0])
@@ -416,7 +404,7 @@ func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params [
 				}
 			}
 		}
-		return union, false, nil
+		return union, accessDecision{kind: accessOther}, nil
 	}
 	// Second preference: a range predicate on an ordered-indexed column.
 	for _, c := range conjuncts {
@@ -467,7 +455,7 @@ func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params [
 			collected = append(collected, slot)
 			return true
 		}) {
-			return collected, false, nil
+			return collected, accessDecision{kind: accessOther}, nil
 		}
 	}
 	// BETWEEN on an ordered-indexed column.
@@ -487,10 +475,10 @@ func planAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params [
 			collected = append(collected, slot)
 			return true
 		}) {
-			return collected, false, nil
+			return collected, accessDecision{kind: accessOther}, nil
 		}
 	}
-	return nil, true, nil
+	return nil, accessDecision{kind: accessFullScan}, nil
 }
 
 // splitAnd flattens the top-level AND spine of an expression.

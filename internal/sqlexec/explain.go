@@ -72,9 +72,16 @@ func Explain(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value) (*ResultSe
 
 // ExplainAnalyze renders the static plan, then actually runs the query with
 // a span attached and appends the measured phase timings, row counts and
-// access-path outcome. The query's rows are discarded; only the annotated
-// plan is returned.
+// access-path outcome (including the parallel(n) fan-out when the executor
+// used worker goroutines). The query's rows are discarded; only the
+// annotated plan is returned.
 func ExplainAnalyze(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value) (*ResultSet, error) {
+	return ExplainAnalyzeOpts(tx, st, params, Options{})
+}
+
+// ExplainAnalyzeOpts is ExplainAnalyze with explicit execution options, so
+// a connection's workers setting shapes the measured run.
+func ExplainAnalyzeOpts(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value, opts Options) (*ResultSet, error) {
 	rs, err := Explain(tx, st, params)
 	if err != nil {
 		return nil, err
@@ -84,15 +91,15 @@ func ExplainAnalyze(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value) (*R
 	}
 
 	sp := &obs.Span{Kind: "query", Start: time.Now()}
-	if _, err := QueryTraced(tx, st, params, sp); err != nil {
+	if _, err := QueryOpts(tx, st, params, sp, opts); err != nil {
 		return nil, err
 	}
 	sp.Total = time.Since(sp.Start)
 	access := "full scan"
-	if sp.IndexUsed {
-		access = "index access"
-	} else if sp.PlanSummary != "" {
+	if sp.PlanSummary != "" {
 		access = sp.PlanSummary
+	} else if sp.IndexUsed {
+		access = "index access"
 	}
 	add("actual: plan=%v execute=%v materialize=%v total=%v",
 		sp.Plan, sp.Execute, sp.Materialize, sp.Total)
@@ -129,11 +136,11 @@ func bindRef(tx *reldb.Tx, cols *colmap, tr sqlparse.TableRef, params []reldb.Va
 // explainAccess mirrors planAccess's preference order but reports the
 // decision instead of collecting slots.
 func explainAccess(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params []reldb.Value, requireQualified bool) (string, error) {
-	slots, scanned, err := planAccess(tx, table, alias, where, params, requireQualified)
+	slots, dec, err := planAccess(tx, table, alias, where, params, requireQualified)
 	if err != nil {
 		return "", err
 	}
-	if scanned {
+	if dec.kind == accessFullScan {
 		return "full scan", nil
 	}
 	return fmt.Sprintf("index access (%d candidate rows)", len(slots)), nil

@@ -27,6 +27,9 @@ type env struct {
 	// subquery's result for the duration of the statement.
 	tx  *reldb.Tx
 	sub map[*sqlparse.Subquery]*ResultSet
+	// serial marks an env owned by a parallel worker: subqueries it spawns
+	// must not fan out again, or worker counts would multiply.
+	serial bool
 }
 
 // subResult runs (or returns the cached result of) an uncorrelated
@@ -38,7 +41,11 @@ func (ev *env) subResult(sq *sqlparse.Subquery) (*ResultSet, error) {
 	if rs, ok := ev.sub[sq]; ok {
 		return rs, nil
 	}
-	rs, err := Query(ev.tx, sq.Select, ev.params)
+	var opts Options
+	if ev.serial {
+		opts.Workers = 1
+	}
+	rs, err := QueryOpts(ev.tx, sq.Select, ev.params, nil, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,439 @@
+package sqlexec
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"perfdmf/internal/obs"
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// Options tune a single SELECT execution.
+type Options struct {
+	// Workers caps the number of goroutines the executor may use for
+	// partitioned scans and partial aggregation. 0 (the zero value) means
+	// DefaultWorkers(); 1 executes serially.
+	Workers int
+	// Plan, when non-nil, is a reusable handle that memoizes the
+	// access-path decision across executions of the same statement (see
+	// Plan). It must belong to the calling goroutine.
+	Plan *Plan
+}
+
+// DefaultWorkers is the worker count used when Options does not set one:
+// the scheduler's current parallelism.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func (o Options) effectiveWorkers() int {
+	if o.Workers <= 0 {
+		return DefaultWorkers()
+	}
+	return o.Workers
+}
+
+// parallelMinRows is the serial-fallback threshold: below this many input
+// rows the goroutine fan-out costs more than it saves, so point queries
+// never pay it.
+const parallelMinRows = 4096
+
+// aggChunkRows is the fold-chunk size for partial aggregation. Chunk
+// boundaries depend only on the input length — never on the worker count —
+// so float accumulation order, group discovery order, and therefore the
+// exact result bits are identical at every Workers setting. Workers only
+// decide how many chunks fold concurrently.
+const aggChunkRows = 4096
+
+// partsPerWorker oversplits the scan so the atomic work queue can balance
+// partitions whose free-slot density differs.
+const partsPerWorker = 4
+
+// QueryOpts is Query with explicit execution options and an optional span.
+func QueryOpts(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value, sp *obs.Span, opts Options) (*ResultSet, error) {
+	q := &query{tx: tx, st: st, params: params, cols: newColmap(), sp: sp, opts: opts}
+	return q.run()
+}
+
+// parallelScanFilter collects the base table's live rows — applying the
+// WHERE filter when present — using partitioned worker goroutines. Each
+// partition fills its own buffer; buffers are concatenated in partition
+// (slot) order, so the result is byte-identical to the serial scan+filter.
+// Workers are claimed off an atomic queue in increasing partition order and
+// always run their partition to completion, which guarantees both that
+// every goroutine is reaped before return and that the lowest-partition
+// error — the same error the serial path would hit first — is reported.
+func (q *query) parallelScanFilter(table string, where sqlparse.Expr, workers int) ([]reldb.Row, error) {
+	type part struct {
+		rows    []reldb.Row
+		kept    []reldb.Row
+		visited int64
+		err     error
+	}
+	var parts []*part
+	q.tx.ScanPartitioned(table, workers*partsPerWorker, func(_, _ int, rows []reldb.Row) { //nolint:errcheck // table verified by bind
+		parts = append(parts, &part{rows: rows})
+	})
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	if workers > len(parts) {
+		workers = len(parts)
+	}
+	mParallelScans.Inc()
+	mScanPartitions.Observe(int64(len(parts)))
+	if q.par < workers {
+		q.par = workers
+	}
+
+	var (
+		next atomic.Int64
+		stop atomic.Bool
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := &env{cols: q.cols, params: q.params, tx: q.tx, serial: true}
+			for !stop.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(parts) {
+					return
+				}
+				p := parts[i]
+				for _, row := range p.rows {
+					if row == nil {
+						continue
+					}
+					p.visited++
+					if where != nil {
+						ev.row = row
+						v, err := eval(where, ev)
+						if err != nil {
+							p.err = err
+							stop.Store(true)
+							return
+						}
+						if !truthy(v) {
+							continue
+						}
+					}
+					p.kept = append(p.kept, row)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	total := 0
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		total += len(p.kept)
+		q.scanned += p.visited
+	}
+	out := make([]reldb.Row, 0, total)
+	for _, p := range parts {
+		out = append(out, p.kept...)
+	}
+	return out, nil
+}
+
+// aggPartial is the mergeable state of one aggregate over a subset of a
+// group's rows: everything COUNT/SUM/AVG/MIN/MAX/STDDEV need.
+type aggPartial struct {
+	count   int64
+	sum     float64
+	sumSq   float64
+	min, mx reldb.Value
+	allInt  bool
+}
+
+func (p *aggPartial) observe(v reldb.Value) {
+	p.count++
+	f := v.AsFloat()
+	p.sum += f
+	p.sumSq += f * f
+	if v.T != reldb.TInt {
+		p.allInt = false
+	}
+	if p.min.IsNull() || reldb.Compare(v, p.min) < 0 {
+		p.min = v
+	}
+	if p.mx.IsNull() || reldb.Compare(v, p.mx) > 0 {
+		p.mx = v
+	}
+}
+
+func (p *aggPartial) merge(o *aggPartial) {
+	p.count += o.count
+	p.sum += o.sum
+	p.sumSq += o.sumSq
+	p.allInt = p.allInt && o.allInt
+	if !o.min.IsNull() && (p.min.IsNull() || reldb.Compare(o.min, p.min) < 0) {
+		p.min = o.min
+	}
+	if !o.mx.IsNull() && (p.mx.IsNull() || reldb.Compare(o.mx, p.mx) > 0) {
+		p.mx = o.mx
+	}
+}
+
+// finish turns the merged state into the aggregate's value, mirroring
+// computeAgg's result rules exactly.
+func (p *aggPartial) finish(name string) reldb.Value {
+	switch name {
+	case "COUNT":
+		return reldb.Int(p.count)
+	case "SUM":
+		if p.count == 0 {
+			return reldb.Null
+		}
+		if p.allInt {
+			return reldb.Int(int64(p.sum))
+		}
+		return reldb.Float(p.sum)
+	case "AVG":
+		if p.count == 0 {
+			return reldb.Null
+		}
+		return reldb.Float(p.sum / float64(p.count))
+	case "MIN":
+		return p.min
+	case "MAX":
+		return p.mx
+	case "STDDEV":
+		if p.count == 0 {
+			return reldb.Null
+		}
+		n := float64(p.count)
+		variance := p.sumSq/n - (p.sum/n)*(p.sum/n)
+		if variance < 0 {
+			variance = 0
+		}
+		return reldb.Float(math.Sqrt(variance))
+	}
+	return reldb.Null
+}
+
+// chunkGroup is one group's partial state within (or merged across) chunks.
+type chunkGroup struct {
+	key   string
+	first reldb.Row // first row of the group in input order
+	parts []aggPartial
+}
+
+// aggChunk is the fold result of one fixed-size input chunk.
+type aggChunk struct {
+	groups map[string]*chunkGroup
+	order  []*chunkGroup // discovery order within the chunk
+	err    error
+}
+
+// canChunkAgg reports whether the chunked partial-aggregation path applies:
+// enough rows to amortize it, and only aggregate shapes whose state merges
+// (DISTINCT aggregates need the whole group's value set in one place, and
+// malformed calls are left to computeAgg so error messages stay put).
+func (q *query) canChunkAgg(rows []reldb.Row, aggNodes []*sqlparse.FuncCall) bool {
+	if len(rows) < parallelMinRows {
+		return false
+	}
+	for _, node := range aggNodes {
+		if node.Distinct {
+			return false
+		}
+		if node.Star {
+			if node.Name != "COUNT" {
+				return false
+			}
+			continue
+		}
+		if len(node.Args) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// foldChunk folds one chunk of input rows into per-group partial states.
+func (q *query) foldChunk(rows []reldb.Row, aggNodes []*sqlparse.FuncCall) *aggChunk {
+	st := q.st
+	ck := &aggChunk{groups: make(map[string]*chunkGroup)}
+	ev := &env{cols: q.cols, params: q.params, tx: q.tx, serial: true}
+	kv := make([]reldb.Value, len(st.GroupBy))
+	for _, row := range rows {
+		ev.row = row
+		key := ""
+		if len(st.GroupBy) > 0 {
+			for i, e := range st.GroupBy {
+				v, err := eval(e, ev)
+				if err != nil {
+					ck.err = err
+					return ck
+				}
+				kv[i] = v
+			}
+			key = keyOf(kv)
+		}
+		g := ck.groups[key]
+		if g == nil {
+			g = &chunkGroup{key: key, first: row, parts: make([]aggPartial, len(aggNodes))}
+			for i := range g.parts {
+				g.parts[i].allInt = true
+			}
+			ck.groups[key] = g
+			ck.order = append(ck.order, g)
+		}
+		for i, node := range aggNodes {
+			if node.Star {
+				g.parts[i].count++
+				continue
+			}
+			v, err := eval(node.Args[0], ev)
+			if err != nil {
+				ck.err = err
+				return ck
+			}
+			if v.IsNull() {
+				continue
+			}
+			g.parts[i].observe(v)
+		}
+	}
+	return ck
+}
+
+// aggregateChunked is the parallel aggregation path: the input is split
+// into fixed-size chunks, chunks are folded (concurrently when workers>1)
+// into per-group partial states, and partials are merged single-threaded in
+// chunk order. HAVING, output items and ORDER BY keys are then evaluated
+// per merged group exactly as on the serial path.
+func (q *query) aggregateChunked(rows []reldb.Row, items []sqlparse.SelectItem, orderExprs []sqlparse.Expr, aggNodes []*sqlparse.FuncCall) ([][]reldb.Value, [][]reldb.Value, error) {
+	st := q.st
+	nchunks := (len(rows) + aggChunkRows - 1) / aggChunkRows
+	chunks := make([]*aggChunk, nchunks)
+	workers := q.opts.effectiveWorkers()
+	if workers > nchunks {
+		workers = nchunks
+	}
+
+	chunkBounds := func(i int) (int, int) {
+		lo := i * aggChunkRows
+		hi := lo + aggChunkRows
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		return lo, hi
+	}
+
+	if workers <= 1 {
+		for i := range chunks {
+			lo, hi := chunkBounds(i)
+			chunks[i] = q.foldChunk(rows[lo:hi], aggNodes)
+			if chunks[i].err != nil {
+				break
+			}
+		}
+	} else {
+		mParallelAggs.Inc()
+		if q.par < workers {
+			q.par = workers
+		}
+		var (
+			next atomic.Int64
+			stop atomic.Bool
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !stop.Load() {
+					i := int(next.Add(1)) - 1
+					if i >= nchunks {
+						return
+					}
+					lo, hi := chunkBounds(i)
+					chunks[i] = q.foldChunk(rows[lo:hi], aggNodes)
+					if chunks[i].err != nil {
+						stop.Store(true)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	// Chunks are claimed in increasing index order and always run to
+	// completion, so the lowest-index recorded error is the first error in
+	// input-row order — the same one chunked serial execution reports.
+	for _, ck := range chunks {
+		if ck == nil {
+			continue // unclaimed after an earlier chunk stopped the queue
+		}
+		if ck.err != nil {
+			return nil, nil, ck.err
+		}
+	}
+
+	// Merge in chunk order: group discovery order and each group's first
+	// row match the input order, and float partials accumulate in a fixed
+	// order regardless of the worker count.
+	merged := make(map[string]*chunkGroup)
+	var order []*chunkGroup
+	for _, ck := range chunks {
+		for _, g := range ck.order {
+			m := merged[g.key]
+			if m == nil {
+				merged[g.key] = g
+				order = append(order, g)
+				continue
+			}
+			for i := range m.parts {
+				m.parts[i].merge(&g.parts[i])
+			}
+		}
+	}
+
+	var out [][]reldb.Value
+	var keys [][]reldb.Value
+	for _, g := range order {
+		aggVals := make(map[*sqlparse.FuncCall]reldb.Value, len(aggNodes))
+		for i, node := range aggNodes {
+			aggVals[node] = g.parts[i].finish(node.Name)
+		}
+		gev := &env{cols: q.cols, params: q.params, agg: aggVals, tx: q.tx, row: g.first}
+		if st.Having != nil {
+			v, err := eval(st.Having, gev)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !truthy(v) {
+				continue
+			}
+		}
+		rec := make([]reldb.Value, len(items))
+		for i, item := range items {
+			v, err := eval(item.Expr, gev)
+			if err != nil {
+				return nil, nil, err
+			}
+			rec[i] = v
+		}
+		out = append(out, rec)
+		if len(orderExprs) > 0 {
+			k := make([]reldb.Value, len(orderExprs))
+			for i, e := range orderExprs {
+				v, err := eval(e, gev)
+				if err != nil {
+					return nil, nil, err
+				}
+				k[i] = v
+			}
+			keys = append(keys, k)
+		}
+	}
+	return out, keys, nil
+}

@@ -1,0 +1,148 @@
+package sqlexec
+
+import (
+	"strings"
+
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// accessKind classifies the base-table access decision planAccess made.
+type accessKind uint8
+
+const (
+	accessFullScan accessKind = iota // scan every live row
+	accessEqIndex                    // single-column equality index lookup
+	accessMultiEq                    // composite-index multi-equality lookup
+	accessOther                      // IN-union, range, BETWEEN: replanned each execution
+)
+
+// accessDecision records planAccess's choice in a re-executable form:
+// column names plus the value expressions (Literal or Param nodes) they
+// compare against. Column names rather than positions survive unrelated
+// schema changes; the schema version check makes even that conservative.
+type accessDecision struct {
+	kind     accessKind
+	cols     []string
+	valExprs []sqlparse.Expr
+}
+
+// Plan is a reusable SELECT execution handle. godbc's prepared statements
+// and its per-connection statement cache attach one to each SELECT so that
+// repeated executions skip the access-path search whenever the base table's
+// schema version is unchanged. A Plan is only safe for use by one goroutine
+// at a time, matching the connection it belongs to.
+type Plan struct {
+	Select *sqlparse.Select
+
+	memoized bool // an access decision has been captured
+	valid    bool // the captured decision kind is replayable
+	table    string
+	version  int64
+	dec      accessDecision
+}
+
+// NewPlan wraps a parsed SELECT in a reusable plan handle.
+func NewPlan(sel *sqlparse.Select) *Plan { return &Plan{Select: sel} }
+
+// memoize captures planAccess's decision for the next execution. Only
+// decisions that replay without re-inspecting the WHERE clause are kept:
+// full scans and (multi-)equality index lookups. IN-unions and range scans
+// collect slots during planning, so caching them would buy nothing.
+func (p *Plan) memoize(table string, version int64, dec accessDecision) {
+	p.memoized = true
+	p.table = table
+	p.version = version
+	p.dec = dec
+	switch dec.kind {
+	case accessFullScan, accessEqIndex, accessMultiEq:
+		p.valid = true
+	default:
+		p.valid = false
+	}
+}
+
+// constVal resolves a memoized value expression against this execution's
+// parameters.
+func constVal(e sqlparse.Expr, params []reldb.Value) (reldb.Value, bool) {
+	switch e := e.(type) {
+	case *sqlparse.Literal:
+		return e.Value, true
+	case *sqlparse.Param:
+		if e.Index < len(params) {
+			return params[e.Index], true
+		}
+	}
+	return reldb.Null, false
+}
+
+// resolveAccess returns the base table's candidate slots, replaying the
+// attached plan's memoized decision when its schema version still matches
+// and falling back to (and re-memoizing) a fresh planAccess run otherwise.
+func (q *query) resolveAccess(table, alias string, requireQualified bool) ([]int, bool, error) {
+	p := q.opts.Plan
+	if p != nil && p.Select == q.st && p.memoized {
+		if !strings.EqualFold(p.table, table) {
+			p = nil // stale handle reused for a different statement shape
+		} else if q.tx.TableVersion(table) != p.version {
+			mPlanInvalidations.Inc()
+			p.memoized = false
+		} else if p.valid {
+			if slots, scanned, ok := q.replayAccess(p); ok {
+				mAccessPlanReuse.Inc()
+				return slots, scanned, nil
+			}
+		}
+	}
+	slots, dec, err := planAccess(q.tx, table, alias, q.st.Where, q.params, requireQualified)
+	if err != nil {
+		return nil, false, err
+	}
+	if p != nil && p.Select == q.st {
+		p.memoize(table, q.tx.TableVersion(table), dec)
+	}
+	return slots, dec.kind == accessFullScan, nil
+}
+
+// replayAccess re-executes a memoized access decision. ok=false means the
+// decision could not be replayed (e.g. a parameter is missing) and the
+// caller must replan. A NULL comparison value yields an empty candidate
+// set, which is exactly what replanning would produce after the WHERE
+// filter: col = NULL matches no row.
+func (q *query) replayAccess(p *Plan) (slots []int, scanned, ok bool) {
+	switch p.dec.kind {
+	case accessFullScan:
+		return nil, true, true
+	case accessEqIndex:
+		v, okV := constVal(p.dec.valExprs[0], q.params)
+		if !okV {
+			return nil, false, false
+		}
+		if v.IsNull() {
+			return nil, false, true
+		}
+		s, used := q.tx.LookupEq(p.table, p.dec.cols[0], v)
+		if !used {
+			return nil, false, false
+		}
+		return s, false, true
+	case accessMultiEq:
+		vals := make([]reldb.Value, len(p.dec.valExprs))
+		for i, e := range p.dec.valExprs {
+			v, okV := constVal(e, q.params)
+			if !okV {
+				return nil, false, false
+			}
+			if v.IsNull() {
+				return nil, false, true
+			}
+			vals[i] = v
+		}
+		s, used := q.tx.LookupEqMulti(p.table, p.dec.cols, vals)
+		if !used {
+			return nil, false, false
+		}
+		return s, false, true
+	}
+	return nil, false, false
+}

@@ -15,16 +15,14 @@ import (
 
 // Query executes a SELECT inside tx and materializes the result.
 func Query(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value) (*ResultSet, error) {
-	q := &query{tx: tx, st: st, params: params, cols: newColmap()}
-	return q.run()
+	return QueryOpts(tx, st, params, nil, Options{})
 }
 
 // QueryTraced is Query with a span: the executor fills in the plan/execute/
 // materialize phase timings, the access-path decision, and rows scanned vs.
 // returned. sp may be nil, which degrades to plain Query.
 func QueryTraced(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value, sp *obs.Span) (*ResultSet, error) {
-	q := &query{tx: tx, st: st, params: params, cols: newColmap(), sp: sp}
-	return q.run()
+	return QueryOpts(tx, st, params, sp, Options{})
 }
 
 type query struct {
@@ -34,7 +32,9 @@ type query struct {
 	cols    *colmap
 	fields  []field // ordered bound columns, for SELECT *
 	sp      *obs.Span
+	opts    Options
 	scanned int64 // rows fetched from storage (base + join inputs)
+	par     int   // widest worker fan-out this execution used (0 = serial)
 }
 
 type field struct {
@@ -87,6 +87,7 @@ func (q *query) run() (*ResultSet, error) {
 		return nil, err
 	}
 	var rows []reldb.Row
+	whereDone := false // WHERE already folded into the parallel scan
 	if st.From.Sub != nil {
 		if timed {
 			q.sp.PlanSummary = "derived table"
@@ -102,7 +103,7 @@ func (q *query) run() (*ResultSet, error) {
 		// WHERE filter below, so over-selection is impossible — planAccess
 		// only narrows.
 		baseAlias := aliasOr(st.From.Alias, st.From.Table)
-		slots, scanned, err := planAccess(q.tx, st.From.Table, baseAlias, st.Where, q.params, len(st.Joins) > 0)
+		slots, scanned, err := q.resolveAccess(st.From.Table, baseAlias, len(st.Joins) > 0)
 		if err != nil {
 			return nil, err
 		}
@@ -121,19 +122,28 @@ func (q *query) run() (*ResultSet, error) {
 			q.sp.Plan += time.Since(mark)
 			mark = time.Now()
 		}
-		if scanned {
+		switch {
+		case scanned && len(st.Joins) == 0 && q.opts.effectiveWorkers() > 1 && q.liveRows(st.From.Table) >= parallelMinRows:
+			// Partitioned parallel scan with the WHERE filter folded in.
+			rows, err = q.parallelScanFilter(st.From.Table, st.Where, q.opts.effectiveWorkers())
+			if err != nil {
+				return nil, err
+			}
+			whereDone = true
+		case scanned:
 			q.tx.Scan(st.From.Table, func(_ int, row reldb.Row) bool { //nolint:errcheck // table verified by bind
 				rows = append(rows, row)
 				return true
 			})
-		} else {
+			q.scanned += int64(len(rows))
+		default:
 			for _, slot := range slots {
 				if row := q.tx.Row(st.From.Table, slot); row != nil {
 					rows = append(rows, row)
 				}
 			}
+			q.scanned += int64(len(rows))
 		}
-		q.scanned += int64(len(rows))
 	}
 
 	// Joins.
@@ -145,7 +155,7 @@ func (q *query) run() (*ResultSet, error) {
 	}
 
 	// WHERE.
-	if st.Where != nil {
+	if st.Where != nil && !whereDone {
 		ev := &env{cols: q.cols, params: q.params, tx: q.tx}
 		kept := rows[:0:0]
 		for _, row := range rows {
@@ -197,11 +207,24 @@ func (q *query) run() (*ResultSet, error) {
 	mRowsScanned.Add(q.scanned)
 	mRowsReturned.Add(int64(len(out)))
 	if timed {
+		if q.par > 1 {
+			q.sp.PlanSummary += fmt.Sprintf(" parallel(%d)", q.par)
+		}
 		q.sp.Materialize += time.Since(mark)
 		q.sp.RowsScanned += q.scanned
 		q.sp.RowsReturned += int64(len(out))
 	}
 	return &ResultSet{Cols: colNames, Rows: out}, nil
+}
+
+// liveRows returns the base table's live row count (0 when missing; bind
+// has already verified the table exists).
+func (q *query) liveRows(table string) int {
+	t, err := q.tx.Table(table)
+	if err != nil {
+		return 0
+	}
+	return t.Len()
 }
 
 // execJoin joins the accumulated rows with one more table. When the ON
@@ -507,9 +530,26 @@ func (q *query) project(rows []reldb.Row, items []sqlparse.SelectItem, orderExpr
 	return out, keys, nil
 }
 
-// aggregate groups rows and evaluates aggregate items per group.
+// aggregate groups rows and evaluates aggregate items per group. Large
+// inputs take the chunked partial-aggregation path (see aggregateChunked);
+// small inputs and DISTINCT aggregates use the direct group-then-fold path.
 func (q *query) aggregate(rows []reldb.Row, items []sqlparse.SelectItem, orderExprs []sqlparse.Expr) ([][]reldb.Value, [][]reldb.Value, error) {
 	st := q.st
+
+	// Aggregate nodes referenced anywhere in the output, HAVING or ORDER BY.
+	var aggNodes []*sqlparse.FuncCall
+	for _, item := range items {
+		aggNodes = append(aggNodes, collectAggs(item.Expr)...)
+	}
+	aggNodes = append(aggNodes, collectAggs(st.Having)...)
+	for _, e := range orderExprs {
+		aggNodes = append(aggNodes, collectAggs(e)...)
+	}
+
+	if q.canChunkAgg(rows, aggNodes) {
+		return q.aggregateChunked(rows, items, orderExprs, aggNodes)
+	}
+
 	ev := &env{cols: q.cols, params: q.params, tx: q.tx}
 
 	type group struct {
@@ -543,16 +583,6 @@ func (q *query) aggregate(rows []reldb.Row, items []sqlparse.SelectItem, orderEx
 			order = append(order, key)
 		}
 		g.rows = append(g.rows, row)
-	}
-
-	// Aggregate nodes referenced anywhere in the output, HAVING or ORDER BY.
-	var aggNodes []*sqlparse.FuncCall
-	for _, item := range items {
-		aggNodes = append(aggNodes, collectAggs(item.Expr)...)
-	}
-	aggNodes = append(aggNodes, collectAggs(st.Having)...)
-	for _, e := range orderExprs {
-		aggNodes = append(aggNodes, collectAggs(e)...)
 	}
 
 	var out [][]reldb.Value
