@@ -1,15 +1,28 @@
-# Developer entry points. `make check` is the gate a change must pass:
-# vet, full build, the race-enabled test suite, and a one-shot run of the
-# observability overhead guard benchmark.
+# Developer entry points. `make check` is the gate a change must pass, in
+# order: `go vet`, the repo-native analyzers (`lint`, cmd/perfdmf-vet —
+# lock discipline, resource leaks, SQL literals, determinism, metric
+# names; see docs/STATIC_ANALYSIS.md), full build, the race-enabled test
+# suite, a 10-second fuzz pass over the SQL parser and the reldb value
+# codec (`fuzz-smoke`), and one-shot smoke runs of the observability
+# benchmark and the serve binary. Cheap syntactic gates run first so a
+# violation fails in seconds, not after the race suite.
 
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke serve-smoke bench bench-parallel experiments clean
+.PHONY: check vet lint build test race fuzz-smoke bench-smoke serve-smoke bench bench-parallel experiments clean
 
-check: vet build race bench-smoke serve-smoke
+check: vet lint build race fuzz-smoke bench-smoke serve-smoke
 
 vet:
 	$(GO) vet ./...
+
+# Repo-native static analysis: builds and runs cmd/perfdmf-vet over the
+# whole module. Exits nonzero with file:line diagnostics on any finding;
+# deliberate exceptions are annotated //lint:allow in source, never
+# skipped here.
+lint:
+	$(GO) build -o bin/perfdmf-vet ./cmd/perfdmf-vet
+	bin/perfdmf-vet ./...
 
 build:
 	$(GO) build ./...
@@ -19,6 +32,15 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# 10 seconds of fuzzing per target (Go allows one -fuzz per invocation):
+# FuzzParse runs the parser over the committed SQL seed corpus
+# (internal/sqlparse/testdata/sql_seed.txt, regenerated with
+# `bin/perfdmf-vet -dump-sql`) plus mutations; FuzzValueRoundTrip pounds
+# the reldb snapshot/WAL value codec.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/sqlparse
+	$(GO) test -run '^$$' -fuzz '^FuzzValueRoundTrip$$' -fuzztime 10s ./internal/reldb
 
 # One iteration per sub-benchmark: proves the guard still compiles and
 # runs. Real numbers come from `make bench`.

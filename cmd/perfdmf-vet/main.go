@@ -1,0 +1,113 @@
+// Command perfdmf-vet runs PerfDMF's repo-native static analyzers over the
+// module, in the spirit of go vet: it prints file:line:col diagnostics and
+// exits nonzero when any invariant is violated. The analyzers (lockcheck,
+// closecheck, sqlcheck, determinism, metricnames) are documented in
+// docs/STATIC_ANALYSIS.md; deliberate violations are suppressed in source
+// with //lint:allow comments, never by skipping the gate.
+//
+// Usage:
+//
+//	perfdmf-vet [-analyzers a,b] [-list] [-dump-sql] [./...]
+//
+// The package pattern is accepted for familiarity but the tool always
+// analyzes the whole module containing the working directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"perfdmf/internal/lint"
+)
+
+func main() {
+	var (
+		analyzers = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list available analyzers and exit")
+		dumpSQL   = flag.Bool("dump-sql", false, "print every constant SQL literal sqlcheck sees (fuzz seed corpus) and exit")
+	)
+	flag.Parse()
+
+	all := lint.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *analyzers != "" {
+		byName := make(map[string]*lint.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		selected = nil
+		for _, name := range strings.Split(*analyzers, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "perfdmf-vet: unknown analyzer %q (see -list)\n", name)
+				os.Exit(2)
+			}
+			selected = append(selected, a)
+		}
+	}
+
+	moduleDir, err := findModuleDir()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdmf-vet: %v\n", err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(moduleDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdmf-vet: %v\n", err)
+		os.Exit(2)
+	}
+	prog, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfdmf-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	// One Go-quoted literal per line: SQL literals span lines, and the
+	// quoted form is what the fuzz seed corpus (testdata/sql_seed.txt)
+	// stores and strconv.Unquote reads back.
+	if *dumpSQL {
+		for _, sql := range lint.ExtractSQL(prog) {
+			fmt.Println(strconv.Quote(sql))
+		}
+		return
+	}
+
+	diags := lint.Run(prog, selected)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "perfdmf-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleDir walks up from the working directory to the nearest go.mod.
+func findModuleDir() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -84,6 +84,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer rs.Close()
 	rs.Next()
 	var n int64
 	rs.Scan(&n)

@@ -83,6 +83,7 @@ func (s *DataSession) LoadTrial(trialID int64) (*model.Profile, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer stmt.Close()
 	for _, dbEvent := range eventDBIDs {
 		rs, err := stmt.Query(dbEvent)
 		if err != nil {
@@ -108,11 +109,11 @@ func (s *DataSession) LoadTrial(trialID int64) (*model.Profile, error) {
 			d.PerMetric[mm] = model.MetricData{Inclusive: incl, Exclusive: excl}
 		}
 		if err := rs.Err(); err != nil {
+			rs.Close()
 			return nil, err
 		}
 		rs.Close()
 	}
-	stmt.Close()
 
 	// Atomic events.
 	rows, err = s.conn.Query("SELECT id, name, group_name FROM atomic_event WHERE trial = ? ORDER BY id", trialID)
@@ -141,6 +142,7 @@ func (s *DataSession) LoadTrial(trialID int64) (*model.Profile, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer astmt.Close()
 		for _, dbEvent := range atomicDBIDs {
 			rs, err := astmt.Query(dbEvent)
 			if err != nil {
@@ -164,11 +166,11 @@ func (s *DataSession) LoadTrial(trialID int64) (*model.Profile, error) {
 				d.SumSqr = (stddev*stddev + mean*mean) * n
 			}
 			if err := rs.Err(); err != nil {
+				rs.Close()
 				return nil, err
 			}
 			rs.Close()
 		}
-		astmt.Close()
 	}
 	return p, nil
 }

@@ -177,6 +177,7 @@ func (s *DataSession) uploadTrialTx(p *model.Profile, opts UploadOptions, name s
 	if err != nil {
 		return nil, err
 	}
+	defer insMetric.Close()
 	for _, m := range p.Metrics() {
 		r, err := insMetric.Exec(trialID, m.Name, m.Derived)
 		if err != nil {
@@ -184,13 +185,13 @@ func (s *DataSession) uploadTrialTx(p *model.Profile, opts UploadOptions, name s
 		}
 		metricIDs[m.ID] = r.LastInsertID
 	}
-	insMetric.Close()
 
 	eventIDs := make([]int64, len(p.IntervalEvents()))
 	insEvent, err := s.conn.Prepare("INSERT INTO interval_event (trial, name, group_name) VALUES (?, ?, ?)")
 	if err != nil {
 		return nil, err
 	}
+	defer insEvent.Close()
 	for _, e := range p.IntervalEvents() {
 		r, err := insEvent.Exec(trialID, e.Name, e.Group)
 		if err != nil {
@@ -198,7 +199,6 @@ func (s *DataSession) uploadTrialTx(p *model.Profile, opts UploadOptions, name s
 		}
 		eventIDs[e.ID] = r.LastInsertID
 	}
-	insEvent.Close()
 
 	// Location profiles.
 	ilp, err := newBatchInserter(s.conn, "interval_location_profile", ilpColumns, opts.BatchSize)
@@ -263,6 +263,7 @@ func (s *DataSession) uploadTrialTx(p *model.Profile, opts UploadOptions, name s
 		if err != nil {
 			return nil, err
 		}
+		defer insAtomic.Close()
 		for _, e := range p.AtomicEvents() {
 			r, err := insAtomic.Exec(trialID, e.Name, e.Group)
 			if err != nil {
@@ -270,7 +271,6 @@ func (s *DataSession) uploadTrialTx(p *model.Profile, opts UploadOptions, name s
 			}
 			atomicIDs[e.ID] = r.LastInsertID
 		}
-		insAtomic.Close()
 		alp, err := newBatchInserter(s.conn, "atomic_location_profile", alpColumns, opts.BatchSize)
 		if err != nil {
 			return nil, err
@@ -391,6 +391,7 @@ func (s *DataSession) SaveDerivedMetric(trialID int64, p *model.Profile, metricI
 		var id int64
 		var name string
 		if err := rows.Scan(&id, &name); err != nil {
+			rows.Close()
 			return nil, err
 		}
 		byName[name] = id

@@ -99,6 +99,7 @@ func OpenTelemetryStore(dsn string) (*TelemetryStore, error) {
 		statement, dur_us, rows_scanned, rows_returned, err)
 		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`)
 	if err != nil {
+		insSpan.Close()
 		c.Close()
 		return nil, fmt.Errorf("godbc: telemetry prepare: %w", err)
 	}

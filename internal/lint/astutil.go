@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// exprString renders an expression back to source, used to compare lock
+// receivers textually (db.mu and tx.db.mu are different locks to us, which
+// is the conservative direction).
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}
+
+// methodCall destructures a call of the form recv.Name(...), returning the
+// receiver expression and method name. ok is false for plain function
+// calls and conversions.
+func methodCall(e ast.Expr) (recv ast.Expr, name string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return nil, "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// typeString returns the fully-qualified string of an expression's type,
+// or "" when no type information is available.
+func typeString(info *types.Info, e ast.Expr) string {
+	if info == nil {
+		return ""
+	}
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return ""
+	}
+	return tv.Type.String()
+}
+
+// isMutexType reports whether a type string names a sync mutex (or a
+// pointer to one).
+func isMutexType(ts string) bool {
+	ts = strings.TrimPrefix(ts, "*")
+	return ts == "sync.Mutex" || ts == "sync.RWMutex"
+}
+
+// funcBodies yields every function body in a file along with a display
+// name: declared functions as Name or (recv).Name, and each function
+// literal as parent.func. Bodies of function literals are also visited as
+// part of their enclosing function, so analyzers that walk statements
+// should handle *ast.FuncLit explicitly when that matters.
+func funcBodies(f *ast.File, visit func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd.Name.Name, fd, fd.Body)
+	}
+}
+
+// hasMethod reports whether a type (or its pointer) has a method with the
+// given name. Interface types carry their own method set; for concrete
+// types the pointer method set is the superset worth checking.
+func hasMethod(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	t = derefType(t)
+	var ms *types.MethodSet
+	if types.IsInterface(t) {
+		ms = types.NewMethodSet(t)
+	} else {
+		ms = types.NewMethodSet(types.NewPointer(t))
+	}
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+func derefType(t types.Type) types.Type {
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

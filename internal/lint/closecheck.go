@@ -1,0 +1,418 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// acquireMethods maps the godbc acquisition methods to the method names
+// that resolve the resulting resource.
+var acquireMethods = map[string][]string{
+	"Query":   {"Close"},
+	"Prepare": {"Close"},
+	"Begin":   {"Commit", "Rollback"},
+}
+
+// Closecheck returns the resource-lifecycle analyzer: every Rows/Stmt
+// obtained from Query/Prepare and every Tx from Begin must reach
+// Close/Commit/Rollback on all paths within the function, or escape via
+// return / handoff to another function.
+//
+// The check is type-gated: an acquisition is only tracked when the call's
+// first result type actually has a Close (or Commit/Rollback) method, so
+// e.g. url.Values from r.URL.Query() is never flagged. Only short
+// variable declarations (:=) are tracked — the variable's scope ends with
+// its block, so the resource must be resolved by then.
+func Closecheck() *Analyzer {
+	const name = "closecheck"
+	return &Analyzer{
+		Name: name,
+		Doc:  "Query/Prepare/Begin results must reach Close/Commit/Rollback on all paths or escape",
+		Run: func(prog *Program) []Diagnostic {
+			var out []Diagnostic
+			for _, pkg := range prog.Packages {
+				for _, f := range pkg.Files {
+					funcBodies(f, func(fname string, _ *ast.FuncDecl, body *ast.BlockStmt) {
+						c := &closeWalk{prog: prog, pkg: pkg, fname: fname, diags: &out}
+						c.scanList(body.List)
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+type closeWalk struct {
+	prog  *Program
+	pkg   *Package
+	fname string
+	diags *[]Diagnostic
+}
+
+type closeState struct {
+	resolved   bool // closed, committed, rolled back, or escaped
+	deferred   bool // resolution scheduled via defer
+	terminated bool // path returned or panicked
+}
+
+func (s closeState) done() bool { return s.resolved || s.deferred || s.terminated }
+
+// scanList finds tracked acquisitions in one statement list and
+// path-checks the remainder of the list after each. It then recurses into
+// nested blocks (loop/if/switch bodies and closures), each of which is its
+// own scope with the same end-of-block obligation.
+func (c *closeWalk) scanList(stmts []ast.Stmt) {
+	for i, s := range stmts {
+		if as, ok := s.(*ast.AssignStmt); ok {
+			if res, errName, method, okA := c.acquisition(as); okA {
+				c.checkAcquisition(as, res, errName, method, stmts[i+1:])
+			}
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				c.scanList(n.List)
+				return false
+			case *ast.FuncLit:
+				c.scanList(n.Body.List)
+				return false
+			case *ast.CaseClause:
+				c.scanList(n.Body)
+				return false
+			case *ast.CommClause:
+				c.scanList(n.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// acquisition recognizes `res, err := x.Query(...)` / `stmt, err :=
+// x.Prepare(...)` / `tx, err := x.Begin(...)` style short declarations
+// whose first result type carries the matching release method.
+func (c *closeWalk) acquisition(as *ast.AssignStmt) (res *ast.Ident, errName string, method string, ok bool) {
+	if as.Tok.String() != ":=" || len(as.Rhs) != 1 {
+		return nil, "", "", false
+	}
+	call, isCall := as.Rhs[0].(*ast.CallExpr)
+	if !isCall {
+		return nil, "", "", false
+	}
+	_, m, isMethod := methodCall(call)
+	if !isMethod {
+		return nil, "", "", false
+	}
+	if _, tracked := acquireMethods[m]; !tracked {
+		return nil, "", "", false
+	}
+	id, isIdent := as.Lhs[0].(*ast.Ident)
+	if !isIdent || id.Name == "_" {
+		return nil, "", "", false
+	}
+	// Type gate: the first result must have one of the release methods.
+	if c.pkg.Info != nil {
+		t := firstResultType(c.pkg.Info, call)
+		if t == nil {
+			return nil, "", "", false
+		}
+		found := false
+		for _, rel := range acquireMethods[m] {
+			if hasMethod(t, rel) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, "", "", false
+		}
+	}
+	if len(as.Lhs) > 1 {
+		if eid, isE := as.Lhs[1].(*ast.Ident); isE {
+			errName = eid.Name
+		}
+	}
+	return id, errName, m, true
+}
+
+// firstResultType returns the type of a call's first result, unwrapping
+// multi-value tuples.
+func firstResultType(info *types.Info, call *ast.CallExpr) types.Type {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if tup, isTup := tv.Type.(*types.Tuple); isTup {
+		if tup.Len() == 0 {
+			return nil
+		}
+		return tup.At(0).Type()
+	}
+	return tv.Type
+}
+
+func (c *closeWalk) checkAcquisition(at *ast.AssignStmt, res *ast.Ident, errName, method string, rest []ast.Stmt) {
+	release := acquireMethods[method]
+	// The immediately following `if err != nil { return ... }` guards the
+	// nil-resource case; returns inside it are exempt.
+	if len(rest) > 0 && errName != "" {
+		if ifs, ok := rest[0].(*ast.IfStmt); ok && ifs.Init == nil && mentionsIdent(ifs.Cond, errName) {
+			rest = rest[1:]
+		}
+	}
+	st := c.path(rest, res.Name, release, closeState{})
+	if !st.done() {
+		*c.diags = append(*c.diags, diag(c.prog, "closecheck", at.Pos(),
+			"%s from %s() in %s is not closed before the end of its scope", res.Name, method, c.fname))
+	}
+}
+
+// path walks a statement list tracking whether the resource has been
+// resolved, flagging returns that leak it.
+func (c *closeWalk) path(stmts []ast.Stmt, res string, release []string, st closeState) closeState {
+	for _, s := range stmts {
+		if st.resolved || st.terminated {
+			return st
+		}
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if c.isRelease(s.X, res, release) {
+				st.resolved = true
+				continue
+			}
+			if isPanicCall(s.X) {
+				st.terminated = true
+				continue
+			}
+			if c.escapes(s, res) {
+				st.resolved = true
+			}
+		case *ast.DeferStmt:
+			if c.isRelease(s.Call, res, release) || c.deferredViaClosure(s.Call, res, release) {
+				st.deferred = true
+				continue
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if c.isRelease(r, res, release) {
+					st.resolved = true // return rs.Close() / return tx.Commit()
+				} else if usesOutsideReceiver(r, res) {
+					st.resolved = true // ownership transfers to the caller
+				}
+			}
+			if !st.resolved && !st.deferred {
+				*c.diags = append(*c.diags, diag(c.prog, "closecheck", s.Pos(),
+					"return in %s leaks %s: no %s on this path", c.fname, res, releaseNames(release)))
+			}
+			st.terminated = true
+			return st
+		case *ast.IfStmt:
+			b := c.path(s.Body.List, res, release, st)
+			e := st
+			hasElse := s.Else != nil
+			if hasElse {
+				switch el := s.Else.(type) {
+				case *ast.BlockStmt:
+					e = c.path(el.List, res, release, st)
+				case *ast.IfStmt:
+					e = c.path([]ast.Stmt{el}, res, release, st)
+				}
+			}
+			if hasElse && b.done() && e.done() {
+				switch {
+				case b.terminated && !e.terminated:
+					st = e
+				case e.terminated && !b.terminated:
+					st = b
+				case b.resolved && e.resolved:
+					st.resolved = true
+				case b.deferred && e.deferred:
+					st.deferred = true
+				case b.terminated && e.terminated:
+					st.terminated = true
+				}
+			}
+		case *ast.BlockStmt:
+			st = c.path(s.List, res, release, st)
+		case *ast.LabeledStmt:
+			st = c.path([]ast.Stmt{s.Stmt}, res, release, st)
+		case *ast.ForStmt:
+			c.path(s.Body.List, res, release, st)
+		case *ast.RangeStmt:
+			c.path(s.Body.List, res, release, st)
+		case *ast.SwitchStmt:
+			c.pathClauses(s.Body, res, release, st)
+		case *ast.TypeSwitchStmt:
+			c.pathClauses(s.Body, res, release, st)
+		case *ast.SelectStmt:
+			c.pathClauses(s.Body, res, release, st)
+		default:
+			if c.escapes(s, res) {
+				st.resolved = true
+			}
+		}
+	}
+	return st
+}
+
+func (c *closeWalk) pathClauses(body *ast.BlockStmt, res string, release []string, st closeState) {
+	for _, cl := range body.List {
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			c.path(cl.Body, res, release, st)
+		case *ast.CommClause:
+			c.path(cl.Body, res, release, st)
+		}
+	}
+}
+
+// isRelease recognizes res.Close() / res.Commit() / res.Rollback().
+func (c *closeWalk) isRelease(e ast.Expr, res string, release []string) bool {
+	recv, m, ok := methodCall(e)
+	if !ok {
+		return false
+	}
+	id, isIdent := recv.(*ast.Ident)
+	if !isIdent || id.Name != res {
+		return false
+	}
+	for _, rel := range release {
+		if m == rel {
+			return true
+		}
+	}
+	return false
+}
+
+// deferredViaClosure recognizes `defer func() { ... res.Close() ... }()`.
+func (c *closeWalk) deferredViaClosure(call *ast.CallExpr, res string, release []string) bool {
+	fl, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if e, isExpr := n.(ast.Expr); isExpr && c.isRelease(e, res, release) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// escapes reports whether the statement hands the resource to something
+// that outlives the scope: a call argument, an assignment target other
+// than the resource itself, a composite literal, a channel send, a
+// goroutine, or taking its address. Method calls ON the resource
+// (res.Next(), res.Err()) are not escapes.
+func (c *closeWalk) escapes(s ast.Stmt, res string) bool {
+	escaped := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if usesOutsideReceiver(arg, res) {
+					escaped = true
+				}
+			}
+			return true
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				if usesOutsideReceiver(r, res) {
+					escaped = true
+				}
+			}
+			return true
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if usesOutsideReceiver(el, res) {
+					escaped = true
+				}
+			}
+			return true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" && usesOutsideReceiver(n.X, res) {
+				escaped = true
+			}
+			return true
+		case *ast.SendStmt:
+			if usesOutsideReceiver(n.Value, res) {
+				escaped = true
+			}
+			return true
+		case *ast.GoStmt:
+			if mentionsIdent(n.Call, res) {
+				escaped = true
+			}
+			return false
+		case *ast.FuncLit:
+			if mentionsIdent(n.Body, res) {
+				escaped = true
+			}
+			return false
+		}
+		return true
+	})
+	return escaped
+}
+
+// usesOutsideReceiver reports whether the expression uses the named ident
+// anywhere other than as the receiver of a method call: `rows` or
+// `f(rows)` count, `rows.Err()` does not.
+func usesOutsideReceiver(n ast.Node, name string) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	var walk func(ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(nn ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := nn.(*ast.CallExpr); ok {
+				if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+					if id, isID := sel.X.(*ast.Ident); isID && id.Name == name {
+						for _, a := range call.Args {
+							walk(a)
+						}
+						return false
+					}
+				}
+			}
+			if id, ok := nn.(*ast.Ident); ok && id.Name == name {
+				found = true
+			}
+			return !found
+		})
+	}
+	walk(n)
+	return found
+}
+
+func mentionsIdent(n ast.Node, name string) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if id, ok := nn.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func releaseNames(release []string) string {
+	out := ""
+	for i, r := range release {
+		if i > 0 {
+			out += "/"
+		}
+		out += r
+	}
+	return out
+}

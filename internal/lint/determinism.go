@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism returns the determinism analyzer with repo defaults: the
+// parallel-executor and partial-aggregation hot paths in internal/sqlexec
+// must be bitwise reproducible, so direct time.Now calls (use the injected
+// clock), anything from math/rand, and map-order iteration that feeds an
+// ordered result (append/channel send in the loop body) are forbidden.
+func Determinism() *Analyzer {
+	return DeterminismFor([]string{"perfdmf/internal/sqlexec"})
+}
+
+// DeterminismFor returns the determinism analyzer scoped to the given
+// package-path prefixes.
+func DeterminismFor(packages []string) *Analyzer {
+	const name = "determinism"
+	return &Analyzer{
+		Name: name,
+		Doc:  "no time.Now, math/rand, or result-feeding map iteration in sqlexec hot paths",
+		Run: func(prog *Program) []Diagnostic {
+			var out []Diagnostic
+			for _, pkg := range prog.Packages {
+				if !pathInScope(pkg.PkgPath, packages) {
+					continue
+				}
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						switch n := n.(type) {
+						case *ast.SelectorExpr:
+							if pkgName := importedPackage(pkg.Info, n); pkgName != "" {
+								if pkgName == "time" && n.Sel.Name == "Now" {
+									out = append(out, diag(prog, name, n.Pos(),
+										"direct time.Now in %s: route timing through the injected clock so results stay reproducible", pkg.PkgPath))
+								}
+								if pkgName == "math/rand" || pkgName == "math/rand/v2" {
+									out = append(out, diag(prog, name, n.Pos(),
+										"math/rand use in %s: randomness breaks the bitwise-identical-results guarantee", pkg.PkgPath))
+								}
+							}
+						case *ast.RangeStmt:
+							if isMapRange(pkg.Info, n) && bindsValue(n) && feedsOrderedResult(n.Body) {
+								out = append(out, diag(prog, name, n.Pos(),
+									"map iteration feeding an ordered result in %s: iterate a sorted key slice instead", pkg.PkgPath))
+							}
+						}
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// importedPackage resolves a selector's qualifier to the import path of
+// the package it names, or "" if the selector is not package-qualified.
+func importedPackage(info *types.Info, sel *ast.SelectorExpr) string {
+	if info == nil {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+// bindsValue reports whether the range binds the map's value. Key-only
+// iteration (`for k := range m`) is exempt: collecting keys into a slice
+// to sort them IS the deterministic idiom this analyzer pushes toward.
+func bindsValue(r *ast.RangeStmt) bool {
+	if r.Value == nil {
+		return false
+	}
+	if id, ok := r.Value.(*ast.Ident); ok && id.Name == "_" {
+		return false
+	}
+	return true
+}
+
+// isMapRange reports whether a range statement iterates a map.
+func isMapRange(info *types.Info, r *ast.RangeStmt) bool {
+	ts := typeString(info, r.X)
+	return strings.HasPrefix(ts, "map[")
+}
+
+// feedsOrderedResult reports whether a loop body builds ordered output —
+// appends to a slice or sends on a channel — which would make the output
+// order depend on Go's randomized map iteration.
+func feedsOrderedResult(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		}
+		return !found
+	})
+	return found
+}

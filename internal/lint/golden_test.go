@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// sharedLoader type-checks stdlib sources once for the whole test binary;
+// golden packages share its cache.
+var (
+	loaderOnce sync.Once
+	loader     *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		moduleDir, err := filepath.Abs(filepath.Join("..", ".."))
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = NewLoader(moduleDir)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return loader
+}
+
+// wantRe matches // want "regex" expectation comments in golden files.
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// runGolden loads a testdata package, runs one analyzer through the full
+// Run pipeline (so //lint:allow suppression is exercised too), and checks
+// the diagnostics against the // want comments: every want must be hit,
+// and every diagnostic must be wanted.
+func runGolden(t *testing.T, a *Analyzer, dir string) {
+	t.Helper()
+	l := testLoader(t)
+	prog, err := l.LoadDirs(filepath.Join("internal", "lint", "testdata", dir))
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range prog.Packages {
+		files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", m[1], err)
+					}
+					pos := prog.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("testdata/%s has no // want comments", dir)
+	}
+
+	diags := Run(prog, []*Analyzer{a})
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic (false positive): %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestLockcheckGolden(t *testing.T) {
+	a := LockcheckFor(LockcheckConfig{
+		Packages:        []string{"perfdmf/internal/lint/testdata/lockcheck"},
+		CommitAllowlist: []string{"Commit", "Checkpoint", "checkpointLocked"},
+		WALTypes:        []string{"walWriter", "os.File"},
+	})
+	runGolden(t, a, "lockcheck")
+}
+
+func TestClosecheckGolden(t *testing.T) {
+	runGolden(t, Closecheck(), "closecheck")
+}
+
+func TestSqlcheckGolden(t *testing.T) {
+	runGolden(t, Sqlcheck(), "sqlcheck")
+}
+
+func TestDeterminismGolden(t *testing.T) {
+	a := DeterminismFor([]string{"perfdmf/internal/lint/testdata/determinism"})
+	runGolden(t, a, "determinism")
+}
+
+func TestMetricnamesGolden(t *testing.T) {
+	runGolden(t, Metricnames(), "metricnames")
+}
+
+// TestAnalyzersHaveDocs keeps -list output usable.
+func TestAnalyzersHaveDocs(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v missing name, doc, or run", a)
+		}
+		if names[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
+	for _, want := range []string{"lockcheck", "closecheck", "sqlcheck", "determinism", "metricnames"} {
+		if !names[want] {
+			t.Errorf("analyzer %q missing from All()", want)
+		}
+	}
+}
+
+// TestExtractSQL pins the -dump-sql seed path: literals from the golden
+// package must round-trip out of the extractor.
+func TestExtractSQL(t *testing.T) {
+	l := testLoader(t)
+	prog, err := l.LoadDirs(filepath.Join("internal", "lint", "testdata", "sqlcheck"))
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	sqls := ExtractSQL(prog)
+	if len(sqls) == 0 {
+		t.Fatal("no SQL extracted from testdata/sqlcheck")
+	}
+	found := false
+	for _, s := range sqls {
+		if s == "SELECT value FROM metrics WHERE trial = ?" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected literal missing from extraction; got %d literals", len(sqls))
+	}
+	seen := map[string]int{}
+	for _, s := range sqls {
+		seen[s]++
+		if seen[s] > 1 {
+			t.Errorf("duplicate literal in extraction: %q", s)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+// Package lint is perfdmf-vet's analysis engine: a small, stdlib-only
+// (go/parser + go/ast + go/types) static-analysis framework plus the five
+// repo-native analyzers that machine-check the invariants PerfDMF's
+// correctness rests on — lock discipline in reldb, Rows/Stmt/Tx lifecycle
+// in godbc callers, SQL-literal well-formedness, bitwise-deterministic
+// parallel execution, and the metric naming convention /metrics scraping
+// relies on. See docs/STATIC_ANALYSIS.md for what each analyzer enforces
+// and how to extend the suite.
+//
+// A diagnostic can be suppressed where a violation is deliberate by
+// putting a justification comment on the flagged line or the line above:
+//
+//	db.mu.Lock() //lint:allow lockcheck -- Begin returns holding the lock
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check run over a loaded program.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used by -analyzers selection and
+	// by //lint:allow comments.
+	Name string
+	// Doc is a one-line description shown by perfdmf-vet -list.
+	Doc string
+	// Run inspects the program and returns raw findings; the driver
+	// applies //lint:allow suppression afterwards.
+	Run func(prog *Program) []Diagnostic
+}
+
+// Diagnostic is one finding, positioned so editors can jump to it.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// diag builds a Diagnostic from a node position.
+func diag(prog *Program, name string, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:      prog.Fset.Position(pos),
+		Analyzer: name,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+// allowRe matches suppression comments: //lint:allow <name>[,<name>...] [-- reason]
+var allowRe = regexp.MustCompile(`//\s*lint:allow\s+([a-z0-9_,]+)`)
+
+// allowedLines collects, per file, the set of (line, analyzer) pairs that
+// //lint:allow comments suppress. A comment suppresses its own line and,
+// when it is the only thing on its line, the line below it.
+func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
+	out := make(map[string]map[int]map[string]bool)
+	mark := func(file string, line int, names []string) {
+		byLine := out[file]
+		if byLine == nil {
+			byLine = make(map[int]map[string]bool)
+			out[file] = byLine
+		}
+		set := byLine[line]
+		if set == nil {
+			set = make(map[string]bool)
+			byLine[line] = set
+		}
+		for _, n := range names {
+			set[strings.TrimSpace(n)] = true
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names := strings.Split(m[1], ",")
+				pos := fset.Position(c.Pos())
+				mark(pos.Filename, pos.Line, names)
+				mark(pos.Filename, pos.Line+1, names)
+			}
+		}
+	}
+	return out
+}
+
+// Run executes the analyzers over the program and returns the surviving
+// diagnostics sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	var files []*ast.File
+	for _, p := range prog.Packages {
+		files = append(files, p.Files...)
+		files = append(files, p.TestFiles...)
+	}
+	allowed := allowedLines(prog.Fset, files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		for _, d := range a.Run(prog) {
+			if set := allowed[d.Pos.Filename][d.Pos.Line]; set != nil && (set[a.Name] || set["all"]) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Lockcheck(),
+		Closecheck(),
+		Sqlcheck(),
+		Determinism(),
+		Metricnames(),
+	}
+}

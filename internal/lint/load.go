@@ -1,0 +1,246 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis. Test files are parsed but not type-checked: analyzers that
+// need go/types (lockcheck, determinism, metricnames, closecheck) inspect
+// Files only; purely syntactic analyzers (sqlcheck) also cover TestFiles.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Files     []*ast.File // non-test files, type-checked
+	TestFiles []*ast.File // *_test.go files, AST only
+	Types     *types.Package
+	Info      *types.Info
+}
+
+// Program is everything the analyzers see: the module's packages sharing
+// one FileSet.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// Loader parses and type-checks packages of one module. Module-internal
+// imports are resolved recursively through the loader's own cache; stdlib
+// imports are type-checked from GOROOT source via go/importer's "source"
+// compiler, so no compiled export data is needed.
+type Loader struct {
+	Fset       *token.FileSet
+	ModuleDir  string
+	ModulePath string
+
+	std      types.ImporterFrom
+	cache    map[string]*Package
+	loading  map[string]bool // import-cycle guard
+	typeErrs []error
+}
+
+// NewLoader returns a loader rooted at the module directory (the
+// directory containing go.mod).
+func NewLoader(moduleDir string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleDir:  moduleDir,
+		ModulePath: modPath,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		cache:      make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Import implements types.Importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// through the cache, everything else (stdlib) through the source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		p, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		if p.Types == nil {
+			return nil, fmt.Errorf("lint: import %s: package failed to type-check", path)
+		}
+		return p.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// dirFor maps a module import path to its directory.
+func (l *Loader) dirFor(pkgPath string) string {
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, l.ModulePath), "/")
+	return filepath.Join(l.ModuleDir, filepath.FromSlash(rel))
+}
+
+// pathFor maps a directory inside the module to its import path.
+func (l *Loader) pathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleDir, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// Load parses and type-checks one module package by import path.
+func (l *Loader) Load(pkgPath string) (*Package, error) {
+	if p, ok := l.cache[pkgPath]; ok {
+		return p, nil
+	}
+	if l.loading[pkgPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", pkgPath)
+	}
+	l.loading[pkgPath] = true
+	defer delete(l.loading, pkgPath)
+
+	dir := l.dirFor(pkgPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: load %s: %w", pkgPath, err)
+	}
+	p := &Package{PkgPath: pkgPath, Dir: dir}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		file, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", name, err)
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			p.TestFiles = append(p.TestFiles, file)
+		} else {
+			p.Files = append(p.Files, file)
+		}
+	}
+	if len(p.Files) > 0 {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		conf := types.Config{
+			Importer: l,
+			Error:    func(err error) { l.typeErrs = append(l.typeErrs, err) },
+		}
+		tp, err := conf.Check(pkgPath, l.Fset, p.Files, info)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typecheck %s: %w", pkgPath, err)
+		}
+		p.Types = tp
+		p.Info = info
+	}
+	l.cache[pkgPath] = p
+	return p, nil
+}
+
+// LoadModule loads every package of the module, skipping testdata, bin,
+// hidden and underscore-prefixed directories (mirroring the go tool).
+func (l *Loader) LoadModule() (*Program, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != l.ModuleDir && (name == "testdata" || name == "bin" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Fset: l.Fset}
+	for _, dir := range dirs {
+		pkgPath, err := l.pathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		p, err := l.Load(pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, p)
+	}
+	sort.Slice(prog.Packages, func(i, j int) bool {
+		return prog.Packages[i].PkgPath < prog.Packages[j].PkgPath
+	})
+	return prog, nil
+}
+
+// LoadDirs loads the named directories (absolute or module-relative) as a
+// Program — the entry point analyzer golden tests use for testdata trees.
+func (l *Loader) LoadDirs(dirs ...string) (*Program, error) {
+	prog := &Program{Fset: l.Fset}
+	for _, dir := range dirs {
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.ModuleDir, dir)
+		}
+		pkgPath, err := l.pathFor(dir)
+		if err != nil {
+			return nil, err
+		}
+		p, err := l.Load(pkgPath)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, p)
+	}
+	return prog, nil
+}

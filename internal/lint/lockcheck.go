@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// LockcheckConfig scopes the lock-discipline analyzer. The zero value is
+// filled with the repo defaults by Lockcheck; tests point Packages at
+// golden testdata trees instead.
+type LockcheckConfig struct {
+	// Packages is the list of package-path prefixes to analyze.
+	Packages []string
+	// CommitAllowlist names the functions that may perform WAL I/O while
+	// holding a mutex — the commit/checkpoint path, where holding the lock
+	// across the append IS the correctness argument.
+	CommitAllowlist []string
+	// WALTypes are type-string substrings identifying WAL writer receivers
+	// (the file handle included: an fsync is WAL I/O wherever it lives).
+	WALTypes []string
+}
+
+// Lockcheck returns the lock-discipline analyzer with repo defaults: in
+// internal/reldb every mu.Lock/RLock must reach a matching Unlock (defer
+// or explicit) on all return paths, and WAL append/fsync/encode calls may
+// not run under a held mutex outside the commit/checkpoint path.
+func Lockcheck() *Analyzer {
+	return LockcheckFor(LockcheckConfig{
+		Packages:        []string{"perfdmf/internal/reldb"},
+		CommitAllowlist: []string{"Commit", "Checkpoint", "checkpointLocked"},
+		WALTypes:        []string{"walWriter", "os.File"},
+	})
+}
+
+// walMethodNames are the WAL I/O entry points: batch encode+write, the
+// truncate after checkpoint, final close, and the raw fsync.
+var walMethodNames = map[string]bool{"append": true, "truncate": true, "close": true, "Sync": true}
+
+// LockcheckFor returns a lock-discipline analyzer with explicit scope.
+func LockcheckFor(cfg LockcheckConfig) *Analyzer {
+	const name = "lockcheck"
+	return &Analyzer{
+		Name: name,
+		Doc:  "mutexes must be released on all paths; no WAL I/O under a held mutex outside the commit path",
+		Run: func(prog *Program) []Diagnostic {
+			var out []Diagnostic
+			for _, pkg := range prog.Packages {
+				if !pathInScope(pkg.PkgPath, cfg.Packages) {
+					continue
+				}
+				for _, f := range pkg.Files {
+					funcBodies(f, func(fname string, _ *ast.FuncDecl, body *ast.BlockStmt) {
+						w := &lockWalk{
+							prog: prog, pkg: pkg, cfg: cfg, fname: fname, diags: &out,
+						}
+						w.findAcquisitions(body.List, true)
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+func pathInScope(pkgPath string, scopes []string) bool {
+	for _, s := range scopes {
+		if pkgPath == s || strings.HasPrefix(pkgPath, s+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+type lockWalk struct {
+	prog  *Program
+	pkg   *Package
+	cfg   LockcheckConfig
+	fname string
+	diags *[]Diagnostic
+}
+
+// lockState is the path state after an acquisition: released (explicit
+// unlock executed), deferred (unlock scheduled for function exit), or
+// terminated (the path returned/panicked).
+type lockState struct {
+	released   bool
+	deferred   bool
+	terminated bool
+}
+
+func (s lockState) done() bool { return s.released || s.deferred || s.terminated }
+
+// findAcquisitions scans a statement list for Lock/RLock calls on mutex
+// receivers and path-checks the remainder of the list after each; it also
+// descends into nested blocks and function literals.
+func (w *lockWalk) findAcquisitions(stmts []ast.Stmt, topLevel bool) {
+	for i, s := range stmts {
+		if es, ok := s.(*ast.ExprStmt); ok {
+			if recv, m, ok := methodCall(es.X); ok && (m == "Lock" || m == "RLock") {
+				if w.isMutex(recv) {
+					w.checkAcquisition(es, recv, m, stmts[i+1:], topLevel)
+				}
+			}
+		}
+		// Nested blocks and closures can acquire too.
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				// Only descend through block-bearing statements here; the
+				// top-level list was handled above.
+				w.findNested(n.List)
+				return false
+			case *ast.FuncLit:
+				w2 := &lockWalk{prog: w.prog, pkg: w.pkg, cfg: w.cfg, fname: w.fname + ".func", diags: w.diags}
+				w2.findAcquisitions(n.Body.List, true)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// findNested re-runs acquisition discovery on an inner block (if/for/
+// switch bodies), where falling off the end of the block is not a
+// violation by itself — the release may live in the enclosing scope.
+func (w *lockWalk) findNested(stmts []ast.Stmt) {
+	w.findAcquisitions(stmts, false)
+}
+
+func (w *lockWalk) isMutex(recv ast.Expr) bool {
+	ts := typeString(w.pkg.Info, recv)
+	if ts != "" {
+		return isMutexType(ts)
+	}
+	// No type info (shouldn't happen for non-test files): fall back to the
+	// naming convention.
+	txt := exprString(w.prog.Fset, recv)
+	return strings.HasSuffix(strings.ToLower(txt), "mu")
+}
+
+func (w *lockWalk) checkAcquisition(at *ast.ExprStmt, recv ast.Expr, method string, rest []ast.Stmt, topLevel bool) {
+	lock := exprString(w.prog.Fset, recv)
+	unlock := "Unlock"
+	if method == "RLock" {
+		unlock = "RUnlock"
+	}
+	st := w.path(rest, lock, unlock, lockState{})
+	if topLevel && !st.done() {
+		*w.diags = append(*w.diags, diag(w.prog, "lockcheck", at.Pos(),
+			"%s.%s() in %s is not released on all paths (no %s or defer before function end)",
+			lock, method, w.fname, unlock))
+	}
+}
+
+// path walks a statement list tracking the lock state, reporting returns
+// that leave the lock held and WAL I/O performed while it is held.
+func (w *lockWalk) path(stmts []ast.Stmt, lock, unlock string, st lockState) lockState {
+	for _, s := range stmts {
+		if st.released || st.terminated {
+			return st
+		}
+		switch s := s.(type) {
+		case *ast.ExprStmt:
+			if recv, m, ok := methodCall(s.X); ok && m == unlock &&
+				exprString(w.prog.Fset, recv) == lock {
+				st.released = true
+				continue
+			}
+			if isPanicCall(s.X) {
+				st.terminated = true
+				continue
+			}
+			w.checkWALUse(s.X, st)
+		case *ast.DeferStmt:
+			if recv, m, ok := methodCall(s.Call); ok && m == unlock &&
+				exprString(w.prog.Fset, recv) == lock {
+				st.deferred = true
+				continue
+			}
+			w.checkWALUse(s.Call, st)
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				w.checkWALUse(r, st)
+			}
+			if !st.released && !st.deferred {
+				*w.diags = append(*w.diags, diag(w.prog, "lockcheck", s.Pos(),
+					"return in %s while %s is held (no %s on this path)", w.fname, lock, unlock))
+			}
+			st.terminated = true
+			return st
+		case *ast.IfStmt:
+			if s.Init != nil {
+				w.checkWALUse(s.Init, st)
+			}
+			w.checkWALUse(s.Cond, st)
+			b := w.path(s.Body.List, lock, unlock, st)
+			e := st
+			hasElse := s.Else != nil
+			if hasElse {
+				switch el := s.Else.(type) {
+				case *ast.BlockStmt:
+					e = w.path(el.List, lock, unlock, st)
+				case *ast.IfStmt:
+					e = w.path([]ast.Stmt{el}, lock, unlock, st)
+				}
+			}
+			// The fall-through path is released only when every branch that
+			// can fall through released, and the no-else path cannot have.
+			if hasElse && b.done() && e.done() {
+				if b.terminated && !e.terminated {
+					st = e
+				} else if e.terminated && !b.terminated {
+					st = b
+				} else if b.released && e.released {
+					st.released = true
+				} else if b.deferred && e.deferred {
+					st.deferred = true
+				} else if b.terminated && e.terminated {
+					st.terminated = true
+				}
+			}
+		case *ast.BlockStmt:
+			st = w.path(s.List, lock, unlock, st)
+		case *ast.LabeledStmt:
+			st = w.path([]ast.Stmt{s.Stmt}, lock, unlock, st)
+		case *ast.ForStmt:
+			w.path(s.Body.List, lock, unlock, st) // body may run zero times
+		case *ast.RangeStmt:
+			w.path(s.Body.List, lock, unlock, st)
+		case *ast.SwitchStmt:
+			w.pathClauses(s.Body, lock, unlock, st)
+		case *ast.TypeSwitchStmt:
+			w.pathClauses(s.Body, lock, unlock, st)
+		case *ast.SelectStmt:
+			w.pathClauses(s.Body, lock, unlock, st)
+		case *ast.AssignStmt:
+			for _, r := range s.Rhs {
+				w.checkWALUse(r, st)
+			}
+		case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.GoStmt, *ast.BranchStmt, *ast.EmptyStmt:
+			w.checkWALUse(s, st)
+		}
+	}
+	return st
+}
+
+// pathClauses walks each case/comm clause independently; a release inside
+// one clause does not release the fall-through path (another clause may
+// not have run it).
+func (w *lockWalk) pathClauses(body *ast.BlockStmt, lock, unlock string, st lockState) {
+	for _, c := range body.List {
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			w.path(c.Body, lock, unlock, st)
+		case *ast.CommClause:
+			w.path(c.Body, lock, unlock, st)
+		}
+	}
+}
+
+// checkWALUse flags WAL I/O calls reached while the lock is held, unless
+// the enclosing function is on the commit allowlist.
+func (w *lockWalk) checkWALUse(n ast.Node, st lockState) {
+	if st.released || st.terminated {
+		return
+	}
+	for _, allowed := range w.cfg.CommitAllowlist {
+		if w.fname == allowed {
+			return
+		}
+	}
+	ast.Inspect(n, func(nn ast.Node) bool {
+		if _, ok := nn.(*ast.FuncLit); ok {
+			return false // closures run later, possibly after release
+		}
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, m, ok := methodCall(call)
+		if !ok || !walMethodNames[m] {
+			return true
+		}
+		ts := typeString(w.pkg.Info, recv)
+		for _, want := range w.cfg.WALTypes {
+			if strings.Contains(ts, want) {
+				*w.diags = append(*w.diags, diag(w.prog, "lockcheck", call.Pos(),
+					"WAL I/O %s.%s() in %s while a mutex is held (only the commit/checkpoint path may fsync or encode under the lock)",
+					exprString(w.prog.Fset, recv), m, w.fname))
+				return true
+			}
+		}
+		return true
+	})
+}
+
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// snakeRe is the metric-name shape /metrics scraping and the dashboards
+// documented in docs/OBSERVABILITY.md rely on.
+var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// histUnitSuffixes are the unit suffixes a histogram name must carry so
+// readers know what the observed values measure.
+var histUnitSuffixes = []string{"_ns", "_us", "_ms", "_seconds", "_bytes"}
+
+// Metricnames returns the metric-naming analyzer: every registration on an
+// obs.Registry (Counter/Gauge/Histogram with a constant name) must be
+// snake_case; counters must end _total; histograms must end in a unit
+// suffix and must not end _total/_count/_sum (WritePrometheus emits
+// <name>_count and <name>_sum series, so those suffixes would collide);
+// gauges must not pretend to be monotonic with a _total suffix.
+//
+// Only non-test files are checked — tests register throwaway names on
+// private registries that never reach /metrics.
+func Metricnames() *Analyzer {
+	const name = "metricnames"
+	return &Analyzer{
+		Name: name,
+		Doc:  "obs metric names must be snake_case with _total (counters) / unit suffixes (histograms)",
+		Run: func(prog *Program) []Diagnostic {
+			var out []Diagnostic
+			for _, pkg := range prog.Packages {
+				for _, f := range pkg.Files {
+					ast.Inspect(f, func(n ast.Node) bool {
+						call, ok := n.(*ast.CallExpr)
+						if !ok || len(call.Args) == 0 {
+							return true
+						}
+						recv, m, isMethod := methodCall(call)
+						if !isMethod || (m != "Counter" && m != "Gauge" && m != "Histogram") {
+							return true
+						}
+						if !isObsRegistry(pkg, recv) {
+							return true
+						}
+						metric, found := constString(pkg, call.Args[0])
+						if !found {
+							metric, found = literalString(call.Args[0])
+						}
+						if !found {
+							return true
+						}
+						if msg := checkMetricName(m, metric); msg != "" {
+							out = append(out, diag(prog, name, call.Args[0].Pos(), "%s", msg))
+						}
+						return true
+					})
+				}
+			}
+			return out
+		},
+	}
+}
+
+// isObsRegistry reports whether the receiver expression is an
+// obs.Registry (by type when available, by the obs.Default idiom as a
+// syntactic fallback).
+func isObsRegistry(pkg *Package, recv ast.Expr) bool {
+	ts := typeString(pkg.Info, recv)
+	if ts != "" {
+		ts = strings.TrimPrefix(ts, "*")
+		return ts == "perfdmf/internal/obs.Registry"
+	}
+	if sel, ok := recv.(*ast.SelectorExpr); ok {
+		if id, isID := sel.X.(*ast.Ident); isID && id.Name == "obs" && sel.Sel.Name == "Default" {
+			return true
+		}
+	}
+	if id, ok := recv.(*ast.Ident); ok && id.Name == "Default" {
+		return true
+	}
+	return false
+}
+
+func checkMetricName(kind, metric string) string {
+	if !snakeRe.MatchString(metric) {
+		return "metric name " + quoteName(metric) + " is not snake_case ([a-z0-9_], starting with a letter)"
+	}
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(metric, "_total") {
+			return "counter " + quoteName(metric) + " must end in _total (monotonic counters carry the _total suffix)"
+		}
+	case "Gauge":
+		if strings.HasSuffix(metric, "_total") {
+			return "gauge " + quoteName(metric) + " must not end in _total (that suffix marks monotonic counters)"
+		}
+		if strings.HasSuffix(metric, "_count") || strings.HasSuffix(metric, "_sum") {
+			return "gauge " + quoteName(metric) + " collides with histogram exposition suffixes _count/_sum"
+		}
+	case "Histogram":
+		if strings.HasSuffix(metric, "_total") || strings.HasSuffix(metric, "_count") || strings.HasSuffix(metric, "_sum") {
+			return "histogram " + quoteName(metric) + " must not end in _total/_count/_sum (WritePrometheus appends _count and _sum series)"
+		}
+		ok := false
+		for _, s := range histUnitSuffixes {
+			if strings.HasSuffix(metric, s) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return "histogram " + quoteName(metric) + " needs a unit suffix (" + strings.Join(histUnitSuffixes, ", ") + ") so readers know what is observed"
+		}
+	}
+	return ""
+}
+
+// quoteName quotes a metric name for a diagnostic message.
+func quoteName(s string) string { return "\"" + s + "\"" }

@@ -1,0 +1,158 @@
+// Package closecheck is golden-test input for the closecheck analyzer:
+// seeded Rows/Stmt/Tx lifecycle leaks marked with // want comments, plus
+// correct idioms and lookalikes that must NOT be reported.
+package closecheck
+
+import "errors"
+
+var errFail = errors.New("fail")
+
+// Local stand-ins for the godbc shapes; the analyzer matches by result
+// method set, not by package.
+
+type rows struct{}
+
+func (r *rows) Next() bool   { return false }
+func (r *rows) Scan() error  { return nil }
+func (r *rows) Err() error   { return nil }
+func (r *rows) Close() error { return nil }
+
+type stmt struct{}
+
+func (s *stmt) Query(args ...any) (*rows, error) { return nil, nil }
+func (s *stmt) Close() error                     { return nil }
+
+type tx struct{}
+
+func (t *tx) Exec(q string) error { return nil }
+func (t *tx) Commit() error       { return nil }
+func (t *tx) Rollback() error     { return nil }
+
+type db struct{}
+
+func (d *db) Query(q string, args ...any) (*rows, error) { return nil, nil }
+func (d *db) Prepare(q string) (*stmt, error)            { return nil, nil }
+func (d *db) Begin() (*tx, error)                        { return nil, nil }
+
+// values mimics url.Values: a Query method whose result has no Close.
+type values map[string][]string
+
+type request struct{}
+
+func (r *request) Query() values { return nil }
+
+// --- violations ---
+
+func leakOnErrPath(d *db) error {
+	rs, err := d.Query("SELECT a FROM t")
+	if err != nil {
+		return err
+	}
+	for rs.Next() {
+		if err := rs.Scan(); err != nil {
+			return err // want "return in leakOnErrPath leaks rs"
+		}
+	}
+	if err := rs.Err(); err != nil {
+		return err // want "return in leakOnErrPath leaks rs"
+	}
+	return rs.Close()
+}
+
+func txNoRollback(d *db) error {
+	t, err := d.Begin()
+	if err != nil {
+		return err
+	}
+	if err := t.Exec("UPDATE x"); err != nil {
+		return err // want "return in txNoRollback leaks t"
+	}
+	return t.Commit()
+}
+
+func stmtNeverClosed(d *db) { // acquisition reported at the := line
+	st, _ := d.Prepare("SELECT a FROM t") // want "st from Prepare\(\) in stmtNeverClosed is not closed"
+	st.Query(1)
+}
+
+// --- correct idioms and lookalikes that must stay silent ---
+
+func deferClose(d *db) error {
+	rs, err := d.Query("SELECT a FROM t")
+	if err != nil {
+		return err
+	}
+	defer rs.Close()
+	for rs.Next() {
+	}
+	return rs.Err()
+}
+
+func deferViaClosure(d *db) error {
+	rs, err := d.Query("SELECT a FROM t")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		rs.Close()
+	}()
+	return rs.Err()
+}
+
+func commitOrRollback(d *db) error {
+	t, err := d.Begin()
+	if err != nil {
+		return err
+	}
+	if err := t.Exec("UPDATE x"); err != nil {
+		t.Rollback()
+		return err
+	}
+	return t.Commit()
+}
+
+// escapeViaReturn transfers ownership to the caller.
+func escapeViaReturn(d *db) (*rows, error) {
+	rs, err := d.Query("SELECT a FROM t")
+	if err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// escapeViaHandoff transfers ownership to another function.
+func escapeViaHandoff(d *db, consume func(*rows) error) error {
+	rs, err := d.Query("SELECT a FROM t")
+	if err != nil {
+		return err
+	}
+	return consume(rs)
+}
+
+// notAResource: the result type has no Close method, so the Query name
+// alone must not trigger the analyzer.
+func notAResource(r *request) int {
+	vals := r.Query()
+	return len(vals)
+}
+
+// closeInLoop closes per iteration inside the loop-body scope.
+func closeInLoop(d *db, n int) error {
+	for i := 0; i < n; i++ {
+		rs, err := d.Query("SELECT a FROM t")
+		if err != nil {
+			return err
+		}
+		for rs.Next() {
+		}
+		rs.Close()
+	}
+	return nil
+}
+
+// allowLeak documents a deliberate leak: the handle is parked for the
+// process lifetime and the suppression must silence the analyzer.
+func allowLeak(d *db) {
+	rs, _ := d.Query("SELECT a FROM t") //lint:allow closecheck -- held for the process lifetime
+	_ = rs
+}

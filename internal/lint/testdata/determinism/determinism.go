@@ -1,0 +1,63 @@
+// Package determinism is golden-test input for the determinism analyzer:
+// wall-clock reads, randomness, and map-order iteration feeding results,
+// plus the deterministic idioms that must NOT be reported.
+package determinism
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// clock is the injected-clock idiom: call sites use the variable, and the
+// single wall-clock binding carries a suppression.
+var clock = time.Now //lint:allow determinism -- the one sanctioned wall-clock binding
+
+// --- violations ---
+
+func stampRows(rows [][]any) {
+	t := time.Now() // want "direct time.Now"
+	for i := range rows {
+		rows[i] = append(rows[i], t)
+	}
+}
+
+func sampleRows(rows [][]any) [][]any {
+	i := rand.Intn(len(rows)) // want "math/rand use"
+	return rows[i : i+1]
+}
+
+func flattenGroups(groups map[string][]any) []any {
+	var out []any
+	for _, vs := range groups { // want "map iteration feeding an ordered result"
+		out = append(out, vs...)
+	}
+	return out
+}
+
+// --- deterministic idioms that must stay silent ---
+
+func flattenSorted(groups map[string][]any) []any {
+	keys := make([]string, 0, len(groups))
+	for k := range groups { // key-only: collecting keys to sort IS the fix
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []any
+	for _, k := range keys {
+		out = append(out, groups[k]...)
+	}
+	return out
+}
+
+func countGroups(groups map[string][]any) int {
+	n := 0
+	for _, vs := range groups { // commutative fold: order cannot show
+		n += len(vs)
+	}
+	return n
+}
+
+func viaInjectedClock() time.Time {
+	return clock()
+}

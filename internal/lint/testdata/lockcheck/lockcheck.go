@@ -1,0 +1,112 @@
+// Package lockcheck is golden-test input for the lockcheck analyzer:
+// seeded lock-discipline violations marked with // want comments, plus
+// correct idioms that must NOT be reported.
+package lockcheck
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFail = errors.New("fail")
+
+// walWriter mirrors reldb's WAL writer shape; the analyzer matches it by
+// type-name substring.
+type walWriter struct{}
+
+func (w *walWriter) append(n int) error { return nil }
+func (w *walWriter) truncate() error    { return nil }
+func (w *walWriter) close() error       { return nil }
+
+type store struct {
+	mu  sync.RWMutex
+	wal *walWriter
+	n   int
+}
+
+// --- violations ---
+
+func leakOnReturn(s *store) int {
+	s.mu.Lock()
+	v := s.n
+	return v // want "return in leakOnReturn while s.mu is held"
+}
+
+func leakOnErrorPath(s *store, fail bool) error {
+	s.mu.Lock()
+	if fail {
+		return errFail // want "return in leakOnErrorPath while s.mu is held"
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func neverReleased(s *store) {
+	s.mu.Lock() // want "s.mu.Lock\(\) in neverReleased is not released on all paths"
+	s.n++
+}
+
+func rlockWrongUnlock(s *store) int {
+	s.mu.RLock()
+	v := s.n
+	s.mu.Unlock() // mismatched: RLock must pair with RUnlock
+	return v      // want "return in rlockWrongUnlock while s.mu is held"
+}
+
+func walUnderLock(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wal.append(s.n) // want "WAL I/O s.wal.append\(\) in walUnderLock while a mutex is held"
+}
+
+// --- correct idioms that must stay silent ---
+
+func deferRelease(s *store) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.n
+}
+
+func explicitBothBranches(s *store, fail bool) error {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return errFail
+	}
+	s.n++
+	s.mu.Unlock()
+	return nil
+}
+
+// Commit is on the commit allowlist: holding the lock across the WAL
+// append is the invariant, not a violation.
+func Commit(s *store) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wal.append(s.n)
+}
+
+// walAfterRelease fsyncs only once the lock is gone.
+func walAfterRelease(s *store) error {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return s.wal.append(n)
+}
+
+// lockInLoopBody releases inside each iteration; the acquisition's block
+// is the loop body and the release dominates its end.
+func lockInLoopBody(s *store, k int) {
+	for i := 0; i < k; i++ {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+}
+
+// deliberateHold mirrors reldb's Begin, which returns holding the lock by
+// contract; the suppression comment keeps it out of the report.
+func deliberateHold(s *store) *store {
+	s.mu.Lock() //lint:allow lockcheck -- returns holding the lock by contract
+	return s
+}

@@ -1,0 +1,45 @@
+// Package metricnames is golden-test input for the metricnames analyzer:
+// registrations violating the naming convention, plus lookalike methods
+// on non-obs types that must NOT be reported.
+package metricnames
+
+import "perfdmf/internal/obs"
+
+var reg = obs.NewRegistry()
+
+// --- violations ---
+
+var (
+	mBadCounter = reg.Counter("requests")               // want "counter \"requests\" must end in _total"
+	mBadCase    = reg.Counter("Requests_total")         // want "not snake_case"
+	mBadGauge   = reg.Gauge("queue_depth_total")        // want "gauge \"queue_depth_total\" must not end in _total"
+	mBadHist    = reg.Histogram("op_latency")           // want "needs a unit suffix"
+	mClashHist  = reg.Histogram("op_latency_count")     // want "must not end in _total/_count/_sum"
+	mDefaultBad = obs.Default.Counter("loose-name")     // want "not snake_case"
+)
+
+// --- cases that must stay silent ---
+
+var (
+	mGoodCounter = reg.Counter("requests_total")
+	mGoodGauge   = reg.Gauge("queue_depth")
+	mGoodBytes   = reg.Gauge("heap_alloc_bytes")
+	mGoodHist    = reg.Histogram("op_latency_ns")
+	mGoodSecs    = reg.Histogram("op_latency_seconds")
+)
+
+// tally is a lookalike: Counter on a non-obs type is out of scope.
+type tally struct{}
+
+func (tally) Counter(name string) int { return 0 }
+
+var notAMetric = tally{}.Counter("Whatever You Like")
+
+// dynamicName is skipped: the name is not a constant.
+func dynamicName(suffix string) {
+	reg.Counter("requests_" + suffix)
+}
+
+// allowLegacy keeps a grandfathered wire name; the suppression must
+// silence the analyzer.
+var mLegacy = reg.Counter("legacyRequests") //lint:allow metricnames -- grandfathered wire-format name

@@ -1,0 +1,12 @@
+// Test files are parsed AST-only (no type info); sqlcheck still folds
+// syntactic literals here — bad SQL in tests fails the gate too.
+package sqlcheck
+
+import "testing"
+
+func TestQueries(t *testing.T) {
+	d := &db{}
+	d.Query("SELECT value FROM metrics WHERE trial = ?", 1)
+	d.Query("SELEC * FROM metrics") // want "SQL does not parse"
+	d.Exec("DELETE FROM" + " metrics WHERE trial = ?") // want "has 1 placeholder\(s\) but the call passes 0 argument\(s\)"
+}

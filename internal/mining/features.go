@@ -115,6 +115,7 @@ func ExtractFeatures(s *core.DataSession, trialID int64, metrics []string) (*Fea
 			fm.Rows[ri][ec*nmSel+mc] = excl
 		}
 		if err := rows.Err(); err != nil {
+			rows.Close()
 			return nil, err
 		}
 		rows.Close()

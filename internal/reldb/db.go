@@ -85,7 +85,7 @@ func (db *DB) Begin() *Tx {
 	db.mu.Lock()
 	mLockWaitNS.Observe(int64(time.Since(start)))
 	mTxBegin.Inc()
-	return &Tx{db: db, writable: true}
+	return &Tx{db: db, writable: true} //lint:allow lockcheck -- Begin returns holding the lock; Commit/Rollback release it
 }
 
 // Commit applies the transaction: the redo log is appended to the WAL (when

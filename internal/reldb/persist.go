@@ -177,17 +177,19 @@ func (db *DB) checkpointLocked() error {
 }
 
 // Close flushes and closes the WAL. In-memory databases only mark
-// themselves closed (visible to Health).
+// themselves closed (visible to Health). The final fsync runs outside the
+// lock: detaching db.wal under the mutex already fences out concurrent
+// writers, so there is no reason to stall readers behind disk I/O.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.closed = true
-	if db.wal == nil {
+	w := db.wal
+	db.wal = nil
+	db.mu.Unlock()
+	if w == nil {
 		return nil
 	}
-	err := db.wal.close()
-	db.wal = nil
-	return err
+	return w.close()
 }
 
 // --- binary encoding primitives ---

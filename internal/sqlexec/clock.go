@@ -1,0 +1,28 @@
+package sqlexec
+
+import "time"
+
+// Clock supplies wall-clock readings to the executor's span timing. The
+// execution hot paths never call time.Now directly — the determinism
+// analyzer (perfdmf-vet) forbids it — so a test can inject a fixed clock
+// and get bitwise-identical spans, and the result paths provably contain
+// no time dependence at all.
+type Clock func() time.Time
+
+// clock is the package's single sanctioned wall-clock binding.
+var clock Clock = time.Now //lint:allow determinism -- the injected-clock binding itself
+
+// now reads the injected clock.
+func now() time.Time { return clock() }
+
+// since measures elapsed time on the injected clock (time.Since would
+// read the wall clock behind the executor's back).
+func since(t time.Time) time.Duration { return now().Sub(t) }
+
+// SetClock swaps the executor clock and returns a restore function; tests
+// use it to freeze span timing.
+func SetClock(c Clock) (restore func()) {
+	prev := clock
+	clock = c
+	return func() { clock = prev }
+}

@@ -1,0 +1,143 @@
+package sqlexec
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"perfdmf/internal/obs"
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// parseSelect is a test helper for the clock tests, which drive QueryOpts
+// directly so they can inspect the span.
+func parseSelect(t *testing.T, src string) *sqlparse.Select {
+	t.Helper()
+	st, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+	sel, ok := st.(*sqlparse.Select)
+	if !ok {
+		t.Fatalf("%s: not a SELECT", src)
+	}
+	return sel
+}
+
+// TestFrozenClockZeroesSpans is the regression test for the injected-clock
+// refactor: with SetClock frozen, every span duration the executor measures
+// must be exactly zero, proving the query hot path reads time only through
+// the injected clock (a single stray time.Now/time.Since would make some
+// phase nonzero).
+func TestFrozenClockZeroesSpans(t *testing.T) {
+	db := fixture(t)
+	fixed := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	restore := SetClock(func() time.Time { return fixed })
+	defer restore()
+
+	sel := parseSelect(t, "SELECT application, COUNT(*) FROM trial WHERE node_count >= ? GROUP BY application ORDER BY application")
+	sp := &obs.Span{Kind: "query", Start: now()}
+	err := db.Read(func(tx *reldb.Tx) error {
+		rs, err := QueryOpts(tx, sel, []reldb.Value{reldb.FromGo(128)}, sp, Options{})
+		if err == nil && len(rs.Rows) != 2 {
+			t.Errorf("rows: %v", rs.Rows)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+
+	if !sp.Start.Equal(fixed) {
+		t.Errorf("span start %v, want the frozen instant %v", sp.Start, fixed)
+	}
+	if sp.Plan != 0 || sp.Execute != 0 || sp.Materialize != 0 {
+		t.Errorf("frozen clock but nonzero phases: plan=%v execute=%v materialize=%v",
+			sp.Plan, sp.Execute, sp.Materialize)
+	}
+}
+
+// TestFrozenClockDeterministicExplainAnalyze pins the user-visible effect:
+// EXPLAIN ANALYZE under a frozen clock reports identical, all-zero timings
+// on every run, so its output is byte-for-byte reproducible.
+func TestFrozenClockDeterministicExplainAnalyze(t *testing.T) {
+	db := fixture(t)
+	fixed := time.Unix(1_700_000_000, 0)
+	restore := SetClock(func() time.Time { return fixed })
+	defer restore()
+
+	sel := parseSelect(t, "SELECT name FROM trial ORDER BY time")
+	render := func() string {
+		var out []string
+		err := db.Read(func(tx *reldb.Tx) error {
+			rs, err := ExplainAnalyze(tx, sel, nil)
+			if err != nil {
+				return err
+			}
+			for _, row := range rs.Rows {
+				out = append(out, row[0].S)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("explain analyze: %v", err)
+		}
+		return strings.Join(out, "\n")
+	}
+
+	first := render()
+	if !strings.Contains(first, "total=0s") {
+		t.Fatalf("frozen clock should report total=0s, got:\n%s", first)
+	}
+	if second := render(); second != first {
+		t.Fatalf("explain analyze not deterministic under a frozen clock:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+// TestSteppingClockMeasuresPhases drives the other direction: a clock that
+// advances a fixed step per reading must yield identical spans across runs
+// (the executor reads the clock a deterministic number of times) and a
+// Total that accounts for every step taken.
+func TestSteppingClockMeasuresPhases(t *testing.T) {
+	db := fixture(t)
+	sel := parseSelect(t, "SELECT name FROM trial WHERE node_count = ?")
+
+	measure := func() (*obs.Span, int) {
+		base := time.Unix(1_700_000_000, 0)
+		ticks := 0
+		restore := SetClock(func() time.Time {
+			ticks++
+			return base.Add(time.Duration(ticks) * time.Millisecond)
+		})
+		defer restore()
+		sp := &obs.Span{Kind: "query", Start: now()}
+		err := db.Read(func(tx *reldb.Tx) error {
+			_, err := QueryOpts(tx, sel, []reldb.Value{reldb.FromGo(256)}, sp, Options{})
+			return err
+		})
+		sp.Total = since(sp.Start)
+		if err != nil {
+			t.Fatalf("query: %v", err)
+		}
+		return sp, ticks
+	}
+
+	sp1, ticks1 := measure()
+	sp2, ticks2 := measure()
+	if ticks1 != ticks2 {
+		t.Fatalf("clock read %d times on run 1 but %d on run 2", ticks1, ticks2)
+	}
+	if sp1.Plan != sp2.Plan || sp1.Execute != sp2.Execute ||
+		sp1.Materialize != sp2.Materialize || sp1.Total != sp2.Total {
+		t.Fatalf("spans differ across identical runs: %+v vs %+v", sp1, sp2)
+	}
+	if sp1.Total <= 0 {
+		t.Fatalf("stepping clock yielded non-positive total %v", sp1.Total)
+	}
+	// Start consumed tick 1 and Total consumed the last tick, so the total
+	// is exactly (ticks-1) steps.
+	if want := time.Duration(ticks1-1) * time.Millisecond; sp1.Total != want {
+		t.Fatalf("total %v, want %v for %d clock readings", sp1.Total, want, ticks1)
+	}
+}

@@ -2,7 +2,6 @@ package sqlexec
 
 import (
 	"fmt"
-	"time"
 
 	"perfdmf/internal/obs"
 	"perfdmf/internal/reldb"
@@ -90,11 +89,11 @@ func ExplainAnalyzeOpts(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value,
 		rs.Rows = append(rs.Rows, []reldb.Value{reldb.Str(fmt.Sprintf(format, args...))})
 	}
 
-	sp := &obs.Span{Kind: "query", Start: time.Now()}
+	sp := &obs.Span{Kind: "query", Start: now()}
 	if _, err := QueryOpts(tx, st, params, sp, opts); err != nil {
 		return nil, err
 	}
-	sp.Total = time.Since(sp.Start)
+	sp.Total = since(sp.Start)
 	access := "full scan"
 	if sp.PlanSummary != "" {
 		access = sp.PlanSummary

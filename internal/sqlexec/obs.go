@@ -18,7 +18,7 @@ var (
 
 	mParallelScans  = obs.Default.Counter("sqlexec_parallel_scans_total")
 	mParallelAggs   = obs.Default.Counter("sqlexec_parallel_aggs_total")
-	mScanPartitions = obs.Default.Histogram("sqlexec_scan_partitions")
+	mScanPartitions = obs.Default.Counter("sqlexec_scan_partitions_total")
 
 	mPlanCacheHits     = obs.Default.Counter("sqlexec_plan_cache_hits_total")
 	mPlanCacheMisses   = obs.Default.Counter("sqlexec_plan_cache_misses_total")

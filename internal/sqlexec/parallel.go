@@ -82,7 +82,7 @@ func (q *query) parallelScanFilter(table string, where sqlparse.Expr, workers in
 		workers = len(parts)
 	}
 	mParallelScans.Inc()
-	mScanPartitions.Observe(int64(len(parts)))
+	mScanPartitions.Add(int64(len(parts)))
 	if q.par < workers {
 		q.par = workers
 	}

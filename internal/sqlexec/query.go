@@ -80,7 +80,7 @@ func (q *query) run() (*ResultSet, error) {
 	timed := q.sp != nil
 	var mark time.Time
 	if timed {
-		mark = time.Now()
+		mark = now()
 	}
 	derived, err := q.bind(st.From)
 	if err != nil {
@@ -91,8 +91,8 @@ func (q *query) run() (*ResultSet, error) {
 	if st.From.Sub != nil {
 		if timed {
 			q.sp.PlanSummary = "derived table"
-			q.sp.Plan += time.Since(mark)
-			mark = time.Now()
+			q.sp.Plan += since(mark)
+			mark = now()
 		}
 		rows = derived
 		q.scanned += int64(len(rows))
@@ -119,8 +119,8 @@ func (q *query) run() (*ResultSet, error) {
 				q.sp.PlanSummary = "index access"
 				q.sp.IndexUsed = true
 			}
-			q.sp.Plan += time.Since(mark)
-			mark = time.Now()
+			q.sp.Plan += since(mark)
+			mark = now()
 		}
 		switch {
 		case scanned && len(st.Joins) == 0 && q.opts.effectiveWorkers() > 1 && q.liveRows(st.From.Table) >= parallelMinRows:
@@ -171,8 +171,8 @@ func (q *query) run() (*ResultSet, error) {
 		rows = kept
 	}
 	if timed {
-		q.sp.Execute += time.Since(mark)
-		mark = time.Now()
+		q.sp.Execute += since(mark)
+		mark = now()
 	}
 
 	items, colNames, err := q.expandItems()
@@ -210,7 +210,7 @@ func (q *query) run() (*ResultSet, error) {
 		if q.par > 1 {
 			q.sp.PlanSummary += fmt.Sprintf(" parallel(%d)", q.par)
 		}
-		q.sp.Materialize += time.Since(mark)
+		q.sp.Materialize += since(mark)
 		q.sp.RowsScanned += q.scanned
 		q.sp.RowsReturned += int64(len(out))
 	}
