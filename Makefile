@@ -4,14 +4,15 @@
 # names; see docs/STATIC_ANALYSIS.md), full build, the race-enabled test
 # suite, a 10-second fuzz pass over the SQL parser and the reldb value
 # codec (`fuzz-smoke`), and one-shot smoke runs of the observability
-# benchmark and the serve binary. Cheap syntactic gates run first so a
-# violation fails in seconds, not after the race suite.
+# benchmark, the serve binary, and the persisted span-tree pipeline
+# (`trace-smoke`). Cheap syntactic gates run first so a violation fails
+# in seconds, not after the race suite.
 
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz-smoke bench-smoke serve-smoke bench bench-parallel experiments clean
+.PHONY: check vet lint build test race fuzz-smoke bench-smoke serve-smoke trace-smoke bench bench-parallel bench-trace experiments clean
 
-check: vet lint build race fuzz-smoke bench-smoke serve-smoke
+check: vet lint build race fuzz-smoke bench-smoke serve-smoke trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -70,6 +71,23 @@ serve-smoke:
 	if [ "$$ok" != 1 ]; then echo "serve-smoke: endpoint checks failed"; cat bin/serve-smoke.log; exit 1; fi; \
 	echo "serve-smoke: ok (http://$$addr)"
 
+# End-to-end span-tree smoke over the real binary: synthesize a TAU input,
+# load it with -telemetry so the upload's span tree persists into
+# PERFDMF_SPANS, and assert `perfdmf trace` reconstructs a causal tree at
+# least three levels deep (workload root → framework phases → statements).
+trace-smoke:
+	$(GO) build -o bin/perfdmf ./cmd/perfdmf
+	@rm -rf bin/trace-smoke && mkdir -p bin/trace-smoke/db
+	bin/perfdmf synth -o bin/trace-smoke/fixtures > /dev/null
+	bin/perfdmf load -db file:bin/trace-smoke/db -telemetry -app smoke -exp e1 bin/trace-smoke/fixtures/tau-run > /dev/null
+	bin/perfdmf trace -db file:bin/trace-smoke/db > bin/trace-smoke/trace.out
+	@grep -q '└─' bin/trace-smoke/trace.out || { echo "trace-smoke: no nested spans"; cat bin/trace-smoke/trace.out; exit 1; }
+	@depth=$$(sed -n 's/.*max depth \([0-9][0-9]*\)$$/\1/p' bin/trace-smoke/trace.out); \
+	if [ -z "$$depth" ] || [ "$$depth" -lt 3 ]; then \
+		echo "trace-smoke: span tree too shallow (depth=$$depth)"; cat bin/trace-smoke/trace.out; exit 1; \
+	fi; \
+	echo "trace-smoke: ok (max depth $$depth)"
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
@@ -80,6 +98,12 @@ bench:
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelScan|BenchmarkParallelGroupBy|BenchmarkPlanCache' -benchmem .
 	$(GO) run ./cmd/experiments -only P1 -obs "" -parallel BENCH_parallel.json
+
+# Tracing-overhead benchmark (T1): times the E1 upload with tracing off,
+# on, and with full span persistence, and writes BENCH_trace.json. The
+# experiment itself fails if the traced overhead exceeds the 5% budget.
+bench-trace:
+	$(GO) run ./cmd/experiments -only T1 -obs "" -trace BENCH_trace.json
 
 experiments:
 	$(GO) run ./cmd/experiments -quick

@@ -33,8 +33,9 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment subset (e.g. E1,E4,AB)")
 	obsOut := flag.String("obs", "BENCH_obs.json", "write the engine-metrics snapshot to this file after the run (empty disables)")
 	parallelOut := flag.String("parallel", "BENCH_parallel.json", "write the P1 parallel-execution benchmark to this file (empty disables)")
+	traceOut := flag.String("trace", "BENCH_trace.json", "write the T1 tracing-overhead benchmark to this file (empty disables)")
 	flag.Parse()
-	if err := run(*quick, *only, *parallelOut); err != nil {
+	if err := run(*quick, *only, *parallelOut, *traceOut); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
@@ -60,7 +61,7 @@ func writeObsSnapshot(path string) error {
 	return nil
 }
 
-func run(quick bool, only, parallelOut string) error {
+func run(quick bool, only, parallelOut, traceOut string) error {
 	want := func(id string) bool {
 		if only == "" {
 			return true
@@ -123,6 +124,54 @@ func run(quick bool, only, parallelOut string) error {
 			return err
 		}
 	}
+	if want("T1") {
+		if err := runT1(quick, traceOut); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runT1 measures the hierarchical-tracing overhead on the E1 upload path
+// (off vs traced vs persisted through the telemetry sink) and writes the
+// record BENCH_trace.json holds. The traced overhead must stay under the
+// 5% budget.
+func runT1(quick bool, out string) error {
+	header("T1", "tracing overhead on the E1 upload path (off / traced / persisted)")
+	threads, reps := 4096, 9
+	if quick {
+		threads, reps = 1024, 3
+	}
+	res, err := experiments.RunT1(threads, 101, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rows=%d (threads=%d events=%d)  GOMAXPROCS=%d  reps=%d (median kept)\n\n",
+		res.Rows, res.Threads, res.Events, res.GOMAXPROCS, res.Reps)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "MODE\tUPLOAD\tOVERHEAD\t\n")
+	fmt.Fprintf(w, "off\t%v\t—\t\n", time.Duration(res.OffNS).Round(1e6))
+	fmt.Fprintf(w, "traced\t%v\t%+.2f%%\t\n", time.Duration(res.OnNS).Round(1e6), res.OnOverheadPct)
+	fmt.Fprintf(w, "persisted\t%v\t%+.2f%%\t\n", time.Duration(res.PersistedNS).Round(1e6), res.PersistedOverheadPct)
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\n%d spans persisted; traced overhead budget %.0f%%: within=%v\n",
+		res.SpansPersisted, res.BudgetPct, res.WithinBudget)
+	if !res.WithinBudget {
+		return fmt.Errorf("T1: traced overhead %.2f%% exceeds %.0f%% budget", res.OnOverheadPct, res.BudgetPct)
+	}
+	if out == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("tracing benchmark written to %s\n", out)
 	return nil
 }
 

@@ -27,17 +27,21 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"text/tabwriter"
 
 	"perfdmf/internal/core"
 	"perfdmf/internal/formats"
 	"perfdmf/internal/formats/xmlprof"
+	"perfdmf/internal/godbc"
 	"perfdmf/internal/model"
+	"perfdmf/internal/obs"
 	"perfdmf/internal/synth"
 )
 
@@ -50,7 +54,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (load, list, summary, export, sql, delete, compare, derive, regress, stats, dump, restore, serve, formats)")
+		return fmt.Errorf("missing subcommand (load, list, summary, export, sql, delete, compare, derive, regress, stats, dump, restore, serve, trace, synth, formats)")
 	}
 	switch args[0] {
 	case "load":
@@ -79,6 +83,10 @@ func run(args []string) error {
 		return cmdRestore(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "trace":
+		return cmdTrace(args[1:])
+	case "synth":
+		return cmdSynth(args[1:])
 	case "formats":
 		fmt.Println(strings.Join(formats.All, "\n"))
 		return nil
@@ -103,6 +111,7 @@ func cmdLoad(args []string) error {
 	ranks := fs.Bool("ranks", false, "treat PATH as a directory of per-rank files (dynaprof/hpm/psrun)")
 	prefix := fs.String("prefix", "", "with -ranks: only files starting with this prefix")
 	suffix := fs.String("suffix", "", "with -ranks: only files ending with this suffix")
+	telemetry := fs.Bool("telemetry", false, "persist the load's span tree into the archive's PERFDMF_SPANS table (inspect with `perfdmf trace`)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,6 +130,16 @@ func cmdLoad(args []string) error {
 		return err
 	}
 	defer s.Close()
+
+	if *telemetry {
+		stop, err := godbc.StartTelemetry(*dsn, obs.SinkOptions{})
+		if err != nil {
+			return err
+		}
+		// Runs before s.Close (LIFO), flushing the tail of the sink into
+		// PERFDMF_SPANS while the engine is still open.
+		defer stop() //nolint:errcheck // telemetry flush is best-effort
+	}
 
 	app, err := s.FindApplication(*appName)
 	if err != nil {
@@ -152,22 +171,15 @@ func cmdLoad(args []string) error {
 	s.SetExperiment(exp)
 
 	for _, path := range paths {
-		var profile *model.Profile
-		var err error
-		if *ranks {
-			files, scanErr := formats.ScanDir(path, *prefix, *suffix)
-			if scanErr != nil {
-				return scanErr
-			}
-			profile, err = formats.LoadMultiRank(*format, files)
-		} else {
-			profile, err = loadProfile(*format, path)
+		// One root span per input: parse and upload (and every statement
+		// they issue) hang off it, so each load renders as a single tree.
+		label := *trialName
+		if label == "" {
+			label = filepath.Base(path)
 		}
-		if err != nil {
-			return err
-		}
-		opts := core.UploadOptions{TrialName: *trialName}
-		trial, err := s.UploadTrial(profile, opts)
+		ctx, sp := obs.StartSpan(context.Background(), "load", "load:"+label)
+		trial, profile, err := loadOne(ctx, s, path, *format, *trialName, *ranks, *prefix, *suffix)
+		sp.Finish(err)
 		if err != nil {
 			return err
 		}
@@ -176,11 +188,33 @@ func cmdLoad(args []string) error {
 	return nil
 }
 
-func loadProfile(format, path string) (*model.Profile, error) {
-	if format == "" {
-		return formats.LoadAuto(path)
+func loadOne(ctx context.Context, s *core.DataSession, path, format, trialName string, ranks bool, prefix, suffix string) (*core.Trial, *model.Profile, error) {
+	var profile *model.Profile
+	var err error
+	if ranks {
+		files, scanErr := formats.ScanDir(path, prefix, suffix)
+		if scanErr != nil {
+			return nil, nil, scanErr
+		}
+		profile, err = formats.LoadMultiRankCtx(ctx, format, files)
+	} else {
+		profile, err = loadProfile(ctx, format, path)
 	}
-	return formats.Load(format, path)
+	if err != nil {
+		return nil, nil, err
+	}
+	trial, err := s.UploadTrialCtx(ctx, profile, core.UploadOptions{TrialName: trialName})
+	if err != nil {
+		return nil, nil, err
+	}
+	return trial, profile, nil
+}
+
+func loadProfile(ctx context.Context, format, path string) (*model.Profile, error) {
+	if format == "" {
+		return formats.LoadAutoCtx(ctx, path)
+	}
+	return formats.LoadCtx(ctx, format, path)
 }
 
 func cmdList(args []string) error {

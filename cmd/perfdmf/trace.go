@@ -1,0 +1,170 @@
+// The trace subcommand: reconstruct and pretty-print causal span trees
+// from the PERFDMF_SPANS telemetry table (written by `load -telemetry` or
+// `serve`). Companion of /traces?tree=1, but for archives on disk.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"perfdmf/internal/godbc"
+	"perfdmf/internal/obs"
+	"perfdmf/internal/synth"
+)
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	dsn := fs.String("db", "", "database DSN")
+	limit := fs.Int("n", 20, "print at most this many trees (most recent last)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	filter := strings.Join(fs.Args(), " ")
+	s, err := openSession(*dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	return printTrace(s.Conn(), os.Stdout, filter, *limit)
+}
+
+// printTrace loads every persisted span, assembles the forest, and writes
+// the trees whose root matches filter (substring of the root label, or an
+// exact root span id) — all of them when filter is empty.
+func printTrace(c godbc.Conn, w io.Writer, filter string, limit int) error {
+	tables, err := c.MetaData().Tables()
+	if err != nil {
+		return err
+	}
+	found := false
+	for _, t := range tables {
+		if strings.EqualFold(t, godbc.SpansTable) {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("no %s table in this archive — load with -telemetry or run serve first", godbc.SpansTable)
+	}
+
+	rows, err := c.Query(`SELECT span_id, parent_span_id, root_op, kind, op, statement,
+		dur_us, rows_scanned, rows_returned, err FROM PERFDMF_SPANS`)
+	if err != nil {
+		return err
+	}
+	defer rows.Close()
+	var spans []*obs.Span
+	for rows.Next() {
+		sp := &obs.Span{}
+		sp.ID = asInt64(rows.Value(0))
+		sp.ParentID = asInt64(rows.Value(1)) // NULL (pre-migration rows) → 0 → root
+		sp.Root = asString(rows.Value(2))
+		sp.Kind = asString(rows.Value(3))
+		stmt := asString(rows.Value(5))
+		switch sp.Kind {
+		case "exec", "query", "prepare":
+			sp.Statement = stmt
+		default:
+			sp.Name = stmt
+		}
+		sp.Total = time.Duration(asInt64(rows.Value(6))) * time.Microsecond
+		sp.RowsScanned = asInt64(rows.Value(7))
+		sp.RowsReturned = asInt64(rows.Value(8))
+		sp.Err = asString(rows.Value(9))
+		spans = append(spans, sp)
+	}
+	if err := rows.Err(); err != nil {
+		return err
+	}
+	if len(spans) == 0 {
+		fmt.Fprintln(w, "no spans recorded")
+		return nil
+	}
+
+	trees := obs.BuildTrees(spans)
+	if filter != "" {
+		var kept []*obs.TreeNode
+		for _, t := range trees {
+			if strings.Contains(t.Label(200), filter) || fmt.Sprint(t.ID) == filter {
+				kept = append(kept, t)
+			}
+		}
+		trees = kept
+		if len(trees) == 0 {
+			return fmt.Errorf("no span tree matches %q", filter)
+		}
+	}
+	if limit > 0 && len(trees) > limit {
+		trees = trees[len(trees)-limit:]
+	}
+	shown, depth := 0, 0
+	for _, t := range trees {
+		obs.WriteTree(w, t)
+		fmt.Fprintln(w)
+		shown += countNodes(t)
+		if d := t.Depth(); d > depth {
+			depth = d
+		}
+	}
+	fmt.Fprintf(w, "trace: %d spans in %d trees, max depth %d\n", shown, len(trees), depth)
+	return nil
+}
+
+func countNodes(n *obs.TreeNode) int {
+	total := 1
+	for _, c := range n.Children {
+		total += countNodes(c)
+	}
+	return total
+}
+
+func asInt64(v any) int64 {
+	switch x := v.(type) {
+	case int64:
+		return x
+	case int:
+		return int64(x)
+	case float64:
+		return int64(x)
+	}
+	return 0
+}
+
+func asString(v any) string {
+	if s, ok := v.(string); ok {
+		return s
+	}
+	return ""
+}
+
+// cmdSynth writes one synthetic sample input per supported format —
+// handy fixtures for smoke tests and demos (see `make trace-smoke`).
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ContinueOnError)
+	dir := fs.String("o", "", "output directory")
+	seed := fs.Int64("seed", 42, "generator seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("synth needs -o DIR")
+	}
+	files, err := synth.WriteSampleFiles(*dir, *seed)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(files))
+	for f := range files {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		fmt.Printf("%s\t%s\n", f, files[f])
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestTraceCLI drives the persisted-trace path end to end through run():
+// load a trial with -telemetry so the upload's span tree lands in
+// PERFDMF_SPANS, then assert `perfdmf trace` reconstructs a rooted,
+// multi-level tree from the archive.
+func TestTraceCLI(t *testing.T) {
+	dsn := "file:" + t.TempDir()
+	tauDir := writeTauSample(t)
+
+	// Without telemetry there is nothing to trace — the error must point
+	// at the fix.
+	_, err := capture(t, func() error {
+		return run([]string{"trace", "-db", dsn})
+	})
+	if err == nil || !strings.Contains(err.Error(), "-telemetry") {
+		t.Fatalf("trace on empty archive: err = %v, want hint about -telemetry", err)
+	}
+
+	if _, err := capture(t, func() error {
+		return run([]string{"load", "-db", dsn, "-telemetry", "-app", "demo", "-exp", "e1", tauDir})
+	}); err != nil {
+		t.Fatalf("load -telemetry: %v", err)
+	}
+
+	out, err := capture(t, func() error {
+		return run([]string{"trace", "-db", dsn})
+	})
+	if err != nil {
+		t.Fatalf("trace: %v", err)
+	}
+	if !strings.Contains(out, "└─") {
+		t.Fatalf("trace output has no nested spans:\n%s", out)
+	}
+	m := regexp.MustCompile(`trace: (\d+) spans in (\d+) trees, max depth (\d+)`).FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("trace output missing summary line:\n%s", out)
+	}
+	spans, _ := strconv.Atoi(m[1])
+	trees, _ := strconv.Atoi(m[2])
+	depth, _ := strconv.Atoi(m[3])
+	if spans < 3 || trees < 1 || depth < 3 {
+		t.Fatalf("trace summary %v: want >=3 spans, >=1 tree, depth >=3", m[1:])
+	}
+
+	// Filtering by a root label substring keeps matching trees; an absent
+	// label is an error rather than silent emptiness.
+	if _, err := capture(t, func() error {
+		return run([]string{"trace", "-db", dsn, "load:"})
+	}); err != nil {
+		t.Fatalf("trace with filter: %v", err)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"trace", "-db", dsn, "no-such-root"})
+	}); err == nil {
+		t.Fatal("trace with bogus filter should fail")
+	}
+}
+
+// TestSynthCLI: the fixture generator must emit one loadable input per
+// format into the requested directory (trace-smoke builds on this).
+func TestSynthCLI(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fixtures")
+	out, err := capture(t, func() error {
+		return run([]string{"synth", "-o", dir})
+	})
+	if err != nil {
+		t.Fatalf("synth: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("synth listed %d fixtures, want several:\n%s", len(lines), out)
+	}
+	for _, ln := range lines {
+		parts := strings.Split(ln, "\t")
+		if len(parts) != 2 || !strings.HasPrefix(parts[1], dir) {
+			t.Fatalf("bad synth listing line %q", ln)
+		}
+	}
+}

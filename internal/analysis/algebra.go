@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 
 	"perfdmf/internal/core"
@@ -95,26 +96,42 @@ func combine(name string, a, b *model.Profile, op binaryOp) (*model.Profile, err
 
 // Add merges two profiles cell-wise (CUBE's "merge"): the union of
 // events, metrics and threads, with overlapping measurements summed.
-func Add(a, b *model.Profile) (*model.Profile, error) {
-	return combine(a.Name+"+"+b.Name, a, b, func(x, y float64) float64 { return x + y })
+func Add(a, b *model.Profile) (out *model.Profile, err error) {
+	err = op(context.Background(), nil, "analysis:add", mAddNS, func(context.Context) error {
+		out, err = combine(a.Name+"+"+b.Name, a, b, func(x, y float64) float64 { return x + y })
+		return err
+	})
+	return out, err
 }
 
 // Subtract computes a - b cell-wise (CUBE's "diff"): positive values mean
 // a was slower. Negative results are legitimate and preserved.
-func Subtract(a, b *model.Profile) (*model.Profile, error) {
-	return combine(a.Name+"-"+b.Name, a, b, func(x, y float64) float64 { return x - y })
+func Subtract(a, b *model.Profile) (out *model.Profile, err error) {
+	err = op(context.Background(), nil, "analysis:subtract", mSubtractNS, func(context.Context) error {
+		out, err = combine(a.Name+"-"+b.Name, a, b, func(x, y float64) float64 { return x - y })
+		return err
+	})
+	return out, err
 }
 
 // Mean averages any number of congruent profiles cell-wise (CUBE's
 // "mean"), e.g. over repeated trials of the same configuration.
-func Mean(profiles ...*model.Profile) (*model.Profile, error) {
+func Mean(profiles ...*model.Profile) (out *model.Profile, err error) {
+	err = op(context.Background(), nil, "analysis:mean", mMeanNS, func(context.Context) error {
+		out, err = mean(profiles...)
+		return err
+	})
+	return out, err
+}
+
+func mean(profiles ...*model.Profile) (*model.Profile, error) {
 	if len(profiles) == 0 {
 		return nil, fmt.Errorf("analysis: Mean needs at least one profile")
 	}
 	acc := profiles[0]
 	var err error
 	for _, p := range profiles[1:] {
-		acc, err = Add(acc, p)
+		acc, err = combine(acc.Name+"+"+p.Name, acc, p, func(x, y float64) float64 { return x + y })
 		if err != nil {
 			return nil, err
 		}
@@ -163,7 +180,15 @@ type Regression struct {
 // version) and reports events whose mean exclusive value grew by more
 // than threshold (0.1 = 10%) between consecutive trials, ignoring events
 // below minShare of the earlier trial's total (noise floor).
-func DetectRegressions(s *core.DataSession, trials []*core.Trial, metric string, threshold, minShare float64) ([]Regression, error) {
+func DetectRegressions(s *core.DataSession, trials []*core.Trial, metric string, threshold, minShare float64) (out []Regression, err error) {
+	err = op(context.Background(), s, "analysis:regressions", mRegressionNS, func(context.Context) error {
+		out, err = detectRegressions(s, trials, metric, threshold, minShare)
+		return err
+	})
+	return out, err
+}
+
+func detectRegressions(s *core.DataSession, trials []*core.Trial, metric string, threshold, minShare float64) ([]Regression, error) {
 	if threshold <= 0 {
 		threshold = 0.1
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -34,7 +35,15 @@ type Comparison struct {
 // CompareTrials diffs two trials' mean profiles for one metric — the basic
 // cross-trial operation the paper's toolkit provides ("rudimentary
 // multi-trial analysis, including performance comparisons").
-func CompareTrials(s *core.DataSession, trialA, trialB *core.Trial, metric string) (*Comparison, error) {
+func CompareTrials(s *core.DataSession, trialA, trialB *core.Trial, metric string) (cmp *Comparison, err error) {
+	err = op(context.Background(), s, "analysis:compare", mCompareNS, func(context.Context) error {
+		cmp, err = compareTrials(s, trialA, trialB, metric)
+		return err
+	})
+	return cmp, err
+}
+
+func compareTrials(s *core.DataSession, trialA, trialB *core.Trial, metric string) (*Comparison, error) {
 	prev := s.Trial()
 	defer s.SetTrial(prev)
 

@@ -1,0 +1,55 @@
+// Analysis-layer observability: every algebra and study operation is
+// timed into a per-op histogram and, while tracing is active, recorded as
+// an "analysis" span so it appears in span trees alongside the statements
+// it issues. Pure in-memory operations (Add, Mean) produce leaf spans;
+// DB-backed studies (Speedup, CompareTrials) bind the session connection
+// so their queries hang off the analysis span.
+package analysis
+
+import (
+	"context"
+	"time"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/obs"
+)
+
+var (
+	mOpsTotal     = obs.Default.Counter("analysis_ops_total")
+	mOpErrors     = obs.Default.Counter("analysis_op_errors_total")
+	mAddNS        = obs.Default.Histogram("analysis_add_ns")
+	mSubtractNS   = obs.Default.Histogram("analysis_subtract_ns")
+	mMeanNS       = obs.Default.Histogram("analysis_mean_ns")
+	mSpeedupNS    = obs.Default.Histogram("analysis_speedup_ns")
+	mCompareNS    = obs.Default.Histogram("analysis_compare_ns")
+	mRegressionNS = obs.Default.Histogram("analysis_regressions_ns")
+)
+
+// op times one analysis operation and routes its span. A nil session
+// means a pure in-memory op with no statements to re-parent.
+func op(ctx context.Context, s *core.DataSession, name string, h *obs.Histogram, fn func(context.Context) error) error {
+	octx, sp := obs.StartSpan(ctx, "analysis", name)
+	if sp == nil {
+		err := fn(ctx)
+		countOp(err)
+		return err
+	}
+	if s != nil {
+		s.BindSpanContext(octx)
+		defer s.BindSpanContext(ctx)
+	}
+	start := time.Now()
+	err := fn(octx)
+	h.Observe(int64(time.Since(start)))
+	countOp(err)
+	sp.Finish(err)
+	return err
+}
+
+func countOp(err error) {
+	if err != nil {
+		mOpErrors.Inc()
+	} else {
+		mOpsTotal.Inc()
+	}
+}

@@ -7,6 +7,7 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -130,7 +131,15 @@ func appWallTime(s *core.DataSession, trialID int64, metric string) (float64, er
 // at different processor counts. Trials are ordered by processor count;
 // the smallest is the baseline. Routines missing from any trial are
 // dropped from the per-routine table (they still count toward app time).
-func Speedup(s *core.DataSession, trials []*core.Trial, metric string) (*SpeedupStudy, error) {
+func Speedup(s *core.DataSession, trials []*core.Trial, metric string) (study *SpeedupStudy, err error) {
+	err = op(context.Background(), s, "analysis:speedup", mSpeedupNS, func(context.Context) error {
+		study, err = speedup(s, trials, metric)
+		return err
+	})
+	return study, err
+}
+
+func speedup(s *core.DataSession, trials []*core.Trial, metric string) (*SpeedupStudy, error) {
 	if len(trials) < 2 {
 		return nil, fmt.Errorf("analysis: a speedup study needs at least 2 trials, got %d", len(trials))
 	}

@@ -1,15 +1,50 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"strconv"
+	"time"
 
 	"perfdmf/internal/model"
+	"perfdmf/internal/obs"
 )
 
 // LoadTrial reconstructs a trial's full parallel profile from the
 // database. Event and metric IDs in the returned profile are the model's
 // own; names match the stored catalogs exactly.
 func (s *DataSession) LoadTrial(trialID int64) (*model.Profile, error) {
+	return s.LoadTrialCtx(context.Background(), trialID)
+}
+
+// LoadTrialCtx is LoadTrial with span-tree propagation: the reconstruction
+// becomes one "download" span under ctx's span, with the session
+// connection bound so every catalog and profile query is a child.
+func (s *DataSession) LoadTrialCtx(ctx context.Context, trialID int64) (*model.Profile, error) {
+	dctx, sp := obs.StartSpan(ctx, "download", "download:trial"+strconv.FormatInt(trialID, 10))
+	if sp != nil {
+		s.BindSpanContext(dctx)
+		defer s.BindSpanContext(ctx)
+	}
+	start := time.Now()
+	p, err := s.loadTrial(trialID)
+	if err != nil {
+		mDownloadErrors.Inc()
+		sp.Finish(err)
+		return nil, err
+	}
+	rows := int64(p.DataPoints())
+	mDownloadTrials.Inc()
+	mDownloadRows.Add(rows)
+	if sp != nil {
+		mDownloadNS.Observe(int64(time.Since(start)))
+		sp.RowsReturned = rows
+	}
+	sp.Finish(nil)
+	return p, nil
+}
+
+func (s *DataSession) loadTrial(trialID int64) (*model.Profile, error) {
 	rows, err := s.conn.Query("SELECT name, metadata FROM trial WHERE id = ?", trialID)
 	if err != nil {
 		return nil, err

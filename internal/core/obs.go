@@ -1,0 +1,52 @@
+// Upload/download-layer observability. The upload path is the hottest
+// code in PerfDMF, so everything here follows the obs ground rules: plain
+// atomic counters always run; spans and gauges that need wall-clock reads
+// only exist while a consumer (tracer, slow-query log, telemetry sink, or
+// a parent span in the context) is active.
+package core
+
+import (
+	"context"
+
+	"perfdmf/internal/godbc"
+	"perfdmf/internal/obs"
+)
+
+var (
+	mUploadTrials  = obs.Default.Counter("core_upload_trials_total")
+	mUploadErrors  = obs.Default.Counter("core_upload_errors_total")
+	mUploadRows    = obs.Default.Counter("core_upload_rows_total")
+	mUploadNS      = obs.Default.Histogram("core_upload_ns")
+	mUploadBatch   = obs.Default.Histogram("core_upload_batch_rows")
+	mUploadRowRate = obs.Default.Gauge("core_upload_rows_per_sec")
+
+	mDownloadTrials = obs.Default.Counter("core_download_trials_total")
+	mDownloadErrors = obs.Default.Counter("core_download_errors_total")
+	mDownloadRows   = obs.Default.Counter("core_download_rows_total")
+	mDownloadNS     = obs.Default.Histogram("core_download_ns")
+)
+
+// BindSpanContext parents the session connection's statement spans under
+// the span carried by ctx (nil-safe, see godbc.SpanBinder). Sessions are
+// single-goroutine like their connection, so the binding follows whatever
+// operation the session is currently running.
+func (s *DataSession) BindSpanContext(ctx context.Context) {
+	if b, ok := s.conn.(godbc.SpanBinder); ok {
+		b.BindSpanContext(ctx)
+	}
+}
+
+// phase runs fn under a child span of ctx's span, rebinding the session
+// connection so statements issued inside fn become grandchildren. With
+// observability off it is a plain function call.
+func (s *DataSession) phase(ctx context.Context, name string, fn func() error) error {
+	pctx, sp := obs.StartSpan(ctx, "phase", name)
+	if sp == nil {
+		return fn()
+	}
+	s.BindSpanContext(pctx)
+	err := fn()
+	sp.Finish(err)
+	s.BindSpanContext(ctx)
+	return err
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"perfdmf/internal/obs"
+)
+
+// TestParallelUploadTreesIsolated runs concurrent uploads, each with its
+// own session and root span, and asserts the captured spans form disjoint
+// trees: every span's Root names its own goroutine's root, every parent
+// edge stays inside one tree, and no span id repeats. Run under -race
+// (make race) this also exercises the span-propagation paths for data
+// races — context propagation must never leak a parent across goroutines.
+func TestParallelUploadTreesIsolated(t *testing.T) {
+	prev := obs.TracingEnabled()
+	defer obs.SetTracing(prev)
+	obs.SetTracing(true)
+
+	// Sessions are prepared up front so only the uploads themselves run
+	// while the capture sink is live — every captured span must then sit
+	// under one of the workers' root spans.
+	const workers = 4
+	sessions := make([]*DataSession, workers)
+	for w := 0; w < workers; w++ {
+		s, err := Open(fmt.Sprintf("mem:race_upload_%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		app := &Application{Name: fmt.Sprintf("app-%d", w)}
+		if err := s.SaveApplication(app); err != nil {
+			t.Fatal(err)
+		}
+		s.SetApplication(app)
+		exp := &Experiment{Name: "race"}
+		if err := s.SaveExperiment(exp); err != nil {
+			t.Fatal(err)
+		}
+		s.SetExperiment(exp)
+		sessions[w] = s
+	}
+
+	var mu sync.Mutex
+	var captured []*obs.Span
+	sink := obs.NewTelemetrySink(func(batch []obs.SinkEntry) error {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, e := range batch {
+			captured = append(captured, e.Span)
+		}
+		return nil
+	}, obs.SinkOptions{FlushEvery: time.Hour})
+	sink.Start()
+	obs.InstallSink(sink)
+	defer obs.UninstallSink()
+
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, sp := obs.StartSpan(context.Background(), "upload", fmt.Sprintf("upload:worker-%d", w))
+			_, err := sessions[w].UploadTrialCtx(ctx, sampleProfile(fmt.Sprintf("app-%d", w)), UploadOptions{})
+			sp.Finish(err)
+			errs <- err
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs.UninstallSink()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	byID := make(map[int64]*obs.Span, len(captured))
+	roots := map[string]bool{}
+	for _, sp := range captured {
+		if byID[sp.ID] != nil {
+			t.Fatalf("span id %d assigned twice", sp.ID)
+		}
+		byID[sp.ID] = sp
+		if sp.ParentID == 0 {
+			roots[sp.Root] = true
+		}
+	}
+	if len(roots) != workers {
+		t.Fatalf("got %d distinct root trees, want %d: %v", len(roots), workers, roots)
+	}
+	for _, sp := range captured {
+		if !strings.HasPrefix(sp.Root, "upload:worker-") {
+			t.Fatalf("span %d carries foreign root %q", sp.ID, sp.Root)
+		}
+		if sp.ParentID == 0 {
+			continue
+		}
+		parent := byID[sp.ParentID]
+		if parent == nil {
+			t.Fatalf("span %d (%s) parent %d never captured", sp.ID, sp.Root, sp.ParentID)
+		}
+		if parent.Root != sp.Root {
+			t.Fatalf("cross-tree leak: span %d root %q has parent %d root %q",
+				sp.ID, sp.Root, parent.ID, parent.Root)
+		}
+	}
+	// Every tree must be a real hierarchy, not a root plus a flat fringe:
+	// the upload path nests batches under phases under the root.
+	for root := range roots {
+		var spans []*obs.Span
+		for _, sp := range captured {
+			if sp.Root == root {
+				spans = append(spans, sp)
+			}
+		}
+		trees := obs.BuildTrees(spans)
+		if len(trees) != 1 {
+			t.Fatalf("root %q split into %d trees", root, len(trees))
+		}
+		if d := trees[0].Depth(); d < 3 {
+			t.Errorf("root %q tree depth %d, want >= 3", root, d)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 
 	"perfdmf/internal/godbc"
 	"perfdmf/internal/model"
+	"perfdmf/internal/obs"
 )
 
 // UploadOptions tunes the trial upload path.
@@ -102,6 +104,7 @@ func (bi *batchInserter) add(vals ...any) error {
 		if _, err := bi.batch.Exec(bi.buffered...); err != nil {
 			return err
 		}
+		mUploadBatch.Observe(int64(bi.size))
 		bi.buffered = bi.buffered[:0]
 	}
 	return nil
@@ -113,6 +116,7 @@ func (bi *batchInserter) flush() error {
 		if _, err := bi.single.Exec(bi.buffered[i : i+bi.width]...); err != nil {
 			return err
 		}
+		mUploadBatch.Observe(1)
 	}
 	bi.buffered = bi.buffered[:0]
 	return nil
@@ -131,6 +135,15 @@ func (bi *batchInserter) close() {
 // disabled) the total and mean summary tables. The whole upload is one
 // transaction.
 func (s *DataSession) UploadTrial(p *model.Profile, opts UploadOptions) (*Trial, error) {
+	return s.UploadTrialCtx(context.Background(), p, opts)
+}
+
+// UploadTrialCtx is UploadTrial with span-tree propagation: the upload
+// becomes one "upload" span (a child of whatever span ctx carries), its
+// phases — catalogs, interval rows, summaries, atomic events — become
+// children, and every statement the session connection issues inside them
+// becomes a leaf. Per-trial throughput lands in core_upload_rows_per_sec.
+func (s *DataSession) UploadTrialCtx(ctx context.Context, p *model.Profile, opts UploadOptions) (*Trial, error) {
 	if s.exp == nil {
 		return nil, fmt.Errorf("core: select an experiment before uploading a trial")
 	}
@@ -146,21 +159,49 @@ func (s *DataSession) UploadTrial(p *model.Profile, opts UploadOptions) (*Trial,
 		date = time.Now().UTC()
 	}
 
-	if err := s.conn.Begin(); err != nil {
-		return nil, err
+	uctx, sp := obs.StartSpan(ctx, "upload", "upload:"+name)
+	if sp != nil {
+		s.BindSpanContext(uctx)
+		defer s.BindSpanContext(ctx)
 	}
-	trial, err := s.uploadTrialTx(p, opts, name, date)
+	start := time.Now()
+
+	trial, err := func() (*Trial, error) {
+		if err := s.conn.Begin(); err != nil {
+			return nil, err
+		}
+		trial, err := s.uploadTrialTx(uctx, p, opts, name, date)
+		if err != nil {
+			s.conn.Rollback() //nolint:errcheck // surfacing the original error
+			return nil, err
+		}
+		if err := s.conn.Commit(); err != nil {
+			return nil, err
+		}
+		return trial, nil
+	}()
+
 	if err != nil {
-		s.conn.Rollback() //nolint:errcheck // surfacing the original error
+		mUploadErrors.Inc()
+		sp.Finish(err)
 		return nil, err
 	}
-	if err := s.conn.Commit(); err != nil {
-		return nil, err
+	rows := int64(p.DataPoints())
+	mUploadTrials.Inc()
+	mUploadRows.Add(rows)
+	if sp != nil {
+		sp.RowsReturned = rows
+		elapsed := time.Since(start)
+		mUploadNS.Observe(int64(elapsed))
+		if secs := elapsed.Seconds(); secs > 0 {
+			mUploadRowRate.Set(int64(float64(rows) / secs))
+		}
 	}
+	sp.Finish(nil)
 	return trial, nil
 }
 
-func (s *DataSession) uploadTrialTx(p *model.Profile, opts UploadOptions, name string, date time.Time) (*Trial, error) {
+func (s *DataSession) uploadTrialTx(ctx context.Context, p *model.Profile, opts UploadOptions, name string, date time.Time) (*Trial, error) {
 	res, err := s.conn.Exec(`INSERT INTO trial
 		(experiment, name, date, node_count, contexts_per_node, max_threads_per_context, metadata)
 		VALUES (?, ?, ?, ?, ?, ?, ?)`,
@@ -173,37 +214,83 @@ func (s *DataSession) uploadTrialTx(p *model.Profile, opts UploadOptions, name s
 
 	// Metric and event catalogs, keeping model-ID → database-ID maps.
 	metricIDs := make([]int64, len(p.Metrics()))
-	insMetric, err := s.conn.Prepare("INSERT INTO metric (trial, name, derived) VALUES (?, ?, ?)")
-	if err != nil {
-		return nil, err
-	}
-	defer insMetric.Close()
-	for _, m := range p.Metrics() {
-		r, err := insMetric.Exec(trialID, m.Name, m.Derived)
-		if err != nil {
-			return nil, err
-		}
-		metricIDs[m.ID] = r.LastInsertID
-	}
-
 	eventIDs := make([]int64, len(p.IntervalEvents()))
-	insEvent, err := s.conn.Prepare("INSERT INTO interval_event (trial, name, group_name) VALUES (?, ?, ?)")
+	err = s.phase(ctx, "upload:catalogs", func() error {
+		insMetric, err := s.conn.Prepare("INSERT INTO metric (trial, name, derived) VALUES (?, ?, ?)")
+		if err != nil {
+			return err
+		}
+		defer insMetric.Close()
+		for _, m := range p.Metrics() {
+			r, err := insMetric.Exec(trialID, m.Name, m.Derived)
+			if err != nil {
+				return err
+			}
+			metricIDs[m.ID] = r.LastInsertID
+		}
+
+		insEvent, err := s.conn.Prepare("INSERT INTO interval_event (trial, name, group_name) VALUES (?, ?, ?)")
+		if err != nil {
+			return err
+		}
+		defer insEvent.Close()
+		for _, e := range p.IntervalEvents() {
+			r, err := insEvent.Exec(trialID, e.Name, e.Group)
+			if err != nil {
+				return err
+			}
+			eventIDs[e.ID] = r.LastInsertID
+		}
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	defer insEvent.Close()
-	for _, e := range p.IntervalEvents() {
-		r, err := insEvent.Exec(trialID, e.Name, e.Group)
-		if err != nil {
-			return nil, err
-		}
-		eventIDs[e.ID] = r.LastInsertID
 	}
 
 	// Location profiles.
+	if err := s.phase(ctx, "upload:rows", func() error {
+		return s.uploadIntervalRows(p, opts, metricIDs, eventIDs)
+	}); err != nil {
+		return nil, err
+	}
+
+	if !opts.SkipSummaries {
+		if err := s.phase(ctx, "upload:summaries", func() error {
+			return s.uploadSummaries(p, eventIDs, metricIDs)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Atomic events.
+	if len(p.AtomicEvents()) > 0 {
+		if err := s.phase(ctx, "upload:atomic", func() error {
+			return s.uploadAtomicEvents(p, opts, trialID)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	trial := &Trial{
+		ID:           trialID,
+		ExperimentID: s.exp.ID,
+		Name:         name,
+		Fields: map[string]any{
+			"date":                    date,
+			"node_count":              int64(p.NodeCount()),
+			"contexts_per_node":       int64(p.ContextsPerNode()),
+			"max_threads_per_context": int64(p.MaxThreadsPerContext()),
+		},
+	}
+	return trial, nil
+}
+
+// uploadIntervalRows writes every INTERVAL_LOCATION_PROFILE row — the bulk
+// of any upload.
+func (s *DataSession) uploadIntervalRows(p *model.Profile, opts UploadOptions, metricIDs, eventIDs []int64) error {
 	ilp, err := newBatchInserter(s.conn, "interval_location_profile", ilpColumns, opts.BatchSize)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer ilp.close()
 	nm := len(p.Metrics())
@@ -243,73 +330,51 @@ func (s *DataSession) uploadTrialTx(p *model.Profile, opts UploadOptions, name s
 			}
 		})
 		if addErr != nil {
-			return nil, addErr
+			return addErr
 		}
 	}
-	if err := ilp.flush(); err != nil {
-		return nil, err
-	}
+	return ilp.flush()
+}
 
-	if !opts.SkipSummaries {
-		if err := s.uploadSummaries(p, eventIDs, metricIDs); err != nil {
-			return nil, err
-		}
+// uploadAtomicEvents writes the atomic-event catalog and every
+// ATOMIC_LOCATION_PROFILE row.
+func (s *DataSession) uploadAtomicEvents(p *model.Profile, opts UploadOptions, trialID int64) error {
+	atomicIDs := make([]int64, len(p.AtomicEvents()))
+	insAtomic, err := s.conn.Prepare("INSERT INTO atomic_event (trial, name, group_name) VALUES (?, ?, ?)")
+	if err != nil {
+		return err
 	}
-
-	// Atomic events.
-	if len(p.AtomicEvents()) > 0 {
-		atomicIDs := make([]int64, len(p.AtomicEvents()))
-		insAtomic, err := s.conn.Prepare("INSERT INTO atomic_event (trial, name, group_name) VALUES (?, ?, ?)")
+	defer insAtomic.Close()
+	for _, e := range p.AtomicEvents() {
+		r, err := insAtomic.Exec(trialID, e.Name, e.Group)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		defer insAtomic.Close()
-		for _, e := range p.AtomicEvents() {
-			r, err := insAtomic.Exec(trialID, e.Name, e.Group)
-			if err != nil {
-				return nil, err
-			}
-			atomicIDs[e.ID] = r.LastInsertID
-		}
-		alp, err := newBatchInserter(s.conn, "atomic_location_profile", alpColumns, opts.BatchSize)
-		if err != nil {
-			return nil, err
-		}
-		defer alp.close()
-		for _, th := range p.Threads() {
-			var addErr error
-			th.EachAtomic(func(eid int, d *model.AtomicData) {
-				if addErr != nil {
-					return
-				}
-				if err := alp.add(
-					atomicIDs[eid], th.ID.Node, th.ID.Context, th.ID.Thread,
-					d.SampleCount, d.Maximum, d.Minimum, d.Mean, d.StdDev(),
-				); err != nil {
-					addErr = err
-				}
-			})
+		atomicIDs[e.ID] = r.LastInsertID
+	}
+	alp, err := newBatchInserter(s.conn, "atomic_location_profile", alpColumns, opts.BatchSize)
+	if err != nil {
+		return err
+	}
+	defer alp.close()
+	for _, th := range p.Threads() {
+		var addErr error
+		th.EachAtomic(func(eid int, d *model.AtomicData) {
 			if addErr != nil {
-				return nil, addErr
+				return
 			}
-		}
-		if err := alp.flush(); err != nil {
-			return nil, err
+			if err := alp.add(
+				atomicIDs[eid], th.ID.Node, th.ID.Context, th.ID.Thread,
+				d.SampleCount, d.Maximum, d.Minimum, d.Mean, d.StdDev(),
+			); err != nil {
+				addErr = err
+			}
+		})
+		if addErr != nil {
+			return addErr
 		}
 	}
-
-	trial := &Trial{
-		ID:           trialID,
-		ExperimentID: s.exp.ID,
-		Name:         name,
-		Fields: map[string]any{
-			"date":                    date,
-			"node_count":              int64(p.NodeCount()),
-			"contexts_per_node":       int64(p.ContextsPerNode()),
-			"max_threads_per_context": int64(p.MaxThreadsPerContext()),
-		},
-	}
-	return trial, nil
+	return alp.flush()
 }
 
 // uploadSummaries writes the INTERVAL_TOTAL_SUMMARY and

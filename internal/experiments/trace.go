@@ -1,0 +1,232 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"time"
+
+	"perfdmf/internal/core"
+	"perfdmf/internal/godbc"
+	"perfdmf/internal/model"
+	"perfdmf/internal/obs"
+	"perfdmf/internal/synth"
+)
+
+// T1 guards the cost of the hierarchical tracing layer on the E1 upload
+// path: the same synthetic trial uploaded with tracing off, with tracing
+// on (spans into the in-memory ring), and with the full self-hosted
+// telemetry pipeline persisting every span back into the archive. The
+// JSON this produces (BENCH_trace.json via cmd/experiments) is the
+// artifact the <5% overhead acceptance check reads.
+//
+// Each mode uploads into its own fresh archive. The machine-level noise
+// here (CPU steal on shared runners, allocator state) is low-frequency —
+// slow phases last longer than one rep — so each overhead estimate is the
+// median of paired ratios from a strict two-mode alternation: off/traced
+// reps first, off/persisted reps second, each ratio taken against the
+// off run adjacent to it in time. Mixing all three modes in one cycle
+// was measurably worse: the rep following a sink teardown ran faster by
+// more than the effect being measured, and whichever mode owned that
+// slot inherited the bias.
+
+// T1Result is the tracing-overhead benchmark record.
+type T1Result struct {
+	Threads    int `json:"threads"`
+	Events     int `json:"events"`
+	Rows       int `json:"rows"`
+	Reps       int `json:"reps"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+
+	OffNS       int64 `json:"upload_off_ns"`
+	OnNS        int64 `json:"upload_traced_ns"`
+	PersistedNS int64 `json:"upload_persisted_ns"`
+
+	// Overheads are medians of per-rep ratios against the same rep's off
+	// run (see the package comment on noise). WithinBudget gates on the
+	// traced mode — the acceptance claim is about tracing, not about also
+	// writing every span back through the storage engine.
+	OnOverheadPct        float64 `json:"traced_overhead_pct"`
+	PersistedOverheadPct float64 `json:"persisted_overhead_pct"`
+	BudgetPct            float64 `json:"budget_pct"`
+	WithinBudget         bool    `json:"within_budget"`
+
+	// SpansPersisted counts PERFDMF_SPANS rows left by the last persisted
+	// rep — proof the third mode actually exercised the sink.
+	SpansPersisted int64 `json:"spans_persisted"`
+}
+
+// RunT1 measures the E1 upload path under the three tracing modes.
+func RunT1(threads, events, reps int) (*T1Result, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	res := &T1Result{
+		Threads:    threads,
+		Events:     events,
+		Reps:       reps,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		BudgetPct:  5,
+	}
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: threads, Events: events, Metrics: 1, Seed: 1})
+	res.Rows = p.DataPoints()
+
+	// The three modes toggle process-wide observability state; restore it
+	// so a shared-process caller (cmd/experiments, tests) is unaffected.
+	prevTrace := obs.TracingEnabled()
+	defer obs.SetTracing(prevTrace)
+
+	// One untimed warm-up upload: the first upload in a process pays
+	// allocator and page-fault costs that would otherwise be billed
+	// entirely to whichever mode runs first. Modes are then interleaved
+	// within each rep — never-freed mem: archives grow the heap
+	// monotonically across the run, and back-to-back blocks of one mode
+	// would fold that drift into the comparison.
+	obs.SetTracing(false)
+	if _, err := t1Rep(p, t1Off, nil); err != nil {
+		return nil, fmt.Errorf("T1 warm-up: %w", err)
+	}
+
+	offTraced := map[t1Mode][]int64{}
+	tracedPct, err := t1Alternate(p, t1Traced, reps, res, offTraced)
+	if err != nil {
+		return nil, err
+	}
+	offPersisted := map[t1Mode][]int64{}
+	persistedPct, err := t1Alternate(p, t1Persisted, reps, res, offPersisted)
+	if err != nil {
+		return nil, err
+	}
+
+	res.OffNS = median(append(offTraced[t1Off], offPersisted[t1Off]...))
+	res.OnNS = median(offTraced[t1Traced])
+	res.PersistedNS = median(offPersisted[t1Persisted])
+
+	res.OnOverheadPct = medianFloat(tracedPct)
+	res.PersistedOverheadPct = medianFloat(persistedPct)
+	res.WithinBudget = res.OnOverheadPct < res.BudgetPct
+	return res, nil
+}
+
+// t1Alternate runs reps pairs of (off, mode) back to back and returns the
+// per-pair overhead percentages, appending raw times into samples.
+func t1Alternate(p *model.Profile, mode t1Mode, reps int, res *T1Result, samples map[t1Mode][]int64) ([]float64, error) {
+	var pcts []float64
+	for i := 0; i < reps; i++ {
+		off, err := t1Rep(p, t1Off, res)
+		if err != nil {
+			return nil, fmt.Errorf("T1 off: %w", err)
+		}
+		on, err := t1Rep(p, mode, res)
+		if err != nil {
+			return nil, fmt.Errorf("T1 %s: %w", mode, err)
+		}
+		samples[t1Off] = append(samples[t1Off], off)
+		samples[mode] = append(samples[mode], on)
+		pcts = append(pcts, overheadPct(on, off))
+	}
+	return pcts, nil
+}
+
+func overheadPct(measured, base int64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return 100 * (float64(measured) - float64(base)) / float64(base)
+}
+
+func median(v []int64) int64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), v...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func medianFloat(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}
+
+// t1Mode selects the observability configuration of one measured upload.
+type t1Mode string
+
+const (
+	t1Off       t1Mode = "off"
+	t1Traced    t1Mode = "traced"
+	t1Persisted t1Mode = "persisted"
+)
+
+// t1Rep times one UploadTrialCtx into a fresh archive under mode. The
+// persisted mode additionally runs the full telemetry pipeline (store +
+// sink) on the archive and records the span count it left in res.
+func t1Rep(p *model.Profile, mode t1Mode, res *T1Result) (int64, error) {
+	obs.SetTracing(mode != t1Off)
+	dsn := memDSN("t1")
+	s, err := newArchive(dsn)
+	if err != nil {
+		return 0, err
+	}
+	var stop func() error
+	if mode == t1Persisted {
+		stop, err = godbc.StartTelemetry(dsn, obs.SinkOptions{})
+		if err != nil {
+			s.Close()
+			return 0, err
+		}
+	}
+	ctx, sp := obs.StartSpan(context.Background(), "upload", "t1:e1-upload")
+	// Keep GC cycles out of the timed region entirely: the mem: archives
+	// this loop leaves behind grow the live heap monotonically, so with
+	// proportional GC pacing, whether a cycle lands inside an upload
+	// depends on rep order — drift an order of magnitude larger than the
+	// effect measured. Collect first, switch GC off, time, switch back.
+	runtime.GC()
+	gcPrev := debug.SetGCPercent(-1)
+	t0 := time.Now()
+	_, err = s.UploadTrialCtx(ctx, p, core.UploadOptions{})
+	elapsed := time.Since(t0).Nanoseconds()
+	debug.SetGCPercent(gcPrev)
+	sp.Finish(err)
+	if stop != nil {
+		if serr := stop(); err == nil {
+			err = serr
+		}
+		if err == nil {
+			res.SpansPersisted, err = countSpans(dsn)
+		}
+	}
+	if cerr := s.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// countSpans returns the PERFDMF_SPANS row count in dsn.
+func countSpans(dsn string) (int64, error) {
+	c, err := godbc.Open(dsn)
+	if err != nil {
+		return 0, err
+	}
+	defer c.Close()
+	rows, err := c.Query("SELECT COUNT(*) FROM PERFDMF_SPANS")
+	if err != nil {
+		return 0, err
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		return 0, rows.Err()
+	}
+	n, _ := rows.Value(0).(int64)
+	return n, rows.Err()
+}

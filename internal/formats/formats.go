@@ -7,11 +7,13 @@ package formats
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"perfdmf/internal/formats/dynaprof"
 	"perfdmf/internal/formats/gprof"
@@ -22,6 +24,7 @@ import (
 	"perfdmf/internal/formats/tau"
 	"perfdmf/internal/formats/xmlprof"
 	"perfdmf/internal/model"
+	"perfdmf/internal/obs"
 )
 
 // Format names accepted by Load and returned by Detect.
@@ -41,6 +44,22 @@ var All = []string{TAU, Gprof, MpiP, Dynaprof, HPM, Psrun, SPPM, XML}
 
 // Load parses path (a file, or a directory for TAU) as the named format.
 func Load(format, path string) (*model.Profile, error) {
+	return LoadCtx(context.Background(), format, path)
+}
+
+// LoadCtx is Load with span-tree propagation: when observability is active
+// (or ctx already carries a span) the parse is recorded as a "parse" span,
+// a child of whatever span ctx carries, with the parsed data-point count
+// in RowsReturned.
+func LoadCtx(ctx context.Context, format, path string) (p *model.Profile, err error) {
+	_, sp := obs.StartSpan(ctx, "parse", "parse:"+format+":"+filepath.Base(path))
+	start := time.Now()
+	defer func() { finishParse(sp, format, start, p, err) }()
+	p, err = load(format, path)
+	return p, err
+}
+
+func load(format, path string) (*model.Profile, error) {
 	switch format {
 	case TAU:
 		return tau.Read(path)
@@ -66,6 +85,10 @@ func Load(format, path string) (*model.Profile, error) {
 // Detect inspects path and returns the format name it appears to be, based
 // on directory layout for TAU and leading content for the file formats.
 func Detect(path string) (string, error) {
+	if obs.TimingEnabled() {
+		start := time.Now()
+		defer func() { mDetectNS.Observe(int64(time.Since(start))) }()
+	}
 	fi, err := os.Stat(path)
 	if err != nil {
 		return "", fmt.Errorf("formats: %w", err)
@@ -127,6 +150,11 @@ func Detect(path string) (string, error) {
 // LoadAuto detects the format of path and loads it. A bare TAU profile
 // file is loaded via its parent directory.
 func LoadAuto(path string) (*model.Profile, error) {
+	return LoadAutoCtx(context.Background(), path)
+}
+
+// LoadAutoCtx is LoadAuto with span-tree propagation (see LoadCtx).
+func LoadAutoCtx(ctx context.Context, path string) (*model.Profile, error) {
 	format, err := Detect(path)
 	if err != nil {
 		return nil, err
@@ -136,7 +164,7 @@ func LoadAuto(path string) (*model.Profile, error) {
 			path = filepath.Dir(path)
 		}
 	}
-	return Load(format, path)
+	return LoadCtx(ctx, format, path)
 }
 
 // ScanDir lists the regular files in dir whose names match the optional
@@ -172,6 +200,12 @@ func ScanDir(dir, prefix, suffix string) ([]string, error) {
 // (ScanDir already does). TAU handles its own directories; mpiP, gprof and
 // sPPM write one file per run.
 func LoadMultiRank(format string, paths []string) (*model.Profile, error) {
+	return LoadMultiRankCtx(context.Background(), format, paths)
+}
+
+// LoadMultiRankCtx is LoadMultiRank with span-tree propagation: the merge
+// is one "parse" span covering all ranks, a child of ctx's span.
+func LoadMultiRankCtx(ctx context.Context, format string, paths []string) (p *model.Profile, err error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("formats: no input files")
 	}
@@ -187,9 +221,12 @@ func LoadMultiRank(format string, paths []string) (*model.Profile, error) {
 		return nil, fmt.Errorf("formats: %s does not support per-rank files (supported: %s, %s, %s)",
 			format, Dynaprof, HPM, Psrun)
 	}
-	p := model.New(format + "-multirank")
+	_, sp := obs.StartSpan(ctx, "parse", fmt.Sprintf("parse:%s:%d-ranks", format, len(paths)))
+	start := time.Now()
+	defer func() { finishParse(sp, format, start, p, err) }()
+	p = model.New(format + "-multirank")
 	for rank, path := range paths {
-		if err := readRank(p, path, rank); err != nil {
+		if err = readRank(p, path, rank); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,53 @@
+// Parse-layer observability: every Load records a per-format duration and
+// data-point histogram, and — when tracing is active — a "parse" span that
+// slots into the caller's span tree (one child per file for multi-rank
+// loads). Metric names are built from the fixed format list at init, so
+// the set is static and shows up in /metrics from the first scrape.
+package formats
+
+import (
+	"time"
+
+	"perfdmf/internal/model"
+	"perfdmf/internal/obs"
+)
+
+var (
+	mParseTotal  = obs.Default.Counter("formats_parse_total")
+	mParseErrors = obs.Default.Counter("formats_parse_errors_total")
+	mDetectNS    = obs.Default.Histogram("formats_detect_ns")
+
+	// Per-format histograms, keyed by the Format constants. Read-only
+	// after init, so lookups need no lock.
+	mParseNS   = make(map[string]*obs.Histogram, len(All))
+	mParseRows = make(map[string]*obs.Histogram, len(All))
+)
+
+func init() {
+	for _, f := range All {
+		mParseNS[f] = obs.Default.Histogram("formats_parse_" + f + "_ns")
+		mParseRows[f] = obs.Default.Histogram("formats_parse_" + f + "_rows")
+	}
+}
+
+// finishParse stamps metrics and the span for one completed parse.
+func finishParse(sp *obs.Span, format string, start time.Time, p *model.Profile, err error) {
+	elapsed := time.Since(start)
+	if err != nil {
+		mParseErrors.Inc()
+	} else {
+		mParseTotal.Inc()
+		var points int64
+		if p != nil {
+			points = int64(p.DataPoints())
+		}
+		if h := mParseNS[format]; h != nil {
+			h.Observe(int64(elapsed))
+			mParseRows[format].Observe(points)
+		}
+		if sp != nil {
+			sp.RowsReturned = points
+		}
+	}
+	sp.Finish(err)
+}

@@ -26,6 +26,11 @@ type conn struct {
 	obs     obsOpts      // per-connection trace/slow-query overrides
 	workers int          // ?workers=N parallelism (-1 unset, 0 serial)
 	cache   *stmtCache   // per-connection statement/plan cache
+
+	// parentSpan is the framework span statement spans are parented under,
+	// set via BindSpanContext. Connections are single-goroutine, so the
+	// field needs no synchronisation.
+	parentSpan *obs.Span
 }
 
 func newConn(db *reldb.DB, release func() error) *conn {

@@ -1,6 +1,7 @@
 package godbc
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"time"
@@ -98,14 +99,20 @@ func (c *conn) startSpan(kind, stmt string, nparams int) *obs.Span {
 	if c.quiet {
 		return nil
 	}
-	if !c.tracingOn() && c.slowThreshold() <= 0 && !obs.SinkActive() {
+	if c.parentSpan == nil && !c.tracingOn() && c.slowThreshold() <= 0 && !obs.SinkActive() {
 		return nil
 	}
-	return &obs.Span{ID: obs.NextSpanID(), Kind: kind, Statement: stmt, Params: nparams, Start: time.Now()}
+	sp := &obs.Span{ID: obs.NextSpanID(), Kind: kind, Statement: stmt, Params: nparams, Start: time.Now()}
+	if p := c.parentSpan; p != nil {
+		sp.ParentID = p.ID
+		sp.Root = p.Root
+	}
+	return sp
 }
 
 // finishSpan stamps the total, records the error, and routes the span to
-// the tracer, the slow-query log, and the telemetry sink.
+// the tracer, the slow-query log, and the telemetry sink, honouring the
+// connection's per-DSN trace/slowms overrides.
 func (c *conn) finishSpan(sp *obs.Span, err error) {
 	if sp == nil {
 		return
@@ -114,15 +121,22 @@ func (c *conn) finishSpan(sp *obs.Span, err error) {
 	if err != nil {
 		sp.Err = err.Error()
 	}
-	if c.tracingOn() {
-		obs.DefaultTracer.Record(sp)
-	}
-	slow := false
-	if th := c.slowThreshold(); th > 0 && sp.Total >= th {
-		slow = true
-		obs.DefaultSlowLog.Record(sp)
-	}
-	if s := obs.ActiveSink(); s != nil {
-		s.Offer(sp, slow)
-	}
+	obs.RouteSpan(sp, c.tracingOn(), c.slowThreshold())
+}
+
+// SpanBinder is implemented by connections that can parent their statement
+// spans under a framework span carried by a context (see obs.StartSpan).
+// It is deliberately not part of the Conn interface: callers type-assert,
+// so drivers without span support keep working.
+type SpanBinder interface {
+	// BindSpanContext makes subsequent statements' spans children of the
+	// span carried by ctx. A nil or span-less context clears the binding.
+	// Like every other method on a connection, it is not safe for
+	// concurrent use with statements on the same connection.
+	BindSpanContext(ctx context.Context)
+}
+
+// BindSpanContext implements SpanBinder.
+func (c *conn) BindSpanContext(ctx context.Context) {
+	c.parentSpan = obs.SpanFromContext(ctx)
 }

@@ -12,6 +12,7 @@ package godbc
 
 import (
 	"fmt"
+	"strings"
 
 	"perfdmf/internal/obs"
 )
@@ -22,7 +23,10 @@ const (
 	SlowLogTable = "PERFDMF_SLOWLOG"
 )
 
-// telemetryDDL is idempotent; the store runs it at open.
+// telemetryDDL is idempotent; the store runs it at open. It deliberately
+// still creates the original (pre-span-tree) schema: the tree columns are
+// added afterwards by telemetryMigrations through ALTER TABLE, so fresh
+// and pre-existing databases take the same dynamic-schema upgrade path.
 var telemetryDDL = []string{
 	`CREATE TABLE IF NOT EXISTS PERFDMF_SPANS (
 		span_id BIGINT PRIMARY KEY,
@@ -52,6 +56,61 @@ var telemetryDDL = []string{
 		rows_scanned BIGINT,
 		rows_returned BIGINT,
 		err VARCHAR)`,
+}
+
+// telemetryMigrations lists columns added after the original schema
+// shipped. Each is applied with ALTER TABLE ADD COLUMN only when
+// MetaData() shows the column missing, so rows written by older versions
+// survive and read back as NULL (a NULL parent_span_id is a root span).
+var telemetryMigrations = []struct{ table, column, typ string }{
+	{SpansTable, "parent_span_id", "BIGINT"},
+	{SpansTable, "root_op", "VARCHAR"},
+	{SlowLogTable, "root_op", "VARCHAR"},
+}
+
+// migrateTelemetrySchema brings an existing telemetry schema up to date,
+// discovering the current shape through the connection's MetaData.
+func migrateTelemetrySchema(c Conn) error {
+	md := c.MetaData()
+	for _, m := range telemetryMigrations {
+		cols, err := md.Columns(m.table)
+		if err != nil {
+			return fmt.Errorf("godbc: telemetry migration: columns of %s: %w", m.table, err)
+		}
+		present := false
+		for _, col := range cols {
+			if strings.EqualFold(col.Name, m.column) {
+				present = true
+				break
+			}
+		}
+		if present {
+			continue
+		}
+		ddl := "ALTER TABLE " + m.table + " ADD COLUMN " + m.column + " " + m.typ
+		if _, err := c.Exec(ddl); err != nil {
+			return fmt.Errorf("godbc: telemetry migration: %s: %w", ddl, err)
+		}
+	}
+	return nil
+}
+
+// seedSpanIDs pushes the process-wide span-id counter past the highest
+// persisted span id. Ids are monotonic per process; without this, a new
+// process writing into an archive another run already populated would
+// collide with the span_id primary key and lose whole batches.
+func seedSpanIDs(c Conn) error {
+	rows, err := c.Query("SELECT MAX(span_id) FROM PERFDMF_SPANS")
+	if err != nil {
+		return fmt.Errorf("godbc: telemetry span-id seed: %w", err)
+	}
+	defer rows.Close()
+	if rows.Next() {
+		if max, ok := rows.Value(0).(int64); ok {
+			obs.EnsureSpanIDsAbove(max)
+		}
+	}
+	return rows.Err()
 }
 
 const telemetryStatementMax = 512 // stored statement text cap, bytes
@@ -87,17 +146,25 @@ func OpenTelemetryStore(dsn string) (*TelemetryStore, error) {
 			return nil, fmt.Errorf("godbc: telemetry schema: %w", err)
 		}
 	}
-	insSpan, err := c.Prepare(`INSERT INTO PERFDMF_SPANS (span_id, start_time, kind, op,
-		statement, params, parse_us, plan_us, execute_us, materialize_us, dur_us,
-		rows_scanned, rows_returned, index_used, plan_summary, err)
-		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`)
+	if err := migrateTelemetrySchema(c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	if err := seedSpanIDs(c); err != nil {
+		c.Close()
+		return nil, err
+	}
+	insSpan, err := c.Prepare(`INSERT INTO PERFDMF_SPANS (span_id, parent_span_id, root_op,
+		start_time, kind, op, statement, params, parse_us, plan_us, execute_us, materialize_us,
+		dur_us, rows_scanned, rows_returned, index_used, plan_summary, err)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`)
 	if err != nil {
 		c.Close()
 		return nil, fmt.Errorf("godbc: telemetry prepare: %w", err)
 	}
-	insSlow, err := c.Prepare(`INSERT INTO PERFDMF_SLOWLOG (span_id, start_time, kind, op,
+	insSlow, err := c.Prepare(`INSERT INTO PERFDMF_SLOWLOG (span_id, root_op, start_time, kind, op,
 		statement, dur_us, rows_scanned, rows_returned, err)
-		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`)
+		VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?)`)
 	if err != nil {
 		insSpan.Close()
 		c.Close()
@@ -117,9 +184,15 @@ func (ts *TelemetryStore) Store(batch []obs.SinkEntry) error {
 	}
 	for _, e := range batch {
 		sp := e.Span
-		stmt := sp.CompactStatement(telemetryStatementMax)
+		stmt := sp.Label(telemetryStatementMax)
+		// A zero ParentID persists as NULL, matching rows written before
+		// the parent_span_id migration: NULL-parented rows are roots.
+		var parent any
+		if sp.ParentID != 0 {
+			parent = sp.ParentID
+		}
 		if _, err := ts.insSpan.Exec(
-			sp.ID, sp.Start, sp.Kind, sp.Op(), stmt, sp.Params,
+			sp.ID, parent, sp.Root, sp.Start, sp.Kind, sp.Op(), stmt, sp.Params,
 			sp.Parse.Microseconds(), sp.Plan.Microseconds(),
 			sp.Execute.Microseconds(), sp.Materialize.Microseconds(),
 			sp.Total.Microseconds(), sp.RowsScanned, sp.RowsReturned,
@@ -132,7 +205,7 @@ func (ts *TelemetryStore) Store(batch []obs.SinkEntry) error {
 			continue
 		}
 		if _, err := ts.insSlow.Exec(
-			sp.ID, sp.Start, sp.Kind, sp.Op(), stmt,
+			sp.ID, sp.Root, sp.Start, sp.Kind, sp.Op(), stmt,
 			sp.Total.Microseconds(), sp.RowsScanned, sp.RowsReturned, sp.Err,
 		); err != nil {
 			ts.conn.Rollback() //nolint:errcheck

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"regexp"
 	"strings"
 )
@@ -10,9 +11,15 @@ import (
 // documented in docs/OBSERVABILITY.md rely on.
 var snakeRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
 
+// partRe is the relaxed shape for a constant fragment of a concatenated
+// name ("formats_parse_" + f + "_ns"): underscores may sit at fragment
+// boundaries, so only the character set is checked per fragment.
+var partRe = regexp.MustCompile(`^[a-z0-9_]*$`)
+
 // histUnitSuffixes are the unit suffixes a histogram name must carry so
-// readers know what the observed values measure.
-var histUnitSuffixes = []string{"_ns", "_us", "_ms", "_seconds", "_bytes"}
+// readers know what the observed values measure. _rows marks count-valued
+// histograms (batch sizes, parsed data points).
+var histUnitSuffixes = []string{"_ns", "_us", "_ms", "_seconds", "_bytes", "_rows"}
 
 // Metricnames returns the metric-naming analyzer: every registration on an
 // obs.Registry (Counter/Gauge/Histogram with a constant name) must be
@@ -20,6 +27,13 @@ var histUnitSuffixes = []string{"_ns", "_us", "_ms", "_seconds", "_bytes"}
 // suffix and must not end _total/_count/_sum (WritePrometheus emits
 // <name>_count and <name>_sum series, so those suffixes would collide);
 // gauges must not pretend to be monotonic with a _total suffix.
+//
+// Names built by concatenation around dynamic parts — the per-format
+// family idiom, "formats_parse_" + f + "_ns" — are checked by fragment:
+// every constant fragment must stay in the snake_case character set, the
+// name must start with a letter when its head is constant, and the suffix
+// rules apply whenever the tail fragment is constant. Dynamic fragments
+// themselves are trusted.
 //
 // Only non-test files are checked — tests register throwaway names on
 // private registries that never reach /metrics.
@@ -44,14 +58,14 @@ func Metricnames() *Analyzer {
 						if !isObsRegistry(pkg, recv) {
 							return true
 						}
-						metric, found := constString(pkg, call.Args[0])
-						if !found {
-							metric, found = literalString(call.Args[0])
-						}
-						if !found {
+						if metric, found := constString(pkg, call.Args[0]); found {
+							if msg := checkMetricName(m, metric); msg != "" {
+								out = append(out, diag(prog, name, call.Args[0].Pos(), "%s", msg))
+							}
 							return true
 						}
-						if msg := checkMetricName(m, metric); msg != "" {
+						parts := nameParts(pkg, call.Args[0])
+						if msg := checkPartialName(m, parts); msg != "" {
 							out = append(out, diag(prog, name, call.Args[0].Pos(), "%s", msg))
 						}
 						return true
@@ -119,3 +133,110 @@ func checkMetricName(kind, metric string) string {
 
 // quoteName quotes a metric name for a diagnostic message.
 func quoteName(s string) string { return "\"" + s + "\"" }
+
+// namePart is one fragment of a concatenated metric-name expression:
+// resolved constant text, or a dynamic placeholder (known=false).
+type namePart struct {
+	text  string
+	known bool
+}
+
+// nameParts flattens a string-concatenation expression into fragments,
+// resolving each operand through the type checker (or syntactically when
+// type info is absent). Anything unresolvable becomes a dynamic fragment.
+func nameParts(pkg *Package, e ast.Expr) []namePart {
+	if s, ok := constString(pkg, e); ok {
+		return []namePart{{text: s, known: true}}
+	}
+	if s, ok := literalString(e); ok {
+		return []namePart{{text: s, known: true}}
+	}
+	if bin, ok := e.(*ast.BinaryExpr); ok && bin.Op == token.ADD {
+		return append(nameParts(pkg, bin.X), nameParts(pkg, bin.Y)...)
+	}
+	return []namePart{{known: false}}
+}
+
+// checkPartialName applies the naming rules to a fragmented name. With
+// every fragment known it degenerates to checkMetricName; otherwise the
+// character-set rule covers each constant fragment and the prefix/suffix
+// rules fire only when the respective end of the name is constant.
+func checkPartialName(kind string, parts []namePart) string {
+	if len(parts) == 0 {
+		return ""
+	}
+	allKnown := true
+	for _, p := range parts {
+		if !p.known {
+			allKnown = false
+			break
+		}
+	}
+	if allKnown {
+		var b strings.Builder
+		for _, p := range parts {
+			b.WriteString(p.text)
+		}
+		return checkMetricName(kind, b.String())
+	}
+	display := displayName(parts)
+	for _, p := range parts {
+		if p.known && !partRe.MatchString(p.text) {
+			return "metric name " + quoteName(display) + " is not snake_case ([a-z0-9_], starting with a letter)"
+		}
+	}
+	if head := parts[0]; head.known && head.text != "" && (head.text[0] < 'a' || head.text[0] > 'z') {
+		return "metric name " + quoteName(display) + " is not snake_case ([a-z0-9_], starting with a letter)"
+	}
+	if tail := parts[len(parts)-1]; tail.known && tail.text != "" {
+		return checkNameSuffix(kind, display, tail.text)
+	}
+	return ""
+}
+
+// checkNameSuffix enforces the per-kind suffix rules on a name whose tail
+// is the constant string suffix (used when only the tail is resolvable).
+func checkNameSuffix(kind, display, suffix string) string {
+	switch kind {
+	case "Counter":
+		if !strings.HasSuffix(suffix, "_total") {
+			return "counter " + quoteName(display) + " must end in _total (monotonic counters carry the _total suffix)"
+		}
+	case "Gauge":
+		if strings.HasSuffix(suffix, "_total") {
+			return "gauge " + quoteName(display) + " must not end in _total (that suffix marks monotonic counters)"
+		}
+		if strings.HasSuffix(suffix, "_count") || strings.HasSuffix(suffix, "_sum") {
+			return "gauge " + quoteName(display) + " collides with histogram exposition suffixes _count/_sum"
+		}
+	case "Histogram":
+		if strings.HasSuffix(suffix, "_total") || strings.HasSuffix(suffix, "_count") || strings.HasSuffix(suffix, "_sum") {
+			return "histogram " + quoteName(display) + " must not end in _total/_count/_sum (WritePrometheus appends _count and _sum series)"
+		}
+		ok := false
+		for _, s := range histUnitSuffixes {
+			if strings.HasSuffix(suffix, s) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return "histogram " + quoteName(display) + " needs a unit suffix (" + strings.Join(histUnitSuffixes, ", ") + ") so readers know what is observed"
+		}
+	}
+	return ""
+}
+
+// displayName renders a fragmented name for diagnostics, with "*" standing
+// in for each dynamic fragment: formats_parse_*_ns.
+func displayName(parts []namePart) string {
+	var b strings.Builder
+	for _, p := range parts {
+		if p.known {
+			b.WriteString(p.text)
+		} else {
+			b.WriteByte('*')
+		}
+	}
+	return b.String()
+}

@@ -10,12 +10,12 @@ var reg = obs.NewRegistry()
 // --- violations ---
 
 var (
-	mBadCounter = reg.Counter("requests")               // want "counter \"requests\" must end in _total"
-	mBadCase    = reg.Counter("Requests_total")         // want "not snake_case"
-	mBadGauge   = reg.Gauge("queue_depth_total")        // want "gauge \"queue_depth_total\" must not end in _total"
-	mBadHist    = reg.Histogram("op_latency")           // want "needs a unit suffix"
-	mClashHist  = reg.Histogram("op_latency_count")     // want "must not end in _total/_count/_sum"
-	mDefaultBad = obs.Default.Counter("loose-name")     // want "not snake_case"
+	mBadCounter = reg.Counter("requests")           // want "counter \"requests\" must end in _total"
+	mBadCase    = reg.Counter("Requests_total")     // want "not snake_case"
+	mBadGauge   = reg.Gauge("queue_depth_total")    // want "gauge \"queue_depth_total\" must not end in _total"
+	mBadHist    = reg.Histogram("op_latency")       // want "needs a unit suffix"
+	mClashHist  = reg.Histogram("op_latency_count") // want "must not end in _total/_count/_sum"
+	mDefaultBad = obs.Default.Counter("loose-name") // want "not snake_case"
 )
 
 // --- cases that must stay silent ---
@@ -26,6 +26,7 @@ var (
 	mGoodBytes   = reg.Gauge("heap_alloc_bytes")
 	mGoodHist    = reg.Histogram("op_latency_ns")
 	mGoodSecs    = reg.Histogram("op_latency_seconds")
+	mGoodRows    = reg.Histogram("upload_batch_rows")
 )
 
 // tally is a lookalike: Counter on a non-obs type is out of scope.
@@ -35,9 +36,20 @@ func (tally) Counter(name string) int { return 0 }
 
 var notAMetric = tally{}.Counter("Whatever You Like")
 
-// dynamicName is skipped: the name is not a constant.
+// Concatenated names with dynamic fragments are checked by their constant
+// fragments: the per-format family idiom stays silent, but a bad constant
+// prefix or a rule-breaking constant suffix is still caught. A dynamic
+// tail disables the suffix rules (nothing to check).
 func dynamicName(suffix string) {
-	reg.Counter("requests_" + suffix)
+	reg.Counter("requests_" + suffix)             // silent: dynamic tail
+	reg.Histogram("parse_" + suffix + "_ns")      // silent: family with unit suffix
+	reg.Histogram("parse_" + suffix + "_rows")    // silent: count-valued family
+	reg.Histogram("parse_" + suffix)              // silent: dynamic tail
+	reg.Counter("Parse_" + suffix + "_total")     // want "not snake_case"
+	reg.Counter("parse_" + suffix + "_errors")    // want "must end in _total"
+	reg.Histogram("parse_" + suffix + "_elapsed") // want "needs a unit suffix"
+	reg.Histogram("parse_" + suffix + "_count")   // want "must not end in _total/_count/_sum"
+	reg.Gauge("depth_" + suffix + "_total")       // want "must not end in _total"
 }
 
 // allowLegacy keeps a grandfathered wire name; the suppression must

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -28,7 +29,16 @@ type ThreadKey struct {
 // restricted to the named metrics (nil means all of the trial's metrics).
 // Rows are ordered by (node, context, thread); columns by event name then
 // metric name, so the matrix is deterministic.
-func ExtractFeatures(s *core.DataSession, trialID int64, metrics []string) (*FeatureMatrix, error) {
+func ExtractFeatures(s *core.DataSession, trialID int64, metrics []string) (fm *FeatureMatrix, err error) {
+	err = miningOp(context.Background(), fmt.Sprintf("mining:extract:trial%d", trialID),
+		mExtractNS, s.BindSpanContext, func(context.Context) error {
+			fm, err = extractFeatures(s, trialID, metrics)
+			return err
+		})
+	return fm, err
+}
+
+func extractFeatures(s *core.DataSession, trialID int64, metrics []string) (*FeatureMatrix, error) {
 	prev := s.Trial()
 	defer s.SetTrial(prev)
 	s.SetTrial(&core.Trial{ID: trialID})

@@ -8,6 +8,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -37,22 +38,30 @@ type KMeansConfig struct {
 // KMeans clusters rows (each a point in len(row)-dimensional space) into
 // cfg.K clusters using Lloyd's algorithm with k-means++ seeding, keeping
 // the best of cfg.Restarts independent runs.
-func KMeans(rows [][]float64, cfg KMeansConfig) (*Clustering, error) {
-	restarts := cfg.Restarts
-	if restarts <= 0 {
-		restarts = 4
-	}
-	var best *Clustering
-	for r := 0; r < restarts; r++ {
-		run := cfg
-		run.Seed = cfg.Seed + int64(r)*7919
-		cl, err := kmeansOnce(rows, run)
-		if err != nil {
-			return nil, err
-		}
-		if best == nil || cl.RSS < best.RSS {
-			best = cl
-		}
+func KMeans(rows [][]float64, cfg KMeansConfig) (best *Clustering, err error) {
+	err = miningOp(context.Background(), fmt.Sprintf("mining:kmeans:k%d", cfg.K), mKMeansNS, nil,
+		func(context.Context) error {
+			restarts := cfg.Restarts
+			if restarts <= 0 {
+				restarts = 4
+			}
+			for r := 0; r < restarts; r++ {
+				run := cfg
+				run.Seed = cfg.Seed + int64(r)*7919
+				cl, err := kmeansOnce(rows, run)
+				if err != nil {
+					return err
+				}
+				if best == nil || cl.RSS < best.RSS {
+					best = cl
+				}
+			}
+			mKMeansRuns.Inc()
+			mKMeansRSSMilli.Set(int64(best.RSS * 1000))
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return best, nil
 }
@@ -94,6 +103,7 @@ func kmeansOnce(rows [][]float64, cfg KMeansConfig) (*Clustering, error) {
 	for iter := 0; iter < cfg.MaxIter; iter++ {
 		cl.Iterations = iter + 1
 		changed := false
+		moved := 0
 		for i, row := range rows {
 			best, bestD := 0, math.Inf(1)
 			for c, cent := range centroids {
@@ -104,8 +114,13 @@ func kmeansOnce(rows [][]float64, cfg KMeansConfig) (*Clustering, error) {
 			if assign[i] != best {
 				assign[i] = best
 				changed = true
+				moved++
 			}
 		}
+		// Convergence gauges: a watcher on /metrics sees the iteration
+		// count climb and the moved-point count fall toward zero.
+		mKMeansIter.Set(int64(iter + 1))
+		mKMeansMoved.Set(int64(moved))
 		if !changed && iter > 0 {
 			break
 		}

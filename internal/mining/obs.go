@@ -1,0 +1,52 @@
+// Mining-layer observability. The clustering and PCA loops publish
+// per-iteration convergence gauges — current iteration, points that
+// switched cluster, last RSS, Jacobi sweeps and off-diagonal mass — so a
+// long PerfExplorer run can be watched converging from /metrics while it
+// runs. Whole runs are also timed and, under tracing, recorded as
+// "mining" spans.
+package mining
+
+import (
+	"context"
+	"time"
+
+	"perfdmf/internal/obs"
+)
+
+var (
+	mKMeansRuns = obs.Default.Counter("mining_kmeans_runs_total")
+	mKMeansNS   = obs.Default.Histogram("mining_kmeans_ns")
+	// Convergence gauges, updated every Lloyd iteration. RSS is scaled by
+	// 1000 (gauges are integers) — the trend, not the magnitude, is the
+	// signal being watched.
+	mKMeansIter     = obs.Default.Gauge("mining_kmeans_iterations")
+	mKMeansMoved    = obs.Default.Gauge("mining_kmeans_moved_points")
+	mKMeansRSSMilli = obs.Default.Gauge("mining_kmeans_rss_milli")
+
+	mPCARuns = obs.Default.Counter("mining_pca_runs_total")
+	mPCANS   = obs.Default.Histogram("mining_pca_ns")
+	// Jacobi convergence gauges: sweep count and remaining off-diagonal
+	// mass (scaled by 1e6; it decays toward zero as rotation converges).
+	mPCASweeps   = obs.Default.Gauge("mining_pca_sweeps")
+	mPCAOffMicro = obs.Default.Gauge("mining_pca_offdiag_micro")
+
+	mExtractNS = obs.Default.Histogram("mining_extract_ns")
+)
+
+// miningOp times one mining operation and routes its span, mirroring the
+// analysis layer's helper.
+func miningOp(ctx context.Context, name string, h *obs.Histogram, bind func(context.Context), fn func(context.Context) error) error {
+	octx, sp := obs.StartSpan(ctx, "mining", name)
+	if sp == nil {
+		return fn(ctx)
+	}
+	if bind != nil {
+		bind(octx)
+		defer bind(ctx)
+	}
+	start := time.Now()
+	err := fn(octx)
+	h.Observe(int64(time.Since(start)))
+	sp.Finish(err)
+	return err
+}

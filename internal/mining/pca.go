@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -20,7 +21,18 @@ type PCA struct {
 // project hundreds of dimensions down for display; dims beyond a few
 // hundred would want a different algorithm, which matches the paper's data
 // shapes (events × metrics).
-func PrincipalComponents(rows [][]float64) (*PCA, error) {
+func PrincipalComponents(rows [][]float64) (p *PCA, err error) {
+	err = miningOp(context.Background(), "mining:pca", mPCANS, nil, func(context.Context) error {
+		p, err = principalComponents(rows)
+		if err == nil {
+			mPCARuns.Inc()
+		}
+		return err
+	})
+	return p, err
+}
+
+func principalComponents(rows [][]float64) (*PCA, error) {
 	n := len(rows)
 	if n < 2 {
 		return nil, fmt.Errorf("mining: PCA needs at least 2 rows")
@@ -133,6 +145,9 @@ func jacobiEigen(a [][]float64) (vals []float64, vecs [][]float64) {
 				off += m[i][j] * m[i][j]
 			}
 		}
+		// Convergence gauges: off decays toward zero as rotations converge.
+		mPCASweeps.Set(int64(sweep + 1))
+		mPCAOffMicro.Set(int64(off * 1e6))
 		if off < 1e-20 {
 			break
 		}

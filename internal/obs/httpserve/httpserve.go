@@ -62,6 +62,7 @@ type HealthResponse struct {
 //	GET /metrics.json   registry snapshot as JSON (BENCH_obs.json shape)
 //	GET /healthz        process + database health, 200/503
 //	GET /traces?n=50    most recent traced spans, oldest first
+//	GET /traces?tree=1  the same spans assembled into causal span trees
 //	GET /slowlog?n=50   most recent slow queries, oldest first
 //	    /debug/pprof/   net/http/pprof profiles
 func NewHandler(o Options) http.Handler {
@@ -124,8 +125,11 @@ func (o *Options) health() (HealthResponse, int) {
 	return resp, code
 }
 
-// writeSpans renders the last n spans of ring (oldest first). n defaults to
-// 50 and is capped by the ring size.
+// writeSpans renders the last n spans of ring (oldest first). n defaults
+// to 50 and is capped by the ring size. With ?tree=1 the selected spans
+// are assembled into causal trees (obs.BuildTrees): roots ordered by span
+// ID, each node carrying its children and self time. Spans whose parent
+// has already been evicted from the ring render as roots.
 func writeSpans(w http.ResponseWriter, r *http.Request, ring []*obs.Span) {
 	n := 50
 	if v := r.URL.Query().Get("n"); v != "" {
@@ -140,6 +144,14 @@ func writeSpans(w http.ResponseWriter, r *http.Request, ring []*obs.Span) {
 		n = len(ring)
 	}
 	spans := ring[len(ring)-n:]
+	if v := r.URL.Query().Get("tree"); v == "1" || v == "true" {
+		trees := obs.BuildTrees(spans)
+		if trees == nil {
+			trees = []*obs.TreeNode{}
+		}
+		writeJSON(w, http.StatusOK, trees)
+		return
+	}
 	if spans == nil {
 		spans = []*obs.Span{}
 	}

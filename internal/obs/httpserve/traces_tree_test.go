@@ -1,0 +1,74 @@
+package httpserve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"perfdmf/internal/obs"
+)
+
+// TestTracesTreeEndpoint: /traces?tree=1 must assemble the ring's flat
+// spans into causal trees — roots with nested children and self time —
+// while plain /traces keeps returning the flat list.
+func TestTracesTreeEndpoint(t *testing.T) {
+	ring := obs.NewTracer(16)
+	mk := func(id, parent int64, name string, total time.Duration) {
+		ring.Record(&obs.Span{ID: id, ParentID: parent, Kind: "test", Name: name,
+			Root: "upload:t", Total: total})
+	}
+	mk(1, 0, "upload:t", 50*time.Millisecond)
+	mk(2, 1, "parse:tau", 20*time.Millisecond)
+	mk(3, 2, "parse:file", 5*time.Millisecond)
+	mk(4, 1, "batch:insert", 10*time.Millisecond)
+
+	srv := httptest.NewServer(NewHandler(Options{Tracer: ring}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/traces?tree=1")
+	if code != http.StatusOK {
+		t.Fatalf("GET /traces?tree=1 = %d", code)
+	}
+	var trees []*obs.TreeNode
+	if err := json.Unmarshal([]byte(body), &trees); err != nil {
+		t.Fatalf("tree body does not parse: %v\n%s", err, body)
+	}
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1: %s", len(trees), body)
+	}
+	root := trees[0]
+	if root.ID != 1 || len(root.Children) != 2 {
+		t.Fatalf("root: %+v", root)
+	}
+	if root.Children[0].ID != 2 || len(root.Children[0].Children) != 1 {
+		t.Fatalf("parse subtree missing: %+v", root.Children[0])
+	}
+	if root.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", root.Depth())
+	}
+	// 50ms total minus the direct children's 20+10ms.
+	if root.SelfNS != int64(20*time.Millisecond) {
+		t.Fatalf("root self_ns = %d", root.SelfNS)
+	}
+
+	// The flat view is unchanged by the tree feature.
+	code, body = get(t, srv, "/traces")
+	if code != http.StatusOK {
+		t.Fatalf("GET /traces = %d", code)
+	}
+	var flat []*obs.Span
+	if err := json.Unmarshal([]byte(body), &flat); err != nil {
+		t.Fatalf("flat body does not parse: %v", err)
+	}
+	if len(flat) != 4 {
+		t.Fatalf("flat view has %d spans, want 4", len(flat))
+	}
+
+	// Bad n still rejected on the tree path.
+	code, _ = get(t, srv, "/traces?tree=1&n=-1")
+	if code != http.StatusBadRequest {
+		t.Fatalf("GET /traces?tree=1&n=-1 = %d, want 400", code)
+	}
+}

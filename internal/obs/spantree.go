@@ -1,0 +1,192 @@
+// Span trees: causal, context-propagated traces across the framework
+// layers. A workload root (an upload, a load, an analysis op) starts a
+// span with StartSpan, which parks it in the returned context; nested
+// framework phases started from that context become children, and the
+// godbc statement spans issued under a bound connection become leaves.
+// The result is one tree per workload — parse → upload phases →
+// individual statements — instead of a flat statement stream.
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// spanCtxKey keys the active span inside a context.Context.
+type spanCtxKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the active span. Spans
+// started from the returned context (StartSpan, or statements on a bound
+// connection) become children of sp.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sp)
+}
+
+// SpanFromContext returns the active span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// StartSpan begins a framework span of the given kind ("parse", "upload",
+// "analysis", ...) named like "upload:trialX". When no consumer is active
+// (tracing off, no slow-query threshold, no sink) and ctx carries no
+// parent, it returns (ctx, nil) — and a nil *Span is safe to Finish — so
+// instrumented code pays nothing while observability is off. When ctx
+// carries a parent span, the child inherits the parent's Root and records
+// its ParentID; otherwise the new span is a root and Root is its own name.
+func StartSpan(ctx context.Context, kind, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil && !TracingEnabled() && SlowQueryThreshold() <= 0 && !SinkActive() {
+		return ctx, nil
+	}
+	sp := &Span{ID: NextSpanID(), Kind: kind, Name: name, Start: time.Now()}
+	if parent != nil {
+		sp.ParentID = parent.ID
+		sp.Root = parent.Root
+	} else {
+		sp.Root = name
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// Finish stamps the span's total duration and error and routes it to the
+// global tracer, slow-query log, and telemetry sink. Safe on a nil span.
+func (sp *Span) Finish(err error) {
+	if sp == nil {
+		return
+	}
+	sp.Total = time.Since(sp.Start)
+	if err != nil {
+		sp.Err = err.Error()
+	}
+	RouteSpan(sp, TracingEnabled(), SlowQueryThreshold())
+}
+
+// RouteSpan delivers a completed span to the consumers selected by the
+// caller-resolved switches: the tracer ring when trace is set, the
+// slow-query log when the span's total crosses slow, and the installed
+// telemetry sink always. godbc resolves trace/slow per connection;
+// framework spans pass the globals.
+func RouteSpan(sp *Span, trace bool, slow time.Duration) {
+	if trace {
+		DefaultTracer.Record(sp)
+	}
+	isSlow := slow > 0 && sp.Total >= slow
+	if isSlow {
+		DefaultSlowLog.Record(sp)
+	}
+	if s := ActiveSink(); s != nil {
+		s.Offer(sp, isSlow)
+	}
+}
+
+// --- tree assembly and rendering ---
+
+// TreeNode is one span plus its children, assembled by BuildTrees. SelfNS
+// is the span's own time: total minus the sum of the children's totals,
+// clamped at zero (children may overlap when recorded concurrently).
+type TreeNode struct {
+	*Span
+	SelfNS   int64       `json:"self_ns"`
+	Children []*TreeNode `json:"children,omitempty"`
+}
+
+// BuildTrees assembles a forest from a flat span list. Spans whose
+// ParentID is zero — or names a span absent from the list (e.g. evicted
+// from a bounded ring, or a pre-migration row) — become roots. Roots and
+// children are ordered by span ID, which is monotonic in start order.
+func BuildTrees(spans []*Span) []*TreeNode {
+	nodes := make(map[int64]*TreeNode, len(spans))
+	for _, sp := range spans {
+		if sp == nil {
+			continue
+		}
+		nodes[sp.ID] = &TreeNode{Span: sp}
+	}
+	var roots []*TreeNode
+	for _, sp := range spans {
+		if sp == nil {
+			continue
+		}
+		n := nodes[sp.ID]
+		if p, ok := nodes[sp.ParentID]; ok && sp.ParentID != sp.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	var finish func(n *TreeNode)
+	finish = func(n *TreeNode) {
+		sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].ID < n.Children[j].ID })
+		self := n.Total
+		for _, c := range n.Children {
+			finish(c)
+			self -= c.Total
+		}
+		if self < 0 {
+			self = 0
+		}
+		n.SelfNS = int64(self)
+	}
+	for _, r := range roots {
+		finish(r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ID < roots[j].ID })
+	return roots
+}
+
+// Depth returns the number of levels in the subtree rooted at n (1 for a
+// leaf).
+func (n *TreeNode) Depth() int {
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// WriteTree pretty-prints the subtree rooted at n: one line per span with
+// its label, kind, total and self time, and row counts when present.
+func WriteTree(w io.Writer, n *TreeNode) {
+	writeTreeNode(w, n, "", true, true)
+}
+
+func writeTreeNode(w io.Writer, n *TreeNode, prefix string, first, last bool) {
+	connector := ""
+	if !first {
+		connector = "├─ "
+		if last {
+			connector = "└─ "
+		}
+	}
+	fmt.Fprintf(w, "%s%s%s [%s] total=%v self=%v", //nolint:errcheck
+		prefix, connector, n.Label(120), n.Kind,
+		n.Total.Round(time.Microsecond), time.Duration(n.SelfNS).Round(time.Microsecond))
+	if n.RowsScanned != 0 || n.RowsReturned != 0 {
+		fmt.Fprintf(w, " rows=%d/%d", n.RowsScanned, n.RowsReturned) //nolint:errcheck
+	}
+	if n.Err != "" {
+		fmt.Fprintf(w, " err=%q", n.Err) //nolint:errcheck
+	}
+	fmt.Fprintln(w) //nolint:errcheck
+	childPrefix := prefix
+	if !first {
+		if last {
+			childPrefix += "   "
+		} else {
+			childPrefix += "│  "
+		}
+	}
+	for i, c := range n.Children {
+		writeTreeNode(w, c, childPrefix, false, i == len(n.Children)-1)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStartSpanPropagation covers the context-propagation contract: a root
+// span names itself Root, descendants inherit that Root and record their
+// parent's ID, and with every consumer off StartSpan is free (nil span).
+func TestStartSpanPropagation(t *testing.T) {
+	prev := TracingEnabled()
+	defer SetTracing(prev)
+	SetTracing(true)
+
+	ctx, root := StartSpan(context.Background(), "upload", "upload:trialX")
+	if root == nil {
+		t.Fatal("root span nil with tracing on")
+	}
+	if root.ParentID != 0 || root.Root != "upload:trialX" {
+		t.Fatalf("root: ParentID=%d Root=%q", root.ParentID, root.Root)
+	}
+	cctx, child := StartSpan(ctx, "parse", "parse:tau")
+	if child.ParentID != root.ID {
+		t.Fatalf("child.ParentID = %d, want %d", child.ParentID, root.ID)
+	}
+	if child.Root != "upload:trialX" {
+		t.Fatalf("child.Root = %q, want root's name", child.Root)
+	}
+	_, grand := StartSpan(cctx, "exec", "batch:insert")
+	if grand.ParentID != child.ID || grand.Root != "upload:trialX" {
+		t.Fatalf("grandchild: ParentID=%d Root=%q", grand.ParentID, grand.Root)
+	}
+	grand.Finish(nil)
+	child.Finish(nil)
+	root.Finish(nil)
+
+	// Even with tracing switched off mid-tree, a context that carries a
+	// parent keeps producing children — the tree stays whole.
+	SetTracing(false)
+	_, late := StartSpan(cctx, "exec", "batch:late")
+	if late == nil || late.ParentID != child.ID {
+		t.Fatal("child under a live parent must be created even with tracing off")
+	}
+	late.Finish(nil)
+}
+
+// TestStartSpanOffIsFree asserts the fast path: no consumer, no parent —
+// no span, and a nil span is safe to Finish.
+func TestStartSpanOffIsFree(t *testing.T) {
+	prevT := TracingEnabled()
+	prevS := SlowQueryThreshold()
+	defer func() { SetTracing(prevT); SetSlowQueryThreshold(prevS) }()
+	SetTracing(false)
+	SetSlowQueryThreshold(0)
+	if SinkActive() {
+		t.Skip("a telemetry sink is installed; fast path not reachable")
+	}
+	ctx, sp := StartSpan(context.Background(), "upload", "upload:none")
+	if sp != nil {
+		t.Fatalf("expected nil span with observability off, got %+v", sp)
+	}
+	sp.Finish(nil) // must not panic
+	if got := SpanFromContext(ctx); got != nil {
+		t.Fatalf("context should carry no span, got %+v", got)
+	}
+}
+
+func TestEnsureSpanIDsAbove(t *testing.T) {
+	base := NextSpanID()
+	EnsureSpanIDsAbove(base + 1000)
+	if id := NextSpanID(); id <= base+1000 {
+		t.Fatalf("NextSpanID = %d, want > %d", id, base+1000)
+	}
+	high := NextSpanID()
+	EnsureSpanIDsAbove(1) // must never move the counter backwards
+	if id := NextSpanID(); id <= high {
+		t.Fatalf("NextSpanID = %d regressed below %d", id, high)
+	}
+}
+
+// span is a shorthand constructor for assembly tests.
+func mkSpan(id, parent int64, name string, total time.Duration) *Span {
+	return &Span{ID: id, ParentID: parent, Kind: "test", Name: name, Root: "r", Total: total}
+}
+
+func TestBuildTrees(t *testing.T) {
+	spans := []*Span{
+		mkSpan(3, 1, "child-b", 10*time.Millisecond),
+		mkSpan(1, 0, "root", 100*time.Millisecond),
+		mkSpan(2, 1, "child-a", 30*time.Millisecond),
+		mkSpan(4, 2, "leaf", 5*time.Millisecond),
+		mkSpan(9, 7, "orphan", 2*time.Millisecond), // parent 7 evicted → root
+		nil, // tolerated
+	}
+	trees := BuildTrees(spans)
+	if len(trees) != 2 {
+		t.Fatalf("got %d roots, want 2", len(trees))
+	}
+	root, orphan := trees[0], trees[1]
+	if root.ID != 1 || orphan.ID != 9 {
+		t.Fatalf("roots ordered %d,%d; want 1,9", root.ID, orphan.ID)
+	}
+	if len(root.Children) != 2 || root.Children[0].ID != 2 || root.Children[1].ID != 3 {
+		t.Fatalf("children of root misordered: %+v", root.Children)
+	}
+	if d := root.Depth(); d != 3 {
+		t.Fatalf("root depth = %d, want 3", d)
+	}
+	if d := orphan.Depth(); d != 1 {
+		t.Fatalf("orphan depth = %d, want 1", d)
+	}
+	// Self time: root 100ms minus 30+10ms of direct children.
+	if root.SelfNS != int64(60*time.Millisecond) {
+		t.Fatalf("root self = %v", time.Duration(root.SelfNS))
+	}
+	// child-a 30ms minus 5ms leaf.
+	if root.Children[0].SelfNS != int64(25*time.Millisecond) {
+		t.Fatalf("child-a self = %v", time.Duration(root.Children[0].SelfNS))
+	}
+}
+
+// TestBuildTreesSelfClamped: concurrent children can sum past the parent's
+// wall time; self time must clamp at zero, not go negative.
+func TestBuildTreesSelfClamped(t *testing.T) {
+	trees := BuildTrees([]*Span{
+		mkSpan(1, 0, "root", 10*time.Millisecond),
+		mkSpan(2, 1, "a", 8*time.Millisecond),
+		mkSpan(3, 1, "b", 8*time.Millisecond),
+	})
+	if len(trees) != 1 || trees[0].SelfNS != 0 {
+		t.Fatalf("self not clamped: %+v", trees[0])
+	}
+}
+
+func TestWriteTree(t *testing.T) {
+	trees := BuildTrees([]*Span{
+		mkSpan(1, 0, "upload:trial", 100*time.Millisecond),
+		mkSpan(2, 1, "parse:tau", 40*time.Millisecond),
+		{ID: 3, ParentID: 1, Kind: "exec", Statement: "INSERT INTO T VALUES (?)", Root: "r",
+			Total: 20 * time.Millisecond, RowsScanned: 0, RowsReturned: 7},
+	})
+	var b strings.Builder
+	WriteTree(&b, trees[0])
+	out := b.String()
+	for _, want := range []string{"upload:trial", "├─ parse:tau", "└─ INSERT INTO T", "rows=0/7", "self="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -21,9 +21,23 @@ type Span struct {
 	// It appears in the slow-query log line, the /traces endpoint and the
 	// PERFDMF_SPANS / PERFDMF_SLOWLOG telemetry tables, so an entry in any
 	// one of them can be joined against the others.
-	ID        int64     `json:"id"`
-	Kind      string    `json:"kind"` // "exec", "query" or "prepare"
-	Statement string    `json:"statement"`
+	ID int64 `json:"id"`
+	// ParentID links this span into a causal tree: 0 marks a root, any
+	// other value is the ID of the span that was active (via
+	// ContextWithSpan / a bound connection) when this one started.
+	ParentID int64 `json:"parent_id,omitempty"`
+	// Kind is "exec", "query" or "prepare" for statement spans, or a
+	// framework layer ("parse", "upload", "download", "analysis",
+	// "mining", "load", "phase") for spans started with StartSpan.
+	Kind string `json:"kind"`
+	// Name labels framework spans ("upload:trialX", "parse:tau:file");
+	// statement spans leave it empty and are labeled by Statement.
+	Name string `json:"name,omitempty"`
+	// Root is the Name of the tree's root span, copied onto every
+	// descendant so any span — including a slow-query log line — is
+	// attributable to the workload that caused it without a join.
+	Root      string    `json:"root,omitempty"`
+	Statement string    `json:"statement,omitempty"`
 	Params    int       `json:"params"` // bound-parameter count
 	Start     time.Time `json:"start"`
 
@@ -49,15 +63,44 @@ var spanIDs atomic.Int64
 // layer stamps every span it starts.
 func NextSpanID() int64 { return spanIDs.Add(1) }
 
-// Op returns the statement's leading SQL keyword, upper-cased ("SELECT",
-// "INSERT", ...), or "" for an empty statement — the grouping key for
-// per-operation telemetry queries.
+// EnsureSpanIDsAbove raises the span-id counter so the next id is > n.
+// The telemetry store calls it with MAX(span_id) from PERFDMF_SPANS at
+// open: ids are only monotonic within a process, and a second process
+// writing into the same archive must not collide with persisted rows.
+func EnsureSpanIDsAbove(n int64) {
+	for {
+		cur := spanIDs.Load()
+		if cur >= n || spanIDs.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Op returns the grouping key for per-operation telemetry queries: for
+// named framework spans the part of Name before the first ':' ("upload",
+// "parse"), otherwise the statement's leading SQL keyword, upper-cased
+// ("SELECT", "INSERT", ...), or "" for an empty statement.
 func (sp *Span) Op() string {
+	if sp.Name != "" {
+		if i := strings.IndexByte(sp.Name, ':'); i > 0 {
+			return sp.Name[:i]
+		}
+		return sp.Name
+	}
 	f := strings.Fields(sp.Statement)
 	if len(f) == 0 {
 		return ""
 	}
 	return strings.ToUpper(f[0])
+}
+
+// Label returns the human-facing identity of the span: Name for framework
+// spans, the compacted statement (capped at max bytes) for statement spans.
+func (sp *Span) Label(max int) string {
+	if sp.Name != "" {
+		return sp.Name
+	}
+	return sp.CompactStatement(max)
 }
 
 // CompactStatement returns the statement text with whitespace collapsed and
@@ -74,11 +117,17 @@ func (sp *Span) CompactStatement(max int) string {
 // in docs/OBSERVABILITY.md. The id and RFC3339 start time let a log line be
 // joined against /traces and the PERFDMF_SPANS table.
 func (sp *Span) String() string {
-	stmt := sp.CompactStatement(200)
+	stmt := sp.Label(200)
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s id=%d kind=%s total=%v parse=%v plan=%v execute=%v materialize=%v rows=%d/%d params=%d",
 		sp.Start.Format(time.RFC3339), sp.ID, sp.Kind, sp.Total, sp.Parse, sp.Plan,
 		sp.Execute, sp.Materialize, sp.RowsScanned, sp.RowsReturned, sp.Params)
+	if sp.ParentID != 0 {
+		fmt.Fprintf(&b, " parent=%d", sp.ParentID)
+	}
+	if sp.Root != "" {
+		fmt.Fprintf(&b, " root=%q", sp.Root)
+	}
 	if sp.PlanSummary != "" {
 		fmt.Fprintf(&b, " plan=%q", sp.PlanSummary)
 	}
