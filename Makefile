@@ -10,9 +10,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz-smoke bench-smoke serve-smoke trace-smoke bench bench-parallel bench-trace experiments clean
+.PHONY: check vet lint build test race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke bench bench-parallel bench-trace experiments clean
 
-check: vet lint build race fuzz-smoke bench-smoke serve-smoke trace-smoke
+check: vet lint build race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke
 
 vet:
 	$(GO) vet ./...
@@ -87,6 +87,22 @@ trace-smoke:
 		echo "trace-smoke: span tree too shallow (depth=$$depth)"; cat bin/trace-smoke/trace.out; exit 1; \
 	fi; \
 	echo "trace-smoke: ok (max depth $$depth)"
+
+# Introspection-catalog smoke over the real binary: load a synthesized TAU
+# trial into a file-backed archive, run a bare ANALYZE (all tables), and
+# read the statistics back through the OBS_TABLE_STATS virtual table —
+# fresh stats must exist for the trial table and must not be stale.
+catalog-smoke:
+	$(GO) build -o bin/perfdmf ./cmd/perfdmf
+	@rm -rf bin/catalog-smoke && mkdir -p bin/catalog-smoke/db
+	bin/perfdmf synth -o bin/catalog-smoke/fixtures > /dev/null
+	bin/perfdmf load -db file:bin/catalog-smoke/db -app smoke -exp e1 bin/catalog-smoke/fixtures/tau-run > /dev/null
+	bin/perfdmf sql -db file:bin/catalog-smoke/db "ANALYZE" > bin/catalog-smoke/analyze.out
+	bin/perfdmf sql -db file:bin/catalog-smoke/db "SELECT table_name, column_name, row_count, ndv, stale FROM OBS_TABLE_STATS" > bin/catalog-smoke/stats.out
+	@grep -q '^trial' bin/catalog-smoke/stats.out || { echo "catalog-smoke: no stats for trial"; cat bin/catalog-smoke/stats.out; exit 1; }
+	@if grep -q 'true$$' bin/catalog-smoke/stats.out; then echo "catalog-smoke: stale stats right after ANALYZE"; cat bin/catalog-smoke/stats.out; exit 1; fi
+	@rows=$$(grep -c '^' bin/catalog-smoke/stats.out); \
+	echo "catalog-smoke: ok ($$rows stats rows)"
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -17,6 +17,7 @@
 //	perfdmf dump   -db DSN -o DIR            (portable archive export)
 //	perfdmf restore -db DSN -from DIR
 //	perfdmf serve  -db DSN [-addr HOST:PORT] [-trace] [-telemetry=false]
+//	perfdmf top    [-url http://127.0.0.1:7227] [-interval 2s] [-n 1] [-kill ID]
 //	perfdmf formats
 //
 // DSN examples: file:/path/to/archive, mem:scratch. Connection options
@@ -54,7 +55,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (load, list, summary, export, sql, delete, compare, derive, regress, stats, dump, restore, serve, trace, synth, formats)")
+		return fmt.Errorf("missing subcommand (load, list, summary, export, sql, delete, compare, derive, regress, stats, dump, restore, serve, trace, top, synth, formats)")
 	}
 	switch args[0] {
 	case "load":
@@ -85,6 +86,8 @@ func run(args []string) error {
 		return cmdServe(args[1:])
 	case "trace":
 		return cmdTrace(args[1:])
+	case "top":
+		return cmdTop(args[1:])
 	case "synth":
 		return cmdSynth(args[1:])
 	case "formats":

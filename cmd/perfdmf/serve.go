@@ -186,7 +186,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	fmt.Printf("perfdmf: serving on http://%s (db %s)\n", si.Addr, *dsn)
-	fmt.Printf("perfdmf: endpoints: /metrics /metrics.json /healthz /traces /slowlog /debug/pprof/\n")
+	fmt.Printf("perfdmf: endpoints: /metrics /metrics.json /healthz /statements /traces /slowlog /debug/pprof/\n")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

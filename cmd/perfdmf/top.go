@@ -1,0 +1,123 @@
+// The top subcommand: a `top`-style view of the statements currently
+// executing inside a running `perfdmf serve` process. It polls the
+// monitoring endpoint's GET /statements (the HTTP face of
+// OBS_ACTIVE_STATEMENTS) and renders one line per live statement; with
+// -kill it instead issues DELETE /statements/<id>, the admin spelling of
+// SQL's `KILL <id>`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"perfdmf/internal/sqlexec"
+)
+
+func cmdTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:7227", "base URL of a running `perfdmf serve` monitoring endpoint")
+	interval := fs.Duration("interval", 2*time.Second, "refresh period when polling (-n > 1)")
+	n := fs.Int("n", 1, "number of refreshes to print (0 = forever)")
+	kill := fs.Int64("kill", 0, "cancel this statement id instead of listing (DELETE /statements/<id>)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *kill != 0 {
+		return killStatement(*url, *kill)
+	}
+	for i := 0; *n == 0 || i < *n; i++ {
+		if i > 0 {
+			time.Sleep(*interval)
+		}
+		if err := printStatements(*url, os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printStatements fetches /statements and renders one tabwriter row per
+// live statement, mirroring the OBS_ACTIVE_STATEMENTS columns.
+func printStatements(base string, w io.Writer) error {
+	stmts, err := fetchStatements(base)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tKIND\tPHASE\tELAPSED\tSCANNED\tRETURNED\tWORKERS\tKILLED\tSQL")
+	for _, s := range stmts {
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%v\t%d\t%d\t%d\t%v\t%s\n",
+			s.ID, s.Kind, s.Phase,
+			time.Duration(s.ElapsedUS)*time.Microsecond,
+			s.RowsScanned, s.RowsReturned, s.Workers, s.Killed,
+			oneLine(s.SQL, 80))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(%d active statements)\n", len(stmts))
+	return nil
+}
+
+func fetchStatements(base string) ([]sqlexec.StmtInfo, error) {
+	resp, err := http.Get(base + "/statements")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET /statements: %s: %s", resp.Status, string(body))
+	}
+	var stmts []sqlexec.StmtInfo
+	if err := json.NewDecoder(resp.Body).Decode(&stmts); err != nil {
+		return nil, fmt.Errorf("decoding /statements response: %w", err)
+	}
+	return stmts, nil
+}
+
+func killStatement(base string, id int64) error {
+	req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/statements/%d", base, id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("DELETE /statements/%d: %s: %s", id, resp.Status, string(body))
+	}
+	fmt.Printf("killed statement %d\n", id)
+	return nil
+}
+
+// oneLine collapses whitespace runs so multi-line SQL fits a single
+// tabwriter cell, truncating to at most max runes.
+func oneLine(s string, max int) string {
+	out := make([]rune, 0, len(s))
+	space := false
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+			space = true
+			continue
+		}
+		if space && len(out) > 0 {
+			out = append(out, ' ')
+		}
+		space = false
+		out = append(out, r)
+	}
+	if len(out) > max {
+		out = append(out[:max-1], '…')
+	}
+	return string(out)
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -21,6 +22,7 @@ func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
 	dsn := fs.String("db", "", "database DSN")
 	limit := fs.Int("n", 20, "print at most this many trees (most recent last)")
+	asJSON := fs.Bool("json", false, "emit the span forest as JSON instead of rendered trees")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -30,13 +32,15 @@ func cmdTrace(args []string) error {
 		return err
 	}
 	defer s.Close()
-	return printTrace(s.Conn(), os.Stdout, filter, *limit)
+	return printTrace(s.Conn(), os.Stdout, filter, *limit, *asJSON)
 }
 
 // printTrace loads every persisted span, assembles the forest, and writes
 // the trees whose root matches filter (substring of the root label, or an
-// exact root span id) — all of them when filter is empty.
-func printTrace(c godbc.Conn, w io.Writer, filter string, limit int) error {
+// exact root span id) — all of them when filter is empty. With asJSON the
+// selected trees are emitted as a JSON array (the /traces?tree=1 shape)
+// instead of rendered text, so scripts can consume archives on disk.
+func printTrace(c godbc.Conn, w io.Writer, filter string, limit int, asJSON bool) error {
 	tables, err := c.MetaData().Tables()
 	if err != nil {
 		return err
@@ -82,6 +86,10 @@ func printTrace(c godbc.Conn, w io.Writer, filter string, limit int) error {
 		return err
 	}
 	if len(spans) == 0 {
+		if asJSON {
+			fmt.Fprintln(w, "[]")
+			return nil
+		}
 		fmt.Fprintln(w, "no spans recorded")
 		return nil
 	}
@@ -101,6 +109,11 @@ func printTrace(c godbc.Conn, w io.Writer, filter string, limit int) error {
 	}
 	if limit > 0 && len(trees) > limit {
 		trees = trees[len(trees)-limit:]
+	}
+	if asJSON {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(trees)
 	}
 	shown, depth := 0, 0
 	for _, t := range trees {

@@ -1,0 +1,73 @@
+package godbc
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"perfdmf/internal/sqlexec"
+)
+
+// The live-connection registry: every open conn is tracked by id so the
+// introspection catalog (OBS_PLAN_CACHE) and admin surfaces can enumerate
+// per-connection state without the connections' cooperation.
+var (
+	connRegMu sync.Mutex
+	connReg   = make(map[int64]*conn)
+	connIDs   atomic.Int64
+)
+
+func registerConn(c *conn) {
+	c.id = connIDs.Add(1)
+	connRegMu.Lock()
+	connReg[c.id] = c
+	connRegMu.Unlock()
+}
+
+func unregisterConn(c *conn) {
+	connRegMu.Lock()
+	delete(connReg, c.id)
+	connRegMu.Unlock()
+}
+
+// planCacheSnapshots reports every live connection's statement-cache
+// counters; it is the source behind OBS_PLAN_CACHE.
+func planCacheSnapshots() []sqlexec.PlanCacheInfo {
+	connRegMu.Lock()
+	conns := make([]*conn, 0, len(connReg))
+	for _, c := range connReg {
+		conns = append(conns, c)
+	}
+	connRegMu.Unlock()
+	out := make([]sqlexec.PlanCacheInfo, 0, len(conns))
+	for _, c := range conns {
+		entries, hits, misses := c.cache.snapshot()
+		out = append(out, sqlexec.PlanCacheInfo{
+			ConnID:   c.id,
+			Entries:  entries,
+			Capacity: stmtCacheMax,
+			Hits:     hits,
+			Misses:   misses,
+		})
+	}
+	return out
+}
+
+func init() {
+	sqlexec.SetPlanCacheSource(planCacheSnapshots)
+}
+
+// ActiveStatements snapshots every statement currently executing in the
+// process, sorted by id — the data behind OBS_ACTIVE_STATEMENTS and the
+// /statements endpoint.
+func ActiveStatements() []sqlexec.StmtInfo {
+	return sqlexec.Statements.Snapshot()
+}
+
+// KillStatement cancels the running statement with the given id: the
+// DELETE-style admin entry point (the /statements endpoint and `perfdmf
+// top -kill` use it; `KILL <id>` is the SQL spelling). It reports whether
+// a live statement was found; the statement unwinds at its next
+// cancellation check with sqlexec.ErrStatementKilled.
+func KillStatement(id int64) bool {
+	return sqlexec.Statements.Kill(id)
+}

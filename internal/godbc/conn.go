@@ -17,6 +17,7 @@ import (
 // Connection); open one connection per goroutine — they share the engine.
 type conn struct {
 	db       *reldb.DB
+	id       int64     // registry id, assigned at open (see admin.go)
 	tx       *reldb.Tx // open explicit transaction, or nil
 	closed   bool
 	readonly bool         // reject all mutating statements
@@ -35,7 +36,9 @@ type conn struct {
 
 func newConn(db *reldb.DB, release func() error) *conn {
 	mConnsOpened.Inc()
-	return &conn{db: db, release: release, workers: -1, cache: newStmtCache()}
+	c := &conn{db: db, release: release, workers: -1, cache: newStmtCache()}
+	registerConn(c)
+	return c
 }
 
 func toValues(args []any) []reldb.Value {
@@ -61,6 +64,8 @@ func (c *conn) Exec(query string, args ...any) (Result, error) {
 		return Result{}, err
 	}
 	mExecTotal.Inc()
+	entry := sqlexec.Statements.Begin(query, "exec")
+	defer entry.Finish()
 	sp := c.startSpan("exec", query, len(args))
 	e, err := c.parseCached(query)
 	if err != nil {
@@ -71,7 +76,7 @@ func (c *conn) Exec(query string, args ...any) (Result, error) {
 	if sp != nil {
 		sp.Parse = time.Since(sp.Start)
 	}
-	res, err := c.execParsed(e.st, toValues(args))
+	res, err := c.execParsed(e.st, toValues(args), entry)
 	if err != nil {
 		mStmtErrors.Inc()
 	}
@@ -82,22 +87,33 @@ func (c *conn) Exec(query string, args ...any) (Result, error) {
 	return res, err
 }
 
-func (c *conn) execParsed(st sqlparse.Statement, params []reldb.Value) (Result, error) {
-	switch st.(type) {
+func (c *conn) execParsed(st sqlparse.Statement, params []reldb.Value, entry *sqlexec.StmtEntry) (Result, error) {
+	switch s := st.(type) {
 	case *sqlparse.Begin:
 		return Result{}, c.Begin()
 	case *sqlparse.Commit:
 		return Result{}, c.Commit()
 	case *sqlparse.Rollback:
 		return Result{}, c.Rollback()
+	case *sqlparse.Kill:
+		// KILL mutates no data, so it works on read-only connections and
+		// needs no transaction.
+		entry.SetPhase(sqlexec.PhaseExecute)
+		res, err := sqlexec.ExecOpts(nil, s, params, sqlexec.Options{})
+		if err != nil {
+			return Result{}, err
+		}
+		return Result(res), nil
 	case *sqlparse.Select:
 		return Result{}, fmt.Errorf("godbc: use Query for SELECT")
 	}
 	if c.readonly {
 		return Result{}, fmt.Errorf("godbc: connection is read-only")
 	}
+	entry.SetPhase(sqlexec.PhaseExecute)
+	opts := c.queryOptions(nil, entry)
 	if c.tx != nil {
-		res, err := sqlexec.Exec(c.tx, st, params)
+		res, err := sqlexec.ExecOpts(c.tx, st, params, opts)
 		if err != nil {
 			return Result{}, err
 		}
@@ -106,7 +122,7 @@ func (c *conn) execParsed(st sqlparse.Statement, params []reldb.Value) (Result, 
 	var res sqlexec.Result
 	err := c.db.Write(func(tx *reldb.Tx) error {
 		var err error
-		res, err = sqlexec.Exec(tx, st, params)
+		res, err = sqlexec.ExecOpts(tx, st, params, opts)
 		return err
 	})
 	if err != nil {
@@ -121,6 +137,8 @@ func (c *conn) Query(query string, args ...any) (Rows, error) {
 	}
 	mQueryTotal.Inc()
 	start := time.Now()
+	entry := sqlexec.Statements.Begin(query, "query")
+	defer entry.Finish()
 	sp := c.startSpan("query", query, len(args))
 	e, err := c.parseCached(query)
 	if err != nil {
@@ -134,7 +152,7 @@ func (c *conn) Query(query string, args ...any) (Rows, error) {
 	var out Rows
 	switch st := e.st.(type) {
 	case *sqlparse.Select:
-		out, err = c.queryPlanned(st, e.plan, toValues(args), sp)
+		out, err = c.queryPlanned(st, e.plan, toValues(args), sp, entry)
 	case *sqlparse.Explain:
 		if st.Analyze {
 			out, err = c.explainAnalyzeParsed(st.Select, toValues(args))
@@ -152,8 +170,8 @@ func (c *conn) Query(query string, args ...any) (Rows, error) {
 	return out, err
 }
 
-func (c *conn) queryPlanned(sel *sqlparse.Select, plan *sqlexec.Plan, params []reldb.Value, sp *obs.Span) (Rows, error) {
-	opts := c.queryOptions(plan)
+func (c *conn) queryPlanned(sel *sqlparse.Select, plan *sqlexec.Plan, params []reldb.Value, sp *obs.Span, entry *sqlexec.StmtEntry) (Rows, error) {
+	opts := c.queryOptions(plan, entry)
 	var rs *sqlexec.ResultSet
 	if c.tx != nil {
 		var err error
@@ -199,7 +217,7 @@ func (c *conn) explainParsed(sel *sqlparse.Select, params []reldb.Value) (Rows, 
 // explainAnalyzeParsed runs EXPLAIN ANALYZE SELECT: the plan, executed and
 // annotated with measured phase timings and row counts.
 func (c *conn) explainAnalyzeParsed(sel *sqlparse.Select, params []reldb.Value) (Rows, error) {
-	opts := c.queryOptions(nil)
+	opts := c.queryOptions(nil, nil)
 	var rs *sqlexec.ResultSet
 	if c.tx != nil {
 		var err error
@@ -288,6 +306,7 @@ func (c *conn) Close() error {
 		c.tx = nil
 	}
 	c.closed = true
+	unregisterConn(c)
 	mConnsClosed.Inc()
 	if c.release != nil {
 		return c.release()
@@ -313,8 +332,10 @@ func (s *stmt) Exec(args ...any) (Result, error) {
 		return Result{}, err
 	}
 	mExecTotal.Inc()
+	entry := sqlexec.Statements.Begin(s.src, "exec")
+	defer entry.Finish()
 	sp := s.c.startSpan("exec", s.src, len(args))
-	res, err := s.c.execParsed(s.entry.st, toValues(args))
+	res, err := s.c.execParsed(s.entry.st, toValues(args), entry)
 	if err != nil {
 		mStmtErrors.Inc()
 	}
@@ -338,8 +359,10 @@ func (s *stmt) Query(args ...any) (Rows, error) {
 	}
 	mQueryTotal.Inc()
 	start := time.Now()
+	entry := sqlexec.Statements.Begin(s.src, "query")
+	defer entry.Finish()
 	sp := s.c.startSpan("query", s.src, len(args))
-	out, err := s.c.queryPlanned(sel, s.entry.plan, toValues(args), sp)
+	out, err := s.c.queryPlanned(sel, s.entry.plan, toValues(args), sp, entry)
 	if err != nil {
 		mStmtErrors.Inc()
 	}

@@ -1,6 +1,8 @@
 package godbc
 
 import (
+	"sync"
+
 	"perfdmf/internal/sqlexec"
 	"perfdmf/internal/sqlparse"
 )
@@ -21,19 +23,40 @@ type cacheEntry struct {
 }
 
 // stmtCache maps SQL text to parsed statements for one connection. A conn
-// serves a single goroutine (JDBC's Connection contract), so no locking.
+// serves a single goroutine (JDBC's Connection contract), but the
+// introspection catalog snapshots caches from other goroutines, so the map
+// and its hit/miss accounting are mutex-guarded. The cached entries (and
+// their Plan handles) remain owned by the connection goroutine — snapshot
+// reads only the cache-level counters, never entry internals.
 type stmtCache struct {
+	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	fifo    []string // insertion order, for eviction
+	hits    int64
+	misses  int64
 }
 
 func newStmtCache() *stmtCache {
 	return &stmtCache{entries: make(map[string]*cacheEntry)}
 }
 
-func (sc *stmtCache) lookup(sql string) *cacheEntry { return sc.entries[sql] }
+// lookup returns the cached entry for sql (nil on miss) and counts the
+// outcome in the cache's own hit/miss tallies.
+func (sc *stmtCache) lookup(sql string) *cacheEntry {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	e := sc.entries[sql]
+	if e != nil {
+		sc.hits++
+	} else {
+		sc.misses++
+	}
+	return e
+}
 
 func (sc *stmtCache) store(sql string, e *cacheEntry) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
 	if _, ok := sc.entries[sql]; ok {
 		sc.entries[sql] = e
 		return
@@ -45,6 +68,14 @@ func (sc *stmtCache) store(sql string, e *cacheEntry) {
 	}
 	sc.entries[sql] = e
 	sc.fifo = append(sc.fifo, sql)
+}
+
+// snapshot reports the cache's size and hit/miss counters for
+// OBS_PLAN_CACHE. Safe to call from any goroutine.
+func (sc *stmtCache) snapshot() (entries int, hits, misses int64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.entries), sc.hits, sc.misses
 }
 
 // parseCached returns the cached parse of query, parsing and caching on
@@ -70,11 +101,12 @@ func (c *conn) parseCached(query string) (*cacheEntry, error) {
 	return e, nil
 }
 
-// queryOptions resolves the connection's execution options for one SELECT:
-// the workers knob (DSN ?workers=N; N=0 forces serial, unset defers to the
-// executor's GOMAXPROCS default) and the statement's reusable plan handle.
-func (c *conn) queryOptions(plan *sqlexec.Plan) sqlexec.Options {
-	opts := sqlexec.Options{Plan: plan}
+// queryOptions resolves the connection's execution options for one
+// statement: the workers knob (DSN ?workers=N; N=0 forces serial, unset
+// defers to the executor's GOMAXPROCS default), the statement's reusable
+// plan handle, and its live accounting entry.
+func (c *conn) queryOptions(plan *sqlexec.Plan, entry *sqlexec.StmtEntry) sqlexec.Options {
+	opts := sqlexec.Options{Plan: plan, Stmt: entry}
 	switch {
 	case c.workers < 0: // unset: executor default (GOMAXPROCS)
 		opts.Workers = 0

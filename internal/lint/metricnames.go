@@ -21,12 +21,34 @@ var partRe = regexp.MustCompile(`^[a-z0-9_]*$`)
 // histograms (batch sizes, parsed data points).
 var histUnitSuffixes = []string{"_ns", "_us", "_ms", "_seconds", "_bytes", "_rows"}
 
+// metricFamilies are the reserved instrumentation namespaces the dashboards
+// group by. A name inside one must name a concrete member — the family
+// prefix plus only kind/unit suffixes ("obs_catalog_total") says nothing
+// about what is being measured.
+var metricFamilies = []string{
+	"obs_catalog",
+	"obs_telemetry",
+	"sqlexec_stmt",
+	"sqlexec_plan_cache",
+}
+
+// suffixTokens are the trailing name components reserved for kind and unit
+// markers; they never count as the member part of a family name.
+var suffixTokens = map[string]bool{
+	"total": true, "count": true, "sum": true,
+	"ns": true, "us": true, "ms": true, "seconds": true,
+	"bytes": true, "rows": true,
+}
+
 // Metricnames returns the metric-naming analyzer: every registration on an
 // obs.Registry (Counter/Gauge/Histogram with a constant name) must be
 // snake_case; counters must end _total; histograms must end in a unit
 // suffix and must not end _total/_count/_sum (WritePrometheus emits
 // <name>_count and <name>_sum series, so those suffixes would collide);
-// gauges must not pretend to be monotonic with a _total suffix.
+// gauges must not pretend to be monotonic with a _total suffix. Names in a
+// reserved family namespace (obs_catalog_*, obs_telemetry_*,
+// sqlexec_stmt_*, sqlexec_plan_cache_*) must name a concrete member beyond
+// the family prefix and suffix tokens.
 //
 // Names built by concatenation around dynamic parts — the per-format
 // family idiom, "formats_parse_" + f + "_ns" — are checked by fragment:
@@ -101,6 +123,9 @@ func checkMetricName(kind, metric string) string {
 	if !snakeRe.MatchString(metric) {
 		return "metric name " + quoteName(metric) + " is not snake_case ([a-z0-9_], starting with a letter)"
 	}
+	if msg := checkFamilyMember(metric); msg != "" {
+		return msg
+	}
 	switch kind {
 	case "Counter":
 		if !strings.HasSuffix(metric, "_total") {
@@ -127,6 +152,32 @@ func checkMetricName(kind, metric string) string {
 		if !ok {
 			return "histogram " + quoteName(metric) + " needs a unit suffix (" + strings.Join(histUnitSuffixes, ", ") + ") so readers know what is observed"
 		}
+	}
+	return ""
+}
+
+// checkFamilyMember rejects names that sit inside a reserved family but
+// consist only of the family prefix and kind/unit suffix tokens: such a
+// name groups on the dashboard without saying what it measures.
+func checkFamilyMember(metric string) string {
+	for _, fam := range metricFamilies {
+		var member string
+		switch {
+		case metric == fam:
+			member = ""
+		case strings.HasPrefix(metric, fam+"_"):
+			member = metric[len(fam)+1:]
+		default:
+			continue
+		}
+		toks := strings.Split(member, "_")
+		for len(toks) > 0 && (toks[len(toks)-1] == "" || suffixTokens[toks[len(toks)-1]]) {
+			toks = toks[:len(toks)-1]
+		}
+		if len(toks) == 0 {
+			return "metric " + quoteName(metric) + " names the " + fam + " family but no member (say what is measured before the suffix)"
+		}
+		return ""
 	}
 	return ""
 }
@@ -162,27 +213,23 @@ func nameParts(pkg *Package, e ast.Expr) []namePart {
 // character-set rule covers each constant fragment and the prefix/suffix
 // rules fire only when the respective end of the name is constant.
 func checkPartialName(kind string, parts []namePart) string {
+	parts = mergeKnown(parts)
 	if len(parts) == 0 {
 		return ""
 	}
-	allKnown := true
-	for _, p := range parts {
-		if !p.known {
-			allKnown = false
-			break
-		}
-	}
-	if allKnown {
-		var b strings.Builder
-		for _, p := range parts {
-			b.WriteString(p.text)
-		}
-		return checkMetricName(kind, b.String())
+	if len(parts) == 1 && parts[0].known {
+		return checkMetricName(kind, parts[0].text)
 	}
 	display := displayName(parts)
 	for _, p := range parts {
-		if p.known && !partRe.MatchString(p.text) {
+		if !p.known {
+			continue
+		}
+		if !partRe.MatchString(p.text) {
 			return "metric name " + quoteName(display) + " is not snake_case ([a-z0-9_], starting with a letter)"
+		}
+		if strings.Contains(p.text, "__") {
+			return "metric name " + quoteName(display) + " contains a doubled underscore"
 		}
 	}
 	if head := parts[0]; head.known && head.text != "" && (head.text[0] < 'a' || head.text[0] > 'z') {
@@ -225,6 +272,21 @@ func checkNameSuffix(kind, display, suffix string) string {
 		}
 	}
 	return ""
+}
+
+// mergeKnown collapses runs of adjacent constant fragments so boundary
+// artifacts ("parse_" + "_ns" joining into "parse__ns") are visible to the
+// per-fragment checks.
+func mergeKnown(parts []namePart) []namePart {
+	var out []namePart
+	for _, p := range parts {
+		if p.known && len(out) > 0 && out[len(out)-1].known {
+			out[len(out)-1].text += p.text
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
 }
 
 // displayName renders a fragmented name for diagnostics, with "*" standing

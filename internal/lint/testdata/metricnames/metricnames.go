@@ -55,3 +55,35 @@ func dynamicName(suffix string) {
 // allowLegacy keeps a grandfathered wire name; the suppression must
 // silence the analyzer.
 var mLegacy = reg.Counter("legacyRequests") //lint:allow metricnames -- grandfathered wire-format name
+
+// --- reserved instrumentation families ---
+//
+// Family namespaces group related series on the dashboards; a name that is
+// only the family prefix plus kind/unit suffixes says nothing about what
+// is measured and is rejected.
+
+var (
+	mCatQueries  = reg.Counter("obs_catalog_queries_total")
+	mCatAnalyze  = reg.Counter("obs_catalog_analyze_total")
+	mStmtStarted = reg.Counter("sqlexec_stmt_started_total")
+	mStmtKilled  = reg.Counter("sqlexec_stmt_killed_total")
+	mStmtActive  = reg.Gauge("sqlexec_stmt_active")
+	mPlanHits    = reg.Counter("sqlexec_plan_cache_hits_total")
+	mTelDropped  = reg.Counter("obs_telemetry_dropped_total")
+
+	mCatBare   = reg.Counter("obs_catalog_total")          // want "names the obs_catalog family but no member"
+	mStmtBare  = reg.Gauge("sqlexec_stmt")                 // want "names the sqlexec_stmt family but no member"
+	mTelBare   = reg.Histogram("obs_telemetry_ms")         // want "names the obs_telemetry family but no member"
+	mPlanBare  = reg.Counter("sqlexec_plan_cache_total")   // want "names the sqlexec_plan_cache family but no member"
+	mCatDouble = reg.Counter("obs_catalog__queries_total") // want "not snake_case"
+)
+
+// familyDynamic: a dynamic member satisfies the family rule (nothing to
+// check), but doubled underscores in or across constant fragments are
+// still caught.
+func familyDynamic(part string) {
+	reg.Counter("obs_catalog_" + part + "_total")   // silent: dynamic member
+	reg.Counter("sqlexec_stmt__" + part + "_total") // want "doubled underscore"
+	reg.Histogram("obs_" + "catalog" + "_scan_ns")  // silent: folds to a constant member name
+	reg.Counter("parse_" + "_" + part + "_total")   // want "doubled underscore"
+}

@@ -12,6 +12,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"perfdmf/internal/godbc"
@@ -48,12 +49,14 @@ func (o *Options) fill() {
 }
 
 // HealthResponse is the /healthz body. Status is "ok" (HTTP 200) or
-// "degraded" (HTTP 503).
+// "degraded" (HTTP 503). PlanCacheHitRatio is hits/(hits+misses) over the
+// registry's plan-cache counters, 0 before any statement has run.
 type HealthResponse struct {
 	Status               string        `json:"status"`
 	Error                string        `json:"error,omitempty"`
 	DB                   *godbc.Health `json:"db,omitempty"`
 	CheckpointAgeSeconds float64       `json:"checkpoint_age_seconds,omitempty"`
+	PlanCacheHitRatio    float64       `json:"plan_cache_hit_ratio"`
 }
 
 // NewHandler builds the monitoring mux:
@@ -85,6 +88,10 @@ func NewHandler(o Options) http.Handler {
 	mux.HandleFunc("/slowlog", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		writeSpans(w, r, o.SlowLog.Recent())
 	}))
+	mux.HandleFunc("/statements", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, godbc.ActiveStatements())
+	}))
+	mux.HandleFunc("/statements/", statementByID)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -94,7 +101,11 @@ func NewHandler(o Options) http.Handler {
 }
 
 func (o *Options) health() (HealthResponse, int) {
-	resp := HealthResponse{Status: "ok"}
+	reg := o.Registry
+	if reg == nil {
+		reg = obs.Default
+	}
+	resp := HealthResponse{Status: "ok", PlanCacheHitRatio: planCacheHitRatio(reg)}
 	if o.Health == nil {
 		return resp, http.StatusOK
 	}
@@ -123,6 +134,38 @@ func (o *Options) health() (HealthResponse, int) {
 		}
 	}
 	return resp, code
+}
+
+// planCacheHitRatio computes hits/(hits+misses) from the registry's
+// sqlexec plan-cache counters; 0 when no statements have run yet.
+func planCacheHitRatio(reg *obs.Registry) float64 {
+	hits := reg.Counter("sqlexec_plan_cache_hits_total").Value()
+	misses := reg.Counter("sqlexec_plan_cache_misses_total").Value()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// statementByID handles DELETE /statements/<id>: the admin kill switch,
+// equivalent to `KILL <id>` in SQL.
+func statementByID(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		w.Header().Set("Allow", "DELETE")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	idText := strings.TrimPrefix(r.URL.Path, "/statements/")
+	id, err := strconv.ParseInt(idText, 10, 64)
+	if err != nil {
+		http.Error(w, "statement id must be an integer", http.StatusBadRequest)
+		return
+	}
+	if !godbc.KillStatement(id) {
+		http.Error(w, "no active statement "+idText, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int64{"killed": id})
 }
 
 // writeSpans renders the last n spans of ring (oldest first). n defaults

@@ -2,6 +2,7 @@ package httpserve
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -11,6 +12,7 @@ import (
 
 	"perfdmf/internal/godbc"
 	"perfdmf/internal/obs"
+	"perfdmf/internal/sqlexec"
 )
 
 func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
@@ -238,4 +240,132 @@ func TestCollectorStartStop(t *testing.T) {
 
 	// Never-started collectors stop cleanly too.
 	NewCollector(reg, nil).Stop()
+}
+
+// TestMetricsTelemetryDropCounter: sink backpressure drops surface on the
+// /metrics scrape via obs_telemetry_dropped_total.
+func TestMetricsTelemetryDropCounter(t *testing.T) {
+	sink := obs.NewTelemetrySink(func([]obs.SinkEntry) error { return nil }, obs.SinkOptions{Capacity: 1})
+	before := sink.Dropped()
+	for i := 0; i < 3; i++ {
+		sink.Offer(&obs.Span{ID: int64(i + 1), Kind: "exec"}, false)
+	}
+	if got := sink.Dropped() - before; got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+	srv := httptest.NewServer(NewHandler(Options{}))
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "obs_telemetry_dropped_total") {
+		t.Fatalf("/metrics (%d) missing obs_telemetry_dropped_total", code)
+	}
+}
+
+// TestHealthzPlanCacheAndCheckpoint covers the two derived health fields:
+// the plan-cache hit ratio computed from the registry counters, and the
+// checkpoint age computed from the probe's LastCheckpoint.
+func TestHealthzPlanCacheAndCheckpoint(t *testing.T) {
+	reg := obs.NewRegistry()
+	hits := reg.Counter("sqlexec_plan_cache_hits_total")
+	misses := reg.Counter("sqlexec_plan_cache_misses_total")
+	for i := 0; i < 3; i++ {
+		hits.Inc()
+	}
+	misses.Inc()
+	srv := httptest.NewServer(NewHandler(Options{
+		Registry: reg,
+		Health: func() (godbc.Health, error) {
+			return godbc.Health{
+				Open: true, Durable: true, WALWritable: true,
+				LastCheckpoint: time.Now().Add(-30 * time.Second),
+			}, nil
+		},
+	}))
+	defer srv.Close()
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d: %s", code, body)
+	}
+	var resp HealthResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PlanCacheHitRatio != 0.75 {
+		t.Errorf("plan_cache_hit_ratio = %v, want 0.75", resp.PlanCacheHitRatio)
+	}
+	if resp.CheckpointAgeSeconds < 29 || resp.CheckpointAgeSeconds > 120 {
+		t.Errorf("checkpoint_age_seconds = %v, want ~30", resp.CheckpointAgeSeconds)
+	}
+
+	// Before any statements have run the ratio reports 0, not NaN.
+	empty := httptest.NewServer(NewHandler(Options{Registry: obs.NewRegistry()}))
+	defer empty.Close()
+	_, body = get(t, empty, "/healthz")
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.PlanCacheHitRatio != 0 {
+		t.Errorf("cold plan_cache_hit_ratio = %v, want 0", resp.PlanCacheHitRatio)
+	}
+}
+
+// TestStatementsEndpoint: GET /statements lists the live registry; DELETE
+// /statements/<id> kills (404 for unknown ids, 405 for other methods).
+func TestStatementsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(Options{}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/statements")
+	if code != http.StatusOK {
+		t.Fatalf("GET /statements = %d", code)
+	}
+	var stmts []sqlexec.StmtInfo
+	if err := json.Unmarshal([]byte(body), &stmts); err != nil {
+		t.Fatalf("/statements does not parse: %v\n%s", err, body)
+	}
+
+	// A registered statement appears, and DELETE kills it.
+	entry := sqlexec.Statements.Begin("SELECT 1", "query")
+	defer entry.Finish()
+	_, body = get(t, srv, "/statements")
+	if !strings.Contains(body, `"SELECT 1"`) {
+		t.Fatalf("/statements missing live statement:\n%s", body)
+	}
+
+	del := func(path string) (int, string) {
+		req, err := http.NewRequest(http.MethodDelete, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, _ := del("/statements/999999999"); code != http.StatusNotFound {
+		t.Errorf("DELETE unknown id = %d, want 404", code)
+	}
+	if code, _ := del("/statements/bogus"); code != http.StatusBadRequest {
+		t.Errorf("DELETE bogus id = %d, want 400", code)
+	}
+	code, body = del(fmt.Sprintf("/statements/%d", entry.ID()))
+	if code != http.StatusOK || !strings.Contains(body, `"killed"`) {
+		t.Errorf("DELETE live id = %d: %s", code, body)
+	}
+	if entry.Err() == nil {
+		t.Error("entry not cancelled after DELETE")
+	}
+
+	// Non-DELETE methods on /statements/<id> are rejected.
+	resp, err := srv.Client().Post(srv.URL+"/statements/1", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /statements/1 = %d, want 405", resp.StatusCode)
+	}
 }

@@ -225,3 +225,30 @@ func TestRegistryConcurrentRegistration(t *testing.T) {
 		t.Fatalf("registered %d counters, want 50", got)
 	}
 }
+
+// TestSinkDropCounterExported: drop accounting is a first-class metric —
+// obs_telemetry_dropped_total lives on the default registry, so every drop
+// shows up in the Prometheus exposition /metrics serves.
+func TestSinkDropCounterExported(t *testing.T) {
+	s := NewTelemetrySink(func([]SinkEntry) error { return nil }, SinkOptions{Capacity: 2})
+	before := sinkDropped.Value()
+	for i := 0; i < 5; i++ {
+		s.Offer(&Span{ID: int64(i + 1), Kind: "exec"}, false)
+	}
+	if got := s.Dropped() - before; got != 3 {
+		t.Fatalf("dropped = %d, want 3 (capacity 2, 5 offers)", got)
+	}
+	var buf strings.Builder
+	if err := Default.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var total int64 = -1
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if strings.HasPrefix(line, "obs_telemetry_dropped_total ") {
+			fmt.Sscan(strings.TrimPrefix(line, "obs_telemetry_dropped_total "), &total) //nolint:errcheck // asserted below
+		}
+	}
+	if total < before+3 {
+		t.Fatalf("exposition reports obs_telemetry_dropped_total %d, want >= %d:\n%s", total, before+3, buf.String())
+	}
+}

@@ -40,6 +40,12 @@ var schemaVersions atomic.Int64
 
 func nextSchemaVersion() int64 { return schemaVersions.Add(1) }
 
+// CurrentSchemaVersion returns the most recently issued schema version: the
+// process-wide DDL high-water mark. The introspection catalog
+// (OBS_PLAN_CACHE) reports it so observers can correlate plan-cache
+// invalidations with DDL activity.
+func CurrentSchemaVersion() int64 { return schemaVersions.Load() }
+
 func newTable(schema *Schema) *Table {
 	t := &Table{schema: schema, indexes: make(map[string]*Index), version: nextSchemaVersion()}
 	if schema.PrimaryKey != "" {

@@ -1,0 +1,216 @@
+package sqlexec
+
+import (
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"perfdmf/internal/obs"
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// The introspection catalog: read-only virtual tables, addressable from any
+// SELECT, that snapshot engine state at bind time. They are materialized
+// like derived tables — never stored, never writable, invisible to DDL —
+// so joins, filters, aggregates and ORDER BY all work over them unchanged.
+const (
+	// CatalogMetrics snapshots the process metric registry.
+	CatalogMetrics = "OBS_METRICS"
+	// CatalogActiveStatements lists every statement currently executing.
+	CatalogActiveStatements = "OBS_ACTIVE_STATEMENTS"
+	// CatalogPlanCache reports per-connection prepared-statement caches.
+	CatalogPlanCache = "OBS_PLAN_CACHE"
+	// CatalogTableStats joins ANALYZE's persisted statistics with live
+	// table state and a staleness verdict.
+	CatalogTableStats = "OBS_TABLE_STATS"
+)
+
+// catalogDef is one virtual table: its column names and a snapshot
+// function producing the rows.
+type catalogDef struct {
+	cols []string
+	rows func(tx *reldb.Tx) ([]reldb.Row, error)
+}
+
+// catalogs maps upper-cased virtual table names to their definitions.
+var catalogs = map[string]*catalogDef{
+	CatalogMetrics: {
+		cols: []string{"name", "kind", "value", "count", "sum", "p50", "p95", "p99"},
+		rows: obsMetricsRows,
+	},
+	CatalogActiveStatements: {
+		cols: []string{"statement_id", "sql", "kind", "phase", "elapsed_us",
+			"rows_scanned", "rows_returned", "workers", "killed"},
+		rows: obsActiveStatementsRows,
+	},
+	CatalogPlanCache: {
+		cols: []string{"conn_id", "entries", "capacity", "hits", "misses", "schema_version"},
+		rows: obsPlanCacheRows,
+	},
+	CatalogTableStats: {
+		cols: []string{"table_name", "column_name", "row_count", "ndv", "null_frac",
+			"min_value", "max_value", "live_rows", "stale", "analyzed_at"},
+		rows: obsTableStatsRows,
+	},
+}
+
+// catalogTable resolves a FROM-clause name to a virtual table definition,
+// nil for ordinary tables. Catalog names are reserved: they shadow any
+// stored table of the same name.
+func catalogTable(name string) *catalogDef {
+	return catalogs[strings.ToUpper(name)]
+}
+
+// virtualRef reports whether a table reference addresses a virtual catalog
+// table (and therefore binds to materialized rows, not storage).
+func virtualRef(tr sqlparse.TableRef) bool {
+	return tr.Sub == nil && catalogTable(tr.Table) != nil
+}
+
+// obsMetricsRows snapshots obs.Default. Counters and gauges fill the value
+// column; histograms fill count/sum and the quantile columns instead.
+func obsMetricsRows(*reldb.Tx) ([]reldb.Row, error) {
+	s := obs.Default.Snapshot()
+	type rec struct {
+		name, kind string
+		row        reldb.Row
+	}
+	recs := make([]rec, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	scalar := func(name, kind string, v int64) {
+		recs = append(recs, rec{name, kind, reldb.Row{
+			reldb.Str(name), reldb.Str(kind), reldb.Float(float64(v)),
+			reldb.Null, reldb.Null, reldb.Null, reldb.Null, reldb.Null,
+		}})
+	}
+	counterNames := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		counterNames = append(counterNames, name)
+	}
+	sort.Strings(counterNames)
+	for _, name := range counterNames {
+		scalar(name, "counter", s.Counters[name])
+	}
+	gaugeNames := make([]string, 0, len(s.Gauges))
+	for name := range s.Gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
+	sort.Strings(gaugeNames)
+	for _, name := range gaugeNames {
+		scalar(name, "gauge", s.Gauges[name])
+	}
+	histNames := make([]string, 0, len(s.Histograms))
+	for name := range s.Histograms {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := s.Histograms[name]
+		recs = append(recs, rec{name, "histogram", reldb.Row{
+			reldb.Str(name), reldb.Str("histogram"), reldb.Null,
+			reldb.Int(h.Count), reldb.Int(h.Sum),
+			reldb.Int(h.P50), reldb.Int(h.P95), reldb.Int(h.P99),
+		}})
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		if recs[i].name != recs[j].name {
+			return recs[i].name < recs[j].name
+		}
+		return recs[i].kind < recs[j].kind
+	})
+	rows := make([]reldb.Row, len(recs))
+	for i, r := range recs {
+		rows[i] = r.row
+	}
+	return rows, nil
+}
+
+// obsActiveStatementsRows snapshots the statement registry, sorted by id.
+// The querying statement itself appears in the result — it is, after all,
+// active.
+func obsActiveStatementsRows(*reldb.Tx) ([]reldb.Row, error) {
+	infos := Statements.Snapshot()
+	rows := make([]reldb.Row, len(infos))
+	for i, s := range infos {
+		rows[i] = reldb.Row{
+			reldb.Int(s.ID), reldb.Str(s.SQL), reldb.Str(s.Kind), reldb.Str(s.Phase),
+			reldb.Int(s.ElapsedUS), reldb.Int(s.RowsScanned), reldb.Int(s.RowsReturned),
+			reldb.Int(int64(s.Workers)), reldb.Bool(s.Killed),
+		}
+	}
+	return rows, nil
+}
+
+// PlanCacheInfo describes one connection's prepared-statement cache for
+// OBS_PLAN_CACHE. godbc supplies these via SetPlanCacheSource; the executor
+// itself has no view of connection-scoped caches.
+type PlanCacheInfo struct {
+	ConnID   int64
+	Entries  int
+	Capacity int
+	Hits     int64
+	Misses   int64
+}
+
+var planCacheSource atomic.Value // holds func() []PlanCacheInfo
+
+// SetPlanCacheSource installs the provider OBS_PLAN_CACHE snapshots. The
+// function must be safe to call from any goroutine.
+func SetPlanCacheSource(fn func() []PlanCacheInfo) { planCacheSource.Store(fn) }
+
+// obsPlanCacheRows reports one row per live connection cache, plus the
+// process-wide schema version DDL staleness is judged against.
+func obsPlanCacheRows(*reldb.Tx) ([]reldb.Row, error) {
+	var infos []PlanCacheInfo
+	if fn, ok := planCacheSource.Load().(func() []PlanCacheInfo); ok && fn != nil {
+		infos = fn()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ConnID < infos[j].ConnID })
+	sv := reldb.CurrentSchemaVersion()
+	rows := make([]reldb.Row, len(infos))
+	for i, c := range infos {
+		rows[i] = reldb.Row{
+			reldb.Int(c.ConnID), reldb.Int(int64(c.Entries)), reldb.Int(int64(c.Capacity)),
+			reldb.Int(c.Hits), reldb.Int(c.Misses), reldb.Int(sv),
+		}
+	}
+	return rows, nil
+}
+
+// obsTableStatsRows reads PERFDMF_TABLE_STATS inside the querying
+// transaction and annotates each row with the table's live row count and a
+// staleness verdict: stale when the table has been dropped, its schema
+// fingerprint changed, or its live row count drifted from the analyzed
+// count. The fingerprint (not the in-process schema version) makes the
+// verdict survive process restarts against a file-backed archive.
+func obsTableStatsRows(tx *reldb.Tx) ([]reldb.Row, error) {
+	if !tx.HasTable(StatsTable) {
+		return nil, nil
+	}
+	var rows []reldb.Row
+	tx.Scan(StatsTable, func(_ int, r reldb.Row) bool { //nolint:errcheck // existence checked above
+		name := r[statTableName].AsString()
+		liveRows := reldb.Null
+		stale := true
+		if tbl, err := tx.Table(name); err == nil {
+			live := int64(tbl.Len())
+			liveRows = reldb.Int(live)
+			stale = schemaSig(tbl.Schema()) != r[statSchemaSig].AsString() ||
+				live != r[statRowCount].AsInt()
+		}
+		rows = append(rows, reldb.Row{
+			r[statTableName], r[statColumnName], r[statRowCount], r[statNDV],
+			r[statNullFrac], r[statMinValue], r[statMaxValue],
+			liveRows, reldb.Bool(stale), r[statAnalyzedAt],
+		})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		if a[0].S != b[0].S {
+			return a[0].S < b[0].S
+		}
+		return a[1].S < b[1].S
+	})
+	return rows, nil
+}

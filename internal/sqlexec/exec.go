@@ -24,7 +24,18 @@ type ResultSet struct {
 // statements (BEGIN/COMMIT/ROLLBACK) are handled by the connection layer,
 // not here.
 func Exec(tx *reldb.Tx, stmt sqlparse.Statement, params []reldb.Value) (Result, error) {
+	return ExecOpts(tx, stmt, params, Options{})
+}
+
+// ExecOpts is Exec with execution options: ANALYZE uses the worker cap for
+// its partitioned scan, and the statement entry drives accounting and
+// cancellation. KILL needs no transaction; tx may be nil for it.
+func ExecOpts(tx *reldb.Tx, stmt sqlparse.Statement, params []reldb.Value, opts Options) (Result, error) {
 	switch st := stmt.(type) {
+	case *sqlparse.Analyze:
+		return execAnalyze(tx, st, opts)
+	case *sqlparse.Kill:
+		return execKill(st, params)
 	case *sqlparse.CreateTable:
 		return execCreateTable(tx, st)
 	case *sqlparse.DropTable:
@@ -52,6 +63,19 @@ func Exec(tx *reldb.Tx, stmt sqlparse.Statement, params []reldb.Value) (Result, 
 		return Result{}, fmt.Errorf("sqlexec: use Query for SELECT")
 	}
 	return Result{}, fmt.Errorf("sqlexec: cannot execute %T", stmt)
+}
+
+// execKill resolves the statement id (a literal or parameter) and cancels
+// the matching statement. RowsAffected is 1 when a statement was killed.
+func execKill(st *sqlparse.Kill, params []reldb.Value) (Result, error) {
+	v, ok := constVal(st.ID, params)
+	if !ok || v.T != reldb.TInt {
+		return Result{}, fmt.Errorf("sqlexec: KILL expects an integer statement id")
+	}
+	if !Statements.Kill(v.AsInt()) {
+		return Result{}, fmt.Errorf("sqlexec: no active statement %d", v.AsInt())
+	}
+	return Result{RowsAffected: 1}, nil
 }
 
 func execCreateTable(tx *reldb.Tx, st *sqlparse.CreateTable) (Result, error) {

@@ -21,6 +21,8 @@ func Explain(tx *reldb.Tx, st *sqlparse.Select, params []reldb.Value) (*ResultSe
 
 	if st.From.Sub != nil {
 		add("base %s: derived table (subquery materialized)", describeRef(st.From))
+	} else if virtualRef(st.From) {
+		add("base %s: catalog (virtual table materialized at bind)", describeRef(st.From))
 	} else {
 		baseAlias := aliasOr(st.From.Alias, st.From.Table)
 		if _, err := tx.Table(st.From.Table); err != nil {
@@ -122,6 +124,10 @@ func bindRef(tx *reldb.Tx, cols *colmap, tr sqlparse.TableRef, params []reldb.Va
 			return err
 		}
 		cols.bindNames(aliasOr(tr.Alias, tr.Table), rs.Cols)
+		return nil
+	}
+	if def := catalogTable(tr.Table); def != nil {
+		cols.bindNames(aliasOr(tr.Alias, tr.Table), def.cols)
 		return nil
 	}
 	tbl, err := tx.Table(tr.Table)

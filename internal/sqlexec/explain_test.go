@@ -202,3 +202,18 @@ func TestExplainErrors(t *testing.T) {
 		t.Fatal("EXPLAIN INSERT accepted")
 	}
 }
+
+// TestExplainCatalog: EXPLAIN resolves the virtual catalog tables — as the
+// base reference and as a join side — without touching storage.
+func TestExplainCatalog(t *testing.T) {
+	db := fixture(t)
+	plan := explainPlan(t, db, "SELECT * FROM OBS_METRICS WHERE kind = 'counter'")
+	if !hasLine(plan, "catalog (virtual table materialized at bind)") {
+		t.Fatalf("catalog plan: %v", plan)
+	}
+	plan = explainPlan(t, db,
+		"SELECT s.table_name, t.name FROM OBS_TABLE_STATS s JOIN trial t ON s.row_count = t.id")
+	if !hasLine(plan, "base OBS_TABLE_STATS AS s: catalog") || !hasLine(plan, "hash join trial") {
+		t.Fatalf("catalog join plan: %v", plan)
+	}
+}

@@ -24,6 +24,13 @@ var (
 	mPlanCacheMisses   = obs.Default.Counter("sqlexec_plan_cache_misses_total")
 	mPlanInvalidations = obs.Default.Counter("sqlexec_plan_cache_invalidations_total")
 	mAccessPlanReuse   = obs.Default.Counter("sqlexec_access_plan_reuse_total")
+
+	mStmtStarted = obs.Default.Counter("sqlexec_stmt_started_total")
+	mStmtKilled  = obs.Default.Counter("sqlexec_stmt_killed_total")
+	mStmtActive  = obs.Default.Gauge("sqlexec_stmt_active")
+
+	mCatalogQueries = obs.Default.Counter("obs_catalog_queries_total")
+	mCatalogAnalyze = obs.Default.Counter("obs_catalog_analyze_total")
 )
 
 // PlanCacheHit records a statement served from a prepared-plan cache

@@ -21,6 +21,11 @@ type Options struct {
 	// access-path decision across executions of the same statement (see
 	// Plan). It must belong to the calling goroutine.
 	Plan *Plan
+	// Stmt, when non-nil, is the statement's live accounting entry. The
+	// executor updates its row/worker counters and polls its cancellation
+	// context between row batches, so a KILL unwinds the statement within
+	// one scan chunk.
+	Stmt *StmtEntry
 }
 
 // DefaultWorkers is the worker count used when Options does not set one:
@@ -86,6 +91,10 @@ func (q *query) parallelScanFilter(table string, where sqlparse.Expr, workers in
 	if q.par < workers {
 		q.par = workers
 	}
+	stmt := q.opts.Stmt
+	if stmt != nil {
+		stmt.workers.Store(int32(workers))
+	}
 
 	var (
 		next atomic.Int64
@@ -103,11 +112,26 @@ func (q *query) parallelScanFilter(table string, where sqlparse.Expr, workers in
 					return
 				}
 				p := parts[i]
+				if err := stmt.Err(); err != nil {
+					p.err = err
+					stop.Store(true)
+					return
+				}
 				for _, row := range p.rows {
 					if row == nil {
 						continue
 					}
 					p.visited++
+					if p.visited%cancelCheckRows == 0 {
+						if err := stmt.Err(); err != nil {
+							p.err = err
+							stop.Store(true)
+							return
+						}
+						if stmt != nil {
+							stmt.rowsScanned.Add(cancelCheckRows)
+						}
+					}
 					if where != nil {
 						ev.row = row
 						v, err := eval(where, ev)
@@ -260,10 +284,19 @@ func (q *query) canChunkAgg(rows []reldb.Row, aggNodes []*sqlparse.FuncCall) boo
 // foldChunk folds one chunk of input rows into per-group partial states.
 func (q *query) foldChunk(rows []reldb.Row, aggNodes []*sqlparse.FuncCall) *aggChunk {
 	st := q.st
+	stmt := q.opts.Stmt
 	ck := &aggChunk{groups: make(map[string]*chunkGroup)}
 	ev := &env{cols: q.cols, params: q.params, tx: q.tx, serial: true}
 	kv := make([]reldb.Value, len(st.GroupBy))
-	for _, row := range rows {
+	for n, row := range rows {
+		// Poll cancellation inside the fold too: once every chunk has been
+		// claimed, the claim-time check in aggregateChunked can no longer
+		// observe a kill, so in-flight folds must notice it themselves.
+		if n%cancelCheckRows == cancelCheckRows-1 {
+			if ck.err = stmt.Err(); ck.err != nil {
+				return ck
+			}
+		}
 		ev.row = row
 		key := ""
 		if len(st.GroupBy) > 0 {
@@ -328,8 +361,13 @@ func (q *query) aggregateChunked(rows []reldb.Row, items []sqlparse.SelectItem, 
 		return lo, hi
 	}
 
+	stmt := q.opts.Stmt
 	if workers <= 1 {
 		for i := range chunks {
+			if err := stmt.Err(); err != nil {
+				chunks[i] = &aggChunk{err: err}
+				break
+			}
 			lo, hi := chunkBounds(i)
 			chunks[i] = q.foldChunk(rows[lo:hi], aggNodes)
 			if chunks[i].err != nil {
@@ -340,6 +378,9 @@ func (q *query) aggregateChunked(rows []reldb.Row, items []sqlparse.SelectItem, 
 		mParallelAggs.Inc()
 		if q.par < workers {
 			q.par = workers
+		}
+		if stmt != nil {
+			stmt.workers.Store(int32(workers))
 		}
 		var (
 			next atomic.Int64
@@ -353,6 +394,11 @@ func (q *query) aggregateChunked(rows []reldb.Row, items []sqlparse.SelectItem, 
 				for !stop.Load() {
 					i := int(next.Add(1)) - 1
 					if i >= nchunks {
+						return
+					}
+					if err := stmt.Err(); err != nil {
+						chunks[i] = &aggChunk{err: err}
+						stop.Store(true)
 						return
 					}
 					lo, hi := chunkBounds(i)

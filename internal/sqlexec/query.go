@@ -44,8 +44,9 @@ type field struct {
 }
 
 // bind registers a table reference's columns. For derived tables it runs
-// the subquery, materializes the rows, and binds the result columns; the
-// materialized rows are returned (nil for base tables).
+// the subquery, materializes the rows, and binds the result columns; for
+// virtual catalog tables (OBS_*) it materializes a snapshot the same way.
+// The materialized rows are returned (nil for base tables).
 func (q *query) bind(tr sqlparse.TableRef) ([]reldb.Row, error) {
 	alias := aliasOr(tr.Alias, tr.Table)
 	base := q.cols.width
@@ -64,6 +65,18 @@ func (q *query) bind(tr sqlparse.TableRef) ([]reldb.Row, error) {
 		}
 		return rows, nil
 	}
+	if cat := catalogTable(tr.Table); cat != nil {
+		mCatalogQueries.Inc()
+		rows, err := cat.rows(q.tx)
+		if err != nil {
+			return nil, err
+		}
+		q.cols.bindNames(alias, cat.cols)
+		for i, c := range cat.cols {
+			q.fields = append(q.fields, field{alias: strings.ToLower(alias), name: c, pos: base + i})
+		}
+		return rows, nil
+	}
 	tbl, err := q.tx.Table(tr.Table)
 	if err != nil {
 		return nil, err
@@ -77,6 +90,11 @@ func (q *query) bind(tr sqlparse.TableRef) ([]reldb.Row, error) {
 
 func (q *query) run() (*ResultSet, error) {
 	st := q.st
+	stmt := q.opts.Stmt
+	if err := stmt.Err(); err != nil {
+		return nil, err
+	}
+	stmt.SetPhase(PhasePlan)
 	timed := q.sp != nil
 	var mark time.Time
 	if timed {
@@ -88,12 +106,17 @@ func (q *query) run() (*ResultSet, error) {
 	}
 	var rows []reldb.Row
 	whereDone := false // WHERE already folded into the parallel scan
-	if st.From.Sub != nil {
+	if st.From.Sub != nil || virtualRef(st.From) {
 		if timed {
-			q.sp.PlanSummary = "derived table"
+			if st.From.Sub != nil {
+				q.sp.PlanSummary = "derived table"
+			} else {
+				q.sp.PlanSummary = "catalog"
+			}
 			q.sp.Plan += since(mark)
 			mark = now()
 		}
+		stmt.SetPhase(PhaseExecute)
 		rows = derived
 		q.scanned += int64(len(rows))
 	} else {
@@ -122,6 +145,7 @@ func (q *query) run() (*ResultSet, error) {
 			q.sp.Plan += since(mark)
 			mark = now()
 		}
+		stmt.SetPhase(PhaseExecute)
 		switch {
 		case scanned && len(st.Joins) == 0 && q.opts.effectiveWorkers() > 1 && q.liveRows(st.From.Table) >= parallelMinRows:
 			// Partitioned parallel scan with the WHERE filter folded in.
@@ -131,10 +155,22 @@ func (q *query) run() (*ResultSet, error) {
 			}
 			whereDone = true
 		case scanned:
+			var scanErr error
 			q.tx.Scan(st.From.Table, func(_ int, row reldb.Row) bool { //nolint:errcheck // table verified by bind
 				rows = append(rows, row)
+				if len(rows)%cancelCheckRows == 0 {
+					if scanErr = stmt.Err(); scanErr != nil {
+						return false
+					}
+					if stmt != nil {
+						stmt.rowsScanned.Add(cancelCheckRows)
+					}
+				}
 				return true
 			})
+			if scanErr != nil {
+				return nil, scanErr
+			}
 			q.scanned += int64(len(rows))
 		default:
 			for _, slot := range slots {
@@ -174,6 +210,13 @@ func (q *query) run() (*ResultSet, error) {
 		q.sp.Execute += since(mark)
 		mark = now()
 	}
+	if stmt != nil {
+		stmt.rowsScanned.Store(q.scanned)
+		stmt.SetPhase(PhaseMaterialize)
+	}
+	if err := stmt.Err(); err != nil {
+		return nil, err
+	}
 
 	items, colNames, err := q.expandItems()
 	if err != nil {
@@ -204,8 +247,17 @@ func (q *query) run() (*ResultSet, error) {
 	if out, err = q.applyLimit(out); err != nil {
 		return nil, err
 	}
+	// Final cancellation check: a kill that landed during the aggregation
+	// or ordering tail must not hand back a completed result.
+	if err := stmt.Err(); err != nil {
+		return nil, err
+	}
 	mRowsScanned.Add(q.scanned)
 	mRowsReturned.Add(int64(len(out)))
+	if stmt != nil {
+		stmt.rowsScanned.Store(q.scanned)
+		stmt.rowsReturned.Store(int64(len(out)))
+	}
 	if timed {
 		if q.par > 1 {
 			q.sp.PlanSummary += fmt.Sprintf(" parallel(%d)", q.par)
@@ -240,7 +292,7 @@ func (q *query) execJoin(rows []reldb.Row, join sqlparse.Join) ([]reldb.Row, err
 	rightWidth := q.cols.width - leftWidth
 
 	var rightRows []reldb.Row
-	if join.Sub != nil {
+	if join.Sub != nil || virtualRef(join.TableRef) {
 		rightRows = derived
 	} else {
 		q.tx.Scan(join.Table, func(_ int, row reldb.Row) bool { //nolint:errcheck // table verified by bind

@@ -145,6 +145,20 @@ type Explain struct {
 	Analyze bool
 }
 
+// Analyze is ANALYZE [table]: scan one table (or, with Table empty, every
+// user table) and refresh its row-count / per-column statistics in the
+// PERFDMF_TABLE_STATS catalog table.
+type Analyze struct {
+	Table string // "" means every user table
+}
+
+// Kill is KILL <statement_id>: request cancellation of a running statement
+// by the id OBS_ACTIVE_STATEMENTS reports. ID is a Literal integer or a
+// Param placeholder.
+type Kill struct {
+	ID Expr
+}
+
 // Begin, Commit and Rollback are transaction control statements.
 type (
 	Begin    struct{}
@@ -159,6 +173,8 @@ func (*CreateIndex) stmt() {}
 func (*DropIndex) stmt()   {}
 func (*Insert) stmt()      {}
 func (*Explain) stmt()     {}
+func (*Analyze) stmt()     {}
+func (*Kill) stmt()        {}
 func (*Select) stmt()      {}
 func (*Update) stmt()      {}
 func (*Delete) stmt()      {}

@@ -117,6 +117,29 @@ func (p *parser) statement() (Statement, error) {
 			return nil, err
 		}
 		return &Explain{Select: sel.(*Select), Analyze: analyze}, nil
+	case p.accept(tokKeyword, "ANALYZE"):
+		an := &Analyze{}
+		if p.at(tokIdent, "") {
+			an.Table = p.next().text
+		}
+		return an, nil
+	case p.accept(tokKeyword, "KILL"):
+		t := p.cur()
+		switch t.kind {
+		case tokNumber:
+			p.pos++
+			v, err := numberValue(t.text)
+			if err != nil || v.T != reldb.TInt {
+				return nil, p.errf("KILL expects an integer statement id")
+			}
+			return &Kill{ID: &Literal{Value: v}}, nil
+		case tokParam:
+			p.pos++
+			e := &Param{Index: p.params}
+			p.params++
+			return &Kill{ID: e}, nil
+		}
+		return nil, p.errf("KILL expects a statement id, got %q", t.text)
 	case p.at(tokKeyword, "SELECT"):
 		return p.selectStmt()
 	case p.at(tokKeyword, "INSERT"):
