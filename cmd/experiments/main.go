@@ -17,8 +17,8 @@ import (
 	"os"
 	"runtime/debug"
 	"strings"
-	"time"
 	"text/tabwriter"
+	"time"
 
 	"perfdmf/internal/experiments"
 	"perfdmf/internal/obs"
@@ -138,7 +138,7 @@ func run(quick bool, only, parallelOut, traceOut string) error {
 // 5% budget.
 func runT1(quick bool, out string) error {
 	header("T1", "tracing overhead on the E1 upload path (off / traced / persisted)")
-	threads, reps := 4096, 9
+	threads, reps := 4096, 12
 	if quick {
 		threads, reps = 1024, 3
 	}
@@ -146,7 +146,7 @@ func runT1(quick bool, out string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rows=%d (threads=%d events=%d)  GOMAXPROCS=%d  reps=%d (median kept)\n\n",
+	fmt.Printf("rows=%d (threads=%d events=%d)  GOMAXPROCS=%d  reps=%d (fastest kept)\n\n",
 		res.Rows, res.Threads, res.Events, res.GOMAXPROCS, res.Reps)
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
 	fmt.Fprintf(w, "MODE\tUPLOAD\tOVERHEAD\t\n")
@@ -156,10 +156,15 @@ func runT1(quick bool, out string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
-	fmt.Printf("\n%d spans persisted; traced overhead budget %.0f%%: within=%v\n",
-		res.SpansPersisted, res.BudgetPct, res.WithinBudget)
-	if !res.WithinBudget {
+	fmt.Printf("\n%d spans persisted (effective sample rate %.3f, final governor rate %.3f)\n",
+		res.SpansPersisted, res.EffectiveSampleRate, res.FinalSampleRate)
+	fmt.Printf("budget %.0f%%: traced within=%v  persisted within=%v\n",
+		res.BudgetPct, res.TracedWithinBudget, res.PersistedWithinBudget)
+	if !res.TracedWithinBudget {
 		return fmt.Errorf("T1: traced overhead %.2f%% exceeds %.0f%% budget", res.OnOverheadPct, res.BudgetPct)
+	}
+	if !res.PersistedWithinBudget {
+		return fmt.Errorf("T1: persisted overhead %.2f%% exceeds %.0f%% budget", res.PersistedOverheadPct, res.BudgetPct)
 	}
 	if out == "" {
 		return nil

@@ -115,6 +115,9 @@ func cmdLoad(args []string) error {
 	prefix := fs.String("prefix", "", "with -ranks: only files starting with this prefix")
 	suffix := fs.String("suffix", "", "with -ranks: only files ending with this suffix")
 	telemetry := fs.Bool("telemetry", false, "persist the load's span tree into the archive's PERFDMF_SPANS table (inspect with `perfdmf trace`)")
+	telBudget := fs.Float64("telemetry-budget", 0, "telemetry overhead budget in percent (0 defers to ?telemetrybudget then the default; negative disables sampling)")
+	telRetainRows := fs.Int("telemetry-retain-rows", 0, "cap PERFDMF_SPANS/PERFDMF_SLOWLOG at this many rows (0 = default cap, negative = uncapped)")
+	telRetainAge := fs.Duration("telemetry-retain-age", 0, "prune telemetry rows older than this (0 disables age pruning)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -134,14 +137,25 @@ func cmdLoad(args []string) error {
 	}
 	defer s.Close()
 
+	var stopTel func() error
 	if *telemetry {
-		stop, err := godbc.StartTelemetry(*dsn, obs.SinkOptions{})
+		stopTel, err = godbc.StartTelemetry(*dsn, godbc.TelemetryOptions{
+			BudgetPct:  *telBudget,
+			RetainRows: *telRetainRows,
+			RetainAge:  *telRetainAge,
+		})
 		if err != nil {
 			return err
 		}
 		// Runs before s.Close (LIFO), flushing the tail of the sink into
-		// PERFDMF_SPANS while the engine is still open.
-		defer stop() //nolint:errcheck // telemetry flush is best-effort
+		// PERFDMF_SPANS while the engine is still open. The happy path
+		// stops explicitly below (and prints a summary); this only covers
+		// early error returns.
+		defer func() {
+			if stopTel != nil {
+				stopTel() //nolint:errcheck // telemetry flush is best-effort
+			}
+		}()
 	}
 
 	app, err := s.FindApplication(*appName)
@@ -187,6 +201,19 @@ func cmdLoad(args []string) error {
 			return err
 		}
 		fmt.Printf("loaded trial %d (%s) — %s\n", trial.ID, trial.Name, synth.Describe(profile))
+	}
+	if stopTel != nil {
+		stop := stopTel
+		stopTel = nil
+		if err := stop(); err != nil {
+			return err
+		}
+		// The pipeline has drained: report what it kept, shed, and pruned
+		// so scripted callers (make telemetry-smoke) can assert on it.
+		if st, ok := godbc.TelemetryState(); ok {
+			fmt.Printf("telemetry: stored=%d sampled_out=%d dropped=%d pruned_spans=%d pruned_slowlog=%d sample_rate=%.3f\n",
+				st.Stored, st.SampledOut, st.Dropped, st.PrunedSpans, st.PrunedSlowLog, st.SampleRate)
+		}
 	}
 	return nil
 }

@@ -20,15 +20,18 @@ import (
 // serveConfig is cmdServe's parsed flag set, factored out so tests can start
 // a real server on an ephemeral port without going through os.Args.
 type serveConfig struct {
-	dsn       string
-	addr      string
-	interval  time.Duration // runtime-collector sampling interval
-	telemetry bool          // persist spans into PERFDMF_SPANS / PERFDMF_SLOWLOG
-	flush     time.Duration // telemetry sink flush interval
-	trace     bool          // enable global statement tracing
-	slowMS    int           // slow-query threshold in milliseconds (0 = leave global)
-	maxChkAge time.Duration // /healthz degrades past this checkpoint age (0 = off)
-	out       io.Writer     // status output; defaults to os.Stdout
+	dsn        string
+	addr       string
+	interval   time.Duration // runtime-collector sampling interval
+	telemetry  bool          // persist spans into PERFDMF_SPANS / PERFDMF_SLOWLOG
+	flush      time.Duration // telemetry sink flush interval
+	telBudget  float64       // telemetry overhead budget pct (0 = DSN/default)
+	retainAge  time.Duration // prune telemetry rows older than this (0 = off)
+	retainRows int           // telemetry table row cap (0 = default, <0 = off)
+	trace      bool          // enable global statement tracing
+	slowMS     int           // slow-query threshold in milliseconds (0 = leave global)
+	maxChkAge  time.Duration // /healthz degrades past this checkpoint age (0 = off)
+	out        io.Writer     // status output; defaults to os.Stdout
 }
 
 // serveInstance is a running monitoring daemon. Close unwinds everything the
@@ -74,7 +77,12 @@ func startServe(cfg serveConfig) (*serveInstance, error) {
 	si.conn = conn
 
 	if cfg.telemetry {
-		stop, err := godbc.StartTelemetry(cfg.dsn, obs.SinkOptions{FlushEvery: cfg.flush})
+		stop, err := godbc.StartTelemetry(cfg.dsn, godbc.TelemetryOptions{
+			Sink:       obs.SinkOptions{FlushEvery: cfg.flush},
+			BudgetPct:  cfg.telBudget,
+			RetainAge:  cfg.retainAge,
+			RetainRows: cfg.retainRows,
+		})
 		if err != nil {
 			conn.Close()
 			obs.Apply(si.prev)
@@ -166,6 +174,9 @@ func cmdServe(args []string) error {
 	interval := fs.Duration("interval", 5*time.Second, "runtime collector sampling interval")
 	telemetry := fs.Bool("telemetry", true, "persist spans and slow queries into PERFDMF_SPANS/PERFDMF_SLOWLOG")
 	flush := fs.Duration("flush", time.Second, "telemetry sink flush interval")
+	telBudget := fs.Float64("telemetry-budget", 0, "telemetry overhead budget in percent (0 defers to ?telemetrybudget then the default; negative disables sampling)")
+	retainAge := fs.Duration("telemetry-retain-age", 0, "prune telemetry rows older than this (0 disables age pruning)")
+	retainRows := fs.Int("telemetry-retain-rows", 0, "cap telemetry tables at this many rows (0 = default cap, negative = uncapped)")
 	trace := fs.Bool("trace", false, "enable statement tracing while serving")
 	slowMS := fs.Int("slowms", 0, "slow-query threshold in milliseconds (0 keeps the global setting)")
 	maxChkAge := fs.Duration("max-checkpoint-age", 0, "report degraded when the last checkpoint is older than this (0 disables)")
@@ -173,14 +184,17 @@ func cmdServe(args []string) error {
 		return err
 	}
 	si, err := startServe(serveConfig{
-		dsn:       *dsn,
-		addr:      *addr,
-		interval:  *interval,
-		telemetry: *telemetry,
-		flush:     *flush,
-		trace:     *trace,
-		slowMS:    *slowMS,
-		maxChkAge: *maxChkAge,
+		dsn:        *dsn,
+		addr:       *addr,
+		interval:   *interval,
+		telemetry:  *telemetry,
+		flush:      *flush,
+		telBudget:  *telBudget,
+		retainAge:  *retainAge,
+		retainRows: *retainRows,
+		trace:      *trace,
+		slowMS:     *slowMS,
+		maxChkAge:  *maxChkAge,
 	})
 	if err != nil {
 		return err

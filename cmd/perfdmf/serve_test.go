@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"perfdmf/internal/godbc"
 	"perfdmf/internal/obs"
 	"perfdmf/internal/obs/httpserve"
 )
@@ -56,11 +57,12 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sink := obs.ActiveSink()
-	if sink == nil {
+	if obs.ActiveSink() == nil {
 		t.Fatal("serve did not install a telemetry sink")
 	}
-	if err := sink.Flush(); err != nil {
+	// End-to-end barrier: sink buffer → writer queue → group commit. A bare
+	// sink flush is no longer enough now that persistence is asynchronous.
+	if err := godbc.FlushTelemetry(); err != nil {
 		t.Fatal(err)
 	}
 

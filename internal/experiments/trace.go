@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"runtime/debug"
-	"sort"
+	"strings"
 	"time"
 
 	"perfdmf/internal/core"
@@ -22,15 +22,22 @@ import (
 // JSON this produces (BENCH_trace.json via cmd/experiments) is the
 // artifact the <5% overhead acceptance check reads.
 //
-// Each mode uploads into its own fresh archive. The machine-level noise
-// here (CPU steal on shared runners, allocator state) is low-frequency —
-// slow phases last longer than one rep — so each overhead estimate is the
-// median of paired ratios from a strict two-mode alternation: off/traced
-// reps first, off/persisted reps second, each ratio taken against the
-// off run adjacent to it in time. Mixing all three modes in one cycle
-// was measurably worse: the rep following a sink teardown ran faster by
-// more than the effect being measured, and whichever mode owned that
-// slot inherited the bias.
+// Each mode uploads into its own fresh archive, and the archive is
+// dropped (godbc.DropMemory) as soon as the rep ends — leaked mem:
+// archives grow the live heap monotonically, and a heap that is 40MB
+// larger for every later rep taxes the allocator in a way that reads as
+// mode overhead. The machine-level noise that remains (CPU steal on
+// shared runners, scheduler interference) is strictly additive — it only
+// ever makes a rep slower — so each overhead estimate compares the
+// fastest rep of the mode against the fastest off rep: minimum-of-reps
+// is the standard noise-robust estimator when interference can inflate
+// but never deflate a measurement. All three modes interleave in one
+// loop, rotating the within-cycle order every cycle, so every mode's
+// minimum is drawn from the same stretch of wall clock: a phase-per-mode
+// layout was observed to drift the off baseline itself by 7% between
+// phases, dwarfing the effect measured, and rotation keeps any
+// slot-position bias (the rep after a sink teardown, say) from pinning
+// to one mode.
 
 // T1Result is the tracing-overhead benchmark record.
 type T1Result struct {
@@ -44,18 +51,28 @@ type T1Result struct {
 	OnNS        int64 `json:"upload_traced_ns"`
 	PersistedNS int64 `json:"upload_persisted_ns"`
 
-	// Overheads are medians of per-rep ratios against the same rep's off
-	// run (see the package comment on noise). WithinBudget gates on the
-	// traced mode — the acceptance claim is about tracing, not about also
-	// writing every span back through the storage engine.
-	OnOverheadPct        float64 `json:"traced_overhead_pct"`
-	PersistedOverheadPct float64 `json:"persisted_overhead_pct"`
-	BudgetPct            float64 `json:"budget_pct"`
-	WithinBudget         bool    `json:"within_budget"`
+	// Overheads compare each mode's fastest rep against the fastest off
+	// rep (see the package comment on noise). Both modes are judged
+	// against the same budget: tracing alone must fit, and so must the
+	// full pipeline that persists spans back through the storage engine —
+	// the sampling governor exists precisely to make the second claim
+	// hold.
+	OnOverheadPct         float64 `json:"traced_overhead_pct"`
+	PersistedOverheadPct  float64 `json:"persisted_overhead_pct"`
+	BudgetPct             float64 `json:"budget_pct"`
+	TracedWithinBudget    bool    `json:"traced_within_budget"`
+	PersistedWithinBudget bool    `json:"persisted_within_budget"`
 
 	// SpansPersisted counts PERFDMF_SPANS rows left by the last persisted
 	// rep — proof the third mode actually exercised the sink.
 	SpansPersisted int64 `json:"spans_persisted"`
+	// EffectiveSampleRate is persisted rows over spans seen by the sink
+	// (offered + sampled out + dropped) in the last persisted rep: the
+	// fraction of telemetry that actually reached the table.
+	EffectiveSampleRate float64 `json:"effective_sample_rate"`
+	// FinalSampleRate is the governor's sample rate at the end of the
+	// last persisted rep.
+	FinalSampleRate float64 `json:"final_sample_rate"`
 }
 
 // RunT1 measures the E1 upload path under the three tracing modes.
@@ -80,54 +97,34 @@ func RunT1(threads, events, reps int) (*T1Result, error) {
 
 	// One untimed warm-up upload: the first upload in a process pays
 	// allocator and page-fault costs that would otherwise be billed
-	// entirely to whichever mode runs first. Modes are then interleaved
-	// within each rep — never-freed mem: archives grow the heap
-	// monotonically across the run, and back-to-back blocks of one mode
-	// would fold that drift into the comparison.
+	// entirely to whichever mode runs first.
 	obs.SetTracing(false)
 	if _, err := t1Rep(p, t1Off, nil); err != nil {
 		return nil, fmt.Errorf("T1 warm-up: %w", err)
 	}
 
-	offTraced := map[t1Mode][]int64{}
-	tracedPct, err := t1Alternate(p, t1Traced, reps, res, offTraced)
-	if err != nil {
-		return nil, err
-	}
-	offPersisted := map[t1Mode][]int64{}
-	persistedPct, err := t1Alternate(p, t1Persisted, reps, res, offPersisted)
-	if err != nil {
-		return nil, err
-	}
-
-	res.OffNS = median(append(offTraced[t1Off], offPersisted[t1Off]...))
-	res.OnNS = median(offTraced[t1Traced])
-	res.PersistedNS = median(offPersisted[t1Persisted])
-
-	res.OnOverheadPct = medianFloat(tracedPct)
-	res.PersistedOverheadPct = medianFloat(persistedPct)
-	res.WithinBudget = res.OnOverheadPct < res.BudgetPct
-	return res, nil
-}
-
-// t1Alternate runs reps pairs of (off, mode) back to back and returns the
-// per-pair overhead percentages, appending raw times into samples.
-func t1Alternate(p *model.Profile, mode t1Mode, reps int, res *T1Result, samples map[t1Mode][]int64) ([]float64, error) {
-	var pcts []float64
+	samples := map[t1Mode][]int64{}
+	modes := []t1Mode{t1Off, t1Traced, t1Persisted}
 	for i := 0; i < reps; i++ {
-		off, err := t1Rep(p, t1Off, res)
-		if err != nil {
-			return nil, fmt.Errorf("T1 off: %w", err)
+		for j := range modes {
+			m := modes[(i+j)%len(modes)]
+			ns, err := t1Rep(p, m, res)
+			if err != nil {
+				return nil, fmt.Errorf("T1 %s: %w", m, err)
+			}
+			samples[m] = append(samples[m], ns)
 		}
-		on, err := t1Rep(p, mode, res)
-		if err != nil {
-			return nil, fmt.Errorf("T1 %s: %w", mode, err)
-		}
-		samples[t1Off] = append(samples[t1Off], off)
-		samples[mode] = append(samples[mode], on)
-		pcts = append(pcts, overheadPct(on, off))
 	}
-	return pcts, nil
+
+	res.OffNS = minNS(samples[t1Off])
+	res.OnNS = minNS(samples[t1Traced])
+	res.PersistedNS = minNS(samples[t1Persisted])
+
+	res.OnOverheadPct = overheadPct(res.OnNS, res.OffNS)
+	res.PersistedOverheadPct = overheadPct(res.PersistedNS, res.OffNS)
+	res.TracedWithinBudget = res.OnOverheadPct < res.BudgetPct
+	res.PersistedWithinBudget = res.PersistedOverheadPct < res.BudgetPct
+	return res, nil
 }
 
 func overheadPct(measured, base int64) float64 {
@@ -137,22 +134,17 @@ func overheadPct(measured, base int64) float64 {
 	return 100 * (float64(measured) - float64(base)) / float64(base)
 }
 
-func median(v []int64) int64 {
+func minNS(v []int64) int64 {
 	if len(v) == 0 {
 		return 0
 	}
-	s := append([]int64(nil), v...)
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	return s[len(s)/2]
-}
-
-func medianFloat(v []float64) float64 {
-	if len(v) == 0 {
-		return 0
+	best := v[0]
+	for _, n := range v[1:] {
+		if n < best {
+			best = n
+		}
 	}
-	s := append([]float64(nil), v...)
-	sort.Float64s(s)
-	return s[len(s)/2]
+	return best
 }
 
 // t1Mode selects the observability configuration of one measured upload.
@@ -175,8 +167,10 @@ func t1Rep(p *model.Profile, mode t1Mode, res *T1Result) (int64, error) {
 		return 0, err
 	}
 	var stop func() error
+	var before int64
 	if mode == t1Persisted {
-		stop, err = godbc.StartTelemetry(dsn, obs.SinkOptions{})
+		before = telemetrySeen()
+		stop, err = godbc.StartTelemetry(dsn, godbc.TelemetryOptions{})
 		if err != nil {
 			s.Close()
 			return 0, err
@@ -202,14 +196,35 @@ func t1Rep(p *model.Profile, mode t1Mode, res *T1Result) (int64, error) {
 		if err == nil {
 			res.SpansPersisted, err = countSpans(dsn)
 		}
+		if err == nil {
+			if seen := telemetrySeen() - before; seen > 0 {
+				res.EffectiveSampleRate = float64(res.SpansPersisted) / float64(seen)
+			}
+			if st, ok := godbc.TelemetryState(); ok {
+				res.FinalSampleRate = st.SampleRate
+			}
+		}
 	}
 	if cerr := s.Close(); err == nil {
 		err = cerr
 	}
+	// The rep's archive is throwaway: detach it so the engine can be
+	// collected instead of taxing every later rep's allocator.
+	godbc.DropMemory(strings.TrimPrefix(dsn, "mem:"))
 	if err != nil {
 		return 0, err
 	}
 	return elapsed, nil
+}
+
+// telemetrySeen totals the spans the sink has seen process-wide: offered,
+// sampled out by the governor, or dropped under backpressure. Per-rep
+// deltas of this against the persisted row count yield the effective
+// sample rate.
+func telemetrySeen() int64 {
+	return obs.Default.Counter("obs_telemetry_offered_total").Value() +
+		obs.Default.Counter("obs_telemetry_sampled_out_total").Value() +
+		obs.Default.Counter("obs_telemetry_dropped_total").Value()
 }
 
 // countSpans returns the PERFDMF_SPANS row count in dsn.

@@ -3,6 +3,7 @@ package godbc
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"perfdmf/internal/sqlexec"
 )
@@ -52,8 +53,43 @@ func planCacheSnapshots() []sqlexec.PlanCacheInfo {
 	return out
 }
 
+// telemetrySnapshot adapts TelemetryState for the OBS_TELEMETRY catalog.
+// Wall-clock ages are computed here, not in sqlexec, whose catalog sources
+// must stay deterministic.
+func telemetrySnapshot() (sqlexec.TelemetryInfo, bool) {
+	st, ok := TelemetryState()
+	if !ok {
+		return sqlexec.TelemetryInfo{}, false
+	}
+	lastFlushAge := -1.0
+	if !st.LastFlush.IsZero() {
+		lastFlushAge = time.Since(st.LastFlush).Seconds()
+	}
+	return sqlexec.TelemetryInfo{
+		Active:              st.Active,
+		SampleRate:          st.SampleRate,
+		BudgetPct:           st.BudgetPct,
+		WriteOverheadPct:    st.WriteOverheadPct,
+		GovernorAdjustments: st.GovernorAdjustments,
+		QueueDepth:          st.QueueDepth,
+		QueueCapacity:       st.QueueCapacity,
+		Offered:             st.Offered,
+		SampledOut:          st.SampledOut,
+		Dropped:             st.Dropped,
+		Stored:              st.Stored,
+		StoreErrors:         st.StoreErrors,
+		GroupCommits:        st.GroupCommits,
+		PrunedSpans:         st.PrunedSpans,
+		PrunedSlowLog:       st.PrunedSlowLog,
+		RetainRows:          st.RetainRows,
+		RetainAgeSec:        st.RetainAge.Seconds(),
+		LastFlushAgeSec:     lastFlushAge,
+	}, true
+}
+
 func init() {
 	sqlexec.SetPlanCacheSource(planCacheSnapshots)
+	sqlexec.SetTelemetrySource(telemetrySnapshot)
 }
 
 // ActiveStatements snapshots every statement currently executing in the

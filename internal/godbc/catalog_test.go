@@ -45,8 +45,13 @@ func TestCatalogTablesSelectable(t *testing.T) {
 		"OBS_ACTIVE_STATEMENTS": {"statement_id", "sql", "kind", "phase", "elapsed_us", "rows_scanned", "rows_returned", "workers", "killed"},
 		"OBS_PLAN_CACHE":        {"conn_id", "entries", "capacity", "hits", "misses", "schema_version"},
 		"OBS_TABLE_STATS":       {"table_name", "column_name", "row_count", "ndv", "null_frac", "min_value", "max_value", "live_rows", "stale", "analyzed_at"},
+		"OBS_TELEMETRY": {"active", "sample_rate", "budget_pct", "write_overhead_pct",
+			"governor_adjustments", "queue_depth", "queue_capacity",
+			"offered", "sampled_out", "dropped", "stored", "store_errors",
+			"group_commits", "pruned_spans", "pruned_slowlog",
+			"retain_rows", "retain_age_sec", "last_flush_age_sec"},
 	}
-	for _, table := range []string{"OBS_METRICS", "OBS_ACTIVE_STATEMENTS", "OBS_PLAN_CACHE", "OBS_TABLE_STATS"} {
+	for _, table := range []string{"OBS_METRICS", "OBS_ACTIVE_STATEMENTS", "OBS_PLAN_CACHE", "OBS_TABLE_STATS", "OBS_TELEMETRY"} {
 		cols, _ := collect(t, c, "SELECT * FROM "+table)
 		if strings.Join(cols, ",") != strings.Join(want[table], ",") {
 			t.Errorf("%s columns = %v, want %v", table, cols, want[table])

@@ -20,9 +20,12 @@ type conn struct {
 	id       int64     // registry id, assigned at open (see admin.go)
 	tx       *reldb.Tx // open explicit transaction, or nil
 	closed   bool
-	readonly bool         // reject all mutating statements
-	quiet    bool         // never produce spans (the telemetry store's own
+	readonly bool // reject all mutating statements
+	quiet    bool // never produce spans (the telemetry store's own
 	// connection, so its INSERTs cannot trace themselves back into the sink)
+	relaxed bool // commit with relaxed durability (batched WAL fsync);
+	// only the telemetry writer sets this — span batches must not pay, or
+	// charge the workload, one fsync per group commit
 	release func() error // driver-specific close hook
 	obs     obsOpts      // per-connection trace/slow-query overrides
 	workers int          // ?workers=N parallelism (-1 unset, 0 serial)
@@ -271,6 +274,27 @@ func (c *conn) Begin() error {
 	return nil
 }
 
+// TryBegin implements TxTrier: it starts a transaction only when the
+// engine's write lock is immediately free, reporting ok=false (with no
+// error) when another transaction holds it.
+func (c *conn) TryBegin() (bool, error) {
+	if err := c.check(); err != nil {
+		return false, err
+	}
+	if c.readonly {
+		return false, fmt.Errorf("godbc: connection is read-only")
+	}
+	if c.tx != nil {
+		return false, fmt.Errorf("godbc: transaction already open")
+	}
+	tx, ok := c.db.TryBegin()
+	if !ok {
+		return false, nil
+	}
+	c.tx = tx
+	return true, nil
+}
+
 func (c *conn) Commit() error {
 	if err := c.check(); err != nil {
 		return err
@@ -278,7 +302,12 @@ func (c *conn) Commit() error {
 	if c.tx == nil {
 		return fmt.Errorf("godbc: no open transaction")
 	}
-	err := c.tx.Commit()
+	var err error
+	if c.relaxed {
+		err = c.tx.CommitRelaxed()
+	} else {
+		err = c.tx.Commit()
+	}
 	c.tx = nil
 	return err
 }

@@ -28,6 +28,10 @@
 // and partial aggregation, N=0 (or 1) forces serial execution, and leaving
 // the option unset defers to the executor's default (GOMAXPROCS). Like the
 // observability options, malformed values fail Open.
+//
+// The ?telemetrybudget=PCT option sets the self-telemetry overhead budget
+// (percent) that StartTelemetry's sampling governor enforces when no
+// explicit budget is passed; ordinary connections validate and ignore it.
 package godbc
 
 import (
@@ -126,6 +130,19 @@ type Conn interface {
 	MetaData() MetaData
 	// Close releases the connection.
 	Close() error
+}
+
+// TxTrier is implemented by connections that can start a transaction
+// without waiting for the engine's write lock. Like SpanBinder it is
+// deliberately not part of the Conn interface: callers type-assert and
+// fall back to the blocking Begin, so drivers without non-blocking
+// transactions keep working. The telemetry writer depends on it to turn
+// lock contention into a sampling-governor stall instead of queueing
+// behind the workload it measures.
+type TxTrier interface {
+	// TryBegin starts a transaction if the write lock is immediately
+	// available, returning ok=false (and no error) when it is held.
+	TryBegin() (bool, error)
 }
 
 var (
@@ -242,7 +259,7 @@ func (d *memDriver) Open(rest string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := checkOptions(opts, "readonly", "trace", "slowms", "workers"); err != nil {
+	if err := checkOptions(opts, "readonly", "trace", "slowms", "workers", "telemetrybudget"); err != nil {
 		return nil, err
 	}
 	oo, err := parseObsOptions(opts)
@@ -251,6 +268,9 @@ func (d *memDriver) Open(rest string) (Conn, error) {
 	}
 	workers, err := parseWorkersOption(opts)
 	if err != nil {
+		return nil, err
+	}
+	if _, _, err := parseTelemetryBudgetOption(opts); err != nil {
 		return nil, err
 	}
 	d.mu.Lock()
@@ -287,7 +307,7 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	if path == "" {
 		return nil, fmt.Errorf("godbc: file DSN needs a directory path")
 	}
-	if err := checkOptions(opts, "readonly", "sync", "checkpoint", "trace", "slowms", "workers"); err != nil {
+	if err := checkOptions(opts, "readonly", "sync", "checkpoint", "trace", "slowms", "workers", "telemetrybudget"); err != nil {
 		return nil, err
 	}
 	oo, err := parseObsOptions(opts)
@@ -296,6 +316,9 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	}
 	workers, err := parseWorkersOption(opts)
 	if err != nil {
+		return nil, err
+	}
+	if _, _, err := parseTelemetryBudgetOption(opts); err != nil {
 		return nil, err
 	}
 	d.mu.Lock()
@@ -339,7 +362,21 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	return c, nil
 }
 
+var memDrv = &memDriver{dbs: make(map[string]*reldb.DB)}
+
+// DropMemory detaches the named in-memory database from the mem: driver:
+// the next Open of the same name starts empty, and once every open
+// connection is closed the old engine becomes garbage. Without it a mem:
+// archive lives for the rest of the process — benchmarks that open a fresh
+// archive per repetition use DropMemory so dead archives stop inflating
+// the heap (and with it, allocator and GC cost) of later repetitions.
+func DropMemory(name string) {
+	memDrv.mu.Lock()
+	defer memDrv.mu.Unlock()
+	delete(memDrv.dbs, name)
+}
+
 func init() {
-	Register("mem", &memDriver{dbs: make(map[string]*reldb.DB)})
+	Register("mem", memDrv)
 	Register("file", &fileDriver{open: make(map[string]*fileEntry)})
 }

@@ -182,6 +182,71 @@ func TestTransactions(t *testing.T) {
 	}
 }
 
+// TestTryBegin pins the non-blocking transaction contract the telemetry
+// writer depends on: ok=false (no error) while another connection holds
+// the engine's write lock, ok=true once it is released, and the same
+// refusals as Begin for read-only connections and open transactions.
+func TestTryBegin(t *testing.T) {
+	dsn := freshMem(t)
+	c1 := openT(t, dsn)
+	c2 := openT(t, dsn)
+	c1.Exec("CREATE TABLE t (a BIGINT)")
+
+	trier, ok := c2.(TxTrier)
+	if !ok {
+		t.Fatal("built-in connection does not implement TxTrier")
+	}
+
+	// Uncontended: TryBegin opens a real transaction.
+	if ok, err := trier.TryBegin(); err != nil || !ok {
+		t.Fatalf("uncontended TryBegin = (%v, %v), want (true, nil)", ok, err)
+	}
+	if _, err := c2.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	// A transaction is already open on this connection: refused with error,
+	// exactly like Begin.
+	if ok, err := trier.TryBegin(); err == nil || ok {
+		t.Fatalf("TryBegin inside open tx = (%v, %v), want (false, error)", ok, err)
+	}
+	if err := c2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Contended: c1 holds the write lock; TryBegin yields instead of
+	// queueing, with no error.
+	if err := c1.Begin(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := trier.TryBegin(); err != nil || ok {
+		t.Fatalf("contended TryBegin = (%v, %v), want (false, nil)", ok, err)
+	}
+	if err := c1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if ok, err := trier.TryBegin(); err != nil || !ok {
+		t.Fatalf("TryBegin after release = (%v, %v), want (true, nil)", ok, err)
+	}
+	if err := c2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-only connections refuse transactions outright.
+	ro := openT(t, dsn+"?readonly=1")
+	if ok, err := ro.(TxTrier).TryBegin(); err == nil || ok {
+		t.Fatalf("read-only TryBegin = (%v, %v), want (false, error)", ok, err)
+	}
+
+	// The blocking fallback: TryBeginConn on a Conn without TxTrier (or
+	// with it, here) still lands a transaction.
+	if ok, err := TryBeginConn(c2); err != nil || !ok {
+		t.Fatalf("TryBeginConn = (%v, %v), want (true, nil)", ok, err)
+	}
+	if err := c2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSharedMemoryDatabase(t *testing.T) {
 	dsn := freshMem(t)
 	c1 := openT(t, dsn)

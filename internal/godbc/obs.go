@@ -74,6 +74,24 @@ func parseWorkersOption(opts map[string]string) (int, error) {
 	return n, nil
 }
 
+// parseTelemetryBudgetOption validates the ?telemetrybudget=PCT knob: the
+// self-telemetry overhead budget, in percent, StartTelemetry governs its
+// sampling by when the caller passes no explicit budget. The option rides
+// the ordinary DSN so one connection string configures both the workload
+// connections and the telemetry pipeline; regular connections validate it
+// and ignore the value. 0 disables the governor (every span is kept).
+func parseTelemetryBudgetOption(opts map[string]string) (float64, bool, error) {
+	v, ok := opts["telemetrybudget"]
+	if !ok {
+		return 0, false, nil
+	}
+	pct, err := strconv.ParseFloat(v, 64)
+	if err != nil || pct < 0 {
+		return 0, false, fmt.Errorf("godbc: option telemetrybudget=%q is not a non-negative number", v)
+	}
+	return pct, true, nil
+}
+
 // tracingOn resolves the connection's effective tracing switch.
 func (c *conn) tracingOn() bool {
 	if c.obs.traceSet {

@@ -5,14 +5,22 @@
 //
 //	SELECT op, COUNT(*), SUM(dur_us) FROM PERFDMF_SPANS GROUP BY op
 //
-// The obs.TelemetrySink owns buffering/backpressure; TelemetryStore owns
-// the schema and the INSERT path. The store's connection is quiet (it never
-// produces spans), so persisting telemetry cannot generate more telemetry.
+// The obs.TelemetrySink owns buffering, backpressure and head sampling;
+// TelemetryStore owns the schema and an asynchronous group-commit write
+// path: sink batches land in a bounded queue, a dedicated writer goroutine
+// coalesces them into one relaxed-durability transaction per group, prunes
+// the telemetry tables by age and row cap, and feeds every write's cost
+// back into the sampling governor so persistence stays inside the overhead
+// budget. The store's connection is quiet (it never produces spans), so
+// persisting telemetry cannot generate more telemetry.
 package godbc
 
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"perfdmf/internal/obs"
 )
@@ -115,26 +123,135 @@ func seedSpanIDs(c Conn) error {
 
 const telemetryStatementMax = 512 // stored statement text cap, bytes
 
+// Telemetry pipeline defaults, exported so operators reading the docs and
+// code see the same numbers.
+const (
+	// DefaultTelemetryBudgetPct is the end-to-end overhead budget the
+	// sampling governor enforces when neither TelemetryOptions.BudgetPct
+	// nor the DSN's ?telemetrybudget option sets one.
+	DefaultTelemetryBudgetPct = 5.0
+	// DefaultTelemetryRetainRows caps PERFDMF_SPANS / PERFDMF_SLOWLOG at
+	// this many rows unless the caller picks a cap (or disables it with a
+	// negative RetainRows). A long-running daemon must not let its own
+	// telemetry grow the archive without bound.
+	DefaultTelemetryRetainRows = 100_000
+)
+
+// TelemetryOptions tunes the whole self-hosted telemetry pipeline. The
+// zero value picks sensible defaults everywhere.
+type TelemetryOptions struct {
+	// Sink configures the buffering side (capacity, flush period). The
+	// Governor field is owned by the pipeline and overwritten.
+	Sink obs.SinkOptions
+	// BudgetPct is the end-to-end overhead budget (percent) the sampling
+	// governor targets. 0 defers to the DSN's ?telemetrybudget option and
+	// then DefaultTelemetryBudgetPct; negative disables the governor (every
+	// span is kept).
+	BudgetPct float64
+	// GroupSize caps the entries committed in one writer transaction
+	// (default 512).
+	GroupSize int
+	// MaxBatchAge bounds how long a sub-GroupSize group may wait before it
+	// is committed anyway (default 100ms).
+	MaxBatchAge time.Duration
+	// QueueBatches bounds the writer queue, in sink batches (default 64).
+	// A full queue fails Store — the sink counts the error and the spans
+	// are shed, never the workload blocked.
+	QueueBatches int
+	// RetainAge prunes spans and slow-log rows whose start_time is older
+	// (0 disables age pruning).
+	RetainAge time.Duration
+	// RetainRows caps the row count of each telemetry table, pruning the
+	// oldest span ids beyond it. 0 picks DefaultTelemetryRetainRows;
+	// negative disables the cap.
+	RetainRows int
+	// PruneEvery is the retention sweep cadence on the writer goroutine
+	// (default 5s). A final sweep always runs at Close.
+	PruneEvery time.Duration
+}
+
+func (o TelemetryOptions) withDefaults() TelemetryOptions {
+	if o.GroupSize <= 0 {
+		o.GroupSize = 512
+	}
+	if o.MaxBatchAge <= 0 {
+		o.MaxBatchAge = 100 * time.Millisecond
+	}
+	if o.QueueBatches <= 0 {
+		o.QueueBatches = 64
+	}
+	if o.RetainRows == 0 {
+		o.RetainRows = DefaultTelemetryRetainRows
+	}
+	if o.PruneEvery <= 0 {
+		o.PruneEvery = 5 * time.Second
+	}
+	return o
+}
+
+// Writer-side metrics, resolved once. They share the obs_telemetry family
+// with the sink's counters so the whole pipeline groups on one dashboard.
+var (
+	mTelGroupCommits  = obs.Default.Counter("obs_telemetry_group_commits_total")
+	mTelGroupCommitNS = obs.Default.Histogram("obs_telemetry_group_commit_ns")
+	mTelGroupRows     = obs.Default.Histogram("obs_telemetry_group_commit_rows")
+	mTelWriterErrors  = obs.Default.Counter("obs_telemetry_writer_errors_total")
+	mTelWriterStalls  = obs.Default.Counter("obs_telemetry_writer_stalls_total")
+	mTelQueueDrops    = obs.Default.Counter("obs_telemetry_writer_queue_drops_total")
+	mTelPrunedSpans   = obs.Default.Counter("obs_telemetry_pruned_spans_total")
+	mTelPrunedSlow    = obs.Default.Counter("obs_telemetry_pruned_slowlog_total")
+	mTelPruneRuns     = obs.Default.Counter("obs_telemetry_prune_runs_total")
+)
+
 // TelemetryStore persists span batches through an ordinary godbc
-// connection. Its Store method matches the obs.TelemetrySink callback.
+// connection. Store (the obs.TelemetrySink callback) only enqueues: a
+// dedicated writer goroutine owns the connection, coalesces queued batches
+// into group commits with relaxed durability, and prunes the telemetry
+// tables on a timer. A batch acknowledged by Store (nil error) is
+// guaranteed to be committed by the time Close returns, unless the commit
+// itself failed — which is counted and reported, never silent.
 type TelemetryStore struct {
 	conn    Conn
 	insSpan Stmt
 	insSlow Stmt
+	gov     *obs.Governor
+	opts    TelemetryOptions
+
+	queue    chan []obs.SinkEntry
+	flushReq chan chan error
+	stopCh   chan struct{}
+	done     chan struct{}
+
+	queued atomic.Int64 // entries accepted but not yet committed
+	closed atomic.Bool
+
+	stopOnce sync.Once
+	closeErr error
 }
 
-// OpenTelemetryStore opens a dedicated quiet connection to dsn and ensures
-// the PERFDMF_SPANS and PERFDMF_SLOWLOG tables exist. The DSN should name
-// the same database the application uses (mem: names and file: directories
-// share one engine across connections), so the telemetry lands next to the
-// profile data and is queryable with the same SQL.
-func OpenTelemetryStore(dsn string) (*TelemetryStore, error) {
+// OpenTelemetryStore opens a dedicated quiet connection to dsn, ensures the
+// PERFDMF_SPANS and PERFDMF_SLOWLOG tables exist, and starts the writer
+// goroutine. The DSN should name the same database the application uses
+// (mem: names and file: directories share one engine across connections),
+// so the telemetry lands next to the profile data and is queryable with the
+// same SQL. The sampling governor is created here from the resolved budget
+// (options, then ?telemetrybudget, then the default); retrieve it with
+// Governor to wire the sink.
+func OpenTelemetryStore(dsn string, o TelemetryOptions) (*TelemetryStore, error) {
+	o = o.withDefaults()
+	budget, err := resolveTelemetryBudget(dsn, o.BudgetPct)
+	if err != nil {
+		return nil, err
+	}
 	c, err := Open(dsn)
 	if err != nil {
 		return nil, fmt.Errorf("godbc: telemetry store: %w", err)
 	}
 	if cc, ok := c.(*conn); ok {
 		cc.quiet = true
+		// Span batches ride relaxed commits: group durability is batched
+		// so telemetry fsyncs never contend with the workload's own.
+		cc.relaxed = true
 		// The store must be able to write regardless of DSN observability
 		// options; per-connection trace/slowms make no sense on a quiet
 		// connection.
@@ -170,19 +287,236 @@ func OpenTelemetryStore(dsn string) (*TelemetryStore, error) {
 		c.Close()
 		return nil, fmt.Errorf("godbc: telemetry prepare: %w", err)
 	}
-	return &TelemetryStore{conn: c, insSpan: insSpan, insSlow: insSlow}, nil
+	var gov *obs.Governor
+	if budget > 0 {
+		gov = obs.NewGovernor(budget)
+	}
+	ts := &TelemetryStore{
+		conn:     c,
+		insSpan:  insSpan,
+		insSlow:  insSlow,
+		gov:      gov,
+		opts:     o,
+		queue:    make(chan []obs.SinkEntry, o.QueueBatches),
+		flushReq: make(chan chan error),
+		stopCh:   make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go ts.writer()
+	return ts, nil
 }
 
-// Store persists one sink batch in a single transaction. It satisfies the
+// resolveTelemetryBudget picks the governor budget: an explicit option
+// wins, then the DSN's ?telemetrybudget, then the default. Negative (or
+// telemetrybudget=0) disables the governor and returns 0.
+func resolveTelemetryBudget(dsn string, explicit float64) (float64, error) {
+	if explicit < 0 {
+		return 0, nil
+	}
+	if explicit > 0 {
+		return explicit, nil
+	}
+	if _, rest, ok := strings.Cut(dsn, ":"); ok {
+		if _, opts, err := parseDSNOptions(rest); err == nil {
+			pct, set, err := parseTelemetryBudgetOption(opts)
+			if err != nil {
+				return 0, err
+			}
+			if set {
+				return pct, nil
+			}
+		}
+	}
+	return DefaultTelemetryBudgetPct, nil
+}
+
+// Governor returns the store's sampling governor, nil when the budget is
+// disabled.
+func (ts *TelemetryStore) Governor() *obs.Governor { return ts.gov }
+
+// QueuedEntries returns the entries accepted by Store but not yet
+// committed.
+func (ts *TelemetryStore) QueuedEntries() int { return int(ts.queued.Load()) }
+
+// Store hands one sink batch to the writer goroutine. It never blocks: a
+// full queue (the writer has fallen behind by QueueBatches flushes) fails
+// the batch, which the sink counts as a store error. It satisfies the
 // obs.TelemetrySink store callback.
 func (ts *TelemetryStore) Store(batch []obs.SinkEntry) error {
 	if len(batch) == 0 {
 		return nil
 	}
-	if err := ts.conn.Begin(); err != nil {
+	if ts.closed.Load() {
+		return fmt.Errorf("godbc: telemetry store is closed")
+	}
+	select {
+	case ts.queue <- batch:
+		ts.queued.Add(int64(len(batch)))
+		return nil
+	default:
+		mTelQueueDrops.Add(int64(len(batch)))
+		return fmt.Errorf("godbc: telemetry writer queue full (%d batches pending)", cap(ts.queue))
+	}
+}
+
+// Flush blocks until every batch acknowledged so far has been committed
+// (or the store has shut down). Tests and one-shot tools use it; the
+// steady-state pipeline never needs a barrier.
+func (ts *TelemetryStore) Flush() error {
+	ack := make(chan error, 1)
+	select {
+	case ts.flushReq <- ack:
+		select {
+		case err := <-ack:
+			return err
+		case <-ts.done:
+			return nil
+		}
+	case <-ts.done:
+		return nil
+	}
+}
+
+// writer is the group-commit loop: it owns the store's connection, absorbs
+// queued sink batches, commits them in bounded groups when the size or age
+// trigger fires, runs retention sweeps, and reports every write's duration
+// to the governor. Steady-state commits never wait for the engine's write
+// lock: a refused TryBegin leaves the group pending, reports a governor
+// stall, and retries on the next trigger — only the Flush barrier and the
+// Close drain block for the lock, because their callers need certainty.
+func (ts *TelemetryStore) writer() {
+	defer close(ts.done)
+	age := time.NewTicker(ts.opts.MaxBatchAge)
+	defer age.Stop()
+	prune := time.NewTicker(ts.opts.PruneEvery)
+	defer prune.Stop()
+	var pending []obs.SinkEntry
+	// While commits are stalled behind the workload's write lock, stop
+	// absorbing the queue once a couple of groups are pending: Store's
+	// bound then holds the line (shedding, counted) instead of pending
+	// growing without limit.
+	maxPending := 2 * ts.opts.GroupSize
+	for {
+		queue := ts.queue
+		if len(pending) >= maxPending {
+			queue = nil
+		}
+		select {
+		case b := <-queue:
+			pending = append(pending, b...)
+			for len(pending) >= ts.opts.GroupSize {
+				if !ts.tryCommitGroup(pending[:ts.opts.GroupSize]) {
+					break
+				}
+				pending = pending[ts.opts.GroupSize:]
+			}
+		case <-age.C:
+			if len(pending) > 0 {
+				n := len(pending)
+				if n > ts.opts.GroupSize {
+					n = ts.opts.GroupSize
+				}
+				if ts.tryCommitGroup(pending[:n]) {
+					pending = pending[n:]
+				}
+			}
+		case ack := <-ts.flushReq:
+			pending = ts.drainQueue(pending)
+			var err error
+			if len(pending) > 0 {
+				err = ts.commitGroup(pending)
+				pending = nil
+			}
+			ack <- err
+		case <-prune.C:
+			ts.prune()
+		case <-ts.stopCh:
+			// Final drain: everything Store acknowledged must reach the
+			// tables before Close returns. Then one last retention sweep,
+			// so short-lived processes still honour the caps.
+			pending = ts.drainQueue(pending)
+			if len(pending) > 0 {
+				ts.commitGroup(pending) //nolint:errcheck // counted in obs_telemetry_writer_errors_total
+			}
+			ts.prune()
+			return
+		}
+	}
+}
+
+// drainQueue empties the writer queue without blocking.
+func (ts *TelemetryStore) drainQueue(pending []obs.SinkEntry) []obs.SinkEntry {
+	for {
+		select {
+		case b := <-ts.queue:
+			pending = append(pending, b...)
+		default:
+			return pending
+		}
+	}
+}
+
+// commitGroup persists one group in a single relaxed-durability transaction
+// — blocking until the engine's write lock is free — and feeds the wall
+// time spent into the governor. The Flush barrier and the Close drain use
+// it; steady-state commits go through tryCommitGroup.
+func (ts *TelemetryStore) commitGroup(group []obs.SinkEntry) error {
+	start := time.Now()
+	err := ts.conn.Begin()
+	if err == nil {
+		err = ts.insertGroupTx(group)
+	}
+	return ts.finishGroup(group, time.Since(start), err)
+}
+
+// tryCommitGroup is commitGroup without the wait: when the engine's write
+// lock is held it reports a stall to the governor and returns false with
+// the group left for the caller to retry. True means the group was consumed
+// — committed, or failed with the error counted.
+func (ts *TelemetryStore) tryCommitGroup(group []obs.SinkEntry) bool {
+	start := time.Now()
+	ok, err := TryBeginConn(ts.conn)
+	if err == nil && !ok {
+		mTelWriterStalls.Inc()
+		ts.gov.ReportStall()
+		return false
+	}
+	if err == nil {
+		err = ts.insertGroupTx(group)
+	}
+	ts.finishGroup(group, time.Since(start), err) //nolint:errcheck // counted in obs_telemetry_writer_errors_total
+	return true
+}
+
+// TryBeginConn starts a non-blocking transaction on c when it implements
+// TxTrier, falling back to the blocking Begin (reported as ok) otherwise.
+func TryBeginConn(c Conn) (bool, error) {
+	if tt, ok := c.(TxTrier); ok {
+		return tt.TryBegin()
+	}
+	return true, c.Begin()
+}
+
+// finishGroup settles one consumed group: governor feedback, queue
+// accounting, and the commit/error counters.
+func (ts *TelemetryStore) finishGroup(group []obs.SinkEntry, d time.Duration, err error) error {
+	ts.gov.ReportWrite(d)
+	ts.queued.Add(-int64(len(group)))
+	if err != nil {
+		mTelWriterErrors.Inc()
 		return err
 	}
-	for _, e := range batch {
+	mTelGroupCommits.Inc()
+	mTelGroupCommitNS.Observe(int64(d))
+	mTelGroupRows.Observe(int64(len(group)))
+	return nil
+}
+
+// insertGroupTx runs the group's inserts on the transaction the caller
+// already opened, committing on success and rolling back on the first
+// failed insert.
+func (ts *TelemetryStore) insertGroupTx(group []obs.SinkEntry) error {
+	for _, e := range group {
 		sp := e.Span
 		stmt := sp.Label(telemetryStatementMax)
 		// A zero ParentID persists as NULL, matching rows written before
@@ -215,32 +549,206 @@ func (ts *TelemetryStore) Store(batch []obs.SinkEntry) error {
 	return ts.conn.Commit()
 }
 
-// Close releases the store's statements and connection.
+// prune enforces the retention policy: rows older than RetainAge go first,
+// then each table is capped at RetainRows by pruning the oldest span ids.
+// It runs on the writer goroutine (the connection's only user) and charges
+// its cost to the governor like any other telemetry write.
+func (ts *TelemetryStore) prune() {
+	if ts.opts.RetainAge <= 0 && ts.opts.RetainRows <= 0 {
+		return
+	}
+	start := time.Now()
+	if ts.opts.RetainAge > 0 {
+		cutoff := time.Now().Add(-ts.opts.RetainAge)
+		ts.pruneAge(SpansTable, cutoff, mTelPrunedSpans)
+		ts.pruneAge(SlowLogTable, cutoff, mTelPrunedSlow)
+	}
+	if ts.opts.RetainRows > 0 {
+		ts.pruneRows(SpansTable, mTelPrunedSpans)
+		ts.pruneRows(SlowLogTable, mTelPrunedSlow)
+	}
+	ts.gov.ReportWrite(time.Since(start))
+	mTelPruneRuns.Inc()
+}
+
+func (ts *TelemetryStore) pruneAge(table string, cutoff time.Time, pruned *obs.Counter) {
+	res, err := ts.conn.Exec("DELETE FROM "+table+" WHERE start_time < ?", cutoff)
+	if err != nil {
+		mTelWriterErrors.Inc()
+		return
+	}
+	pruned.Add(res.RowsAffected)
+}
+
+// pruneRows deletes everything older than the RetainRows-th newest span id
+// of the table. Span ids are monotonic in start order, so "oldest rows"
+// and "smallest ids" coincide.
+func (ts *TelemetryStore) pruneRows(table string, pruned *obs.Counter) {
+	rows, err := ts.conn.Query(
+		"SELECT span_id FROM "+table+" ORDER BY span_id DESC LIMIT 1 OFFSET ?",
+		ts.opts.RetainRows-1)
+	if err != nil {
+		mTelWriterErrors.Inc()
+		return
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		return // table is within the cap
+	}
+	keepFrom, ok := rows.Value(0).(int64)
+	rows.Close()
+	if !ok {
+		return
+	}
+	res, err := ts.conn.Exec("DELETE FROM "+table+" WHERE span_id < ?", keepFrom)
+	if err != nil {
+		mTelWriterErrors.Inc()
+		return
+	}
+	pruned.Add(res.RowsAffected)
+}
+
+// Close stops the writer (draining everything acknowledged, committing the
+// tail, and running a final retention sweep), then releases the statements
+// and the connection. Closing twice is safe.
 func (ts *TelemetryStore) Close() error {
-	ts.insSpan.Close() //nolint:errcheck
-	ts.insSlow.Close() //nolint:errcheck
-	return ts.conn.Close()
+	ts.stopOnce.Do(func() {
+		ts.closed.Store(true)
+		close(ts.stopCh)
+		<-ts.done
+		ts.insSpan.Close() //nolint:errcheck
+		ts.insSlow.Close() //nolint:errcheck
+		ts.closeErr = ts.conn.Close()
+	})
+	return ts.closeErr
+}
+
+// --- pipeline state, for /healthz and the OBS_TELEMETRY catalog ---
+
+// TelemetryStats is a point-in-time snapshot of the self-telemetry
+// pipeline: the governor's control state, queue pressure, lifetime
+// throughput counters, and the retention configuration. /healthz embeds it
+// and the OBS_TELEMETRY virtual catalog row is built from it.
+type TelemetryStats struct {
+	Active              bool
+	SampleRate          float64
+	BudgetPct           float64
+	WriteOverheadPct    float64
+	GovernorAdjustments int64
+	QueueDepth          int // sink buffer + writer queue, in entries
+	QueueCapacity       int // sink buffer capacity
+	Offered             int64
+	SampledOut          int64
+	Dropped             int64
+	Stored              int64
+	StoreErrors         int64
+	GroupCommits        int64
+	PrunedSpans         int64
+	PrunedSlowLog       int64
+	LastFlush           time.Time
+	RetainAge           time.Duration
+	RetainRows          int
+}
+
+// telemetryPipeline ties a running sink/store pair together for state
+// snapshots. The pointer survives Stop so post-run summaries still see the
+// final counters, with Active false.
+type telemetryPipeline struct {
+	sink   *obs.TelemetrySink
+	store  *TelemetryStore
+	active atomic.Bool
+}
+
+var activeTelemetry atomic.Pointer[telemetryPipeline]
+
+// TelemetryState snapshots the most recent telemetry pipeline. ok is false
+// when StartTelemetry has never run in this process; Active is false once
+// the pipeline has been stopped.
+func TelemetryState() (TelemetryStats, bool) {
+	p := activeTelemetry.Load()
+	if p == nil {
+		return TelemetryStats{}, false
+	}
+	gov := p.store.Governor()
+	st := TelemetryStats{
+		Active:              p.active.Load(),
+		SampleRate:          gov.Rate(),
+		BudgetPct:           gov.BudgetPct(),
+		WriteOverheadPct:    gov.OverheadPct(),
+		GovernorAdjustments: gov.Adjustments(),
+		QueueDepth:          p.sink.Buffered() + p.store.QueuedEntries(),
+		QueueCapacity:       p.sink.Capacity(),
+		Offered:             obs.Default.Counter("obs_telemetry_offered_total").Value(),
+		SampledOut:          obs.Default.Counter("obs_telemetry_sampled_out_total").Value(),
+		Dropped:             obs.Default.Counter("obs_telemetry_dropped_total").Value(),
+		Stored:              obs.Default.Counter("obs_telemetry_stored_total").Value(),
+		StoreErrors:         obs.Default.Counter("obs_telemetry_store_errors_total").Value(),
+		GroupCommits:        mTelGroupCommits.Value(),
+		PrunedSpans:         mTelPrunedSpans.Value(),
+		PrunedSlowLog:       mTelPrunedSlow.Value(),
+		LastFlush:           p.sink.LastFlush(),
+		RetainAge:           p.store.opts.RetainAge,
+		RetainRows:          p.store.opts.RetainRows,
+	}
+	return st, true
+}
+
+// FlushTelemetry drains the active pipeline end to end: the sink's buffer
+// into the writer's queue, then the queue through a group commit into the
+// database. It is a barrier — after a nil return, every span the sink had
+// accepted before the call is committed. No-op when no pipeline is running.
+func FlushTelemetry() error {
+	p := activeTelemetry.Load()
+	if p == nil || !p.active.Load() {
+		return nil
+	}
+	// Drain the writer's queue first: after a burst it may be full, and a
+	// sink flush into a full queue sheds the batch instead of blocking.
+	// With the queue empty the sink's batch is guaranteed a slot; the
+	// second store flush commits it.
+	if err := p.store.Flush(); err != nil {
+		return err
+	}
+	if err := p.sink.Flush(); err != nil {
+		return err
+	}
+	return p.store.Flush()
 }
 
 // StartTelemetry wires the whole self-hosted telemetry path: it opens a
-// TelemetryStore on dsn, starts an obs.TelemetrySink flushing into it, and
-// installs the sink globally so every connection's completed spans are
-// captured. The returned stop function uninstalls the sink, flushes the
-// tail, and closes the store.
-func StartTelemetry(dsn string, o obs.SinkOptions) (stop func() error, err error) {
-	st, err := OpenTelemetryStore(dsn)
+// TelemetryStore on dsn (starting the group-commit writer), creates the
+// budget governor, starts an obs.TelemetrySink sampling and flushing into
+// the store, and installs the sink globally so every connection's completed
+// spans are captured. The returned stop function uninstalls the sink,
+// flushes the tail through the writer, and closes the store.
+func StartTelemetry(dsn string, o TelemetryOptions) (stop func() error, err error) {
+	st, err := OpenTelemetryStore(dsn, o)
 	if err != nil {
 		return nil, err
 	}
-	sink := obs.NewTelemetrySink(st.Store, o)
+	so := o.Sink
+	so.Governor = st.Governor()
+	sink := obs.NewTelemetrySink(st.Store, so)
 	sink.Start()
+	p := &telemetryPipeline{sink: sink, store: st}
+	p.active.Store(true)
+	activeTelemetry.Store(p)
 	obs.InstallSink(sink)
 	return func() error {
 		obs.UninstallSink()
-		err := sink.Close()
+		// Drain the writer's queue before the sink's final flush: after a
+		// burst the queue may be full, and the tail of the telemetry would
+		// be shed (a counted error) at the very moment a clean drain is
+		// wanted. With the queue emptied the final batch always fits, and
+		// st.Close commits it.
+		err := st.Flush()
+		if cerr := sink.Close(); err == nil {
+			err = cerr
+		}
 		if cerr := st.Close(); err == nil {
 			err = cerr
 		}
+		p.active.Store(false)
 		return err
 	}, nil
 }

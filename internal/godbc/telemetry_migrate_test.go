@@ -59,7 +59,7 @@ func TestTelemetrySchemaMigration(t *testing.T) {
 
 	// Opening the store migrates the schema and seeds span ids above the
 	// legacy maximum.
-	st, err := OpenTelemetryStore(dsn)
+	st, err := OpenTelemetryStore(dsn, TelemetryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,6 +88,9 @@ func TestTelemetrySchemaMigration(t *testing.T) {
 		{Span: &obs.Span{ID: childID + 1, Root: "upload:mig", Kind: "upload", Name: "upload:mig",
 			Start: time.Now(), Total: time.Millisecond}},
 	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Flush(); err != nil { // writer barrier: make the group commit visible
 		t.Fatal(err)
 	}
 

@@ -17,7 +17,7 @@ func TestTelemetrySelfHosted(t *testing.T) {
 	defer obs.SetSlowQueryThreshold(0)
 
 	dsn := "mem:selfhosted"
-	st, err := OpenTelemetryStore(dsn)
+	st, err := OpenTelemetryStore(dsn, TelemetryOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,6 +55,11 @@ func TestTelemetrySelfHosted(t *testing.T) {
 		t.Fatal("sink buffered nothing despite active statements")
 	}
 	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Store is asynchronous now: the sink flush only enqueued the batch.
+	// Flush the store too so the writer's group commit is visible below.
+	if err := st.Flush(); err != nil {
 		t.Fatal(err)
 	}
 

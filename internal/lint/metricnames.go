@@ -25,8 +25,14 @@ var histUnitSuffixes = []string{"_ns", "_us", "_ms", "_seconds", "_bytes", "_row
 // group by. A name inside one must name a concrete member — the family
 // prefix plus only kind/unit suffixes ("obs_catalog_total") says nothing
 // about what is being measured.
+// Order matters: checkFamilyMember takes the first matching family, so a
+// family that extends another ("obs_telemetry_governor" inside
+// "obs_telemetry") must come first — otherwise its names would be judged
+// against the shorter prefix and "obs_telemetry_governor_total" would pass
+// with "governor" as the member.
 var metricFamilies = []string{
 	"obs_catalog",
+	"obs_telemetry_governor",
 	"obs_telemetry",
 	"sqlexec_stmt",
 	"sqlexec_plan_cache",
@@ -47,8 +53,8 @@ var suffixTokens = map[string]bool{
 // <name>_count and <name>_sum series, so those suffixes would collide);
 // gauges must not pretend to be monotonic with a _total suffix. Names in a
 // reserved family namespace (obs_catalog_*, obs_telemetry_*,
-// sqlexec_stmt_*, sqlexec_plan_cache_*) must name a concrete member beyond
-// the family prefix and suffix tokens.
+// obs_telemetry_governor_*, sqlexec_stmt_*, sqlexec_plan_cache_*) must name
+// a concrete member beyond the family prefix and suffix tokens.
 //
 // Names built by concatenation around dynamic parts — the per-format
 // family idiom, "formats_parse_" + f + "_ns" — are checked by fragment:

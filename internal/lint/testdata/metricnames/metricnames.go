@@ -70,12 +70,19 @@ var (
 	mStmtActive  = reg.Gauge("sqlexec_stmt_active")
 	mPlanHits    = reg.Counter("sqlexec_plan_cache_hits_total")
 	mTelDropped  = reg.Counter("obs_telemetry_dropped_total")
+	mGovAdjust   = reg.Counter("obs_telemetry_governor_adjustments_total")
+	mGovOverhead = reg.Gauge("obs_telemetry_governor_overhead_permille")
 
 	mCatBare   = reg.Counter("obs_catalog_total")          // want "names the obs_catalog family but no member"
 	mStmtBare  = reg.Gauge("sqlexec_stmt")                 // want "names the sqlexec_stmt family but no member"
 	mTelBare   = reg.Histogram("obs_telemetry_ms")         // want "names the obs_telemetry family but no member"
 	mPlanBare  = reg.Counter("sqlexec_plan_cache_total")   // want "names the sqlexec_plan_cache family but no member"
 	mCatDouble = reg.Counter("obs_catalog__queries_total") // want "not snake_case"
+	// The governor family nests inside obs_telemetry; the longer prefix
+	// must win, so a bare governor name blames its own family, not a
+	// "governor"-membered obs_telemetry name that would slip through.
+	mGovBare  = reg.Counter("obs_telemetry_governor_total") // want "names the obs_telemetry_governor family but no member"
+	mGovBare2 = reg.Gauge("obs_telemetry_governor")         // want "names the obs_telemetry_governor family but no member"
 )
 
 // familyDynamic: a dynamic member satisfies the family rule (nothing to

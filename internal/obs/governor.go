@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Governor is the feedback controller behind budget-governed telemetry
+// sampling. PerfDMF traces itself, so the telemetry pipeline's SQL writes
+// compete for CPU with the very workloads the spans describe; the governor
+// keeps that self-inflicted cost inside an operator-set overhead budget by
+// adjusting the head-sampling rate instead of letting the sink write every
+// span it sees.
+//
+// The control loop is driven by the storage side: the telemetry writer
+// reports the wall time of every group commit (ReportWrite). Once enough
+// wall clock has passed since the last adjustment, the governor computes
+// the write fraction — accumulated write time over elapsed time — and
+// rescales the sample rate multiplicatively toward the write-time target.
+// The target is half the configured budget: tracing itself (span creation,
+// buffering, ring routing) consumes real headroom before a single row is
+// written, so aiming the writes at the full budget would overshoot the
+// end-to-end number the budget promises.
+//
+// Increases are damped (at most ×1.5 per window) so a quiet interval does
+// not slingshot the rate back to 1.0 right before the next burst; decreases
+// are taken at face value, because over-budget means the workload is being
+// distorted right now.
+//
+// The writer also reports the attempts it had to give up (ReportStall):
+// when the workload holds the engine's write lock in a long transaction,
+// no telemetry write can land at all, so a stalled window skips the
+// rescale and cuts the rate multiplicatively instead.
+type Governor struct {
+	budgetPct float64 // end-to-end overhead budget, percent
+	targetPct float64 // write-time target: budgetPct * governorHeadroom
+
+	rateMilli   atomic.Int64 // current sample rate in per-mille [minRateMilli, 1000]
+	lastMilli   atomic.Int64 // last measured write overhead, per-mille of wall time
+	adjustments atomic.Int64
+
+	mu       sync.Mutex
+	winStart time.Time
+	writeNS  int64
+	stalled  bool
+}
+
+const (
+	// governorHeadroom is the fraction of the budget allotted to the write
+	// path; the rest covers span creation and sink buffering.
+	governorHeadroom = 0.5
+	// governorWindow is the minimum wall time between rate adjustments.
+	// Short enough that a one-second workload converges within its first
+	// few flushes; long enough that back-to-back group commits are judged
+	// against real elapsed time, not the microseconds between them.
+	governorWindow = 25 * time.Millisecond
+	// governorMaxRaise damps rate increases per adjustment window.
+	governorMaxRaise = 1.5
+	// minRateMilli floors the sample rate at 1%: the governor sheds load,
+	// it never goes fully blind.
+	minRateMilli = 10
+	// governorStallDecay is the multiplicative rate cut per stalled window.
+	// A stall means the writer could not take the engine's write lock at
+	// all — the workload is in a long write transaction — so the governor
+	// backs off much harder than a merely over-budget measurement would.
+	governorStallDecay = 0.25
+)
+
+// Governor metrics, resolved once. The sample rate and measured overhead
+// are integer gauges, so both are exported in per-mille.
+var (
+	govSampleRate      = Default.Gauge("obs_telemetry_sample_rate_permille")
+	govAdjustments     = Default.Counter("obs_telemetry_governor_adjustments_total")
+	govOverheadPermill = Default.Gauge("obs_telemetry_governor_overhead_permille")
+	govBudgetPermill   = Default.Gauge("obs_telemetry_governor_budget_permille")
+	govStalledWindows  = Default.Counter("obs_telemetry_governor_stalled_windows_total")
+)
+
+// NewGovernor returns a governor targeting budgetPct percent of end-to-end
+// overhead. The initial sample rate is 1.0: capture everything until the
+// measured write cost proves that too expensive.
+func NewGovernor(budgetPct float64) *Governor {
+	g := &Governor{
+		budgetPct: budgetPct,
+		targetPct: budgetPct * governorHeadroom,
+		winStart:  time.Now(),
+	}
+	g.rateMilli.Store(1000)
+	govSampleRate.Set(1000)
+	govBudgetPermill.Set(int64(budgetPct * 10))
+	return g
+}
+
+// Rate returns the current sample rate in [0.01, 1.0].
+func (g *Governor) Rate() float64 {
+	if g == nil {
+		return 1
+	}
+	return float64(g.rateMilli.Load()) / 1000
+}
+
+// BudgetPct returns the configured end-to-end overhead budget.
+func (g *Governor) BudgetPct() float64 {
+	if g == nil {
+		return 0
+	}
+	return g.budgetPct
+}
+
+// OverheadPct returns the last measured write overhead (percent of wall
+// time), 0 before the first adjustment.
+func (g *Governor) OverheadPct() float64 {
+	if g == nil {
+		return 0
+	}
+	return float64(g.lastMilli.Load()) / 10
+}
+
+// Adjustments returns how many times the rate has been re-computed.
+func (g *Governor) Adjustments() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.adjustments.Load()
+}
+
+// ReportWrite feeds one storage write's duration into the control loop.
+// Safe to call from any goroutine; nil governors ignore it.
+func (g *Governor) ReportWrite(d time.Duration) {
+	if g == nil {
+		return
+	}
+	g.report(int64(d), false)
+}
+
+// ReportStall feeds one refused write attempt into the control loop: the
+// writer found the engine's write lock held and deferred the group. A
+// window containing a stall cuts the rate by governorStallDecay instead of
+// rescaling against a measurement — during a long workload transaction no
+// telemetry can be written at any price, and the backlog the sink keeps
+// offering would only be shed later. Safe from any goroutine; nil
+// governors ignore it.
+func (g *Governor) ReportStall() {
+	if g == nil {
+		return
+	}
+	g.report(0, true)
+}
+
+func (g *Governor) report(writeNS int64, stalled bool) {
+	g.mu.Lock()
+	g.writeNS += writeNS
+	g.stalled = g.stalled || stalled
+	wall := time.Since(g.winStart)
+	if wall < governorWindow {
+		g.mu.Unlock()
+		return
+	}
+	winNS, winStalled := g.writeNS, g.stalled
+	g.writeNS, g.stalled = 0, false
+	g.winStart = time.Now()
+	g.mu.Unlock()
+	if winStalled {
+		g.adjustStalled()
+		return
+	}
+	g.adjust(100 * float64(winNS) / float64(wall))
+}
+
+// adjustStalled applies the stalled-window rate cut. The last measured
+// overhead gauge is left untouched: a stall is the absence of a
+// measurement, not a zero.
+func (g *Governor) adjustStalled() {
+	milli := int64(float64(g.rateMilli.Load()) * governorStallDecay)
+	if milli < minRateMilli {
+		milli = minRateMilli
+	}
+	g.rateMilli.Store(milli)
+	g.adjustments.Add(1)
+	govSampleRate.Set(milli)
+	govAdjustments.Inc()
+	govStalledWindows.Inc()
+}
+
+// adjust rescales the sample rate toward the write-time target given the
+// measured write overhead (percent of wall time) of the closed window.
+func (g *Governor) adjust(overheadPct float64) {
+	cur := g.Rate()
+	next := cur * governorMaxRaise
+	if overheadPct > 0 {
+		next = cur * g.targetPct / overheadPct
+		if next > cur*governorMaxRaise {
+			next = cur * governorMaxRaise
+		}
+	}
+	milli := int64(next * 1000)
+	if milli < minRateMilli {
+		milli = minRateMilli
+	}
+	if milli > 1000 {
+		milli = 1000
+	}
+	g.rateMilli.Store(milli)
+	g.lastMilli.Store(int64(overheadPct * 10))
+	g.adjustments.Add(1)
+	govSampleRate.Set(milli)
+	govOverheadPermill.Set(int64(overheadPct * 10))
+	govAdjustments.Inc()
+}

@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGovernorAdjust drives the controller directly with measured overhead
+// figures and checks the multiplicative response: proportional shedding
+// when over target, damped recovery when under, clamps at both ends.
+func TestGovernorAdjust(t *testing.T) {
+	g := NewGovernor(5) // target = 2.5% write time
+	if r := g.Rate(); r != 1.0 {
+		t.Fatalf("initial rate = %v, want 1.0", r)
+	}
+
+	// 10% measured against a 2.5% target: rate drops to a quarter, in one
+	// step — over-budget is acted on at face value.
+	g.adjust(10)
+	if r := g.Rate(); r != 0.25 {
+		t.Fatalf("rate after 10%% overhead = %v, want 0.25", r)
+	}
+	if got := g.OverheadPct(); got != 10 {
+		t.Fatalf("OverheadPct = %v, want 10", got)
+	}
+
+	// Way under target: recovery is damped to ×1.5 per window, not an
+	// instant slingshot back to 1.0.
+	g.adjust(0.1)
+	if r := g.Rate(); r != 0.375 {
+		t.Fatalf("rate after quiet window = %v, want 0.375 (0.25 × 1.5)", r)
+	}
+
+	// A zero-overhead window (no writes at all) also raises by the cap.
+	g.adjust(0)
+	if r := g.Rate(); r > 0.563 || r < 0.562 {
+		t.Fatalf("rate after zero window = %v, want ~0.5625", r)
+	}
+
+	// Massive overload clamps at the floor: the governor never goes blind.
+	g.adjust(1000)
+	if r := g.Rate(); r != float64(minRateMilli)/1000 {
+		t.Fatalf("rate under overload = %v, want floor %v", r, float64(minRateMilli)/1000)
+	}
+
+	// Repeated quiet windows climb back and cap at 1.0.
+	for i := 0; i < 20; i++ {
+		g.adjust(0.01)
+	}
+	if r := g.Rate(); r != 1.0 {
+		t.Fatalf("rate after sustained quiet = %v, want 1.0", r)
+	}
+	if n := g.Adjustments(); n != 24 {
+		t.Fatalf("adjustments = %d, want 24", n)
+	}
+}
+
+// TestGovernorNil: a nil governor is the sampling-off configuration — every
+// accessor degrades to "keep everything, report nothing".
+func TestGovernorNil(t *testing.T) {
+	var g *Governor
+	if g.Rate() != 1 || g.BudgetPct() != 0 || g.OverheadPct() != 0 || g.Adjustments() != 0 {
+		t.Fatal("nil governor does not read as sampling-off")
+	}
+	g.ReportWrite(time.Second) // must not panic
+}
+
+// TestGovernorReportWrite exercises the windowing: reports inside the
+// window accumulate silently; once the window's wall time has elapsed the
+// accumulated write time is judged against it. The window start is
+// back-dated instead of sleeping.
+func TestGovernorReportWrite(t *testing.T) {
+	g := NewGovernor(5)
+	g.ReportWrite(time.Millisecond)
+	if n := g.Adjustments(); n != 0 {
+		t.Fatalf("adjusted %d times inside the window, want 0", n)
+	}
+
+	// Close the window: ~100ms of wall, 1ms already banked + 9ms now =
+	// ~10% overhead against a 2.5% target → rate ~0.25.
+	g.mu.Lock()
+	g.winStart = time.Now().Add(-100 * time.Millisecond)
+	g.mu.Unlock()
+	g.ReportWrite(9 * time.Millisecond)
+	if n := g.Adjustments(); n != 1 {
+		t.Fatalf("adjustments = %d, want 1", n)
+	}
+	if r := g.Rate(); r < 0.2 || r > 0.3 {
+		t.Fatalf("rate = %v, want ~0.25 (10%% measured, 2.5%% target)", r)
+	}
+}
+
+// TestGovernorReportStall: a window containing a refused write attempt
+// skips the rescale and cuts the rate by governorStallDecay — the writer
+// could not take the engine's write lock, so there is no measurement to
+// rescale against. The last-overhead gauge must stay untouched (a stall
+// is the absence of a measurement, not a zero), and the floor still
+// holds.
+func TestGovernorReportStall(t *testing.T) {
+	g := NewGovernor(5)
+	g.lastMilli.Store(42) // sentinel: stalls must not overwrite it
+
+	g.ReportStall()
+	if n := g.Adjustments(); n != 0 {
+		t.Fatalf("adjusted %d times inside the window, want 0", n)
+	}
+
+	stalledBefore := govStalledWindows.Value()
+	g.mu.Lock()
+	g.winStart = time.Now().Add(-100 * time.Millisecond)
+	g.mu.Unlock()
+	g.ReportStall()
+	if n := g.Adjustments(); n != 1 {
+		t.Fatalf("adjustments = %d, want 1", n)
+	}
+	if r := g.Rate(); r != governorStallDecay {
+		t.Fatalf("rate after stalled window = %v, want %v", r, governorStallDecay)
+	}
+	if got := govStalledWindows.Value() - stalledBefore; got != 1 {
+		t.Fatalf("stalled-windows counter moved by %d, want 1", got)
+	}
+	if got := g.lastMilli.Load(); got != 42 {
+		t.Fatalf("stall overwrote last-overhead gauge: %d, want sentinel 42", got)
+	}
+
+	// A stall anywhere in the window taints it even when writes also
+	// landed: the backlog those writes drained was built during the stall.
+	g.ReportWrite(time.Millisecond)
+	g.ReportStall()
+	g.mu.Lock()
+	g.winStart = time.Now().Add(-100 * time.Millisecond)
+	g.mu.Unlock()
+	g.ReportWrite(time.Millisecond)
+	if m := g.rateMilli.Load(); m != 62 { // 250‰ × 0.25, truncated to per-mille
+		t.Fatalf("rate after mixed stalled window = %d‰, want 62‰", m)
+	}
+
+	// Repeated stalls clamp at the floor: shedding, never blind.
+	for i := 0; i < 10; i++ {
+		g.mu.Lock()
+		g.winStart = time.Now().Add(-100 * time.Millisecond)
+		g.mu.Unlock()
+		g.ReportStall()
+	}
+	if r := g.Rate(); r != float64(minRateMilli)/1000 {
+		t.Fatalf("rate under sustained stall = %v, want floor %v", r, float64(minRateMilli)/1000)
+	}
+
+	// Nil-safety, like every other report path.
+	var nilG *Governor
+	nilG.ReportStall()
+}
+
+// TestStrideCounterExact: the stride counter's contract — after n offers
+// at steady rate r, exactly ceil(n·r) were admitted — holds across rates,
+// so the admitted stream is a faithful, deterministic thinning.
+func TestStrideCounterExact(t *testing.T) {
+	for _, rate := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 1.0} {
+		sc := &strideCounter{}
+		kept := 0
+		const n = 1000
+		for i := 0; i < n; i++ {
+			if sc.admit(rate) {
+				kept++
+			}
+		}
+		want := int(n * rate)
+		if kept < want || kept > want+1 {
+			t.Errorf("rate %v: kept %d of %d, want %d..%d", rate, kept, n, want, want+1)
+		}
+	}
+}
+
+// TestSinkSampling: with a governor attached and the rate forced down, the
+// sink thins ordinary spans per root op, counts what it sheds, and still
+// keeps every slow span, every error span, and a floor share of each root
+// op — rare operations stay visible while a hot loop is shed.
+func TestSinkSampling(t *testing.T) {
+	g := NewGovernor(5)
+	g.rateMilli.Store(100) // force 10% without driving the control loop
+	s := NewTelemetrySink(func([]SinkEntry) error { return nil },
+		SinkOptions{Capacity: 10000, Governor: g})
+
+	sampledBefore := sinkSampledOut.Value()
+	for i := 0; i < 1000; i++ {
+		s.Offer(&Span{ID: int64(i + 1), Root: "upload:hot", Kind: "exec"}, false)
+	}
+	if got := s.Buffered(); got != 100 {
+		t.Fatalf("hot root op buffered %d of 1000 at 10%%, want 100", got)
+	}
+	if got := sinkSampledOut.Value() - sampledBefore; got != 900 {
+		t.Fatalf("sampled_out = %d, want 900", got)
+	}
+
+	// A rare root op gets its own stride: its first span is admitted even
+	// though the hot op is deep into shedding.
+	s.Offer(&Span{ID: 5001, Root: "analyze:rare", Kind: "query"}, false)
+	if got := s.Buffered(); got != 101 {
+		t.Fatalf("rare root op's first span not admitted: buffered %d, want 101", got)
+	}
+
+	// Slow and error spans bypass sampling entirely.
+	base := s.Buffered()
+	for i := 0; i < 50; i++ {
+		s.Offer(&Span{ID: int64(6000 + i), Root: "upload:hot", Kind: "exec"}, true)
+		s.Offer(&Span{ID: int64(7000 + i), Root: "upload:hot", Kind: "exec", Err: "boom"}, false)
+	}
+	if got := s.Buffered() - base; got != 100 {
+		t.Fatalf("slow+error spans admitted %d of 100, want all 100", got)
+	}
+
+	// Without a governor nothing is sampled.
+	s2 := NewTelemetrySink(func([]SinkEntry) error { return nil }, SinkOptions{Capacity: 2000})
+	for i := 0; i < 500; i++ {
+		s2.Offer(&Span{ID: int64(i + 1), Root: "upload:hot", Kind: "exec"}, false)
+	}
+	if got := s2.Buffered(); got != 500 {
+		t.Fatalf("governor-less sink buffered %d of 500, want all", got)
+	}
+}
+
+// TestRootOpKey pins the grouping rule sampling fairness rests on.
+func TestRootOpKey(t *testing.T) {
+	cases := []struct {
+		sp   *Span
+		want string
+	}{
+		{&Span{Root: "t1:e1-upload"}, "t1"},
+		{&Span{Root: "upload"}, "upload"},
+		{&Span{Root: ":odd"}, ":odd"}, // no prefix before ':' — keep as-is
+		{&Span{Statement: "SELECT 1"}, "SELECT"},
+		{&Span{}, ""},
+	}
+	for _, c := range cases {
+		if got := rootOpKey(c.sp); got != c.want {
+			t.Errorf("rootOpKey(%+v) = %q, want %q", c.sp, got, c.want)
+		}
+	}
+}
+
+// TestSinkLastFlush: the flush timestamp the health surfaces age against
+// advances on every flush, including empty ones (an idle pipeline is not a
+// stuck pipeline).
+func TestSinkLastFlush(t *testing.T) {
+	s := NewTelemetrySink(func([]SinkEntry) error { return nil }, SinkOptions{})
+	if !s.LastFlush().IsZero() {
+		t.Fatal("LastFlush set before any flush")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	first := s.LastFlush()
+	if first.IsZero() {
+		t.Fatal("empty flush did not stamp LastFlush")
+	}
+	s.Offer(&Span{ID: 1}, false)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.LastFlush().After(first.Add(-time.Millisecond)) {
+		t.Fatalf("LastFlush did not advance: %v then %v", first, s.LastFlush())
+	}
+}

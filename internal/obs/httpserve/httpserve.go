@@ -52,11 +52,60 @@ func (o *Options) fill() {
 // "degraded" (HTTP 503). PlanCacheHitRatio is hits/(hits+misses) over the
 // registry's plan-cache counters, 0 before any statement has run.
 type HealthResponse struct {
-	Status               string        `json:"status"`
-	Error                string        `json:"error,omitempty"`
-	DB                   *godbc.Health `json:"db,omitempty"`
-	CheckpointAgeSeconds float64       `json:"checkpoint_age_seconds,omitempty"`
-	PlanCacheHitRatio    float64       `json:"plan_cache_hit_ratio"`
+	Status               string           `json:"status"`
+	Error                string           `json:"error,omitempty"`
+	DB                   *godbc.Health    `json:"db,omitempty"`
+	CheckpointAgeSeconds float64          `json:"checkpoint_age_seconds,omitempty"`
+	PlanCacheHitRatio    float64          `json:"plan_cache_hit_ratio"`
+	Telemetry            *TelemetryHealth `json:"telemetry,omitempty"`
+}
+
+// TelemetryHealth is the /healthz view of the self-hosted telemetry
+// pipeline — present whenever StartTelemetry has run in this process. The
+// fields answer the operational questions: is it keeping up (queue depth
+// vs capacity, drops), is it shedding load (sample rate), and is data
+// still flowing (age of the last flush; -1 before the first).
+type TelemetryHealth struct {
+	Active              bool    `json:"active"`
+	SampleRate          float64 `json:"sample_rate"`
+	BudgetPct           float64 `json:"budget_pct"`
+	WriteOverheadPct    float64 `json:"write_overhead_pct"`
+	QueueDepth          int     `json:"telemetry_queue_depth"`
+	QueueCapacity       int     `json:"telemetry_queue_capacity"`
+	DroppedTotal        int64   `json:"telemetry_dropped_total"`
+	SampledOutTotal     int64   `json:"telemetry_sampled_out_total"`
+	StoredTotal         int64   `json:"telemetry_stored_total"`
+	StoreErrorsTotal    int64   `json:"telemetry_store_errors_total"`
+	PrunedSpansTotal    int64   `json:"telemetry_pruned_spans_total"`
+	PrunedSlowLogTotal  int64   `json:"telemetry_pruned_slowlog_total"`
+	LastFlushAgeSeconds float64 `json:"last_flush_age_seconds"`
+}
+
+// telemetryHealth snapshots the pipeline, nil when it has never run.
+func telemetryHealth() *TelemetryHealth {
+	st, ok := godbc.TelemetryState()
+	if !ok {
+		return nil
+	}
+	age := -1.0
+	if !st.LastFlush.IsZero() {
+		age = time.Since(st.LastFlush).Seconds()
+	}
+	return &TelemetryHealth{
+		Active:              st.Active,
+		SampleRate:          st.SampleRate,
+		BudgetPct:           st.BudgetPct,
+		WriteOverheadPct:    st.WriteOverheadPct,
+		QueueDepth:          st.QueueDepth,
+		QueueCapacity:       st.QueueCapacity,
+		DroppedTotal:        st.Dropped,
+		SampledOutTotal:     st.SampledOut,
+		StoredTotal:         st.Stored,
+		StoreErrorsTotal:    st.StoreErrors,
+		PrunedSpansTotal:    st.PrunedSpans,
+		PrunedSlowLogTotal:  st.PrunedSlowLog,
+		LastFlushAgeSeconds: age,
+	}
 }
 
 // NewHandler builds the monitoring mux:
@@ -105,7 +154,11 @@ func (o *Options) health() (HealthResponse, int) {
 	if reg == nil {
 		reg = obs.Default
 	}
-	resp := HealthResponse{Status: "ok", PlanCacheHitRatio: planCacheHitRatio(reg)}
+	resp := HealthResponse{
+		Status:            "ok",
+		PlanCacheHitRatio: planCacheHitRatio(reg),
+		Telemetry:         telemetryHealth(),
+	}
 	if o.Health == nil {
 		return resp, http.StatusOK
 	}

@@ -369,3 +369,91 @@ func TestStatementsEndpoint(t *testing.T) {
 		t.Errorf("POST /statements/1 = %d, want 405", resp.StatusCode)
 	}
 }
+
+// TestHealthzTelemetryBlock: once StartTelemetry has run, /healthz carries
+// the pipeline block — queue depth and capacity, drop and prune counters,
+// the sample rate, and the age of the last flush — and keeps reporting it
+// (active=false) after the pipeline stops.
+func TestHealthzTelemetryBlock(t *testing.T) {
+	stop, err := godbc.StartTelemetry("mem:healthz_telemetry",
+		godbc.TelemetryOptions{Sink: obs.SinkOptions{FlushEvery: 5 * time.Millisecond}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	defer func() {
+		if !stopped {
+			stop() //nolint:errcheck // best-effort cleanup on failure paths
+		}
+	}()
+
+	// Produce some telemetry and let at least one flush complete so
+	// last_flush_age_seconds is a real age, not the -1 sentinel.
+	c, err := godbc.Open("mem:healthz_telemetry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE hz (n BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, ok := godbc.TelemetryState(); ok && !st.LastFlush.IsZero() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sink never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	srv := httptest.NewServer(NewHandler(Options{}))
+	defer srv.Close()
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d: %s", code, body)
+	}
+	var resp HealthResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	tel := resp.Telemetry
+	if tel == nil {
+		t.Fatalf("healthz has no telemetry block: %s", body)
+	}
+	if !tel.Active {
+		t.Fatalf("telemetry.active = false while the pipeline runs: %+v", tel)
+	}
+	if tel.QueueCapacity <= 0 || tel.QueueDepth < 0 || tel.QueueDepth > tel.QueueCapacity {
+		t.Fatalf("queue depth/capacity = %d/%d", tel.QueueDepth, tel.QueueCapacity)
+	}
+	if tel.SampleRate <= 0 || tel.SampleRate > 1 {
+		t.Fatalf("sample_rate = %v, want (0, 1]", tel.SampleRate)
+	}
+	if tel.LastFlushAgeSeconds < 0 {
+		t.Fatalf("last_flush_age_seconds = %v after a flush", tel.LastFlushAgeSeconds)
+	}
+	for _, want := range []string{
+		"telemetry_queue_depth", "telemetry_dropped_total", "last_flush_age_seconds",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("healthz body missing %q: %s", want, body)
+		}
+	}
+
+	stopped = true
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz after stop = %d: %s", code, body)
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Telemetry == nil || resp.Telemetry.Active {
+		t.Fatalf("telemetry block after stop = %+v, want present with active=false", resp.Telemetry)
+	}
+}

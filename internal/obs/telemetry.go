@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -9,10 +10,17 @@ import (
 // TelemetrySink batches completed spans (and slow-query entries) and hands
 // them to a storage callback on a background goroutine. The storage side
 // lives elsewhere (godbc persists batches into the PERFDMF_SPANS and
-// PERFDMF_SLOWLOG tables); this type only owns the buffering policy:
+// PERFDMF_SLOWLOG tables); this type owns the buffering policy and the
+// head-sampling decision:
 //
 //   - Offer never blocks the query path. The buffer is bounded; when it is
 //     full the entry is dropped and counted in obs_telemetry_dropped_total.
+//   - With a Governor attached, Offer samples: spans are admitted at the
+//     governor's current rate, decided per root operation with a stride
+//     counter so every root op stays represented at any rate. Slow spans
+//     and spans that carry an error are always kept — they are the rows a
+//     telemetry table exists for. Sampled-out spans are counted in
+//     obs_telemetry_sampled_out_total.
 //   - The store callback runs outside the buffer lock, so a slow (or
 //     blocked) store cannot stall producers — new entries keep accumulating
 //     up to Capacity and then fall on the floor, counted.
@@ -23,9 +31,13 @@ type TelemetrySink struct {
 	store func([]SinkEntry) error
 	cap   int
 	every time.Duration
+	gov   *Governor
 
-	mu  sync.Mutex
-	buf []SinkEntry
+	mu      sync.Mutex
+	buf     []SinkEntry
+	strides map[string]*strideCounter // per-root-op sampling state
+
+	lastFlush atomic.Int64 // unix nanos of the last completed Flush
 
 	startOnce sync.Once
 	stop      chan struct{}
@@ -43,16 +55,22 @@ type SinkEntry struct {
 type SinkOptions struct {
 	// Capacity bounds the number of buffered entries (default 4096).
 	Capacity int
-	// FlushEvery is the background flush period (default 1s).
+	// FlushEvery is the background flush period (default 25ms). Flushing
+	// is a cheap buffer swap — the storage side coalesces batches into
+	// group commits on its own cadence — so a short period buys sampling
+	// feedback latency, not write amplification.
 	FlushEvery time.Duration
+	// Governor drives head sampling. Nil keeps every span.
+	Governor *Governor
 }
 
 // Sink throughput metrics, resolved once.
 var (
-	sinkOffered   = Default.Counter("obs_telemetry_offered_total")
-	sinkDropped   = Default.Counter("obs_telemetry_dropped_total")
-	sinkStored    = Default.Counter("obs_telemetry_stored_total")
-	sinkStoreErrs = Default.Counter("obs_telemetry_store_errors_total")
+	sinkOffered    = Default.Counter("obs_telemetry_offered_total")
+	sinkDropped    = Default.Counter("obs_telemetry_dropped_total")
+	sinkSampledOut = Default.Counter("obs_telemetry_sampled_out_total")
+	sinkStored     = Default.Counter("obs_telemetry_stored_total")
+	sinkStoreErrs  = Default.Counter("obs_telemetry_store_errors_total")
 )
 
 // NewTelemetrySink returns a sink feeding store. Call Start to launch the
@@ -62,14 +80,16 @@ func NewTelemetrySink(store func([]SinkEntry) error, o SinkOptions) *TelemetrySi
 		o.Capacity = 4096
 	}
 	if o.FlushEvery <= 0 {
-		o.FlushEvery = time.Second
+		o.FlushEvery = 25 * time.Millisecond
 	}
 	return &TelemetrySink{
-		store: store,
-		cap:   o.Capacity,
-		every: o.FlushEvery,
-		stop:  make(chan struct{}),
-		done:  make(chan struct{}),
+		store:   store,
+		cap:     o.Capacity,
+		every:   o.FlushEvery,
+		gov:     o.Governor,
+		strides: make(map[string]*strideCounter),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 }
 
@@ -92,14 +112,64 @@ func (s *TelemetrySink) loop() {
 	}
 }
 
-// Offer enqueues a completed span without blocking. When the buffer is at
-// capacity the entry is dropped and counted — backpressure must never stall
-// the statement that produced the span.
+// strideCounter admits every n-th span of one root operation so that the
+// admitted fraction tracks the sample rate exactly, whatever the rate.
+type strideCounter struct {
+	seen int64
+	kept int64
+}
+
+// admit decides one span at the given rate: keep while the kept fraction
+// trails seen*rate. Deterministic (no RNG) and exact: after n offers at a
+// steady rate r, kept == ceil(n*r).
+func (sc *strideCounter) admit(rate float64) bool {
+	sc.seen++
+	if float64(sc.kept) < float64(sc.seen)*rate {
+		sc.kept++
+		return true
+	}
+	return false
+}
+
+// rootOpKey groups spans by the operation of the tree they belong to: the
+// root name's prefix before ':' ("upload" from "t1:e1-upload" roots comes
+// out as "t1"), or the span's own op for parentless spans. Sampling per
+// root op keeps rare operations visible while a hot loop is being shed.
+func rootOpKey(sp *Span) string {
+	if sp.Root != "" {
+		if i := strings.IndexByte(sp.Root, ':'); i > 0 {
+			return sp.Root[:i]
+		}
+		return sp.Root
+	}
+	return sp.Op()
+}
+
+// Offer enqueues a completed span without blocking. When a governor is
+// attached the span is first sampled (slow and error spans always pass);
+// when the buffer is at capacity the entry is dropped and counted —
+// backpressure must never stall the statement that produced the span.
 func (s *TelemetrySink) Offer(sp *Span, slow bool) {
 	if sp == nil {
 		return
 	}
 	s.mu.Lock()
+	if s.gov != nil && !slow && sp.Err == "" {
+		rate := s.gov.Rate()
+		if rate < 1 {
+			key := rootOpKey(sp)
+			sc := s.strides[key]
+			if sc == nil {
+				sc = &strideCounter{}
+				s.strides[key] = sc
+			}
+			if !sc.admit(rate) {
+				s.mu.Unlock()
+				sinkSampledOut.Inc()
+				return
+			}
+		}
+	}
 	if len(s.buf) >= s.cap {
 		s.mu.Unlock()
 		sinkDropped.Inc()
@@ -120,6 +190,21 @@ func (s *TelemetrySink) Buffered() int {
 // Dropped returns the total entries dropped under backpressure.
 func (s *TelemetrySink) Dropped() int64 { return sinkDropped.Value() }
 
+// Capacity returns the buffer's entry capacity.
+func (s *TelemetrySink) Capacity() int { return s.cap }
+
+// Governor returns the attached governor, nil when sampling is off.
+func (s *TelemetrySink) Governor() *Governor { return s.gov }
+
+// LastFlush returns when the last Flush completed (zero before the first).
+func (s *TelemetrySink) LastFlush() time.Time {
+	ns := s.lastFlush.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 // Flush synchronously stores everything buffered so far. Entries are handed
 // to the store callback outside the buffer lock.
 func (s *TelemetrySink) Flush() error {
@@ -128,6 +213,7 @@ func (s *TelemetrySink) Flush() error {
 	s.buf = nil
 	s.mu.Unlock()
 	if len(batch) == 0 {
+		s.lastFlush.Store(time.Now().UnixNano())
 		return nil
 	}
 	if err := s.store(batch); err != nil {
@@ -135,6 +221,7 @@ func (s *TelemetrySink) Flush() error {
 		return err
 	}
 	sinkStored.Add(int64(len(batch)))
+	s.lastFlush.Store(time.Now().UnixNano())
 	return nil
 }
 

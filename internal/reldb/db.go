@@ -88,9 +88,35 @@ func (db *DB) Begin() *Tx {
 	return &Tx{db: db, writable: true} //lint:allow lockcheck -- Begin returns holding the lock; Commit/Rollback release it
 }
 
+// TryBegin is Begin without the wait: when another transaction holds the
+// write lock it returns (nil, false) immediately instead of queueing. The
+// telemetry writer uses it so background persistence never lines up behind
+// — or gets the lock handed to it in the middle of — the workload it is
+// measuring; a refused attempt becomes a governor stall signal instead.
+func (db *DB) TryBegin() (*Tx, bool) {
+	if !db.mu.TryLock() {
+		mTryBeginMisses.Inc()
+		return nil, false
+	}
+	mTxBegin.Inc()
+	return &Tx{db: db, writable: true}, true //lint:allow lockcheck -- TryBegin returns holding the lock; Commit/Rollback release it
+}
+
 // Commit applies the transaction: the redo log is appended to the WAL (when
 // the database is durable) and the write lock is released.
-func (tx *Tx) Commit() error {
+func (tx *Tx) Commit() error { return tx.commit(false) }
+
+// CommitRelaxed commits with relaxed durability: the redo log is appended
+// to the WAL but the per-commit fsync (when Options.Sync is on) may be
+// deferred and batched with later commits. The write is ordered before any
+// subsequent synchronous commit, checkpoint, or Close — a crash can lose
+// only the most recent relaxed batch. The telemetry writer uses this: a
+// lost tail of self-observation spans is acceptable, an fsync per span
+// batch on the workload's engine is not. On databases opened without Sync
+// it is identical to Commit.
+func (tx *Tx) CommitRelaxed() error { return tx.commit(true) }
+
+func (tx *Tx) commit(relaxed bool) error {
 	if !tx.writable || tx.done {
 		return nil
 	}
@@ -98,7 +124,7 @@ func (tx *Tx) Commit() error {
 	mTxCommit.Inc()
 	defer tx.db.mu.Unlock()
 	if tx.db.wal != nil && len(tx.redo) > 0 {
-		if err := tx.db.wal.append(tx.redo); err != nil {
+		if err := tx.db.wal.append(tx.redo, relaxed); err != nil {
 			// The in-memory state is ahead of the durable state; roll the
 			// memory back so the two agree.
 			tx.rollbackLocked()

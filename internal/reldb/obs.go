@@ -11,6 +11,8 @@ var (
 	mTxCommit   = obs.Default.Counter("reldb_tx_commit_total")
 	mTxRollback = obs.Default.Counter("reldb_tx_rollback_total")
 	mTxRead     = obs.Default.Counter("reldb_tx_read_total")
+	// TryBegin refusals: the write lock was held, the caller backed off.
+	mTryBeginMisses = obs.Default.Counter("reldb_tx_try_begin_misses_total")
 	// Write-lock acquisition wait, nanoseconds: contention between
 	// concurrent uploader sessions shows up here.
 	mLockWaitNS = obs.Default.Histogram("reldb_lock_wait_ns")
@@ -27,6 +29,11 @@ var (
 	mWALAppendNS = obs.Default.Histogram("reldb_wal_append_ns")
 	mWALFsyncNS  = obs.Default.Histogram("reldb_wal_fsync_ns")
 	mWALReplayed = obs.Default.Counter("reldb_wal_replay_ops_total")
+	// Relaxed-durability commits (the telemetry writer's group commits):
+	// appends that deferred their fsync, and the batched fsyncs that later
+	// flushed them.
+	mWALRelaxedAppends      = obs.Default.Counter("reldb_wal_relaxed_appends_total")
+	mWALRelaxedFsyncBatches = obs.Default.Counter("reldb_wal_relaxed_fsync_batches_total")
 
 	// Snapshots (checkpoint write and startup load).
 	mCheckpoints    = obs.Default.Counter("reldb_checkpoint_total")

@@ -503,7 +503,17 @@ func (db *DB) loadSnapshot(r *bufio.Reader) error {
 type walWriter struct {
 	f    *os.File
 	sync bool
+	// unsynced counts relaxed appends since the last fsync. Relaxed
+	// commits batch their fsyncs: the file is synced every
+	// relaxedFsyncEvery relaxed appends, at the next synchronous append,
+	// and at close/truncate. The walWriter is only touched under the
+	// database write lock, so the counter needs no synchronisation.
+	unsynced int
 }
+
+// relaxedFsyncEvery bounds how many relaxed commit batches may ride on one
+// deferred fsync.
+const relaxedFsyncEvery = 32
 
 func openWAL(path string, sync bool) (*walWriter, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -522,8 +532,10 @@ var walBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 // should not pin a multi-megabyte buffer for the process lifetime.
 const maxPooledWALBuf = 1 << 20
 
-// append writes one commit batch: length, crc32, payload.
-func (w *walWriter) append(recs []walRecord) error {
+// append writes one commit batch: length, crc32, payload. Relaxed appends
+// defer the per-commit fsync (when sync mode is on) and batch it with later
+// commits; a synchronous append flushes everything outstanding.
+func (w *walWriter) append(recs []walRecord, relaxed bool) error {
 	start := time.Now()
 	b := walBufPool.Get().(*bytes.Buffer)
 	b.Reset()
@@ -549,9 +561,23 @@ func (w *walWriter) append(recs []walRecord) error {
 	mWALAppends.Inc()
 	mWALRecords.Add(int64(len(recs)))
 	mWALBytes.Add(int64(len(hdr) + len(payload)))
+	if relaxed {
+		mWALRelaxedAppends.Inc()
+	}
 	if w.sync {
+		if relaxed {
+			w.unsynced++
+			if w.unsynced < relaxedFsyncEvery {
+				mWALAppendNS.Observe(int64(time.Since(start)))
+				return nil
+			}
+		}
 		fsyncStart := time.Now()
 		err := w.f.Sync()
+		if w.unsynced > 0 {
+			mWALRelaxedFsyncBatches.Inc()
+			w.unsynced = 0
+		}
 		mWALFsyncNS.Observe(int64(time.Since(fsyncStart)))
 		mWALAppendNS.Observe(int64(time.Since(start)))
 		return err
@@ -571,6 +597,7 @@ func (w *walWriter) truncate() error {
 	if err := w.f.Truncate(0); err != nil {
 		return err
 	}
+	w.unsynced = 0 // deferred relaxed fsyncs die with the truncated log
 	_, err := w.f.Seek(0, io.SeekStart)
 	return err
 }

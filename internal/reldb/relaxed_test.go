@@ -1,0 +1,92 @@
+package reldb
+
+import (
+	"testing"
+)
+
+// TestCommitRelaxedDurability covers the relaxed-durability commit the
+// telemetry writer rides: on a Sync database, CommitRelaxed appends to the
+// WAL but defers the fsync, the deferred batch is flushed by the next
+// synchronous commit (or the relaxedFsyncEvery-th relaxed one), and every
+// relaxed commit — fsynced or not — survives a clean close and reopen.
+func TestCommitRelaxedDurability(t *testing.T) {
+	db, dir := openTemp(t, Options{Sync: true})
+	mustWrite(t, db, func(tx *Tx) error { return tx.CreateTable(appSchema()) })
+
+	relaxedBefore := mWALRelaxedAppends.Value()
+	batchesBefore := mWALRelaxedFsyncBatches.Value()
+
+	relaxedInsert := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			tx := db.Begin()
+			if _, err := tx.Insert("application", Row{Null, Str("tel"), Str("v")}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.CommitRelaxed(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// A handful of relaxed commits: appended and counted, fsync deferred.
+	relaxedInsert(5)
+	if d := mWALRelaxedAppends.Value() - relaxedBefore; d != 5 {
+		t.Fatalf("relaxed appends counted %d, want 5", d)
+	}
+	if d := mWALRelaxedFsyncBatches.Value() - batchesBefore; d != 0 {
+		t.Fatalf("batched fsyncs after 5 relaxed commits = %d, want 0 (below relaxedFsyncEvery)", d)
+	}
+
+	// The next synchronous commit drains the deferred batch with its own
+	// fsync — relaxed data is never left behind a durable commit.
+	mustWrite(t, db, func(tx *Tx) error {
+		_, err := tx.Insert("application", Row{Null, Str("sync"), Str("v")})
+		return err
+	})
+	if d := mWALRelaxedFsyncBatches.Value() - batchesBefore; d != 1 {
+		t.Fatalf("batched fsyncs after a sync commit = %d, want 1", d)
+	}
+
+	// Enough relaxed commits trigger the batch fsync on their own.
+	relaxedInsert(relaxedFsyncEvery)
+	if d := mWALRelaxedFsyncBatches.Value() - batchesBefore; d != 2 {
+		t.Fatalf("batched fsyncs after %d more relaxed commits = %d, want 2", relaxedFsyncEvery, d)
+	}
+
+	// Leave a short un-fsynced tail, then close and reopen: the WAL replay
+	// returns every committed row — relaxed durability only softens the
+	// crash window, not a clean shutdown.
+	relaxedInsert(3)
+	db = reopen(t, db, dir, Options{Sync: true})
+	defer db.Close() //nolint:errcheck // read-only from here
+	if n := countRows(t, db, "application"); n != 5+1+relaxedFsyncEvery+3 {
+		t.Fatalf("rows after reopen = %d, want %d", n, 5+1+relaxedFsyncEvery+3)
+	}
+}
+
+// TestCommitRelaxedNoSync: without Options.Sync there is no fsync to
+// batch — CommitRelaxed must behave exactly like Commit and count nothing
+// as a deferred batch.
+func TestCommitRelaxedNoSync(t *testing.T) {
+	db, dir := openTemp(t, Options{})
+	mustWrite(t, db, func(tx *Tx) error { return tx.CreateTable(appSchema()) })
+	batchesBefore := mWALRelaxedFsyncBatches.Value()
+	for i := 0; i < 3; i++ {
+		tx := db.Begin()
+		if _, err := tx.Insert("application", Row{Null, Str("tel"), Str("v")}); err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.CommitRelaxed(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := mWALRelaxedFsyncBatches.Value() - batchesBefore; d != 0 {
+		t.Fatalf("batched fsyncs on a no-sync db = %d, want 0", d)
+	}
+	db = reopen(t, db, dir, Options{})
+	defer db.Close() //nolint:errcheck // read-only from here
+	if n := countRows(t, db, "application"); n != 3 {
+		t.Fatalf("rows after reopen = %d, want 3", n)
+	}
+}

@@ -24,6 +24,9 @@ const (
 	// CatalogTableStats joins ANALYZE's persisted statistics with live
 	// table state and a staleness verdict.
 	CatalogTableStats = "OBS_TABLE_STATS"
+	// CatalogTelemetry is a single-row view of the self-hosted telemetry
+	// pipeline: governor state, queue pressure, throughput and retention.
+	CatalogTelemetry = "OBS_TELEMETRY"
 )
 
 // catalogDef is one virtual table: its column names and a snapshot
@@ -53,7 +56,20 @@ var catalogs = map[string]*catalogDef{
 			"min_value", "max_value", "live_rows", "stale", "analyzed_at"},
 		rows: obsTableStatsRows,
 	},
+	CatalogTelemetry: {
+		cols: telemetryCols,
+		rows: obsTelemetryRows,
+	},
 }
+
+// telemetryCols is named (rather than inlined above) so obsTelemetryRows
+// can pad its inactive row to the same width without referring back to the
+// catalogs map, which would be an initialization cycle.
+var telemetryCols = []string{"active", "sample_rate", "budget_pct", "write_overhead_pct",
+	"governor_adjustments", "queue_depth", "queue_capacity",
+	"offered", "sampled_out", "dropped", "stored", "store_errors",
+	"group_commits", "pruned_spans", "pruned_slowlog",
+	"retain_rows", "retain_age_sec", "last_flush_age_sec"}
 
 // catalogTable resolves a FROM-clause name to a virtual table definition,
 // nil for ordinary tables. Catalog names are reserved: they shadow any
@@ -175,6 +191,74 @@ func obsPlanCacheRows(*reldb.Tx) ([]reldb.Row, error) {
 		}
 	}
 	return rows, nil
+}
+
+// TelemetryInfo is the OBS_TELEMETRY row. godbc supplies it via
+// SetTelemetrySource; the executor has no view of the telemetry pipeline
+// (and must not compute wall-clock ages itself — the source pre-computes
+// LastFlushAgeSec so catalog materialization stays deterministic).
+type TelemetryInfo struct {
+	Active              bool
+	SampleRate          float64
+	BudgetPct           float64
+	WriteOverheadPct    float64
+	GovernorAdjustments int64
+	QueueDepth          int
+	QueueCapacity       int
+	Offered             int64
+	SampledOut          int64
+	Dropped             int64
+	Stored              int64
+	StoreErrors         int64
+	GroupCommits        int64
+	PrunedSpans         int64
+	PrunedSlowLog       int64
+	RetainRows          int     // <= 0: row-cap pruning off
+	RetainAgeSec        float64 // <= 0: age pruning off
+	LastFlushAgeSec     float64 // seconds since the last sink flush; < 0: never
+}
+
+var telemetrySource atomic.Value // holds func() (TelemetryInfo, bool)
+
+// SetTelemetrySource installs the provider behind OBS_TELEMETRY. ok=false
+// from the provider means no pipeline has ever run in this process. The
+// function must be safe to call from any goroutine.
+func SetTelemetrySource(fn func() (TelemetryInfo, bool)) { telemetrySource.Store(fn) }
+
+// obsTelemetryRows emits exactly one row. When no pipeline has ever run
+// (or no source is installed) the row is active=false with NULL state, so
+// `SELECT * FROM OBS_TELEMETRY` is always answerable.
+func obsTelemetryRows(*reldb.Tx) ([]reldb.Row, error) {
+	var info TelemetryInfo
+	known := false
+	if fn, ok := telemetrySource.Load().(func() (TelemetryInfo, bool)); ok && fn != nil {
+		info, known = fn()
+	}
+	if !known {
+		row := reldb.Row{reldb.Bool(false)}
+		for i := 1; i < len(telemetryCols); i++ {
+			row = append(row, reldb.Null)
+		}
+		return []reldb.Row{row}, nil
+	}
+	optional := func(v float64, off bool) reldb.Value {
+		if off {
+			return reldb.Null
+		}
+		return reldb.Float(v)
+	}
+	return []reldb.Row{{
+		reldb.Bool(info.Active),
+		reldb.Float(info.SampleRate), reldb.Float(info.BudgetPct),
+		reldb.Float(info.WriteOverheadPct), reldb.Int(info.GovernorAdjustments),
+		reldb.Int(int64(info.QueueDepth)), reldb.Int(int64(info.QueueCapacity)),
+		reldb.Int(info.Offered), reldb.Int(info.SampledOut), reldb.Int(info.Dropped),
+		reldb.Int(info.Stored), reldb.Int(info.StoreErrors), reldb.Int(info.GroupCommits),
+		reldb.Int(info.PrunedSpans), reldb.Int(info.PrunedSlowLog),
+		reldb.Int(int64(info.RetainRows)),
+		optional(info.RetainAgeSec, info.RetainAgeSec <= 0),
+		optional(info.LastFlushAgeSec, info.LastFlushAgeSec < 0),
+	}}, nil
 }
 
 // obsTableStatsRows reads PERFDMF_TABLE_STATS inside the querying

@@ -1,0 +1,62 @@
+package sqlexec
+
+import (
+	"testing"
+
+	"perfdmf/internal/reldb"
+)
+
+// TestCatalogTelemetryRow: OBS_TELEMETRY always answers with exactly one
+// row — active=false with NULL state when no pipeline has ever run, the
+// provider's snapshot otherwise, with the off/never sentinels rendered as
+// NULL.
+func TestCatalogTelemetryRow(t *testing.T) {
+	db := reldb.NewMemory()
+	// The executor never learns about godbc in this package's tests, so
+	// the source is unset (or left inactive by an earlier subrun): the
+	// query must still answer.
+	SetTelemetrySource(func() (TelemetryInfo, bool) { return TelemetryInfo{}, false })
+	rs := run(t, db, "SELECT active, sample_rate, stored FROM OBS_TELEMETRY")
+	if len(rs.Rows) != 1 {
+		t.Fatalf("OBS_TELEMETRY rows = %d, want 1", len(rs.Rows))
+	}
+	if rs.Rows[0][0].AsBool() {
+		t.Fatal("active = true with no pipeline")
+	}
+	if !rs.Rows[0][1].IsNull() || !rs.Rows[0][2].IsNull() {
+		t.Fatalf("inactive row state = %v, want NULLs", rs.Rows[0])
+	}
+
+	SetTelemetrySource(func() (TelemetryInfo, bool) {
+		return TelemetryInfo{
+			Active: true, SampleRate: 0.25, BudgetPct: 5, WriteOverheadPct: 2.5,
+			QueueDepth: 3, QueueCapacity: 4096, Stored: 42, PrunedSpans: 7,
+			RetainRows: 100, RetainAgeSec: 0, LastFlushAgeSec: -1,
+		}, true
+	})
+	defer SetTelemetrySource(func() (TelemetryInfo, bool) { return TelemetryInfo{}, false })
+
+	rs = run(t, db, `SELECT active, sample_rate, stored, pruned_spans,
+		retain_rows, retain_age_sec, last_flush_age_sec FROM OBS_TELEMETRY`)
+	if len(rs.Rows) != 1 {
+		t.Fatalf("OBS_TELEMETRY rows = %d, want 1", len(rs.Rows))
+	}
+	r := rs.Rows[0]
+	if !r[0].AsBool() || r[1].AsFloat() != 0.25 || r[2].AsInt() != 42 || r[3].AsInt() != 7 {
+		t.Fatalf("active row = %v", r)
+	}
+	if r[4].AsInt() != 100 {
+		t.Fatalf("retain_rows = %v, want 100", r[4])
+	}
+	// Age pruning off and never-flushed both render as NULL, so dashboards
+	// can tell "disabled" from "zero seconds ago".
+	if !r[5].IsNull() || !r[6].IsNull() {
+		t.Fatalf("off/never sentinels = %v, %v, want NULLs", r[5], r[6])
+	}
+
+	// The row composes like any table: usable in a WHERE clause.
+	rs = run(t, db, "SELECT stored FROM OBS_TELEMETRY WHERE active = TRUE")
+	if len(rs.Rows) != 1 || rs.Rows[0][0].AsInt() != 42 {
+		t.Fatalf("filtered catalog row = %v", rs.Rows)
+	}
+}
