@@ -5,16 +5,18 @@
 # suite, a 10-second fuzz pass over the SQL parser and the reldb value
 # codec (`fuzz-smoke`), and one-shot smoke runs of the observability
 # benchmark, the serve binary, the persisted span-tree pipeline
-# (`trace-smoke`), the introspection catalog (`catalog-smoke`), and the
-# group-committed telemetry pipeline (`telemetry-smoke`). Cheap syntactic
+# (`trace-smoke`), the introspection catalog (`catalog-smoke`), the
+# group-committed telemetry pipeline (`telemetry-smoke`), and the
+# columnar executor's speedup/identity experiment (`columnar-smoke`).
+# Cheap syntactic
 # gates run first so a violation fails in seconds, not after the race
 # suite.
 
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke bench bench-parallel bench-trace experiments clean
+.PHONY: check vet lint build test race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke bench bench-parallel bench-columnar bench-trace experiments clean
 
-check: vet lint build race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke
+check: vet lint build race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke
 
 vet:
 	$(GO) vet ./...
@@ -131,6 +133,20 @@ telemetry-smoke:
 	bin/perfdmf sql -db file:bin/telemetry-smoke/db "SELECT active, sample_rate, retain_rows FROM OBS_TELEMETRY" > bin/telemetry-smoke/catalog.out
 	@grep -q '(1 rows)' bin/telemetry-smoke/catalog.out || { echo "telemetry-smoke: OBS_TELEMETRY did not answer one row"; cat bin/telemetry-smoke/catalog.out; exit 1; }
 
+# Columnar-execution smoke: the P2 experiment at -quick scale against a
+# throwaway output file (the committed BENCH_parallel.json is only
+# refreshed by bench-parallel / bench-columnar). The experiment itself
+# enforces the ≥3× columnar-vs-row speedup and the row/columnar identity
+# check, so a kernel regression fails here in seconds.
+columnar-smoke:
+	@rm -rf bin/columnar-smoke && mkdir -p bin/columnar-smoke
+	$(GO) run ./cmd/experiments -quick -only P2 -obs "" -parallel bin/columnar-smoke/parallel.json
+	@grep -q '"speedup_ok": true' bin/columnar-smoke/parallel.json || { \
+		echo "columnar-smoke: speedup_ok missing from P2 record"; exit 1; }
+	@grep -q '"identical_results": true' bin/columnar-smoke/parallel.json || { \
+		echo "columnar-smoke: identical_results missing from P2 record"; exit 1; }
+	@echo "columnar-smoke: ok"
+
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
@@ -141,6 +157,20 @@ bench:
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelScan|BenchmarkParallelGroupBy|BenchmarkPlanCache' -benchmem .
 	$(GO) run ./cmd/experiments -only P1 -obs "" -parallel BENCH_parallel.json
+
+# Columnar-executor benchmark (P2): times the E3 GROUP BY on the row path
+# vs the vectorized columnar path at worker budgets 1/4/8 and refreshes
+# the "p2" section of BENCH_parallel.json (the "p1" section is preserved
+# by the read-modify-write writer). The experiment fails unless columnar
+# beats the row path ≥3× at one worker with bitwise-identical results;
+# the greps re-assert both verdicts on the committed artifact so a stale
+# JSON can't pass.
+bench-columnar:
+	$(GO) run ./cmd/experiments -only P2 -obs "" -parallel BENCH_parallel.json
+	@grep -q '"speedup_ok": true' BENCH_parallel.json || { \
+		echo "bench-columnar: BENCH_parallel.json lacks speedup_ok: true"; exit 1; }
+	@grep -q '"identical_results": true' BENCH_parallel.json || { \
+		echo "bench-columnar: BENCH_parallel.json lacks identical_results: true"; exit 1; }
 
 # Tracing-overhead benchmark (T1): times the E1 upload with tracing off,
 # on, and with governed span persistence, and writes BENCH_trace.json.
@@ -156,4 +186,4 @@ experiments:
 	$(GO) run ./cmd/experiments -quick
 
 clean:
-	rm -rf bin BENCH_obs.json BENCH_parallel.json
+	rm -rf bin BENCH_obs.json

@@ -124,6 +124,11 @@ func run(quick bool, only, parallelOut, traceOut string) error {
 			return err
 		}
 	}
+	if want("P2") {
+		if err := runP2(quick, parallelOut); err != nil {
+			return err
+		}
+	}
 	if want("T1") {
 		if err := runT1(quick, traceOut); err != nil {
 			return err
@@ -214,15 +219,85 @@ func runP1(quick bool, out string) error {
 	if out == "" {
 		return nil
 	}
-	data, err := json.MarshalIndent(res, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	if err := updateParallelBench(out, func(b *experiments.ParallelBench) { b.P1 = res }); err != nil {
 		return err
 	}
 	fmt.Printf("parallel benchmark written to %s\n", out)
 	return nil
+}
+
+// runP2 times the columnar execution path (sealed segments + vectorized
+// GROUP BY) against the forced row path on the same trial, checks the two
+// paths return identical results, and merges the record into the P2
+// section of BENCH_parallel.json. The ≥3× single-thread speedup target is
+// enforced on every runner; the parallel-scaling target only when
+// GOMAXPROCS actually covers the widest worker budget.
+func runP2(quick bool, out string) error {
+	header("P2", "columnar GROUP BY vs row path (COMPACT + vectorized aggregation)")
+	threads := 16384
+	if quick {
+		threads = 2048
+	}
+	res, err := experiments.RunP2(threads, 101, []int{1, 4, 8})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rows=%d (threads=%d events=%d)  GOMAXPROCS=%d  compact=%v\n\n",
+		res.Rows, res.Threads, res.Events, res.GOMAXPROCS,
+		time.Duration(res.CompactNS).Round(1e6))
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintf(w, "WORKERS\tROW PATH\tCOLUMNAR\tVS ROW\tSCALING\t\n")
+	for _, r := range res.Timings {
+		fmt.Fprintf(w, "%d\t%v\t%v\t%.2fx\t%.2fx\t\n",
+			r.Workers,
+			(time.Duration(r.RowNS)).Round(1e5),
+			(time.Duration(r.ColumnarNS)).Round(1e5),
+			r.SpeedupVsRow, r.Scaling)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("\nplan: %s\nidentical results across paths and budgets: %v\n",
+		strings.TrimSpace(res.Plan), res.IdenticalResults)
+	fmt.Printf("speedup %.2fx (target 3x): ok=%v   scaling %.2fx at %d workers (target 2.5x): ok=%v measured=%v\n",
+		res.SpeedupVsRow1W, res.SpeedupOK,
+		res.ScalingAtMax, res.Timings[len(res.Timings)-1].Workers,
+		res.ScalingOK, res.ScalingMeasured)
+	if !res.IdenticalResults {
+		return fmt.Errorf("P2: columnar and row paths returned different results")
+	}
+	if !res.SpeedupOK {
+		return fmt.Errorf("P2: columnar speedup %.2fx below the 3x target", res.SpeedupVsRow1W)
+	}
+	if res.ScalingMeasured && !res.ScalingOK {
+		return fmt.Errorf("P2: columnar scaling %.2fx below the 2.5x target", res.ScalingAtMax)
+	}
+	if out == "" {
+		return nil
+	}
+	if err := updateParallelBench(out, func(b *experiments.ParallelBench) { b.P2 = res }); err != nil {
+		return err
+	}
+	fmt.Printf("parallel benchmark written to %s\n", out)
+	return nil
+}
+
+// updateParallelBench read-modify-writes the BENCH_parallel.json document
+// so the P1 and P2 runs can each refresh their own section without
+// clobbering the other's.
+func updateParallelBench(path string, mut func(*experiments.ParallelBench)) error {
+	var doc experiments.ParallelBench
+	if data, err := os.ReadFile(path); err == nil {
+		// A legacy (pre-P2, top-level P1) or corrupt file simply gets
+		// replaced by the new document shape.
+		_ = json.Unmarshal(data, &doc)
+	}
+	mut(&doc)
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func header(id, title string) {

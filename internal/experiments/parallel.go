@@ -2,13 +2,24 @@ package experiments
 
 import (
 	"fmt"
+	"reflect"
 	"runtime"
+	"strings"
 	"time"
 
 	"perfdmf/internal/core"
 	"perfdmf/internal/godbc"
 	"perfdmf/internal/synth"
 )
+
+// ParallelBench is the BENCH_parallel.json document: the P1 (row-path
+// worker sweep) and P2 (columnar vs row path) sections are produced by
+// separate experiment runs that read-modify-write the same file, each
+// preserving the other's section.
+type ParallelBench struct {
+	P1 *P1Result `json:"p1,omitempty"`
+	P2 *P2Result `json:"p2,omitempty"`
+}
 
 // P1 measures the parallel query executor on a Miranda-scale trial: the
 // same partitioned scan and GROUP BY aggregation executed at increasing
@@ -32,15 +43,15 @@ type P1Timing struct {
 
 // P1Result is the full parallel-execution benchmark record.
 type P1Result struct {
-	Rows            int        `json:"rows"`
-	Threads         int        `json:"threads"`
-	Events          int        `json:"events"`
-	GOMAXPROCS      int        `json:"gomaxprocs"`
-	ScanQuery       string     `json:"scan_query"`
-	GroupByQuery    string     `json:"groupby_query"`
-	Timings         []P1Timing `json:"results"`
-	PlanCacheHitNS  int64      `json:"plan_cache_hit_ns_per_op"`
-	PlanCacheMissNS int64      `json:"plan_cache_miss_ns_per_op"`
+	Rows            int           `json:"rows"`
+	Threads         int           `json:"threads"`
+	Events          int           `json:"events"`
+	GOMAXPROCS      int           `json:"gomaxprocs"`
+	ScanQuery       string        `json:"scan_query"`
+	GroupByQuery    string        `json:"groupby_query"`
+	Timings         []P1Timing    `json:"results"`
+	PlanCacheHitNS  int64         `json:"plan_cache_hit_ns_per_op"`
+	PlanCacheMissNS int64         `json:"plan_cache_miss_ns_per_op"`
 	Generate        time.Duration `json:"-"`
 	Upload          time.Duration `json:"-"`
 }
@@ -112,6 +123,179 @@ func RunP1(threads, events int, workerBudgets []int) (*P1Result, error) {
 	}
 	res.PlanCacheHitNS, res.PlanCacheMissNS = hit, miss
 	return res, nil
+}
+
+// P2Timing is one worker-budget measurement of the same GROUP BY through
+// both execution paths.
+type P2Timing struct {
+	Workers      int     `json:"workers"`
+	RowNS        int64   `json:"row_ns_per_op"`
+	ColumnarNS   int64   `json:"columnar_ns_per_op"`
+	SpeedupVsRow float64 `json:"columnar_speedup_vs_row"`
+	Scaling      float64 `json:"columnar_scaling_vs_1w"`
+}
+
+// P2Result is the columnar-execution benchmark record: the P1 GROUP BY
+// query through the forced row path (?columnar=0) and the vectorized path
+// at each worker budget, after COMPACT seals the segments. SpeedupOK (the
+// ≥3× single-thread columnar-vs-row target) is meaningful on any runner;
+// ScalingOK (≥2.5× at the widest budget) only when ScalingMeasured reports
+// the runner actually had that many cores.
+type P2Result struct {
+	Rows             int        `json:"rows"`
+	Threads          int        `json:"threads"`
+	Events           int        `json:"events"`
+	GOMAXPROCS       int        `json:"gomaxprocs"`
+	GroupByQuery     string     `json:"groupby_query"`
+	CompactNS        int64      `json:"compact_ns"`
+	Timings          []P2Timing `json:"results"`
+	SpeedupVsRow1W   float64    `json:"columnar_speedup_vs_row_1w"`
+	ScalingAtMax     float64    `json:"columnar_scaling_at_max_workers"`
+	Plan             string     `json:"plan"`
+	IdenticalResults bool       `json:"identical_results"`
+	SpeedupOK        bool       `json:"speedup_ok"`
+	ScalingMeasured  bool       `json:"scaling_measured"`
+	ScalingOK        bool       `json:"scaling_ok"`
+}
+
+// p2SpeedupTarget and p2ScalingTarget are the acceptance thresholds the
+// cmd/experiments runner enforces: vectorized GROUP BY at least 3× the row
+// path single-threaded, and at least 2.5× parallel scaling at the widest
+// worker budget when the runner has the cores to show it.
+const (
+	p2SpeedupTarget = 3.0
+	p2ScalingTarget = 2.5
+)
+
+// RunP2 uploads one synthetic trial, seals its columnar segments via
+// COMPACT, and times the GROUP BY through both paths at each budget. It
+// also differential-checks the two paths' full result sets — the bitwise
+// identity the executor guarantees — and records the EXPLAIN ANALYZE plan
+// line proving the vectorized path engaged.
+func RunP2(threads, events int, workerBudgets []int) (*P2Result, error) {
+	res := &P2Result{
+		Threads:      threads,
+		Events:       events,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		GroupByQuery: p1GroupByQuery,
+	}
+	dsn := memDSN("p2")
+	s, err := newArchive(dsn)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+
+	p := synth.LargeTrial(synth.LargeTrialConfig{Threads: threads, Events: events, Metrics: 1, Seed: 1})
+	res.Rows = p.DataPoints()
+	if _, err := s.UploadTrial(p, core.UploadOptions{}); err != nil {
+		return nil, err
+	}
+
+	// Seal the segments once; no DML follows, so every budget below reads
+	// the same sealed snapshot.
+	t0 := time.Now()
+	if _, err := s.Conn().Exec("COMPACT interval_location_profile"); err != nil {
+		return nil, fmt.Errorf("P2 compact: %w", err)
+	}
+	res.CompactNS = time.Since(t0).Nanoseconds()
+
+	var reference [][]any
+	for _, w := range workerBudgets {
+		rowConn, err := godbc.Open(fmt.Sprintf("%s?workers=%d&columnar=0", dsn, w))
+		if err != nil {
+			return nil, err
+		}
+		colConn, err := godbc.Open(fmt.Sprintf("%s?workers=%d", dsn, w))
+		if err != nil {
+			rowConn.Close()
+			return nil, err
+		}
+		rowNS, err := timeQuery(rowConn, p1GroupByQuery, 3)
+		if err == nil {
+			var colNS int64
+			colNS, err = timeQuery(colConn, p1GroupByQuery, 5)
+			res.Timings = append(res.Timings, P2Timing{Workers: w, RowNS: rowNS, ColumnarNS: colNS})
+		}
+		// Differential check: both paths must produce the identical result.
+		if err == nil {
+			var rowOut, colOut [][]any
+			rowOut, err = fetchAll(rowConn, p1GroupByQuery)
+			if err == nil {
+				colOut, err = fetchAll(colConn, p1GroupByQuery)
+			}
+			if err == nil {
+				if reference == nil {
+					reference = rowOut
+					res.IdenticalResults = true
+				}
+				if !reflect.DeepEqual(rowOut, reference) || !reflect.DeepEqual(colOut, reference) {
+					res.IdenticalResults = false
+				}
+			}
+		}
+		rowConn.Close()
+		colConn.Close()
+		if err != nil {
+			return nil, fmt.Errorf("P2 workers=%d: %w", w, err)
+		}
+	}
+
+	base := res.Timings[0]
+	for i := range res.Timings {
+		t := &res.Timings[i]
+		t.SpeedupVsRow = float64(t.RowNS) / float64(t.ColumnarNS)
+		t.Scaling = float64(base.ColumnarNS) / float64(t.ColumnarNS)
+	}
+	last := res.Timings[len(res.Timings)-1]
+	res.SpeedupVsRow1W = res.Timings[0].SpeedupVsRow
+	res.ScalingAtMax = last.Scaling
+	res.SpeedupOK = res.SpeedupVsRow1W >= p2SpeedupTarget
+	res.ScalingMeasured = res.GOMAXPROCS >= last.Workers
+	res.ScalingOK = res.ScalingAtMax >= p2ScalingTarget
+
+	// The plan must prove the vectorized path served the query.
+	c, err := godbc.Open(fmt.Sprintf("%s?workers=%d", dsn, last.Workers))
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	plans, err := fetchAll(c, "EXPLAIN ANALYZE "+p1GroupByQuery)
+	if err != nil {
+		return nil, fmt.Errorf("P2 explain: %w", err)
+	}
+	for _, row := range plans {
+		if line, ok := row[0].(string); ok && strings.Contains(line, "columnar(") {
+			res.Plan = line
+		}
+	}
+	if res.Plan == "" {
+		return nil, fmt.Errorf("P2: EXPLAIN ANALYZE shows no columnar(n) operator after COMPACT")
+	}
+	return res, nil
+}
+
+// fetchAll materializes a query's full result as Go values.
+func fetchAll(c godbc.Conn, q string, args ...any) ([][]any, error) {
+	rows, err := c.Query(q, args...)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	ncols := len(rows.Columns())
+	var out [][]any
+	for rows.Next() {
+		vals := make([]any, ncols)
+		ptrs := make([]any, ncols)
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			return nil, err
+		}
+		out = append(out, vals)
+	}
+	return out, rows.Err()
 }
 
 // timeQuery runs the query reps+1 times (first is warm-up) and returns the

@@ -43,11 +43,12 @@ func planCacheSnapshots() []sqlexec.PlanCacheInfo {
 	for _, c := range conns {
 		entries, hits, misses := c.cache.snapshot()
 		out = append(out, sqlexec.PlanCacheInfo{
-			ConnID:   c.id,
-			Entries:  entries,
-			Capacity: stmtCacheMax,
-			Hits:     hits,
-			Misses:   misses,
+			ConnID:       c.id,
+			Entries:      entries,
+			Capacity:     stmtCacheMax,
+			Hits:         hits,
+			Misses:       misses,
+			ColumnarHits: c.cache.columnarHits(),
 		})
 	}
 	return out

@@ -43,7 +43,7 @@ func TestCatalogTablesSelectable(t *testing.T) {
 	want := map[string][]string{
 		"OBS_METRICS":           {"name", "kind", "value", "count", "sum", "p50", "p95", "p99"},
 		"OBS_ACTIVE_STATEMENTS": {"statement_id", "sql", "kind", "phase", "elapsed_us", "rows_scanned", "rows_returned", "workers", "killed"},
-		"OBS_PLAN_CACHE":        {"conn_id", "entries", "capacity", "hits", "misses", "schema_version"},
+		"OBS_PLAN_CACHE":        {"conn_id", "entries", "capacity", "hits", "misses", "columnar_hits", "schema_version"},
 		"OBS_TABLE_STATS":       {"table_name", "column_name", "row_count", "ndv", "null_frac", "min_value", "max_value", "live_rows", "stale", "analyzed_at"},
 		"OBS_TELEMETRY": {"active", "sample_rate", "budget_pct", "write_overhead_pct",
 			"governor_adjustments", "queue_depth", "queue_capacity",

@@ -29,7 +29,10 @@ type conn struct {
 	release func() error // driver-specific close hook
 	obs     obsOpts      // per-connection trace/slow-query overrides
 	workers int          // ?workers=N parallelism (-1 unset, 0 serial)
-	cache   *stmtCache   // per-connection statement/plan cache
+	// columnar enables the vectorized aggregation path (?columnar, default
+	// on). Off forces row-at-a-time execution for comparison runs.
+	columnar bool
+	cache    *stmtCache // per-connection statement/plan cache
 
 	// parentSpan is the framework span statement spans are parented under,
 	// set via BindSpanContext. Connections are single-goroutine, so the
@@ -39,7 +42,7 @@ type conn struct {
 
 func newConn(db *reldb.DB, release func() error) *conn {
 	mConnsOpened.Inc()
-	c := &conn{db: db, release: release, workers: -1, cache: newStmtCache()}
+	c := &conn{db: db, release: release, workers: -1, columnar: true, cache: newStmtCache()}
 	registerConn(c)
 	return c
 }

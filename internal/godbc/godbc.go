@@ -259,7 +259,7 @@ func (d *memDriver) Open(rest string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := checkOptions(opts, "readonly", "trace", "slowms", "workers", "telemetrybudget"); err != nil {
+	if err := checkOptions(opts, "readonly", "trace", "slowms", "workers", "columnar", "telemetrybudget"); err != nil {
 		return nil, err
 	}
 	oo, err := parseObsOptions(opts)
@@ -267,6 +267,10 @@ func (d *memDriver) Open(rest string) (Conn, error) {
 		return nil, err
 	}
 	workers, err := parseWorkersOption(opts)
+	if err != nil {
+		return nil, err
+	}
+	columnar, err := parseColumnarOption(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +288,7 @@ func (d *memDriver) Open(rest string) (Conn, error) {
 	c.readonly = optBool(opts, "readonly")
 	c.obs = oo
 	c.workers = workers
+	c.columnar = columnar
 	return c, nil
 }
 
@@ -307,7 +312,7 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	if path == "" {
 		return nil, fmt.Errorf("godbc: file DSN needs a directory path")
 	}
-	if err := checkOptions(opts, "readonly", "sync", "checkpoint", "trace", "slowms", "workers", "telemetrybudget"); err != nil {
+	if err := checkOptions(opts, "readonly", "sync", "checkpoint", "trace", "slowms", "workers", "columnar", "telemetrybudget"); err != nil {
 		return nil, err
 	}
 	oo, err := parseObsOptions(opts)
@@ -315,6 +320,10 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 		return nil, err
 	}
 	workers, err := parseWorkersOption(opts)
+	if err != nil {
+		return nil, err
+	}
+	columnar, err := parseColumnarOption(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -359,6 +368,7 @@ func (d *fileDriver) Open(rest string) (Conn, error) {
 	c.readonly = readonly
 	c.obs = oo
 	c.workers = workers
+	c.columnar = columnar
 	return c, nil
 }
 

@@ -74,6 +74,24 @@ func parseWorkersOption(opts map[string]string) (int, error) {
 	return n, nil
 }
 
+// parseColumnarOption validates the ?columnar=0|1 knob: whether SELECT
+// execution may take the vectorized aggregation path over sealed column
+// segments. It returns true (enabled) when the option is absent; ?columnar=0
+// forces the row path, which benchmarks use for side-by-side comparison.
+func parseColumnarOption(opts map[string]string) (bool, error) {
+	v, ok := opts["columnar"]
+	if !ok {
+		return true, nil
+	}
+	switch v {
+	case "0", "false", "no":
+		return false, nil
+	case "1", "true", "yes":
+		return true, nil
+	}
+	return false, fmt.Errorf("godbc: option columnar=%q is not a boolean", v)
+}
+
 // parseTelemetryBudgetOption validates the ?telemetrybudget=PCT knob: the
 // self-telemetry overhead budget, in percent, StartTelemetry governs its
 // sampling by when the caller passes no explicit budget. The option rides

@@ -78,6 +78,22 @@ func (sc *stmtCache) snapshot() (entries int, hits, misses int64) {
 	return len(sc.entries), sc.hits, sc.misses
 }
 
+// columnarHits sums the cached SELECT plans' columnar-execution counters
+// for OBS_PLAN_CACHE.columnar_hits. Plan.Columnar is atomic, so reading it
+// from a snapshotting goroutine while the connection executes is safe; the
+// map itself is guarded by the cache mutex as usual.
+func (sc *stmtCache) columnarHits() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	var n int64
+	for _, e := range sc.entries {
+		if e.plan != nil {
+			n += e.plan.Columnar.Load()
+		}
+	}
+	return n
+}
+
 // parseCached returns the cached parse of query, parsing and caching on
 // miss. Every statement that reaches Exec/Query/Prepare with the same text
 // skips the lexer and parser after the first time; the attached plan
@@ -106,7 +122,7 @@ func (c *conn) parseCached(query string) (*cacheEntry, error) {
 // defers to the executor's GOMAXPROCS default), the statement's reusable
 // plan handle, and its live accounting entry.
 func (c *conn) queryOptions(plan *sqlexec.Plan, entry *sqlexec.StmtEntry) sqlexec.Options {
-	opts := sqlexec.Options{Plan: plan, Stmt: entry}
+	opts := sqlexec.Options{Plan: plan, Stmt: entry, NoColumnar: !c.columnar}
 	switch {
 	case c.workers < 0: // unset: executor default (GOMAXPROCS)
 		opts.Workers = 0

@@ -3,20 +3,28 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
 	"strings"
 )
 
 // Determinism returns the determinism analyzer with repo defaults: the
-// parallel-executor and partial-aggregation hot paths in internal/sqlexec
+// parallel-executor, partial-aggregation and vectorized-kernel hot paths
 // must be bitwise reproducible, so direct time.Now calls (use the injected
 // clock), anything from math/rand, and map-order iteration that feeds an
-// ordered result (append/channel send in the loop body) are forbidden.
+// ordered result (append/channel send in the loop body) are forbidden. The
+// reldb package is covered only for its sealed-segment files ("pkg:prefix"
+// scope) — the storage engine legitimately reads the wall clock elsewhere.
 func Determinism() *Analyzer {
-	return DeterminismFor([]string{"perfdmf/internal/sqlexec"})
+	return DeterminismFor([]string{
+		"perfdmf/internal/sqlexec",
+		"perfdmf/internal/reldb:segment",
+	})
 }
 
 // DeterminismFor returns the determinism analyzer scoped to the given
-// package-path prefixes.
+// package-path prefixes. A scope may carry a file restriction after a
+// colon — "perfdmf/internal/reldb:segment" covers only files of that
+// package whose base name starts with "segment".
 func DeterminismFor(packages []string) *Analyzer {
 	const name = "determinism"
 	return &Analyzer{
@@ -25,10 +33,14 @@ func DeterminismFor(packages []string) *Analyzer {
 		Run: func(prog *Program) []Diagnostic {
 			var out []Diagnostic
 			for _, pkg := range prog.Packages {
-				if !pathInScope(pkg.PkgPath, packages) {
+				filePrefixes, pkgInScope := fileScopes(pkg.PkgPath, packages)
+				if !pkgInScope {
 					continue
 				}
 				for _, f := range pkg.Files {
+					if !fileInScope(prog, f, filePrefixes) {
+						continue
+					}
 					ast.Inspect(f, func(n ast.Node) bool {
 						switch n := n.(type) {
 						case *ast.SelectorExpr:
@@ -55,6 +67,45 @@ func DeterminismFor(packages []string) *Analyzer {
 			return out
 		},
 	}
+}
+
+// fileScopes matches a package path against scope entries that may carry a
+// ":filePrefix" restriction. It returns the file-name prefixes that apply
+// (nil means every file) and whether the package is in scope at all. A
+// plain entry covering the package wins over any prefixed one: the whole
+// package is already in scope, so per-file restrictions are moot.
+func fileScopes(pkgPath string, scopes []string) (prefixes []string, ok bool) {
+	for _, s := range scopes {
+		pkg, prefix := s, ""
+		if i := strings.IndexByte(s, ':'); i >= 0 {
+			pkg, prefix = s[:i], s[i+1:]
+		}
+		if pkgPath != pkg && !strings.HasPrefix(pkgPath, pkg+"/") {
+			continue
+		}
+		if prefix == "" {
+			return nil, true
+		}
+		prefixes = append(prefixes, prefix)
+		ok = true
+	}
+	return prefixes, ok
+}
+
+// fileInScope reports whether a file passes the prefix restriction from
+// fileScopes. Test files are exempt: the reproducibility contract binds
+// production kernels, not their harnesses.
+func fileInScope(prog *Program, f *ast.File, prefixes []string) bool {
+	if prefixes == nil {
+		return true
+	}
+	base := filepath.Base(prog.Fset.Position(f.Pos()).Filename)
+	for _, p := range prefixes {
+		if strings.HasPrefix(base, p) && !strings.HasSuffix(base, "_test.go") {
+			return true
+		}
+	}
+	return false
 }
 
 // importedPackage resolves a selector's qualifier to the import path of

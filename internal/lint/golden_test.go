@@ -120,6 +120,14 @@ func TestDeterminismGolden(t *testing.T) {
 	runGolden(t, a, "determinism")
 }
 
+// TestDeterminismFileScopeGolden exercises the "pkg:filePrefix" scope form
+// used for reldb's sealed-segment files: violations in segment* files are
+// reported, the identical shapes in a sibling file are not.
+func TestDeterminismFileScopeGolden(t *testing.T) {
+	a := DeterminismFor([]string{"perfdmf/internal/lint/testdata/determinismscope:segment"})
+	runGolden(t, a, "determinismscope")
+}
+
 func TestMetricnamesGolden(t *testing.T) {
 	runGolden(t, Metricnames(), "metricnames")
 }

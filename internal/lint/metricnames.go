@@ -36,6 +36,8 @@ var metricFamilies = []string{
 	"obs_telemetry",
 	"sqlexec_stmt",
 	"sqlexec_plan_cache",
+	"sqlexec_columnar",
+	"reldb_segment",
 }
 
 // suffixTokens are the trailing name components reserved for kind and unit

@@ -1,0 +1,26 @@
+// Package determinismscope is golden-test input for the determinism
+// analyzer's file-prefix scoping ("pkg:segment"): segment* files carry the
+// reproducibility contract, sibling files in the same package do not.
+package determinismscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func sealSegment(rows [][]any) time.Time {
+	return time.Now() // want "direct time.Now"
+}
+
+func sampleSegment(rows [][]any) [][]any {
+	i := rand.Intn(len(rows)) // want "math/rand use"
+	return rows[i : i+1]
+}
+
+func mergeSegments(groups map[string][]any) []any {
+	var out []any
+	for _, vs := range groups { // want "map iteration feeding an ordered result"
+		out = append(out, vs...)
+	}
+	return out
+}

@@ -72,6 +72,9 @@ var (
 	mTelDropped  = reg.Counter("obs_telemetry_dropped_total")
 	mGovAdjust   = reg.Counter("obs_telemetry_governor_adjustments_total")
 	mGovOverhead = reg.Gauge("obs_telemetry_governor_overhead_permille")
+	mColScans    = reg.Counter("sqlexec_columnar_scans_total")
+	mColRows     = reg.Counter("sqlexec_columnar_rows_scanned_total")
+	mSegBuilds   = reg.Counter("reldb_segment_builds_total")
 
 	mCatBare   = reg.Counter("obs_catalog_total")          // want "names the obs_catalog family but no member"
 	mStmtBare  = reg.Gauge("sqlexec_stmt")                 // want "names the sqlexec_stmt family but no member"
@@ -83,6 +86,11 @@ var (
 	// "governor"-membered obs_telemetry name that would slip through.
 	mGovBare  = reg.Counter("obs_telemetry_governor_total") // want "names the obs_telemetry_governor family but no member"
 	mGovBare2 = reg.Gauge("obs_telemetry_governor")         // want "names the obs_telemetry_governor family but no member"
+	// The columnar-executor and segment-store families: a bare name, or one
+	// whose member part is all kind/unit tokens, is rejected.
+	mColBare = reg.Counter("sqlexec_columnar_total")   // want "names the sqlexec_columnar family but no member"
+	mSegBare = reg.Counter("reldb_segment_rows_total") // want "names the reldb_segment family but no member"
+	mSegHist = reg.Histogram("reldb_segment_bytes")    // want "names the reldb_segment family but no member"
 )
 
 // familyDynamic: a dynamic member satisfies the family rule (nothing to

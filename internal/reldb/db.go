@@ -527,6 +527,44 @@ func (tx *Tx) ScanPartitioned(table string, n int, fn func(part, base int, rows 
 	return nil
 }
 
+// ColumnSegments returns the named table's fresh columnar snapshot,
+// counting this call toward the lazy read-mostly build heuristic (see
+// Table.SegmentsLazy). Returns nil when the table does not exist or no
+// fresh set is available yet. The set is sealed and safe to read for as
+// long as the transaction is open.
+func (tx *Tx) ColumnSegments(table string, hints map[string]int) *SegmentSet {
+	t := tx.db.tables[strings.ToLower(table)]
+	if t == nil {
+		return nil
+	}
+	return t.SegmentsLazy(hints)
+}
+
+// BuildColumnSegments builds the named table's columnar snapshot now (the
+// COMPACT statement), returning the number of rows encoded.
+func (tx *Tx) BuildColumnSegments(table string, hints map[string]int) (int, error) {
+	t, err := tx.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	set := t.BuildSegments(hints)
+	if set == nil {
+		return 0, fmt.Errorf("reldb: table %s: cannot build column segments", table)
+	}
+	return set.rows, nil
+}
+
+// ScanColumns exposes Table.ScanColumns under a transaction: partitioned
+// ranges over the sealed columnar snapshot when one covers cols, or false
+// for row-path fallback.
+func (tx *Tx) ScanColumns(table string, cols []int, n int, fn func(part, lo, hi int, set *SegmentSet)) (bool, error) {
+	t, err := tx.Table(table)
+	if err != nil {
+		return false, err
+	}
+	return t.ScanColumns(cols, n, fn), nil
+}
+
 // TableVersion returns the schema version of the named table, or 0 when no
 // such table exists. See Table.Version.
 func (tx *Tx) TableVersion(table string) int64 {

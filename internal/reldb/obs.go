@@ -43,4 +43,11 @@ var (
 
 	// B-tree structure churn in ordered indexes.
 	mBtreeSplits = obs.Default.Counter("reldb_btree_splits_total")
+
+	// Columnar segment store: sealed snapshot builds (lazy or COMPACT),
+	// rows encoded across those builds, and snapshots invalidated by DML
+	// or schema changes.
+	mSegBuilds        = obs.Default.Counter("reldb_segment_builds_total")
+	mSegBuildRows     = obs.Default.Counter("reldb_segment_build_rows_total")
+	mSegInvalidations = obs.Default.Counter("reldb_segment_invalidations_total")
 )

@@ -3,6 +3,7 @@ package reldb
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -30,6 +31,16 @@ type Table struct {
 	arena   []Value           // block-allocated cell storage for normalize
 	pk      *Index            // unique index over the primary key, or nil
 	indexes map[string]*Index // secondary indexes by lower-cased index name
+
+	// Columnar segment state (see segment.go). dataVersion counts row
+	// mutations; it is a plain int64 because every mutation runs under the
+	// database write lock. colSeg and segHits are atomics because readers
+	// race only each other: concurrent read transactions share the sealed
+	// set and bump the read-mostly counter without coordination.
+	dataVersion int64
+	colSeg      atomic.Pointer[SegmentSet]
+	segHits     atomic.Int32
+	segMu       sync.Mutex // serializes segment builds
 }
 
 // schemaVersions issues process-wide unique schema versions. Every DDL that
@@ -65,8 +76,12 @@ func (t *Table) Schema() *Schema { return t.schema }
 // decision is still valid.
 func (t *Table) Version() int64 { return t.version }
 
-// bumpVersion assigns the table a fresh schema version.
-func (t *Table) bumpVersion() { t.version = nextSchemaVersion() }
+// bumpVersion assigns the table a fresh schema version. Schema changes
+// also seal off any columnar snapshot built against the old layout.
+func (t *Table) bumpVersion() {
+	t.version = nextSchemaVersion()
+	t.noteDataChange()
+}
 
 // Len returns the number of live rows.
 func (t *Table) Len() int { return t.live }
@@ -199,6 +214,7 @@ func (t *Table) insert(row Row) (int, error) {
 		}
 	}
 	t.live++
+	t.noteDataChange()
 	return slot, nil
 }
 
@@ -228,6 +244,7 @@ func (t *Table) deleteSlot(slot int) (Row, error) {
 	t.rows[slot] = nil
 	t.free = append(t.free, slot)
 	t.live--
+	t.noteDataChange()
 	return row, nil
 }
 
@@ -254,6 +271,7 @@ func (t *Table) restoreSlot(slot int, row Row) {
 		ix.insert(row, slot) //nolint:errcheck
 	}
 	t.live++
+	t.noteDataChange()
 }
 
 // updateSlot replaces the row at slot with a normalized new row, returning
@@ -284,6 +302,7 @@ func (t *Table) updateSlot(slot int, row Row) (Row, error) {
 		}
 	}
 	t.rows[slot] = row
+	t.noteDataChange()
 	return old, nil
 }
 
@@ -294,6 +313,12 @@ func (t *Table) row(slot int) Row {
 	}
 	return t.rows[slot]
 }
+
+// RowAt returns the live row at slot, or nil. The row aliases table
+// storage; callers may read it only while holding the transaction that
+// obtained the table. The columnar path uses it to materialize group
+// "first" rows from segment slot numbers.
+func (t *Table) RowAt(slot int) Row { return t.row(slot) }
 
 // scan visits every live row in slot order.
 func (t *Table) scan(fn func(slot int, row Row) bool) {

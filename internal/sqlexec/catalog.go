@@ -48,7 +48,8 @@ var catalogs = map[string]*catalogDef{
 		rows: obsActiveStatementsRows,
 	},
 	CatalogPlanCache: {
-		cols: []string{"conn_id", "entries", "capacity", "hits", "misses", "schema_version"},
+		cols: []string{"conn_id", "entries", "capacity", "hits", "misses",
+			"columnar_hits", "schema_version"},
 		rows: obsPlanCacheRows,
 	},
 	CatalogTableStats: {
@@ -166,6 +167,9 @@ type PlanCacheInfo struct {
 	Capacity int
 	Hits     int64
 	Misses   int64
+	// ColumnarHits counts executions of cached plans that took the
+	// vectorized aggregation path (Plan.Columnar summed over entries).
+	ColumnarHits int64
 }
 
 var planCacheSource atomic.Value // holds func() []PlanCacheInfo
@@ -187,7 +191,7 @@ func obsPlanCacheRows(*reldb.Tx) ([]reldb.Row, error) {
 	for i, c := range infos {
 		rows[i] = reldb.Row{
 			reldb.Int(c.ConnID), reldb.Int(int64(c.Entries)), reldb.Int(int64(c.Capacity)),
-			reldb.Int(c.Hits), reldb.Int(c.Misses), reldb.Int(sv),
+			reldb.Int(c.Hits), reldb.Int(c.Misses), reldb.Int(c.ColumnarHits), reldb.Int(sv),
 		}
 	}
 	return rows, nil

@@ -34,6 +34,8 @@ func ExecOpts(tx *reldb.Tx, stmt sqlparse.Statement, params []reldb.Value, opts 
 	switch st := stmt.(type) {
 	case *sqlparse.Analyze:
 		return execAnalyze(tx, st, opts)
+	case *sqlparse.Compact:
+		return execCompact(tx, st, opts)
 	case *sqlparse.Kill:
 		return execKill(st, params)
 	case *sqlparse.CreateTable:

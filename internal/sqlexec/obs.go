@@ -20,6 +20,10 @@ var (
 	mParallelAggs   = obs.Default.Counter("sqlexec_parallel_aggs_total")
 	mScanPartitions = obs.Default.Counter("sqlexec_scan_partitions_total")
 
+	mColumnarScans       = obs.Default.Counter("sqlexec_columnar_scans_total")
+	mColumnarRowsScanned = obs.Default.Counter("sqlexec_columnar_rows_scanned_total")
+	mColumnarFallbacks   = obs.Default.Counter("sqlexec_columnar_fallbacks_total")
+
 	mPlanCacheHits     = obs.Default.Counter("sqlexec_plan_cache_hits_total")
 	mPlanCacheMisses   = obs.Default.Counter("sqlexec_plan_cache_misses_total")
 	mPlanInvalidations = obs.Default.Counter("sqlexec_plan_cache_invalidations_total")

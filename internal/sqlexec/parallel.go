@@ -26,6 +26,11 @@ type Options struct {
 	// context between row batches, so a KILL unwinds the statement within
 	// one scan chunk.
 	Stmt *StmtEntry
+	// NoColumnar disables the vectorized aggregation path over sealed
+	// column segments (columnar.go), forcing row-at-a-time execution. Both
+	// paths return bitwise-identical results; this exists for comparison
+	// benchmarks and the godbc ?columnar=0 DSN option.
+	NoColumnar bool
 }
 
 // DefaultWorkers is the worker count used when Options does not set one:
@@ -344,7 +349,6 @@ func (q *query) foldChunk(rows []reldb.Row, aggNodes []*sqlparse.FuncCall) *aggC
 // chunk order. HAVING, output items and ORDER BY keys are then evaluated
 // per merged group exactly as on the serial path.
 func (q *query) aggregateChunked(rows []reldb.Row, items []sqlparse.SelectItem, orderExprs []sqlparse.Expr, aggNodes []*sqlparse.FuncCall) ([][]reldb.Value, [][]reldb.Value, error) {
-	st := q.st
 	nchunks := (len(rows) + aggChunkRows - 1) / aggChunkRows
 	chunks := make([]*aggChunk, nchunks)
 	workers := q.opts.effectiveWorkers()
@@ -412,21 +416,31 @@ func (q *query) aggregateChunked(rows []reldb.Row, items []sqlparse.SelectItem, 
 		}
 		wg.Wait()
 	}
-	// Chunks are claimed in increasing index order and always run to
-	// completion, so the lowest-index recorded error is the first error in
-	// input-row order — the same one chunked serial execution reports.
+	if err := chunkError(chunks); err != nil {
+		return nil, nil, err
+	}
+	return q.finalizeGroups(mergeChunks(chunks), items, orderExprs, aggNodes)
+}
+
+// chunkError returns the lowest-index chunk error. Chunks are claimed in
+// increasing index order and always run to completion, so this is the first
+// error in input-row order — the same one chunked serial execution reports.
+func chunkError(chunks []*aggChunk) error {
 	for _, ck := range chunks {
 		if ck == nil {
 			continue // unclaimed after an earlier chunk stopped the queue
 		}
 		if ck.err != nil {
-			return nil, nil, ck.err
+			return ck.err
 		}
 	}
+	return nil
+}
 
-	// Merge in chunk order: group discovery order and each group's first
-	// row match the input order, and float partials accumulate in a fixed
-	// order regardless of the worker count.
+// mergeChunks merges per-chunk group partials in chunk order: group
+// discovery order and each group's first row match the input order, and
+// float partials accumulate in a fixed order regardless of worker count.
+func mergeChunks(chunks []*aggChunk) []*chunkGroup {
 	merged := make(map[string]*chunkGroup)
 	var order []*chunkGroup
 	for _, ck := range chunks {
@@ -442,7 +456,14 @@ func (q *query) aggregateChunked(rows []reldb.Row, items []sqlparse.SelectItem, 
 			}
 		}
 	}
+	return order
+}
 
+// finalizeGroups evaluates HAVING, the output items and the ORDER BY keys
+// per merged group, with each group's first input row as the non-aggregate
+// environment — exactly as the serial path does.
+func (q *query) finalizeGroups(order []*chunkGroup, items []sqlparse.SelectItem, orderExprs []sqlparse.Expr, aggNodes []*sqlparse.FuncCall) ([][]reldb.Value, [][]reldb.Value, error) {
+	st := q.st
 	var out [][]reldb.Value
 	var keys [][]reldb.Value
 	for _, g := range order {

@@ -2,6 +2,7 @@ package sqlexec
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"perfdmf/internal/reldb"
 	"perfdmf/internal/sqlparse"
@@ -34,6 +35,12 @@ type accessDecision struct {
 // at a time, matching the connection it belongs to.
 type Plan struct {
 	Select *sqlparse.Select
+
+	// Columnar counts executions of this plan that took the vectorized
+	// aggregation path, surfaced as OBS_PLAN_CACHE.columnar_hits. Atomic
+	// because catalog snapshots read it from other goroutines while the
+	// owning connection executes.
+	Columnar atomic.Int64
 
 	memoized bool // an access decision has been captured
 	valid    bool // the captured decision kind is replayable

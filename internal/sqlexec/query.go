@@ -35,6 +35,16 @@ type query struct {
 	opts    Options
 	scanned int64 // rows fetched from storage (base + join inputs)
 	par     int   // widest worker fan-out this execution used (0 = serial)
+
+	// Columnar execution state (see columnar.go). When tryColumnarAggregate
+	// handles the query, scan, filter and aggregation are already done and
+	// the materialize section reuses the stashed results.
+	colDone  bool
+	colPar   int // workers the columnar path used (0 = row path)
+	colOut   [][]reldb.Value
+	colKeys  [][]reldb.Value
+	colItems []sqlparse.SelectItem
+	colNames []string
 }
 
 type field struct {
@@ -146,7 +156,18 @@ func (q *query) run() (*ResultSet, error) {
 			mark = now()
 		}
 		stmt.SetPhase(PhaseExecute)
+		if scanned && len(st.Joins) == 0 && !q.opts.NoColumnar {
+			handled, cerr := q.tryColumnarAggregate(st.From.Table)
+			if cerr != nil {
+				return nil, cerr
+			}
+			if handled {
+				whereDone = true
+			}
+		}
 		switch {
+		case q.colDone:
+			// Vectorized path already scanned, filtered and aggregated.
 		case scanned && len(st.Joins) == 0 && q.opts.effectiveWorkers() > 1 && q.liveRows(st.From.Table) >= parallelMinRows:
 			// Partitioned parallel scan with the WHERE filter folded in.
 			rows, err = q.parallelScanFilter(st.From.Table, st.Where, q.opts.effectiveWorkers())
@@ -218,24 +239,31 @@ func (q *query) run() (*ResultSet, error) {
 		return nil, err
 	}
 
-	items, colNames, err := q.expandItems()
-	if err != nil {
-		return nil, err
-	}
-	orderExprs, err := q.resolveOrderBy(items)
-	if err != nil {
-		return nil, err
-	}
-
+	var items []sqlparse.SelectItem
+	var colNames []string
 	var out [][]reldb.Value
 	var sortKeys [][]reldb.Value
-	if q.isAggregate(items, orderExprs) {
-		out, sortKeys, err = q.aggregate(rows, items, orderExprs)
+	if q.colDone {
+		items, colNames = q.colItems, q.colNames
+		out, sortKeys = q.colOut, q.colKeys
 	} else {
-		out, sortKeys, err = q.project(rows, items, orderExprs)
-	}
-	if err != nil {
-		return nil, err
+		var orderExprs []sqlparse.Expr
+		items, colNames, err = q.expandItems()
+		if err != nil {
+			return nil, err
+		}
+		orderExprs, err = q.resolveOrderBy(items)
+		if err != nil {
+			return nil, err
+		}
+		if q.isAggregate(items, orderExprs) {
+			out, sortKeys, err = q.aggregate(rows, items, orderExprs)
+		} else {
+			out, sortKeys, err = q.project(rows, items, orderExprs)
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	if st.Distinct {
@@ -259,7 +287,9 @@ func (q *query) run() (*ResultSet, error) {
 		stmt.rowsReturned.Store(int64(len(out)))
 	}
 	if timed {
-		if q.par > 1 {
+		if q.colDone {
+			q.sp.PlanSummary += fmt.Sprintf(" columnar(%d)", q.colPar)
+		} else if q.par > 1 {
 			q.sp.PlanSummary += fmt.Sprintf(" parallel(%d)", q.par)
 		}
 		q.sp.Materialize += since(mark)

@@ -152,6 +152,14 @@ type Analyze struct {
 	Table string // "" means every user table
 }
 
+// Compact is COMPACT [table]: build sealed columnar segments for one table
+// (or, with Table empty, every user table) so subsequent aggregation
+// queries can take the vectorized path without waiting for the lazy
+// read-mostly heuristic.
+type Compact struct {
+	Table string // "" means every user table
+}
+
 // Kill is KILL <statement_id>: request cancellation of a running statement
 // by the id OBS_ACTIVE_STATEMENTS reports. ID is a Literal integer or a
 // Param placeholder.
@@ -174,6 +182,7 @@ func (*DropIndex) stmt()   {}
 func (*Insert) stmt()      {}
 func (*Explain) stmt()     {}
 func (*Analyze) stmt()     {}
+func (*Compact) stmt()     {}
 func (*Kill) stmt()        {}
 func (*Select) stmt()      {}
 func (*Update) stmt()      {}

@@ -46,7 +46,7 @@ var keywords = map[string]bool{
 	"IS": true, "BETWEEN": true, "DISTINCT": true, "BEGIN": true,
 	"COMMIT": true, "ROLLBACK": true, "TRANSACTION": true, "IF": true,
 	"EXISTS": true, "USING": true, "TRUE": true, "FALSE": true,
-	"EXPLAIN": true, "ANALYZE": true, "KILL": true,
+	"EXPLAIN": true, "ANALYZE": true, "KILL": true, "COMPACT": true,
 	"BIGINT":  true, "INT": true, "INTEGER": true, "DOUBLE": true,
 	"FLOAT": true, "REAL": true, "VARCHAR": true, "TEXT": true,
 	"BOOLEAN": true, "BOOL": true, "TIMESTAMP": true, "BLOB": true,

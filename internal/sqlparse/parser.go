@@ -123,6 +123,12 @@ func (p *parser) statement() (Statement, error) {
 			an.Table = p.next().text
 		}
 		return an, nil
+	case p.accept(tokKeyword, "COMPACT"):
+		co := &Compact{}
+		if p.at(tokIdent, "") {
+			co.Table = p.next().text
+		}
+		return co, nil
 	case p.accept(tokKeyword, "KILL"):
 		t := p.cur()
 		switch t.kind {
