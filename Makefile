@@ -1,9 +1,12 @@
 # Developer entry points. `make check` is the gate a change must pass, in
-# order: `go vet`, the repo-native analyzers (`lint`, cmd/perfdmf-vet —
-# lock discipline, resource leaks, SQL literals, determinism, metric
-# names; see docs/STATIC_ANALYSIS.md), full build, the race-enabled test
-# suite, a 10-second fuzz pass over the SQL parser and the reldb value
-# codec (`fuzz-smoke`), and one-shot smoke runs of the observability
+# order: `go vet`, the repo-native analyzers (`lint` runs the fast
+# per-package checks — lock discipline, resource leaks, SQL literals,
+# determinism, metric names, atomic access, cancellation polling;
+# `lint-global` runs the whole-module interprocedural ones — lock
+# ordering and span/goroutine lifecycle; see docs/STATIC_ANALYSIS.md),
+# full build, the race-enabled test suite, a 10-second fuzz pass over the
+# SQL parser, the reldb value codec and the columnar segment encoders
+# (`fuzz-smoke`), and one-shot smoke runs of the observability
 # benchmark, the serve binary, the persisted span-tree pipeline
 # (`trace-smoke`), the introspection catalog (`catalog-smoke`), the
 # group-committed telemetry pipeline (`telemetry-smoke`), and the
@@ -14,9 +17,9 @@
 
 GO ?= go
 
-.PHONY: check vet lint build test race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke bench bench-parallel bench-columnar bench-trace experiments clean
+.PHONY: check vet lint lint-global build test race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke bench bench-parallel bench-columnar bench-trace experiments clean
 
-check: vet lint build race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke
+check: vet lint lint-global build race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,10 +27,16 @@ vet:
 # Repo-native static analysis: builds and runs cmd/perfdmf-vet over the
 # whole module. Exits nonzero with file:line diagnostics on any finding;
 # deliberate exceptions are annotated //lint:allow in source, never
-# skipped here.
+# skipped here. `lint` runs the fast per-package analyzers; `lint-global`
+# runs the interprocedural whole-module ones (lockorder, lifecycle),
+# which walk call graphs and are the slowest gates before the race suite.
 lint:
 	$(GO) build -o bin/perfdmf-vet ./cmd/perfdmf-vet
-	bin/perfdmf-vet ./...
+	bin/perfdmf-vet -analyzers lockcheck,closecheck,sqlcheck,determinism,metricnames,atomiccheck,ctxpoll ./...
+
+lint-global:
+	$(GO) build -o bin/perfdmf-vet ./cmd/perfdmf-vet
+	bin/perfdmf-vet -analyzers lockorder,lifecycle ./...
 
 build:
 	$(GO) build ./...
@@ -42,10 +51,13 @@ race:
 # FuzzParse runs the parser over the committed SQL seed corpus
 # (internal/sqlparse/testdata/sql_seed.txt, regenerated with
 # `bin/perfdmf-vet -dump-sql`) plus mutations; FuzzValueRoundTrip pounds
-# the reldb snapshot/WAL value codec.
+# the reldb snapshot/WAL value codec; FuzzSegmentRoundTrip drives the
+# columnar segment encoders (raw/FOR/RLE ints, dict/raw strings) from
+# the committed corpus in internal/reldb/testdata/fuzz.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/sqlparse
 	$(GO) test -run '^$$' -fuzz '^FuzzValueRoundTrip$$' -fuzztime 10s ./internal/reldb
+	$(GO) test -run '^$$' -fuzz '^FuzzSegmentRoundTrip$$' -fuzztime 10s ./internal/reldb
 
 # One iteration per sub-benchmark: proves the guard still compiles and
 # runs. Real numbers come from `make bench`.

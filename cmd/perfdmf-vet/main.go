@@ -1,23 +1,30 @@
 // Command perfdmf-vet runs PerfDMF's repo-native static analyzers over the
 // module, in the spirit of go vet: it prints file:line:col diagnostics and
 // exits nonzero when any invariant is violated. The analyzers (lockcheck,
-// closecheck, sqlcheck, determinism, metricnames) are documented in
-// docs/STATIC_ANALYSIS.md; deliberate violations are suppressed in source
-// with //lint:allow comments, never by skipping the gate.
+// closecheck, sqlcheck, determinism, metricnames, lockorder, atomiccheck,
+// ctxpoll, lifecycle) are documented in docs/STATIC_ANALYSIS.md; deliberate
+// violations are suppressed in source with //lint:allow comments, never by
+// skipping the gate.
 //
 // Usage:
 //
-//	perfdmf-vet [-analyzers a,b] [-list] [-dump-sql] [./...]
+//	perfdmf-vet [-analyzers a,b] [-list] [-json] [-fix-hints] [-dump-sql] [./...]
 //
-// The package pattern is accepted for familiarity but the tool always
-// analyzes the whole module containing the working directory.
+// -json emits the diagnostics as a JSON array (file/line/col/analyzer/
+// message) for editor and CI integration. -fix-hints prints the declared
+// concurrency contracts — the global lock order, the held-on-entry table,
+// and the cancellation-poll stride — that a reported finding must be fixed
+// against. The package pattern is accepted for familiarity but the tool
+// always analyzes the whole module containing the working directory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -28,6 +35,8 @@ func main() {
 	var (
 		analyzers = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
 		list      = flag.Bool("list", false, "list available analyzers and exit")
+		jsonOut   = flag.Bool("json", false, "emit diagnostics as a JSON array instead of text lines")
+		fixHints  = flag.Bool("fix-hints", false, "print the declared concurrency contracts (lock order, held-on-entry, poll stride) and exit")
 		dumpSQL   = flag.Bool("dump-sql", false, "print every constant SQL literal sqlcheck sees (fuzz seed corpus) and exit")
 	)
 	flag.Parse()
@@ -37,6 +46,10 @@ func main() {
 		for _, a := range all {
 			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
 		}
+		return
+	}
+	if *fixHints {
+		printFixHints()
 		return
 	}
 
@@ -85,13 +98,60 @@ func main() {
 	}
 
 	diags := lint.Run(prog, selected)
-	for _, d := range diags {
-		fmt.Println(d.String())
+	if *jsonOut {
+		type jsonDiag struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "perfdmf-vet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "perfdmf-vet: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// printFixHints prints the declared concurrency contracts the analyzers
+// enforce, so a lockorder or ctxpoll finding can be fixed against the
+// authoritative tables without digging through internal/lint.
+func printFixHints() {
+	fmt.Println("Declared global lock order (lockorder), outermost first:")
+	for i, class := range lint.LockOrder {
+		fmt.Printf("  %2d. %s\n", i+1, class)
+	}
+	fmt.Println("\nHeld-on-entry contracts (methods analyzed as if already holding):")
+	types := make([]string, 0, len(lint.LockOrderHeldOnEntry))
+	for t := range lint.LockOrderHeldOnEntry {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Printf("  %-12s holds %s\n", t, strings.Join(lint.LockOrderHeldOnEntry[t], ", "))
+	}
+	fmt.Printf("\nCancellation polling (ctxpoll): scan loops must poll at most every %d iterations.\n", lint.CtxpollMaxStride)
+	fmt.Println("Fix with a stride-guarded Err() check (iter % stride == 0) or justify with //lint:allow ctxpoll.")
 }
 
 // findModuleDir walks up from the working directory to the nearest go.mod.

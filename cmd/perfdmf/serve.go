@@ -120,6 +120,7 @@ func startServe(cfg serveConfig) (*serveInstance, error) {
 	si.ln = ln
 	si.Addr = ln.Addr().String()
 	si.srv = &http.Server{Handler: handler}
+	//lint:allow lifecycle -- http.Server owns this goroutine: Serve returns when Stop calls srv.Close
 	go si.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
 	return si, nil
 }

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// atomiccheck enforces that a memory location is either always accessed
+// atomically or never: mixing the two races even when each side looks
+// locally correct (the plain access tears or reorders against the atomic
+// one). Two rules, both module-wide:
+//
+//  1. A struct field or package-level variable whose address is passed to
+//     a raw sync/atomic function (atomic.AddInt64(&x.n, 1), ...) anywhere
+//     must never be read or written plainly elsewhere.
+//  2. A field or variable of a typed atomic (atomic.Int64, atomic.Bool,
+//     atomic.Pointer[T], atomic.Value, ...) may only be used as a method
+//     receiver or have its address taken — copying or comparing the
+//     struct by value smuggles out a non-atomic snapshot (and go vet's
+//     copylocks only catches some spellings).
+//
+// This is what guards the columnar segment publication pointer
+// (reldb.Table.colSeg), the StmtEntry phase/row counters, and the
+// telemetry governor gauges. Deliberately *plain* fields protected by a
+// mutex (reldb.Table.version, dataVersion) are fine: they are never
+// touched through sync/atomic, so rule 1 never claims them.
+func Atomiccheck() *Analyzer {
+	return &Analyzer{
+		Name: "atomiccheck",
+		Doc:  "a location accessed via sync/atomic must never be accessed plainly elsewhere",
+		Run:  runAtomiccheck,
+	}
+}
+
+// atomicTypeNames are the typed atomics of package sync/atomic.
+var atomicTypeNames = map[string]bool{
+	"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+	"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+}
+
+// isAtomicType reports whether t is (a pointer to) a sync/atomic typed
+// atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return atomicTypeNames[obj.Name()]
+}
+
+// isRawAtomicFunc reports whether a call is to a raw sync/atomic function
+// (AddInt64, LoadPointer, CompareAndSwapUint32, ...).
+func isRawAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync/atomic"
+}
+
+// trackableVar resolves an expression to the struct field or
+// package-level variable it denotes, or nil (locals, temporaries).
+func trackableVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v
+		}
+	case *ast.ParenExpr:
+		return trackableVar(info, e.X)
+	}
+	return nil
+}
+
+func runAtomiccheck(prog *Program) []Diagnostic {
+	// Pass 1: collect every field/package var whose address reaches a raw
+	// sync/atomic call, module-wide.
+	rawAtomic := make(map[*types.Var]string) // var → atomic function name seen
+	for _, pkg := range prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isRawAtomicFunc(pkg.Info, call) {
+					return true
+				}
+				fname := call.Fun.(*ast.SelectorExpr).Sel.Name
+				for _, arg := range call.Args {
+					ue, isAddr := arg.(*ast.UnaryExpr)
+					if !isAddr || ue.Op.String() != "&" {
+						continue
+					}
+					if v := trackableVar(pkg.Info, ue.X); v != nil {
+						if _, seen := rawAtomic[v]; !seen {
+							rawAtomic[v] = "atomic." + fname
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: flag plain accesses of raw-atomic locations and non-receiver
+	// uses of typed atomics.
+	var out []Diagnostic
+	for _, pkg := range prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			sanctioned := sanctionedAtomicUses(pkg.Info, f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				e, ok := n.(ast.Expr)
+				if !ok {
+					return true
+				}
+				switch e.(type) {
+				case *ast.SelectorExpr, *ast.Ident:
+				default:
+					return true
+				}
+				v := trackableVar(pkg.Info, e)
+				if v == nil {
+					return true
+				}
+				if fn, isRaw := rawAtomic[v]; isRaw && !sanctioned[e] {
+					out = append(out, diag(prog, "atomiccheck", e.Pos(),
+						"plain access of %s, which is accessed via %s elsewhere: every access must be atomic", v.Name(), fn))
+					return false
+				}
+				if isAtomicType(v.Type()) && !sanctioned[e] {
+					out = append(out, diag(prog, "atomiccheck", e.Pos(),
+						"%s copies/compares the typed atomic %s by value: use its methods or take its address", v.Name(), v.Type().String()))
+					return false
+				}
+				return true
+			})
+		}
+	}
+	sortDiags(out)
+	return out
+}
+
+// sanctionedAtomicUses marks the expression positions where touching an
+// atomic location is legitimate: as a method-call receiver (x.n.Load()),
+// under an address-of (&x.n — this is how raw atomics and helper passing
+// work; the pointee is then governed at the pointer's use sites), as a
+// composite-literal field key (S{n: ...} zero-value initialization before
+// publication), or as the operand of a selector that itself resolves
+// deeper (x.stats.n: the outer selector is just a path step).
+func sanctionedAtomicUses(info *types.Info, f *ast.File) map[ast.Expr]bool {
+	ok := make(map[ast.Expr]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, isSel := n.Fun.(*ast.SelectorExpr); isSel {
+				if info.Selections[sel] != nil {
+					ok[sel.X] = true // method receiver
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				ok[n.X] = true
+			}
+		case *ast.SelectorExpr:
+			ok[n.X] = true // path step: x in x.field
+		case *ast.KeyValueExpr:
+			ok[n.Key] = true // composite-literal field name
+		}
+		return true
+	})
+	return ok
+}
+
+// sortDiags orders diagnostics by position for deterministic output.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+}

@@ -44,10 +44,18 @@ func Closecheck() *Analyzer {
 }
 
 type closeWalk struct {
-	prog  *Program
-	pkg   *Package
-	fname string
-	diags *[]Diagnostic
+	prog     *Program
+	pkg      *Package
+	fname    string
+	diags    *[]Diagnostic
+	analyzer string // "closecheck", or "lifecycle" when reused for spans
+}
+
+func (c *closeWalk) name() string {
+	if c.analyzer != "" {
+		return c.analyzer
+	}
+	return "closecheck"
 }
 
 type closeState struct {
@@ -163,7 +171,7 @@ func (c *closeWalk) checkAcquisition(at *ast.AssignStmt, res *ast.Ident, errName
 	}
 	st := c.path(rest, res.Name, release, closeState{})
 	if !st.done() {
-		*c.diags = append(*c.diags, diag(c.prog, "closecheck", at.Pos(),
+		*c.diags = append(*c.diags, diag(c.prog, c.name(), at.Pos(),
 			"%s from %s() in %s is not closed before the end of its scope", res.Name, method, c.fname))
 	}
 }
@@ -193,6 +201,17 @@ func (c *closeWalk) path(stmts []ast.Stmt, res string, release []string, st clos
 				st.deferred = true
 				continue
 			}
+			// A deferred call that receives the resource (as an argument,
+			// or captured by a deferred closure) owns its resolution:
+			// `defer func() { finish(sp, ...) }()`.
+			for _, a := range s.Call.Args {
+				if usesOutsideReceiver(a, res) {
+					st.deferred = true
+				}
+			}
+			if fl, isLit := s.Call.Fun.(*ast.FuncLit); isLit && mentionsIdent(fl.Body, res) {
+				st.deferred = true
+			}
 		case *ast.ReturnStmt:
 			for _, r := range s.Results {
 				if c.isRelease(r, res, release) {
@@ -202,7 +221,7 @@ func (c *closeWalk) path(stmts []ast.Stmt, res string, release []string, st clos
 				}
 			}
 			if !st.resolved && !st.deferred {
-				*c.diags = append(*c.diags, diag(c.prog, "closecheck", s.Pos(),
+				*c.diags = append(*c.diags, diag(c.prog, c.name(), s.Pos(),
 					"return in %s leaks %s: no %s on this path", c.fname, res, releaseNames(release)))
 			}
 			st.terminated = true

@@ -1,0 +1,530 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxpoll generalizes the PR 6 kill-statement convention: any loop in the
+// executor or the storage engine's row paths that walks rows or slots
+// must poll cancellation — directly (stmt.Err() / ctx.Err()), through a
+// helper that polls, or behind a bounded stride guard
+// (n%cancelCheckRows == 0 with the stride ≤ MaxStride) — so a KILL or a
+// context cancellation unwinds within a bounded number of rows on every
+// scan path, including ones added after the convention was established.
+//
+// What counts as a scan loop:
+//   - a range over a slice of the configured row type ([]reldb.Row),
+//   - a for loop whose condition compares against len(rows-typed slice),
+//   - a range over an integer slice named like a slot list ("slots", ...,
+//     per SlotNames),
+//   - the body of a function literal passed to a per-row callback method
+//     named in ScanFuncs (tx.Scan(table, func(slot, row) bool {...})).
+//
+// What counts as polling inside the body (nested function literals and
+// nested loops do not count for the outer loop — they may run zero
+// times):
+//   - a call to (*sqlexec.StmtEntry).Err or context.Context.Err, either
+//     unguarded or guarded only by stride-ifs (expr%K == c, K ≤
+//     MaxStride) — polls inside an if's own Init/Cond count through that
+//     if,
+//   - a call to a module function that itself polls unconditionally-ish
+//     (same rule, computed as a fixed point over the call graph),
+//   - the callback-stop shape: the loop's per-row work is delegated to a
+//     function-typed value whose boolean result breaks/returns out of the
+//     loop — the callback owns cancellation (reldb's Table.scan).
+type CtxpollConfig struct {
+	// Scopes limits where loops are inspected; entries are import paths,
+	// optionally with a file basename prefix: "pkg" or "pkg:filePrefix".
+	Scopes []string
+	// RowTypes are the fully-qualified element types whose slices count
+	// as row collections.
+	RowTypes []string
+	// SlotNames are identifier names (of integer slices) treated as slot
+	// collections.
+	SlotNames []string
+	// ScanFuncs are method names whose function-literal argument is a
+	// per-row callback.
+	ScanFuncs []string
+	// MaxStride is the largest accepted stride-guard constant.
+	MaxStride int64
+}
+
+// CtxpollMaxStride is the declared repo-wide bound on how many rows a
+// scan may process between cancellation checks. sqlexec's
+// cancelCheckRows (1024) is well inside it.
+const CtxpollMaxStride = 4096
+
+// Ctxpoll returns the analyzer with the production configuration: the
+// whole executor plus reldb's row-scan file. Segment building
+// (segment.go) is deliberately out of scope: a build populates a shared
+// cache under segMu, and aborting it halfway would poison the snapshot
+// for every other reader, so it runs to completion (it is bounded by
+// table size).
+func Ctxpoll() *Analyzer {
+	return CtxpollFor(CtxpollConfig{
+		Scopes:    []string{"perfdmf/internal/sqlexec", "perfdmf/internal/reldb:table"},
+		RowTypes:  []string{"perfdmf/internal/reldb.Row"},
+		SlotNames: []string{"slots"},
+		ScanFuncs: []string{"Scan"},
+		MaxStride: CtxpollMaxStride,
+	})
+}
+
+// CtxpollFor returns the analyzer for an explicit configuration.
+func CtxpollFor(cfg CtxpollConfig) *Analyzer {
+	return &Analyzer{
+		Name: "ctxpoll",
+		Doc:  "row/slot scan loops must poll cancellation at least every MaxStride iterations",
+		Run: func(prog *Program) []Diagnostic {
+			c := &ctxpollWalk{prog: prog, cfg: cfg}
+			c.buildPollers()
+			return c.run()
+		},
+	}
+}
+
+type ctxpollWalk struct {
+	prog    *Program
+	cfg     CtxpollConfig
+	pollers map[*types.Func]bool
+	diags   []Diagnostic
+}
+
+// scopeMatch implements the "pkg" / "pkg:filePrefix" scope form shared
+// with the determinism analyzer.
+func (c *ctxpollWalk) scopeMatch(pkgPath, filename string) bool {
+	base := filename
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	for _, s := range c.cfg.Scopes {
+		pkg, prefix, hasPrefix := strings.Cut(s, ":")
+		if pkg != pkgPath {
+			continue
+		}
+		if !hasPrefix || strings.HasPrefix(base, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// buildPollers computes the module functions that poll cancellation on
+// every call, as a fixed point: directly via stmt.Err()/ctx.Err(), or by
+// calling another poller, in either case outside loops and function
+// literals and under stride guards only.
+func (c *ctxpollWalk) buildPollers() {
+	c.pollers = make(map[*types.Func]bool)
+	type fnDecl struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+		pkg  *Package
+	}
+	var fns []fnDecl
+	for _, pkg := range c.prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					fns = append(fns, fnDecl{obj, fd, pkg})
+				}
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if c.pollers[f.fn] {
+				continue
+			}
+			if c.bodyPolls(f.pkg, f.decl.Body) {
+				c.pollers[f.fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func (c *ctxpollWalk) run() []Diagnostic {
+	for _, pkg := range c.prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			pos := c.prog.Fset.Position(f.Pos())
+			if !c.scopeMatch(pkg.PkgPath, pos.Filename) {
+				continue
+			}
+			c.checkFile(pkg, f)
+		}
+	}
+	return c.diags
+}
+
+func (c *ctxpollWalk) checkFile(pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if c.isRowRange(pkg, n) {
+				c.checkLoop(pkg, n.Pos(), n.Body, "row scan loop")
+			} else if c.isSlotRange(pkg, n) {
+				c.checkLoop(pkg, n.Pos(), n.Body, "slot scan loop")
+			}
+		case *ast.ForStmt:
+			if c.isLenCondOverRows(pkg, n) {
+				c.checkLoop(pkg, n.Pos(), n.Body, "row scan loop")
+			}
+		case *ast.CallExpr:
+			if _, m, ok := methodCall(n); ok && c.isScanFunc(m) {
+				for _, arg := range n.Args {
+					if fl, isLit := arg.(*ast.FuncLit); isLit {
+						c.checkCallback(pkg, n.Pos(), fl)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isRowRange reports whether the range iterates a slice of a configured
+// row type.
+func (c *ctxpollWalk) isRowRange(pkg *Package, n *ast.RangeStmt) bool {
+	return c.isRowSlice(typeString(pkg.Info, n.X))
+}
+
+func (c *ctxpollWalk) isRowSlice(ts string) bool {
+	for _, rt := range c.cfg.RowTypes {
+		if ts == "[]"+rt {
+			return true
+		}
+	}
+	return false
+}
+
+// isSlotRange reports whether the range iterates an integer slice whose
+// expression is named like a slot list.
+func (c *ctxpollWalk) isSlotRange(pkg *Package, n *ast.RangeStmt) bool {
+	name := ""
+	switch x := n.X.(type) {
+	case *ast.Ident:
+		name = x.Name
+	case *ast.SelectorExpr:
+		name = x.Sel.Name
+	default:
+		return false
+	}
+	match := false
+	lower := strings.ToLower(name)
+	for _, sn := range c.cfg.SlotNames {
+		if strings.HasSuffix(lower, strings.ToLower(sn)) {
+			match = true
+		}
+	}
+	if !match {
+		return false
+	}
+	ts := typeString(pkg.Info, n.X)
+	return ts == "[]int" || ts == "[]int32" || ts == "[]int64"
+}
+
+// isLenCondOverRows matches `for i := 0; i < len(rows); i++` over a
+// row-typed slice.
+func (c *ctxpollWalk) isLenCondOverRows(pkg *Package, n *ast.ForStmt) bool {
+	found := false
+	if n.Cond == nil {
+		return false
+	}
+	ast.Inspect(n.Cond, func(nn ast.Node) bool {
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, isID := call.Fun.(*ast.Ident); isID && id.Name == "len" && len(call.Args) == 1 {
+			if c.isRowSlice(typeString(pkg.Info, call.Args[0])) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *ctxpollWalk) isScanFunc(m string) bool {
+	for _, s := range c.cfg.ScanFuncs {
+		if m == s {
+			return true
+		}
+	}
+	return false
+}
+
+// checkLoop reports the loop when its body neither polls nor delegates
+// stop control to a callback.
+func (c *ctxpollWalk) checkLoop(pkg *Package, pos token.Pos, body *ast.BlockStmt, kind string) {
+	if c.bodyPolls(pkg, body) || c.callbackStops(pkg, body) {
+		return
+	}
+	c.diags = append(c.diags, diag(c.prog, "ctxpoll", pos,
+		"%s without a cancellation poll: call stmt.Err()/ctx.Err() at least every %d rows (see docs/STATIC_ANALYSIS.md)",
+		kind, c.cfg.MaxStride))
+}
+
+// checkCallback reports a per-row callback literal that neither polls nor
+// stops via a nested callback.
+func (c *ctxpollWalk) checkCallback(pkg *Package, pos token.Pos, fl *ast.FuncLit) {
+	if c.bodyPolls(pkg, fl.Body) || c.callbackStops(pkg, fl.Body) {
+		return
+	}
+	c.diags = append(c.diags, diag(c.prog, "ctxpoll", pos,
+		"per-row scan callback without a cancellation poll: call stmt.Err()/ctx.Err() at least every %d rows (see docs/STATIC_ANALYSIS.md)",
+		c.cfg.MaxStride))
+}
+
+// bodyPolls reports whether the body contains an effective poll: a direct
+// stmt.Err()/ctx.Err() call or a call to a poller function, reachable on
+// every pass (i.e. not inside nested loops or function literals, and
+// enclosed only by stride-guard ifs — except that a poll in an if's own
+// Init/Cond counts through that if).
+func (c *ctxpollWalk) bodyPolls(pkg *Package, body *ast.BlockStmt) bool {
+	return c.stmtsPoll(pkg, body.List)
+}
+
+func (c *ctxpollWalk) stmtsPoll(pkg *Package, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		if c.stmtPolls(pkg, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *ctxpollWalk) stmtPolls(pkg *Package, s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		// Polls in the if's own Init/Cond execute on every pass.
+		if s.Init != nil && c.exprStmtPolls(pkg, s.Init) {
+			return true
+		}
+		if s.Cond != nil && c.exprPolls(pkg, s.Cond) {
+			return true
+		}
+		// Polls in the branches only count under a stride guard.
+		if c.isStrideGuard(pkg, s.Cond) {
+			if c.stmtsPoll(pkg, s.Body.List) {
+				return true
+			}
+		}
+		if s.Else != nil {
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				// An else branch is the guard's complement; polls there
+				// are still bounded by the stride.
+				if c.isStrideGuard(pkg, s.Cond) && c.stmtsPoll(pkg, blk.List) {
+					return true
+				}
+			} else if c.stmtPolls(pkg, s.Else) {
+				return true
+			}
+		}
+		return false
+	case *ast.BlockStmt:
+		return c.stmtsPoll(pkg, s.List)
+	case *ast.LabeledStmt:
+		return c.stmtPolls(pkg, s.Stmt)
+	case *ast.ForStmt, *ast.RangeStmt:
+		return false // nested loops may run zero iterations
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return false // conditional: not guaranteed every pass
+	case *ast.DeferStmt, *ast.GoStmt:
+		return false
+	default:
+		return c.exprStmtPolls(pkg, s)
+	}
+}
+
+// exprStmtPolls scans a leaf statement's expressions (outside FuncLits)
+// for poll calls.
+func (c *ctxpollWalk) exprStmtPolls(pkg *Package, s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && c.isPollCall(pkg, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func (c *ctxpollWalk) exprPolls(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && c.isPollCall(pkg, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isPollCall recognizes stmt.Err() / ctx.Err() (by receiver type) and
+// calls to module poller functions.
+func (c *ctxpollWalk) isPollCall(pkg *Package, call *ast.CallExpr) bool {
+	if recv, m, ok := methodCall(call); ok && m == "Err" {
+		ts := typeString(pkg.Info, recv)
+		if strings.HasSuffix(ts, "StmtEntry") || ts == "context.Context" {
+			return true
+		}
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	if fn, ok := pkg.Info.Uses[id].(*types.Func); ok {
+		return c.pollers[fn]
+	}
+	return false
+}
+
+// isStrideGuard matches `expr % K == c` (either operand order, any
+// comparison of a %K value) with constant K ≤ MaxStride.
+func (c *ctxpollWalk) isStrideGuard(pkg *Package, cond ast.Expr) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		mod, isMod := stripParens(side).(*ast.BinaryExpr)
+		if !isMod || mod.Op.String() != "%" {
+			continue
+		}
+		if k, okK := constInt(pkg.Info, mod.Y); okK && k > 0 && k <= c.cfg.MaxStride {
+			return true
+		}
+	}
+	return false
+}
+
+func stripParens(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// constInt evaluates an expression to a constant integer via go/types.
+func constInt(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	if !exact {
+		return 0, false
+	}
+	return v, true
+}
+
+// callbackStops recognizes the callback-stop shape: an if whose condition
+// calls a function-typed value and whose body breaks or returns — the
+// callback decides when the scan stops, so cancellation is its job
+// (reldb's Table.scan: `if !fn(slot, row) { return }`).
+func (c *ctxpollWalk) callbackStops(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		if !c.callsFuncValue(pkg, ifs.Cond) && !(ifs.Init != nil && c.initCallsFuncValue(pkg, ifs.Init)) {
+			return true
+		}
+		for _, bs := range ifs.Body.List {
+			switch bs := bs.(type) {
+			case *ast.ReturnStmt:
+				found = true
+			case *ast.BranchStmt:
+				if bs.Tok.String() == "break" {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *ctxpollWalk) initCallsFuncValue(pkg *Package, s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && c.isFuncValueCall(pkg, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *ctxpollWalk) callsFuncValue(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && c.isFuncValueCall(pkg, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isFuncValueCall reports whether the call invokes a function-typed
+// *value* (parameter, field, local) rather than a declared function.
+func (c *ctxpollWalk) isFuncValueCall(pkg *Package, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	_, isVar := pkg.Info.Uses[id].(*types.Var)
+	return isVar
+}

@@ -132,6 +132,52 @@ func TestMetricnamesGolden(t *testing.T) {
 	runGolden(t, Metricnames(), "metricnames")
 }
 
+func TestLockorderGolden(t *testing.T) {
+	a := LockorderFor(LockorderConfig{
+		Packages: []string{"perfdmf/internal/lint/testdata/lockorder"},
+		Order: []string{
+			"lockorder.regMu",
+			"lockorder.DB.mu",
+			"lockorder.Table.segMu",
+		},
+		HeldOnEntry: map[string][]string{
+			"lockorder.Tx": {"lockorder.DB.mu"},
+		},
+	})
+	runGolden(t, a, "lockorder")
+}
+
+func TestAtomiccheckGolden(t *testing.T) {
+	runGolden(t, Atomiccheck(), "atomiccheck")
+}
+
+func TestCtxpollGolden(t *testing.T) {
+	a := CtxpollFor(CtxpollConfig{
+		Scopes:    []string{"perfdmf/internal/lint/testdata/ctxpoll"},
+		RowTypes:  []string{"perfdmf/internal/lint/testdata/ctxpoll.Row"},
+		SlotNames: []string{"slots"},
+		ScanFuncs: []string{"Scan"},
+		MaxStride: CtxpollMaxStride,
+	})
+	runGolden(t, a, "ctxpoll")
+}
+
+func TestLifecycleGolden(t *testing.T) {
+	a := LifecycleFor(LifecycleConfig{
+		StartSpanFuncs: []string{"perfdmf/internal/lint/testdata/lifecycle.StartSpan"},
+		FinishMethods:  []string{"Finish"},
+	})
+	runGolden(t, a, "lifecycle")
+}
+
+// TestDeadallowGolden exercises the engine's dead-suppression rule: the
+// fixture's stale //lint:allow closecheck comment must itself be
+// reported, the used one must not, and an allow naming an analyzer
+// outside the run set must be left alone.
+func TestDeadallowGolden(t *testing.T) {
+	runGolden(t, Closecheck(), "deadallow")
+}
+
 // TestAnalyzersHaveDocs keeps -list output usable.
 func TestAnalyzersHaveDocs(t *testing.T) {
 	names := map[string]bool{}
@@ -144,7 +190,10 @@ func TestAnalyzersHaveDocs(t *testing.T) {
 		}
 		names[a.Name] = true
 	}
-	for _, want := range []string{"lockcheck", "closecheck", "sqlcheck", "determinism", "metricnames"} {
+	for _, want := range []string{
+		"lockcheck", "closecheck", "sqlcheck", "determinism", "metricnames",
+		"lockorder", "atomiccheck", "ctxpoll", "lifecycle",
+	} {
 		if !names[want] {
 			t.Errorf("analyzer %q missing from All()", want)
 		}

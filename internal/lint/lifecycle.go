@@ -1,0 +1,285 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// lifecycle extends closecheck's escape analysis to the two resources a
+// leak detector cannot see at runtime: spans and goroutines.
+//
+// Span rule: every span obtained from obs.StartSpan (`ctx, sp :=
+// obs.StartSpan(...)`) must reach sp.Finish(err) on all paths before the
+// function returns, or be deferred (directly or inside a deferred
+// closure), or escape (returned, stored, or passed to another function —
+// ownership transfers). A leaked span never routes to the tracer, the
+// slow-query log, or the telemetry sink, so the whole observability
+// pipeline silently under-counts. An `if sp == nil`/`if sp != nil` guard
+// immediately after the acquisition is exempt, mirroring closecheck's err
+// guard: StartSpan returns nil when observability is off and Finish is
+// nil-safe.
+//
+// Goroutine rule: every `go` statement must show join evidence — the
+// spawned body (a function literal, or a module function/method the
+// analyzer can resolve) must signal completion via `wg.Done()` or by
+// closing/sending on a channel, so an owner can wait for it. A goroutine
+// with neither is detached: nothing can know when (or whether) it
+// finished, which is how shutdown races and test flakes start.
+// Intentionally detached goroutines are annotated
+// `//lint:allow lifecycle -- <why>` at the go statement.
+type LifecycleConfig struct {
+	// StartSpanFuncs are the fully-qualified functions whose second
+	// result is a span requiring Finish.
+	StartSpanFuncs []string
+	// FinishMethods are the method names that resolve a span.
+	FinishMethods []string
+}
+
+// Lifecycle returns the analyzer with the production configuration.
+func Lifecycle() *Analyzer {
+	return LifecycleFor(LifecycleConfig{
+		StartSpanFuncs: []string{"perfdmf/internal/obs.StartSpan"},
+		FinishMethods:  []string{"Finish"},
+	})
+}
+
+// LifecycleFor returns the analyzer for an explicit configuration (golden
+// tests point StartSpanFuncs at a testdata-local function).
+func LifecycleFor(cfg LifecycleConfig) *Analyzer {
+	return &Analyzer{
+		Name: "lifecycle",
+		Doc:  "obs.StartSpan spans must Finish on all paths; spawned goroutines must be joinable",
+		Run: func(prog *Program) []Diagnostic {
+			var out []Diagnostic
+			lw := &lifecycleWalk{prog: prog, cfg: cfg, diags: &out}
+			lw.indexFuncs()
+			for _, pkg := range prog.Packages {
+				if pkg.Info == nil {
+					continue
+				}
+				for _, f := range pkg.Files {
+					lw.checkSpans(pkg, f)
+					lw.checkGoroutines(pkg, f)
+				}
+			}
+			return out
+		},
+	}
+}
+
+type lifecycleWalk struct {
+	prog  *Program
+	cfg   LifecycleConfig
+	diags *[]Diagnostic
+	funcs map[*types.Func]*ast.FuncDecl
+}
+
+func (lw *lifecycleWalk) indexFuncs() {
+	lw.funcs = make(map[*types.Func]*ast.FuncDecl)
+	for _, pkg := range lw.prog.Packages {
+		if pkg.Info == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					lw.funcs[obj] = fd
+				}
+			}
+		}
+	}
+}
+
+// ---- span check -------------------------------------------------------
+
+// checkSpans finds StartSpan acquisitions and path-checks the remainder
+// of each enclosing statement list, reusing closecheck's path machinery
+// (a span behaves exactly like a Rows handle whose release method is
+// Finish, plus the nil-guard exemption).
+func (lw *lifecycleWalk) checkSpans(pkg *Package, f *ast.File) {
+	funcBodies(f, func(fname string, _ *ast.FuncDecl, body *ast.BlockStmt) {
+		lw.scanSpanList(pkg, fname, body.List)
+	})
+}
+
+func (lw *lifecycleWalk) scanSpanList(pkg *Package, fname string, stmts []ast.Stmt) {
+	for i, s := range stmts {
+		if as, ok := s.(*ast.AssignStmt); ok {
+			if sp, okA := lw.spanAcquisition(pkg, as); okA {
+				lw.checkSpanAcquisition(pkg, fname, as, sp, stmts[i+1:])
+			}
+		}
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				lw.scanSpanList(pkg, fname, n.List)
+				return false
+			case *ast.FuncLit:
+				lw.scanSpanList(pkg, fname, n.Body.List)
+				return false
+			case *ast.CaseClause:
+				lw.scanSpanList(pkg, fname, n.Body)
+				return false
+			case *ast.CommClause:
+				lw.scanSpanList(pkg, fname, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// spanAcquisition recognizes `ctx, sp := obs.StartSpan(...)` (and `_, sp
+// :=`), returning the span identifier.
+func (lw *lifecycleWalk) spanAcquisition(pkg *Package, as *ast.AssignStmt) (*ast.Ident, bool) {
+	if as.Tok.String() != ":=" || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return nil, false
+	}
+	call, isCall := as.Rhs[0].(*ast.CallExpr)
+	if !isCall {
+		return nil, false
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, false
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	full := fn.FullName()
+	matched := false
+	for _, want := range lw.cfg.StartSpanFuncs {
+		if full == want {
+			matched = true
+		}
+	}
+	if !matched {
+		return nil, false
+	}
+	sp, isIdent := as.Lhs[1].(*ast.Ident)
+	if !isIdent || sp.Name == "_" {
+		return nil, false
+	}
+	return sp, true
+}
+
+func (lw *lifecycleWalk) checkSpanAcquisition(pkg *Package, fname string, at *ast.AssignStmt, sp *ast.Ident, rest []ast.Stmt) {
+	// The nil-guard immediately after acquisition (`if sp == nil { return
+	// fn(ctx) }` / `if sp != nil { bind }`) is exempt: StartSpan returns
+	// nil with observability off.
+	if len(rest) > 0 {
+		if ifs, ok := rest[0].(*ast.IfStmt); ok && ifs.Init == nil && mentionsIdent(ifs.Cond, sp.Name) {
+			rest = rest[1:]
+		}
+	}
+	c := &closeWalk{prog: lw.prog, pkg: pkg, fname: fname, diags: lw.diags, analyzer: "lifecycle"}
+	st := c.path(rest, sp.Name, lw.cfg.FinishMethods, closeState{})
+	if !st.done() {
+		*lw.diags = append(*lw.diags, diag(lw.prog, "lifecycle", at.Pos(),
+			"span %s from StartSpan in %s does not reach Finish before the end of its scope", sp.Name, fname))
+	}
+}
+
+// ---- goroutine check --------------------------------------------------
+
+func (lw *lifecycleWalk) checkGoroutines(pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lw.goroutineJoinable(pkg, gs) {
+			return true
+		}
+		*lw.diags = append(*lw.diags, diag(lw.prog, "lifecycle", gs.Pos(),
+			"goroutine is detached: its body signals completion via neither WaitGroup.Done nor a channel close/send (annotate //lint:allow lifecycle if intentional)"))
+		return true
+	})
+}
+
+// goroutineJoinable reports whether the spawned body shows join evidence:
+// a wg.Done() call (typed sync.WaitGroup) or a channel close/send, in the
+// function literal itself or in the resolved module callee's body.
+func (lw *lifecycleWalk) goroutineJoinable(pkg *Package, gs *ast.GoStmt) bool {
+	if fl, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return lw.bodySignals(pkg, fl.Body)
+	}
+	var id *ast.Ident
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	fn, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return false
+	}
+	fd := lw.funcs[fn]
+	if fd == nil {
+		return false // stdlib or unresolvable: no join evidence
+	}
+	// The callee may live in another package; find its Package for type
+	// info on the signal expressions.
+	calleePkg := lw.packageOf(fd)
+	if calleePkg == nil {
+		return false
+	}
+	return lw.bodySignals(calleePkg, fd.Body)
+}
+
+func (lw *lifecycleWalk) packageOf(fd *ast.FuncDecl) *Package {
+	pos := fd.Pos()
+	for _, pkg := range lw.prog.Packages {
+		for _, f := range pkg.Files {
+			if f.Pos() <= pos && pos <= f.End() {
+				return pkg
+			}
+		}
+	}
+	return nil
+}
+
+// bodySignals looks for completion signals anywhere in the body
+// (including deferred): wg.Done() on a sync.WaitGroup, close(ch), or a
+// channel send.
+func (lw *lifecycleWalk) bodySignals(pkg *Package, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found = true
+			return false
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				found = true
+				return false
+			}
+			if recv, m, ok := methodCall(n); ok && m == "Done" {
+				ts := typeString(pkg.Info, recv)
+				if strings.HasSuffix(strings.TrimPrefix(ts, "*"), "sync.WaitGroup") {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

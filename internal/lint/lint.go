@@ -1,11 +1,13 @@
 // Package lint is perfdmf-vet's analysis engine: a small, stdlib-only
-// (go/parser + go/ast + go/types) static-analysis framework plus the five
+// (go/parser + go/ast + go/types) static-analysis framework plus the nine
 // repo-native analyzers that machine-check the invariants PerfDMF's
 // correctness rests on — lock discipline in reldb, Rows/Stmt/Tx lifecycle
 // in godbc callers, SQL-literal well-formedness, bitwise-deterministic
-// parallel execution, and the metric naming convention /metrics scraping
-// relies on. See docs/STATIC_ANALYSIS.md for what each analyzer enforces
-// and how to extend the suite.
+// parallel execution, the metric naming convention /metrics scraping
+// relies on, and the concurrency suite (global lock ordering,
+// atomic/plain access mixing, scan-loop cancellation polling, span and
+// goroutine lifecycle). See docs/STATIC_ANALYSIS.md for what each
+// analyzer enforces and how to extend the suite.
 //
 // A diagnostic can be suppressed where a violation is deliberate by
 // putting a justification comment on the flagged line or the line above:
@@ -54,28 +56,46 @@ func diag(prog *Program, name string, pos token.Pos, format string, args ...any)
 	}
 }
 
-// allowRe matches suppression comments: //lint:allow <name>[,<name>...] [-- reason]
-var allowRe = regexp.MustCompile(`//\s*lint:allow\s+([a-z0-9_,]+)`)
+// allowRe matches suppression comments: //lint:allow <name>[,<name>...]
+// [-- reason]. Anchored to the start of the comment token so prose that
+// merely *mentions* the syntax (doc comments, examples) is not an allow.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([a-z0-9_,]+)`)
 
-// allowedLines collects, per file, the set of (line, analyzer) pairs that
-// //lint:allow comments suppress. A comment suppresses its own line and,
-// when it is the only thing on its line, the line below it.
-func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map[string]bool {
-	out := make(map[string]map[int]map[string]bool)
-	mark := func(file string, line int, names []string) {
-		byLine := out[file]
+// allowComment is one //lint:allow comment instance. It suppresses
+// findings on its own line and the line below; the used flag feeds the
+// dead-suppression check.
+type allowComment struct {
+	pos   token.Position
+	names []string
+	used  bool
+}
+
+// covers reports whether the comment suppresses the named analyzer.
+func (ac *allowComment) covers(name string) bool {
+	for _, n := range ac.names {
+		if n == name || n == "all" {
+			return true
+		}
+	}
+	return false
+}
+
+// allowIndex maps file → line → the allow comments covering that line.
+type allowIndex struct {
+	byLine map[string]map[int][]*allowComment
+	all    []*allowComment
+}
+
+// collectAllows finds every //lint:allow comment in the files.
+func collectAllows(fset *token.FileSet, files []*ast.File) *allowIndex {
+	idx := &allowIndex{byLine: make(map[string]map[int][]*allowComment)}
+	mark := func(ac *allowComment, file string, line int) {
+		byLine := idx.byLine[file]
 		if byLine == nil {
-			byLine = make(map[int]map[string]bool)
-			out[file] = byLine
+			byLine = make(map[int][]*allowComment)
+			idx.byLine[file] = byLine
 		}
-		set := byLine[line]
-		if set == nil {
-			set = make(map[string]bool)
-			byLine[line] = set
-		}
-		for _, n := range names {
-			set[strings.TrimSpace(n)] = true
-		}
+		byLine[line] = append(byLine[line], ac)
 	}
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -84,33 +104,91 @@ func allowedLines(fset *token.FileSet, files []*ast.File) map[string]map[int]map
 				if m == nil {
 					continue
 				}
-				names := strings.Split(m[1], ",")
-				pos := fset.Position(c.Pos())
-				mark(pos.Filename, pos.Line, names)
-				mark(pos.Filename, pos.Line+1, names)
+				var names []string
+				for _, n := range strings.Split(m[1], ",") {
+					names = append(names, strings.TrimSpace(n))
+				}
+				ac := &allowComment{pos: fset.Position(c.Pos()), names: names}
+				idx.all = append(idx.all, ac)
+				mark(ac, ac.pos.Filename, ac.pos.Line)
+				mark(ac, ac.pos.Filename, ac.pos.Line+1)
 			}
 		}
+	}
+	return idx
+}
+
+// suppress reports whether an allow comment covers the diagnostic, marking
+// the matching comment as used.
+func (idx *allowIndex) suppress(d Diagnostic, analyzer string) bool {
+	hit := false
+	for _, ac := range idx.byLine[d.Pos.Filename][d.Pos.Line] {
+		if ac.covers(analyzer) {
+			ac.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// deadAllows reports every allow comment that suppressed nothing even
+// though every analyzer it names was part of this run — a stale
+// suppression that would silently mask a future regression. Comments
+// naming analyzers outside the run set are skipped: a partial -analyzers
+// run cannot prove them dead.
+func (idx *allowIndex) deadAllows(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, ac := range idx.all {
+		if ac.used {
+			continue
+		}
+		covered := true
+		for _, n := range ac.names {
+			if n != "all" && !ran[n] {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      ac.pos,
+			Analyzer: "deadallow",
+			Message: fmt.Sprintf("//lint:allow %s suppresses nothing; remove the stale comment",
+				strings.Join(ac.names, ",")),
+		})
 	}
 	return out
 }
 
 // Run executes the analyzers over the program and returns the surviving
-// diagnostics sorted by position.
+// diagnostics sorted by position. It also enforces the dead-suppression
+// rule: a //lint:allow comment whose analyzers all ran but that
+// suppressed no finding is itself reported (as analyzer "deadallow").
 func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 	var files []*ast.File
 	for _, p := range prog.Packages {
 		files = append(files, p.Files...)
 		files = append(files, p.TestFiles...)
 	}
-	allowed := allowedLines(prog.Fset, files)
+	allows := collectAllows(prog.Fset, files)
+	ran := make(map[string]bool, len(analyzers))
 	var out []Diagnostic
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		for _, d := range a.Run(prog) {
-			if set := allowed[d.Pos.Filename][d.Pos.Line]; set != nil && (set[a.Name] || set["all"]) {
+			if allows.suppress(d, a.Name) {
 				continue
 			}
 			out = append(out, d)
 		}
+	}
+	for _, d := range allows.deadAllows(ran) {
+		if allows.suppress(d, "deadallow") {
+			continue
+		}
+		out = append(out, d)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
@@ -136,5 +214,17 @@ func All() []*Analyzer {
 		Sqlcheck(),
 		Determinism(),
 		Metricnames(),
+		Lockorder(),
+		Atomiccheck(),
+		Ctxpoll(),
+		Lifecycle(),
 	}
+}
+
+// Global names the whole-program analyzers (interprocedural graphs over
+// the full module); the rest are per-package checks. `make lint` runs the
+// fast set, `make lint-global` this set.
+var Global = map[string]bool{
+	"lockorder": true,
+	"lifecycle": true,
 }

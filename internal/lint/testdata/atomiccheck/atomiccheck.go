@@ -1,0 +1,80 @@
+// Package atomiccheck is the golden fixture for the atomiccheck
+// analyzer: locations touched through sync/atomic anywhere must be
+// touched that way everywhere.
+package atomiccheck
+
+import "sync/atomic"
+
+type stats struct {
+	// n is accessed via raw atomic.AddInt64 in inc(): every other access
+	// must be atomic too.
+	n int64
+	// flag is a typed atomic: method calls only, never value copies.
+	flag atomic.Bool
+	// plain is mutex-protected by its owner and never touched through
+	// sync/atomic — plain access is fine (reldb.Table.version pattern).
+	plain int64
+}
+
+// counter is a package-level raw atomic.
+var counter int64
+
+func inc(s *stats) {
+	atomic.AddInt64(&s.n, 1)
+	atomic.AddInt64(&counter, 1)
+}
+
+// okAtomicRead loads through sync/atomic: silent.
+func okAtomicRead(s *stats) int64 {
+	return atomic.LoadInt64(&s.n)
+}
+
+// badPlainRead reads a raw-atomic field plainly: reported.
+func badPlainRead(s *stats) int64 {
+	return s.n // want "plain access of n, which is accessed via atomic.AddInt64 elsewhere"
+}
+
+// badPlainWrite writes it plainly: reported.
+func badPlainWrite(s *stats) {
+	s.n = 0 // want "plain access of n"
+}
+
+// badPlainGlobal reads the package-level raw atomic plainly: reported.
+func badPlainGlobal() int64 {
+	return counter // want "plain access of counter"
+}
+
+// okTypedMethods uses the typed atomic through its methods: silent.
+func okTypedMethods(s *stats) bool {
+	s.flag.Store(true)
+	return s.flag.Load()
+}
+
+// okTypedAddr takes the typed atomic's address (helper passing): silent.
+func okTypedAddr(s *stats) *atomic.Bool {
+	return &s.flag
+}
+
+// badTypedCopy copies the typed atomic by value: reported.
+func badTypedCopy(s *stats) atomic.Bool {
+	return s.flag // want "copies/compares the typed atomic"
+}
+
+// okPlainField: never atomic anywhere, so plain access is fine — the
+// false-positive case guarding reldb's mutex-protected version counters.
+func okPlainField(s *stats) int64 {
+	s.plain++
+	return s.plain
+}
+
+// okZeroInit: composite-literal initialization before publication is not
+// a racy access.
+func okZeroInit() *stats {
+	return &stats{n: 0, plain: 0}
+}
+
+// allowedSnapshot is a deliberate plain read under the owner's write
+// lock: suppressed.
+func allowedSnapshot(s *stats) int64 {
+	return s.n //lint:allow atomiccheck -- fixture: snapshot taken under the owner's exclusive lock
+}

@@ -1,0 +1,156 @@
+// Package ctxpoll is the golden fixture for the ctxpoll analyzer: scan
+// loops over rows/slots must poll cancellation at a bounded stride. The
+// test configures RowTypes to this package's Row and MaxStride 4096.
+package ctxpoll
+
+type Row []any
+
+type StmtEntry struct{ killed bool }
+
+// Err is the fixture's cancellation poll (matched by receiver type name,
+// like sqlexec.StmtEntry).
+func (s *StmtEntry) Err() error { return nil }
+
+const checkRows = 1024
+const hugeStride = 1 << 20
+
+func sink(Row) {}
+
+// okDirect polls unguarded every iteration: silent.
+func okDirect(rows []Row, stmt *StmtEntry) error {
+	for _, r := range rows {
+		if err := stmt.Err(); err != nil {
+			return err
+		}
+		sink(r)
+	}
+	return nil
+}
+
+// okStride polls behind the canonical stride guard: silent.
+func okStride(rows []Row, stmt *StmtEntry) error {
+	n := 0
+	for _, r := range rows {
+		n++
+		if n%checkRows == 0 {
+			if err := stmt.Err(); err != nil {
+				return err
+			}
+		}
+		sink(r)
+	}
+	return nil
+}
+
+// pollHelper is a poller: calling it counts as polling.
+func pollHelper(stmt *StmtEntry) error { return stmt.Err() }
+
+// okViaHelper polls through a helper function: silent.
+func okViaHelper(rows []Row, stmt *StmtEntry) error {
+	for _, r := range rows {
+		if err := pollHelper(stmt); err != nil {
+			return err
+		}
+		sink(r)
+	}
+	return nil
+}
+
+// badNoPoll never polls: reported.
+func badNoPoll(rows []Row) int {
+	n := 0
+	for _, r := range rows { // want "row scan loop without a cancellation poll"
+		n += len(r)
+	}
+	return n
+}
+
+// badHugeStride polls, but less than once every MaxStride rows: reported.
+func badHugeStride(rows []Row, stmt *StmtEntry) error {
+	n := 0
+	for _, r := range rows { // want "row scan loop without a cancellation poll"
+		n++
+		if n%hugeStride == 0 {
+			if err := stmt.Err(); err != nil {
+				return err
+			}
+		}
+		sink(r)
+	}
+	return nil
+}
+
+// badNestedPoll polls only inside a nested loop, which may run zero
+// iterations per row: reported.
+func badNestedPoll(rows []Row, stmt *StmtEntry) error {
+	for _, r := range rows { // want "row scan loop without a cancellation poll"
+		for range r {
+			if err := stmt.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// badSlots walks a slot list without polling: reported.
+func badSlots(slots []int) int {
+	n := 0
+	for _, s := range slots { // want "slot scan loop without a cancellation poll"
+		n += s
+	}
+	return n
+}
+
+type Table struct{ rows []Row }
+
+// scan is the callback-stop shape: the per-row callback's boolean return
+// breaks the loop, so cancellation is the callback's job — silent.
+func (t *Table) scan(fn func(int, Row) bool) {
+	for slot, row := range t.rows {
+		if row == nil {
+			continue
+		}
+		if !fn(slot, row) {
+			return
+		}
+	}
+}
+
+// Scan is the public per-row visitor; literals passed to it are per-row
+// bodies and must poll.
+func (t *Table) Scan(fn func(int, Row) bool) { t.scan(fn) }
+
+// okCallback polls inside the per-row callback: silent.
+func okCallback(t *Table, stmt *StmtEntry) error {
+	var err error
+	t.Scan(func(slot int, r Row) bool {
+		if e := stmt.Err(); e != nil {
+			err = e
+			return false
+		}
+		sink(r)
+		return true
+	})
+	return err
+}
+
+// badCallback never polls inside the per-row callback: reported.
+func badCallback(t *Table) int {
+	n := 0
+	t.Scan(func(slot int, r Row) bool { // want "per-row scan callback without a cancellation poll"
+		n++
+		return true
+	})
+	return n
+}
+
+// allowedScan is a deliberate uncancellable walk (DDL-style): suppressed.
+func allowedScan(rows []Row) int {
+	n := 0
+	//lint:allow ctxpoll -- fixture: DDL path, uncancellable by design
+	for _, r := range rows {
+		n += len(r)
+	}
+	return n
+}

@@ -1,0 +1,43 @@
+// Package deadallow is the golden fixture for the engine's
+// dead-suppression rule: a //lint:allow comment whose analyzers all ran
+// but that suppressed nothing is itself reported. The test runs only the
+// closecheck analyzer over this package.
+package deadallow
+
+type Rows struct{}
+
+func (r *Rows) Close() error { return nil }
+func (r *Rows) Next() bool   { return false }
+
+type DB struct{}
+
+func (d *DB) Query(q string) (*Rows, error) { return nil, nil }
+
+// okClosedStale closes its rows properly, so the allow riding on the
+// acquisition suppresses nothing — the comment itself is reported.
+func okClosedStale(db *DB) {
+	rows, err := db.Query("select 1") //lint:allow closecheck -- stale: rows are closed below // want "lint:allow closecheck suppresses nothing; remove the stale comment"
+	if err != nil {
+		return
+	}
+	rows.Close()
+}
+
+// leakedButAllowed genuinely leaks, so its allow is used: silent.
+func leakedButAllowed(db *DB) {
+	rows, _ := db.Query("select 2") //lint:allow closecheck -- fixture: deliberately leaked for the suppression test
+	for rows.Next() {
+	}
+}
+
+// otherAnalyzer closes properly and carries an allow naming an analyzer
+// that is NOT part of this run: a partial run cannot prove it dead, so
+// it is silent.
+func otherAnalyzer(db *DB) {
+	rows, err := db.Query("select 3")
+	if err != nil {
+		return
+	}
+	//lint:allow lockorder -- fixture: analyzer outside this run set
+	rows.Close()
+}

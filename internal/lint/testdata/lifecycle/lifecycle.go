@@ -1,0 +1,171 @@
+// Package lifecycle is the golden fixture for the lifecycle analyzer:
+// spans from StartSpan must Finish on all paths, and spawned goroutines
+// must be joinable. The test configures StartSpanFuncs to this package's
+// StartSpan.
+package lifecycle
+
+import (
+	"context"
+	"sync"
+)
+
+// Span mirrors obs.Span: Finish routes the span into the pipeline.
+type Span struct{ name string }
+
+func (s *Span) Finish(err error) {}
+func (s *Span) Note(msg string)  {}
+
+// StartSpan mirrors obs.StartSpan; returns nil when observability is off.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	return ctx, &Span{name: name}
+}
+
+func work() error       { return nil }
+func register(sp *Span) {}
+func finishWith(sp *Span, err error) {
+	if sp != nil {
+		sp.Finish(err)
+	}
+}
+
+// okFinish resolves the span on the straight path: silent.
+func okFinish(ctx context.Context) error {
+	_, sp := StartSpan(ctx, "op")
+	sp.Note("working")
+	sp.Finish(nil)
+	return nil
+}
+
+// okDeferClosure finishes via a deferred closure that captures the span
+// (the formats.go pattern): silent.
+func okDeferClosure(ctx context.Context) error {
+	_, sp := StartSpan(ctx, "op")
+	var err error
+	defer func() { finishWith(sp, err) }()
+	err = work()
+	return err
+}
+
+// okNilGuard: the `if sp == nil` return immediately after acquisition is
+// exempt (StartSpan returns nil with observability off); the live path
+// still finishes. Silent.
+func okNilGuard(ctx context.Context) error {
+	ctx2, sp := StartSpan(ctx, "op")
+	if sp == nil {
+		return workCtx(ctx2)
+	}
+	defer sp.Finish(nil)
+	return workCtx(ctx2)
+}
+
+func workCtx(ctx context.Context) error { return nil }
+
+// okEscape returns the span: ownership transfers to the caller. Silent.
+func okEscape(ctx context.Context) *Span {
+	_, sp := StartSpan(ctx, "op")
+	return sp
+}
+
+// okHandoff passes the span to another function that now owns it. Silent.
+func okHandoff(ctx context.Context) {
+	_, sp := StartSpan(ctx, "op")
+	register(sp)
+}
+
+// badLeak returns early without finishing: reported at the return.
+func badLeak(ctx context.Context, fail bool) error {
+	_, sp := StartSpan(ctx, "op")
+	sp.Note("started")
+	if fail {
+		return nil // want "return in badLeak leaks sp: no Finish on this path"
+	}
+	sp.Finish(nil)
+	return nil
+}
+
+// badNoFinish falls off the end of the function with the span live:
+// reported at the acquisition.
+func badNoFinish(ctx context.Context) { // nothing below finishes sp
+	_, sp := StartSpan(ctx, "op") // want "span sp from StartSpan in badNoFinish does not reach Finish"
+	sp.Note("hello")
+}
+
+// badOneBranch finishes only when ok is true: the other path leaks.
+func badOneBranch(ctx context.Context, ok bool) {
+	_, sp := StartSpan(ctx, "op")
+	if ok {
+		sp.Finish(nil)
+	}
+	return // want "return in badOneBranch leaks sp: no Finish on this path"
+}
+
+// allowedLeak is a deliberate leak kept for the suppression test.
+func allowedLeak(ctx context.Context) {
+	_, sp := StartSpan(ctx, "op") //lint:allow lifecycle -- fixture: ownership tracked out of band
+	sp.Note("leak")
+}
+
+// ---- goroutines -------------------------------------------------------
+
+// okWG joins via WaitGroup.Done: silent.
+func okWG(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// okChan joins via channel close: silent.
+func okChan() chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		work()
+	}()
+	return done
+}
+
+// okSend joins via channel send: silent.
+func okSend() chan error {
+	errc := make(chan error, 1)
+	go func() {
+		errc <- work()
+	}()
+	return errc
+}
+
+// badDetached spawns a literal with no completion signal: reported.
+func badDetached() {
+	go func() { // want "goroutine is detached"
+		work()
+	}()
+}
+
+type Server struct {
+	done chan struct{}
+}
+
+// loop signals completion by closing done, so spawning it is joinable.
+func (s *Server) loop() {
+	defer close(s.done)
+	work()
+}
+
+// leak has no completion signal.
+func (s *Server) leak() { work() }
+
+// okMethod spawns a method whose resolved body closes a channel: silent.
+func okMethod(s *Server) {
+	go s.loop()
+}
+
+// badMethodDetached spawns a method with no join evidence: reported.
+func badMethodDetached(s *Server) {
+	go s.leak() // want "goroutine is detached"
+}
+
+// allowedDetached is fire-and-forget by design: suppressed.
+func allowedDetached() {
+	go work() //lint:allow lifecycle -- fixture: fire-and-forget by design
+}

@@ -1,0 +1,137 @@
+// Package lockorder is the golden fixture for the lockorder analyzer.
+// The test's declared order (outermost first) is:
+//
+//	lockorder.regMu, lockorder.DB.mu, lockorder.Table.segMu
+//
+// and lockorder.Tx methods are declared to hold lockorder.DB.mu on entry.
+package lockorder
+
+import "sync"
+
+type DB struct {
+	mu sync.RWMutex
+	t  Table
+}
+
+type Table struct {
+	segMu sync.Mutex
+	built bool
+}
+
+type Tx struct{ db *DB }
+
+var regMu sync.Mutex
+
+// okOrdered acquires outer→inner: silent.
+func okOrdered(db *DB) {
+	db.mu.RLock()
+	db.t.segMu.Lock()
+	db.t.built = true
+	db.t.segMu.Unlock()
+	db.mu.RUnlock()
+}
+
+// okSequential holds the locks one at a time: no edge, silent.
+func okSequential(db *DB) {
+	regMu.Lock()
+	regMu.Unlock()
+	db.mu.Lock()
+	db.mu.Unlock()
+}
+
+// badInverted acquires the registry lock (outermost) while holding the
+// database lock (inner): reported.
+func badInverted(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	regMu.Lock() // want "acquires lockorder.regMu while holding lockorder.DB.mu"
+	regMu.Unlock()
+}
+
+// badSelf re-enters the same lock class: reported.
+func badSelf(db *DB) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.mu.RLock() // want "lock lockorder.DB.mu acquired while already held"
+	db.mu.RUnlock()
+}
+
+// lockReg is the helper badViaHelper reaches the registry lock through.
+func lockReg() {
+	regMu.Lock()
+	regMu.Unlock()
+}
+
+// badViaHelper inverts the order interprocedurally: the edge is found
+// through the call graph, not the local body.
+func badViaHelper(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	lockReg() // want "acquires lockorder.regMu while holding lockorder.DB.mu \(via lockReg\)"
+}
+
+// Commit runs with DB.mu held by contract (HeldOnEntry): acquiring segMu
+// is inner and silent, acquiring regMu is reported without any visible
+// Lock in this body.
+func (tx *Tx) Commit() {
+	tx.db.t.segMu.Lock()
+	tx.db.t.segMu.Unlock()
+	regMu.Lock() // want "acquires lockorder.regMu while holding lockorder.DB.mu"
+	regMu.Unlock()
+}
+
+// allowedInversion is a deliberate, documented violation: suppressed.
+func allowedInversion(db *DB) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	regMu.Lock() //lint:allow lockorder -- fixture: deliberate inversion kept for the suppression test
+	regMu.Unlock()
+}
+
+// undeclared is a mutex class missing from the declared table: reported
+// at its first acquisition.
+type undeclared struct{ mu sync.Mutex }
+
+func touchUndeclared(u *undeclared) {
+	u.mu.Lock() // want "lock class lockorder.undeclared.mu is not in the declared lock order table"
+	u.mu.Unlock()
+}
+
+// cycA/cycB deadlock against each other; both classes are also missing
+// from the declared table.
+type cycA struct{ mu sync.Mutex }
+type cycB struct{ mu sync.Mutex }
+
+func cycOne(a *cycA, b *cycB) {
+	a.mu.Lock() // want "lock class lockorder.cycA.mu is not in the declared lock order table"
+	b.mu.Lock() // want "lock class lockorder.cycB.mu is not in the declared lock order table"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func cycTwo(a *cycA, b *cycB) {
+	b.mu.Lock()
+	a.mu.Lock() // want "lock-order cycle: lockorder.cycA.mu → lockorder.cycB.mu → lockorder.cycA.mu"
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// localMutexOK: function-local mutexes are not lock classes; silent.
+func localMutexOK() {
+	var mu sync.Mutex
+	mu.Lock()
+	mu.Unlock()
+}
+
+// goroutineResetOK: the spawned goroutine does not inherit the spawner's
+// held set, so its registry acquisition is not an edge; silent.
+func goroutineResetOK(db *DB, wg *sync.WaitGroup) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		regMu.Lock()
+		regMu.Unlock()
+	}()
+}

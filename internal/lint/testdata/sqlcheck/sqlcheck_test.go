@@ -7,6 +7,6 @@ import "testing"
 func TestQueries(t *testing.T) {
 	d := &db{}
 	d.Query("SELECT value FROM metrics WHERE trial = ?", 1)
-	d.Query("SELEC * FROM metrics") // want "SQL does not parse"
+	d.Query("SELEC * FROM metrics")                    // want "SQL does not parse"
 	d.Exec("DELETE FROM" + " metrics WHERE trial = ?") // want "has 1 placeholder\(s\) but the call passes 0 argument\(s\)"
 }

@@ -73,12 +73,17 @@ type Server struct {
 	sess *core.DataSession
 	ln   net.Listener
 	done chan struct{}
+
+	loopDone chan struct{}  // closed when acceptLoop exits
+	conns    sync.WaitGroup // live serveConn handlers
+	connMu   sync.Mutex     // guards live
+	live     map[net.Conn]struct{}
 }
 
 // NewServer wraps an open PerfDMF session. The caller keeps ownership of
 // the session and must not use it concurrently with the server.
 func NewServer(sess *core.DataSession) *Server {
-	return &Server{sess: sess, done: make(chan struct{})}
+	return &Server{sess: sess, done: make(chan struct{}), live: make(map[net.Conn]struct{})}
 }
 
 // Listen starts accepting connections on addr (e.g. "127.0.0.1:0") and
@@ -89,36 +94,57 @@ func (srv *Server) Listen(addr string) (string, error) {
 		return "", err
 	}
 	srv.ln = ln
+	srv.loopDone = make(chan struct{})
 	go srv.acceptLoop()
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
+// Close stops the listener and joins every goroutine the server spawned:
+// it waits for the accept loop to exit, closes the live connections to
+// unblock their handlers, and waits for those handlers to finish. After
+// Close returns, nothing touches the session anymore — the caller can
+// safely tear it down.
 func (srv *Server) Close() error {
 	close(srv.done)
+	var err error
 	if srv.ln != nil {
-		return srv.ln.Close()
+		err = srv.ln.Close()
+		<-srv.loopDone
 	}
-	return nil
+	srv.connMu.Lock()
+	for c := range srv.live {
+		c.Close()
+	}
+	srv.connMu.Unlock()
+	srv.conns.Wait()
+	return err
 }
 
 func (srv *Server) acceptLoop() {
+	defer close(srv.loopDone)
 	for {
 		conn, err := srv.ln.Accept()
 		if err != nil {
-			select {
-			case <-srv.done:
-				return
-			default:
-				return
-			}
+			return
 		}
+		// Register before spawning so a concurrent Close — which runs
+		// after this loop exits — always sees the connection.
+		srv.connMu.Lock()
+		srv.live[conn] = struct{}{}
+		srv.connMu.Unlock()
+		srv.conns.Add(1)
 		go srv.serveConn(conn)
 	}
 }
 
 func (srv *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	defer srv.conns.Done()
+	defer func() {
+		conn.Close()
+		srv.connMu.Lock()
+		delete(srv.live, conn)
+		srv.connMu.Unlock()
+	}()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<24)
 	enc := json.NewEncoder(conn)

@@ -1,0 +1,83 @@
+package mining
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Regression test for the server shutdown race: Close used to return while
+// the accept loop and connection handlers were still running, so the caller
+// could tear down the shared DataSession under a live handler. Close now
+// joins the accept loop, closes every live connection, and waits for the
+// handlers to drain.
+func TestServerCloseJoins(t *testing.T) {
+	s, trialID, _ := miningArchive(t, 8)
+	baseline := runtime.NumGoroutine()
+
+	srv := NewServer(s)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Keep a handler genuinely busy against the session while Close runs.
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Do(Request{Op: "list"}); err != nil {
+		t.Fatal(err)
+	}
+	clientDone := make(chan struct{})
+	go func() {
+		defer close(clientDone)
+		for {
+			if _, err := c.Do(Request{Op: "results", TrialID: trialID}); err != nil {
+				return
+			}
+		}
+	}()
+
+	// A second connection sits idle in the handler's read loop; only the
+	// conn-close in Close can unblock it.
+	idle, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return within 5s (handlers not joined)")
+	}
+
+	// After Close the session is exclusively ours again; the busy client's
+	// loop must already have ended. Any handler still running here would
+	// race this AnalysisResults call and trip -race.
+	select {
+	case <-clientDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("client loop still running after Close returned")
+	}
+	if _, err := s.AnalysisResults(trialID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Dial(addr); err == nil {
+		t.Fatal("listener still accepting after Close")
+	}
+
+	// Everything the server spawned must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("server goroutines leaked: baseline %d, now %d", baseline, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

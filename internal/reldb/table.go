@@ -422,6 +422,7 @@ func (t *Table) addColumn(col Column) error {
 		fill = cv
 	}
 	t.schema.Columns = append(t.schema.Columns, col)
+	//lint:allow ctxpoll -- DDL width rebuild mutates rows in place; aborting halfway would corrupt the table
 	for slot, row := range t.rows {
 		if row == nil {
 			continue
@@ -457,6 +458,7 @@ func (t *Table) dropColumn(name string) error {
 		}
 	}
 	t.schema.Columns = append(t.schema.Columns[:pos], t.schema.Columns[pos+1:]...)
+	//lint:allow ctxpoll -- DDL width rebuild mutates rows in place; aborting halfway would corrupt the table
 	for slot, row := range t.rows {
 		if row == nil {
 			continue

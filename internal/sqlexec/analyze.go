@@ -277,6 +277,7 @@ func schemaSig(schema *reldb.Schema) string {
 // generation, insert the fresh one, all inside the caller's transaction.
 func replaceStatsRows(tx *reldb.Tx, table string, schema *reldb.Schema, rowCount int64, stats []colStats) error {
 	var stale []int
+	//lint:allow ctxpoll -- stats-table scan is bounded by analyzed column count, not user rows
 	tx.Scan(StatsTable, func(slot int, r reldb.Row) bool { //nolint:errcheck // created by ensureStatsTable
 		if strings.EqualFold(r[statTableName].AsString(), table) {
 			stale = append(stale, slot)

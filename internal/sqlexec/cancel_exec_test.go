@@ -1,0 +1,151 @@
+package sqlexec
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"perfdmf/internal/reldb"
+	"perfdmf/internal/sqlparse"
+)
+
+// Regression tests for the UPDATE/DELETE cancellation gap: ExecOpts used to
+// drop the statement entry on the floor, so a KILL landed on SELECTs but
+// writes ran to completion no matter what. The fix threads opts.Stmt through
+// matchingSlots/execUpdate/execDelete with the same cancelCheckRows stride
+// the query path uses.
+
+// bigSnapshot folds the fixture table into (row count, SUM(n)) so tests can
+// assert a killed write rolled back completely.
+func bigSnapshot(t *testing.T, db *reldb.DB) (int64, int64) {
+	t.Helper()
+	sel, err := sqlparse.Parse(`SELECT COUNT(*), SUM(n) FROM big`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rs *ResultSet
+	if err := db.Read(func(tx *reldb.Tx) error {
+		var err error
+		rs, err = Query(tx, sel.(*sqlparse.Select), nil)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rs.Rows[0][0].AsInt(), rs.Rows[0][1].AsInt()
+}
+
+// killDuringExec mirrors killDuring for write statements: it runs src inside
+// db.Write and kills the statement once ready(entry) fires. It reports
+// whether the kill landed, failing the test if a landed kill surfaced
+// anything but ErrStatementKilled.
+func killDuringExec(t *testing.T, db *reldb.DB, src string, ready func(*StmtEntry) bool) bool {
+	t.Helper()
+	stmt, err := sqlparse.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := Statements.Begin(src, "exec")
+	done := make(chan error, 1)
+	go func() {
+		defer entry.Finish()
+		done <- db.Write(func(tx *reldb.Tx) error {
+			_, err := ExecOpts(tx, stmt, nil, Options{Stmt: entry})
+			return err
+		})
+	}()
+
+	for {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("unkilled statement failed: %v", err)
+			}
+			return false
+		default:
+		}
+		if ready(entry) {
+			break
+		}
+		runtime.Gosched()
+	}
+	if !Statements.Kill(entry.ID()) {
+		if err := <-done; err != nil {
+			t.Fatalf("unkilled statement failed: %v", err)
+		}
+		return false
+	}
+	err = <-done
+	if err == nil {
+		// The kill landed after the final cancellation check; the write
+		// committed whole. Retry for one that lands mid-scan.
+		return false
+	}
+	if !errors.Is(err, ErrStatementKilled) {
+		t.Fatalf("killed statement returned err=%v, want ErrStatementKilled", err)
+	}
+	return true
+}
+
+// retryKillExec kills src mid-scan and asserts the transaction unwound
+// completely. A run where the statement outraces the kill commits its writes,
+// so every attempt starts from a fresh fixture rather than reusing a table
+// the previous attempt may have mutated.
+func retryKillExec(t *testing.T, src string, ready func(*StmtEntry) bool) {
+	t.Helper()
+	for attempt := 0; attempt < 10; attempt++ {
+		db := cancelFixture(t, 300_000)
+		wantCount, wantSum := bigSnapshot(t, db)
+		if !killDuringExec(t, db, src, ready) {
+			continue
+		}
+		if count, sum := bigSnapshot(t, db); count != wantCount || sum != wantSum {
+			t.Fatalf("killed write left partial changes: count/sum %d/%d, want %d/%d",
+				count, sum, wantCount, wantSum)
+		}
+		return
+	}
+	t.Fatalf("statement finished before the kill could land in 10 attempts: %s", src)
+}
+
+// TestKillPreCancelledExec: a statement killed before execution must fail at
+// the first cancellation checkpoint of the write scan and leave the table
+// untouched. Deterministic — this is the case ExecOpts silently ignored.
+func TestKillPreCancelledExec(t *testing.T) {
+	for _, src := range []string{
+		`UPDATE big SET x = x + 1 WHERE n * 3 + 1 > 0`,
+		`DELETE FROM big WHERE n * 3 + 1 > 0`,
+	} {
+		db := cancelFixture(t, 3*int(cancelCheckRows))
+		wantCount, wantSum := bigSnapshot(t, db)
+		stmt, err := sqlparse.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		entry := Statements.Begin(src, "exec")
+		if !Statements.Kill(entry.ID()) {
+			t.Fatal("Kill did not find the registered statement")
+		}
+		err = db.Write(func(tx *reldb.Tx) error {
+			_, err := ExecOpts(tx, stmt, nil, Options{Stmt: entry})
+			return err
+		})
+		entry.Finish()
+		if !errors.Is(err, ErrStatementKilled) {
+			t.Fatalf("%s: pre-cancelled exec returned %v, want ErrStatementKilled", src, err)
+		}
+		if count, sum := bigSnapshot(t, db); count != wantCount || sum != wantSum {
+			t.Fatalf("%s: killed write mutated the table: count/sum %d/%d, want %d/%d",
+				src, count, sum, wantCount, wantSum)
+		}
+	}
+}
+
+// TestKillMidUpdate / TestKillMidDelete: a KILL landing while the write is
+// mid-scan unwinds the transaction — no partial UPDATE/DELETE survives.
+func TestKillMidUpdate(t *testing.T) {
+	retryKillExec(t, `UPDATE big SET n = n + 1 WHERE n * 3 + 1 > 0`, midScan)
+}
+
+func TestKillMidDelete(t *testing.T) {
+	retryKillExec(t, `DELETE FROM big WHERE n * 3 + 1 > 0`, midScan)
+}

@@ -276,6 +276,7 @@ func obsTableStatsRows(tx *reldb.Tx) ([]reldb.Row, error) {
 		return nil, nil
 	}
 	var rows []reldb.Row
+	//lint:allow ctxpoll -- stats-table scan is bounded by analyzed column count, not user rows
 	tx.Scan(StatsTable, func(_ int, r reldb.Row) bool { //nolint:errcheck // existence checked above
 		name := r[statTableName].AsString()
 		liveRows := reldb.Null

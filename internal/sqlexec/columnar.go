@@ -1051,6 +1051,7 @@ func ndvHints(tx *reldb.Tx, table string, schema *reldb.Schema) map[string]int {
 	}
 	sig := schemaSig(schema)
 	var hints map[string]int
+	//lint:allow ctxpoll -- stats-table scan is bounded by analyzed column count, not user rows
 	tx.Scan(StatsTable, func(_ int, row reldb.Row) bool { //nolint:errcheck // existence checked above
 		if len(row) <= statSchemaSig {
 			return true

@@ -58,9 +58,9 @@ func ExecOpts(tx *reldb.Tx, stmt sqlparse.Statement, params []reldb.Value, opts 
 	case *sqlparse.Insert:
 		return execInsert(tx, st, params)
 	case *sqlparse.Update:
-		return execUpdate(tx, st, params)
+		return execUpdate(tx, st, params, opts.Stmt)
 	case *sqlparse.Delete:
-		return execDelete(tx, st, params)
+		return execDelete(tx, st, params, opts.Stmt)
 	case *sqlparse.Select:
 		return Result{}, fmt.Errorf("sqlexec: use Query for SELECT")
 	}
@@ -182,7 +182,9 @@ func execInsert(tx *reldb.Tx, st *sqlparse.Insert, params []reldb.Value) (Result
 
 // matchingSlots returns the slots of base-table rows satisfying where,
 // using an index when a top-level conjunct permits, otherwise scanning.
-func matchingSlots(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params []reldb.Value) ([]int, error) {
+// stmt (nil-safe) is polled every cancelCheckRows rows so a KILL unwinds
+// UPDATE/DELETE scans the same way it unwinds SELECT scans.
+func matchingSlots(tx *reldb.Tx, table, alias string, where sqlparse.Expr, params []reldb.Value, stmt *StmtEntry) ([]int, error) {
 	tbl, err := tx.Table(table)
 	if err != nil {
 		return nil, err
@@ -197,6 +199,7 @@ func matchingSlots(tx *reldb.Tx, table, alias string, where sqlparse.Expr, param
 	}
 	scanned := dec.kind == accessFullScan
 	var out []int
+	checked := 0
 	check := func(slot int) error {
 		row := tx.Row(table, slot)
 		if row == nil {
@@ -218,6 +221,15 @@ func matchingSlots(tx *reldb.Tx, table, alias string, where sqlparse.Expr, param
 	if scanned {
 		var inner error
 		tx.Scan(table, func(slot int, _ reldb.Row) bool {
+			checked++
+			if checked%cancelCheckRows == 0 {
+				if inner = stmt.Err(); inner != nil {
+					return false
+				}
+				if stmt != nil {
+					stmt.rowsScanned.Add(cancelCheckRows)
+				}
+			}
 			inner = check(slot)
 			return inner == nil
 		})
@@ -227,6 +239,15 @@ func matchingSlots(tx *reldb.Tx, table, alias string, where sqlparse.Expr, param
 		return out, nil
 	}
 	for _, slot := range candidates {
+		checked++
+		if checked%cancelCheckRows == 0 {
+			if err := stmt.Err(); err != nil {
+				return nil, err
+			}
+			if stmt != nil {
+				stmt.rowsScanned.Add(cancelCheckRows)
+			}
+		}
 		if err := check(slot); err != nil {
 			return nil, err
 		}
@@ -241,13 +262,13 @@ func aliasOr(alias, table string) string {
 	return table
 }
 
-func execUpdate(tx *reldb.Tx, st *sqlparse.Update, params []reldb.Value) (Result, error) {
+func execUpdate(tx *reldb.Tx, st *sqlparse.Update, params []reldb.Value, stmt *StmtEntry) (Result, error) {
 	tbl, err := tx.Table(st.Table)
 	if err != nil {
 		return Result{}, err
 	}
 	schema := tbl.Schema()
-	slots, err := matchingSlots(tx, st.Table, "", st.Where, params)
+	slots, err := matchingSlots(tx, st.Table, "", st.Where, params, stmt)
 	if err != nil {
 		return Result{}, err
 	}
@@ -255,7 +276,14 @@ func execUpdate(tx *reldb.Tx, st *sqlparse.Update, params []reldb.Value) (Result
 	cols.bind(st.Table, st.Table, schema)
 	ev := &env{cols: cols, params: params, tx: tx}
 	var res Result
+	applied := 0
 	for _, slot := range slots {
+		applied++
+		if applied%cancelCheckRows == 0 {
+			if err := stmt.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		old := tx.Row(st.Table, slot)
 		if old == nil {
 			continue
@@ -282,13 +310,20 @@ func execUpdate(tx *reldb.Tx, st *sqlparse.Update, params []reldb.Value) (Result
 	return res, nil
 }
 
-func execDelete(tx *reldb.Tx, st *sqlparse.Delete, params []reldb.Value) (Result, error) {
-	slots, err := matchingSlots(tx, st.Table, "", st.Where, params)
+func execDelete(tx *reldb.Tx, st *sqlparse.Delete, params []reldb.Value, stmt *StmtEntry) (Result, error) {
+	slots, err := matchingSlots(tx, st.Table, "", st.Where, params, stmt)
 	if err != nil {
 		return Result{}, err
 	}
 	var res Result
+	applied := 0
 	for _, slot := range slots {
+		applied++
+		if applied%cancelCheckRows == 0 {
+			if err := stmt.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		if err := tx.Delete(st.Table, slot); err != nil {
 			return Result{}, err
 		}

@@ -34,6 +34,7 @@ type query struct {
 	sp      *obs.Span
 	opts    Options
 	scanned int64 // rows fetched from storage (base + join inputs)
+	polled  int64 // row-loop iterations since the last cancellation check
 	par     int   // widest worker fan-out this execution used (0 = serial)
 
 	// Columnar execution state (see columnar.go). When tryColumnarAggregate
@@ -96,6 +97,22 @@ func (q *query) bind(tr sqlparse.TableRef) ([]reldb.Row, error) {
 		q.fields = append(q.fields, field{alias: strings.ToLower(alias), name: c.Name, pos: base + i})
 	}
 	return nil, nil
+}
+
+// pollEvery is the executor's shared cancellation poll: every
+// cancelCheckRows-th call it checks the statement's kill flag (nil-safe
+// when the query runs without a registered statement). Row-at-a-time
+// loops call it once per iteration so a KILL unwinds within a bounded
+// number of rows on every path — including join probes and aggregate
+// folds that never touch storage.
+func (q *query) pollEvery() error {
+	q.polled++
+	if q.polled%cancelCheckRows == 0 {
+		if err := q.opts.Stmt.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (q *query) run() (*ResultSet, error) {
@@ -195,6 +212,9 @@ func (q *query) run() (*ResultSet, error) {
 			q.scanned += int64(len(rows))
 		default:
 			for _, slot := range slots {
+				if err := q.pollEvery(); err != nil {
+					return nil, err
+				}
 				if row := q.tx.Row(st.From.Table, slot); row != nil {
 					rows = append(rows, row)
 				}
@@ -216,6 +236,9 @@ func (q *query) run() (*ResultSet, error) {
 		ev := &env{cols: q.cols, params: q.params, tx: q.tx}
 		kept := rows[:0:0]
 		for _, row := range rows {
+			if err := q.pollEvery(); err != nil {
+				return nil, err
+			}
 			ev.row = row
 			v, err := eval(st.Where, ev)
 			if err != nil {
@@ -325,10 +348,17 @@ func (q *query) execJoin(rows []reldb.Row, join sqlparse.Join) ([]reldb.Row, err
 	if join.Sub != nil || virtualRef(join.TableRef) {
 		rightRows = derived
 	} else {
+		var scanErr error
 		q.tx.Scan(join.Table, func(_ int, row reldb.Row) bool { //nolint:errcheck // table verified by bind
+			if scanErr = q.pollEvery(); scanErr != nil {
+				return false
+			}
 			rightRows = append(rightRows, row)
 			return true
 		})
+		if scanErr != nil {
+			return nil, scanErr
+		}
 	}
 	q.scanned += int64(len(rightRows))
 
@@ -369,6 +399,9 @@ func (q *query) execJoin(rows []reldb.Row, join sqlparse.Join) ([]reldb.Row, err
 		// Hash join.
 		ht := make(map[reldb.Value][]reldb.Row, len(rightRows))
 		for _, r := range rightRows {
+			if err := q.pollEvery(); err != nil {
+				return nil, err
+			}
 			k := r[rightPos]
 			if k.IsNull() {
 				continue
@@ -376,6 +409,9 @@ func (q *query) execJoin(rows []reldb.Row, join sqlparse.Join) ([]reldb.Row, err
 			ht[k] = append(ht[k], r)
 		}
 		for _, l := range rows {
+			if err := q.pollEvery(); err != nil {
+				return nil, err
+			}
 			matched := false
 			var key reldb.Value
 			if leftPos < len(l) {
@@ -383,6 +419,9 @@ func (q *query) execJoin(rows []reldb.Row, join sqlparse.Join) ([]reldb.Row, err
 			}
 			if !key.IsNull() {
 				for _, r := range ht[key] {
+					if err := q.pollEvery(); err != nil {
+						return nil, err
+					}
 					ok, err := onMatch(l, r)
 					if err != nil {
 						return nil, err
@@ -402,8 +441,14 @@ func (q *query) execJoin(rows []reldb.Row, join sqlparse.Join) ([]reldb.Row, err
 
 	// Nested-loop join.
 	for _, l := range rows {
+		if err := q.pollEvery(); err != nil {
+			return nil, err
+		}
 		matched := false
 		for _, r := range rightRows {
+			if err := q.pollEvery(); err != nil {
+				return nil, err
+			}
 			ok, err := onMatch(l, r)
 			if err != nil {
 				return nil, err
@@ -587,6 +632,9 @@ func (q *query) project(rows []reldb.Row, items []sqlparse.SelectItem, orderExpr
 		keys = make([][]reldb.Value, 0, len(rows))
 	}
 	for _, row := range rows {
+		if err := q.pollEvery(); err != nil {
+			return nil, nil, err
+		}
 		ev.row = row
 		rec := make([]reldb.Value, len(items))
 		for i, item := range items {
@@ -645,6 +693,9 @@ func (q *query) aggregate(rows []reldb.Row, items []sqlparse.SelectItem, orderEx
 		order = append(order, "")
 	}
 	for _, row := range rows {
+		if err := q.pollEvery(); err != nil {
+			return nil, nil, err
+		}
 		key := ""
 		if len(st.GroupBy) > 0 {
 			ev.row = row
@@ -673,7 +724,7 @@ func (q *query) aggregate(rows []reldb.Row, items []sqlparse.SelectItem, orderEx
 		g := groups[gk]
 		aggVals := make(map[*sqlparse.FuncCall]reldb.Value, len(aggNodes))
 		for _, node := range aggNodes {
-			v, err := computeAgg(node, g.rows, q.cols, q.params, q.tx)
+			v, err := q.computeAgg(node, g.rows)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -719,8 +770,8 @@ func (q *query) aggregate(rows []reldb.Row, items []sqlparse.SelectItem, orderEx
 }
 
 // computeAgg evaluates one aggregate over a group's rows.
-func computeAgg(node *sqlparse.FuncCall, rows []reldb.Row, cols *colmap, params []reldb.Value, tx *reldb.Tx) (reldb.Value, error) {
-	ev := &env{cols: cols, params: params, tx: tx}
+func (q *query) computeAgg(node *sqlparse.FuncCall, rows []reldb.Row) (reldb.Value, error) {
+	ev := &env{cols: q.cols, params: q.params, tx: q.tx}
 	if node.Star {
 		if node.Name != "COUNT" {
 			return reldb.Null, fmt.Errorf("sqlexec: %s(*) is not valid", node.Name)
@@ -742,6 +793,9 @@ func computeAgg(node *sqlparse.FuncCall, rows []reldb.Row, cols *colmap, params 
 		seen = make(map[string]bool)
 	}
 	for _, row := range rows {
+		if err := q.pollEvery(); err != nil {
+			return reldb.Null, err
+		}
 		ev.row = row
 		v, err := eval(node.Args[0], ev)
 		if err != nil {
