@@ -9,17 +9,19 @@
 # (`fuzz-smoke`), and one-shot smoke runs of the observability
 # benchmark, the serve binary, the persisted span-tree pipeline
 # (`trace-smoke`), the introspection catalog (`catalog-smoke`), the
-# group-committed telemetry pipeline (`telemetry-smoke`), and the
-# columnar executor's speedup/identity experiment (`columnar-smoke`).
+# group-committed telemetry pipeline (`telemetry-smoke`), the columnar
+# executor's speedup/identity experiment (`columnar-smoke`), and the
+# continuous-observability loop — alert lifecycle plus workload advisor
+# over the real binary (`alerts-smoke`).
 # Cheap syntactic
 # gates run first so a violation fails in seconds, not after the race
 # suite.
 
 GO ?= go
 
-.PHONY: check vet lint lint-global build test race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke bench bench-parallel bench-columnar bench-trace experiments clean
+.PHONY: check vet lint lint-global build test race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke alerts-smoke bench bench-parallel bench-columnar bench-trace experiments clean
 
-check: vet lint lint-global build race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke
+check: vet lint lint-global build race fuzz-smoke bench-smoke serve-smoke trace-smoke catalog-smoke telemetry-smoke columnar-smoke alerts-smoke
 
 vet:
 	$(GO) vet ./...
@@ -144,6 +146,41 @@ telemetry-smoke:
 	echo "telemetry-smoke: ok ($$n spans retained)"
 	bin/perfdmf sql -db file:bin/telemetry-smoke/db "SELECT active, sample_rate, retain_rows FROM OBS_TELEMETRY" > bin/telemetry-smoke/catalog.out
 	@grep -q '(1 rows)' bin/telemetry-smoke/catalog.out || { echo "telemetry-smoke: OBS_TELEMETRY did not answer one row"; cat bin/telemetry-smoke/catalog.out; exit 1; }
+
+# Continuous-observability smoke over the real binary: define a threshold
+# alert rule, run a telemetry-enabled load whose exec rate breaches it
+# (the fixture is loaded 60 times in one process so the load outlives
+# several 5ms history scrapes), then run the offline `alerts eval`
+# pass in a fresh idle process so the episode the load left open resolves
+# against the same row. Asserts the full pending→firing→resolved lifecycle
+# landed in OBS_ALERTS (all timestamps set on one row), that metric history
+# persisted, and that `perfdmf doctor` flags the load's per-row INSERT
+# stream as an N+1 finding naming the statement shape and its root op.
+alerts-smoke:
+	$(GO) build -o bin/perfdmf ./cmd/perfdmf
+	@rm -rf bin/alerts-smoke && mkdir -p bin/alerts-smoke/db
+	bin/perfdmf synth -o bin/alerts-smoke/fixtures > /dev/null
+	bin/perfdmf alerts add -db file:bin/alerts-smoke/db -name load-exec-rate -metric godbc_exec_total -threshold 1 -window 500ms -for 20ms -severity critical
+	bin/perfdmf load -db file:bin/alerts-smoke/db -telemetry -telemetry-budget=-1 -history-every 5ms -app smoke -exp e1 $$(for i in $$(seq 1 60); do echo bin/alerts-smoke/fixtures/tau-run; done) > bin/alerts-smoke/load.out
+	bin/perfdmf alerts eval -db file:bin/alerts-smoke/db -settle 1s -every 20ms > bin/alerts-smoke/eval.out
+	bin/perfdmf sql -db file:bin/alerts-smoke/db "SELECT rule_name, state, pending_at, firing_at, resolved_at FROM OBS_ALERTS" > bin/alerts-smoke/alerts.out
+	@grep 'load-exec-rate' bin/alerts-smoke/alerts.out | grep 'resolved' > bin/alerts-smoke/resolved.out || { \
+		echo "alerts-smoke: no resolved episode in OBS_ALERTS"; cat bin/alerts-smoke/alerts.out bin/alerts-smoke/eval.out; exit 1; }
+	@if grep -q '<nil>' bin/alerts-smoke/resolved.out; then \
+		echo "alerts-smoke: resolved episode is missing a lifecycle timestamp"; cat bin/alerts-smoke/alerts.out; exit 1; fi
+	bin/perfdmf sql -db file:bin/alerts-smoke/db "SELECT COUNT(*) FROM PERFDMF_METRICS_HISTORY" > bin/alerts-smoke/hist.out
+	@n=$$(sed -n '2p' bin/alerts-smoke/hist.out | tr -d '[:space:]'); \
+	if [ -z "$$n" ] || [ "$$n" -lt 1 ]; then \
+		echo "alerts-smoke: no persisted metric history"; cat bin/alerts-smoke/hist.out; exit 1; fi; \
+	echo "alerts-smoke: alert lifecycle ok ($$n history rows)"
+	bin/perfdmf doctor -db file:bin/alerts-smoke/db -json > bin/alerts-smoke/doctor.json
+	@grep -q '"rule": "n-plus-one"' bin/alerts-smoke/doctor.json || { \
+		echo "alerts-smoke: doctor reported no n-plus-one finding"; cat bin/alerts-smoke/doctor.json; exit 1; }
+	@grep -q '"root_op": ' bin/alerts-smoke/doctor.json || { \
+		echo "alerts-smoke: n-plus-one finding names no root op"; cat bin/alerts-smoke/doctor.json; exit 1; }
+	@grep -q '"statement": ' bin/alerts-smoke/doctor.json || { \
+		echo "alerts-smoke: n-plus-one finding names no statement shape"; cat bin/alerts-smoke/doctor.json; exit 1; }
+	@echo "alerts-smoke: ok"
 
 # Columnar-execution smoke: the P2 experiment at -quick scale against a
 # throwaway output file (the committed BENCH_parallel.json is only

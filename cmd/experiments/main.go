@@ -163,6 +163,10 @@ func runT1(quick bool, out string) error {
 	}
 	fmt.Printf("\n%d spans persisted (effective sample rate %.3f, final governor rate %.3f)\n",
 		res.SpansPersisted, res.EffectiveSampleRate, res.FinalSampleRate)
+	if res.NoiseFloor {
+		fmt.Printf("noise floor: raw overheads traced %+.2f%% / persisted %+.2f%% clamped at 0\n",
+			res.OnOverheadRawPct, res.PersistedOverheadRawPct)
+	}
 	fmt.Printf("budget %.0f%%: traced within=%v  persisted within=%v\n",
 		res.BudgetPct, res.TracedWithinBudget, res.PersistedWithinBudget)
 	if !res.TracedWithinBudget {

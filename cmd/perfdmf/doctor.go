@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"perfdmf/internal/advisor"
+)
+
+// cmdDoctor runs the workload advisor over an archive's accumulated
+// telemetry (spans, slow log, metric history, table statistics) and prints
+// ranked findings. -json emits the findings as a JSON array for scripted
+// consumers. Doctor only reads; it never mutates the archive.
+func cmdDoctor(args []string) error {
+	fs := flag.NewFlagSet("doctor", flag.ContinueOnError)
+	dsn := fs.String("db", "", "database DSN")
+	asJSON := fs.Bool("json", false, "emit findings as JSON")
+	nMin := fs.Int("nplus1-min", 0, "minimum repeated statements per root before N+1 is flagged (0 = default)")
+	slowMin := fs.Int("slow-min", 0, "minimum slow-log occurrences before a hotspot is flagged (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s, err := openSession(*dsn)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	findings, err := advisor.Run(s.Conn(), advisor.Options{
+		NPlusOneMin:    *nMin,
+		SlowHotspotMin: *slowMin,
+	})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []advisor.Finding{}
+		}
+		return enc.Encode(findings)
+	}
+	if len(findings) == 0 {
+		fmt.Println("doctor: no findings — the telemetry shows nothing to advise on")
+		return nil
+	}
+	for i, f := range findings {
+		fmt.Printf("%d. [%s] %s (score %.1f)\n", i+1, f.Severity, f.Title, f.Score)
+		fmt.Printf("   rule: %s\n", f.Rule)
+		fmt.Printf("   %s\n", f.Detail)
+		if f.Statement != "" {
+			fmt.Printf("   statement: %s\n", f.Statement)
+		}
+		if f.Suggestion != "" {
+			fmt.Printf("   fix: %s\n", f.Suggestion)
+		}
+	}
+	fmt.Printf("(%d findings)\n", len(findings))
+	return nil
+}

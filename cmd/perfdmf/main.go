@@ -16,8 +16,11 @@
 //	perfdmf regress -db DSN -trials 1,2,3 [-threshold 0.1]
 //	perfdmf dump   -db DSN -o DIR            (portable archive export)
 //	perfdmf restore -db DSN -from DIR
-//	perfdmf serve  -db DSN [-addr HOST:PORT] [-trace] [-telemetry=false]
+//	perfdmf serve  -db DSN [-addr HOST:PORT] [-trace] [-telemetry=false] [-history 1s]
 //	perfdmf top    [-url http://127.0.0.1:7227] [-interval 2s] [-n 1] [-kill ID]
+//	perfdmf alerts add -db DSN -name N -metric M -threshold X [-agg rate] [-for 30s]
+//	perfdmf alerts list|log -db DSN
+//	perfdmf doctor -db DSN [-json]
 //	perfdmf formats
 //
 // DSN examples: file:/path/to/archive, mem:scratch. Connection options
@@ -55,7 +58,7 @@ func main() {
 
 func run(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (load, list, summary, export, sql, delete, compare, derive, regress, stats, dump, restore, serve, trace, top, synth, formats)")
+		return fmt.Errorf("missing subcommand (load, list, summary, export, sql, delete, compare, derive, regress, stats, dump, restore, serve, trace, top, alerts, doctor, synth, formats)")
 	}
 	switch args[0] {
 	case "load":
@@ -88,6 +91,10 @@ func run(args []string) error {
 		return cmdTrace(args[1:])
 	case "top":
 		return cmdTop(args[1:])
+	case "alerts":
+		return cmdAlerts(args[1:])
+	case "doctor":
+		return cmdDoctor(args[1:])
 	case "synth":
 		return cmdSynth(args[1:])
 	case "formats":
@@ -118,6 +125,7 @@ func cmdLoad(args []string) error {
 	telBudget := fs.Float64("telemetry-budget", 0, "telemetry overhead budget in percent (0 defers to ?telemetrybudget then the default; negative disables sampling)")
 	telRetainRows := fs.Int("telemetry-retain-rows", 0, "cap PERFDMF_SPANS/PERFDMF_SLOWLOG at this many rows (0 = default cap, negative = uncapped)")
 	telRetainAge := fs.Duration("telemetry-retain-age", 0, "prune telemetry rows older than this (0 disables age pruning)")
+	historyEvery := fs.Duration("history-every", 0, "with -telemetry: scrape metrics into PERFDMF_METRICS_HISTORY and evaluate alert rules on this cadence (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -140,9 +148,10 @@ func cmdLoad(args []string) error {
 	var stopTel func() error
 	if *telemetry {
 		stopTel, err = godbc.StartTelemetry(*dsn, godbc.TelemetryOptions{
-			BudgetPct:  *telBudget,
-			RetainRows: *telRetainRows,
-			RetainAge:  *telRetainAge,
+			BudgetPct:    *telBudget,
+			RetainRows:   *telRetainRows,
+			RetainAge:    *telRetainAge,
+			HistoryEvery: *historyEvery,
 		})
 		if err != nil {
 			return err
@@ -213,6 +222,10 @@ func cmdLoad(args []string) error {
 		if st, ok := godbc.TelemetryState(); ok {
 			fmt.Printf("telemetry: stored=%d sampled_out=%d dropped=%d pruned_spans=%d pruned_slowlog=%d sample_rate=%.3f\n",
 				st.Stored, st.SampledOut, st.Dropped, st.PrunedSpans, st.PrunedSlowLog, st.SampleRate)
+			if st.HistoryEnabled {
+				fmt.Printf("history: samples=%d rules=%d pending=%d firing=%d\n",
+					obs.DefaultHistory.TotalSamples(), st.AlertRules, st.AlertsPending, st.AlertsFiring)
+			}
 		}
 	}
 	return nil

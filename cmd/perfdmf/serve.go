@@ -28,6 +28,7 @@ type serveConfig struct {
 	telBudget  float64       // telemetry overhead budget pct (0 = DSN/default)
 	retainAge  time.Duration // prune telemetry rows older than this (0 = off)
 	retainRows int           // telemetry table row cap (0 = default, <0 = off)
+	history    time.Duration // metric-history scrape + alert-eval cadence (0 = off)
 	trace      bool          // enable global statement tracing
 	slowMS     int           // slow-query threshold in milliseconds (0 = leave global)
 	maxChkAge  time.Duration // /healthz degrades past this checkpoint age (0 = off)
@@ -78,10 +79,11 @@ func startServe(cfg serveConfig) (*serveInstance, error) {
 
 	if cfg.telemetry {
 		stop, err := godbc.StartTelemetry(cfg.dsn, godbc.TelemetryOptions{
-			Sink:       obs.SinkOptions{FlushEvery: cfg.flush},
-			BudgetPct:  cfg.telBudget,
-			RetainAge:  cfg.retainAge,
-			RetainRows: cfg.retainRows,
+			Sink:         obs.SinkOptions{FlushEvery: cfg.flush},
+			BudgetPct:    cfg.telBudget,
+			RetainAge:    cfg.retainAge,
+			RetainRows:   cfg.retainRows,
+			HistoryEvery: cfg.history,
 		})
 		if err != nil {
 			conn.Close()
@@ -178,6 +180,7 @@ func cmdServe(args []string) error {
 	telBudget := fs.Float64("telemetry-budget", 0, "telemetry overhead budget in percent (0 defers to ?telemetrybudget then the default; negative disables sampling)")
 	retainAge := fs.Duration("telemetry-retain-age", 0, "prune telemetry rows older than this (0 disables age pruning)")
 	retainRows := fs.Int("telemetry-retain-rows", 0, "cap telemetry tables at this many rows (0 = default cap, negative = uncapped)")
+	history := fs.Duration("history", time.Second, "metric-history scrape and alert-evaluation cadence (0 disables; needs -telemetry)")
 	trace := fs.Bool("trace", false, "enable statement tracing while serving")
 	slowMS := fs.Int("slowms", 0, "slow-query threshold in milliseconds (0 keeps the global setting)")
 	maxChkAge := fs.Duration("max-checkpoint-age", 0, "report degraded when the last checkpoint is older than this (0 disables)")
@@ -193,6 +196,7 @@ func cmdServe(args []string) error {
 		telBudget:  *telBudget,
 		retainAge:  *retainAge,
 		retainRows: *retainRows,
+		history:    *history,
 		trace:      *trace,
 		slowMS:     *slowMS,
 		maxChkAge:  *maxChkAge,
@@ -201,7 +205,7 @@ func cmdServe(args []string) error {
 		return err
 	}
 	fmt.Printf("perfdmf: serving on http://%s (db %s)\n", si.Addr, *dsn)
-	fmt.Printf("perfdmf: endpoints: /metrics /metrics.json /healthz /statements /traces /slowlog /debug/pprof/\n")
+	fmt.Printf("perfdmf: endpoints: /metrics /metrics.json /healthz /statements /traces /slowlog /history /alerts /debug/pprof/\n")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -31,33 +31,53 @@ func cmdTop(args []string) error {
 	if *kill != 0 {
 		return killStatement(*url, *kill)
 	}
+	prev := &topState{}
 	for i := 0; *n == 0 || i < *n; i++ {
 		if i > 0 {
 			time.Sleep(*interval)
 		}
-		if err := printStatements(*url, os.Stdout); err != nil {
+		if err := printStatements(*url, os.Stdout, prev); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// topState carries one refresh's scan progress to the next, so successive
+// snapshots of the same statement yield a per-interval scan rate.
+type topState struct {
+	rows map[int64]int64 // statement id -> RowsScanned at the previous poll
+	at   time.Time       // when the previous poll completed
+}
+
 // printStatements fetches /statements and renders one tabwriter row per
-// live statement, mirroring the OBS_ACTIVE_STATEMENTS columns.
-func printStatements(base string, w io.Writer) error {
+// live statement, mirroring the OBS_ACTIVE_STATEMENTS columns plus a
+// ROWS/S column: rows scanned since the previous refresh over the interval
+// ("-" for statements first seen this refresh).
+func printStatements(base string, w io.Writer, prev *topState) error {
 	stmts, err := fetchStatements(base)
 	if err != nil {
 		return err
 	}
+	now := time.Now()
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "ID\tKIND\tPHASE\tELAPSED\tSCANNED\tRETURNED\tWORKERS\tKILLED\tSQL")
+	fmt.Fprintln(tw, "ID\tKIND\tPHASE\tELAPSED\tSCANNED\tROWS/S\tRETURNED\tWORKERS\tKILLED\tSQL")
+	cur := make(map[int64]int64, len(stmts))
 	for _, s := range stmts {
-		fmt.Fprintf(tw, "%d\t%s\t%s\t%v\t%d\t%d\t%d\t%v\t%s\n",
+		cur[s.ID] = s.RowsScanned
+		rate := "-"
+		if last, seen := prev.rows[s.ID]; seen {
+			if dt := now.Sub(prev.at).Seconds(); dt > 0 {
+				rate = fmt.Sprintf("%.0f", float64(s.RowsScanned-last)/dt)
+			}
+		}
+		fmt.Fprintf(tw, "%d\t%s\t%s\t%v\t%d\t%s\t%d\t%d\t%v\t%s\n",
 			s.ID, s.Kind, s.Phase,
 			time.Duration(s.ElapsedUS)*time.Microsecond,
-			s.RowsScanned, s.RowsReturned, s.Workers, s.Killed,
+			s.RowsScanned, rate, s.RowsReturned, s.Workers, s.Killed,
 			oneLine(s.SQL, 80))
 	}
+	prev.rows, prev.at = cur, now
 	if err := tw.Flush(); err != nil {
 		return err
 	}

@@ -1,0 +1,511 @@
+// Package advisor is the workload advisor behind `perfdmf doctor`: it
+// reads the telemetry an archive has accumulated about itself — spans,
+// the slow-query log, persisted metric history, table statistics — and
+// turns it into ranked, actionable findings. The advisor only reads; it
+// runs equally against a live archive or a copied one.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"perfdmf/internal/godbc"
+)
+
+// Severity levels, ordered. The advisor uses them for ranking only; it
+// never refuses to report a low-severity finding.
+const (
+	SeverityInfo = "info"
+	SeverityWarn = "warn"
+	SeverityCrit = "critical"
+)
+
+// Finding is one piece of advice, ranked by Score (higher = report first).
+type Finding struct {
+	Rule     string  `json:"rule"`
+	Severity string  `json:"severity"`
+	Score    float64 `json:"score"`
+	Title    string  `json:"title"`
+	Detail   string  `json:"detail"`
+	// RootOp/Statement/Count localize statement-level findings (N+1,
+	// slow hotspots); empty otherwise.
+	RootOp     string `json:"root_op,omitempty"`
+	Statement  string `json:"statement,omitempty"`
+	Count      int64  `json:"count,omitempty"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+// Options tunes the advisor's detectors. Zero values pick the defaults.
+type Options struct {
+	// NPlusOneMin is the minimum number of near-identical child statements
+	// under one root span before the stream is flagged (default 10).
+	NPlusOneMin int
+	// SlowHotspotMin is the minimum slow-log occurrences of one statement
+	// shape before it is flagged (default 3).
+	SlowHotspotMin int
+	// HitRatioDrop is the plan-cache hit-ratio regression (recent half vs
+	// earlier half of the metric history) that triggers a finding
+	// (default 0.15).
+	HitRatioDrop float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.NPlusOneMin <= 0 {
+		o.NPlusOneMin = 10
+	}
+	if o.SlowHotspotMin <= 0 {
+		o.SlowHotspotMin = 3
+	}
+	if o.HitRatioDrop <= 0 {
+		o.HitRatioDrop = 0.15
+	}
+	return o
+}
+
+// Run executes every detector against the archive behind c and returns
+// the findings ranked most-severe first. Missing telemetry tables simply
+// produce no findings from their detectors: advice is computed from the
+// evidence available, never demanded.
+func Run(c godbc.Conn, opts Options) ([]Finding, error) {
+	opts = opts.withDefaults()
+	tables, err := c.MetaData().Tables()
+	if err != nil {
+		return nil, err
+	}
+	have := make(map[string]bool, len(tables))
+	for _, t := range tables {
+		have[strings.ToUpper(t)] = true
+	}
+	var out []Finding
+	if have[godbc.SpansTable] {
+		f, err := nPlusOne(c, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f...)
+	}
+	if have[godbc.SlowLogTable] {
+		f, err := slowHotspots(c, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f...)
+	}
+	if have[godbc.MetricsHistoryTable] {
+		f, err := planCacheRegression(c, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f...)
+		f, err = telemetryPressure(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f...)
+	}
+	f, err := staleStats(c)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, f...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}
+
+// NormalizeStatement reduces a statement to its shape: quoted strings and
+// numeric literals become '?', whitespace collapses. Two executions of the
+// same query with different parameters normalize identically, which is
+// what the N+1 and hotspot detectors group by.
+func NormalizeStatement(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevIdent := false // previous emitted byte continues an identifier
+	prevSpace := false
+	i := 0
+	for i < len(s) {
+		ch := s[i]
+		switch {
+		case ch == '\'':
+			j := i + 1
+			for j < len(s) && s[j] != '\'' {
+				j++
+			}
+			b.WriteByte('?')
+			prevIdent, prevSpace = false, false
+			i = j + 1
+		case ch >= '0' && ch <= '9' && !prevIdent:
+			j := i
+			for j < len(s) && ((s[j] >= '0' && s[j] <= '9') || s[j] == '.') {
+				j++
+			}
+			b.WriteByte('?')
+			prevIdent, prevSpace = false, false
+			i = j
+		case ch == ' ' || ch == '\t' || ch == '\n' || ch == '\r':
+			if !prevSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			prevIdent, prevSpace = false, true
+			i++
+		default:
+			b.WriteByte(ch)
+			prevIdent = ch == '_' || (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+				(ch >= '0' && ch <= '9')
+			prevSpace = false
+			i++
+		}
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// nPlusOne detects statement streams: many near-identical statements
+// issued under one root operation, the access pattern a single
+// set-oriented query would replace. It reconstructs each statement span's
+// root through the parent chain (spans whose parent was sampled out count
+// as their own roots) and groups by (root span, statement shape).
+func nPlusOne(c godbc.Conn, opts Options) ([]Finding, error) {
+	rows, err := c.Query(`SELECT span_id, parent_span_id, root_op, kind, statement FROM PERFDMF_SPANS`)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	type spanRec struct {
+		parent int64
+		rootOp string
+		kind   string
+		stmt   string
+	}
+	spans := make(map[int64]spanRec)
+	for rows.Next() {
+		var id int64
+		var rec spanRec
+		var parent any
+		if err := rows.Scan(&id, &parent, &rec.rootOp, &rec.kind, &rec.stmt); err != nil {
+			return nil, err
+		}
+		if p, ok := parent.(int64); ok {
+			rec.parent = p
+		}
+		spans[id] = rec
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	// Resolve each span to its root. Chains are short (statement spans hang
+	// off an operation root), but walk defensively with a hop cap.
+	rootOf := func(id int64) int64 {
+		cur := id
+		for hops := 0; hops < 64; hops++ {
+			rec, ok := spans[cur]
+			if !ok || rec.parent == 0 {
+				return cur
+			}
+			cur = rec.parent
+		}
+		return cur
+	}
+	type streamKey struct {
+		root  int64
+		shape string
+	}
+	counts := make(map[streamKey]int64)
+	for id, rec := range spans {
+		if rec.stmt == "" || (rec.kind != "exec" && rec.kind != "query") {
+			continue
+		}
+		counts[streamKey{rootOf(id), NormalizeStatement(rec.stmt)}]++
+	}
+	// Aggregate streams across roots by shape: report the shape once with
+	// the worst per-root count and how many roots repeat it.
+	type agg struct {
+		maxCount int64
+		total    int64
+		roots    int64
+		rootOp   string
+		rootID   int64
+	}
+	byShape := make(map[string]*agg)
+	for k, n := range counts {
+		if n < int64(opts.NPlusOneMin) {
+			continue
+		}
+		a := byShape[k.shape]
+		if a == nil {
+			a = &agg{}
+			byShape[k.shape] = a
+		}
+		a.roots++
+		a.total += n
+		if n > a.maxCount {
+			a.maxCount = n
+			a.rootID = k.root
+			a.rootOp = rootOpOf(spans[k.root].rootOp, k.root)
+		}
+	}
+	var out []Finding
+	for shape, a := range byShape {
+		sev := SeverityWarn
+		if a.maxCount >= int64(opts.NPlusOneMin)*10 {
+			sev = SeverityCrit
+		}
+		out = append(out, Finding{
+			Rule:     "n-plus-one",
+			Severity: sev,
+			Score:    float64(a.total),
+			Title:    fmt.Sprintf("N+1 statement stream: %d near-identical statements under one root", a.maxCount),
+			Detail: fmt.Sprintf("statement shape repeated %d times under root span %d (%s); %d total across %d root(s)",
+				a.maxCount, a.rootID, a.rootOp, a.total, a.roots),
+			RootOp:    a.rootOp,
+			Statement: shape,
+			Count:     a.maxCount,
+			Suggestion: "replace the per-item statement loop with one set-oriented query " +
+				"(WHERE key IN (...) or a JOIN) so the root does one round trip",
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}
+
+// rootOpOf names a root for humans: the recorded root_op, or the span id.
+func rootOpOf(rootOp string, id int64) string {
+	if rootOp != "" {
+		return rootOp
+	}
+	return fmt.Sprintf("span %d", id)
+}
+
+// slowHotspots groups the slow-query log by statement shape and flags the
+// shapes that keep coming back, ranked by total time burned.
+func slowHotspots(c godbc.Conn, opts Options) ([]Finding, error) {
+	rows, err := c.Query(`SELECT statement, dur_us, root_op FROM PERFDMF_SLOWLOG`)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	type hot struct {
+		count  int64
+		durUS  int64
+		rootOp string
+	}
+	byShape := make(map[string]*hot)
+	for rows.Next() {
+		var stmt, rootOp string
+		var durUS int64
+		if err := rows.Scan(&stmt, &durUS, &rootOp); err != nil {
+			return nil, err
+		}
+		if stmt == "" {
+			continue
+		}
+		shape := NormalizeStatement(stmt)
+		h := byShape[shape]
+		if h == nil {
+			h = &hot{}
+			byShape[shape] = h
+		}
+		h.count++
+		h.durUS += durUS
+		h.rootOp = rootOp
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	var out []Finding
+	for shape, h := range byShape {
+		if h.count < int64(opts.SlowHotspotMin) {
+			continue
+		}
+		out = append(out, Finding{
+			Rule:     "slow-hotspot",
+			Severity: SeverityWarn,
+			Score:    float64(h.durUS) / 1e6,
+			Title:    fmt.Sprintf("recurring slow statement: %d occurrences, %.2fs total", h.count, float64(h.durUS)/1e6),
+			Detail: fmt.Sprintf("the same statement shape crossed the slow threshold %d times for %.2fs in total",
+				h.count, float64(h.durUS)/1e6),
+			RootOp:    h.rootOp,
+			Statement: shape,
+			Count:     h.count,
+			Suggestion: "EXPLAIN the statement: check for a missing index (plan says 'table scan'), " +
+				"stale statistics (run ANALYZE), or an unbounded result (add LIMIT)",
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out, nil
+}
+
+// metricDeltas reads one counter's persisted history as (at, delta) pairs,
+// oldest first.
+func metricDeltas(c godbc.Conn, metric string) (at []time.Time, delta []float64, err error) {
+	rows, err := c.Query(
+		`SELECT at, value FROM PERFDMF_METRICS_HISTORY WHERE name = ? ORDER BY at`, metric)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var t time.Time
+		var v float64
+		if err := rows.Scan(&t, &v); err != nil {
+			return nil, nil, err
+		}
+		at = append(at, t)
+		delta = append(delta, v)
+	}
+	return at, delta, rows.Err()
+}
+
+// planCacheRegression compares the plan-cache hit ratio of the recent half
+// of the persisted metric history against the earlier half. A sustained
+// drop means statements stopped reusing plans — churn from DDL, cache
+// pressure, or a statement mix that defeats the cache key.
+func planCacheRegression(c godbc.Conn, opts Options) ([]Finding, error) {
+	hitAt, hits, err := metricDeltas(c, "sqlexec_plan_cache_hits_total")
+	if err != nil {
+		return nil, err
+	}
+	missAt, misses, err := metricDeltas(c, "sqlexec_plan_cache_misses_total")
+	if err != nil {
+		return nil, err
+	}
+	if len(hitAt) == 0 && len(missAt) == 0 {
+		return nil, nil
+	}
+	// Split time at the midpoint of the observed range and sum each side.
+	var lo, hi time.Time
+	for _, ts := range [][]time.Time{hitAt, missAt} {
+		for _, t := range ts {
+			if lo.IsZero() || t.Before(lo) {
+				lo = t
+			}
+			if t.After(hi) {
+				hi = t
+			}
+		}
+	}
+	mid := lo.Add(hi.Sub(lo) / 2)
+	var earlyHits, lateHits, earlyMiss, lateMiss float64
+	for i, t := range hitAt {
+		if t.After(mid) {
+			lateHits += hits[i]
+		} else {
+			earlyHits += hits[i]
+		}
+	}
+	for i, t := range missAt {
+		if t.After(mid) {
+			lateMiss += misses[i]
+		} else {
+			earlyMiss += misses[i]
+		}
+	}
+	const minLookups = 50 // below this a ratio is noise, not evidence
+	if earlyHits+earlyMiss < minLookups || lateHits+lateMiss < minLookups {
+		return nil, nil
+	}
+	earlyRatio := earlyHits / (earlyHits + earlyMiss)
+	lateRatio := lateHits / (lateHits + lateMiss)
+	drop := earlyRatio - lateRatio
+	if drop < opts.HitRatioDrop {
+		return nil, nil
+	}
+	return []Finding{{
+		Rule:     "plan-cache-regression",
+		Severity: SeverityWarn,
+		Score:    drop * 100,
+		Title:    fmt.Sprintf("plan-cache hit ratio dropped %.0f points", drop*100),
+		Detail: fmt.Sprintf("hit ratio fell from %.2f to %.2f between the earlier and recent halves of the metric history (%.0f vs %.0f lookups)",
+			earlyRatio, lateRatio, earlyHits+earlyMiss, lateHits+lateMiss),
+		Suggestion: "look for schema churn (DDL bumps the schema version and invalidates plans), " +
+			"an undersized cache, or statement text that embeds literals instead of parameters",
+	}}, nil
+}
+
+// telemetryPressure flags recorded telemetry loss: dropped entries, store
+// errors, or writer stalls anywhere in the persisted history mean the
+// observability data itself has gaps.
+func telemetryPressure(c godbc.Conn) ([]Finding, error) {
+	total := func(metric string) (float64, error) {
+		_, deltas, err := metricDeltas(c, metric)
+		if err != nil {
+			return 0, err
+		}
+		var sum float64
+		for _, d := range deltas {
+			sum += d
+		}
+		return sum, nil
+	}
+	dropped, err := total("obs_telemetry_dropped_total")
+	if err != nil {
+		return nil, err
+	}
+	storeErrs, err := total("obs_telemetry_store_errors_total")
+	if err != nil {
+		return nil, err
+	}
+	stalls, err := total("obs_telemetry_writer_stalls_total")
+	if err != nil {
+		return nil, err
+	}
+	if dropped+storeErrs+stalls == 0 {
+		return nil, nil
+	}
+	sev := SeverityInfo
+	if dropped+storeErrs > 0 {
+		sev = SeverityWarn
+	}
+	return []Finding{{
+		Rule:     "telemetry-pressure",
+		Severity: sev,
+		Score:    dropped + storeErrs + stalls,
+		Title:    "telemetry pipeline recorded loss or stalls",
+		Detail: fmt.Sprintf("history records %.0f dropped entries, %.0f store errors, %.0f writer stalls — span data has gaps",
+			dropped, storeErrs, stalls),
+		Suggestion: "raise the telemetry budget or retention caps, or shorten workload write " +
+			"transactions so the group-commit writer can take the write lock",
+	}}, nil
+}
+
+// staleStats reads OBS_TABLE_STATS and lists the analyzed tables whose
+// statistics no longer match live state — the optimizer is planning on
+// fiction until ANALYZE reruns.
+func staleStats(c godbc.Conn) ([]Finding, error) {
+	rows, err := c.Query(`SELECT table_name, stale FROM OBS_TABLE_STATS`)
+	if err != nil {
+		return nil, err
+	}
+	defer rows.Close()
+	stale := make(map[string]bool)
+	for rows.Next() {
+		var name string
+		var isStale bool
+		if err := rows.Scan(&name, &isStale); err != nil {
+			return nil, err
+		}
+		if isStale {
+			stale[name] = true
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	if len(stale) == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, len(stale))
+	for n := range stale {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return []Finding{{
+		Rule:     "stale-analyze",
+		Severity: SeverityInfo,
+		Score:    float64(len(names)),
+		Title:    fmt.Sprintf("%d table(s) have stale statistics", len(names)),
+		Detail:   "stale statistics on: " + strings.Join(names, ", "),
+		Suggestion: "run ANALYZE (or `perfdmf sql -db ... \"ANALYZE <table>\"`) so cardinality " +
+			"estimates match the live data",
+	}}, nil
+}

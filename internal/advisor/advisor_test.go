@@ -1,0 +1,328 @@
+package advisor
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"perfdmf/internal/godbc"
+)
+
+var memCounter int
+
+func freshMem(t *testing.T) string {
+	t.Helper()
+	memCounter++
+	return fmt.Sprintf("mem:advisor_test_%s_%d", t.Name(), memCounter)
+}
+
+func openT(t *testing.T, dsn string) godbc.Conn {
+	t.Helper()
+	c, err := godbc.Open(dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// withTelemetrySchema creates PERFDMF_SPANS / PERFDMF_SLOWLOG (including
+// the migrated tree columns) by opening and closing a telemetry store, so
+// tests can insert synthetic spans directly.
+func withTelemetrySchema(t *testing.T, dsn string) {
+	t.Helper()
+	st, err := godbc.OpenTelemetryStore(dsn, godbc.TelemetryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustExec(t *testing.T, c godbc.Conn, src string, args ...any) {
+	t.Helper()
+	if _, err := c.Exec(src, args...); err != nil {
+		t.Fatalf("%s: %v", src, err)
+	}
+}
+
+func findByRule(fs []Finding, rule string) *Finding {
+	for i := range fs {
+		if fs[i].Rule == rule {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestNormalizeStatement(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT * FROM orders WHERE id = 42", "SELECT * FROM orders WHERE id = ?"},
+		{"SELECT * FROM orders WHERE name = 'bob  smith'", "SELECT * FROM orders WHERE name = ?"},
+		// Digits that continue an identifier are part of the name, not a literal.
+		{"INSERT INTO t1 (a, b) VALUES (3.14, 'x')", "INSERT INTO t1 (a, b) VALUES (?, ?)"},
+		{"SELECT  *\n\tFROM t  WHERE v > 10 ", "SELECT * FROM t WHERE v > ?"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := NormalizeStatement(tc.in); got != tc.want {
+			t.Errorf("NormalizeStatement(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+	// The property the detectors rely on: different parameters, same shape.
+	a := NormalizeStatement("SELECT v FROM items WHERE id = 7")
+	b := NormalizeStatement("SELECT v FROM items WHERE id = 13082")
+	if a != b {
+		t.Fatalf("shapes differ: %q vs %q", a, b)
+	}
+}
+
+// TestRunWithoutTelemetry: an archive that never collected telemetry
+// produces advice from the evidence available — none — without erroring.
+func TestRunWithoutTelemetry(t *testing.T) {
+	c := openT(t, freshMem(t))
+	fs, err := Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != 0 {
+		t.Fatalf("findings on an empty archive: %+v", fs)
+	}
+}
+
+// TestNPlusOne: many near-identical exec spans hanging off one root span
+// are flagged as a statement stream, named by shape and worst root, with
+// the total aggregated across roots.
+func TestNPlusOne(t *testing.T) {
+	dsn := freshMem(t)
+	withTelemetrySchema(t, dsn)
+	c := openT(t, dsn)
+
+	now := time.Now()
+	insertSpan := func(id int64, parent any, rootOp, kind, stmt string) {
+		mustExec(t, c, `INSERT INTO PERFDMF_SPANS
+			(span_id, parent_span_id, root_op, start_time, kind, op, statement, dur_us)
+			VALUES (?, ?, ?, ?, ?, ?, ?, ?)`,
+			id, parent, rootOp, now, kind, rootOp, stmt, 100)
+	}
+
+	// Root A: 30 children with one statement shape (different literals).
+	insertSpan(1, nil, "load-report", "op", "")
+	for i := int64(0); i < 30; i++ {
+		insertSpan(10+i, int64(1), "", "exec",
+			fmt.Sprintf("SELECT v FROM items WHERE id = %d", i))
+	}
+	// Root B: 12 more of the same shape — aggregates into the same finding.
+	insertSpan(2, nil, "load-report", "op", "")
+	for i := int64(0); i < 12; i++ {
+		insertSpan(100+i, int64(2), "", "exec",
+			fmt.Sprintf("SELECT v FROM items WHERE id = %d", 1000+i))
+	}
+	// Below-threshold noise: never reported.
+	for i := int64(0); i < 3; i++ {
+		insertSpan(200+i, int64(1), "", "query",
+			fmt.Sprintf("SELECT name FROM users WHERE uid = %d", i))
+	}
+
+	fs, err := Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findByRule(fs, "n-plus-one")
+	if f == nil {
+		t.Fatalf("no n-plus-one finding in %+v", fs)
+	}
+	if f.Statement != "SELECT v FROM items WHERE id = ?" {
+		t.Fatalf("statement shape = %q", f.Statement)
+	}
+	if f.RootOp != "load-report" || f.Count != 30 {
+		t.Fatalf("worst root = %q count %d, want load-report / 30", f.RootOp, f.Count)
+	}
+	if f.Score != 42 { // 30 + 12, totalled across both roots
+		t.Fatalf("score = %v, want 42 total statements", f.Score)
+	}
+	if f.Severity != SeverityWarn {
+		t.Fatalf("severity = %q, want warn below 10x threshold", f.Severity)
+	}
+	if fs2 := findByRule(fs, "slow-hotspot"); fs2 != nil {
+		t.Fatalf("unexpected slow-hotspot finding: %+v", fs2)
+	}
+
+	// With a threshold of 3 the worst stream (30 >= 3*10) escalates to
+	// critical, and the 3-statement noise stream now qualifies too.
+	fs, err = Run(c, Options{NPlusOneMin: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = findByRule(fs, "n-plus-one")
+	if f == nil || f.Severity != SeverityCrit {
+		t.Fatalf("tightened threshold: finding = %+v, want critical", f)
+	}
+}
+
+// TestSlowHotspots: slow-log entries grouped by shape, ranked by total
+// time burned; one-off slow statements below the recurrence floor stay out.
+func TestSlowHotspots(t *testing.T) {
+	dsn := freshMem(t)
+	withTelemetrySchema(t, dsn)
+	c := openT(t, dsn)
+
+	now := time.Now()
+	for i := int64(0); i < 4; i++ {
+		mustExec(t, c, `INSERT INTO PERFDMF_SLOWLOG
+			(span_id, start_time, kind, op, statement, dur_us, root_op)
+			VALUES (?, ?, ?, ?, ?, ?, ?)`,
+			i+1, now, "query", "report",
+			fmt.Sprintf("SELECT * FROM big WHERE k = %d", i), 500000, "report")
+	}
+	mustExec(t, c, `INSERT INTO PERFDMF_SLOWLOG
+		(span_id, start_time, kind, op, statement, dur_us, root_op)
+		VALUES (?, ?, ?, ?, ?, ?, ?)`,
+		99, now, "query", "adhoc", "SELECT COUNT(*) FROM rare", 900000, "adhoc")
+
+	fs, err := Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findByRule(fs, "slow-hotspot")
+	if f == nil {
+		t.Fatalf("no slow-hotspot finding in %+v", fs)
+	}
+	if f.Statement != "SELECT * FROM big WHERE k = ?" || f.Count != 4 {
+		t.Fatalf("hotspot = %+v, want the recurring shape with count 4", f)
+	}
+	if f.Score != 2.0 { // 4 x 500ms
+		t.Fatalf("score = %v, want 2.0 seconds", f.Score)
+	}
+	if f.RootOp != "report" {
+		t.Fatalf("root op = %q, want report", f.RootOp)
+	}
+	// The single 900ms statement recurred once: below the floor of 3.
+	for _, g := range fs {
+		if g.Rule == "slow-hotspot" && g.Statement == "SELECT COUNT(*) FROM rare" {
+			t.Fatalf("one-off slow statement reported: %+v", g)
+		}
+	}
+}
+
+// histRow inserts one delta-encoded counter sample into the persisted
+// metric history.
+func histRow(t *testing.T, c godbc.Conn, at time.Time, name string, delta float64) {
+	t.Helper()
+	mustExec(t, c, `INSERT INTO PERFDMF_METRICS_HISTORY (at, elapsed_us, name, kind, value)
+		VALUES (?, ?, ?, ?, ?)`, at, int64(1000000), name, "counter", delta)
+}
+
+// TestPlanCacheRegression: a hit ratio that collapses between the earlier
+// and recent halves of the history is flagged; thin evidence is not.
+func TestPlanCacheRegression(t *testing.T) {
+	dsn := freshMem(t)
+	c := openT(t, dsn)
+	if err := godbc.EnsureObservabilitySchema(c); err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Now().Add(-time.Hour)
+	// Early half: 90% hit ratio over 100 lookups.
+	histRow(t, c, t0, "sqlexec_plan_cache_hits_total", 90)
+	histRow(t, c, t0, "sqlexec_plan_cache_misses_total", 10)
+	// Recent half: 20% over 100 lookups — a 70-point drop.
+	histRow(t, c, t0.Add(10*time.Minute), "sqlexec_plan_cache_hits_total", 20)
+	histRow(t, c, t0.Add(10*time.Minute), "sqlexec_plan_cache_misses_total", 80)
+
+	fs, err := Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findByRule(fs, "plan-cache-regression")
+	if f == nil {
+		t.Fatalf("no plan-cache-regression finding in %+v", fs)
+	}
+	if f.Severity != SeverityWarn || f.Score < 69.9 || f.Score > 70.1 {
+		t.Fatalf("finding = %+v, want warn with score ~70", f)
+	}
+
+	// Same ratio collapse but under 50 lookups per side: noise, no finding.
+	dsn2 := freshMem(t)
+	c2 := openT(t, dsn2)
+	if err := godbc.EnsureObservabilitySchema(c2); err != nil {
+		t.Fatal(err)
+	}
+	histRow(t, c2, t0, "sqlexec_plan_cache_hits_total", 9)
+	histRow(t, c2, t0, "sqlexec_plan_cache_misses_total", 1)
+	histRow(t, c2, t0.Add(10*time.Minute), "sqlexec_plan_cache_hits_total", 2)
+	histRow(t, c2, t0.Add(10*time.Minute), "sqlexec_plan_cache_misses_total", 8)
+	fs, err = Run(c2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findByRule(fs, "plan-cache-regression"); f != nil {
+		t.Fatalf("regression flagged on %d lookups: %+v", 10, f)
+	}
+}
+
+// TestTelemetryPressure: writer stalls alone are informational; any
+// recorded loss (drops, store errors) escalates to warn, and the score
+// totals every loss event.
+func TestTelemetryPressure(t *testing.T) {
+	dsn := freshMem(t)
+	c := openT(t, dsn)
+	if err := godbc.EnsureObservabilitySchema(c); err != nil {
+		t.Fatal(err)
+	}
+
+	now := time.Now()
+	histRow(t, c, now, "obs_telemetry_writer_stalls_total", 3)
+	fs, err := Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findByRule(fs, "telemetry-pressure")
+	if f == nil || f.Severity != SeverityInfo || f.Score != 3 {
+		t.Fatalf("stalls-only finding = %+v, want info with score 3", f)
+	}
+
+	histRow(t, c, now, "obs_telemetry_dropped_total", 5)
+	fs, err = Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f = findByRule(fs, "telemetry-pressure")
+	if f == nil || f.Severity != SeverityWarn || f.Score != 8 {
+		t.Fatalf("with drops finding = %+v, want warn with score 8", f)
+	}
+}
+
+// TestStaleStats: a table whose live row count drifted from its analyzed
+// statistics shows up as a stale-analyze finding naming the table.
+func TestStaleStats(t *testing.T) {
+	c := openT(t, freshMem(t))
+	mustExec(t, c, "CREATE TABLE seed (id BIGINT PRIMARY KEY AUTO_INCREMENT, v BIGINT)")
+	for i := 0; i < 5; i++ {
+		mustExec(t, c, "INSERT INTO seed (v) VALUES (?)", i)
+	}
+	mustExec(t, c, "ANALYZE seed")
+
+	fs, err := Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := findByRule(fs, "stale-analyze"); f != nil {
+		t.Fatalf("fresh statistics flagged stale: %+v", f)
+	}
+
+	// Drift: one more row than the statistics recorded.
+	mustExec(t, c, "INSERT INTO seed (v) VALUES (?)", 99)
+	fs, err = Run(c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := findByRule(fs, "stale-analyze")
+	if f == nil || f.Severity != SeverityInfo {
+		t.Fatalf("no stale-analyze finding after drift: %+v", fs)
+	}
+	if want := "stale statistics on: seed"; f.Detail != want {
+		t.Fatalf("detail = %q, want %q", f.Detail, want)
+	}
+}

@@ -57,11 +57,22 @@ type T1Result struct {
 	// full pipeline that persists spans back through the storage engine —
 	// the sampling governor exists precisely to make the second claim
 	// hold.
-	OnOverheadPct         float64 `json:"traced_overhead_pct"`
-	PersistedOverheadPct  float64 `json:"persisted_overhead_pct"`
-	BudgetPct             float64 `json:"budget_pct"`
-	TracedWithinBudget    bool    `json:"traced_within_budget"`
-	PersistedWithinBudget bool    `json:"persisted_within_budget"`
+	//
+	// The published overheads are clamped at 0: min-of-reps still carries
+	// per-rep jitter on the order of a few percent, and when a mode's
+	// fastest rep happens to beat the off baseline the true overhead is
+	// simply below the measurement's noise floor, not negative. The raw
+	// (signed) values are kept alongside and NoiseFloor records that the
+	// clamp engaged, so the artifact distinguishes "measured ~0" from
+	// "measured below the floor".
+	OnOverheadPct           float64 `json:"traced_overhead_pct"`
+	PersistedOverheadPct    float64 `json:"persisted_overhead_pct"`
+	OnOverheadRawPct        float64 `json:"traced_overhead_raw_pct"`
+	PersistedOverheadRawPct float64 `json:"persisted_overhead_raw_pct"`
+	NoiseFloor              bool    `json:"noise_floor"`
+	BudgetPct               float64 `json:"budget_pct"`
+	TracedWithinBudget      bool    `json:"traced_within_budget"`
+	PersistedWithinBudget   bool    `json:"persisted_within_budget"`
 
 	// SpansPersisted counts PERFDMF_SPANS rows left by the last persisted
 	// rep — proof the third mode actually exercised the sink.
@@ -120,8 +131,16 @@ func RunT1(threads, events, reps int) (*T1Result, error) {
 	res.OnNS = minNS(samples[t1Traced])
 	res.PersistedNS = minNS(samples[t1Persisted])
 
-	res.OnOverheadPct = overheadPct(res.OnNS, res.OffNS)
-	res.PersistedOverheadPct = overheadPct(res.PersistedNS, res.OffNS)
+	res.OnOverheadRawPct = overheadPct(res.OnNS, res.OffNS)
+	res.PersistedOverheadRawPct = overheadPct(res.PersistedNS, res.OffNS)
+	res.OnOverheadPct, res.PersistedOverheadPct = res.OnOverheadRawPct, res.PersistedOverheadRawPct
+	if res.OnOverheadPct < 0 {
+		res.OnOverheadPct = 0
+	}
+	if res.PersistedOverheadPct < 0 {
+		res.PersistedOverheadPct = 0
+	}
+	res.NoiseFloor = res.OnOverheadRawPct < 0 || res.PersistedOverheadRawPct < 0
 	res.TracedWithinBudget = res.OnOverheadPct < res.BudgetPct
 	res.PersistedWithinBudget = res.PersistedOverheadPct < res.BudgetPct
 	return res, nil
@@ -169,8 +188,21 @@ func t1Rep(p *model.Profile, mode t1Mode, res *T1Result) (int64, error) {
 	var stop func() error
 	var before int64
 	if mode == t1Persisted {
+		// The persisted mode measures the whole continuous layer, not just
+		// span persistence: one alert rule so evaluation has work to do, and
+		// a fast scrape cadence so several history samples land inside the
+		// timed upload.
+		if _, err := godbc.AddAlertRule(s.Conn(), obs.AlertRule{
+			Name: "t1-exec-rate", Metric: "godbc_exec_total",
+			Op: "gt", Threshold: 1e12, // never breaches; costs a full evaluation anyway
+		}); err != nil {
+			s.Close()
+			return 0, err
+		}
 		before = telemetrySeen()
-		stop, err = godbc.StartTelemetry(dsn, godbc.TelemetryOptions{})
+		stop, err = godbc.StartTelemetry(dsn, godbc.TelemetryOptions{
+			HistoryEvery: 50 * time.Millisecond,
+		})
 		if err != nil {
 			s.Close()
 			return 0, err

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
+	"perfdmf/internal/obs"
 	"perfdmf/internal/reldb"
 	"perfdmf/internal/sqlexec"
 )
@@ -50,8 +52,13 @@ func TestCatalogTablesSelectable(t *testing.T) {
 			"offered", "sampled_out", "dropped", "stored", "store_errors",
 			"group_commits", "pruned_spans", "pruned_slowlog",
 			"retain_rows", "retain_age_sec", "last_flush_age_sec"},
+		"OBS_METRICS_HISTORY": {"at", "elapsed_us", "name", "kind", "value",
+			"delta_count", "delta_sum", "p50", "p95", "p99"},
+		"OBS_ALERTS": {"alert_id", "rule_id", "rule_name", "metric", "severity",
+			"state", "value", "threshold", "detail", "pending_at", "firing_at", "resolved_at"},
 	}
-	for _, table := range []string{"OBS_METRICS", "OBS_ACTIVE_STATEMENTS", "OBS_PLAN_CACHE", "OBS_TABLE_STATS", "OBS_TELEMETRY"} {
+	for _, table := range []string{"OBS_METRICS", "OBS_ACTIVE_STATEMENTS", "OBS_PLAN_CACHE",
+		"OBS_TABLE_STATS", "OBS_TELEMETRY", "OBS_METRICS_HISTORY", "OBS_ALERTS"} {
 		cols, _ := collect(t, c, "SELECT * FROM "+table)
 		if strings.Join(cols, ",") != strings.Join(want[table], ",") {
 			t.Errorf("%s columns = %v, want %v", table, cols, want[table])
@@ -123,6 +130,51 @@ func TestCatalogPlanCache(t *testing.T) {
 	fmt.Sscan(out[0][4], &misses)   //nolint:errcheck // asserted below
 	if entries < 2 || capacity != stmtCacheMax || hits < 2 || misses < 2 {
 		t.Fatalf("plan cache snapshot = entries %d capacity %d hits %d misses %d", entries, capacity, hits, misses)
+	}
+}
+
+// TestCatalogMetricsHistoryRows: one scrape of the default registry lands
+// in the ring and is readable through OBS_METRICS_HISTORY with its delta.
+func TestCatalogMetricsHistoryRows(t *testing.T) {
+	c := openT(t, freshMem(t))
+	obs.Default.Counter("catalog_hist_probe_total").Inc()
+	obs.DefaultHistory.Sample(obs.Default)
+	_, rows := collect(t, c,
+		"SELECT name, kind, value FROM OBS_METRICS_HISTORY WHERE name = 'catalog_hist_probe_total'")
+	if len(rows) != 1 {
+		t.Fatalf("catalog_hist_probe_total history rows = %v, want 1", rows)
+	}
+	if rows[0][1] != "counter" || rows[0][2] != "1" {
+		t.Fatalf("history row = %v, want counter delta 1", rows[0])
+	}
+}
+
+// TestCatalogAlertsRows: OBS_ALERTS projects the persisted episode table —
+// empty (not an error) without the backing table, episode rows in id order
+// with it.
+func TestCatalogAlertsRows(t *testing.T) {
+	c := openT(t, freshMem(t))
+	if _, rows := collect(t, c, "SELECT * FROM OBS_ALERTS"); len(rows) != 0 {
+		t.Fatalf("OBS_ALERTS without backing table = %v, want empty", rows)
+	}
+	if err := EnsureObservabilitySchema(c); err != nil {
+		t.Fatal(err)
+	}
+	for i, state := range []string{"resolved", "firing"} {
+		if _, err := c.Exec(`INSERT INTO PERFDMF_ALERTS
+			(rule_id, rule_name, metric, severity, state, value, threshold, detail, pending_at)
+			VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)`,
+			int64(i+1), fmt.Sprintf("rule%d", i+1), "m_total", "warn", state,
+			float64(i)+0.5, 1.0, "d", time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rows := collect(t, c, "SELECT rule_name, state, severity FROM OBS_ALERTS")
+	if len(rows) != 2 {
+		t.Fatalf("OBS_ALERTS rows = %v, want 2", rows)
+	}
+	if rows[0][0] != "rule1" || rows[0][1] != "resolved" || rows[1][1] != "firing" {
+		t.Fatalf("OBS_ALERTS projection = %v, want episodes in id order", rows)
 	}
 }
 

@@ -69,13 +69,21 @@ func (c *conn) Exec(query string, args ...any) (Result, error) {
 	if err := c.check(); err != nil {
 		return Result{}, err
 	}
-	mExecTotal.Inc()
+	// Quiet connections (the telemetry writer's own) keep the statement
+	// metrics untouched: the scrape loop's history INSERTs must not show up
+	// as workload activity, or exec-rate alert rules would observe the
+	// observer and never resolve.
+	if !c.quiet {
+		mExecTotal.Inc()
+	}
 	entry := sqlexec.Statements.Begin(query, "exec")
 	defer entry.Finish()
 	sp := c.startSpan("exec", query, len(args))
 	e, err := c.parseCached(query)
 	if err != nil {
-		mStmtErrors.Inc()
+		if !c.quiet {
+			mStmtErrors.Inc()
+		}
 		c.finishSpan(sp, err)
 		return Result{}, err
 	}
@@ -83,11 +91,11 @@ func (c *conn) Exec(query string, args ...any) (Result, error) {
 		sp.Parse = time.Since(sp.Start)
 	}
 	res, err := c.execParsed(e.st, toValues(args), entry)
-	if err != nil {
+	if err != nil && !c.quiet {
 		mStmtErrors.Inc()
 	}
 	c.finishSpan(sp, err)
-	if sp != nil {
+	if sp != nil && !c.quiet {
 		mExecNS.Observe(int64(sp.Total))
 	}
 	return res, err
@@ -141,14 +149,18 @@ func (c *conn) Query(query string, args ...any) (Rows, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
-	mQueryTotal.Inc()
+	if !c.quiet {
+		mQueryTotal.Inc()
+	}
 	start := time.Now()
 	entry := sqlexec.Statements.Begin(query, "query")
 	defer entry.Finish()
 	sp := c.startSpan("query", query, len(args))
 	e, err := c.parseCached(query)
 	if err != nil {
-		mStmtErrors.Inc()
+		if !c.quiet {
+			mStmtErrors.Inc()
+		}
 		c.finishSpan(sp, err)
 		return nil, err
 	}
@@ -168,10 +180,12 @@ func (c *conn) Query(query string, args ...any) (Rows, error) {
 	default:
 		err = fmt.Errorf("godbc: Query needs a SELECT (or EXPLAIN SELECT) statement")
 	}
-	if err != nil {
+	if err != nil && !c.quiet {
 		mStmtErrors.Inc()
 	}
-	mQueryNS.Observe(int64(time.Since(start)))
+	if !c.quiet {
+		mQueryNS.Observe(int64(time.Since(start)))
+	}
 	c.finishSpan(sp, err)
 	return out, err
 }
@@ -248,14 +262,18 @@ func (c *conn) Prepare(query string) (Stmt, error) {
 	if err := c.check(); err != nil {
 		return nil, err
 	}
-	mPrepareTotal.Inc()
+	if !c.quiet {
+		mPrepareTotal.Inc()
+	}
 	sp := c.startSpan("prepare", query, 0)
 	e, err := c.parseCached(query)
 	if sp != nil {
 		sp.Parse = time.Since(sp.Start)
 	}
 	if err != nil {
-		mStmtErrors.Inc()
+		if !c.quiet {
+			mStmtErrors.Inc()
+		}
 		c.finishSpan(sp, err)
 		return nil, err
 	}
@@ -363,16 +381,18 @@ func (s *stmt) Exec(args ...any) (Result, error) {
 	if err := s.c.check(); err != nil {
 		return Result{}, err
 	}
-	mExecTotal.Inc()
+	if !s.c.quiet {
+		mExecTotal.Inc()
+	}
 	entry := sqlexec.Statements.Begin(s.src, "exec")
 	defer entry.Finish()
 	sp := s.c.startSpan("exec", s.src, len(args))
 	res, err := s.c.execParsed(s.entry.st, toValues(args), entry)
-	if err != nil {
+	if err != nil && !s.c.quiet {
 		mStmtErrors.Inc()
 	}
 	s.c.finishSpan(sp, err)
-	if sp != nil {
+	if sp != nil && !s.c.quiet {
 		mExecNS.Observe(int64(sp.Total))
 	}
 	return res, err
@@ -389,16 +409,20 @@ func (s *stmt) Query(args ...any) (Rows, error) {
 	if !ok {
 		return nil, fmt.Errorf("godbc: Query needs a SELECT statement")
 	}
-	mQueryTotal.Inc()
+	if !s.c.quiet {
+		mQueryTotal.Inc()
+	}
 	start := time.Now()
 	entry := sqlexec.Statements.Begin(s.src, "query")
 	defer entry.Finish()
 	sp := s.c.startSpan("query", s.src, len(args))
 	out, err := s.c.queryPlanned(sel, s.entry.plan, toValues(args), sp, entry)
-	if err != nil {
+	if err != nil && !s.c.quiet {
 		mStmtErrors.Inc()
 	}
-	mQueryNS.Observe(int64(time.Since(start)))
+	if !s.c.quiet {
+		mQueryNS.Observe(int64(time.Since(start)))
+	}
 	s.c.finishSpan(sp, err)
 	return out, err
 }

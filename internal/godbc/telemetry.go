@@ -168,6 +168,12 @@ type TelemetryOptions struct {
 	// PruneEvery is the retention sweep cadence on the writer goroutine
 	// (default 5s). A final sweep always runs at Close.
 	PruneEvery time.Duration
+	// HistoryEvery turns on the continuous-observability layer: every
+	// HistoryEvery the writer goroutine scrapes the metric registry into
+	// obs.DefaultHistory, mirrors the sample into PERFDMF_METRICS_HISTORY,
+	// and evaluates the PERFDMF_ALERT_RULES against the history ring. 0
+	// (the default) leaves it off.
+	HistoryEvery time.Duration
 }
 
 func (o TelemetryOptions) withDefaults() TelemetryOptions {
@@ -224,6 +230,16 @@ type TelemetryStore struct {
 
 	queued atomic.Int64 // entries accepted but not yet committed
 	closed atomic.Bool
+
+	// Continuous-observability state (history.go). insHist is nil when
+	// HistoryEvery is 0; the map/slice/time fields are owned by the writer
+	// goroutine (seeded before it starts).
+	insHist       Stmt
+	alerts        *obs.AlertSet
+	episodeByRule map[int64]int64
+	lastRuleLoad  time.Time
+	pendingTrans  []obs.AlertTransition
+	lastScrapeNS  atomic.Int64
 
 	stopOnce sync.Once
 	closeErr error
@@ -301,6 +317,14 @@ func OpenTelemetryStore(dsn string, o TelemetryOptions) (*TelemetryStore, error)
 		flushReq: make(chan chan error),
 		stopCh:   make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if o.HistoryEvery > 0 {
+		if err := ts.openObservability(); err != nil {
+			insSpan.Close()
+			insSlow.Close()
+			c.Close()
+			return nil, err
+		}
 	}
 	go ts.writer()
 	return ts, nil
@@ -390,6 +414,14 @@ func (ts *TelemetryStore) writer() {
 	defer age.Stop()
 	prune := time.NewTicker(ts.opts.PruneEvery)
 	defer prune.Stop()
+	// The scrape ticker's channel stays nil (never selected) when the
+	// continuous layer is off.
+	var scrapeC <-chan time.Time
+	if ts.historyEnabled() && ts.opts.HistoryEvery > 0 {
+		scrape := time.NewTicker(ts.opts.HistoryEvery)
+		defer scrape.Stop()
+		scrapeC = scrape.C
+	}
 	var pending []obs.SinkEntry
 	// While commits are stalled behind the workload's write lock, stop
 	// absorbing the queue once a couple of groups are pending: Store's
@@ -428,16 +460,21 @@ func (ts *TelemetryStore) writer() {
 				pending = nil
 			}
 			ack <- err
+		case <-scrapeC:
+			ts.scrapeTick(time.Now())
 		case <-prune.C:
 			ts.prune()
 		case <-ts.stopCh:
 			// Final drain: everything Store acknowledged must reach the
-			// tables before Close returns. Then one last retention sweep,
-			// so short-lived processes still honour the caps.
+			// tables before Close returns. Then one last scrape (so the
+			// workload's closing activity makes it into the history) and
+			// one last retention sweep, so short-lived processes still
+			// honour the caps.
 			pending = ts.drainQueue(pending)
 			if len(pending) > 0 {
 				ts.commitGroup(pending) //nolint:errcheck // counted in obs_telemetry_writer_errors_total
 			}
+			ts.scrapeTick(time.Now())
 			ts.prune()
 			return
 		}
@@ -567,6 +604,7 @@ func (ts *TelemetryStore) prune() {
 		ts.pruneRows(SpansTable, mTelPrunedSpans)
 		ts.pruneRows(SlowLogTable, mTelPrunedSlow)
 	}
+	ts.pruneObservability()
 	ts.gov.ReportWrite(time.Since(start))
 	mTelPruneRuns.Inc()
 }
@@ -618,6 +656,9 @@ func (ts *TelemetryStore) Close() error {
 		<-ts.done
 		ts.insSpan.Close() //nolint:errcheck
 		ts.insSlow.Close() //nolint:errcheck
+		if ts.insHist != nil {
+			ts.insHist.Close() //nolint:errcheck
+		}
 		ts.closeErr = ts.conn.Close()
 	})
 	return ts.closeErr
@@ -648,6 +689,14 @@ type TelemetryStats struct {
 	LastFlush           time.Time
 	RetainAge           time.Duration
 	RetainRows          int
+
+	// Continuous-observability state; zero values when HistoryEvery is 0.
+	HistoryEnabled bool
+	HistoryEvery   time.Duration
+	LastScrape     time.Time
+	AlertRules     int
+	AlertsPending  int
+	AlertsFiring   int
 }
 
 // telemetryPipeline ties a running sink/store pair together for state
@@ -689,6 +738,20 @@ func TelemetryState() (TelemetryStats, bool) {
 		LastFlush:           p.sink.LastFlush(),
 		RetainAge:           p.store.opts.RetainAge,
 		RetainRows:          p.store.opts.RetainRows,
+	}
+	if p.store.historyEnabled() {
+		st.HistoryEnabled = true
+		st.HistoryEvery = p.store.opts.HistoryEvery
+		st.LastScrape = p.store.LastScrape()
+		for _, a := range p.store.AlertsSnapshot() {
+			st.AlertRules++
+			switch a.State {
+			case obs.AlertStatePending:
+				st.AlertsPending++
+			case obs.AlertStateFiring:
+				st.AlertsFiring++
+			}
+		}
 	}
 	return st, true
 }

@@ -64,6 +64,8 @@ var LockOrder = []string{
 	"obs.Governor.mu",         // overhead governor window
 	"obs.Tracer.mu",           // trace ring buffer
 	"obs.SlowLog.mu",          // slow-query ring buffer
+	"obs.AlertSet.mu",         // alert rule/state table (Eval reads the history under it)
+	"obs.History.mu",          // metric-history ring
 	"obs.Registry.mu",         // metric registration (leaf: metric resolution can happen anywhere)
 }
 

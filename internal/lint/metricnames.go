@@ -31,7 +31,9 @@ var histUnitSuffixes = []string{"_ns", "_us", "_ms", "_seconds", "_bytes", "_row
 // against the shorter prefix and "obs_telemetry_governor_total" would pass
 // with "governor" as the member.
 var metricFamilies = []string{
+	"obs_alerts",
 	"obs_catalog",
+	"obs_history",
 	"obs_telemetry_governor",
 	"obs_telemetry",
 	"sqlexec_stmt",
@@ -54,9 +56,10 @@ var suffixTokens = map[string]bool{
 // suffix and must not end _total/_count/_sum (WritePrometheus emits
 // <name>_count and <name>_sum series, so those suffixes would collide);
 // gauges must not pretend to be monotonic with a _total suffix. Names in a
-// reserved family namespace (obs_catalog_*, obs_telemetry_*,
-// obs_telemetry_governor_*, sqlexec_stmt_*, sqlexec_plan_cache_*) must name
-// a concrete member beyond the family prefix and suffix tokens.
+// reserved family namespace (obs_alerts_*, obs_catalog_*, obs_history_*,
+// obs_telemetry_*, obs_telemetry_governor_*, sqlexec_stmt_*,
+// sqlexec_plan_cache_*) must name a concrete member beyond the family prefix
+// and suffix tokens.
 //
 // Names built by concatenation around dynamic parts — the per-format
 // family idiom, "formats_parse_" + f + "_ns" — are checked by fragment:

@@ -75,6 +75,10 @@ var (
 	mColScans    = reg.Counter("sqlexec_columnar_scans_total")
 	mColRows     = reg.Counter("sqlexec_columnar_rows_scanned_total")
 	mSegBuilds   = reg.Counter("reldb_segment_builds_total")
+	mHistSamples = reg.Counter("obs_history_samples_total")
+	mHistStalls  = reg.Counter("obs_history_persist_stalls_total")
+	mAlertEvals  = reg.Counter("obs_alerts_evals_total")
+	mAlertFiring = reg.Gauge("obs_alerts_firing")
 
 	mCatBare   = reg.Counter("obs_catalog_total")          // want "names the obs_catalog family but no member"
 	mStmtBare  = reg.Gauge("sqlexec_stmt")                 // want "names the sqlexec_stmt family but no member"
@@ -91,6 +95,11 @@ var (
 	mColBare = reg.Counter("sqlexec_columnar_total")   // want "names the sqlexec_columnar family but no member"
 	mSegBare = reg.Counter("reldb_segment_rows_total") // want "names the reldb_segment family but no member"
 	mSegHist = reg.Histogram("reldb_segment_bytes")    // want "names the reldb_segment family but no member"
+	// The continuous-observability families introduced with the metric
+	// history and alerting layer are reserved like the rest.
+	mHistBare  = reg.Counter("obs_history_total")  // want "names the obs_history family but no member"
+	mAlertBare = reg.Gauge("obs_alerts")           // want "names the obs_alerts family but no member"
+	mHistBare2 = reg.Histogram("obs_history_rows") // want "names the obs_history family but no member"
 )
 
 // familyDynamic: a dynamic member satisfies the family rule (nothing to

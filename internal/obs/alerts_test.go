@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// feedRate appends one counter sample so the trailing interval's rate is
+// ratePerSec, advancing the synthetic clock by a second.
+func feedRate(h *History, total *int64, at time.Time, ratePerSec int64) {
+	*total += ratePerSec
+	histAt(h, at, map[string]int64{"c_total": *total}, nil, nil)
+}
+
+// TestAlertThresholdLifecycle walks one rule through the whole episode:
+// breach → pending, held past the for-duration → firing, breach clears →
+// resolved, with the persisted episode id riding the resolved transition.
+func TestAlertThresholdLifecycle(t *testing.T) {
+	h := NewHistory(32)
+	as := NewAlertSet()
+	t0 := time.Unix(5000, 0)
+	rule := AlertRule{
+		ID: 1, Name: "exec-rate", Metric: "c_total",
+		Kind: AlertKindThreshold, Op: "gt", Threshold: 1,
+		Window: 2 * time.Second, For: 2 * time.Second, Severity: "warn",
+	}
+	if tr := as.SetRules([]AlertRule{rule}, t0); len(tr) != 0 {
+		t.Fatalf("SetRules emitted %v on install", tr)
+	}
+
+	var total int64
+	at := func(i int) time.Time { return t0.Add(time.Duration(i) * time.Second) }
+	histAt(h, at(0), map[string]int64{"c_total": 0}, nil, nil)
+	feedRate(h, &total, at(1), 10)
+	feedRate(h, &total, at(2), 10)
+
+	tr := as.Eval(h, at(2))
+	if len(tr) != 1 || tr[0].To != AlertStatePending || tr[0].From != "" {
+		t.Fatalf("first breach transitions = %+v, want inactive→pending", tr)
+	}
+	if tr[0].RuleName != "exec-rate" || tr[0].Severity != "warn" {
+		t.Fatalf("transition carries %+v, want rule identity", tr[0])
+	}
+
+	// Still breached but inside the for-duration: no transition.
+	feedRate(h, &total, at(3), 10)
+	if tr := as.Eval(h, at(3)); len(tr) != 0 {
+		t.Fatalf("mid-for eval transitions = %+v, want none", tr)
+	}
+
+	// Held for the full for-duration: fires.
+	feedRate(h, &total, at(4), 10)
+	tr = as.Eval(h, at(4))
+	if len(tr) != 1 || tr[0].From != AlertStatePending || tr[0].To != AlertStateFiring {
+		t.Fatalf("for-elapsed transitions = %+v, want pending→firing", tr)
+	}
+	if as.FiringCount() != 1 {
+		t.Fatalf("FiringCount = %d, want 1", as.FiringCount())
+	}
+	snap := as.Snapshot()
+	if len(snap) != 1 || snap[0].State != AlertStateFiring {
+		t.Fatalf("snapshot = %+v, want firing", snap)
+	}
+
+	// The persister inserted episode row 42; the resolve must carry it.
+	as.SetEpisodeID(1, 42)
+
+	// Traffic stops: the 2s window drains to rate 0 and the episode
+	// resolves.
+	feedRate(h, &total, at(5), 0)
+	feedRate(h, &total, at(6), 0)
+	feedRate(h, &total, at(7), 0)
+	tr = as.Eval(h, at(7))
+	if len(tr) != 1 || tr[0].From != AlertStateFiring || tr[0].To != AlertStateResolved {
+		t.Fatalf("quiet eval transitions = %+v, want firing→resolved", tr)
+	}
+	if tr[0].EpisodeID != 42 {
+		t.Fatalf("resolved transition episode = %d, want 42", tr[0].EpisodeID)
+	}
+	if got := as.Snapshot(); got[0].State != AlertStateOK {
+		t.Fatalf("post-resolve snapshot state = %q, want ok", got[0].State)
+	}
+}
+
+// TestAlertForZeroFiresImmediately: with no for-duration, one evaluation
+// emits the pending and firing transitions back to back.
+func TestAlertForZeroFiresImmediately(t *testing.T) {
+	h := NewHistory(8)
+	as := NewAlertSet()
+	t0 := time.Unix(6000, 0)
+	as.SetRules([]AlertRule{{
+		ID: 7, Name: "spike", Metric: "c_total",
+		Op: "gt", Threshold: 1, Window: 5 * time.Second,
+	}}, t0)
+
+	var total int64
+	histAt(h, t0, map[string]int64{"c_total": 0}, nil, nil)
+	feedRate(h, &total, t0.Add(time.Second), 50)
+
+	tr := as.Eval(h, t0.Add(time.Second))
+	if len(tr) != 2 || tr[0].To != AlertStatePending || tr[1].To != AlertStateFiring {
+		t.Fatalf("transitions = %+v, want pending then firing in one eval", tr)
+	}
+}
+
+// TestAlertNoDataResolves: a metric the ring has never seen is not a
+// breach — absence of evidence resolves rather than fires.
+func TestAlertNoDataResolves(t *testing.T) {
+	h := NewHistory(8)
+	as := NewAlertSet()
+	t0 := time.Unix(6500, 0)
+	as.SetRules([]AlertRule{{ID: 2, Name: "ghost", Metric: "missing_total", Op: "gt", Threshold: 0}}, t0)
+	if tr := as.Eval(h, t0); len(tr) != 0 {
+		t.Fatalf("no-data eval transitions = %+v, want none", tr)
+	}
+	if snap := as.Snapshot(); snap[0].State != AlertStateOK {
+		t.Fatalf("no-data state = %q, want ok", snap[0].State)
+	}
+}
+
+// TestAlertAnomaly: a z-score rule stays quiet through steady (noisy)
+// traffic and flags the sample that jumps far outside the window's base,
+// while a perfectly flat series never breaches (std = 0 guard).
+func TestAlertAnomaly(t *testing.T) {
+	h := NewHistory(32)
+	as := NewAlertSet()
+	t0 := time.Unix(7000, 0)
+	as.SetRules([]AlertRule{{
+		ID: 3, Name: "jump", Metric: "c_total",
+		Kind: AlertKindAnomaly, ZScore: 3, Window: time.Minute,
+	}}, t0)
+
+	var total int64
+	at := func(i int) time.Time { return t0.Add(time.Duration(i) * time.Second) }
+	histAt(h, at(0), map[string]int64{"c_total": 0}, nil, nil)
+	rates := []int64{10, 11, 10, 11, 10}
+	for i, r := range rates {
+		feedRate(h, &total, at(i+1), r)
+	}
+	if tr := as.Eval(h, at(len(rates))); len(tr) != 0 {
+		t.Fatalf("steady traffic transitions = %+v, want none", tr)
+	}
+
+	feedRate(h, &total, at(len(rates)+1), 500)
+	tr := as.Eval(h, at(len(rates)+1))
+	if len(tr) != 2 || tr[1].To != AlertStateFiring {
+		t.Fatalf("spike transitions = %+v, want pending+firing", tr)
+	}
+
+	// Flat series: std 0, never a breach even though last == mean exactly.
+	h2 := NewHistory(16)
+	as2 := NewAlertSet()
+	as2.SetRules([]AlertRule{{ID: 4, Name: "flat", Metric: "c_total",
+		Kind: AlertKindAnomaly, ZScore: 0.1, Window: time.Minute}}, t0)
+	var tot2 int64
+	histAt(h2, at(0), map[string]int64{"c_total": 0}, nil, nil)
+	for i := 0; i < 6; i++ {
+		feedRate(h2, &tot2, at(i+1), 10)
+	}
+	if tr := as2.Eval(h2, at(6)); len(tr) != 0 {
+		t.Fatalf("flat series transitions = %+v, want none", tr)
+	}
+}
+
+// TestAlertSetRulesRemovalResolves: deleting a rule with an open episode
+// closes the episode — the resolved transition is returned for persistence
+// with the episode id intact.
+func TestAlertSetRulesRemovalResolves(t *testing.T) {
+	h := NewHistory(16)
+	as := NewAlertSet()
+	t0 := time.Unix(8000, 0)
+	as.SetRules([]AlertRule{{ID: 9, Name: "doomed", Metric: "c_total",
+		Op: "gt", Threshold: 1, Window: 5 * time.Second}}, t0)
+
+	var total int64
+	histAt(h, t0, map[string]int64{"c_total": 0}, nil, nil)
+	feedRate(h, &total, t0.Add(time.Second), 50)
+	as.Eval(h, t0.Add(time.Second))
+	as.SetEpisodeID(9, 17)
+
+	tr := as.SetRules(nil, t0.Add(2*time.Second))
+	if len(tr) != 1 || tr[0].To != AlertStateResolved || tr[0].EpisodeID != 17 {
+		t.Fatalf("removal transitions = %+v, want resolved with episode 17", tr)
+	}
+	if len(as.Snapshot()) != 0 {
+		t.Fatalf("snapshot after removal = %+v, want empty", as.Snapshot())
+	}
+}
+
+// TestAlertRestore: an episode a previous process persisted resumes in this
+// set and resolves through the normal path, reusing the persisted row id.
+func TestAlertRestore(t *testing.T) {
+	h := NewHistory(16)
+	as := NewAlertSet()
+	t0 := time.Unix(9000, 0)
+	as.SetRules([]AlertRule{{ID: 5, Name: "inherited", Metric: "c_total",
+		Op: "gt", Threshold: 1, Window: 2 * time.Second}}, t0)
+	as.Restore(5, AlertStateFiring, t0.Add(-time.Minute), 12, 99)
+
+	if snap := as.Snapshot(); snap[0].State != AlertStateFiring || snap[0].EpisodeID != 99 {
+		t.Fatalf("restored snapshot = %+v, want firing with episode 99", snap)
+	}
+
+	// An idle ring means the predicate no longer holds: the inherited
+	// episode resolves against row 99.
+	histAt(h, t0, map[string]int64{"c_total": 0}, nil, nil)
+	histAt(h, t0.Add(time.Second), map[string]int64{"c_total": 0}, nil, nil)
+	tr := as.Eval(h, t0.Add(time.Second))
+	if len(tr) != 1 || tr[0].To != AlertStateResolved || tr[0].EpisodeID != 99 {
+		t.Fatalf("restored-resolve transitions = %+v, want resolved episode 99", tr)
+	}
+
+	// Restoring a resolved (or garbage) state is a no-op.
+	as.Restore(5, AlertStateResolved, t0, 0, 100)
+	if snap := as.Snapshot(); snap[0].State != AlertStateOK {
+		t.Fatalf("state after bogus restore = %q, want ok", snap[0].State)
+	}
+}

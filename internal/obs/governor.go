@@ -35,6 +35,7 @@ import (
 type Governor struct {
 	budgetPct float64 // end-to-end overhead budget, percent
 	targetPct float64 // write-time target: budgetPct * governorHeadroom
+	disabled  bool    // budget <= 0: rate pinned at 0, persistence off
 
 	rateMilli   atomic.Int64 // current sample rate in per-mille [minRateMilli, 1000]
 	lastMilli   atomic.Int64 // last measured write overhead, per-mille of wall time
@@ -79,26 +80,40 @@ var (
 
 // NewGovernor returns a governor targeting budgetPct percent of end-to-end
 // overhead. The initial sample rate is 1.0: capture everything until the
-// measured write cost proves that too expensive.
+// measured write cost proves that too expensive. A budget of 0 (or less)
+// is the degenerate "no overhead allowed" case: the rate is pinned at 0,
+// every sampled span is shed, and feedback reports are ignored — distinct
+// from a nil governor, which means "no budget, keep everything".
 func NewGovernor(budgetPct float64) *Governor {
 	g := &Governor{
 		budgetPct: budgetPct,
 		targetPct: budgetPct * governorHeadroom,
+		disabled:  budgetPct <= 0,
 		winStart:  time.Now(),
 	}
-	g.rateMilli.Store(1000)
-	govSampleRate.Set(1000)
+	rate := int64(1000)
+	if g.disabled {
+		rate = 0
+	}
+	g.rateMilli.Store(rate)
+	govSampleRate.Set(rate)
 	govBudgetPermill.Set(int64(budgetPct * 10))
 	return g
 }
 
-// Rate returns the current sample rate in [0.01, 1.0].
+// Rate returns the current sample rate in [0.01, 1.0] — or exactly 0 for
+// a disabled (budget <= 0) governor.
 func (g *Governor) Rate() float64 {
 	if g == nil {
 		return 1
 	}
 	return float64(g.rateMilli.Load()) / 1000
 }
+
+// Disabled reports whether the governor was built with a zero (or
+// negative) budget: the rate is pinned at 0 and the sink sheds every span,
+// slow and error spans included.
+func (g *Governor) Disabled() bool { return g != nil && g.disabled }
 
 // BudgetPct returns the configured end-to-end overhead budget.
 func (g *Governor) BudgetPct() float64 {
@@ -149,6 +164,9 @@ func (g *Governor) ReportStall() {
 }
 
 func (g *Governor) report(writeNS int64, stalled bool) {
+	if g.disabled {
+		return // the rate is pinned at 0; there is nothing to govern
+	}
 	g.mu.Lock()
 	g.writeNS += writeNS
 	g.stalled = g.stalled || stalled

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGovernorDegenerateBudgets: a zero or negative budget is the "no
+// overhead allowed" configuration — the rate pins at 0, feedback is
+// ignored (no divide-by-zero on the 0% target), and the sink sheds every
+// span including slow and error ones. Distinct from a nil governor, which
+// keeps everything.
+func TestGovernorDegenerateBudgets(t *testing.T) {
+	for _, budget := range []float64{0, -1, -100} {
+		g := NewGovernor(budget)
+		if !g.Disabled() {
+			t.Fatalf("NewGovernor(%v).Disabled() = false, want true", budget)
+		}
+		if r := g.Rate(); r != 0 {
+			t.Fatalf("NewGovernor(%v).Rate() = %v, want 0", budget, r)
+		}
+		// Feedback against a 0% target must not panic or divide by zero,
+		// and must not wake the rate back up.
+		g.ReportWrite(time.Second)
+		g.ReportStall()
+		g.ReportWrite(0)
+		if r := g.Rate(); r != 0 {
+			t.Fatalf("rate after feedback on disabled governor = %v, want 0", r)
+		}
+		if n := g.Adjustments(); n != 0 {
+			t.Fatalf("disabled governor adjusted %d times, want 0", n)
+		}
+	}
+
+	stored := 0
+	s := NewTelemetrySink(func(batch []SinkEntry) error {
+		stored += len(batch)
+		return nil
+	}, SinkOptions{Capacity: 8, Governor: NewGovernor(0)})
+	before := sinkSampledOut.Value()
+	s.Offer(&Span{ID: 1, Kind: "exec"}, false)
+	s.Offer(&Span{ID: 2, Kind: "query"}, true)          // slow: still shed
+	s.Offer(&Span{ID: 3, Kind: "exec", Err: "x"}, false) // error: still shed
+	if got := s.Buffered(); got != 0 {
+		t.Fatalf("disabled-governor sink buffered %d spans, want 0", got)
+	}
+	if got := sinkSampledOut.Value() - before; got != 3 {
+		t.Fatalf("sampled-out delta = %d, want 3", got)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if stored != 0 {
+		t.Fatalf("stored %d spans through a disabled governor, want 0", stored)
+	}
+}
+
+// TestSinkDropMonotonicUnderConcurrentOffer: with a wedged store and a tiny
+// buffer, concurrent producers must observe the drop counter only ever
+// increasing, and the final count must balance the offers against the
+// buffer capacity exactly — no drop is lost or double-counted under
+// contention.
+func TestSinkDropMonotonicUnderConcurrentOffer(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 200
+		capacity  = 4
+	)
+	s := NewTelemetrySink(func([]SinkEntry) error { return nil }, SinkOptions{Capacity: capacity})
+	before := s.Dropped()
+
+	var stop atomic.Bool
+	monotone := make(chan error, 1)
+	go func() {
+		last := s.Dropped()
+		for !stop.Load() {
+			now := s.Dropped()
+			if now < last {
+				monotone <- fmt.Errorf("drop counter went backwards: %d after %d", now, last)
+				return
+			}
+			last = now
+		}
+		monotone <- nil
+	}()
+
+	var wg sync.WaitGroup
+	var id atomic.Int64
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				s.Offer(&Span{ID: id.Add(1), Kind: "exec"}, false)
+			}
+		}()
+	}
+	wg.Wait()
+	stop.Store(true)
+	if err := <-monotone; err != nil {
+		t.Fatal(err)
+	}
+
+	dropped := s.Dropped() - before
+	buffered := int64(s.Buffered())
+	if dropped+buffered != producers*perProd {
+		t.Fatalf("dropped %d + buffered %d != offered %d", dropped, buffered, producers*perProd)
+	}
+	if buffered != capacity {
+		t.Fatalf("buffered = %d, want full capacity %d", buffered, capacity)
+	}
+}

@@ -79,6 +79,11 @@ type TelemetryHealth struct {
 	PrunedSpansTotal    int64   `json:"telemetry_pruned_spans_total"`
 	PrunedSlowLogTotal  int64   `json:"telemetry_pruned_slowlog_total"`
 	LastFlushAgeSeconds float64 `json:"last_flush_age_seconds"`
+	// Continuous-observability summary: how fresh the metric history is
+	// (-1 with history off or before the first scrape) and how many alert
+	// rules are currently firing.
+	LastScrapeAgeMS int64 `json:"last_scrape_age_ms"`
+	AlertsFiring    int   `json:"alerts_firing"`
 }
 
 // telemetryHealth snapshots the pipeline, nil when it has never run.
@@ -90,6 +95,10 @@ func telemetryHealth() *TelemetryHealth {
 	age := -1.0
 	if !st.LastFlush.IsZero() {
 		age = time.Since(st.LastFlush).Seconds()
+	}
+	scrapeAge := int64(-1)
+	if !st.LastScrape.IsZero() {
+		scrapeAge = time.Since(st.LastScrape).Milliseconds()
 	}
 	return &TelemetryHealth{
 		Active:              st.Active,
@@ -105,6 +114,8 @@ func telemetryHealth() *TelemetryHealth {
 		PrunedSpansTotal:    st.PrunedSpans,
 		PrunedSlowLogTotal:  st.PrunedSlowLog,
 		LastFlushAgeSeconds: age,
+		LastScrapeAgeMS:     scrapeAge,
+		AlertsFiring:        st.AlertsFiring,
 	}
 }
 
@@ -116,6 +127,9 @@ func telemetryHealth() *TelemetryHealth {
 //	GET /traces?n=50    most recent traced spans, oldest first
 //	GET /traces?tree=1  the same spans assembled into causal span trees
 //	GET /slowlog?n=50   most recent slow queries, oldest first
+//	GET /history        metric names the history ring has seen
+//	GET /history?metric=m&window=30s  windowed aggregates + series
+//	GET /alerts         live alert rule states
 //	    /debug/pprof/   net/http/pprof profiles
 func NewHandler(o Options) http.Handler {
 	o.fill()
@@ -139,6 +153,14 @@ func NewHandler(o Options) http.Handler {
 	}))
 	mux.HandleFunc("/statements", getOnly(func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, godbc.ActiveStatements())
+	}))
+	mux.HandleFunc("/history", getOnly(metricHistory))
+	mux.HandleFunc("/alerts", getOnly(func(w http.ResponseWriter, r *http.Request) {
+		alerts, active := godbc.AlertsState()
+		if alerts == nil {
+			alerts = []obs.AlertStatus{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"active": active, "alerts": alerts})
 	}))
 	mux.HandleFunc("/statements/", statementByID)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -198,6 +220,42 @@ func planCacheHitRatio(reg *obs.Registry) float64 {
 		return 0
 	}
 	return float64(hits) / float64(hits+misses)
+}
+
+// metricHistory serves the metric history ring. Without ?metric it lists
+// the known metric names; with one it returns the windowed aggregates and
+// the per-sample series (?window=30s, default one minute).
+func metricHistory(w http.ResponseWriter, r *http.Request) {
+	h := obs.DefaultHistory
+	metric := r.URL.Query().Get("metric")
+	if metric == "" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"metrics": h.Metrics(),
+			"samples": h.TotalSamples(),
+			"last_at": h.LastAt(),
+		})
+		return
+	}
+	window := obs.DefaultAlertWindow
+	if v := r.URL.Query().Get("window"); v != "" {
+		parsed, err := time.ParseDuration(v)
+		if err != nil || parsed <= 0 {
+			http.Error(w, "window must be a positive duration (e.g. 30s)", http.StatusBadRequest)
+			return
+		}
+		window = parsed
+	}
+	kind, pts, known := h.Series(metric, window)
+	if !known {
+		http.Error(w, "no history for metric "+metric, http.StatusNotFound)
+		return
+	}
+	if pts == nil {
+		pts = []obs.SeriesPoint{}
+	}
+	stats, _ := h.Window(metric, window)
+	stats.Metric, stats.Kind = metric, kind
+	writeJSON(w, http.StatusOK, map[string]any{"stats": stats, "points": pts})
 }
 
 // statementByID handles DELETE /statements/<id>: the admin kill switch,

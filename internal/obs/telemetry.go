@@ -153,6 +153,12 @@ func (s *TelemetrySink) Offer(sp *Span, slow bool) {
 	if sp == nil {
 		return
 	}
+	if s.gov.Disabled() {
+		// A zero budget means no persistence overhead at all — even the
+		// slow/error bypass is shed (counted, so the shedding is visible).
+		sinkSampledOut.Inc()
+		return
+	}
 	s.mu.Lock()
 	if s.gov != nil && !slow && sp.Err == "" {
 		rate := s.gov.Rate()

@@ -27,7 +27,19 @@ const (
 	// CatalogTelemetry is a single-row view of the self-hosted telemetry
 	// pipeline: governor state, queue pressure, throughput and retention.
 	CatalogTelemetry = "OBS_TELEMETRY"
+	// CatalogMetricsHistory exposes the in-memory metric history ring: one
+	// row per metric that moved in each scrape, delta-encoded like the
+	// persisted PERFDMF_METRICS_HISTORY table the scrape loop mirrors into.
+	CatalogMetricsHistory = "OBS_METRICS_HISTORY"
+	// CatalogAlerts lists alert episodes from the persisted alerts table,
+	// open and resolved, sorted by episode id.
+	CatalogAlerts = "OBS_ALERTS"
 )
+
+// AlertsBackingTable is the stored table OBS_ALERTS projects. It is defined
+// here (not in godbc, which owns its DDL) so the catalog can read episode
+// rows without a layering inversion.
+const AlertsBackingTable = "PERFDMF_ALERTS"
 
 // catalogDef is one virtual table: its column names and a snapshot
 // function producing the rows.
@@ -61,7 +73,21 @@ var catalogs = map[string]*catalogDef{
 		cols: telemetryCols,
 		rows: obsTelemetryRows,
 	},
+	CatalogMetricsHistory: {
+		cols: []string{"at", "elapsed_us", "name", "kind", "value",
+			"delta_count", "delta_sum", "p50", "p95", "p99"},
+		rows: obsMetricsHistoryRows,
+	},
+	CatalogAlerts: {
+		cols: alertsCols,
+		rows: obsAlertsRows,
+	},
 }
+
+// alertsCols mirrors the PERFDMF_ALERTS schema; obsAlertsRows projects the
+// stored rows through this order whatever the table's physical layout.
+var alertsCols = []string{"alert_id", "rule_id", "rule_name", "metric", "severity",
+	"state", "value", "threshold", "detail", "pending_at", "firing_at", "resolved_at"}
 
 // telemetryCols is named (rather than inlined above) so obsTelemetryRows
 // can pad its inactive row to the same width without referring back to the
@@ -263,6 +289,68 @@ func obsTelemetryRows(*reldb.Tx) ([]reldb.Row, error) {
 		optional(info.RetainAgeSec, info.RetainAgeSec <= 0),
 		optional(info.LastFlushAgeSec, info.LastFlushAgeSec < 0),
 	}}, nil
+}
+
+// obsMetricsHistoryRows flattens the process-wide history ring: every
+// sample's points, oldest sample first, in the sample's (sorted) point
+// order. Counters and gauges fill value; histograms fill the delta and
+// quantile columns instead — the same shape godbc persists.
+func obsMetricsHistoryRows(*reldb.Tx) ([]reldb.Row, error) {
+	samples := obs.DefaultHistory.Samples()
+	var rows []reldb.Row
+	for _, s := range samples {
+		at := reldb.Time(s.At)
+		elapsed := reldb.Int(s.Elapsed.Microseconds())
+		for _, p := range s.Points {
+			row := reldb.Row{at, elapsed, reldb.Str(p.Name), reldb.Str(p.Kind)}
+			if p.Kind == "histogram" {
+				row = append(row, reldb.Null,
+					reldb.Int(p.DeltaCount), reldb.Int(p.DeltaSum),
+					reldb.Int(p.P50), reldb.Int(p.P95), reldb.Int(p.P99))
+			} else {
+				row = append(row, reldb.Float(p.Value),
+					reldb.Null, reldb.Null, reldb.Null, reldb.Null, reldb.Null)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// obsAlertsRows reads the persisted PERFDMF_ALERTS episodes inside the
+// querying transaction, resolving columns by name so the projection
+// survives schema drift, sorted by episode id. No alerts table (alerting
+// never enabled on this database) means no rows, not an error.
+func obsAlertsRows(tx *reldb.Tx) ([]reldb.Row, error) {
+	if !tx.HasTable(AlertsBackingTable) {
+		return nil, nil
+	}
+	tbl, err := tx.Table(AlertsBackingTable)
+	if err != nil {
+		return nil, nil
+	}
+	idx := make(map[string]int)
+	for i, c := range tbl.Schema().Columns {
+		idx[strings.ToLower(c.Name)] = i
+	}
+	pick := func(r reldb.Row, name string) reldb.Value {
+		if i, ok := idx[name]; ok && i < len(r) {
+			return r[i]
+		}
+		return reldb.Null
+	}
+	var rows []reldb.Row
+	//lint:allow ctxpoll -- alerts scan is bounded by episode retention, not user rows
+	tx.Scan(AlertsBackingTable, func(_ int, r reldb.Row) bool { //nolint:errcheck // existence checked above
+		out := make(reldb.Row, 0, len(alertsCols))
+		for _, col := range alertsCols {
+			out = append(out, pick(r, col))
+		}
+		rows = append(rows, out)
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i][0].AsInt() < rows[j][0].AsInt() })
+	return rows, nil
 }
 
 // obsTableStatsRows reads PERFDMF_TABLE_STATS inside the querying
